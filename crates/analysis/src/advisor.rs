@@ -1,0 +1,242 @@
+//! The privacy advisor — the browser-plugin logic sketched in the paper's
+//! conclusion ("make the users aware of the associated privacy issues").
+//!
+//! Given a [`LookupPreview`] (the local half of a lookup, nothing sent yet),
+//! the advisor combines the single-prefix k-anonymity analysis of Section 5
+//! with the multi-prefix re-identification analysis of Section 6 and rates
+//! the privacy cost of letting the lookup proceed:
+//!
+//! * no local hit → nothing leaves the machine;
+//! * one prefix → the provider learns a prefix shared by thousands of URLs
+//!   (but by only a couple of *domains*, so a domain-root hit is already
+//!   sensitive);
+//! * two or more prefixes → the URL is re-identifiable, and if the provider
+//!   also has an index of the domain (which it does), usually uniquely so.
+
+use sb_client::LookupPreview;
+use sb_hash::PrefixLen;
+
+use crate::balls_into_bins::k_anonymity;
+use crate::internet::SNAPSHOTS;
+use crate::reident::ReidentificationIndex;
+
+/// How severe the information leak of a lookup is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LeakSeverity {
+    /// Nothing is sent to the provider.
+    None,
+    /// A single URL-path prefix is sent: k-anonymous among many URLs.
+    SinglePrefixUrl,
+    /// A single prefix is sent but it is the domain root: the provider can
+    /// re-identify the domain with near certainty (Table 5, domain column).
+    SinglePrefixDomain,
+    /// Multiple prefixes are sent: the URL (or its position on the domain)
+    /// is re-identifiable (Section 6).
+    MultiPrefix,
+}
+
+impl std::fmt::Display for LeakSeverity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LeakSeverity::None => f.write_str("no leak"),
+            LeakSeverity::SinglePrefixUrl => f.write_str("single prefix (URL-level, k-anonymous)"),
+            LeakSeverity::SinglePrefixDomain => f.write_str("single prefix (domain identifiable)"),
+            LeakSeverity::MultiPrefix => f.write_str("multiple prefixes (URL re-identifiable)"),
+        }
+    }
+}
+
+/// The advisor's assessment of one previewed lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrivacyAssessment {
+    /// The previewed URL.
+    pub url: String,
+    /// Number of prefixes that would be revealed.
+    pub revealed_prefixes: usize,
+    /// Whether the domain-root prefix is among them.
+    pub domain_revealed: bool,
+    /// Severity classification.
+    pub severity: LeakSeverity,
+    /// k-anonymity of a single revealed prefix among the URLs of the web
+    /// (Section 5, using the most recent snapshot's URL count).
+    pub single_prefix_url_anonymity: u64,
+    /// k-anonymity of a single revealed prefix among registered domains.
+    pub single_prefix_domain_anonymity: u64,
+    /// When the advisor was given a web index: the number of URLs in that
+    /// index compatible with the full set of revealed prefixes (1 = the
+    /// provider can pinpoint the exact URL).
+    pub candidate_urls_in_index: Option<usize>,
+}
+
+impl PrivacyAssessment {
+    /// A one-line human-readable warning, suitable for a browser UI.
+    pub fn warning(&self) -> String {
+        match self.severity {
+            LeakSeverity::None => format!("{}: safe, nothing is sent to the provider", self.url),
+            LeakSeverity::SinglePrefixUrl => format!(
+                "{}: one prefix is sent; it is shared by ~{} URLs but identifies the domain among ~{} candidates",
+                self.url, self.single_prefix_url_anonymity, self.single_prefix_domain_anonymity
+            ),
+            LeakSeverity::SinglePrefixDomain => format!(
+                "{}: the domain's own prefix is sent; the provider can identify the site you are visiting",
+                self.url
+            ),
+            LeakSeverity::MultiPrefix => match self.candidate_urls_in_index {
+                Some(1) => format!(
+                    "{}: {} prefixes are sent; the provider can re-identify this exact URL",
+                    self.url, self.revealed_prefixes
+                ),
+                Some(n) => format!(
+                    "{}: {} prefixes are sent; the provider narrows your visit down to {n} URLs on this domain",
+                    self.url, self.revealed_prefixes
+                ),
+                None => format!(
+                    "{}: {} prefixes are sent; the URL is re-identifiable by the provider",
+                    self.url, self.revealed_prefixes
+                ),
+            },
+        }
+    }
+}
+
+/// The privacy advisor.
+#[derive(Debug, Clone, Default)]
+pub struct PrivacyAdvisor {
+    /// Optional provider-side web index used to quantify multi-prefix
+    /// re-identification precisely (built from a corpus of the domains the
+    /// user cares about).
+    index: Option<ReidentificationIndex>,
+}
+
+impl PrivacyAdvisor {
+    /// Creates an advisor that only uses the analytical (Section 5)
+    /// k-anonymity estimates.
+    pub fn new() -> Self {
+        PrivacyAdvisor { index: None }
+    }
+
+    /// Creates an advisor that additionally quantifies re-identification
+    /// against a concrete web index.
+    pub fn with_index(index: ReidentificationIndex) -> Self {
+        PrivacyAdvisor { index: Some(index) }
+    }
+
+    /// Assesses a previewed lookup.
+    pub fn assess(&self, preview: &LookupPreview) -> PrivacyAssessment {
+        let revealed = preview.revealed_prefixes();
+        let latest = SNAPSHOTS[SNAPSHOTS.len() - 1];
+        let severity = match (revealed.len(), preview.reveals_domain()) {
+            (0, _) => LeakSeverity::None,
+            (1, true) => LeakSeverity::SinglePrefixDomain,
+            (1, false) => LeakSeverity::SinglePrefixUrl,
+            _ => LeakSeverity::MultiPrefix,
+        };
+        let candidate_urls_in_index = match (&self.index, revealed.is_empty()) {
+            (Some(index), false) => Some(index.candidates(&revealed).len()),
+            _ => None,
+        };
+        PrivacyAssessment {
+            url: preview.url.clone(),
+            revealed_prefixes: revealed.len(),
+            domain_revealed: preview.reveals_domain(),
+            severity,
+            single_prefix_url_anonymity: k_anonymity(latest.urls, PrefixLen::L32),
+            single_prefix_domain_anonymity: k_anonymity(latest.domains, PrefixLen::L32),
+            candidate_urls_in_index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_client::{ClientConfig, SafeBrowsingClient};
+    use sb_corpus::{HostSite, WebCorpus};
+    use sb_protocol::{Provider, ThreatCategory};
+    use sb_server::SafeBrowsingServer;
+
+    fn setup() -> (SafeBrowsingServer, SafeBrowsingClient) {
+        let server = SafeBrowsingServer::new(Provider::Google);
+        server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+        server
+            .blacklist_expressions(
+                "goog-malware-shavar",
+                ["petsymposium.org/", "petsymposium.org/2016/cfp.php", "evil.example/page.html"],
+            )
+            .unwrap();
+        let mut client =
+            SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
+        client.update(&server);
+        (server, client)
+    }
+
+    fn pets_index() -> ReidentificationIndex {
+        ReidentificationIndex::build(&WebCorpus::from_sites(
+            "pets",
+            vec![HostSite::new(
+                "petsymposium.org",
+                vec![
+                    "petsymposium.org/".to_string(),
+                    "petsymposium.org/2016/cfp.php".to_string(),
+                    "petsymposium.org/2016/links.php".to_string(),
+                ],
+            )],
+        ))
+    }
+
+    #[test]
+    fn clean_url_has_no_leak() {
+        let (_server, client) = setup();
+        let advisor = PrivacyAdvisor::new();
+        let assessment = advisor.assess(&client.preview_url("https://benign.example/").unwrap());
+        assert_eq!(assessment.severity, LeakSeverity::None);
+        assert_eq!(assessment.revealed_prefixes, 0);
+        assert!(assessment.warning().contains("nothing is sent"));
+    }
+
+    #[test]
+    fn tracked_url_is_multi_prefix_and_pinpointed_with_an_index() {
+        let (_server, client) = setup();
+        let advisor = PrivacyAdvisor::with_index(pets_index());
+        let assessment = advisor
+            .assess(&client.preview_url("https://petsymposium.org/2016/cfp.php").unwrap());
+        assert_eq!(assessment.severity, LeakSeverity::MultiPrefix);
+        assert_eq!(assessment.revealed_prefixes, 2);
+        assert!(assessment.domain_revealed);
+        assert_eq!(assessment.candidate_urls_in_index, Some(1));
+        assert!(assessment.warning().contains("re-identify this exact URL"));
+    }
+
+    #[test]
+    fn single_path_prefix_is_k_anonymous() {
+        let (_server, client) = setup();
+        let advisor = PrivacyAdvisor::new();
+        // Only the exact URL is blacklisted for this domain, so visiting it
+        // reveals one non-root prefix.
+        let assessment =
+            advisor.assess(&client.preview_url("http://evil.example/page.html").unwrap());
+        assert_eq!(assessment.severity, LeakSeverity::SinglePrefixUrl);
+        assert!(assessment.single_prefix_url_anonymity > 1_000);
+        assert!(assessment.single_prefix_domain_anonymity < 10);
+        assert_eq!(assessment.candidate_urls_in_index, None);
+    }
+
+    #[test]
+    fn single_domain_prefix_is_flagged_as_domain_leak() {
+        let (_server, client) = setup();
+        let advisor = PrivacyAdvisor::new();
+        // Visiting another page on petsymposium.org only hits the domain
+        // root entry.
+        let assessment = advisor
+            .assess(&client.preview_url("https://petsymposium.org/2017/index.php").unwrap());
+        assert_eq!(assessment.severity, LeakSeverity::SinglePrefixDomain);
+        assert!(assessment.warning().contains("identify the site"));
+    }
+
+    #[test]
+    fn severity_ordering_matches_information_leak() {
+        assert!(LeakSeverity::None < LeakSeverity::SinglePrefixUrl);
+        assert!(LeakSeverity::SinglePrefixUrl < LeakSeverity::SinglePrefixDomain);
+        assert!(LeakSeverity::SinglePrefixDomain < LeakSeverity::MultiPrefix);
+    }
+}

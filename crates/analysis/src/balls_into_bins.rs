@@ -1,0 +1,272 @@
+//! Single-prefix anonymity: balls-into-bins and k-anonymity (Section 5).
+//!
+//! Hashing-and-truncation maps the `m` URLs of the web (the balls) into the
+//! `n = 2^ℓ` possible prefixes (the bins).  The paper's privacy metric is
+//! `M`, the maximum number of URLs sharing one prefix: the larger `M`, the
+//! more uncertain the provider is when re-identifying a URL from a single
+//! prefix (a k-anonymity argument with `k = M`).
+//!
+//! Two estimators of `M` are provided:
+//!
+//! * [`max_load_raab_steger`] — the asymptotic formulas of Theorem 1
+//!   (Raab & Steger), with the lightly- and heavily-loaded regimes glued at
+//!   `m = n·ln n`;
+//! * [`max_load_poisson`] — a direct numerical estimate: the smallest `k`
+//!   such that the expected number of bins holding at least `k` balls drops
+//!   below one, under the Poisson approximation of the bin loads.
+//!
+//! Both give the same qualitative picture as Table 5: a 32-bit prefix is
+//! shared by hundreds to tens of thousands of URLs but at most a handful of
+//! domain names, and from 64 bits on both URLs and domains are unique.  The
+//! minimum bin load `Θ(m/n)` (Ercal-Ozkaya) is also exposed, as the paper
+//! uses it for the client-side viewpoint.
+
+use sb_hash::PrefixLen;
+
+/// Maximum bin load according to the asymptotic formulas of
+/// Raab & Steger's Theorem 1, evaluated for `m` balls thrown into
+/// `n = 2^prefix_len` bins with confidence parameter `alpha > 1`.
+///
+/// The paper's Table 5 uses these values as the worst-case uncertainty for
+/// URL re-identification from a single prefix.
+///
+/// # Panics
+///
+/// Panics if `m` is not positive or `alpha <= 1`.
+pub fn max_load_raab_steger(m: f64, prefix_len: PrefixLen, alpha: f64) -> f64 {
+    assert!(m > 0.0, "number of balls must be positive");
+    assert!(alpha > 1.0, "alpha must exceed 1");
+    let n = prefix_len.space_size();
+    let ln_n = n.ln();
+
+    if m < n * ln_n {
+        // Lightly loaded regime: m ≪ n·log n.
+        //   k_α = log n / log(n log n / m) · (1 + α · loglog(n log n / m)/log(n log n / m))
+        let ratio = (n * ln_n / m).ln();
+        let correction = 1.0 + alpha * ratio.ln().max(0.0) / ratio;
+        (ln_n / ratio * correction).max(1.0)
+    } else {
+        // Heavily loaded regime: m ≫ n·log n.
+        //   k_α = m/n + sqrt(2 m log n / n) · (1 − (1/α) · loglog n / (2 log n))
+        let mean = m / n;
+        let spread = (2.0 * m * ln_n / n).sqrt();
+        let correction = 1.0 - (1.0 / alpha) * ln_n.ln() / (2.0 * ln_n);
+        mean + spread * correction
+    }
+}
+
+/// Maximum bin load estimated numerically: the smallest `k` such that
+/// `n · P[Poisson(m/n) ≥ k] ≤ 1`, i.e. the largest load we expect at least
+/// one bin to reach.
+///
+/// # Panics
+///
+/// Panics if `m` is not positive.
+pub fn max_load_poisson(m: f64, prefix_len: PrefixLen) -> u64 {
+    assert!(m > 0.0, "number of balls must be positive");
+    let n = prefix_len.space_size();
+    let lambda = m / n;
+    let target = -(n.ln()); // log P threshold: P <= 1/n
+
+    // Very heavily loaded bins (ℓ = 16 with trillions of URLs): the Poisson
+    // is indistinguishable from a normal distribution, so solve
+    // ln Q(z) ≈ −z²/2 − ln(z·√(2π)) = −ln n for z and return λ + z·√λ.
+    if lambda > 1.0e6 {
+        let mut z = (2.0 * n.ln()).sqrt();
+        for _ in 0..20 {
+            z = (2.0 * (n.ln() - (z * (2.0 * std::f64::consts::PI).sqrt()).ln())).max(1.0).sqrt();
+        }
+        return (lambda + z * lambda.sqrt()).round() as u64;
+    }
+
+    // Walk the Poisson log-pmf upward from the mode accumulating the upper
+    // tail until it drops below 1/n.  log P(X = k) = -λ + k ln λ - ln k!.
+    // M is the largest k for which we still expect at least one bin holding
+    // k or more balls, i.e. n · P[X ≥ k] ≥ 1 but n · P[X ≥ k+1] < 1.
+    let mut k = lambda.floor().max(0.0) as u64;
+    loop {
+        let log_tail = log_poisson_tail(lambda, k + 1);
+        if log_tail <= target {
+            return k.max(1);
+        }
+        k += 1;
+        if k > (lambda as u64 + 200) * 100 + 10_000 {
+            // Safety valve; never reached for the parameter ranges of the
+            // paper (and the function is only used with those).
+            return k;
+        }
+    }
+}
+
+/// Natural log of `P[Poisson(lambda) >= k]`, computed by summing the pmf in
+/// log space (sufficient accuracy for tail thresholds around `1/n`).
+fn log_poisson_tail(lambda: f64, k: u64) -> f64 {
+    // Sum terms from k upward until they become negligible.
+    let mut log_term = -lambda + (k as f64) * lambda.ln() - ln_factorial(k);
+    let mut log_sum = log_term;
+    let mut i = k + 1;
+    loop {
+        log_term += lambda.ln() - (i as f64).ln();
+        let delta = log_term - log_sum;
+        log_sum += (1.0 + delta.exp()).ln();
+        if log_term < log_sum - 35.0 {
+            break;
+        }
+        i += 1;
+        if i > k + 10_000 {
+            break;
+        }
+    }
+    log_sum
+}
+
+/// Stirling-series approximation of `ln(k!)` (exact table for small `k`).
+fn ln_factorial(k: u64) -> f64 {
+    if k < 2 {
+        return 0.0;
+    }
+    if k < 20 {
+        return (2..=k).map(|i| (i as f64).ln()).sum();
+    }
+    let k = k as f64;
+    k * k.ln() - k + 0.5 * (2.0 * std::f64::consts::PI * k).ln() + 1.0 / (12.0 * k)
+}
+
+/// Minimum bin load `Θ(m/n)` for `m ≥ c·n·log n` (Ercal-Ozkaya): the
+/// best-case anonymity set from the client's perspective.
+pub fn min_load(m: f64, prefix_len: PrefixLen) -> f64 {
+    let n = prefix_len.space_size();
+    (m / n).floor().max(0.0)
+}
+
+/// The paper's privacy metric for a single revealed prefix: the k-anonymity
+/// `k = M`, where `M` is the maximum number of items sharing a prefix
+/// (estimated with the Poisson tail bound).  A value of 1 means the item is
+/// uniquely re-identifiable.
+pub fn k_anonymity(items: f64, prefix_len: PrefixLen) -> u64 {
+    max_load_poisson(items, prefix_len)
+}
+
+/// One row/cell of Table 5: the maximum load for a given year's snapshot
+/// and prefix length, for URLs and for domains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnonymityCell {
+    /// Prefix length.
+    pub prefix_len: PrefixLen,
+    /// Maximum number of URLs sharing one prefix.
+    pub urls_per_prefix: u64,
+    /// Maximum number of domains sharing one prefix.
+    pub domains_per_prefix: u64,
+}
+
+/// Computes the Table 5 cells for one Internet snapshot across the paper's
+/// prefix lengths (16, 32, 64 and 96 bits).
+pub fn table5_row(urls: f64, domains: f64) -> Vec<AnonymityCell> {
+    [PrefixLen::L16, PrefixLen::L32, PrefixLen::L64, PrefixLen::L96]
+        .into_iter()
+        .map(|len| AnonymityCell {
+            prefix_len: len,
+            urls_per_prefix: max_load_poisson(urls, len),
+            domains_per_prefix: max_load_poisson(domains, len),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::internet::SNAPSHOTS;
+
+    #[test]
+    fn poisson_max_load_2012_2013_urls_32bit_match_paper_scale() {
+        // Paper: 7541 (2012) and 14757 (2013) URLs per 32-bit prefix.
+        let m2012 = max_load_poisson(30.0e12, PrefixLen::L32);
+        let m2013 = max_load_poisson(60.0e12, PrefixLen::L32);
+        assert!((7_300..=7_800).contains(&m2012), "2012: {m2012}");
+        assert!((14_400..=15_100).contains(&m2013), "2013: {m2013}");
+        // And 2008 is two orders of magnitude smaller (paper: 443).
+        let m2008 = max_load_poisson(1.0e12, PrefixLen::L32);
+        assert!((280..=500).contains(&m2008), "2008: {m2008}");
+    }
+
+    #[test]
+    fn domains_are_nearly_unique_at_32_bits() {
+        // Paper: 2–3 domains per 32-bit prefix.
+        for s in SNAPSHOTS {
+            let m = max_load_poisson(s.domains, PrefixLen::L32);
+            assert!((2..=6).contains(&m), "year {}: {m}", s.year);
+        }
+    }
+
+    #[test]
+    fn sixty_four_bits_make_urls_unique() {
+        // Paper: M = 2 at 64 bits, 1 at 96 bits.
+        for s in SNAPSHOTS {
+            assert!(max_load_poisson(s.urls, PrefixLen::L64) <= 3);
+            assert_eq!(max_load_poisson(s.urls, PrefixLen::L96), 1);
+            assert_eq!(max_load_poisson(s.domains, PrefixLen::L96), 1);
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_prefixes_offer_huge_anonymity_sets() {
+        let m = max_load_poisson(30.0e12, PrefixLen::L16);
+        // ~30e12 / 65536 ≈ 4.6e8 URLs per prefix.
+        assert!(m > 100_000_000);
+    }
+
+    #[test]
+    fn raab_steger_agrees_with_poisson_in_heavy_regime() {
+        for (m, len) in [(30.0e12, PrefixLen::L32), (60.0e12, PrefixLen::L32)] {
+            let rs = max_load_raab_steger(m, len, 1.0001);
+            let po = max_load_poisson(m, len) as f64;
+            let ratio = rs / po;
+            assert!((0.8..1.2).contains(&ratio), "rs={rs} poisson={po}");
+        }
+    }
+
+    #[test]
+    fn raab_steger_light_regime_is_small() {
+        // 177e6 domains into 2^32 bins is the lightly loaded case: only a
+        // couple of domains share a prefix.
+        let rs = max_load_raab_steger(177.0e6, PrefixLen::L32, 1.5);
+        assert!(rs >= 1.0 && rs < 10.0, "{rs}");
+    }
+
+    #[test]
+    fn min_load_theta_m_over_n() {
+        assert_eq!(min_load(30.0e12, PrefixLen::L32), (30.0e12 / 2f64.powi(32)).floor());
+        assert_eq!(min_load(100.0, PrefixLen::L32), 0.0);
+    }
+
+    #[test]
+    fn k_anonymity_decreases_with_prefix_length() {
+        let urls = 60.0e12;
+        let k16 = k_anonymity(urls, PrefixLen::L16);
+        let k32 = k_anonymity(urls, PrefixLen::L32);
+        let k64 = k_anonymity(urls, PrefixLen::L64);
+        assert!(k16 > k32);
+        assert!(k32 > k64);
+    }
+
+    #[test]
+    fn table5_row_shape() {
+        let row = table5_row(60.0e12, 271.0e6);
+        assert_eq!(row.len(), 4);
+        assert_eq!(row[3].urls_per_prefix, 1);
+        assert_eq!(row[3].domains_per_prefix, 1);
+        assert!(row[0].urls_per_prefix > row[1].urls_per_prefix);
+    }
+
+    #[test]
+    fn ln_factorial_reasonable() {
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-9);
+        assert!((ln_factorial(20) - 2.432902e18f64.ln()).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "balls must be positive")]
+    fn zero_balls_panics() {
+        let _ = max_load_poisson(0.0, PrefixLen::L32);
+    }
+}

@@ -1,0 +1,290 @@
+//! Multi-prefix collision taxonomy (Section 6.1).
+//!
+//! When a provider receives two (or more) prefixes for one lookup, the
+//! ambiguity in re-identification comes from other URLs that would produce
+//! the same prefixes.  The paper distinguishes three collision types for a
+//! target URL:
+//!
+//! * **Type I** — a *related* URL (same domain) whose decompositions contain
+//!   the very decompositions whose prefixes were observed.  Example: the
+//!   observed pair {`a.b.c/`, `b.c/`} is also produced by `g.a.b.c`.
+//! * **Type II** — a related URL that shares one decomposition and whose
+//!   other decomposition merely *collides on the truncated digest* with the
+//!   observed prefix.
+//! * **Type III** — a completely unrelated URL whose decompositions happen
+//!   to collide on both truncated digests (probability 2⁻⁶⁴).
+//!
+//! The module also provides the host-level notions driving Algorithm 1:
+//! the Type I collision set of a URL (the other URLs on the host whose
+//! decompositions contain it) and leaf URLs (URLs that are nobody's
+//! decomposition).
+
+use std::collections::HashSet;
+
+use sb_hash::{digest_url, Prefix};
+use sb_url::{decompose, CanonicalUrl, Decomposition};
+
+/// The three collision types of Section 6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CollisionType {
+    /// Shared decompositions explain every observed prefix.
+    TypeI,
+    /// At least one shared decomposition, plus at least one truncation-only
+    /// collision.
+    TypeII,
+    /// No shared decomposition: all observed prefixes collide by truncation
+    /// only.
+    TypeIII,
+}
+
+impl std::fmt::Display for CollisionType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollisionType::TypeI => f.write_str("Type I"),
+            CollisionType::TypeII => f.write_str("Type II"),
+            CollisionType::TypeIII => f.write_str("Type III"),
+        }
+    }
+}
+
+/// Classifies how `candidate` collides with `target` on the given observed
+/// prefixes, i.e. whether visiting `candidate` would also have produced all
+/// of `observed` prefixes, and through which mechanism.
+///
+/// Returns `None` when `candidate` does not reproduce every observed prefix
+/// (it is then not a collision at all) or when `candidate` and `target` are
+/// the same URL.
+pub fn classify_collision(
+    target: &CanonicalUrl,
+    candidate: &CanonicalUrl,
+    observed: &[Prefix],
+) -> Option<CollisionType> {
+    if target == candidate || observed.is_empty() {
+        return None;
+    }
+    let target_exprs: HashSet<String> = decompose(target)
+        .iter()
+        .map(|d| d.expression().to_string())
+        .collect();
+    let cand_decs = decompose(candidate);
+    let cand_exprs: HashSet<String> =
+        cand_decs.iter().map(|d| d.expression().to_string()).collect();
+
+    // For every observed prefix, find out how the candidate reproduces it.
+    let mut via_truncation = 0usize;
+    for prefix in observed {
+        let shared = cand_decs.iter().any(|d| {
+            digest_url(d.expression()).prefix32() == *prefix
+                && target_exprs.contains(d.expression())
+        });
+        let truncated = cand_decs.iter().any(|d| {
+            digest_url(d.expression()).prefix32() == *prefix
+                && !target_exprs.contains(d.expression())
+        });
+        if shared {
+            // Reproduced through a decomposition shared with the target.
+        } else if truncated {
+            via_truncation += 1;
+        } else {
+            return None; // candidate does not reproduce this prefix
+        }
+    }
+
+    let related = target_exprs.intersection(&cand_exprs).next().is_some();
+    if via_truncation == 0 {
+        Some(CollisionType::TypeI)
+    } else if related {
+        Some(CollisionType::TypeII)
+    } else {
+        Some(CollisionType::TypeIII)
+    }
+}
+
+/// The Type I collision set of `target` among `host_urls` (canonical
+/// expressions of the URLs hosted on the same domain): the URLs whose own
+/// decompositions contain `target`'s expression, so that visiting them also
+/// reveals `target`'s prefix (plus the domain prefix).
+///
+/// This is the `get_type1_coll` primitive of Algorithm 1.
+pub fn type1_collision_set<'a>(
+    target_expression: &str,
+    host_urls: impl IntoIterator<Item = &'a str>,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for url in host_urls {
+        if url == target_expression {
+            continue;
+        }
+        let Ok(canon) = CanonicalUrl::parse(url) else {
+            continue;
+        };
+        let decs = decompose(&canon);
+        if decs.iter().any(|d| d.expression() == target_expression) {
+            out.push(canon.expression());
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Whether `target` is a *leaf* URL of its host: it does not belong to the
+/// decomposition set of any other URL hosted on the domain (Section 6.1,
+/// Figure 4).  Leaf URLs are re-identifiable from only two prefixes.
+pub fn is_leaf_url<'a>(
+    target_expression: &str,
+    host_urls: impl IntoIterator<Item = &'a str>,
+) -> bool {
+    type1_collision_set(target_expression, host_urls).is_empty()
+}
+
+/// All unique decompositions across a set of URLs (the per-domain
+/// decomposition universe used by Algorithm 1 and the corpus statistics).
+pub fn unique_decompositions<'a>(urls: impl IntoIterator<Item = &'a str>) -> Vec<Decomposition> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for url in urls {
+        let Ok(canon) = CanonicalUrl::parse(url) else {
+            continue;
+        };
+        for d in decompose(&canon) {
+            if seen.insert(d.expression().to_string()) {
+                out.push(d);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_hash::prefix32;
+
+    fn canon(s: &str) -> CanonicalUrl {
+        CanonicalUrl::parse(s).unwrap()
+    }
+
+    /// The example of Table 6: target a.b.c, observed prefixes A = h(a.b.c/)
+    /// and B = h(b.c/).
+    fn observed_for_table6() -> Vec<Prefix> {
+        vec![prefix32("a.b.c/"), prefix32("b.c/")]
+    }
+
+    #[test]
+    fn table6_type1_example() {
+        // g.a.b.c decomposes to g.a.b.c/, a.b.c/, b.c/ ... so it reproduces
+        // both observed prefixes through shared decompositions.
+        let t = classify_collision(&canon("http://a.b.c/"), &canon("http://g.a.b.c/"), &observed_for_table6());
+        assert_eq!(t, Some(CollisionType::TypeI));
+    }
+
+    #[test]
+    fn table6_unrelated_url_is_no_collision() {
+        // d.e.f shares no decomposition and (overwhelmingly likely) no
+        // truncated digest with the target, so it is not a collision.
+        let t = classify_collision(&canon("http://a.b.c/"), &canon("http://d.e.f/"), &observed_for_table6());
+        assert_eq!(t, None);
+    }
+
+    #[test]
+    fn same_url_is_not_a_collision() {
+        let t = classify_collision(&canon("http://a.b.c/"), &canon("http://a.b.c/"), &observed_for_table6());
+        assert_eq!(t, None);
+    }
+
+    #[test]
+    fn sibling_without_shared_observed_prefix_is_no_collision() {
+        // g.b.c decomposes to g.b.c/ and b.c/: it reproduces B but not A,
+        // so with both prefixes observed it is not a collision candidate
+        // (it would be the paper's Type II only if its other decomposition
+        // collided with A after truncation, which does not happen here).
+        let t = classify_collision(&canon("http://a.b.c/"), &canon("http://g.b.c/"), &observed_for_table6());
+        assert_eq!(t, None);
+    }
+
+    #[test]
+    fn single_prefix_observed_related_url_is_type1() {
+        let observed = vec![prefix32("b.c/")];
+        let t = classify_collision(&canon("http://a.b.c/"), &canon("http://g.b.c/"), &observed);
+        assert_eq!(t, Some(CollisionType::TypeI));
+    }
+
+    #[test]
+    fn type1_collision_set_contains_descendants() {
+        // Host b.c with the URLs of Table 7 / Figure 4.
+        let host_urls = [
+            "a.b.c/1",
+            "a.b.c/2",
+            "a.b.c/3",
+            "a.b.c/3/3.1",
+            "a.b.c/3/3.2",
+            "d.b.c/",
+            "b.c/",
+        ];
+        // a.b.c/3 is a decomposition of a.b.c/3/3.1 and a.b.c/3/3.2 — hold
+        // on: decompositions of a.b.c/3/3.1 are a.b.c/3/3.1, a.b.c/,
+        // a.b.c/3/, b.c/3/3.1, b.c/, b.c/3/ — "a.b.c/3" (no trailing slash)
+        // is NOT among them, so it is a leaf; "a.b.c/" however is not.
+        let set = type1_collision_set("a.b.c/", host_urls.iter().copied());
+        assert!(set.contains(&"a.b.c/1".to_string()));
+        assert!(set.contains(&"a.b.c/3/3.2".to_string()));
+        assert!(!set.contains(&"d.b.c/".to_string()));
+        assert!(!set.contains(&"b.c/".to_string()));
+
+        assert!(is_leaf_url("a.b.c/1", host_urls.iter().copied()));
+        assert!(is_leaf_url("a.b.c/3", host_urls.iter().copied()));
+        assert!(!is_leaf_url("a.b.c/", host_urls.iter().copied()));
+    }
+
+    #[test]
+    fn pets_cfp_is_a_leaf() {
+        let host_urls = [
+            "petsymposium.org/",
+            "petsymposium.org/2016/cfp.php",
+            "petsymposium.org/2016/links.php",
+            "petsymposium.org/2016/faqs.php",
+        ];
+        assert!(is_leaf_url("petsymposium.org/2016/cfp.php", host_urls.iter().copied()));
+        // The 2016/ directory page is in every 2016 URL's decompositions.
+        let set = type1_collision_set("petsymposium.org/2016/", host_urls.iter().copied());
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn unique_decompositions_deduplicate_across_urls() {
+        let decs = unique_decompositions(["a.b.c/1", "a.b.c/2"]);
+        let exprs: HashSet<&str> = decs.iter().map(|d| d.expression()).collect();
+        // a.b.c/1, a.b.c/2, a.b.c/, b.c/1, b.c/2, b.c/
+        assert_eq!(exprs.len(), 6);
+        assert!(exprs.contains("a.b.c/"));
+    }
+
+    #[test]
+    fn display_of_collision_types() {
+        assert_eq!(CollisionType::TypeI.to_string(), "Type I");
+        assert_eq!(CollisionType::TypeII.to_string(), "Type II");
+        assert_eq!(CollisionType::TypeIII.to_string(), "Type III");
+    }
+
+    #[test]
+    fn probability_ordering_hint_holds_empirically() {
+        // In any realistic host, Type I collisions exist while Type II/III
+        // require 32-bit digest collisions and essentially never occur —
+        // the P[Type I] > P[Type II] > P[Type III] ordering of the paper.
+        let host_urls = ["site.example/", "site.example/a/1.html", "site.example/a/2.html"];
+        let observed = vec![prefix32("site.example/a/"), prefix32("site.example/")];
+        let mut type1 = 0;
+        for url in &host_urls {
+            if classify_collision(
+                &canon("http://site.example/a/1.html"),
+                &canon(&format!("http://{url}")),
+                &observed,
+            ) == Some(CollisionType::TypeI)
+            {
+                type1 += 1;
+            }
+        }
+        assert!(type1 >= 1);
+    }
+}

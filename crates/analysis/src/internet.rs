@@ -1,0 +1,57 @@
+//! Published Internet-scale counts used by the single-prefix analysis.
+//!
+//! Table 5 of the paper computes the k-anonymity of a single prefix from the
+//! number of unique URLs claimed by Google (1 trillion in 2008, 30 trillion
+//! in 2012, 60 trillion in 2013) and the number of registered domain names
+//! reported by Verisign (177, 252 and 271 million for the same years).
+
+/// A snapshot of the public web's size in a given year.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InternetSnapshot {
+    /// Calendar year of the estimate.
+    pub year: u32,
+    /// Number of unique URLs known to Google.
+    pub urls: f64,
+    /// Number of registered domain names (Verisign).
+    pub domains: f64,
+}
+
+/// The three snapshots used in Table 5.
+pub const SNAPSHOTS: [InternetSnapshot; 3] = [
+    InternetSnapshot {
+        year: 2008,
+        urls: 1.0e12,
+        domains: 177.0e6,
+    },
+    InternetSnapshot {
+        year: 2012,
+        urls: 30.0e12,
+        domains: 252.0e6,
+    },
+    InternetSnapshot {
+        year: 2013,
+        urls: 60.0e12,
+        domains: 271.0e6,
+    },
+];
+
+/// Returns the snapshot for a given year, if it is one of the paper's.
+pub fn snapshot_for_year(year: u32) -> Option<InternetSnapshot> {
+    SNAPSHOTS.iter().copied().find(|s| s.year == year)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_match_paper() {
+        assert_eq!(SNAPSHOTS.len(), 3);
+        let s2008 = snapshot_for_year(2008).unwrap();
+        assert_eq!(s2008.urls, 1.0e12);
+        assert_eq!(s2008.domains, 177.0e6);
+        let s2013 = snapshot_for_year(2013).unwrap();
+        assert_eq!(s2013.urls, 60.0e12);
+        assert!(snapshot_for_year(2020).is_none());
+    }
+}

@@ -1,0 +1,189 @@
+//! Blacklist inversion: the dictionary attack of Section 7.1 (Tables 9–10).
+//!
+//! The blacklists only contain digest prefixes, but an analyst (or the
+//! provider itself) holding candidate URL/domain dictionaries can *invert*
+//! them: hash every candidate, truncate, and look the prefix up.  The paper
+//! harvested malware/phishing feeds, the BigBlackList and the DNS Census
+//! 2013 second-level domains and measured which fraction of each deployed
+//! list they could reconstruct (up to 55 % for Yandex's pornography list
+//! against the SLD dictionary).  Since those feeds cannot be redistributed,
+//! the experiment binaries build synthetic dictionaries with controlled
+//! overlap; the inversion machinery below is identical either way.
+
+use std::collections::HashMap;
+
+use sb_hash::{prefix32, Prefix};
+use sb_server::Blacklist;
+
+/// A candidate dictionary (one of the rows of Table 9).
+#[derive(Debug, Clone)]
+pub struct Dictionary {
+    /// Dictionary label ("Malware list", "DNS Census-13", ...).
+    pub name: String,
+    /// Candidate canonical expressions (URLs or bare domains with a
+    /// trailing slash).
+    pub entries: Vec<String>,
+}
+
+impl Dictionary {
+    /// Creates a dictionary from candidate expressions.
+    pub fn new(name: impl Into<String>, entries: Vec<String>) -> Self {
+        Dictionary {
+            name: name.into(),
+            entries,
+        }
+    }
+
+    /// Number of candidate entries (the “#entries” column of Table 9).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the dictionary has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The result of inverting one blacklist with one dictionary (one cell of
+/// Table 10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InversionResult {
+    /// The blacklist name.
+    pub list: String,
+    /// The dictionary name.
+    pub dictionary: String,
+    /// Number of list prefixes for which at least one dictionary entry
+    /// matched (the “#matches” value of Table 10).
+    pub matched_prefixes: usize,
+    /// Total number of prefixes in the list.
+    pub total_prefixes: usize,
+    /// The matched prefixes with the dictionary entries that produced them
+    /// (the recovered plaintext candidates).
+    pub matches: Vec<(Prefix, Vec<String>)>,
+}
+
+impl InversionResult {
+    /// Reconstruction rate in percent (the “%match” value of Table 10).
+    pub fn match_percent(&self) -> f64 {
+        if self.total_prefixes == 0 {
+            return 0.0;
+        }
+        100.0 * self.matched_prefixes as f64 / self.total_prefixes as f64
+    }
+}
+
+/// Inverts a blacklist against a dictionary: hashes every dictionary entry
+/// and reports which list prefixes are hit.
+pub fn invert_blacklist(list: &Blacklist, dictionary: &Dictionary) -> InversionResult {
+    // Index the dictionary by prefix first so the cost is
+    // O(|dict| + |list|) rather than O(|dict| · |list|).
+    let mut by_prefix: HashMap<Prefix, Vec<String>> = HashMap::new();
+    for entry in &dictionary.entries {
+        by_prefix
+            .entry(prefix32(entry))
+            .or_default()
+            .push(entry.clone());
+    }
+
+    let mut matches = Vec::new();
+    for prefix in list.prefixes() {
+        if let Some(entries) = by_prefix.get(&prefix) {
+            matches.push((prefix, entries.clone()));
+        }
+    }
+    matches.sort_by_key(|(p, _)| *p);
+
+    InversionResult {
+        list: list.name().to_string(),
+        dictionary: dictionary.name.clone(),
+        matched_prefixes: matches.len(),
+        total_prefixes: list.prefix_count(),
+        matches,
+    }
+}
+
+/// Inverts several lists against several dictionaries (the full Table 10
+/// grid).
+pub fn invert_all(lists: &[Blacklist], dictionaries: &[Dictionary]) -> Vec<InversionResult> {
+    let mut out = Vec::new();
+    for list in lists {
+        for dict in dictionaries {
+            out.push(invert_blacklist(list, dict));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_protocol::ThreatCategory;
+
+    fn blacklist_of(exprs: &[&str]) -> Blacklist {
+        let mut bl = Blacklist::new("goog-malware-shavar", ThreatCategory::Malware);
+        for e in exprs {
+            bl.insert_expression(e);
+        }
+        bl
+    }
+
+    #[test]
+    fn full_overlap_reconstructs_everything() {
+        let exprs = ["evil.example/", "malware.example/drop.exe", "bad.example/"];
+        let list = blacklist_of(&exprs);
+        let dict = Dictionary::new("harvested", exprs.iter().map(|e| e.to_string()).collect());
+        let result = invert_blacklist(&list, &dict);
+        assert_eq!(result.matched_prefixes, 3);
+        assert_eq!(result.total_prefixes, 3);
+        assert!((result.match_percent() - 100.0).abs() < 1e-9);
+        // The recovered plaintexts are attached to their prefixes.
+        assert!(result.matches.iter().all(|(_, e)| e.len() == 1));
+    }
+
+    #[test]
+    fn partial_overlap_gives_partial_reconstruction() {
+        let list = blacklist_of(&["a.example/", "b.example/", "c.example/", "d.example/"]);
+        let dict = Dictionary::new(
+            "partial",
+            vec!["a.example/".to_string(), "c.example/".to_string(), "unrelated.org/".to_string()],
+        );
+        let result = invert_blacklist(&list, &dict);
+        assert_eq!(result.matched_prefixes, 2);
+        assert_eq!(result.total_prefixes, 4);
+        assert!((result.match_percent() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_dictionary_matches_nothing() {
+        let list = blacklist_of(&["a.example/"]);
+        let dict = Dictionary::new("unrelated", vec!["x.org/".to_string(), "y.org/".to_string()]);
+        let result = invert_blacklist(&list, &dict);
+        assert_eq!(result.matched_prefixes, 0);
+        assert_eq!(result.match_percent(), 0.0);
+    }
+
+    #[test]
+    fn empty_list_has_zero_percent() {
+        let list = Blacklist::new("ydx-test-shavar", ThreatCategory::Test);
+        let dict = Dictionary::new("anything", vec!["a.example/".to_string()]);
+        let result = invert_blacklist(&list, &dict);
+        assert_eq!(result.match_percent(), 0.0);
+        assert_eq!(result.total_prefixes, 0);
+    }
+
+    #[test]
+    fn invert_all_produces_the_full_grid() {
+        let lists = vec![blacklist_of(&["a.example/"]), blacklist_of(&["b.example/"])];
+        let dicts = vec![
+            Dictionary::new("d1", vec!["a.example/".to_string()]),
+            Dictionary::new("d2", vec!["b.example/".to_string()]),
+            Dictionary::new("d3", vec![]),
+        ];
+        let grid = invert_all(&lists, &dicts);
+        assert_eq!(grid.len(), 6);
+        assert_eq!(grid.iter().filter(|r| r.matched_prefixes > 0).count(), 2);
+        assert!(dicts[2].is_empty());
+        assert_eq!(dicts[0].len(), 1);
+    }
+}

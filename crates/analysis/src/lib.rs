@@ -1,0 +1,85 @@
+//! # sb-analysis
+//!
+//! The paper's primary contribution: the privacy analysis of Google and
+//! Yandex Safe Browsing.
+//!
+//! * [`balls_into_bins`] — single-prefix anonymity: Raab–Steger maximum
+//!   load, Poisson estimates and k-anonymity (Section 5, Table 5).
+//! * [`collisions`] — the Type I/II/III collision taxonomy, Type I
+//!   collision sets and leaf URLs (Section 6.1).
+//! * [`reident`] — the provider's re-identification index: from observed
+//!   prefixes back to candidate URLs and domains.
+//! * [`tracking`] — Algorithm 1 and the end-to-end tracking system
+//!   (Section 6.3).
+//! * [`temporal`] — temporal correlation of single-prefix queries.
+//! * [`inversion`] — blacklist inversion with candidate dictionaries
+//!   (Section 7.1, Tables 9–10).
+//! * [`orphans`] — orphan-prefix audit (Section 7.2, Table 11).
+//! * [`multiprefix`] — URLs matching multiple prefixes in the deployed
+//!   lists (Section 7.3, Table 12).
+//! * [`internet`] — the published Internet-scale constants behind Table 5.
+//! * [`advisor`] — the user-facing privacy advisor proposed in the paper's
+//!   conclusion: rate what a lookup would reveal before it is sent.
+//!
+//! ## Example: tracking the PETS CFP page
+//!
+//! ```
+//! use sb_analysis::tracking::{tracking_prefixes, TrackingPrecision};
+//!
+//! let host_urls = [
+//!     "petsymposium.org/",
+//!     "petsymposium.org/2016/cfp.php",
+//!     "petsymposium.org/2016/links.php",
+//! ];
+//! let set = tracking_prefixes("https://petsymposium.org/2016/cfp.php", host_urls, 4).unwrap();
+//! assert_eq!(set.precision, TrackingPrecision::ExactUrl);
+//! assert_eq!(set.prefixes.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod balls_into_bins;
+pub mod collisions;
+pub mod internet;
+pub mod inversion;
+pub mod multiprefix;
+pub mod orphans;
+pub mod reident;
+pub mod temporal;
+pub mod tracking;
+
+pub use advisor::{LeakSeverity, PrivacyAdvisor, PrivacyAssessment};
+pub use balls_into_bins::{
+    k_anonymity, max_load_poisson, max_load_raab_steger, min_load, table5_row, AnonymityCell,
+};
+pub use collisions::{
+    classify_collision, is_leaf_url, type1_collision_set, unique_decompositions, CollisionType,
+};
+pub use internet::{snapshot_for_year, InternetSnapshot, SNAPSHOTS};
+pub use inversion::{invert_all, invert_blacklist, Dictionary, InversionResult};
+pub use multiprefix::{
+    find_multi_prefix_urls, find_multi_prefix_urls_in_lists, MultiPrefixReport, MultiPrefixUrl,
+};
+pub use orphans::{audit_orphans, OrphanAuditReport};
+pub use reident::{IndexedUrl, Reidentification, ReidentificationIndex};
+pub use temporal::{PatternMatch, TemporalCorrelator, TemporalPattern};
+pub use tracking::{
+    decomposition_digests, tracking_prefixes, TrackedVisit, TrackingPrecision, TrackingSet,
+    TrackingSystem,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ReidentificationIndex>();
+        assert_send_sync::<TrackingSystem>();
+        assert_send_sync::<TemporalCorrelator>();
+        assert_send_sync::<Dictionary>();
+    }
+}

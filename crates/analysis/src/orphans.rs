@@ -1,0 +1,180 @@
+//! Orphan-prefix audit (Section 7.2, Table 11).
+//!
+//! An *orphan* prefix is an entry of the prefix list for which the provider
+//! returns no full digest at all.  Orphans cannot be explained as false
+//! positives; the paper found 159 of them in Google's lists and tens of
+//! thousands in Yandex's, and argues they are evidence that arbitrary
+//! prefixes can be (and possibly are) inserted.  The audit below reproduces
+//! Table 11: for each list, the distribution of prefixes by number of full
+//! digests, and the collisions of a reference URL corpus (Alexa in the
+//! paper) with orphan / single-parent prefixes.
+
+use std::collections::HashMap;
+
+use sb_corpus::WebCorpus;
+use sb_hash::{digest_url, Prefix};
+use sb_server::{Blacklist, PrefixDigestHistogram};
+use sb_url::{decompose, CanonicalUrl};
+
+/// The Table 11 row for one blacklist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrphanAuditReport {
+    /// List name.
+    pub list: String,
+    /// Distribution of prefixes by number of full digests (columns
+    /// 0 / 1 / 2 of Table 11).
+    pub histogram: PrefixDigestHistogram,
+    /// Number of corpus URLs whose decompositions hit an orphan prefix
+    /// (column "0" of the collision half of Table 11).
+    pub corpus_urls_matching_orphans: usize,
+    /// Number of corpus URLs whose decompositions hit a prefix with exactly
+    /// one full digest (column "1").
+    pub corpus_urls_matching_single: usize,
+    /// Number of corpus URLs whose decompositions hit a prefix with two or
+    /// more full digests (column "2").
+    pub corpus_urls_matching_multiple: usize,
+}
+
+impl OrphanAuditReport {
+    /// Fraction of the list's prefixes that are orphans.
+    pub fn orphan_fraction(&self) -> f64 {
+        if self.histogram.total() == 0 {
+            return 0.0;
+        }
+        self.histogram.orphans as f64 / self.histogram.total() as f64
+    }
+
+    /// Total number of corpus URLs colliding with the list.
+    pub fn total_corpus_collisions(&self) -> usize {
+        self.corpus_urls_matching_orphans
+            + self.corpus_urls_matching_single
+            + self.corpus_urls_matching_multiple
+    }
+}
+
+/// Audits one blacklist against a reference corpus (the paper uses the
+/// Alexa top sites): reproduces one row of Table 11.
+pub fn audit_orphans(list: &Blacklist, corpus: &WebCorpus) -> OrphanAuditReport {
+    // Pre-classify the list's prefixes by digest count.
+    let mut class: HashMap<Prefix, u8> = HashMap::new();
+    for (prefix, digests) in list.iter() {
+        let c = match digests.len() {
+            0 => 0u8,
+            1 => 1,
+            _ => 2,
+        };
+        class.insert(prefix, c);
+    }
+
+    let mut urls_orphan = 0usize;
+    let mut urls_single = 0usize;
+    let mut urls_multiple = 0usize;
+    for url in corpus.iter_urls() {
+        let Ok(canon) = CanonicalUrl::parse(url) else {
+            continue;
+        };
+        // A URL is counted once, in the "worst" class it touches (an orphan
+        // match is the anomalous case the paper highlights).
+        let mut best: Option<u8> = None;
+        for d in decompose(&canon) {
+            let prefix = digest_url(d.expression()).prefix32();
+            if let Some(&c) = class.get(&prefix) {
+                best = Some(match best {
+                    None => c,
+                    Some(b) => b.min(c),
+                });
+            }
+        }
+        match best {
+            Some(0) => urls_orphan += 1,
+            Some(1) => urls_single += 1,
+            Some(_) => urls_multiple += 1,
+            None => {}
+        }
+    }
+
+    OrphanAuditReport {
+        list: list.name().to_string(),
+        histogram: list.prefix_digest_histogram(),
+        corpus_urls_matching_orphans: urls_orphan,
+        corpus_urls_matching_single: urls_single,
+        corpus_urls_matching_multiple: urls_multiple,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_corpus::HostSite;
+    use sb_hash::prefix32;
+    use sb_protocol::ThreatCategory;
+
+    fn corpus() -> WebCorpus {
+        WebCorpus::from_sites(
+            "alexa-like",
+            vec![
+                HostSite::new(
+                    "popular.example",
+                    vec![
+                        "popular.example/".to_string(),
+                        "popular.example/news/today.html".to_string(),
+                    ],
+                ),
+                HostSite::new("other.example", vec!["other.example/".to_string()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn orphan_and_parent_matches_are_separated() {
+        let mut list = Blacklist::new("ydx-malware-shavar", ThreatCategory::Malware);
+        // A consistent entry for popular.example/ (prefix + full digest).
+        list.insert_expression("popular.example/");
+        // An orphan prefix matching other.example/.
+        list.insert_orphan_prefix(prefix32("other.example/"));
+        // An orphan prefix matching nothing in the corpus.
+        list.insert_orphan_prefix(Prefix::from_u32(0x01020304));
+
+        let report = audit_orphans(&list, &corpus());
+        assert_eq!(report.histogram.orphans, 2);
+        assert_eq!(report.histogram.single, 1);
+        assert_eq!(report.histogram.total(), 3);
+        // Both URLs on popular.example hit the single-digest prefix (the
+        // root decomposition), other.example/ hits the orphan.
+        assert_eq!(report.corpus_urls_matching_single, 2);
+        assert_eq!(report.corpus_urls_matching_orphans, 1);
+        assert_eq!(report.corpus_urls_matching_multiple, 0);
+        assert_eq!(report.total_corpus_collisions(), 3);
+        assert!((report.orphan_fraction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn url_hitting_both_classes_counts_as_orphan() {
+        let mut list = Blacklist::new("l", ThreatCategory::Malware);
+        list.insert_expression("popular.example/");
+        list.insert_orphan_prefix(prefix32("popular.example/news/today.html"));
+        let report = audit_orphans(&list, &corpus());
+        // The news URL touches both an orphan (its own prefix) and a normal
+        // entry (the domain root); it is counted in the orphan column.
+        assert_eq!(report.corpus_urls_matching_orphans, 1);
+        assert_eq!(report.corpus_urls_matching_single, 1);
+    }
+
+    #[test]
+    fn clean_list_has_no_orphans() {
+        let mut list = Blacklist::new("goog-malware-shavar", ThreatCategory::Malware);
+        list.insert_expression("unrelated-malware.example/");
+        let report = audit_orphans(&list, &corpus());
+        assert_eq!(report.histogram.orphans, 0);
+        assert_eq!(report.orphan_fraction(), 0.0);
+        assert_eq!(report.total_corpus_collisions(), 0);
+    }
+
+    #[test]
+    fn empty_list_audit() {
+        let list = Blacklist::new("ydx-test-shavar", ThreatCategory::Test);
+        let report = audit_orphans(&list, &corpus());
+        assert_eq!(report.histogram.total(), 0);
+        assert_eq!(report.orphan_fraction(), 0.0);
+    }
+}

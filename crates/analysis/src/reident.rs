@@ -1,0 +1,271 @@
+//! URL and domain re-identification from observed prefixes (Section 6.1).
+//!
+//! The threat model grants the provider web-indexing capabilities: it knows
+//! (essentially) every URL on the web.  Re-identification is then a lookup:
+//! given the prefixes received in one full-hash request, which URLs would
+//! have produced all of them?  The [`ReidentificationIndex`] pre-computes an
+//! inverted index from 32-bit prefixes to URLs over a corpus (the provider's
+//! crawl), and answers candidate queries.  The size of the candidate set is
+//! the k-anonymity actually enjoyed by the client; a single candidate means
+//! the visited URL is fully re-identified, and a single candidate *domain*
+//! reproduces the paper's observation that the SLD is almost always
+//! identified even when the exact URL is not.
+
+use std::collections::{HashMap, HashSet};
+
+use sb_corpus::WebCorpus;
+use sb_hash::{digest_url, Prefix};
+use sb_url::{decompose, CanonicalUrl};
+
+/// A URL known to the provider's index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexedUrl {
+    /// Canonical expression of the URL.
+    pub expression: String,
+    /// Registered domain hosting it.
+    pub domain: String,
+}
+
+/// Inverted index from prefixes to the URLs whose decompositions produce
+/// them — the provider's re-identification tool.
+#[derive(Debug, Clone)]
+pub struct ReidentificationIndex {
+    urls: Vec<IndexedUrl>,
+    /// prefix → indices into `urls` of URLs having this prefix among their
+    /// decompositions' prefixes.
+    by_prefix: HashMap<Prefix, Vec<u32>>,
+}
+
+impl ReidentificationIndex {
+    /// Builds the index over a corpus (one entry per crawled URL).
+    pub fn build(corpus: &WebCorpus) -> Self {
+        let mut urls = Vec::new();
+        let mut by_prefix: HashMap<Prefix, Vec<u32>> = HashMap::new();
+        for site in corpus.sites() {
+            for url in site.urls() {
+                let Ok(canon) = CanonicalUrl::parse(url) else {
+                    continue;
+                };
+                let id = urls.len() as u32;
+                urls.push(IndexedUrl {
+                    expression: canon.expression(),
+                    domain: site.domain().to_string(),
+                });
+                for d in decompose(&canon) {
+                    let prefix = digest_url(d.expression()).prefix32();
+                    by_prefix.entry(prefix).or_default().push(id);
+                }
+            }
+        }
+        for ids in by_prefix.values_mut() {
+            ids.sort_unstable();
+            ids.dedup();
+        }
+        ReidentificationIndex { urls, by_prefix }
+    }
+
+    /// Number of indexed URLs.
+    pub fn len(&self) -> usize {
+        self.urls.len()
+    }
+
+    /// True when no URL is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.urls.is_empty()
+    }
+
+    /// The URLs that would have produced *all* observed prefixes — the
+    /// candidate set for re-identification.  An empty `observed` slice
+    /// yields no candidates.
+    pub fn candidates(&self, observed: &[Prefix]) -> Vec<&IndexedUrl> {
+        let Some((first, rest)) = observed.split_first() else {
+            return Vec::new();
+        };
+        let Some(initial) = self.by_prefix.get(first) else {
+            return Vec::new();
+        };
+        let mut candidate_ids: HashSet<u32> = initial.iter().copied().collect();
+        for prefix in rest {
+            let Some(ids) = self.by_prefix.get(prefix) else {
+                return Vec::new();
+            };
+            let next: HashSet<u32> = ids.iter().copied().collect();
+            candidate_ids.retain(|id| next.contains(id));
+            if candidate_ids.is_empty() {
+                return Vec::new();
+            }
+        }
+        let mut out: Vec<&IndexedUrl> = candidate_ids
+            .into_iter()
+            .map(|id| &self.urls[id as usize])
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The candidate registered domains for the observed prefixes: even when
+    /// several URLs remain plausible, they usually share one domain, which
+    /// the provider then learns with certainty.
+    pub fn candidate_domains(&self, observed: &[Prefix]) -> Vec<String> {
+        let mut domains: Vec<String> = self
+            .candidates(observed)
+            .into_iter()
+            .map(|u| u.domain.clone())
+            .collect();
+        domains.sort();
+        domains.dedup();
+        domains
+    }
+
+    /// Convenience: the re-identification outcome for a given observation.
+    pub fn reidentify(&self, observed: &[Prefix]) -> Reidentification {
+        let candidates = self.candidates(observed);
+        let domains = {
+            let mut d: Vec<String> = candidates.iter().map(|u| u.domain.clone()).collect();
+            d.sort();
+            d.dedup();
+            d
+        };
+        Reidentification {
+            candidate_count: candidates.len(),
+            unique_url: if candidates.len() == 1 {
+                Some(candidates[0].expression.clone())
+            } else {
+                None
+            },
+            unique_domain: if domains.len() == 1 {
+                Some(domains[0].clone())
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// Outcome of a re-identification attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reidentification {
+    /// Number of candidate URLs compatible with the observation (the
+    /// effective k-anonymity; 0 means the observation matches nothing the
+    /// provider has crawled).
+    pub candidate_count: usize,
+    /// The re-identified URL, when the candidate set is a singleton.
+    pub unique_url: Option<String>,
+    /// The re-identified registered domain, when all candidates agree.
+    pub unique_domain: Option<String>,
+}
+
+impl Reidentification {
+    /// True when the exact URL was recovered.
+    pub fn url_reidentified(&self) -> bool {
+        self.unique_url.is_some()
+    }
+
+    /// True when at least the domain was recovered.
+    pub fn domain_reidentified(&self) -> bool {
+        self.unique_domain.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_corpus::HostSite;
+    use sb_hash::prefix32;
+
+    fn pets_corpus() -> WebCorpus {
+        WebCorpus::from_sites(
+            "pets",
+            vec![
+                HostSite::new(
+                    "petsymposium.org",
+                    vec![
+                        "petsymposium.org/".to_string(),
+                        "petsymposium.org/2016/cfp.php".to_string(),
+                        "petsymposium.org/2016/links.php".to_string(),
+                        "petsymposium.org/2016/faqs.php".to_string(),
+                        "petsymposium.org/2016/submission/".to_string(),
+                    ],
+                ),
+                HostSite::new(
+                    "othersite.example",
+                    vec![
+                        "othersite.example/".to_string(),
+                        "othersite.example/blog/post1.html".to_string(),
+                    ],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn two_prefixes_reidentify_a_leaf_url() {
+        let index = ReidentificationIndex::build(&pets_corpus());
+        // The CFP page is a leaf: its own prefix plus the domain prefix
+        // identify it uniquely (Section 6.1 / 6.3).
+        let observed = vec![
+            prefix32("petsymposium.org/2016/cfp.php"),
+            prefix32("petsymposium.org/"),
+        ];
+        let result = index.reidentify(&observed);
+        assert_eq!(result.candidate_count, 1);
+        assert_eq!(
+            result.unique_url.as_deref(),
+            Some("petsymposium.org/2016/cfp.php")
+        );
+        assert!(result.url_reidentified());
+    }
+
+    #[test]
+    fn non_leaf_prefix_pair_is_ambiguous_but_domain_is_known() {
+        let index = ReidentificationIndex::build(&pets_corpus());
+        // The directory page 2016/ is part of every 2016 URL's
+        // decompositions, so (2016/, domain) leaves several candidates —
+        // but they all live on petsymposium.org.
+        let observed = vec![prefix32("petsymposium.org/2016/"), prefix32("petsymposium.org/")];
+        let result = index.reidentify(&observed);
+        assert!(result.candidate_count > 1, "{result:?}");
+        assert!(result.unique_url.is_none());
+        assert_eq!(result.unique_domain.as_deref(), Some("petsymposium.org"));
+    }
+
+    #[test]
+    fn single_domain_prefix_is_ambiguous_across_the_domain() {
+        let index = ReidentificationIndex::build(&pets_corpus());
+        let observed = vec![prefix32("petsymposium.org/")];
+        let candidates = index.candidates(&observed);
+        // Every URL on the domain decomposes to the domain root.
+        assert_eq!(candidates.len(), 5);
+        assert_eq!(index.candidate_domains(&observed), vec!["petsymposium.org"]);
+    }
+
+    #[test]
+    fn unknown_prefix_matches_nothing() {
+        let index = ReidentificationIndex::build(&pets_corpus());
+        let result = index.reidentify(&[prefix32("unknown.example/never-crawled")]);
+        assert_eq!(result.candidate_count, 0);
+        assert!(!result.url_reidentified());
+        assert!(!result.domain_reidentified());
+    }
+
+    #[test]
+    fn empty_observation_has_no_candidates() {
+        let index = ReidentificationIndex::build(&pets_corpus());
+        assert!(index.candidates(&[]).is_empty());
+    }
+
+    #[test]
+    fn prefixes_from_different_domains_conflict() {
+        let index = ReidentificationIndex::build(&pets_corpus());
+        let observed = vec![prefix32("petsymposium.org/"), prefix32("othersite.example/")];
+        assert!(index.candidates(&observed).is_empty());
+    }
+
+    #[test]
+    fn index_size_matches_corpus() {
+        let corpus = pets_corpus();
+        let index = ReidentificationIndex::build(&corpus);
+        assert_eq!(index.len(), corpus.total_urls());
+        assert!(!index.is_empty());
+    }
+}

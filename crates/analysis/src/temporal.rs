@@ -1,0 +1,205 @@
+//! Temporal correlation of queries (end of Section 6.3).
+//!
+//! Instead of relying on a single multi-prefix request, the provider can
+//! correlate *successive* single-prefix requests of the same client (linked
+//! by the Safe Browsing cookie): a user who queries the prefix of the PETS
+//! CFP page and, shortly after, the prefix of the submission page is very
+//! likely planning to submit a paper.
+
+use sb_hash::Prefix;
+use sb_protocol::ClientCookie;
+use sb_server::QueryLog;
+
+/// A behavioural pattern: a set of prefixes that, when queried by the same
+/// client within a time window, reveals an intent or trait.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemporalPattern {
+    /// Human-readable label ("planning to submit to PETS", ...).
+    pub label: String,
+    /// The prefixes that must all be observed.
+    pub prefixes: Vec<Prefix>,
+    /// Maximum spread (in logical time units) between the first and last
+    /// matching query.
+    pub window: u64,
+}
+
+/// A client whose queries matched a pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternMatch {
+    /// The matched pattern's label.
+    pub label: String,
+    /// The client.
+    pub cookie: ClientCookie,
+    /// Logical time of the first query of the matching window.
+    pub first_timestamp: u64,
+    /// Logical time of the last query of the matching window.
+    pub last_timestamp: u64,
+}
+
+/// Correlates a provider query log against a set of temporal patterns.
+#[derive(Debug, Clone, Default)]
+pub struct TemporalCorrelator {
+    patterns: Vec<TemporalPattern>,
+}
+
+impl TemporalCorrelator {
+    /// Creates a correlator with no patterns.
+    pub fn new() -> Self {
+        TemporalCorrelator::default()
+    }
+
+    /// Registers a pattern.
+    pub fn add_pattern(&mut self, pattern: TemporalPattern) {
+        self.patterns.push(pattern);
+    }
+
+    /// The registered patterns.
+    pub fn patterns(&self) -> &[TemporalPattern] {
+        &self.patterns
+    }
+
+    /// Scans the log and reports every (pattern, client) pair for which all
+    /// of the pattern's prefixes were queried by that client within the
+    /// pattern's window.
+    pub fn matches(&self, log: &QueryLog) -> Vec<PatternMatch> {
+        let mut out = Vec::new();
+        for cookie in log.cookies() {
+            let requests = log.requests_for(cookie);
+            for pattern in &self.patterns {
+                // Earliest time each pattern prefix was seen for this client.
+                let mut seen: Vec<Option<u64>> = vec![None; pattern.prefixes.len()];
+                for req in &requests {
+                    for (i, p) in pattern.prefixes.iter().enumerate() {
+                        if req.prefixes.contains(p) {
+                            let t = seen[i].get_or_insert(req.timestamp);
+                            *t = (*t).min(req.timestamp);
+                        }
+                    }
+                }
+                if seen.iter().all(Option::is_some) {
+                    let times: Vec<u64> = seen.into_iter().map(Option::unwrap).collect();
+                    let first = *times.iter().min().expect("non-empty");
+                    let last = *times.iter().max().expect("non-empty");
+                    if last - first <= pattern.window {
+                        out.push(PatternMatch {
+                            label: pattern.label.clone(),
+                            cookie,
+                            first_timestamp: first,
+                            last_timestamp: last,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_hash::prefix32;
+    use sb_server::LoggedRequest;
+
+    fn request(t: u64, cookie: u64, exprs: &[&str]) -> LoggedRequest {
+        LoggedRequest {
+            timestamp: t,
+            cookie: Some(ClientCookie::new(cookie)),
+            prefixes: exprs.iter().map(|e| prefix32(e)).collect(),
+        }
+    }
+
+    fn pets_pattern(window: u64) -> TemporalPattern {
+        TemporalPattern {
+            label: "PETS author".to_string(),
+            prefixes: vec![
+                prefix32("petsymposium.org/2016/cfp.php"),
+                prefix32("petsymposium.org/2016/submission/"),
+            ],
+            window,
+        }
+    }
+
+    #[test]
+    fn correlated_queries_within_window_match() {
+        let mut log = QueryLog::new();
+        log.record(request(10, 1, &["petsymposium.org/2016/cfp.php"]));
+        log.record(request(12, 1, &["petsymposium.org/2016/submission/"]));
+        // Another client only reads the CFP.
+        log.record(request(11, 2, &["petsymposium.org/2016/cfp.php"]));
+
+        let mut correlator = TemporalCorrelator::new();
+        correlator.add_pattern(pets_pattern(5));
+        let matches = correlator.matches(&log);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].cookie, ClientCookie::new(1));
+        assert_eq!(matches[0].label, "PETS author");
+        assert_eq!(matches[0].first_timestamp, 10);
+        assert_eq!(matches[0].last_timestamp, 12);
+    }
+
+    #[test]
+    fn queries_outside_window_do_not_match() {
+        let mut log = QueryLog::new();
+        log.record(request(10, 1, &["petsymposium.org/2016/cfp.php"]));
+        log.record(request(100, 1, &["petsymposium.org/2016/submission/"]));
+        let mut correlator = TemporalCorrelator::new();
+        correlator.add_pattern(pets_pattern(5));
+        assert!(correlator.matches(&log).is_empty());
+    }
+
+    #[test]
+    fn single_request_with_both_prefixes_matches() {
+        let mut log = QueryLog::new();
+        log.record(request(
+            42,
+            9,
+            &[
+                "petsymposium.org/2016/cfp.php",
+                "petsymposium.org/2016/submission/",
+            ],
+        ));
+        let mut correlator = TemporalCorrelator::new();
+        correlator.add_pattern(pets_pattern(0));
+        let matches = correlator.matches(&log);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].first_timestamp, 42);
+    }
+
+    #[test]
+    fn requests_without_cookie_cannot_be_correlated() {
+        let mut log = QueryLog::new();
+        log.record(LoggedRequest {
+            timestamp: 1,
+            cookie: None,
+            prefixes: vec![prefix32("petsymposium.org/2016/cfp.php")],
+        });
+        log.record(LoggedRequest {
+            timestamp: 2,
+            cookie: None,
+            prefixes: vec![prefix32("petsymposium.org/2016/submission/")],
+        });
+        let mut correlator = TemporalCorrelator::new();
+        correlator.add_pattern(pets_pattern(10));
+        assert!(correlator.matches(&log).is_empty());
+    }
+
+    #[test]
+    fn multiple_patterns_are_reported_independently() {
+        let mut correlator = TemporalCorrelator::new();
+        correlator.add_pattern(pets_pattern(10));
+        correlator.add_pattern(TemporalPattern {
+            label: "adult site visitor".to_string(),
+            prefixes: vec![prefix32("m.wickedpictures.com/"), prefix32("wickedpictures.com/")],
+            window: 0,
+        });
+        assert_eq!(correlator.patterns().len(), 2);
+
+        let mut log = QueryLog::new();
+        log.record(request(1, 3, &["m.wickedpictures.com/", "wickedpictures.com/"]));
+        log.record(request(2, 3, &["petsymposium.org/2016/cfp.php"]));
+        log.record(request(3, 3, &["petsymposium.org/2016/submission/"]));
+        let matches = correlator.matches(&log);
+        assert_eq!(matches.len(), 2);
+    }
+}

@@ -1,0 +1,419 @@
+//! The tracking system of Section 6.3 (Algorithm 1).
+//!
+//! A malicious or coerced Safe Browsing provider can abuse the prefix
+//! database to track visits to chosen URLs: it selects a small set of
+//! prefixes per target (Algorithm 1), pushes them to every client, and then
+//! watches its full-hash query log for requests containing at least two
+//! prefixes of the shadow database.  Because the Safe Browsing cookie
+//! accompanies every request, hits are attributable to individual users.
+
+use std::collections::{HashMap, HashSet};
+
+use sb_hash::{digest_url, prefix32, Prefix};
+use sb_protocol::{ClientCookie, ListName};
+use sb_server::{QueryLog, SafeBrowsingServer};
+use sb_url::{decompose, CanonicalUrl, ParseUrlError};
+
+use crate::collisions::{is_leaf_url, type1_collision_set, unique_decompositions};
+
+/// How precisely a target can be tracked with the selected prefixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackingPrecision {
+    /// The exact URL is re-identified whenever the prefixes are queried.
+    ExactUrl,
+    /// The URL and its (few) Type I colliding URLs are all covered: a hit
+    /// identifies the target up to that small set.
+    UrlWithinTypeICollisions,
+    /// Only the second-level domain can be tracked (too many Type I
+    /// collisions to disambiguate within the prefix budget δ).
+    DomainOnly,
+}
+
+impl std::fmt::Display for TrackingPrecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrackingPrecision::ExactUrl => f.write_str("exact URL"),
+            TrackingPrecision::UrlWithinTypeICollisions => f.write_str("URL within Type I set"),
+            TrackingPrecision::DomainOnly => f.write_str("domain only"),
+        }
+    }
+}
+
+/// The prefixes Algorithm 1 selects for one target URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackingSet {
+    /// The target URL (canonical expression).
+    pub target: String,
+    /// The decomposition expressions whose prefixes are included.
+    pub expressions: Vec<String>,
+    /// The corresponding 32-bit prefixes, in the same order.
+    pub prefixes: Vec<Prefix>,
+    /// The precision achieved with this set.
+    pub precision: TrackingPrecision,
+}
+
+impl TrackingSet {
+    /// Probability that re-identification fails, i.e. that an unrelated URL
+    /// matches all the selected prefixes by truncation collisions:
+    /// `(1/2^32)^δ` with δ the number of selected prefixes (Section 6.3).
+    pub fn failure_probability(&self) -> f64 {
+        (1.0 / 2f64.powi(32)).powi(self.prefixes.len() as i32)
+    }
+}
+
+/// Algorithm 1: selects the prefixes to insert in the clients' database to
+/// track `target_url`, given the full list of URLs hosted on the target's
+/// domain (`host_urls`, obtained through the provider's indexing
+/// capabilities) and the prefix budget `delta` (δ ≥ 2).
+///
+/// # Errors
+///
+/// Returns a [`ParseUrlError`] when the target URL cannot be canonicalized.
+///
+/// # Panics
+///
+/// Panics if `delta < 2` (the tracking system needs at least two prefixes).
+pub fn tracking_prefixes<'a>(
+    target_url: &str,
+    host_urls: impl IntoIterator<Item = &'a str>,
+    delta: usize,
+) -> Result<TrackingSet, ParseUrlError> {
+    assert!(delta >= 2, "the tracking system requires delta >= 2");
+    let target = CanonicalUrl::parse(target_url)?;
+    let link = target.expression();
+    let host_urls: Vec<&str> = host_urls.into_iter().collect();
+
+    // Line 1-2: the domain hosting the URL (its SLD root decomposition).
+    let domain_root = decompose(&target)
+        .into_iter()
+        .rev()
+        .find(|d| d.is_domain_root())
+        .map(|d| d.expression().to_string())
+        .unwrap_or_else(|| link.clone());
+
+    // Line 3, 6-7: all unique decompositions of the URLs hosted on the
+    // domain.
+    let decomps = unique_decompositions(host_urls.iter().copied());
+
+    // Line 8-10: tiny domains — include everything.
+    if decomps.len() <= 2 {
+        let expressions: Vec<String> = decomps
+            .iter()
+            .map(|d| d.expression().to_string())
+            .collect();
+        let prefixes = expressions.iter().map(|e| prefix32(e)).collect();
+        return Ok(TrackingSet {
+            target: link,
+            expressions,
+            prefixes,
+            precision: TrackingPrecision::ExactUrl,
+        });
+    }
+
+    // Line 12: Type I collisions of the target among the host's URLs.
+    let type1 = type1_collision_set(&link, host_urls.iter().copied());
+    // Line 13: prefixes of the domain and of the target itself.
+    let mut expressions = vec![domain_root.clone(), link.clone()];
+
+    let precision = if is_leaf_url(&link, host_urls.iter().copied()) || type1.is_empty() {
+        // Line 14-15: a leaf (or collision-free) URL needs only 2 prefixes.
+        TrackingPrecision::ExactUrl
+    } else if type1.len() <= delta {
+        // Line 17-20: include the Type I URLs' prefixes as well.
+        for t in &type1 {
+            if !expressions.contains(t) {
+                expressions.push(t.clone());
+            }
+        }
+        TrackingPrecision::UrlWithinTypeICollisions
+    } else {
+        // Line 21-22: too many collisions — only the SLD is trackable.
+        TrackingPrecision::DomainOnly
+    };
+
+    expressions.dedup();
+    let prefixes = expressions.iter().map(|e| prefix32(e)).collect();
+    Ok(TrackingSet {
+        target: link,
+        expressions,
+        prefixes,
+        precision,
+    })
+}
+
+/// A provider-side tracking campaign: the shadow database of tracking sets
+/// pushed to the clients, plus the logic matching the query log against it.
+#[derive(Debug, Clone, Default)]
+pub struct TrackingSystem {
+    targets: Vec<TrackingSet>,
+}
+
+/// One detected visit: a client (cookie) whose request matched a target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackedVisit {
+    /// The client that was identified (requests without a cookie cannot be
+    /// attributed and are reported with `None`).
+    pub cookie: Option<ClientCookie>,
+    /// Logical time of the request.
+    pub timestamp: u64,
+    /// The target URL whose tracking set was matched.
+    pub target: String,
+    /// Number of tracking prefixes of that target present in the request.
+    pub matched_prefixes: usize,
+    /// The tracking precision configured for this target.
+    pub precision: TrackingPrecision,
+}
+
+impl TrackingSystem {
+    /// Creates an empty tracking campaign.
+    pub fn new() -> Self {
+        TrackingSystem::default()
+    }
+
+    /// Adds a target's tracking set.
+    pub fn add_target(&mut self, set: TrackingSet) {
+        self.targets.push(set);
+    }
+
+    /// The configured targets.
+    pub fn targets(&self) -> &[TrackingSet] {
+        &self.targets
+    }
+
+    /// Pushes every tracking prefix into the given provider list, making the
+    /// campaign live (clients will pick the prefixes up at their next
+    /// update).  Full digests are injected too, so the entries do not show
+    /// up as orphans in an audit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server error if the list does not exist.
+    pub fn deploy(
+        &self,
+        server: &SafeBrowsingServer,
+        list: impl Into<ListName>,
+    ) -> Result<usize, sb_server::ServerError> {
+        let list = list.into();
+        let mut injected = 0;
+        for target in &self.targets {
+            let exprs: Vec<&str> = target.expressions.iter().map(String::as_str).collect();
+            injected += server.inject_tracking_expressions(list.clone(), exprs)?;
+        }
+        Ok(injected)
+    }
+
+    /// Scans a provider query log and reports every request matching at
+    /// least `min_prefixes` (normally 2) prefixes of one target's tracking
+    /// set.
+    pub fn detect_visits(&self, log: &QueryLog, min_prefixes: usize) -> Vec<TrackedVisit> {
+        let mut visits = Vec::new();
+        for request in log.requests() {
+            let request_prefixes: HashSet<Prefix> = request.prefixes.iter().copied().collect();
+            for target in &self.targets {
+                let matched = target
+                    .prefixes
+                    .iter()
+                    .filter(|p| request_prefixes.contains(p))
+                    .count();
+                if matched >= min_prefixes {
+                    visits.push(TrackedVisit {
+                        cookie: request.cookie,
+                        timestamp: request.timestamp,
+                        target: target.target.clone(),
+                        matched_prefixes: matched,
+                        precision: target.precision,
+                    });
+                }
+            }
+        }
+        visits
+    }
+
+    /// Aggregates detected visits per client cookie — the provider's view of
+    /// "which users visited which tracked pages".
+    pub fn visits_per_client(
+        &self,
+        log: &QueryLog,
+        min_prefixes: usize,
+    ) -> HashMap<ClientCookie, Vec<TrackedVisit>> {
+        let mut per_client: HashMap<ClientCookie, Vec<TrackedVisit>> = HashMap::new();
+        for visit in self.detect_visits(log, min_prefixes) {
+            if let Some(cookie) = visit.cookie {
+                per_client.entry(cookie).or_default().push(visit);
+            }
+        }
+        per_client
+    }
+}
+
+/// Convenience: the decomposition digests of a URL (used by experiments to
+/// check which decompositions a tracking set covers).
+pub fn decomposition_digests(url: &str) -> Result<Vec<(String, Prefix)>, ParseUrlError> {
+    let canon = CanonicalUrl::parse(url)?;
+    Ok(decompose(&canon)
+        .into_iter()
+        .map(|d| {
+            let p = digest_url(d.expression()).prefix32();
+            (d.expression().to_string(), p)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_client::{ClientConfig, SafeBrowsingClient};
+    use sb_protocol::{Provider, ThreatCategory};
+
+    const PETS_HOST_URLS: &[&str] = &[
+        "petsymposium.org/",
+        "petsymposium.org/2016/cfp.php",
+        "petsymposium.org/2016/links.php",
+        "petsymposium.org/2016/faqs.php",
+        "petsymposium.org/2016/submission/",
+    ];
+
+    #[test]
+    fn leaf_target_needs_only_two_prefixes() {
+        let set = tracking_prefixes(
+            "https://petsymposium.org/2016/cfp.php",
+            PETS_HOST_URLS.iter().copied(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(set.precision, TrackingPrecision::ExactUrl);
+        assert_eq!(set.prefixes.len(), 2);
+        assert!(set.expressions.contains(&"petsymposium.org/".to_string()));
+        assert!(set
+            .expressions
+            .contains(&"petsymposium.org/2016/cfp.php".to_string()));
+        assert!(set.failure_probability() < 1e-18);
+    }
+
+    #[test]
+    fn non_leaf_target_includes_type1_urls() {
+        // Tracking the 2016/ directory page requires covering the pages
+        // whose decompositions contain it (the paper's example needs 4
+        // prefixes in total — here the submission page adds one more URL).
+        let set = tracking_prefixes(
+            "https://petsymposium.org/2016/",
+            PETS_HOST_URLS.iter().copied(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(set.precision, TrackingPrecision::UrlWithinTypeICollisions);
+        assert!(set.prefixes.len() >= 4, "{:?}", set.expressions);
+        assert!(set.expressions.contains(&"petsymposium.org/2016/".to_string()));
+        assert!(set
+            .expressions
+            .contains(&"petsymposium.org/2016/links.php".to_string()));
+    }
+
+    #[test]
+    fn too_many_collisions_degrade_to_domain_tracking() {
+        let set = tracking_prefixes(
+            "https://petsymposium.org/2016/",
+            PETS_HOST_URLS.iter().copied(),
+            2,
+        )
+        .unwrap();
+        assert_eq!(set.precision, TrackingPrecision::DomainOnly);
+        assert_eq!(set.prefixes.len(), 2);
+    }
+
+    #[test]
+    fn tiny_domain_includes_every_decomposition() {
+        let set = tracking_prefixes("http://tiny.example/", ["tiny.example/"], 2).unwrap();
+        assert_eq!(set.precision, TrackingPrecision::ExactUrl);
+        assert_eq!(set.expressions, vec!["tiny.example/".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta >= 2")]
+    fn delta_below_two_panics() {
+        let _ = tracking_prefixes("http://a.example/", ["a.example/"], 1);
+    }
+
+    #[test]
+    fn end_to_end_tracking_campaign_identifies_the_visitor() {
+        // Provider-side: build and deploy the campaign.
+        let server = SafeBrowsingServer::new(Provider::Yandex);
+        server.create_list("ydx-malware-shavar", ThreatCategory::Malware);
+        let mut system = TrackingSystem::new();
+        system.add_target(
+            tracking_prefixes(
+                "https://petsymposium.org/2016/cfp.php",
+                PETS_HOST_URLS.iter().copied(),
+                4,
+            )
+            .unwrap(),
+        );
+        system.deploy(&server, "ydx-malware-shavar").unwrap();
+
+        // Client-side: two users, one visits the tracked page.
+        let mut victim = SafeBrowsingClient::new(
+            ClientConfig::subscribed_to(["ydx-malware-shavar"])
+                .with_cookie(ClientCookie::new(1)),
+        );
+        let mut bystander = SafeBrowsingClient::new(
+            ClientConfig::subscribed_to(["ydx-malware-shavar"])
+                .with_cookie(ClientCookie::new(2)),
+        );
+        victim.update(&server);
+        bystander.update(&server);
+
+        victim
+            .check_url("https://petsymposium.org/2016/cfp.php", &server)
+            .unwrap();
+        bystander
+            .check_url("https://unrelated.example/page.html", &server)
+            .unwrap();
+
+        // Provider-side: scan the log.
+        let visits = system.detect_visits(&server.query_log(), 2);
+        assert_eq!(visits.len(), 1);
+        assert_eq!(visits[0].cookie, Some(ClientCookie::new(1)));
+        assert_eq!(visits[0].target, "petsymposium.org/2016/cfp.php");
+        assert_eq!(visits[0].precision, TrackingPrecision::ExactUrl);
+
+        let per_client = system.visits_per_client(&server.query_log(), 2);
+        assert!(per_client.contains_key(&ClientCookie::new(1)));
+        assert!(!per_client.contains_key(&ClientCookie::new(2)));
+    }
+
+    #[test]
+    fn visiting_an_untracked_page_on_the_domain_is_not_misattributed() {
+        let server = SafeBrowsingServer::new(Provider::Google);
+        server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+        let mut system = TrackingSystem::new();
+        system.add_target(
+            tracking_prefixes(
+                "https://petsymposium.org/2016/cfp.php",
+                PETS_HOST_URLS.iter().copied(),
+                4,
+            )
+            .unwrap(),
+        );
+        system.deploy(&server, "goog-malware-shavar").unwrap();
+
+        let mut user = SafeBrowsingClient::new(
+            ClientConfig::subscribed_to(["goog-malware-shavar"]).with_cookie(ClientCookie::new(7)),
+        );
+        user.update(&server);
+        // The FAQ page shares the domain-root prefix but not the CFP prefix,
+        // so only one tracking prefix appears in the request.
+        user.check_url("https://petsymposium.org/2016/faqs.php", &server)
+            .unwrap();
+
+        let visits = system.detect_visits(&server.query_log(), 2);
+        assert!(visits.is_empty());
+    }
+
+    #[test]
+    fn decomposition_digests_helper() {
+        let digests = decomposition_digests("https://petsymposium.org/2016/cfp.php").unwrap();
+        assert_eq!(digests.len(), 3);
+        assert_eq!(digests[0].0, "petsymposium.org/2016/cfp.php");
+        assert_eq!(digests[0].1, prefix32("petsymposium.org/2016/cfp.php"));
+    }
+}

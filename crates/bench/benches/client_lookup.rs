@@ -1,0 +1,69 @@
+//! Benchmarks of the full client lookup flow (Figure 3) against an
+//! in-process provider: local miss (the common case, no network), local hit
+//! with a full-hash round trip, and the database update path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_client::{ClientConfig, SafeBrowsingClient};
+use sb_protocol::{Provider, ThreatCategory};
+use sb_server::SafeBrowsingServer;
+
+fn provider_with(n: usize) -> SafeBrowsingServer {
+    let server = SafeBrowsingServer::new(Provider::Google);
+    server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+    let expressions: Vec<String> = (0..n).map(|i| format!("malware-host{i}.example/")).collect();
+    server
+        .blacklist_expressions("goog-malware-shavar", expressions.iter().map(String::as_str))
+        .unwrap();
+    server
+}
+
+fn bench_lookup_miss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("client_lookup_miss");
+    for db_size in [1_000usize, 50_000] {
+        let server = provider_with(db_size);
+        let mut client =
+            SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
+        client.update(&server);
+        group.bench_with_input(BenchmarkId::from_parameter(db_size), &db_size, |b, _| {
+            b.iter(|| {
+                client
+                    .check_url("http://totally-benign.example/some/page.html", &server)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup_hit(c: &mut Criterion) {
+    let server = provider_with(10_000);
+    let mut client = SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
+    client.update(&server);
+    c.bench_function("client_lookup_hit_with_full_hash", |b| {
+        b.iter(|| {
+            client
+                .check_url("http://malware-host42.example/landing.html", &server)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("client_update");
+    group.sample_size(20);
+    for db_size in [10_000usize, 100_000] {
+        let server = provider_with(db_size);
+        group.bench_with_input(BenchmarkId::from_parameter(db_size), &db_size, |b, _| {
+            b.iter(|| {
+                let mut client = SafeBrowsingClient::new(ClientConfig::subscribed_to([
+                    "goog-malware-shavar",
+                ]));
+                client.update(&server)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup_miss, bench_lookup_hit, bench_update);
+criterion_main!(benches);

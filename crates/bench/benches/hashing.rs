@@ -1,0 +1,34 @@
+//! Micro-benchmarks of the hash-and-truncate pipeline: SHA-256 of URL
+//! expressions of various lengths and prefix extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_hash::{PrefixLen, Sha256};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for (label, expr) in [
+        ("domain_root", "petsymposium.org/".to_string()),
+        ("typical_url", "petsymposium.org/2016/cfp.php?session=1".to_string()),
+        ("long_url", format!("example.com/{}", "segment/".repeat(30))),
+        ("one_kib", "x".repeat(1024)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &expr, |b, expr| {
+            b.iter(|| Sha256::digest(std::hint::black_box(expr.as_bytes())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_prefix_extraction(c: &mut Criterion) {
+    let digest = Sha256::digest(b"petsymposium.org/2016/cfp.php");
+    c.bench_function("prefix_extraction_all_lengths", |b| {
+        b.iter(|| {
+            for len in PrefixLen::ALL {
+                std::hint::black_box(digest.prefix(len));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_prefix_extraction);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benchmarks of the client-side prefix stores (Table 2 companion): build
+//! time and lookup latency of the raw table, the delta-coded table and the
+//! Bloom filter at the deployed database size (~630 k prefixes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sb_hash::{Prefix, PrefixLen};
+use sb_store::{build_store, PrefixStore, StoreBackend};
+
+const DB_SIZE: usize = 630_428;
+
+fn random_prefixes(n: usize) -> Vec<Prefix> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..n).map(|_| Prefix::from_u32(rng.gen())).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let prefixes = random_prefixes(DB_SIZE);
+    let mut group = c.benchmark_group("store_build_630k");
+    group.sample_size(10);
+    for backend in [StoreBackend::Raw, StoreBackend::DeltaCoded, StoreBackend::Bloom] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(backend),
+            &backend,
+            |b, &backend| {
+                b.iter(|| build_store(backend, PrefixLen::L32, prefixes.iter().copied()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let prefixes = random_prefixes(DB_SIZE);
+    let probes = random_prefixes(1_000);
+    let mut group = c.benchmark_group("store_lookup_630k");
+    for backend in [StoreBackend::Raw, StoreBackend::DeltaCoded, StoreBackend::Bloom] {
+        let store = build_store(backend, PrefixLen::L32, prefixes.iter().copied());
+        group.bench_with_input(BenchmarkId::from_parameter(backend), &store, |b, store| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                std::hint::black_box(store.contains(&probes[i]))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_lookup);
+criterion_main!(benches);

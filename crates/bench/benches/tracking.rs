@@ -1,0 +1,73 @@
+//! Benchmarks of the provider-side attack machinery: Algorithm 1 prefix
+//! selection, re-identification index construction and candidate queries,
+//! and query-log scanning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sb_analysis::tracking::{tracking_prefixes, TrackingSystem};
+use sb_analysis::ReidentificationIndex;
+use sb_corpus::{CorpusConfig, WebCorpus};
+use sb_hash::prefix32;
+use sb_protocol::ClientCookie;
+use sb_server::{LoggedRequest, QueryLog};
+
+fn small_corpus() -> WebCorpus {
+    WebCorpus::generate(&CorpusConfig::random_like(300, 9).with_page_cap(200))
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let site = corpus
+        .sites()
+        .iter()
+        .max_by_key(|s| s.url_count())
+        .expect("non-empty corpus");
+    let urls: Vec<&str> = site.urls().iter().map(String::as_str).collect();
+    let target = urls[urls.len() / 2];
+    c.bench_function("algorithm1_tracking_prefixes", |b| {
+        b.iter(|| tracking_prefixes(std::hint::black_box(target), urls.iter().copied(), 8).unwrap())
+    });
+}
+
+fn bench_reidentification(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let mut group = c.benchmark_group("reidentification");
+    group.sample_size(20);
+    group.bench_function("build_index", |b| {
+        b.iter(|| ReidentificationIndex::build(std::hint::black_box(&corpus)))
+    });
+    let index = ReidentificationIndex::build(&corpus);
+    let site = &corpus.sites()[0];
+    let url = &site.urls()[0];
+    let observed = [prefix32(url), prefix32(&format!("{}/", site.domain()))];
+    group.bench_function("candidate_query", |b| {
+        b.iter(|| index.reidentify(std::hint::black_box(&observed)))
+    });
+    group.finish();
+}
+
+fn bench_log_scanning(c: &mut Criterion) {
+    // A campaign with 50 targets scanning a log of 10 000 requests.
+    let corpus = small_corpus();
+    let mut system = TrackingSystem::new();
+    for site in corpus.sites().iter().filter(|s| s.url_count() >= 2).take(50) {
+        let urls: Vec<&str> = site.urls().iter().map(String::as_str).collect();
+        system.add_target(tracking_prefixes(urls[0], urls.iter().copied(), 8).unwrap());
+    }
+    let mut log = QueryLog::new();
+    for i in 0..10_000u64 {
+        log.record(LoggedRequest {
+            timestamp: i,
+            cookie: Some(ClientCookie::new(i % 500)),
+            prefixes: vec![prefix32(&format!("host{i}.example/"))],
+        });
+    }
+    let mut group = c.benchmark_group("query_log_scan");
+    group.sample_size(20);
+    group.bench_function("detect_visits_10k_requests_50_targets", |b| {
+        b.iter(|| system.detect_visits(std::hint::black_box(&log), 2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm1, bench_reidentification, bench_log_scanning);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Figure 5 (a–f) — distribution of URLs and decompositions over hosts for
+//! the Alexa-like and random datasets: URLs per host, cumulative URL
+//! fraction, unique decompositions per host, and the mean / min / max number
+//! of decompositions per URL.
+//!
+//! The series are printed at logarithmically spaced host ranks so the
+//! numbers can be plotted directly against the paper's log-log figures.
+//!
+//! Run: `cargo run -p sb-bench --release --bin fig05_distributions`
+
+use sb_bench::{alexa_corpus, random_corpus, render_table};
+use sb_corpus::CorpusStats;
+
+/// Logarithmically spaced ranks (1, 2, 5, 10, 20, ...) up to `n`.
+fn log_ranks(n: usize) -> Vec<usize> {
+    let mut ranks = Vec::new();
+    let mut base = 1usize;
+    while base <= n {
+        for mult in [1, 2, 5] {
+            let r = base * mult;
+            if r <= n {
+                ranks.push(r);
+            }
+        }
+        base *= 10;
+    }
+    if ranks.last() != Some(&n) && n > 0 {
+        ranks.push(n);
+    }
+    ranks
+}
+
+fn main() {
+    let alexa = CorpusStats::analyze(&alexa_corpus());
+    let random = CorpusStats::analyze(&random_corpus());
+
+    // (a) + (b): URLs per host and cumulative URL fraction.
+    println!("Figure 5 (a, b): URLs per host (rank-ordered) and cumulative URL fraction\n");
+    let alexa_cum = alexa.cumulative_url_fraction();
+    let random_cum = random.cumulative_url_fraction();
+    let rows: Vec<Vec<String>> = log_ranks(alexa.num_hosts.min(random.num_hosts))
+        .into_iter()
+        .map(|rank| {
+            vec![
+                rank.to_string(),
+                alexa.hosts[rank - 1].url_count.to_string(),
+                random.hosts[rank - 1].url_count.to_string(),
+                format!("{:.3}", alexa_cum[rank - 1]),
+                format!("{:.3}", random_cum[rank - 1]),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["host rank", "URLs (alexa)", "URLs (random)", "cum. frac (alexa)", "cum. frac (random)"],
+            &rows
+        )
+    );
+
+    // (c): unique decompositions per host.
+    println!("Figure 5 (c): unique decompositions per host (rank-ordered by URL count)\n");
+    let rows: Vec<Vec<String>> = log_ranks(alexa.num_hosts.min(random.num_hosts))
+        .into_iter()
+        .map(|rank| {
+            vec![
+                rank.to_string(),
+                alexa.hosts[rank - 1].unique_decompositions.to_string(),
+                random.hosts[rank - 1].unique_decompositions.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["host rank", "decomps (alexa)", "decomps (random)"], &rows)
+    );
+
+    // (d, e, f): mean / min / max decompositions per URL.
+    println!("Figure 5 (d, e, f): decompositions per URL, summary over hosts\n");
+    let mut rows = Vec::new();
+    for (name, stats) in [("alexa", &alexa), ("random", &random)] {
+        let means: Vec<f64> = stats.hosts.iter().map(|h| h.mean_decompositions_per_url).collect();
+        let mins: Vec<usize> = stats.hosts.iter().map(|h| h.min_decompositions_per_url).collect();
+        let maxs: Vec<usize> = stats.hosts.iter().map(|h| h.max_decompositions_per_url).collect();
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}", means.iter().sum::<f64>() / means.len().max(1) as f64),
+            mins.iter().copied().min().unwrap_or(0).to_string(),
+            maxs.iter().copied().max().unwrap_or(0).to_string(),
+            format!("{:.1}", 100.0 * stats.fraction_hosts_mean_decompositions_in(1.0, 5.0)),
+            format!("{:.1}", 100.0 * stats.fraction_hosts_max_decompositions_at_most(10)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "dataset",
+                "mean decomp/URL",
+                "min",
+                "max",
+                "% hosts mean in [1,5]",
+                "% hosts max <= 10",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Reading (paper, Section 6.2): ~46 % of hosts have a mean number of decompositions per\n\
+         URL in [1, 5] and 41-51 % have a maximum of at most 10 — so most URLs can be\n\
+         re-identified from only a few prefixes."
+    );
+}

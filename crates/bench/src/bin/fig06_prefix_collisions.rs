@@ -1,0 +1,51 @@
+//! Figure 6 — non-zero collisions on the 32-bit digest prefixes of the
+//! decompositions hosted on one domain, for both datasets.
+//!
+//! The paper finds that only 0.48 % (Alexa) / 0.26 % (random) of domains
+//! exhibit any collision, because a collision requires ~2^16 decompositions
+//! on a single host (birthday bound).  At the reduced default scale the
+//! fractions are even smaller; increase `SB_HOSTS` / `SB_PAGE_CAP` to
+//! approach the paper's regime.
+//!
+//! Run: `cargo run -p sb-bench --release --bin fig06_prefix_collisions`
+
+use sb_bench::{alexa_corpus, random_corpus, render_table};
+use sb_corpus::CorpusStats;
+
+fn main() {
+    println!("Figure 6: non-zero 32-bit prefix collisions among per-host decompositions\n");
+    let mut rows = Vec::new();
+    for corpus in [alexa_corpus(), random_corpus()] {
+        let stats = CorpusStats::analyze(&corpus);
+        let collisions = stats.nonzero_prefix_collisions();
+        let max = collisions.first().copied().unwrap_or(0);
+        let total: usize = collisions.iter().sum();
+        rows.push(vec![
+            stats.dataset.clone(),
+            stats.num_hosts.to_string(),
+            collisions.len().to_string(),
+            format!("{:.3}", 100.0 * stats.fraction_hosts_with_prefix_collisions()),
+            max.to_string(),
+            total.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "dataset",
+                "#hosts",
+                "hosts with collisions",
+                "% hosts",
+                "max collisions on a host",
+                "total collisions",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Reading: prefix collisions among a host's decompositions are rare (the paper: under\n\
+         0.5 % of hosts), so they almost never help a URL hide — re-identification ambiguity\n\
+         comes from Type I collisions (shared decompositions), not from hash truncation."
+    );
+}

@@ -1,0 +1,120 @@
+//! Section 8 — quantitative comparison of the privacy mitigations: no
+//! mitigation, Firefox-style deterministic dummy queries, and the paper's
+//! one-prefix-at-a-time proposal.
+//!
+//! For a tracked victim the experiment reports the provider's view
+//! (requests, prefixes per request, whether the multi-prefix tracking entry
+//! fires) and the bandwidth overhead each mitigation costs.
+//!
+//! Run: `cargo run -p sb-bench --release --bin mitigation_eval`
+
+use sb_analysis::tracking::{tracking_prefixes, TrackingSystem};
+use sb_bench::render_table;
+use sb_client::{ClientConfig, MitigationPolicy, SafeBrowsingClient};
+use sb_protocol::{ClientCookie, Provider, ThreatCategory};
+use sb_server::SafeBrowsingServer;
+
+const PETS_URLS: &[&str] = &[
+    "petsymposium.org/",
+    "petsymposium.org/2016/cfp.php",
+    "petsymposium.org/2016/links.php",
+    "petsymposium.org/2016/faqs.php",
+    "petsymposium.org/2016/submission/",
+];
+
+fn main() {
+    let policies = [
+        MitigationPolicy::None,
+        MitigationPolicy::DummyQueries { dummies: 1 },
+        MitigationPolicy::DummyQueries { dummies: 4 },
+        MitigationPolicy::DummyQueries { dummies: 16 },
+        MitigationPolicy::OnePrefixAtATime,
+    ];
+
+    println!("Section 8: effect of client-side mitigations on the tracking attack\n");
+    let mut rows = Vec::new();
+    for policy in policies {
+        let outcome = run(policy);
+        rows.push(vec![
+            policy.to_string(),
+            outcome.requests.to_string(),
+            outcome.prefixes.to_string(),
+            outcome.dummies.to_string(),
+            format!("{:.2}", outcome.max_prefixes_per_request),
+            if outcome.tracked { "yes" } else { "no" }.to_string(),
+            if outcome.domain_leaked { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "mitigation",
+                "requests",
+                "prefixes sent",
+                "dummy prefixes",
+                "max prefixes/request",
+                "URL tracked?",
+                "domain leaked?",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Reading: dummy queries only raise the k-anonymity of *single*-prefix requests — the\n\
+         real multi-prefix request is still sent as one message, so the tracking entry fires\n\
+         regardless of the number of dummies.  One-prefix-at-a-time stops the URL-level\n\
+         re-identification (the provider never sees two shadow prefixes together) at the cost\n\
+         of still revealing the domain-root prefix, i.e. the domain visited (Section 8)."
+    );
+}
+
+struct Outcome {
+    requests: usize,
+    prefixes: usize,
+    dummies: usize,
+    max_prefixes_per_request: f64,
+    tracked: bool,
+    domain_leaked: bool,
+}
+
+fn run(policy: MitigationPolicy) -> Outcome {
+    let server = SafeBrowsingServer::new(Provider::Google);
+    server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+
+    let mut campaign = TrackingSystem::new();
+    campaign.add_target(
+        tracking_prefixes("https://petsymposium.org/2016/cfp.php", PETS_URLS.iter().copied(), 4)
+            .unwrap(),
+    );
+    campaign.deploy(&server, "goog-malware-shavar").unwrap();
+
+    let mut victim = SafeBrowsingClient::new(
+        ClientConfig::subscribed_to(["goog-malware-shavar"])
+            .with_cookie(ClientCookie::new(1))
+            .with_mitigation(policy),
+    );
+    victim.update(&server);
+    victim
+        .check_url("https://petsymposium.org/2016/cfp.php", &server)
+        .unwrap();
+
+    let log = server.query_log();
+    let domain_prefix = sb_hash::prefix32("petsymposium.org/");
+    Outcome {
+        requests: log.len(),
+        prefixes: victim.metrics().prefixes_sent,
+        dummies: victim.metrics().dummy_prefixes_sent,
+        max_prefixes_per_request: log
+            .requests()
+            .iter()
+            .map(|r| r.prefixes.len())
+            .max()
+            .unwrap_or(0) as f64,
+        tracked: !campaign.detect_visits(&log, 2).is_empty(),
+        domain_leaked: log
+            .requests()
+            .iter()
+            .any(|r| r.prefixes.contains(&domain_prefix)),
+    }
+}

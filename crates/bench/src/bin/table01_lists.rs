@@ -1,0 +1,24 @@
+//! Table 1 — lists provided by the Google Safe Browsing API, with the
+//! prefix counts published in the paper (early 2015).
+//!
+//! Run: `cargo run -p sb-bench --bin table01_lists`
+
+use sb_bench::render_table;
+use sb_protocol::google_lists;
+
+fn main() {
+    let rows: Vec<Vec<String>> = google_lists()
+        .into_iter()
+        .map(|l| {
+            vec![
+                l.name.to_string(),
+                l.category.to_string(),
+                l.prefix_count
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "*".to_string()),
+            ]
+        })
+        .collect();
+    println!("Table 1: Lists provided by the Google Safe Browsing API\n");
+    println!("{}", render_table(&["List name", "Description", "#prefixes"], &rows));
+}

@@ -1,0 +1,69 @@
+//! Table 5 — maximum number of URLs / domains sharing one ℓ-bit prefix
+//! (the k-anonymity of a single prefix) for the 2008/2012/2013 snapshots of
+//! the web, computed with the balls-into-bins analysis of Section 5.
+//!
+//! Run: `cargo run -p sb-bench --bin table05_kanonymity`
+
+use sb_analysis::{max_load_raab_steger, min_load, table5_row, SNAPSHOTS};
+use sb_bench::render_table;
+use sb_hash::PrefixLen;
+
+fn main() {
+    println!("Table 5: M (max items per prefix) for URLs and domains, per prefix size\n");
+
+    let mut rows = Vec::new();
+    for len in [PrefixLen::L16, PrefixLen::L32, PrefixLen::L64, PrefixLen::L96] {
+        let mut row = vec![len.to_string()];
+        for snapshot in SNAPSHOTS {
+            let cell = table5_row(snapshot.urls, snapshot.domains)
+                .into_iter()
+                .find(|c| c.prefix_len == len)
+                .expect("length present");
+            row.push(cell.urls_per_prefix.to_string());
+        }
+        for snapshot in SNAPSHOTS {
+            let cell = table5_row(snapshot.urls, snapshot.domains)
+                .into_iter()
+                .find(|c| c.prefix_len == len)
+                .expect("length present");
+            row.push(cell.domains_per_prefix.to_string());
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "l (bits)",
+                "URLs 2008",
+                "URLs 2012",
+                "URLs 2013",
+                "dom 2008",
+                "dom 2012",
+                "dom 2013",
+            ],
+            &rows
+        )
+    );
+
+    println!("Raab-Steger asymptotic estimate (Theorem 1) vs the Poisson-tail estimate, 32-bit prefixes:\n");
+    let rows: Vec<Vec<String>> = SNAPSHOTS
+        .iter()
+        .map(|s| {
+            vec![
+                s.year.to_string(),
+                format!("{:.0}", max_load_raab_steger(s.urls, PrefixLen::L32, 1.0001)),
+                format!("{:.0}", min_load(s.urls, PrefixLen::L32)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["year", "max load (Thm 1)", "min load Θ(m/n)"], &rows)
+    );
+    println!(
+        "Reading: a single 32-bit prefix is shared by hundreds (2008) to ~15 000 (2013) URLs,\n\
+         but by at most a handful of registered domains — domains are re-identifiable, URLs are\n\
+         not, as long as only ONE prefix is revealed (Section 5)."
+    );
+}

@@ -1,0 +1,73 @@
+//! Tables 6 & 7 — the collision-type taxonomy on the paper's illustrative
+//! example (target `a.b.c`, observed prefixes A = h(a.b.c/), B = h(b.c/))
+//! and the case analysis of the sample URL `a.b.c/1` hosted on `b.c`.
+//!
+//! Run: `cargo run -p sb-bench --bin table06_collision_types`
+
+use sb_analysis::{classify_collision, is_leaf_url, type1_collision_set};
+use sb_bench::render_table;
+use sb_hash::{digest_url, prefix32};
+use sb_url::{decompose_url, CanonicalUrl};
+
+fn main() {
+    // ---- Table 6: collision types for the target a.b.c ----------------------
+    let target = CanonicalUrl::parse("http://a.b.c/").unwrap();
+    let observed = vec![prefix32("a.b.c/"), prefix32("b.c/")];
+    let candidates = ["http://g.a.b.c/", "http://g.b.c/", "http://d.e.f/"];
+
+    println!("Table 6: collisions with the target a.b.c (observed prefixes A = h(a.b.c/), B = h(b.c/))\n");
+    let rows: Vec<Vec<String>> = candidates
+        .iter()
+        .map(|c| {
+            let canon = CanonicalUrl::parse(c).unwrap();
+            let class = classify_collision(&target, &canon, &observed)
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "no collision (would need a 32-bit digest collision)".to_string());
+            vec![canon.expression(), class]
+        })
+        .collect();
+    println!("{}", render_table(&["Candidate URL", "Collision with (A, B)"], &rows));
+    println!(
+        "Note: the paper's Type II/III rows are *constructed* examples that assume a truncated-\n\
+         digest collision (probability 2^-32 per pair); with real SHA-256 values they do not\n\
+         occur, which is exactly the empirical finding of Section 6.2 (no Type II collisions,\n\
+         0.26-0.48 % of hosts with any prefix collision).\n"
+    );
+
+    // ---- Table 7: the sample URL a.b.c/1 on host b.c ------------------------
+    println!("Table 7: decompositions of the sample URL a.b.c/1 (host b.c)\n");
+    let rows: Vec<Vec<String>> = decompose_url("http://a.b.c/1")
+        .unwrap()
+        .into_iter()
+        .zip(["A", "B", "C", "D"])
+        .map(|(d, label)| {
+            vec![
+                d.expression().to_string(),
+                label.to_string(),
+                format!("0x{}", digest_url(d.expression()).prefix32().to_hex()),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["Decomposition", "Label", "32-bit prefix"], &rows));
+
+    // Case analysis (Section 6.1): which prefix pairs identify which URL.
+    let host_urls = ["a.b.c/1", "a.b.c/", "b.c/1", "b.c/"];
+    println!("Case analysis on the domain b.c hosting only a.b.c/1 and its decompositions:");
+    println!(
+        "  - a.b.c/1 is a leaf: {}",
+        is_leaf_url("a.b.c/1", host_urls.iter().copied())
+    );
+    println!(
+        "  - Type I collision set of b.c/1: {:?}",
+        type1_collision_set("b.c/1", host_urls.iter().copied())
+    );
+    println!(
+        "  - Type I collision set of b.c/ (the SLD): {:?}",
+        type1_collision_set("b.c/", host_urls.iter().copied())
+    );
+    println!(
+        "\nReading: receiving (A, B) pins the visited URL to a.b.c/1 (Case 1); receiving (C, D)\n\
+         leaves the ambiguity {{a.b.c/1, a.b.c/, b.c/1}} unless the provider also includes A or B\n\
+         in the database (Case 2) — the mechanism Algorithm 1 exploits."
+    );
+}

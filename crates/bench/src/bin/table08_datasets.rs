@@ -1,0 +1,55 @@
+//! Table 8 — the two corpora (Alexa-like and random-domain) with their
+//! numbers of domains, URLs and unique decompositions, plus the power-law
+//! fit of Section 6.2 (the paper reports α̂ = 1.312 ± 0.0004 at full scale).
+//!
+//! Scale with `SB_HOSTS` / `SB_PAGE_CAP` (defaults 2000 hosts, 2000-page cap).
+//!
+//! Run: `cargo run -p sb-bench --release --bin table08_datasets`
+
+use sb_bench::{alexa_corpus, corpus_hosts, random_corpus, render_table};
+use sb_corpus::CorpusStats;
+
+fn main() {
+    println!(
+        "Table 8: datasets (synthetic substitute for Common Crawl, {} hosts per dataset)\n",
+        corpus_hosts()
+    );
+    let mut rows = Vec::new();
+    for corpus in [alexa_corpus(), random_corpus()] {
+        let stats = CorpusStats::analyze(&corpus);
+        let fit = stats
+            .power_law
+            .map(|f| format!("{:.3} ± {:.4}", f.alpha_hat, f.std_error))
+            .unwrap_or_else(|| "-".to_string());
+        rows.push(vec![
+            stats.dataset.clone(),
+            stats.num_hosts.to_string(),
+            stats.total_urls.to_string(),
+            stats.total_decompositions.to_string(),
+            format!("{:.1}", 100.0 * stats.single_page_fraction()),
+            stats.hosts_covering(0.8).to_string(),
+            fit,
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Dataset",
+                "#Domains",
+                "#URLs",
+                "#Decompositions",
+                "single-page %",
+                "hosts for 80% URLs",
+                "power-law alpha",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Reading: the Alexa-like dataset hosts more URLs than the random one, ~61 % of random\n\
+         domains are single-page, 80 % of the URLs are concentrated on a small fraction of the\n\
+         hosts, and the URLs-per-host distribution follows a power law with alpha ~1.3 — the\n\
+         four properties of the paper's datasets that drive the re-identification analysis."
+    );
+}

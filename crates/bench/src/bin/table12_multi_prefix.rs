@@ -1,0 +1,104 @@
+//! Table 12 — URLs of a benign corpus whose decompositions match multiple
+//! prefixes in the provider lists, i.e. concrete instances of the
+//! multi-prefix re-identification scenario.
+//!
+//! Mirroring the paper's findings, the synthetic Yandex pornography-host
+//! list blacklists both country subdomains and the bare domain of a few
+//! popular adult sites, so every URL on those subdomains creates two hits.
+//!
+//! Run: `cargo run -p sb-bench --release --bin table12_multi_prefix`
+
+use sb_analysis::find_multi_prefix_urls;
+use sb_bench::{render_table, synthetic_provider};
+use sb_corpus::{HostSite, WebCorpus};
+use sb_protocol::{ListName, Provider};
+
+/// The corpus scanned for multi-prefix URLs: an Alexa-like slice containing
+/// the adult sites the paper singles out (xhamster-style country subdomains,
+/// mobile login pages) plus ordinary benign sites.
+fn audited_corpus() -> WebCorpus {
+    let mut sites = vec![
+        HostSite::new(
+            "adult-content0.com",
+            vec![
+                "fr.adult-content0.com/user/video".to_string(),
+                "nl.adult-content0.com/user/video".to_string(),
+                "adult-content0.com/".to_string(),
+            ],
+        ),
+        HostSite::new(
+            "adult-content1.net",
+            vec![
+                "m.adult-content1.net/user/login".to_string(),
+                "adult-content1.net/".to_string(),
+            ],
+        ),
+        HostSite::new(
+            "malware-host3.org",
+            vec![
+                "malware-host3.org/payload/drop18453.exe".to_string(),
+                "malware-host3.org/index.html".to_string(),
+            ],
+        ),
+    ];
+    for i in 0..200 {
+        sites.push(HostSite::new(
+            format!("benign{i}.example"),
+            vec![
+                format!("benign{i}.example/"),
+                format!("benign{i}.example/about.html"),
+            ],
+        ));
+    }
+    WebCorpus::from_sites("alexa-like slice", sites)
+}
+
+fn main() {
+    let server = synthetic_provider(Provider::Yandex, 12);
+    // Blacklist the country/mobile subdomains *in addition to* the bare
+    // domains already present in the synthetic pornography list — the
+    // situation the paper observed for xhamster/wickedpictures/mofos.
+    server
+        .blacklist_expressions(
+            "ydx-porno-hosts-top-shavar",
+            ["fr.adult-content0.com/", "nl.adult-content0.com/", "m.adult-content1.net/"],
+        )
+        .unwrap();
+
+    let corpus = audited_corpus();
+    println!("Table 12: URLs with multiple matching prefixes in the provider database\n");
+    let mut rows = Vec::new();
+    let mut total_urls = 0;
+    let mut domains = std::collections::BTreeSet::new();
+    for name in ["ydx-porno-hosts-top-shavar", "ydx-malware-shavar"] {
+        let list = server.list_snapshot(&ListName::new(name)).expect("list");
+        let report = find_multi_prefix_urls(&list, &corpus, 2);
+        total_urls += report.url_count();
+        for url in &report.urls {
+            domains.insert(url.domain.clone());
+            for (expr, prefix) in &url.matches {
+                rows.push(vec![
+                    format!("http://{}", url.url),
+                    expr.clone(),
+                    format!("0x{}", prefix.to_hex()),
+                    name.to_string(),
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["URL", "matching decomposition", "prefix", "list"],
+            &rows
+        )
+    );
+    println!(
+        "{total_urls} URLs across {} domains create at least 2 hits (the paper found 1352 such\n\
+         URLs over 26 domains for Yandex, 26+1 for Google).  Each of them reveals two or more\n\
+         prefixes in a single request and is therefore re-identifiable by the provider —\n\
+         including, per the paper's examples, the country-specific versions of adult sites,\n\
+         which also leak the user's nationality and sensitive traits.",
+        domains.len()
+    );
+}

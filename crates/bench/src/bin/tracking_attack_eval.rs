@@ -1,0 +1,139 @@
+//! Evaluation of the tracking system of Section 6.3 / Algorithm 1 over a
+//! synthetic corpus, including the δ ablation called out in DESIGN.md:
+//!
+//! * for a sample of target URLs, how many tracking prefixes Algorithm 1
+//!   needs and which precision it achieves (exact URL / URL within Type I
+//!   set / domain only), as a function of the budget δ;
+//! * an end-to-end simulation: a population of clients browses the corpus,
+//!   a fraction of them visits the targets, and the provider's log is
+//!   matched against the shadow database — reporting true/false positives.
+//!
+//! Run: `cargo run -p sb-bench --release --bin tracking_attack_eval`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sb_analysis::tracking::{tracking_prefixes, TrackingPrecision, TrackingSystem};
+use sb_bench::{render_table, random_corpus};
+use sb_client::{ClientConfig, SafeBrowsingClient};
+use sb_protocol::{ClientCookie, Provider, ThreatCategory};
+use sb_server::SafeBrowsingServer;
+
+fn main() {
+    let corpus = random_corpus();
+    let mut rng = StdRng::seed_from_u64(63);
+
+    // ---- part 1: Algorithm 1 precision vs delta ------------------------------
+    println!("Algorithm 1: tracking precision and prefix budget per target (delta ablation)\n");
+    // Sample targets: one leaf-ish URL per host among the larger hosts.
+    // Targets are specific pages (not the bare domain root): tracking a bare
+    // root needs only its own prefix and is trivially domain-level anyway.
+    let targets: Vec<(String, Vec<String>)> = corpus
+        .sites()
+        .iter()
+        .filter(|s| s.url_count() >= 3)
+        .take(300)
+        .map(|s| {
+            let urls: Vec<String> = s.urls().to_vec();
+            let root = format!("{}/", s.domain());
+            let non_root: Vec<&String> = urls.iter().filter(|u| **u != root).collect();
+            let target = non_root[rng.gen_range(0..non_root.len())].clone();
+            (target, urls)
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for delta in [2usize, 4, 8, 16, 32] {
+        let mut exact = 0;
+        let mut within_type1 = 0;
+        let mut domain_only = 0;
+        let mut total_prefixes = 0usize;
+        for (target, urls) in &targets {
+            let set = tracking_prefixes(target, urls.iter().map(String::as_str), delta)
+                .expect("corpus URLs are valid");
+            total_prefixes += set.prefixes.len();
+            match set.precision {
+                TrackingPrecision::ExactUrl => exact += 1,
+                TrackingPrecision::UrlWithinTypeICollisions => within_type1 += 1,
+                TrackingPrecision::DomainOnly => domain_only += 1,
+            }
+        }
+        rows.push(vec![
+            delta.to_string(),
+            format!("{:.1}", 100.0 * exact as f64 / targets.len() as f64),
+            format!("{:.1}", 100.0 * within_type1 as f64 / targets.len() as f64),
+            format!("{:.1}", 100.0 * domain_only as f64 / targets.len() as f64),
+            format!("{:.2}", total_prefixes as f64 / targets.len() as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["delta", "% exact URL", "% within Type I set", "% domain only", "avg prefixes/target"],
+            &rows
+        )
+    );
+
+    // ---- part 2: end-to-end campaign ------------------------------------------
+    println!("\nEnd-to-end campaign: 200 clients, 20 of them visit a tracked page\n");
+    let server = SafeBrowsingServer::new(Provider::Yandex);
+    server.create_list("ydx-malware-shavar", ThreatCategory::Malware);
+
+    let mut campaign = TrackingSystem::new();
+    for (target, urls) in targets.iter().take(10) {
+        campaign.add_target(
+            tracking_prefixes(target, urls.iter().map(String::as_str), 8).expect("valid target"),
+        );
+    }
+    campaign.deploy(&server, "ydx-malware-shavar").unwrap();
+
+    let tracked_targets: Vec<&str> = campaign
+        .targets()
+        .iter()
+        .map(|t| t.target.as_str())
+        .collect();
+    let mut actual_visitors = Vec::new();
+    for client_id in 0..200u64 {
+        let mut client = SafeBrowsingClient::new(
+            ClientConfig::subscribed_to(["ydx-malware-shavar"])
+                .with_cookie(ClientCookie::new(client_id)),
+        );
+        client.update(&server);
+        if client_id < 20 {
+            // A victim: visits one tracked page plus some unrelated browsing.
+            let target = tracked_targets[(client_id as usize) % tracked_targets.len()];
+            client.check_url(target, &server).unwrap();
+            actual_visitors.push(client_id);
+        }
+        // Everyone also browses a few random corpus URLs.
+        for _ in 0..5 {
+            let site = &corpus.sites()[rng.gen_range(0..corpus.sites().len())];
+            let url = &site.urls()[rng.gen_range(0..site.url_count())];
+            client.check_url(url, &server).unwrap();
+        }
+    }
+
+    let detected = campaign.visits_per_client(&server.query_log(), 2);
+    let detected_ids: Vec<u64> = {
+        let mut v: Vec<u64> = detected.keys().map(|c| c.id()).collect();
+        v.sort_unstable();
+        v
+    };
+    let true_positives = detected_ids.iter().filter(|id| actual_visitors.contains(id)).count();
+    let false_positives = detected_ids.len() - true_positives;
+    println!("  actual visitors:   {}", actual_visitors.len());
+    println!("  detected visitors: {}", detected_ids.len());
+    println!("  true positives:    {true_positives}");
+    println!("  false positives:   {false_positives}");
+    println!(
+        "  recall:            {:.1} %",
+        100.0 * true_positives as f64 / actual_visitors.len() as f64
+    );
+    println!(
+        "\nReading: with the SB cookie linking requests, a visit to a tracked page fires at\n\
+         least two shadow prefixes in one request and is attributed to the right client.\n\
+         Apparent \"false positives\" are clients whose random browsing landed on a URL whose\n\
+         decompositions contain the tracked page (a Type I collision) — the provider does\n\
+         learn they visited the tracked region of the site; truncation-induced false positives\n\
+         would require 32-bit digest collisions and do not occur."
+    );
+}

@@ -1,0 +1,126 @@
+//! The client-side full-hash cache.
+//!
+//! After a full-hash request, the returned digests are stored locally until
+//! an update discards them, so that repeated visits to the same URL do not
+//! generate new requests (Section 2.2.1).  The cache matters for the privacy
+//! analysis too: a cached prefix never reaches the provider again, so the
+//! provider's query log only sees the *first* visit within a cache lifetime.
+
+use std::collections::HashMap;
+
+use sb_hash::{Digest, Prefix};
+use sb_protocol::FullHashResponse;
+
+/// Cache of full digests known for already-queried prefixes.
+#[derive(Debug, Clone, Default)]
+pub struct FullHashCache {
+    entries: HashMap<Prefix, Vec<Digest>>,
+}
+
+impl FullHashCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        FullHashCache::default()
+    }
+
+    /// Whether a prefix has already been resolved (possibly to an empty set
+    /// of digests, i.e. a confirmed false positive).
+    pub fn is_resolved(&self, prefix: &Prefix) -> bool {
+        self.entries.contains_key(prefix)
+    }
+
+    /// The cached digests for a prefix, if resolved.
+    pub fn digests(&self, prefix: &Prefix) -> Option<&[Digest]> {
+        self.entries.get(prefix).map(Vec::as_slice)
+    }
+
+    /// Records the outcome of a full-hash request for the given prefixes.
+    /// Prefixes with no matching digest are cached as empty (false
+    /// positives), which is what prevents re-querying them.
+    pub fn store_response(&mut self, queried: &[Prefix], response: &FullHashResponse) {
+        for prefix in queried {
+            let digests: Vec<Digest> = response
+                .entries
+                .iter()
+                .map(|e| e.digest)
+                .filter(|d| prefix.matches_digest(d))
+                .collect();
+            self.entries.insert(*prefix, digests);
+        }
+    }
+
+    /// Number of resolved prefixes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Discards all cached entries (called when the local database is
+    /// updated, as updates may invalidate cached digests).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_hash::digest_url;
+    use sb_protocol::FullHashEntry;
+
+    #[test]
+    fn store_and_lookup() {
+        let mut cache = FullHashCache::new();
+        let d = digest_url("evil.example/");
+        let p = d.prefix32();
+        assert!(!cache.is_resolved(&p));
+
+        let response = FullHashResponse {
+            entries: vec![FullHashEntry {
+                list: "goog-malware-shavar".into(),
+                digest: d,
+            }],
+        };
+        cache.store_response(&[p], &response);
+        assert!(cache.is_resolved(&p));
+        assert_eq!(cache.digests(&p), Some(&[d][..]));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn false_positive_cached_as_empty() {
+        let mut cache = FullHashCache::new();
+        let p = digest_url("benign.example/").prefix32();
+        cache.store_response(&[p], &FullHashResponse::default());
+        assert!(cache.is_resolved(&p));
+        assert_eq!(cache.digests(&p), Some(&[][..]));
+    }
+
+    #[test]
+    fn unrelated_digests_are_not_attached() {
+        let mut cache = FullHashCache::new();
+        let queried = digest_url("a.example/").prefix32();
+        let other = digest_url("b.example/");
+        let response = FullHashResponse {
+            entries: vec![FullHashEntry {
+                list: "goog-malware-shavar".into(),
+                digest: other,
+            }],
+        };
+        cache.store_response(&[queried], &response);
+        assert_eq!(cache.digests(&queried), Some(&[][..]));
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut cache = FullHashCache::new();
+        cache.store_response(&[digest_url("x/").prefix32()], &FullHashResponse::default());
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

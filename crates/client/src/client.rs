@@ -1,0 +1,612 @@
+//! The Safe Browsing client and its lookup flow (Figure 3 of the paper).
+
+use sb_hash::{digest_url, PrefixLen};
+use sb_protocol::{
+    ClientCookie, FullHashRequest, ListName, SafeBrowsingService, UpdateRequest,
+};
+use sb_store::StoreBackend;
+use sb_url::{decompose, CanonicalUrl, Decomposition, ParseUrlError};
+
+use crate::cache::FullHashCache;
+use crate::database::LocalDatabase;
+use crate::metrics::ClientMetrics;
+use crate::mitigation::MitigationPolicy;
+
+/// Configuration of a [`SafeBrowsingClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Local database backend (Chromium's default is the delta-coded table).
+    pub backend: StoreBackend,
+    /// Prefix length stored locally (32 bits for the deployed services).
+    pub prefix_len: PrefixLen,
+    /// The Safe Browsing cookie attached to full-hash requests, if any.
+    /// Browsers cannot disable it (Section 2.2.3).
+    pub cookie: Option<ClientCookie>,
+    /// Privacy mitigation policy (Section 8).
+    pub mitigation: MitigationPolicy,
+    /// Lists the client subscribes to.
+    pub lists: Vec<ListName>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            backend: StoreBackend::DeltaCoded,
+            prefix_len: PrefixLen::L32,
+            cookie: None,
+            mitigation: MitigationPolicy::None,
+            lists: Vec::new(),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Convenience: default configuration subscribed to the given lists.
+    pub fn subscribed_to<I, S>(lists: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<ListName>,
+    {
+        ClientConfig {
+            lists: lists.into_iter().map(Into::into).collect(),
+            ..ClientConfig::default()
+        }
+    }
+
+    /// Sets the client cookie.
+    pub fn with_cookie(mut self, cookie: ClientCookie) -> Self {
+        self.cookie = Some(cookie);
+        self
+    }
+
+    /// Sets the mitigation policy.
+    pub fn with_mitigation(mut self, mitigation: MitigationPolicy) -> Self {
+        self.mitigation = mitigation;
+        self
+    }
+
+    /// Sets the local database backend.
+    pub fn with_backend(mut self, backend: StoreBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
+/// Outcome of a URL lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// No decomposition prefix matched the local database: the URL is safe
+    /// and nothing was sent to the provider.
+    Safe,
+    /// At least one prefix matched locally, but the provider returned no
+    /// matching full digest: a false positive (or an orphan prefix).
+    SafeAfterConfirmation {
+        /// The decomposition expressions whose prefixes matched locally.
+        matched_decompositions: Vec<String>,
+    },
+    /// The provider confirmed at least one decomposition as blacklisted.
+    Malicious {
+        /// The confirmed decomposition expressions, with the lists that
+        /// blacklist them.
+        matches: Vec<ConfirmedMatch>,
+    },
+}
+
+impl LookupOutcome {
+    /// True when the URL should trigger a warning page.
+    pub fn is_malicious(&self) -> bool {
+        matches!(self, LookupOutcome::Malicious { .. })
+    }
+
+    /// True when the lookup completed without contacting the provider.
+    pub fn was_resolved_locally(&self) -> bool {
+        matches!(self, LookupOutcome::Safe)
+    }
+}
+
+/// One decomposition confirmed as blacklisted by the provider.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfirmedMatch {
+    /// The blacklisted decomposition expression (e.g. `evil.example/`).
+    pub expression: String,
+    /// The lists containing its full digest.
+    pub lists: Vec<ListName>,
+}
+
+/// A Safe Browsing client implementing the lookup flow of Figure 3.
+///
+/// # Examples
+///
+/// ```
+/// use sb_client::{ClientConfig, SafeBrowsingClient};
+/// use sb_protocol::{Provider, ThreatCategory};
+/// use sb_server::SafeBrowsingServer;
+///
+/// let server = SafeBrowsingServer::new(Provider::Google);
+/// server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+/// server.blacklist_url("goog-malware-shavar", "http://evil.example/bad.html").unwrap();
+///
+/// let mut client =
+///     SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
+/// client.update(&server);
+///
+/// assert!(client.check_url("http://evil.example/bad.html", &server).unwrap().is_malicious());
+/// assert!(!client.check_url("http://benign.example/", &server).unwrap().is_malicious());
+/// ```
+#[derive(Debug)]
+pub struct SafeBrowsingClient {
+    config: ClientConfig,
+    database: LocalDatabase,
+    cache: FullHashCache,
+    metrics: ClientMetrics,
+}
+
+impl SafeBrowsingClient {
+    /// Creates a client from a configuration.
+    pub fn new(config: ClientConfig) -> Self {
+        let mut database = LocalDatabase::new(config.backend, config.prefix_len);
+        for list in &config.lists {
+            database.subscribe(list.clone());
+        }
+        SafeBrowsingClient {
+            config,
+            database,
+            cache: FullHashCache::new(),
+            metrics: ClientMetrics::default(),
+        }
+    }
+
+    /// Fetches and applies a database update from the provider.  Returns the
+    /// number of chunks applied.  The full-hash cache is cleared, as an
+    /// update may invalidate cached digests.
+    pub fn update(&mut self, service: &dyn SafeBrowsingService) -> usize {
+        let request = UpdateRequest {
+            lists: self.database.update_request_lists(),
+        };
+        let response = service.update(&request);
+        let applied = self.database.apply_chunks(&response.chunks);
+        if applied > 0 {
+            self.cache.clear();
+        }
+        self.metrics.updates += 1;
+        applied
+    }
+
+    /// Checks a URL against the local database and, if needed, the provider
+    /// (the complete client flow of Figure 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseUrlError`] when the URL cannot be canonicalized.
+    pub fn check_url(
+        &mut self,
+        url: &str,
+        service: &dyn SafeBrowsingService,
+    ) -> Result<LookupOutcome, ParseUrlError> {
+        let canonical = CanonicalUrl::parse(url)?;
+        Ok(self.check_canonical(&canonical, service))
+    }
+
+    /// Checks an already-canonicalized URL.
+    pub fn check_canonical(
+        &mut self,
+        url: &CanonicalUrl,
+        service: &dyn SafeBrowsingService,
+    ) -> LookupOutcome {
+        self.metrics.lookups += 1;
+        let decompositions = decompose(url);
+
+        // Local database pass: which decompositions hit?
+        let hits: Vec<&Decomposition> = decompositions
+            .iter()
+            .filter(|d| {
+                let digest = digest_url(d.expression());
+                self.database.contains(&digest.prefix(self.config.prefix_len))
+            })
+            .collect();
+
+        if hits.is_empty() {
+            return LookupOutcome::Safe;
+        }
+        self.metrics.local_hits += 1;
+
+        // Resolve the hits to full digests, honouring the mitigation policy
+        // and the full-hash cache.
+        let confirmed = match self.config.mitigation {
+            MitigationPolicy::None => self.resolve_batch(&hits, service),
+            MitigationPolicy::DummyQueries { dummies } => {
+                self.resolve_batch_with_dummies(&hits, dummies, service)
+            }
+            MitigationPolicy::OnePrefixAtATime => self.resolve_one_at_a_time(&hits, service),
+        };
+
+        if confirmed.is_empty() {
+            LookupOutcome::SafeAfterConfirmation {
+                matched_decompositions: hits
+                    .iter()
+                    .map(|d| d.expression().to_string())
+                    .collect(),
+            }
+        } else {
+            self.metrics.urls_flagged += 1;
+            LookupOutcome::Malicious { matches: confirmed }
+        }
+    }
+
+    /// Client metrics (requests sent, prefixes revealed, ...).
+    pub fn metrics(&self) -> &ClientMetrics {
+        &self.metrics
+    }
+
+    /// Number of prefixes in the local database.
+    pub fn database_prefix_count(&self) -> usize {
+        self.database.prefix_count()
+    }
+
+    /// Whether a prefix is present in the local database (used by lookup
+    /// previews and by experiments inspecting the client state).
+    pub fn database_contains(&self, prefix: &sb_hash::Prefix) -> bool {
+        self.database.contains(prefix)
+    }
+
+    /// The prefix length stored in the local database.
+    pub fn prefix_len(&self) -> PrefixLen {
+        self.config.prefix_len
+    }
+
+    /// Memory used by the local database's query structure.
+    pub fn database_memory_bytes(&self) -> usize {
+        self.database.memory_bytes()
+    }
+
+    /// The configured cookie, if any.
+    pub fn cookie(&self) -> Option<ClientCookie> {
+        self.config.cookie
+    }
+
+    /// The configured mitigation policy.
+    pub fn mitigation(&self) -> MitigationPolicy {
+        self.config.mitigation
+    }
+
+    // ---- resolution strategies -------------------------------------------------
+
+    /// Default behaviour: one request carrying every unresolved hit prefix.
+    fn resolve_batch(
+        &mut self,
+        hits: &[&Decomposition],
+        service: &dyn SafeBrowsingService,
+    ) -> Vec<ConfirmedMatch> {
+        let unresolved: Vec<_> = hits
+            .iter()
+            .filter(|d| !self.cache.is_resolved(&digest_url(d.expression()).prefix32()))
+            .collect();
+        if !unresolved.is_empty() {
+            let prefixes: Vec<_> = unresolved
+                .iter()
+                .map(|d| digest_url(d.expression()).prefix32())
+                .collect();
+            self.send_full_hash_request(prefixes, service);
+        }
+        self.confirmed_from_cache(hits)
+    }
+
+    /// Firefox-style dummy queries: the real request is accompanied by
+    /// `dummies` single-prefix requests derived from the first real prefix.
+    fn resolve_batch_with_dummies(
+        &mut self,
+        hits: &[&Decomposition],
+        dummies: usize,
+        service: &dyn SafeBrowsingService,
+    ) -> Vec<ConfirmedMatch> {
+        let first_prefix = digest_url(hits[0].expression()).prefix32();
+        let confirmed = self.resolve_batch(hits, service);
+        for dummy in MitigationPolicy::dummy_prefixes_for(&first_prefix, dummies) {
+            // Dummy requests are fire-and-forget; their responses are not
+            // cached so they cannot pollute the verdict.
+            let request = match self.config.cookie {
+                Some(cookie) => FullHashRequest::new(vec![dummy]).with_cookie(cookie),
+                None => FullHashRequest::new(vec![dummy]),
+            };
+            service.full_hashes(&request);
+            self.metrics.requests_sent += 1;
+            self.metrics.prefixes_sent += 1;
+            self.metrics.dummy_prefixes_sent += 1;
+        }
+        confirmed
+    }
+
+    /// The paper's proposed mitigation: reveal prefixes one per request,
+    /// most generic decomposition first, stopping as soon as a verdict is
+    /// reached.
+    fn resolve_one_at_a_time(
+        &mut self,
+        hits: &[&Decomposition],
+        service: &dyn SafeBrowsingService,
+    ) -> Vec<ConfirmedMatch> {
+        // Most generic first: domain roots, then shallower paths.
+        let mut ordered: Vec<&&Decomposition> = hits.iter().collect();
+        ordered.sort_by_key(|d| {
+            (
+                std::cmp::Reverse(d.is_domain_root()),
+                d.expression().len(),
+            )
+        });
+        for d in ordered {
+            let prefix = digest_url(d.expression()).prefix32();
+            if !self.cache.is_resolved(&prefix) {
+                self.send_full_hash_request(vec![prefix], service);
+            }
+            let confirmed = self.confirmed_from_cache(&[*d]);
+            if !confirmed.is_empty() {
+                return confirmed;
+            }
+        }
+        Vec::new()
+    }
+
+    fn send_full_hash_request(
+        &mut self,
+        prefixes: Vec<sb_hash::Prefix>,
+        service: &dyn SafeBrowsingService,
+    ) {
+        let count = prefixes.len();
+        let request = match self.config.cookie {
+            Some(cookie) => FullHashRequest::new(prefixes.clone()).with_cookie(cookie),
+            None => FullHashRequest::new(prefixes.clone()),
+        };
+        let response = service.full_hashes(&request);
+        self.cache.store_response(&prefixes, &response);
+        self.metrics.requests_sent += 1;
+        self.metrics.prefixes_sent += count;
+    }
+
+    fn confirmed_from_cache(&self, hits: &[&Decomposition]) -> Vec<ConfirmedMatch> {
+        let mut confirmed = Vec::new();
+        for d in hits {
+            let digest = digest_url(d.expression());
+            if let Some(digests) = self.cache.digests(&digest.prefix32()) {
+                if digests.contains(&digest) {
+                    confirmed.push(ConfirmedMatch {
+                        expression: d.expression().to_string(),
+                        // The cache does not retain list provenance; callers
+                        // needing it can inspect the provider's response
+                        // directly.  For the client verdict the expression
+                        // suffices.
+                        lists: Vec::new(),
+                    });
+                }
+            }
+        }
+        confirmed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_protocol::{Provider, ThreatCategory};
+    use sb_server::SafeBrowsingServer;
+
+    fn server() -> SafeBrowsingServer {
+        let server = SafeBrowsingServer::new(Provider::Google);
+        server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+        server.create_list("googpub-phish-shavar", ThreatCategory::Phishing);
+        server
+    }
+
+    fn client() -> SafeBrowsingClient {
+        SafeBrowsingClient::new(ClientConfig::subscribed_to([
+            "goog-malware-shavar",
+            "googpub-phish-shavar",
+        ]))
+    }
+
+    #[test]
+    fn safe_url_never_contacts_the_server() {
+        let server = server();
+        server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
+        let mut client = client();
+        client.update(&server);
+        server.clear_query_log();
+
+        let outcome = client.check_url("http://benign.example/page.html", &server).unwrap();
+        assert_eq!(outcome, LookupOutcome::Safe);
+        assert!(outcome.was_resolved_locally());
+        assert_eq!(server.query_log().len(), 0);
+        assert_eq!(client.metrics().requests_sent, 0);
+    }
+
+    #[test]
+    fn blacklisted_domain_flags_all_urls_on_it() {
+        let server = server();
+        server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
+        let mut client = client();
+        client.update(&server);
+
+        let outcome = client
+            .check_url("http://evil.example/any/deep/page.html", &server)
+            .unwrap();
+        assert!(outcome.is_malicious());
+        if let LookupOutcome::Malicious { matches } = outcome {
+            assert_eq!(matches.len(), 1);
+            assert_eq!(matches[0].expression, "evil.example/");
+        }
+    }
+
+    #[test]
+    fn exact_url_blacklisting_does_not_flag_siblings() {
+        let server = server();
+        server
+            .blacklist_url("goog-malware-shavar", "http://site.example/infected/page.html")
+            .unwrap();
+        let mut client = client();
+        client.update(&server);
+
+        assert!(client
+            .check_url("http://site.example/infected/page.html", &server)
+            .unwrap()
+            .is_malicious());
+        assert!(!client
+            .check_url("http://site.example/clean/other.html", &server)
+            .unwrap()
+            .is_malicious());
+    }
+
+    #[test]
+    fn update_is_incremental() {
+        let server = server();
+        server.blacklist_url("goog-malware-shavar", "http://one.example/").unwrap();
+        let mut client = client();
+        assert_eq!(client.update(&server), 1);
+        server.blacklist_url("goog-malware-shavar", "http://two.example/").unwrap();
+        assert_eq!(client.update(&server), 1);
+        assert_eq!(client.database_prefix_count(), 2);
+        // Nothing new: zero chunks.
+        assert_eq!(client.update(&server), 0);
+    }
+
+    #[test]
+    fn false_positive_is_safe_after_confirmation() {
+        let server = server();
+        // Inject a bare prefix (orphan) matching a benign URL: local hit,
+        // but the server has no full digest for it.
+        let prefix = sb_hash::prefix32("innocent.example/");
+        server.inject_prefixes("goog-malware-shavar", vec![prefix]).unwrap();
+        let mut client = client();
+        client.update(&server);
+
+        let outcome = client.check_url("http://innocent.example/", &server).unwrap();
+        match outcome {
+            LookupOutcome::SafeAfterConfirmation { matched_decompositions } => {
+                assert_eq!(matched_decompositions, vec!["innocent.example/".to_string()]);
+            }
+            other => panic!("expected SafeAfterConfirmation, got {other:?}"),
+        }
+        assert_eq!(client.metrics().requests_sent, 1);
+    }
+
+    #[test]
+    fn cache_prevents_repeated_requests() {
+        let server = server();
+        server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
+        let mut client = client();
+        client.update(&server);
+        server.clear_query_log();
+
+        client.check_url("http://evil.example/", &server).unwrap();
+        client.check_url("http://evil.example/", &server).unwrap();
+        client.check_url("http://evil.example/other", &server).unwrap();
+        // Only the first lookup for the prefix generates a request; the two
+        // later lookups are served from the full-hash cache.
+        assert_eq!(server.query_log().len(), 1);
+        assert_eq!(client.metrics().requests_sent, 1);
+        assert_eq!(client.metrics().lookups, 3);
+        assert_eq!(client.metrics().local_hits, 3);
+    }
+
+    #[test]
+    fn cookie_is_attached_to_requests() {
+        let server = server();
+        server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
+        let cookie = ClientCookie::new(1234);
+        let mut client = SafeBrowsingClient::new(
+            ClientConfig::subscribed_to(["goog-malware-shavar"]).with_cookie(cookie),
+        );
+        client.update(&server);
+        client.check_url("http://evil.example/", &server).unwrap();
+        assert_eq!(server.query_log().requests()[0].cookie, Some(cookie));
+        assert_eq!(client.cookie(), Some(cookie));
+    }
+
+    #[test]
+    fn multiple_prefixes_sent_when_multiple_decompositions_hit() {
+        let server = server();
+        // Blacklist both the domain and a path on it (the multi-prefix
+        // situation of Section 6).
+        server
+            .blacklist_expressions(
+                "goog-malware-shavar",
+                ["tracked.example/", "tracked.example/article/"],
+            )
+            .unwrap();
+        let mut client = client();
+        client.update(&server);
+        server.clear_query_log();
+
+        client
+            .check_url("http://tracked.example/article/today.html", &server)
+            .unwrap();
+        let log = server.query_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.requests()[0].prefixes.len(), 2);
+    }
+
+    #[test]
+    fn dummy_queries_add_requests() {
+        let server = server();
+        server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
+        let mut client = SafeBrowsingClient::new(
+            ClientConfig::subscribed_to(["goog-malware-shavar"])
+                .with_mitigation(MitigationPolicy::DummyQueries { dummies: 3 }),
+        );
+        client.update(&server);
+        server.clear_query_log();
+
+        let outcome = client.check_url("http://evil.example/", &server).unwrap();
+        assert!(outcome.is_malicious());
+        // 1 real + 3 dummy requests.
+        assert_eq!(server.query_log().len(), 4);
+        assert_eq!(client.metrics().dummy_prefixes_sent, 3);
+    }
+
+    #[test]
+    fn one_prefix_at_a_time_reveals_less() {
+        let server = server();
+        server
+            .blacklist_expressions(
+                "goog-malware-shavar",
+                ["tracked.example/", "tracked.example/article/"],
+            )
+            .unwrap();
+        let mut client = SafeBrowsingClient::new(
+            ClientConfig::subscribed_to(["goog-malware-shavar"])
+                .with_mitigation(MitigationPolicy::OnePrefixAtATime),
+        );
+        client.update(&server);
+        server.clear_query_log();
+
+        let outcome = client
+            .check_url("http://tracked.example/article/today.html", &server)
+            .unwrap();
+        // The domain root already confirms the URL as malicious, so only one
+        // single-prefix request is sent.
+        assert!(outcome.is_malicious());
+        let log = server.query_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.requests()[0].prefixes.len(), 1);
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let server = server();
+        server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
+        let mut client = client();
+        client.update(&server);
+        client.check_url("http://evil.example/", &server).unwrap();
+        client.check_url("http://benign.example/", &server).unwrap();
+        let m = client.metrics();
+        assert_eq!(m.lookups, 2);
+        assert_eq!(m.local_hits, 1);
+        assert_eq!(m.urls_flagged, 1);
+        assert_eq!(m.updates, 1);
+        assert!(client.database_memory_bytes() > 0);
+    }
+
+    #[test]
+    fn invalid_url_is_an_error() {
+        let server = server();
+        let mut client = client();
+        assert!(client.check_url("http:///no-host-here", &server).is_err());
+    }
+}

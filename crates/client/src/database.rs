@@ -1,0 +1,204 @@
+//! The client's local prefix database.
+//!
+//! The database mirrors the provider's blacklists as a set of 32-bit
+//! prefixes, kept current through add/sub chunks, and materialized into one
+//! of the [`sb_store`] backends for membership queries (Section 2.2.2).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sb_hash::{Prefix, PrefixLen};
+use sb_protocol::{Chunk, ChunkKind, ClientListState, ListName};
+use sb_store::{build_store, PrefixStore, StoreBackend};
+
+/// The local, per-list prefix database of a Safe Browsing client.
+pub struct LocalDatabase {
+    backend: StoreBackend,
+    prefix_len: PrefixLen,
+    /// Master copy: per-list sets of prefixes (the store below is rebuilt
+    /// from this after every update, mirroring how Chromium rebuilds its
+    /// delta-coded `PrefixSet`).
+    lists: BTreeMap<ListName, BTreeSet<Prefix>>,
+    /// Per-list chunk state echoed back in update requests.
+    states: BTreeMap<ListName, ClientListState>,
+    /// Materialized query structure over the union of all lists.
+    store: Box<dyn PrefixStore>,
+}
+
+impl std::fmt::Debug for LocalDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalDatabase")
+            .field("backend", &self.backend)
+            .field("prefix_len", &self.prefix_len)
+            .field("lists", &self.lists.len())
+            .field("prefixes", &self.prefix_count())
+            .finish()
+    }
+}
+
+impl LocalDatabase {
+    /// Creates an empty database using the given backend.
+    pub fn new(backend: StoreBackend, prefix_len: PrefixLen) -> Self {
+        LocalDatabase {
+            backend,
+            prefix_len,
+            lists: BTreeMap::new(),
+            states: BTreeMap::new(),
+            store: build_store(backend, prefix_len, std::iter::empty()),
+        }
+    }
+
+    /// Subscribes to a list (idempotent).
+    pub fn subscribe(&mut self, list: impl Into<ListName>) {
+        let list = list.into();
+        self.lists.entry(list.clone()).or_default();
+        self.states.entry(list).or_default();
+    }
+
+    /// The lists the client subscribes to, with their chunk state — the body
+    /// of an update request.
+    pub fn update_request_lists(&self) -> Vec<(ListName, ClientListState)> {
+        self.states
+            .iter()
+            .map(|(name, state)| (name.clone(), state.clone()))
+            .collect()
+    }
+
+    /// Applies the chunks of an update response and rebuilds the store.
+    /// Chunks for lists the client does not subscribe to are ignored.
+    /// Returns the number of chunks applied.
+    pub fn apply_chunks(&mut self, chunks: &[Chunk]) -> usize {
+        let mut applied = 0;
+        for chunk in chunks {
+            let Some(set) = self.lists.get_mut(&chunk.list) else {
+                continue;
+            };
+            match chunk.kind {
+                ChunkKind::Add => {
+                    for p in &chunk.prefixes {
+                        set.insert(*p);
+                    }
+                }
+                ChunkKind::Sub => {
+                    for p in &chunk.prefixes {
+                        set.remove(p);
+                    }
+                }
+            }
+            let state = self.states.entry(chunk.list.clone()).or_default();
+            match chunk.kind {
+                ChunkKind::Add => state.max_add_chunk = state.max_add_chunk.max(chunk.number),
+                ChunkKind::Sub => state.max_sub_chunk = state.max_sub_chunk.max(chunk.number),
+            }
+            applied += 1;
+        }
+        if applied > 0 {
+            self.rebuild();
+        }
+        applied
+    }
+
+    /// Membership test against the union of all subscribed lists.
+    pub fn contains(&self, prefix: &Prefix) -> bool {
+        self.store.contains(prefix)
+    }
+
+    /// Number of distinct prefixes across all lists.
+    pub fn prefix_count(&self) -> usize {
+        self.all_prefixes().len()
+    }
+
+    /// Approximate memory used by the materialized query structure.
+    pub fn memory_bytes(&self) -> usize {
+        self.store.memory_bytes()
+    }
+
+    /// The backend in use.
+    pub fn backend(&self) -> StoreBackend {
+        self.backend
+    }
+
+    /// The prefix length stored.
+    pub fn prefix_len(&self) -> PrefixLen {
+        self.prefix_len
+    }
+
+    fn all_prefixes(&self) -> BTreeSet<Prefix> {
+        self.lists.values().flatten().copied().collect()
+    }
+
+    fn rebuild(&mut self) {
+        self.store = build_store(self.backend, self.prefix_len, self.all_prefixes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_hash::prefix32;
+
+    fn add_chunk(list: &str, number: u32, exprs: &[&str]) -> Chunk {
+        Chunk::add(list, number, exprs.iter().map(|e| prefix32(e)).collect())
+    }
+
+    #[test]
+    fn apply_add_and_sub_chunks() {
+        let mut db = LocalDatabase::new(StoreBackend::DeltaCoded, PrefixLen::L32);
+        db.subscribe("goog-malware-shavar");
+        let applied = db.apply_chunks(&[add_chunk("goog-malware-shavar", 1, &["evil.example/", "bad.example/"])]);
+        assert_eq!(applied, 1);
+        assert_eq!(db.prefix_count(), 2);
+        assert!(db.contains(&prefix32("evil.example/")));
+
+        let sub = Chunk::sub("goog-malware-shavar", 1, vec![prefix32("evil.example/")]);
+        db.apply_chunks(&[sub]);
+        assert!(!db.contains(&prefix32("evil.example/")));
+        assert!(db.contains(&prefix32("bad.example/")));
+        assert_eq!(db.prefix_count(), 1);
+    }
+
+    #[test]
+    fn chunks_for_unsubscribed_lists_are_ignored() {
+        let mut db = LocalDatabase::new(StoreBackend::Raw, PrefixLen::L32);
+        db.subscribe("goog-malware-shavar");
+        let applied = db.apply_chunks(&[add_chunk("other-list", 1, &["evil.example/"])]);
+        assert_eq!(applied, 0);
+        assert_eq!(db.prefix_count(), 0);
+    }
+
+    #[test]
+    fn chunk_state_tracks_maxima() {
+        let mut db = LocalDatabase::new(StoreBackend::Raw, PrefixLen::L32);
+        db.subscribe("l");
+        db.apply_chunks(&[
+            add_chunk("l", 1, &["a/"]),
+            add_chunk("l", 3, &["b/"]),
+            Chunk::sub("l", 2, vec![]),
+        ]);
+        let lists = db.update_request_lists();
+        assert_eq!(lists.len(), 1);
+        assert_eq!(lists[0].1.max_add_chunk, 3);
+        assert_eq!(lists[0].1.max_sub_chunk, 2);
+    }
+
+    #[test]
+    fn union_across_lists() {
+        let mut db = LocalDatabase::new(StoreBackend::Bloom, PrefixLen::L32);
+        db.subscribe("a");
+        db.subscribe("b");
+        db.apply_chunks(&[add_chunk("a", 1, &["x.example/"]), add_chunk("b", 1, &["y.example/"])]);
+        assert!(db.contains(&prefix32("x.example/")));
+        assert!(db.contains(&prefix32("y.example/")));
+        assert_eq!(db.prefix_count(), 2);
+        assert!(db.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn subscribe_is_idempotent() {
+        let mut db = LocalDatabase::new(StoreBackend::Raw, PrefixLen::L32);
+        db.subscribe("a");
+        db.subscribe("a");
+        assert_eq!(db.update_request_lists().len(), 1);
+        assert_eq!(db.backend(), StoreBackend::Raw);
+        assert_eq!(db.prefix_len(), PrefixLen::L32);
+    }
+}

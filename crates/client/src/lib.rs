@@ -1,0 +1,55 @@
+//! # sb-client
+//!
+//! The Safe Browsing client: local prefix database (with the raw, Bloom and
+//! delta-coded backends of `sb-store`), incremental updates, the lookup flow
+//! of Figure 3 (canonicalize → decompose → local check → full-hash request →
+//! verdict), a full-hash cache, per-client metrics and the privacy
+//! mitigations discussed in Section 8 of the paper (deterministic dummy
+//! queries, one-prefix-at-a-time).
+//!
+//! ## Example
+//!
+//! ```
+//! use sb_client::{ClientConfig, SafeBrowsingClient};
+//! use sb_protocol::{Provider, ThreatCategory};
+//! use sb_server::SafeBrowsingServer;
+//!
+//! let server = SafeBrowsingServer::new(Provider::Google);
+//! server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+//! server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
+//!
+//! let mut client = SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
+//! client.update(&server);
+//! assert!(client.check_url("http://evil.example/install.exe", &server).unwrap().is_malicious());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod client;
+mod database;
+mod metrics;
+mod mitigation;
+mod preview;
+
+pub use cache::FullHashCache;
+pub use client::{ClientConfig, ConfirmedMatch, LookupOutcome, SafeBrowsingClient};
+pub use database::LocalDatabase;
+pub use metrics::ClientMetrics;
+pub use mitigation::MitigationPolicy;
+pub use preview::{LookupPreview, PreviewedDecomposition};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SafeBrowsingClient>();
+        assert_send_sync::<LocalDatabase>();
+        assert_send_sync::<FullHashCache>();
+        assert_send_sync::<ClientMetrics>();
+    }
+}

@@ -1,0 +1,69 @@
+//! Client-side counters.
+//!
+//! The metrics quantify exactly what the privacy analysis cares about: how
+//! often the provider is contacted and how many prefixes are revealed per
+//! lookup.
+
+/// Counters accumulated by a [`crate::SafeBrowsingClient`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientMetrics {
+    /// Number of URL lookups performed.
+    pub lookups: usize,
+    /// Lookups for which at least one decomposition prefix matched the
+    /// local database.
+    pub local_hits: usize,
+    /// Full-hash requests sent to the provider (including dummy requests).
+    pub requests_sent: usize,
+    /// Total prefixes revealed to the provider (including dummies).
+    pub prefixes_sent: usize,
+    /// Dummy prefixes revealed (only under the dummy-query mitigation).
+    pub dummy_prefixes_sent: usize,
+    /// Lookups confirmed malicious by the provider.
+    pub urls_flagged: usize,
+    /// Database updates performed.
+    pub updates: usize,
+}
+
+impl ClientMetrics {
+    /// Prefixes revealed that correspond to the user's real browsing
+    /// (excludes dummies).
+    pub fn real_prefixes_sent(&self) -> usize {
+        self.prefixes_sent - self.dummy_prefixes_sent
+    }
+
+    /// Average number of real prefixes revealed per lookup that reached the
+    /// provider (0.0 when no request was sent).
+    pub fn mean_prefixes_per_request(&self) -> f64 {
+        let real_requests = self.requests_sent.saturating_sub(self.dummy_prefixes_sent);
+        if real_requests == 0 {
+            0.0
+        } else {
+            self.real_prefixes_sent() as f64 / real_requests as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let m = ClientMetrics {
+            lookups: 10,
+            local_hits: 4,
+            requests_sent: 5,
+            prefixes_sent: 9,
+            dummy_prefixes_sent: 3,
+            urls_flagged: 2,
+            updates: 1,
+        };
+        assert_eq!(m.real_prefixes_sent(), 6);
+        assert!((m.mean_prefixes_per_request() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_requests_mean_zero() {
+        assert_eq!(ClientMetrics::default().mean_prefixes_per_request(), 0.0);
+    }
+}

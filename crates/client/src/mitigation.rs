@@ -1,0 +1,114 @@
+//! Client-side privacy mitigations (Section 8 of the paper).
+//!
+//! Two countermeasures are modelled:
+//!
+//! * **Deterministic dummy requests** — Firefox's approach: each real
+//!   full-hash query is accompanied by dummy queries derived
+//!   deterministically from the real prefix (determinism avoids the
+//!   differential analysis of sending fresh random dummies each time).
+//!   This raises the k-anonymity of a *single*-prefix query but does not
+//!   prevent multi-prefix re-identification, because two given prefixes are
+//!   essentially never chosen together as dummies.
+//! * **One prefix at a time** — the paper's proposal: query the most
+//!   generic matching decomposition (the domain root) first and only reveal
+//!   further prefixes when needed, so the provider learns the domain but
+//!   not the full URL.
+
+use sb_hash::{Prefix, Sha256};
+
+/// The mitigation policy applied by a client when querying full hashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MitigationPolicy {
+    /// No mitigation: all matching prefixes are sent in one request
+    /// (the behaviour of the deployed services).
+    #[default]
+    None,
+    /// Send `dummies` additional single-prefix dummy requests per real
+    /// request, derived deterministically from the real prefix.
+    DummyQueries {
+        /// Number of dummy requests accompanying each real request.
+        dummies: usize,
+    },
+    /// Send one prefix per request, most-generic decomposition first, and
+    /// stop as soon as the verdict is known.
+    OnePrefixAtATime,
+}
+
+impl MitigationPolicy {
+    /// Generates the deterministic dummy prefixes accompanying a real
+    /// prefix under the [`MitigationPolicy::DummyQueries`] policy.
+    ///
+    /// The i-th dummy is the 32-bit prefix of `SHA-256(prefix-bytes ‖ i)`,
+    /// which is deterministic for a given real prefix (per Firefox's
+    /// design) yet spread uniformly over the prefix space.
+    pub fn dummy_prefixes_for(real: &Prefix, dummies: usize) -> Vec<Prefix> {
+        (0..dummies)
+            .map(|i| {
+                let mut hasher = Sha256::new();
+                hasher.update(real.as_bytes());
+                hasher.update((i as u64).to_be_bytes());
+                hasher.finalize().prefix32()
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for MitigationPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MitigationPolicy::None => f.write_str("none"),
+            MitigationPolicy::DummyQueries { dummies } => write!(f, "dummy-queries({dummies})"),
+            MitigationPolicy::OnePrefixAtATime => f.write_str("one-prefix-at-a-time"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_hash::prefix32;
+
+    #[test]
+    fn dummies_are_deterministic() {
+        let real = prefix32("petsymposium.org/2016/cfp.php");
+        let a = MitigationPolicy::dummy_prefixes_for(&real, 4);
+        let b = MitigationPolicy::dummy_prefixes_for(&real, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn dummies_differ_from_real_and_each_other() {
+        let real = prefix32("petsymposium.org/");
+        let dummies = MitigationPolicy::dummy_prefixes_for(&real, 8);
+        let mut all = dummies.clone();
+        all.push(real);
+        let unique: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), 9);
+    }
+
+    #[test]
+    fn dummies_depend_on_the_real_prefix() {
+        let a = MitigationPolicy::dummy_prefixes_for(&prefix32("a.example/"), 3);
+        let b = MitigationPolicy::dummy_prefixes_for(&prefix32("b.example/"), 3);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(MitigationPolicy::None.to_string(), "none");
+        assert_eq!(
+            MitigationPolicy::DummyQueries { dummies: 3 }.to_string(),
+            "dummy-queries(3)"
+        );
+        assert_eq!(
+            MitigationPolicy::OnePrefixAtATime.to_string(),
+            "one-prefix-at-a-time"
+        );
+    }
+
+    #[test]
+    fn zero_dummies_is_empty() {
+        assert!(MitigationPolicy::dummy_prefixes_for(&prefix32("x/"), 0).is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Lookup previews: what *would* be revealed to the provider.
+//!
+//! The paper's conclusion calls for a browser plugin that makes users aware
+//! of the privacy cost of a Safe Browsing lookup before it happens.  A
+//! [`LookupPreview`] is the building block: it runs the local part of the
+//! Figure 3 flow (canonicalize → decompose → prefix check) *without* sending
+//! anything, and reports exactly which prefixes a real lookup would transmit.
+
+use sb_hash::digest_url;
+use sb_hash::Prefix;
+use sb_url::{decompose, CanonicalUrl, ParseUrlError};
+
+use crate::client::SafeBrowsingClient;
+
+/// One decomposition of the previewed URL and whether it hits the local
+/// database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreviewedDecomposition {
+    /// The decomposition expression (e.g. `petsymposium.org/`).
+    pub expression: String,
+    /// Its 32-bit digest prefix.
+    pub prefix: Prefix,
+    /// Whether the prefix is present in the local database (and would
+    /// therefore be sent to the provider).
+    pub local_hit: bool,
+    /// Whether this decomposition is the bare domain root.
+    pub is_domain_root: bool,
+}
+
+/// The result of previewing a lookup without performing it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupPreview {
+    /// The canonicalized URL that was previewed.
+    pub url: String,
+    /// Every decomposition, in lookup order.
+    pub decompositions: Vec<PreviewedDecomposition>,
+}
+
+impl LookupPreview {
+    /// The prefixes a real lookup would send to the provider (empty when
+    /// the lookup would be resolved locally).
+    pub fn revealed_prefixes(&self) -> Vec<Prefix> {
+        self.decompositions
+            .iter()
+            .filter(|d| d.local_hit)
+            .map(|d| d.prefix)
+            .collect()
+    }
+
+    /// The decomposition expressions whose prefixes would be revealed.
+    pub fn revealed_expressions(&self) -> Vec<&str> {
+        self.decompositions
+            .iter()
+            .filter(|d| d.local_hit)
+            .map(|d| d.expression.as_str())
+            .collect()
+    }
+
+    /// True when nothing would be sent (no local hit).
+    pub fn is_silent(&self) -> bool {
+        self.decompositions.iter().all(|d| !d.local_hit)
+    }
+
+    /// True when the domain-root prefix itself would be revealed, i.e. the
+    /// provider would learn which site is being visited even under the
+    /// one-prefix-at-a-time mitigation.
+    pub fn reveals_domain(&self) -> bool {
+        self.decompositions
+            .iter()
+            .any(|d| d.local_hit && d.is_domain_root)
+    }
+
+    /// Number of prefixes revealed — 2 or more means the URL (or at least
+    /// its position inside the domain) is re-identifiable per Section 6.
+    pub fn revealed_count(&self) -> usize {
+        self.decompositions.iter().filter(|d| d.local_hit).count()
+    }
+}
+
+impl SafeBrowsingClient {
+    /// Previews a lookup: computes the decompositions and checks them
+    /// against the local database, without contacting the provider and
+    /// without touching the client's metrics or cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseUrlError`] when the URL cannot be canonicalized.
+    pub fn preview_url(&self, url: &str) -> Result<LookupPreview, ParseUrlError> {
+        let canonical = CanonicalUrl::parse(url)?;
+        Ok(self.preview_canonical(&canonical))
+    }
+
+    /// Previews a lookup on an already-canonicalized URL.
+    pub fn preview_canonical(&self, url: &CanonicalUrl) -> LookupPreview {
+        let decompositions = decompose(url)
+            .into_iter()
+            .map(|d| {
+                let digest = digest_url(d.expression());
+                let prefix = digest.prefix32();
+                PreviewedDecomposition {
+                    expression: d.expression().to_string(),
+                    local_hit: self.database_contains(&digest.prefix(self.prefix_len())),
+                    is_domain_root: d.is_domain_root(),
+                    prefix,
+                }
+            })
+            .collect();
+        LookupPreview {
+            url: url.expression(),
+            decompositions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientConfig;
+    use sb_protocol::{Provider, ThreatCategory};
+    use sb_server::SafeBrowsingServer;
+
+    fn tracked_client() -> (SafeBrowsingServer, SafeBrowsingClient) {
+        let server = SafeBrowsingServer::new(Provider::Google);
+        server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+        server
+            .blacklist_expressions(
+                "goog-malware-shavar",
+                ["petsymposium.org/", "petsymposium.org/2016/cfp.php"],
+            )
+            .unwrap();
+        let mut client =
+            SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
+        client.update(&server);
+        (server, client)
+    }
+
+    #[test]
+    fn preview_reports_what_a_lookup_would_send() {
+        let (server, client) = tracked_client();
+        let preview = client
+            .preview_url("https://petsymposium.org/2016/cfp.php")
+            .unwrap();
+        assert_eq!(preview.decompositions.len(), 3);
+        assert_eq!(preview.revealed_count(), 2);
+        assert!(preview.reveals_domain());
+        assert!(!preview.is_silent());
+        assert_eq!(
+            preview.revealed_expressions(),
+            vec!["petsymposium.org/2016/cfp.php", "petsymposium.org/"]
+        );
+        // Previewing sends nothing.
+        assert_eq!(server.query_log().len(), 0);
+    }
+
+    #[test]
+    fn preview_of_a_clean_url_is_silent() {
+        let (_server, client) = tracked_client();
+        let preview = client.preview_url("https://unrelated.example/page").unwrap();
+        assert!(preview.is_silent());
+        assert!(preview.revealed_prefixes().is_empty());
+        assert!(!preview.reveals_domain());
+    }
+
+    #[test]
+    fn preview_does_not_change_metrics() {
+        let (_server, client) = tracked_client();
+        let before = *client.metrics();
+        client.preview_url("https://petsymposium.org/2016/cfp.php").unwrap();
+        assert_eq!(*client.metrics(), before);
+    }
+
+    #[test]
+    fn preview_invalid_url_errors() {
+        let (_server, client) = tracked_client();
+        assert!(client.preview_url("http:///nohost").is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! # sb-corpus
+//!
+//! Synthetic web-corpus generation and measurement — the workspace's
+//! substitute for the Common Crawl / Alexa datasets used in Section 6.2 of
+//! the paper.  Corpora are generated deterministically from a seed with the
+//! distributional properties the paper reports (power-law URLs per host,
+//! 61 % single-page random domains, shared directory hierarchies and
+//! subdomains), and [`CorpusStats`] recomputes every quantity plotted in
+//! Figures 5–6 and summarized in Table 8.
+//!
+//! ## Example
+//!
+//! ```
+//! use sb_corpus::{CorpusConfig, CorpusStats, WebCorpus};
+//!
+//! let corpus = WebCorpus::generate(&CorpusConfig::random_like(100, 42).with_page_cap(100));
+//! let stats = CorpusStats::analyze(&corpus);
+//! assert_eq!(stats.num_hosts, 100);
+//! assert!(stats.total_decompositions >= stats.total_urls);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+mod powerlaw;
+mod stats;
+
+pub use corpus::{CorpusConfig, HostDecompositions, HostSite, WebCorpus};
+pub use powerlaw::{fit_power_law, PowerLaw, PowerLawFit};
+pub use stats::{CorpusStats, HostStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WebCorpus>();
+        assert_send_sync::<CorpusStats>();
+        assert_send_sync::<PowerLaw>();
+    }
+}

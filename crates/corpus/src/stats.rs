@@ -1,0 +1,279 @@
+//! Corpus statistics: the quantities plotted in Figures 5 and 6 and
+//! summarized in Table 8 and Section 6.2.
+
+use sb_hash::prefix32;
+
+use crate::corpus::WebCorpus;
+use crate::powerlaw::{fit_power_law, PowerLawFit};
+
+/// Per-host measurements used by the distribution figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostStats {
+    /// Registered domain of the host.
+    pub domain: String,
+    /// Number of URLs crawled on the host (Figure 5a).
+    pub url_count: usize,
+    /// Number of unique decompositions of those URLs (Figure 5c).
+    pub unique_decompositions: usize,
+    /// Mean number of decompositions per URL (Figure 5d).
+    pub mean_decompositions_per_url: f64,
+    /// Minimum number of decompositions per URL (Figure 5e).
+    pub min_decompositions_per_url: usize,
+    /// Maximum number of decompositions per URL (Figure 5f).
+    pub max_decompositions_per_url: usize,
+    /// Number of colliding 32-bit prefixes among the host's unique
+    /// decompositions, i.e. `#decompositions − #distinct prefixes`
+    /// (Figure 6 plots the hosts where this is non-zero).
+    pub prefix_collisions: usize,
+}
+
+/// Aggregate statistics of a corpus (one dataset of Table 8).
+#[derive(Debug, Clone)]
+pub struct CorpusStats {
+    /// Dataset label.
+    pub dataset: String,
+    /// Number of hosts (Table 8, #Domains).
+    pub num_hosts: usize,
+    /// Total number of URLs (Table 8, #URLs).
+    pub total_urls: usize,
+    /// Total number of unique decompositions (Table 8, #Decompositions).
+    pub total_decompositions: usize,
+    /// Per-host measurements, sorted by decreasing URL count (the x-axis of
+    /// Figure 5).
+    pub hosts: Vec<HostStats>,
+    /// Power-law fit of the URLs-per-host distribution (α̂ and its standard
+    /// error, Section 6.2).
+    pub power_law: Option<PowerLawFit>,
+}
+
+impl CorpusStats {
+    /// Computes the statistics of a corpus.
+    ///
+    /// Complexity is linear in the total number of decompositions; for each
+    /// unique decomposition one SHA-256 is computed to detect prefix
+    /// collisions.
+    pub fn analyze(corpus: &WebCorpus) -> Self {
+        let mut hosts: Vec<HostStats> = corpus
+            .sites()
+            .iter()
+            .map(|site| {
+                let profile = site.decomposition_profile();
+                let mut prefixes: Vec<u32> = profile
+                    .unique
+                    .iter()
+                    .map(|expr| prefix32(expr).value())
+                    .collect();
+                prefixes.sort_unstable();
+                prefixes.dedup();
+                let collisions = profile.unique.len() - prefixes.len();
+                HostStats {
+                    domain: site.domain().to_string(),
+                    url_count: site.url_count(),
+                    unique_decompositions: profile.unique.len(),
+                    mean_decompositions_per_url: profile.mean_per_url(),
+                    min_decompositions_per_url: profile.min_per_url(),
+                    max_decompositions_per_url: profile.max_per_url(),
+                    prefix_collisions: collisions,
+                }
+            })
+            .collect();
+        hosts.sort_by(|a, b| b.url_count.cmp(&a.url_count));
+
+        let url_counts: Vec<u64> = hosts.iter().map(|h| h.url_count as u64).collect();
+        let power_law = fit_power_law(&url_counts, 1.0);
+
+        CorpusStats {
+            dataset: corpus.name().to_string(),
+            num_hosts: hosts.len(),
+            total_urls: hosts.iter().map(|h| h.url_count).sum(),
+            total_decompositions: hosts.iter().map(|h| h.unique_decompositions).sum(),
+            hosts,
+            power_law,
+        }
+    }
+
+    /// URLs per host, sorted decreasing (the series of Figure 5a).
+    pub fn urls_per_host(&self) -> Vec<usize> {
+        self.hosts.iter().map(|h| h.url_count).collect()
+    }
+
+    /// Cumulative fraction of URLs covered by the top-k hosts
+    /// (Figure 5b).
+    pub fn cumulative_url_fraction(&self) -> Vec<f64> {
+        let total = self.total_urls.max(1) as f64;
+        let mut acc = 0usize;
+        self.hosts
+            .iter()
+            .map(|h| {
+                acc += h.url_count;
+                acc as f64 / total
+            })
+            .collect()
+    }
+
+    /// Number of (top) hosts needed to cover `fraction` of all URLs — the
+    /// paper reports 19 000 hosts for 80 % of the Alexa dataset and 10 000
+    /// for the random dataset.
+    pub fn hosts_covering(&self, fraction: f64) -> usize {
+        let cumulative = self.cumulative_url_fraction();
+        cumulative
+            .iter()
+            .position(|&f| f >= fraction)
+            .map(|i| i + 1)
+            .unwrap_or(self.hosts.len())
+    }
+
+    /// Fraction of hosts that are single-page (reported as 61 % for the
+    /// random dataset).
+    pub fn single_page_fraction(&self) -> f64 {
+        if self.hosts.is_empty() {
+            return 0.0;
+        }
+        self.hosts.iter().filter(|h| h.url_count == 1).count() as f64 / self.hosts.len() as f64
+    }
+
+    /// Fraction of hosts whose maximum number of decompositions per URL is
+    /// at most `bound` (the paper: 51 % of random hosts and 41 % of Alexa
+    /// hosts for a bound of 10).
+    pub fn fraction_hosts_max_decompositions_at_most(&self, bound: usize) -> f64 {
+        if self.hosts.is_empty() {
+            return 0.0;
+        }
+        self.hosts
+            .iter()
+            .filter(|h| h.max_decompositions_per_url <= bound)
+            .count() as f64
+            / self.hosts.len() as f64
+    }
+
+    /// Fraction of hosts whose mean number of decompositions per URL lies
+    /// in `[lo, hi]` (the paper: over 46 % of hosts in [1, 5]).
+    pub fn fraction_hosts_mean_decompositions_in(&self, lo: f64, hi: f64) -> f64 {
+        if self.hosts.is_empty() {
+            return 0.0;
+        }
+        self.hosts
+            .iter()
+            .filter(|h| h.mean_decompositions_per_url >= lo && h.mean_decompositions_per_url <= hi)
+            .count() as f64
+            / self.hosts.len() as f64
+    }
+
+    /// The non-zero prefix-collision counts, sorted decreasing (the series
+    /// of Figure 6).
+    pub fn nonzero_prefix_collisions(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .hosts
+            .iter()
+            .map(|h| h.prefix_collisions)
+            .filter(|&c| c > 0)
+            .collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+
+    /// Fraction of hosts with at least one 32-bit prefix collision among
+    /// their decompositions (0.48 % for Alexa, 0.26 % for random in the
+    /// paper).
+    pub fn fraction_hosts_with_prefix_collisions(&self) -> f64 {
+        if self.hosts.is_empty() {
+            return 0.0;
+        }
+        self.hosts.iter().filter(|h| h.prefix_collisions > 0).count() as f64
+            / self.hosts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{CorpusConfig, HostSite};
+
+    fn small_corpus() -> WebCorpus {
+        WebCorpus::generate(&CorpusConfig::random_like(200, 99).with_page_cap(200))
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let corpus = small_corpus();
+        let stats = CorpusStats::analyze(&corpus);
+        assert_eq!(stats.num_hosts, 200);
+        assert_eq!(stats.total_urls, corpus.total_urls());
+        assert!(stats.total_decompositions >= stats.total_urls);
+        assert_eq!(stats.hosts.len(), 200);
+    }
+
+    #[test]
+    fn hosts_sorted_by_url_count() {
+        let stats = CorpusStats::analyze(&small_corpus());
+        let counts = stats.urls_per_host();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(counts, sorted);
+    }
+
+    #[test]
+    fn cumulative_fraction_reaches_one() {
+        let stats = CorpusStats::analyze(&small_corpus());
+        let cum = stats.cumulative_url_fraction();
+        assert!((cum.last().copied().unwrap() - 1.0).abs() < 1e-9);
+        assert!(cum.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+    }
+
+    #[test]
+    fn coverage_is_concentrated_on_top_hosts() {
+        // Power-law size distribution: far fewer than 80 % of the hosts are
+        // needed to cover 80 % of the URLs.
+        let stats = CorpusStats::analyze(&small_corpus());
+        let k = stats.hosts_covering(0.8);
+        assert!(k < stats.num_hosts / 2, "k = {k}");
+    }
+
+    #[test]
+    fn single_page_fraction_close_to_preset() {
+        let stats = CorpusStats::analyze(&small_corpus());
+        let f = stats.single_page_fraction();
+        assert!(f > 0.5 && f < 0.8, "fraction = {f}");
+    }
+
+    #[test]
+    fn mean_decomposition_fraction_in_unit_interval() {
+        let stats = CorpusStats::analyze(&small_corpus());
+        let f = stats.fraction_hosts_mean_decompositions_in(1.0, 5.0);
+        assert!((0.0..=1.0).contains(&f));
+        // Most small hosts have few decompositions per URL.
+        assert!(f > 0.3, "fraction = {f}");
+        assert!(stats.fraction_hosts_max_decompositions_at_most(1000) >= f);
+    }
+
+    #[test]
+    fn prefix_collisions_require_many_decompositions() {
+        // A tiny host cannot produce 32-bit prefix collisions.
+        let corpus = WebCorpus::from_sites(
+            "tiny",
+            vec![HostSite::new("a.example", vec!["a.example/".into(), "a.example/x.html".into()])],
+        );
+        let stats = CorpusStats::analyze(&corpus);
+        assert_eq!(stats.hosts[0].prefix_collisions, 0);
+        assert!(stats.nonzero_prefix_collisions().is_empty());
+        assert_eq!(stats.fraction_hosts_with_prefix_collisions(), 0.0);
+    }
+
+    #[test]
+    fn power_law_fit_present_for_generated_corpus() {
+        let stats = CorpusStats::analyze(&small_corpus());
+        let fit = stats.power_law.expect("fit should exist");
+        assert!(fit.alpha_hat > 1.0);
+    }
+
+    #[test]
+    fn empty_corpus_is_handled() {
+        let corpus = WebCorpus::from_sites("empty", vec![]);
+        let stats = CorpusStats::analyze(&corpus);
+        assert_eq!(stats.num_hosts, 0);
+        assert_eq!(stats.total_urls, 0);
+        assert_eq!(stats.single_page_fraction(), 0.0);
+        assert_eq!(stats.hosts_covering(0.8), 0);
+        assert!(stats.power_law.is_none());
+    }
+}

@@ -1,0 +1,190 @@
+//! Full 256-bit digests and hex helpers.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::prefix::{Prefix, PrefixLen};
+
+/// A full 256-bit SHA-256 digest of a canonicalized URL decomposition.
+///
+/// In the Safe Browsing protocol the provider's lists of *full hashes*
+/// contain these values; the client database only stores their 32-bit
+/// [`Prefix`]es.
+///
+/// # Examples
+///
+/// ```
+/// use sb_hash::{Sha256, Digest};
+///
+/// let d: Digest = Sha256::digest(b"petsymposium.org/2016/cfp.php");
+/// assert_eq!(d.prefix32().to_hex(), format!("{:08x}", d.prefix32().value()));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Digest([u8; 32]);
+
+impl Digest {
+    /// Wraps raw digest bytes.
+    pub fn new(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Borrows the raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Consumes the digest and returns the raw bytes.
+    pub fn into_bytes(self) -> [u8; 32] {
+        self.0
+    }
+
+    /// Returns the 32-bit prefix used by the deployed Safe Browsing services.
+    pub fn prefix32(&self) -> Prefix {
+        self.prefix(PrefixLen::L32)
+    }
+
+    /// Returns the ℓ-bit prefix of this digest.
+    pub fn prefix(&self, len: PrefixLen) -> Prefix {
+        Prefix::from_digest(self, len)
+    }
+
+    /// Lowercase hexadecimal representation (64 characters).
+    pub fn to_hex(&self) -> String {
+        encode_hex(&self.0)
+    }
+
+    /// Parses a digest from its 64-character hexadecimal representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDigestError`] if the input is not exactly 64 hex
+    /// characters.
+    pub fn from_hex(hex: &str) -> Result<Self, ParseDigestError> {
+        let bytes = decode_hex(hex).ok_or(ParseDigestError)?;
+        if bytes.len() != 32 {
+            return Err(ParseDigestError);
+        }
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&bytes);
+        Ok(Digest(out))
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl From<[u8; 32]> for Digest {
+    fn from(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl FromStr for Digest {
+    type Err = ParseDigestError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Digest::from_hex(s)
+    }
+}
+
+/// Error returned when parsing a [`Digest`] from an invalid hex string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseDigestError;
+
+impl fmt::Display for ParseDigestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid 256-bit digest hex string")
+    }
+}
+
+impl std::error::Error for ParseDigestError {}
+
+/// Encodes bytes as lowercase hex.
+pub fn encode_hex(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string; returns `None` on odd length or non-hex characters.
+pub fn decode_hex(hex: &str) -> Option<Vec<u8>> {
+    if hex.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(hex.len() / 2);
+    let bytes = hex.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sha256;
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = Sha256::digest(b"example.com/");
+        let parsed = Digest::from_hex(&d.to_hex()).unwrap();
+        assert_eq!(d, parsed);
+    }
+
+    #[test]
+    fn from_str_matches_from_hex() {
+        let d = Sha256::digest(b"x");
+        let parsed: Digest = d.to_hex().parse().unwrap();
+        assert_eq!(d, parsed);
+    }
+
+    #[test]
+    fn invalid_hex_rejected() {
+        assert!(Digest::from_hex("xyz").is_err());
+        assert!(Digest::from_hex("ab").is_err());
+        assert!(Digest::from_hex(&"g".repeat(64)).is_err());
+    }
+
+    #[test]
+    fn display_matches_hex() {
+        let d = Sha256::digest(b"abc");
+        assert_eq!(format!("{d}"), d.to_hex());
+        assert!(format!("{d:?}").starts_with("Digest("));
+    }
+
+    #[test]
+    fn decode_hex_rejects_odd_length() {
+        assert!(decode_hex("abc").is_none());
+        assert_eq!(decode_hex("ab"), Some(vec![0xab]));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_bytes() {
+        let a = Digest::new([0u8; 32]);
+        let mut big = [0u8; 32];
+        big[0] = 1;
+        let b = Digest::new(big);
+        assert!(a < b);
+    }
+}

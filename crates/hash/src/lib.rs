@@ -1,0 +1,71 @@
+//! # sb-hash
+//!
+//! Hashing primitives for the Safe Browsing privacy-analysis workspace:
+//! a from-scratch FIPS 180-4 SHA-256, 256-bit [`Digest`]s, and truncated
+//! [`Prefix`]es of every length used in the paper (16 to 256 bits).
+//!
+//! The Safe Browsing "anonymization" scheme studied by Gerbet, Kumar and
+//! Lauradoux is exactly *hash-and-truncate*: a canonicalized URL
+//! decomposition is hashed with SHA-256 and only the 32-bit prefix of the
+//! digest is stored client-side and revealed to the provider on a hit.
+//!
+//! ## Example
+//!
+//! ```
+//! use sb_hash::{Sha256, PrefixLen};
+//!
+//! let digest = Sha256::digest(b"petsymposium.org/2016/cfp.php");
+//! let prefix = digest.prefix32();
+//! assert_eq!(prefix.len(), PrefixLen::L32);
+//! assert!(prefix.matches_digest(&digest));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod digest;
+mod prefix;
+mod sha256;
+
+pub use digest::{decode_hex, encode_hex, Digest, ParseDigestError};
+pub use prefix::{Prefix, PrefixLen};
+pub use sha256::Sha256;
+
+/// Convenience: SHA-256 digest of a canonical URL expression (string form).
+///
+/// ```
+/// let d = sb_hash::digest_url("petsymposium.org/");
+/// assert_eq!(d, sb_hash::Sha256::digest(b"petsymposium.org/"));
+/// ```
+pub fn digest_url(url_expression: &str) -> Digest {
+    Sha256::digest(url_expression.as_bytes())
+}
+
+/// Convenience: 32-bit prefix of the SHA-256 digest of a URL expression.
+///
+/// ```
+/// let p = sb_hash::prefix32("petsymposium.org/");
+/// assert_eq!(p, sb_hash::digest_url("petsymposium.org/").prefix32());
+/// ```
+pub fn prefix32(url_expression: &str) -> Prefix {
+    digest_url(url_expression).prefix32()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_agree() {
+        let d = digest_url("b.c/1/");
+        assert_eq!(prefix32("b.c/1/"), d.prefix32());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Digest>();
+        assert_send_sync::<Prefix>();
+        assert_send_sync::<Sha256>();
+    }
+}

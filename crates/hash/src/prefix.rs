@@ -1,0 +1,270 @@
+//! Truncated digest prefixes.
+//!
+//! Safe Browsing "anonymizes" URLs by truncating the SHA-256 digest of each
+//! decomposition to a short prefix.  The deployed services use 32-bit
+//! prefixes; the paper additionally evaluates 16, 64, 80, 96, 128 and
+//! 256-bit prefixes in Tables 2 and 5, so the prefix type supports any
+//! length between 1 and 256 bits.
+
+use std::fmt;
+
+use crate::Digest;
+
+/// Supported prefix bit-lengths.
+///
+/// `PrefixLen` is kept as an enum (rather than a raw `u16`) so that every
+/// length handled by the experiments is nameable and validated statically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PrefixLen {
+    /// 16-bit prefixes (Table 5 only).
+    L16,
+    /// 32-bit prefixes — the length deployed by Google and Yandex.
+    L32,
+    /// 64-bit prefixes.
+    L64,
+    /// 80-bit prefixes (Table 2).
+    L80,
+    /// 96-bit prefixes (Table 5).
+    L96,
+    /// 128-bit prefixes (Table 2).
+    L128,
+    /// Full 256-bit digests treated as prefixes (Table 2).
+    L256,
+}
+
+impl PrefixLen {
+    /// All lengths used in the paper's experiments, in increasing order.
+    pub const ALL: [PrefixLen; 7] = [
+        PrefixLen::L16,
+        PrefixLen::L32,
+        PrefixLen::L64,
+        PrefixLen::L80,
+        PrefixLen::L96,
+        PrefixLen::L128,
+        PrefixLen::L256,
+    ];
+
+    /// Number of bits in the prefix.
+    pub fn bits(self) -> u32 {
+        match self {
+            PrefixLen::L16 => 16,
+            PrefixLen::L32 => 32,
+            PrefixLen::L64 => 64,
+            PrefixLen::L80 => 80,
+            PrefixLen::L96 => 96,
+            PrefixLen::L128 => 128,
+            PrefixLen::L256 => 256,
+        }
+    }
+
+    /// Number of bytes needed to store the prefix.
+    pub fn bytes(self) -> usize {
+        (self.bits() as usize) / 8
+    }
+
+    /// Builds a `PrefixLen` from a bit count.
+    pub fn from_bits(bits: u32) -> Option<Self> {
+        PrefixLen::ALL.into_iter().find(|l| l.bits() == bits)
+    }
+
+    /// Number of distinct prefixes of this length, as `f64` (2^bits).
+    ///
+    /// Used by the balls-into-bins analysis; `f64` is sufficient because the
+    /// analysis only needs ~15 significant digits.
+    pub fn space_size(self) -> f64 {
+        2f64.powi(self.bits() as i32)
+    }
+}
+
+impl fmt::Display for PrefixLen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bits())
+    }
+}
+
+/// A truncated digest prefix of a given [`PrefixLen`].
+///
+/// The deployed 32-bit case is the common one; [`Prefix::value`] exposes it
+/// as a `u32` and [`Prefix::to_hex`] prints the `0x`-less hex form used in
+/// the paper's tables.
+///
+/// # Examples
+///
+/// ```
+/// use sb_hash::{Sha256, PrefixLen};
+///
+/// let d = Sha256::digest(b"petsymposium.org/");
+/// let p32 = d.prefix32();
+/// let p64 = d.prefix(PrefixLen::L64);
+/// assert_eq!(p32.len(), PrefixLen::L32);
+/// assert!(p64.matches_digest(&d));
+/// assert!(p32.matches_digest(&d));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Prefix {
+    /// Prefix bytes, left-aligned; only the first `len.bytes()` are valid.
+    bytes: [u8; 32],
+    len: PrefixLen,
+}
+
+impl Prefix {
+    /// Extracts the ℓ-bit prefix of a digest.
+    pub fn from_digest(digest: &Digest, len: PrefixLen) -> Self {
+        let mut bytes = [0u8; 32];
+        let n = len.bytes();
+        bytes[..n].copy_from_slice(&digest.as_bytes()[..n]);
+        Prefix { bytes, len }
+    }
+
+    /// Builds a 32-bit prefix from its integer value (big-endian semantics,
+    /// i.e. `0xe70ee6d1` corresponds to leading digest bytes `e7 0e e6 d1`).
+    pub fn from_u32(value: u32) -> Self {
+        let mut bytes = [0u8; 32];
+        bytes[..4].copy_from_slice(&value.to_be_bytes());
+        Prefix {
+            bytes,
+            len: PrefixLen::L32,
+        }
+    }
+
+    /// Builds a prefix from raw bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len()` does not match `len.bytes()`.
+    pub fn from_bytes(bytes: &[u8], len: PrefixLen) -> Self {
+        assert_eq!(
+            bytes.len(),
+            len.bytes(),
+            "prefix byte length must match the declared prefix length"
+        );
+        let mut buf = [0u8; 32];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        Prefix { bytes: buf, len }
+    }
+
+    /// The prefix length.
+    pub fn len(&self) -> PrefixLen {
+        self.len
+    }
+
+    /// Always `false`: a prefix has at least 16 bits.  Provided for
+    /// `len`/`is_empty` API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The valid prefix bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes[..self.len.bytes()]
+    }
+
+    /// The prefix as a `u32` (only meaningful for 16/32-bit prefixes; longer
+    /// prefixes return their leading 32 bits).
+    pub fn value(&self) -> u32 {
+        u32::from_be_bytes([self.bytes[0], self.bytes[1], self.bytes[2], self.bytes[3]])
+            >> (32u32.saturating_sub(self.len.bits().min(32)))
+    }
+
+    /// Returns true if this prefix is a prefix of `digest`.
+    pub fn matches_digest(&self, digest: &Digest) -> bool {
+        digest.as_bytes()[..self.len.bytes()] == self.bytes[..self.len.bytes()]
+    }
+
+    /// Lowercase hex of the prefix bytes (e.g. `e70ee6d1` for a 32-bit
+    /// prefix).
+    pub fn to_hex(&self) -> String {
+        crate::encode_hex(self.as_bytes())
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Prefix{}(0x{})", self.len.bits(), self.to_hex())
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl fmt::LowerHex for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl From<u32> for Prefix {
+    fn from(value: u32) -> Self {
+        Prefix::from_u32(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sha256;
+
+    #[test]
+    fn prefix32_is_leading_four_bytes() {
+        let d = Sha256::digest(b"abc");
+        let p = d.prefix32();
+        assert_eq!(p.as_bytes(), &d.as_bytes()[..4]);
+        assert_eq!(p.to_hex(), d.to_hex()[..8]);
+    }
+
+    #[test]
+    fn from_u32_roundtrip() {
+        let p = Prefix::from_u32(0xe70ee6d1);
+        assert_eq!(p.value(), 0xe70ee6d1);
+        assert_eq!(p.to_hex(), "e70ee6d1");
+        assert_eq!(format!("{p}"), "0xe70ee6d1");
+    }
+
+    #[test]
+    fn matches_digest() {
+        let d = Sha256::digest(b"example.com/path");
+        for len in PrefixLen::ALL {
+            assert!(d.prefix(len).matches_digest(&d), "len={len}");
+        }
+        let other = Sha256::digest(b"other.org/");
+        assert!(!d.prefix32().matches_digest(&other));
+    }
+
+    #[test]
+    fn prefix_len_bits_and_bytes() {
+        assert_eq!(PrefixLen::L32.bits(), 32);
+        assert_eq!(PrefixLen::L32.bytes(), 4);
+        assert_eq!(PrefixLen::L256.bytes(), 32);
+        assert_eq!(PrefixLen::from_bits(80), Some(PrefixLen::L80));
+        assert_eq!(PrefixLen::from_bits(7), None);
+    }
+
+    #[test]
+    fn space_size() {
+        assert_eq!(PrefixLen::L16.space_size(), 65536.0);
+        assert_eq!(PrefixLen::L32.space_size(), 4294967296.0);
+    }
+
+    #[test]
+    fn sixteen_bit_value() {
+        let p = Prefix::from_bytes(&[0xab, 0xcd], PrefixLen::L16);
+        assert_eq!(p.value(), 0xabcd);
+        assert_eq!(p.to_hex(), "abcd");
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix byte length")]
+    fn from_bytes_wrong_length_panics() {
+        let _ = Prefix::from_bytes(&[1, 2, 3], PrefixLen::L32);
+    }
+
+    #[test]
+    fn ordering_groups_by_bytes() {
+        let a = Prefix::from_u32(1);
+        let b = Prefix::from_u32(2);
+        assert!(a < b);
+    }
+}

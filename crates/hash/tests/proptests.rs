@@ -1,0 +1,69 @@
+//! Property-based tests of the SHA-256 implementation and prefix handling.
+
+use proptest::prelude::*;
+use sb_hash::{decode_hex, encode_hex, Digest, PrefixLen, Sha256};
+
+proptest! {
+    /// Hashing is deterministic and one-shot equals arbitrary chunking.
+    #[test]
+    fn chunked_hashing_matches_oneshot(
+        data in prop::collection::vec(any::<u8>(), 0..2048),
+        chunk_sizes in prop::collection::vec(1usize..128, 0..32),
+    ) {
+        let oneshot = Sha256::digest(&data);
+        let mut hasher = Sha256::new();
+        let mut offset = 0;
+        for size in chunk_sizes {
+            if offset >= data.len() {
+                break;
+            }
+            let end = (offset + size).min(data.len());
+            hasher.update(&data[offset..end]);
+            offset = end;
+        }
+        hasher.update(&data[offset..]);
+        prop_assert_eq!(hasher.finalize(), oneshot);
+    }
+
+    /// Distinct short inputs essentially never collide on the full digest
+    /// (and the digest length is always 32 bytes).
+    #[test]
+    fn distinct_inputs_distinct_digests(a in "[a-z]{1,16}", b in "[a-z]{1,16}") {
+        prop_assume!(a != b);
+        let da = Sha256::digest(a.as_bytes());
+        let db = Sha256::digest(b.as_bytes());
+        prop_assert_ne!(da, db);
+        prop_assert_eq!(da.as_bytes().len(), 32);
+    }
+
+    /// Hex encoding round-trips for arbitrary byte strings.
+    #[test]
+    fn hex_roundtrip(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let hex = encode_hex(&bytes);
+        prop_assert_eq!(hex.len(), bytes.len() * 2);
+        prop_assert_eq!(decode_hex(&hex).unwrap(), bytes);
+    }
+
+    /// Digest hex parsing accepts exactly what Display produces.
+    #[test]
+    fn digest_display_parse_roundtrip(bytes in prop::array::uniform32(any::<u8>())) {
+        let d = Digest::new(bytes);
+        let parsed: Digest = d.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, d);
+    }
+
+    /// Longer prefixes refine shorter ones: if two digests share an l-bit
+    /// prefix they also share every shorter prefix.
+    #[test]
+    fn prefix_lengths_are_nested(a in "[a-z]{1,12}", b in "[a-z]{1,12}") {
+        let da = Sha256::digest(a.as_bytes());
+        let db = Sha256::digest(b.as_bytes());
+        let lens = PrefixLen::ALL;
+        for window in lens.windows(2) {
+            let (short, long) = (window[0], window[1]);
+            if da.prefix(long) == db.prefix(long) {
+                prop_assert_eq!(da.prefix(short), db.prefix(short));
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Safe Browsing providers and threat categories.
+
+use std::fmt;
+
+/// The two Safe Browsing providers analysed in the paper.
+///
+/// Both expose the same v3 API; Yandex additionally serves 17 extra
+/// blacklists (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Provider {
+    /// Google Safe Browsing (GSB).
+    Google,
+    /// Yandex Safe Browsing (YSB), a verbatim copy of the GSB architecture.
+    Yandex,
+}
+
+impl Provider {
+    /// Both providers, in the order used by the paper's tables.
+    pub const ALL: [Provider; 2] = [Provider::Google, Provider::Yandex];
+}
+
+impl fmt::Display for Provider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Provider::Google => f.write_str("Google"),
+            Provider::Yandex => f.write_str("Yandex"),
+        }
+    }
+}
+
+/// The kind of threat (or content class) a blacklist covers.
+///
+/// Google only blacklists malware, phishing and unwanted software; Yandex
+/// adds content categories (adult, pornography, shocking content), fraud and
+/// man-in-the-browser lists — which is precisely what makes the
+/// re-identification findings privacy-sensitive (Section 7.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ThreatCategory {
+    /// Malware distribution pages.
+    Malware,
+    /// Malware lists restricted to mobile devices.
+    MobileMalware,
+    /// Phishing pages.
+    Phishing,
+    /// Unwanted software.
+    UnwantedSoftware,
+    /// Adult websites.
+    Adult,
+    /// Pornography hosts.
+    Pornography,
+    /// Man-in-the-browser infrastructure.
+    ManInTheBrowser,
+    /// SMS fraud.
+    SmsFraud,
+    /// Shocking content ("yellow" lists).
+    Shocking,
+    /// Malicious images.
+    MaliciousImage,
+    /// Malicious binaries / browser extensions.
+    MaliciousBinary,
+    /// Test lists.
+    Test,
+    /// Unused / reserved lists.
+    Unused,
+}
+
+impl ThreatCategory {
+    /// Whether a hit on this category reveals *sensitive traits* of the user
+    /// (the paper's examples: pornography, adult or shocking content allow
+    /// inferring behaviour well beyond security).
+    pub fn is_sensitive_trait(self) -> bool {
+        matches!(
+            self,
+            ThreatCategory::Adult | ThreatCategory::Pornography | ThreatCategory::Shocking
+        )
+    }
+
+    /// Whether the category is an actual security threat (as opposed to a
+    /// content category or a test list).
+    pub fn is_security_threat(self) -> bool {
+        matches!(
+            self,
+            ThreatCategory::Malware
+                | ThreatCategory::MobileMalware
+                | ThreatCategory::Phishing
+                | ThreatCategory::UnwantedSoftware
+                | ThreatCategory::ManInTheBrowser
+                | ThreatCategory::SmsFraud
+                | ThreatCategory::MaliciousImage
+                | ThreatCategory::MaliciousBinary
+        )
+    }
+}
+
+impl fmt::Display for ThreatCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ThreatCategory::Malware => "malware",
+            ThreatCategory::MobileMalware => "mobile malware",
+            ThreatCategory::Phishing => "phishing",
+            ThreatCategory::UnwantedSoftware => "unwanted software",
+            ThreatCategory::Adult => "adult website",
+            ThreatCategory::Pornography => "pornography",
+            ThreatCategory::ManInTheBrowser => "man-in-the-browser",
+            ThreatCategory::SmsFraud => "sms fraud",
+            ThreatCategory::Shocking => "shocking content",
+            ThreatCategory::MaliciousImage => "malicious image",
+            ThreatCategory::MaliciousBinary => "malicious binary",
+            ThreatCategory::Test => "test file",
+            ThreatCategory::Unused => "unused",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitive_categories() {
+        assert!(ThreatCategory::Pornography.is_sensitive_trait());
+        assert!(ThreatCategory::Adult.is_sensitive_trait());
+        assert!(ThreatCategory::Shocking.is_sensitive_trait());
+        assert!(!ThreatCategory::Malware.is_sensitive_trait());
+    }
+
+    #[test]
+    fn security_vs_content() {
+        assert!(ThreatCategory::Malware.is_security_threat());
+        assert!(ThreatCategory::SmsFraud.is_security_threat());
+        assert!(!ThreatCategory::Pornography.is_security_threat());
+        assert!(!ThreatCategory::Test.is_security_threat());
+    }
+
+    #[test]
+    fn display_matches_paper_wording() {
+        assert_eq!(ThreatCategory::Shocking.to_string(), "shocking content");
+        assert_eq!(Provider::Google.to_string(), "Google");
+        assert_eq!(Provider::Yandex.to_string(), "Yandex");
+    }
+}

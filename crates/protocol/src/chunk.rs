@@ -1,0 +1,81 @@
+//! Update chunks.
+//!
+//! The v3 API delivers blacklist updates as numbered *chunks*: `add` chunks
+//! carry new prefixes, `sub` chunks revoke prefixes added by earlier chunks.
+//! The client tracks the chunk numbers it holds per list and sends them back
+//! in the next update request so the server can compute a delta.
+
+use sb_hash::Prefix;
+
+use crate::lists::ListName;
+
+/// The kind of a chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChunkKind {
+    /// Adds prefixes to the list.
+    Add,
+    /// Removes prefixes previously added.
+    Sub,
+}
+
+/// A numbered add/sub chunk of prefixes for one list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// The list this chunk belongs to.
+    pub list: ListName,
+    /// Monotonically increasing chunk number within the list.
+    pub number: u32,
+    /// Add or sub semantics.
+    pub kind: ChunkKind,
+    /// The prefixes carried by the chunk.
+    pub prefixes: Vec<Prefix>,
+}
+
+impl Chunk {
+    /// Creates an `add` chunk.
+    pub fn add(list: impl Into<ListName>, number: u32, prefixes: Vec<Prefix>) -> Self {
+        Chunk {
+            list: list.into(),
+            number,
+            kind: ChunkKind::Add,
+            prefixes,
+        }
+    }
+
+    /// Creates a `sub` chunk.
+    pub fn sub(list: impl Into<ListName>, number: u32, prefixes: Vec<Prefix>) -> Self {
+        Chunk {
+            list: list.into(),
+            number,
+            kind: ChunkKind::Sub,
+            prefixes,
+        }
+    }
+
+    /// Number of prefixes carried.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// True when the chunk carries no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_hash::prefix32;
+
+    #[test]
+    fn constructors_set_kind() {
+        let a = Chunk::add("goog-malware-shavar", 1, vec![prefix32("a/")]);
+        let s = Chunk::sub("goog-malware-shavar", 2, vec![]);
+        assert_eq!(a.kind, ChunkKind::Add);
+        assert_eq!(s.kind, ChunkKind::Sub);
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! The Safe Browsing cookie.
+//!
+//! When the Safe Browsing client is embedded in a browser, every full-hash
+//! request carries a cookie that identifies the client — the same cookie
+//! used by the provider's other services (Section 2.2.3).  Google states the
+//! cookie only serves server-side monitoring, but the paper's tracking
+//! system (Section 6.3) relies on it to link successive prefix queries of
+//! the same user, so it is modelled explicitly.
+
+use std::fmt;
+
+/// An opaque identifier linking requests of the same client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientCookie(u64);
+
+impl ClientCookie {
+    /// Creates a cookie with the given identifier.
+    pub fn new(id: u64) -> Self {
+        ClientCookie(id)
+    }
+
+    /// The raw identifier.
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ClientCookie {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cookie-{:016x}", self.0)
+    }
+}
+
+impl From<u64> for ClientCookie {
+    fn from(id: u64) -> Self {
+        ClientCookie(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cookie_identity() {
+        let a = ClientCookie::new(7);
+        let b: ClientCookie = 7u64.into();
+        assert_eq!(a, b);
+        assert_eq!(a.id(), 7);
+        assert_eq!(a.to_string(), "cookie-0000000000000007");
+    }
+}

@@ -1,0 +1,53 @@
+//! # sb-protocol
+//!
+//! Shared Safe Browsing v3 protocol types: providers and threat categories,
+//! the published list inventories of Google (Table 1) and Yandex (Table 3),
+//! update chunks, full-hash request/response messages, the Safe Browsing
+//! cookie, and the [`SafeBrowsingService`] trait implemented by the
+//! simulated provider in `sb-server`.
+//!
+//! ## Example
+//!
+//! ```
+//! use sb_protocol::{google_lists, Provider, ThreatCategory};
+//!
+//! let malware = google_lists()
+//!     .into_iter()
+//!     .find(|l| l.category == ThreatCategory::Malware)
+//!     .unwrap();
+//! assert_eq!(malware.provider, Provider::Google);
+//! assert_eq!(malware.prefix_count, Some(317_807));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod category;
+mod chunk;
+mod cookie;
+mod lists;
+mod messages;
+
+pub use category::{Provider, ThreatCategory};
+pub use chunk::{Chunk, ChunkKind};
+pub use cookie::ClientCookie;
+pub use lists::{google_lists, lists_for, yandex_lists, ListDescriptor, ListName};
+pub use messages::{
+    ClientListState, FullHashEntry, FullHashRequest, FullHashResponse, SafeBrowsingService,
+    UpdateRequest, UpdateResponse,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ListName>();
+        assert_send_sync::<Chunk>();
+        assert_send_sync::<FullHashRequest>();
+        assert_send_sync::<FullHashResponse>();
+        assert_send_sync::<ClientCookie>();
+    }
+}

@@ -1,0 +1,192 @@
+//! Blacklist names and the published list inventories.
+//!
+//! Tables 1 and 3 of the paper enumerate the shavar lists served by Google
+//! and Yandex in early 2015, together with the number of 32-bit prefixes in
+//! each.  The inventories below reproduce those tables verbatim; the
+//! simulated server uses them to size its synthetic blacklists so that the
+//! blacklist-audit experiments (Tables 10–12) run against databases of the
+//! same shape as the deployed ones.
+
+use std::fmt;
+
+use crate::category::{Provider, ThreatCategory};
+
+/// The name of a Safe Browsing list (e.g. `goog-malware-shavar`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ListName(String);
+
+impl ListName {
+    /// Creates a list name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ListName(name.into())
+    }
+
+    /// The raw list name string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ListName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ListName {
+    fn from(s: &str) -> Self {
+        ListName::new(s)
+    }
+}
+
+impl From<String> for ListName {
+    fn from(s: String) -> Self {
+        ListName::new(s)
+    }
+}
+
+/// Static description of a blacklist: provider, category and the prefix
+/// count published in the paper (`None` where the paper marks the cell
+/// with `*`, i.e. the information could not be obtained).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListDescriptor {
+    /// List name (shavar / digestvar identifier).
+    pub name: ListName,
+    /// Which provider serves the list.
+    pub provider: Provider,
+    /// Threat or content category.
+    pub category: ThreatCategory,
+    /// Number of 32-bit prefixes reported in the paper (early 2015), if
+    /// known.
+    pub prefix_count: Option<usize>,
+}
+
+impl ListDescriptor {
+    fn new(
+        name: &str,
+        provider: Provider,
+        category: ThreatCategory,
+        prefix_count: Option<usize>,
+    ) -> Self {
+        ListDescriptor {
+            name: ListName::new(name),
+            provider,
+            category,
+            prefix_count,
+        }
+    }
+}
+
+/// The Google Safe Browsing list inventory (Table 1).
+pub fn google_lists() -> Vec<ListDescriptor> {
+    use ThreatCategory::*;
+    vec![
+        ListDescriptor::new("goog-malware-shavar", Provider::Google, Malware, Some(317_807)),
+        ListDescriptor::new("goog-regtest-shavar", Provider::Google, Test, Some(29_667)),
+        ListDescriptor::new("goog-unwanted-shavar", Provider::Google, UnwantedSoftware, None),
+        ListDescriptor::new("goog-whitedomain-shavar", Provider::Google, Unused, Some(1)),
+        ListDescriptor::new("googpub-phish-shavar", Provider::Google, Phishing, Some(312_621)),
+    ]
+}
+
+/// The Yandex Safe Browsing list inventory (Table 3).
+pub fn yandex_lists() -> Vec<ListDescriptor> {
+    use ThreatCategory::*;
+    vec![
+        ListDescriptor::new("goog-malware-shavar", Provider::Yandex, Malware, Some(283_211)),
+        ListDescriptor::new(
+            "goog-mobile-only-malware-shavar",
+            Provider::Yandex,
+            MobileMalware,
+            Some(2_107),
+        ),
+        ListDescriptor::new("goog-phish-shavar", Provider::Yandex, Phishing, Some(31_593)),
+        ListDescriptor::new("ydx-adult-shavar", Provider::Yandex, Adult, Some(434)),
+        ListDescriptor::new("ydx-adult-testing-shavar", Provider::Yandex, Test, Some(535)),
+        ListDescriptor::new("ydx-imgs-shavar", Provider::Yandex, MaliciousImage, Some(0)),
+        ListDescriptor::new("ydx-malware-shavar", Provider::Yandex, Malware, Some(283_211)),
+        ListDescriptor::new("ydx-mitb-masks-shavar", Provider::Yandex, ManInTheBrowser, Some(87)),
+        ListDescriptor::new(
+            "ydx-mobile-only-malware-shavar",
+            Provider::Yandex,
+            MobileMalware,
+            Some(2_107),
+        ),
+        ListDescriptor::new("ydx-phish-shavar", Provider::Yandex, Phishing, Some(31_593)),
+        ListDescriptor::new(
+            "ydx-porno-hosts-top-shavar",
+            Provider::Yandex,
+            Pornography,
+            Some(99_990),
+        ),
+        ListDescriptor::new("ydx-sms-fraud-shavar", Provider::Yandex, SmsFraud, Some(10_609)),
+        ListDescriptor::new("ydx-test-shavar", Provider::Yandex, Test, Some(0)),
+        ListDescriptor::new("ydx-yellow-shavar", Provider::Yandex, Shocking, Some(209)),
+        ListDescriptor::new("ydx-yellow-testing-shavar", Provider::Yandex, Test, Some(370)),
+        ListDescriptor::new("ydx-badcrxids-digestvar", Provider::Yandex, MaliciousBinary, None),
+        ListDescriptor::new("ydx-badbin-digestvar", Provider::Yandex, MaliciousBinary, None),
+        ListDescriptor::new("ydx-mitb-uids", Provider::Yandex, ManInTheBrowser, None),
+        ListDescriptor::new("ydx-badcrxids-testing-digestvar", Provider::Yandex, Test, None),
+    ]
+}
+
+/// Inventory for one provider.
+pub fn lists_for(provider: Provider) -> Vec<ListDescriptor> {
+    match provider {
+        Provider::Google => google_lists(),
+        Provider::Yandex => yandex_lists(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_five_lists() {
+        let lists = google_lists();
+        assert_eq!(lists.len(), 5);
+        let malware = lists.iter().find(|l| l.name.as_str() == "goog-malware-shavar").unwrap();
+        assert_eq!(malware.prefix_count, Some(317_807));
+        let phish = lists.iter().find(|l| l.name.as_str() == "googpub-phish-shavar").unwrap();
+        assert_eq!(phish.prefix_count, Some(312_621));
+    }
+
+    #[test]
+    fn table3_has_nineteen_lists() {
+        let lists = yandex_lists();
+        assert_eq!(lists.len(), 19);
+        let porno = lists
+            .iter()
+            .find(|l| l.name.as_str() == "ydx-porno-hosts-top-shavar")
+            .unwrap();
+        assert_eq!(porno.prefix_count, Some(99_990));
+        assert_eq!(porno.category, ThreatCategory::Pornography);
+        // Four cells are unknown (*) in the paper.
+        assert_eq!(lists.iter().filter(|l| l.prefix_count.is_none()).count(), 4);
+    }
+
+    #[test]
+    fn yandex_and_google_malware_lists_share_names() {
+        // The paper highlights that goog-malware-shavar appears in both
+        // inventories (served by both providers).
+        let g: Vec<String> = google_lists().iter().map(|l| l.name.to_string()).collect();
+        let y: Vec<String> = yandex_lists().iter().map(|l| l.name.to_string()).collect();
+        assert!(g.contains(&"goog-malware-shavar".to_string()));
+        assert!(y.contains(&"goog-malware-shavar".to_string()));
+    }
+
+    #[test]
+    fn list_name_conversions() {
+        let a: ListName = "goog-malware-shavar".into();
+        let b = ListName::new(String::from("goog-malware-shavar"));
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "goog-malware-shavar");
+    }
+
+    #[test]
+    fn lists_for_dispatches() {
+        assert_eq!(lists_for(Provider::Google).len(), 5);
+        assert_eq!(lists_for(Provider::Yandex).len(), 19);
+    }
+}

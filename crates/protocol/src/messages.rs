@@ -1,0 +1,152 @@
+//! Request/response messages exchanged between client and provider.
+//!
+//! These are in-process equivalents of the HTTP messages of the v3 API.
+//! Two kinds of exchanges matter for the privacy analysis:
+//!
+//! * **Updates** (`downloads` requests) keep the client's local prefix
+//!   database current; they reveal nothing about visited URLs.
+//! * **Full-hash requests** (`gethash`) are sent when a visited URL's
+//!   decomposition prefix hits the local database; the prefixes they carry
+//!   are exactly the information the provider learns about the client's
+//!   browsing, and the paper's threat model assumes the provider logs them
+//!   together with the Safe Browsing cookie and a timestamp.
+
+use sb_hash::{Digest, Prefix};
+
+use crate::chunk::Chunk;
+use crate::cookie::ClientCookie;
+use crate::lists::ListName;
+
+/// The chunk state a client holds for one list (highest add/sub chunk
+/// numbers already applied).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientListState {
+    /// Highest add-chunk number applied (0 when none).
+    pub max_add_chunk: u32,
+    /// Highest sub-chunk number applied (0 when none).
+    pub max_sub_chunk: u32,
+}
+
+/// A database-update request (one entry per subscribed list).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateRequest {
+    /// Lists the client subscribes to, with the chunk state it already has.
+    pub lists: Vec<(ListName, ClientListState)>,
+}
+
+/// A database-update response.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateResponse {
+    /// Chunks the client must apply, in order.
+    pub chunks: Vec<Chunk>,
+    /// Minimum delay before the next update request, in seconds.
+    pub next_update_seconds: u64,
+}
+
+/// A full-hash request: the prefixes that matched the local database for a
+/// single URL lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FullHashRequest {
+    /// The matching prefixes (one per matching decomposition).
+    pub prefixes: Vec<Prefix>,
+    /// The Safe Browsing cookie identifying the client, when the transport
+    /// attaches one (browsers cannot disable it; see Section 2.2.3).
+    pub cookie: Option<ClientCookie>,
+}
+
+impl FullHashRequest {
+    /// Builds a request for a set of prefixes without a cookie.
+    pub fn new(prefixes: Vec<Prefix>) -> Self {
+        FullHashRequest {
+            prefixes,
+            cookie: None,
+        }
+    }
+
+    /// Attaches the client cookie.
+    pub fn with_cookie(mut self, cookie: ClientCookie) -> Self {
+        self.cookie = Some(cookie);
+        self
+    }
+}
+
+/// One full digest returned by the provider, tagged with the list it came
+/// from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FullHashEntry {
+    /// List containing the digest.
+    pub list: ListName,
+    /// The full 256-bit digest.
+    pub digest: Digest,
+}
+
+/// Response to a [`FullHashRequest`]: all full digests whose prefix matches
+/// one of the requested prefixes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FullHashResponse {
+    /// Matching full digests (possibly empty: the prefix hit was then a
+    /// false positive — or an orphan prefix, see Section 7.2).
+    pub entries: Vec<FullHashEntry>,
+}
+
+impl FullHashResponse {
+    /// True if `digest` appears in the response.
+    pub fn contains_digest(&self, digest: &Digest) -> bool {
+        self.entries.iter().any(|e| &e.digest == digest)
+    }
+
+    /// The lists in which `digest` appears.
+    pub fn lists_for_digest(&self, digest: &Digest) -> Vec<&ListName> {
+        self.entries
+            .iter()
+            .filter(|e| &e.digest == digest)
+            .map(|e| &e.list)
+            .collect()
+    }
+}
+
+/// The provider-side interface a Safe Browsing client talks to.
+///
+/// `sb-server` implements this for the simulated Google/Yandex provider;
+/// tests can provide lightweight fakes.
+pub trait SafeBrowsingService {
+    /// Serves a database update.
+    fn update(&self, request: &UpdateRequest) -> UpdateResponse;
+
+    /// Serves a full-hash request.
+    fn full_hashes(&self, request: &FullHashRequest) -> FullHashResponse;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_hash::{digest_url, prefix32};
+
+    #[test]
+    fn full_hash_request_builder() {
+        let req = FullHashRequest::new(vec![prefix32("a.b.c/")])
+            .with_cookie(ClientCookie::new(42));
+        assert_eq!(req.prefixes.len(), 1);
+        assert_eq!(req.cookie, Some(ClientCookie::new(42)));
+    }
+
+    #[test]
+    fn response_lookup_helpers() {
+        let d = digest_url("evil.example/");
+        let resp = FullHashResponse {
+            entries: vec![FullHashEntry {
+                list: "goog-malware-shavar".into(),
+                digest: d,
+            }],
+        };
+        assert!(resp.contains_digest(&d));
+        assert!(!resp.contains_digest(&digest_url("other/")));
+        assert_eq!(resp.lists_for_digest(&d).len(), 1);
+    }
+
+    #[test]
+    fn default_update_request_is_empty() {
+        assert!(UpdateRequest::default().lists.is_empty());
+        assert!(UpdateResponse::default().chunks.is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! Server-side blacklists.
+//!
+//! A blacklist is the provider's authoritative mapping from 32-bit prefixes
+//! to the full 256-bit digests of blacklisted URL expressions.  Clients only
+//! ever download the prefixes; the full digests are served on demand by the
+//! full-hash endpoint.  The paper's audit (Section 7) distinguishes three
+//! states a prefix can be in: *normal* (exactly one full digest), *colliding*
+//! (two or more digests share the prefix) and *orphan* (no digest at all) —
+//! all three are representable here, including orphans, which can only be
+//! created through deliberate injection ([`Blacklist::insert_orphan_prefix`])
+//! exactly as the paper argues.
+
+use std::collections::HashMap;
+
+use sb_hash::{digest_url, Digest, Prefix};
+use sb_protocol::{ListName, ThreatCategory};
+
+/// One provider blacklist (e.g. `goog-malware-shavar`).
+#[derive(Debug, Clone)]
+pub struct Blacklist {
+    name: ListName,
+    category: ThreatCategory,
+    /// Prefix → full digests sharing that prefix (empty vector = orphan).
+    entries: HashMap<Prefix, Vec<Digest>>,
+}
+
+impl Blacklist {
+    /// Creates an empty blacklist.
+    pub fn new(name: impl Into<ListName>, category: ThreatCategory) -> Self {
+        Blacklist {
+            name: name.into(),
+            category,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The list name.
+    pub fn name(&self) -> &ListName {
+        &self.name
+    }
+
+    /// The list's threat category.
+    pub fn category(&self) -> ThreatCategory {
+        self.category
+    }
+
+    /// Blacklists a canonical URL expression (e.g. `evil.example/` or
+    /// `evil.example/exploit/drive-by.html`): its digest and 32-bit prefix
+    /// are added.  Returns the digest.
+    pub fn insert_expression(&mut self, expression: &str) -> Digest {
+        let digest = digest_url(expression);
+        self.insert_digest(digest);
+        digest
+    }
+
+    /// Inserts a full digest (and its prefix).
+    pub fn insert_digest(&mut self, digest: Digest) {
+        let entry = self.entries.entry(digest.prefix32()).or_default();
+        if !entry.contains(&digest) {
+            entry.push(digest);
+        }
+    }
+
+    /// Inserts a bare prefix with *no* corresponding full digest — an orphan
+    /// (Section 7.2).  If the prefix already exists, its digests are kept.
+    pub fn insert_orphan_prefix(&mut self, prefix: Prefix) {
+        self.entries.entry(prefix).or_default();
+    }
+
+    /// Removes a prefix entirely (used by sub-chunk generation and list
+    /// maintenance).  Returns true if the prefix was present.
+    pub fn remove_prefix(&mut self, prefix: &Prefix) -> bool {
+        self.entries.remove(prefix).is_some()
+    }
+
+    /// Number of prefixes in the list (what Tables 1 and 3 report).
+    pub fn prefix_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the list holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of full digests in the list.
+    pub fn digest_count(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// Whether a prefix is present (with or without full digests).
+    pub fn contains_prefix(&self, prefix: &Prefix) -> bool {
+        self.entries.contains_key(prefix)
+    }
+
+    /// The full digests registered for a prefix (empty slice for orphans
+    /// and absent prefixes).
+    pub fn full_digests(&self, prefix: &Prefix) -> &[Digest] {
+        self.entries.get(prefix).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over all prefixes.
+    pub fn prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Iterates over `(prefix, digests)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Prefix, &[Digest])> + '_ {
+        self.entries.iter().map(|(p, d)| (*p, d.as_slice()))
+    }
+
+    /// Distribution of prefixes by their number of full digests — the shape
+    /// audited in Table 11 (columns "0", "1", "2").
+    pub fn prefix_digest_histogram(&self) -> PrefixDigestHistogram {
+        let mut hist = PrefixDigestHistogram::default();
+        for digests in self.entries.values() {
+            match digests.len() {
+                0 => hist.orphans += 1,
+                1 => hist.single += 1,
+                _ => hist.multiple += 1,
+            }
+        }
+        hist
+    }
+}
+
+/// Number of prefixes with zero, one, and two-or-more full digests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixDigestHistogram {
+    /// Prefixes with no full digest (orphans).
+    pub orphans: usize,
+    /// Prefixes with exactly one full digest.
+    pub single: usize,
+    /// Prefixes with two or more full digests.
+    pub multiple: usize,
+}
+
+impl PrefixDigestHistogram {
+    /// Total number of prefixes.
+    pub fn total(&self) -> usize {
+        self.orphans + self.single + self.multiple
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_hash::prefix32;
+
+    fn list() -> Blacklist {
+        Blacklist::new("goog-malware-shavar", ThreatCategory::Malware)
+    }
+
+    #[test]
+    fn insert_expression_round_trips() {
+        let mut bl = list();
+        let digest = bl.insert_expression("evil.example/");
+        let prefix = prefix32("evil.example/");
+        assert!(bl.contains_prefix(&prefix));
+        assert_eq!(bl.full_digests(&prefix), &[digest]);
+        assert_eq!(bl.prefix_count(), 1);
+        assert_eq!(bl.digest_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_insertions_are_idempotent() {
+        let mut bl = list();
+        bl.insert_expression("evil.example/");
+        bl.insert_expression("evil.example/");
+        assert_eq!(bl.prefix_count(), 1);
+        assert_eq!(bl.digest_count(), 1);
+    }
+
+    #[test]
+    fn orphan_prefixes_have_no_digests() {
+        let mut bl = list();
+        let orphan = Prefix::from_u32(0xdeadbeef);
+        bl.insert_orphan_prefix(orphan);
+        assert!(bl.contains_prefix(&orphan));
+        assert!(bl.full_digests(&orphan).is_empty());
+        let hist = bl.prefix_digest_histogram();
+        assert_eq!(hist.orphans, 1);
+        assert_eq!(hist.total(), 1);
+    }
+
+    #[test]
+    fn orphan_insert_does_not_erase_existing_digests() {
+        let mut bl = list();
+        let d = bl.insert_expression("evil.example/");
+        bl.insert_orphan_prefix(d.prefix32());
+        assert_eq!(bl.full_digests(&d.prefix32()), &[d]);
+    }
+
+    #[test]
+    fn histogram_counts_multi_digest_prefixes() {
+        let mut bl = list();
+        let d1 = digest_url("some.example/a");
+        // Forge a second digest sharing the prefix of d1 (only the first
+        // four bytes must match).
+        let mut bytes = *d1.as_bytes();
+        bytes[31] ^= 0xff;
+        let d2 = Digest::new(bytes);
+        bl.insert_digest(d1);
+        bl.insert_digest(d2);
+        bl.insert_expression("other.example/");
+        let hist = bl.prefix_digest_histogram();
+        assert_eq!(hist.multiple, 1);
+        assert_eq!(hist.single, 1);
+        assert_eq!(hist.orphans, 0);
+        assert_eq!(bl.digest_count(), 3);
+        assert_eq!(bl.prefix_count(), 2);
+    }
+
+    #[test]
+    fn remove_prefix() {
+        let mut bl = list();
+        let d = bl.insert_expression("evil.example/");
+        assert!(bl.remove_prefix(&d.prefix32()));
+        assert!(!bl.remove_prefix(&d.prefix32()));
+        assert!(bl.is_empty());
+    }
+
+    #[test]
+    fn category_and_name_accessors() {
+        let bl = Blacklist::new("ydx-porno-hosts-top-shavar", ThreatCategory::Pornography);
+        assert_eq!(bl.name().as_str(), "ydx-porno-hosts-top-shavar");
+        assert_eq!(bl.category(), ThreatCategory::Pornography);
+    }
+}

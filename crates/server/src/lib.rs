@@ -1,0 +1,49 @@
+//! # sb-server
+//!
+//! A simulated Google/Yandex Safe Browsing backend: blacklist storage,
+//! incremental updates, the full-hash endpoint, a per-request query log
+//! (the attacker's view of client traffic), and the tampering primitives
+//! the paper shows are available to a malicious or coerced provider
+//! (arbitrary prefix injection, orphan prefixes, tracking entries).
+//!
+//! The server is in-process (no network I/O): the privacy findings of the
+//! paper only depend on *what* the protocol reveals, not on the transport.
+//!
+//! ## Example
+//!
+//! ```
+//! use sb_protocol::{FullHashRequest, Provider, SafeBrowsingService};
+//! use sb_server::SafeBrowsingServer;
+//!
+//! let server = SafeBrowsingServer::with_standard_lists(Provider::Yandex);
+//! let digest = server
+//!     .blacklist_url("ydx-phish-shavar", "http://phishing.example/login")
+//!     .unwrap();
+//! let response = server.full_hashes(&FullHashRequest::new(vec![digest.prefix32()]));
+//! assert!(response.contains_digest(&digest));
+//! assert_eq!(server.query_log().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blacklist;
+mod log;
+mod server;
+
+pub use blacklist::{Blacklist, PrefixDigestHistogram};
+pub use log::{LoggedRequest, QueryLog};
+pub use server::{SafeBrowsingServer, ServerError, DEFAULT_NEXT_UPDATE_SECONDS};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SafeBrowsingServer>();
+        assert_send_sync::<Blacklist>();
+        assert_send_sync::<QueryLog>();
+    }
+}

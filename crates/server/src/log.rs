@@ -1,0 +1,125 @@
+//! The provider-side query log — the attacker's view.
+//!
+//! The paper's threat model (Section 4) assumes an honest-but-curious — or
+//! outright malicious — provider that records every full-hash request
+//! together with the Safe Browsing cookie and its arrival time, and may
+//! aggregate requests over time to exploit temporal correlation.  The
+//! simulated server records exactly that information; the re-identification
+//! and tracking analyses in `sb-analysis` consume it.
+
+use sb_hash::Prefix;
+use sb_protocol::ClientCookie;
+
+/// One logged full-hash request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedRequest {
+    /// Logical arrival time (a monotonically increasing counter).
+    pub timestamp: u64,
+    /// The client cookie, when the transport attached one.
+    pub cookie: Option<ClientCookie>,
+    /// The prefixes the client revealed.
+    pub prefixes: Vec<Prefix>,
+}
+
+impl LoggedRequest {
+    /// True if the request reveals at least `n` prefixes (multi-prefix
+    /// requests are the re-identifiable ones, Section 6).
+    pub fn reveals_at_least(&self, n: usize) -> bool {
+        self.prefixes.len() >= n
+    }
+}
+
+/// The full query log of a provider.
+#[derive(Debug, Clone, Default)]
+pub struct QueryLog {
+    requests: Vec<LoggedRequest>,
+}
+
+impl QueryLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        QueryLog::default()
+    }
+
+    /// Appends a request.
+    pub fn record(&mut self, request: LoggedRequest) {
+        self.requests.push(request);
+    }
+
+    /// All recorded requests, in arrival order.
+    pub fn requests(&self) -> &[LoggedRequest] {
+        &self.requests
+    }
+
+    /// Number of recorded requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.requests.clear();
+    }
+
+    /// The requests attributed to one client cookie, in arrival order —
+    /// what the provider can aggregate thanks to the SB cookie.
+    pub fn requests_for(&self, cookie: ClientCookie) -> Vec<&LoggedRequest> {
+        self.requests
+            .iter()
+            .filter(|r| r.cookie == Some(cookie))
+            .collect()
+    }
+
+    /// The distinct cookies seen in the log.
+    pub fn cookies(&self) -> Vec<ClientCookie> {
+        let mut cookies: Vec<ClientCookie> = self
+            .requests
+            .iter()
+            .filter_map(|r| r.cookie)
+            .collect();
+        cookies.sort();
+        cookies.dedup();
+        cookies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_hash::prefix32;
+
+    #[test]
+    fn record_and_filter_by_cookie() {
+        let mut log = QueryLog::new();
+        log.record(LoggedRequest {
+            timestamp: 1,
+            cookie: Some(ClientCookie::new(1)),
+            prefixes: vec![prefix32("a/")],
+        });
+        log.record(LoggedRequest {
+            timestamp: 2,
+            cookie: Some(ClientCookie::new(2)),
+            prefixes: vec![prefix32("b/"), prefix32("c/")],
+        });
+        log.record(LoggedRequest {
+            timestamp: 3,
+            cookie: None,
+            prefixes: vec![],
+        });
+
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.requests_for(ClientCookie::new(1)).len(), 1);
+        assert_eq!(log.requests_for(ClientCookie::new(2)).len(), 1);
+        assert_eq!(log.cookies(), vec![ClientCookie::new(1), ClientCookie::new(2)]);
+        assert!(log.requests()[1].reveals_at_least(2));
+        assert!(!log.requests()[0].reveals_at_least(2));
+
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

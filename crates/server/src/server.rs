@@ -1,0 +1,483 @@
+//! The simulated Safe Browsing provider.
+//!
+//! [`SafeBrowsingServer`] plays the role of Google's or Yandex's backend: it
+//! owns the blacklists, serves incremental updates (add/sub chunks), answers
+//! full-hash requests, and — following the paper's threat model — logs every
+//! full-hash request together with the client cookie.  It also exposes the
+//! tampering operations the paper shows are indistinguishable from normal
+//! operation for the client: injecting arbitrary prefixes (the basis of the
+//! tracking system of Section 6.3) and injecting orphan prefixes
+//! (Section 7.2).
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+use sb_hash::Prefix;
+use sb_protocol::{
+    Chunk, ChunkKind, FullHashEntry, FullHashRequest, FullHashResponse, ListName, Provider,
+    SafeBrowsingService, ThreatCategory, UpdateRequest, UpdateResponse,
+};
+use sb_url::CanonicalUrl;
+
+use crate::blacklist::Blacklist;
+use crate::log::{LoggedRequest, QueryLog};
+
+/// Default minimum delay between update requests, in seconds (the deployed
+/// services ask clients to respect a similar back-off).
+pub const DEFAULT_NEXT_UPDATE_SECONDS: u64 = 30 * 60;
+
+#[derive(Debug)]
+struct ServerState {
+    lists: BTreeMap<ListName, Blacklist>,
+    /// Full chunk history, used to serve incremental updates.
+    chunks: Vec<Chunk>,
+    query_log: QueryLog,
+    clock: u64,
+}
+
+/// A simulated Google/Yandex Safe Browsing backend.
+///
+/// # Examples
+///
+/// ```
+/// use sb_protocol::{FullHashRequest, Provider, SafeBrowsingService, ThreatCategory};
+/// use sb_server::SafeBrowsingServer;
+///
+/// let server = SafeBrowsingServer::new(Provider::Google);
+/// server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+/// let digest = server
+///     .blacklist_url("goog-malware-shavar", "http://evil.example/exploit.html")
+///     .unwrap();
+///
+/// let response = server.full_hashes(&FullHashRequest::new(vec![digest.prefix32()]));
+/// assert!(response.contains_digest(&digest));
+/// ```
+#[derive(Debug)]
+pub struct SafeBrowsingServer {
+    provider: Provider,
+    state: RwLock<ServerState>,
+    next_update_seconds: u64,
+}
+
+impl SafeBrowsingServer {
+    /// Creates a server with no lists.
+    pub fn new(provider: Provider) -> Self {
+        SafeBrowsingServer {
+            provider,
+            state: RwLock::new(ServerState {
+                lists: BTreeMap::new(),
+                chunks: Vec::new(),
+                query_log: QueryLog::new(),
+                clock: 0,
+            }),
+            next_update_seconds: DEFAULT_NEXT_UPDATE_SECONDS,
+        }
+    }
+
+    /// Creates a server pre-populated with every (empty) list of the
+    /// provider's published inventory (Tables 1 and 3).
+    pub fn with_standard_lists(provider: Provider) -> Self {
+        let server = Self::new(provider);
+        for descriptor in sb_protocol::lists_for(provider) {
+            server.create_list(descriptor.name.as_str(), descriptor.category);
+        }
+        server
+    }
+
+    /// The provider this server simulates.
+    pub fn provider(&self) -> Provider {
+        self.provider
+    }
+
+    /// Registers an empty blacklist.  Returns false if it already existed.
+    pub fn create_list(&self, name: impl Into<ListName>, category: ThreatCategory) -> bool {
+        let name = name.into();
+        let mut state = self.state.write();
+        if state.lists.contains_key(&name) {
+            return false;
+        }
+        state.lists.insert(name.clone(), Blacklist::new(name, category));
+        true
+    }
+
+    /// Names of the lists currently served.
+    pub fn list_names(&self) -> Vec<ListName> {
+        self.state.read().lists.keys().cloned().collect()
+    }
+
+    /// A point-in-time copy of one blacklist (used by the audit
+    /// experiments, which play the role of an external analyst crawling the
+    /// database exactly as the paper does in Section 7.1).
+    pub fn list_snapshot(&self, name: &ListName) -> Option<Blacklist> {
+        self.state.read().lists.get(name).cloned()
+    }
+
+    /// Blacklists the *exact canonical expression* of a URL in a list and
+    /// returns its digest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::UnknownList`] if the list does not exist and
+    /// [`ServerError::InvalidUrl`] if the URL cannot be canonicalized.
+    pub fn blacklist_url(
+        &self,
+        list: impl Into<ListName>,
+        url: &str,
+    ) -> Result<sb_hash::Digest, ServerError> {
+        let canon = CanonicalUrl::parse(url).map_err(|e| ServerError::InvalidUrl(e.to_string()))?;
+        let expr = canon.expression();
+        let digests = self.blacklist_expressions(list, [expr.as_str()])?;
+        Ok(digests[0])
+    }
+
+    /// Blacklists a batch of canonical expressions in a list, producing one
+    /// add chunk.  Returns the digests in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::UnknownList`] if the list does not exist.
+    pub fn blacklist_expressions<'a>(
+        &self,
+        list: impl Into<ListName>,
+        expressions: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Vec<sb_hash::Digest>, ServerError> {
+        let name = list.into();
+        let mut state = self.state.write();
+        if !state.lists.contains_key(&name) {
+            return Err(ServerError::UnknownList(name));
+        }
+        let blacklist = state.lists.get_mut(&name).expect("checked above");
+        let mut digests = Vec::new();
+        let mut prefixes = Vec::new();
+        for expr in expressions {
+            let d = blacklist.insert_expression(expr);
+            prefixes.push(d.prefix32());
+            digests.push(d);
+        }
+        Self::push_chunk(&mut state, name, ChunkKind::Add, prefixes);
+        Ok(digests)
+    }
+
+    /// Injects arbitrary prefixes into a list — the tampering primitive the
+    /// paper shows an SB provider (or a coercing third party) can use to
+    /// build a tracking database.  The prefixes get no full digests, so they
+    /// also show up as orphans in an audit unless full digests are added
+    /// separately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::UnknownList`] if the list does not exist.
+    pub fn inject_prefixes(
+        &self,
+        list: impl Into<ListName>,
+        prefixes: impl IntoIterator<Item = Prefix>,
+    ) -> Result<usize, ServerError> {
+        let name = list.into();
+        let mut state = self.state.write();
+        if !state.lists.contains_key(&name) {
+            return Err(ServerError::UnknownList(name));
+        }
+        let blacklist = state.lists.get_mut(&name).expect("checked above");
+        let prefixes: Vec<Prefix> = prefixes.into_iter().collect();
+        for p in &prefixes {
+            blacklist.insert_orphan_prefix(*p);
+        }
+        let count = prefixes.len();
+        Self::push_chunk(&mut state, name, ChunkKind::Add, prefixes);
+        Ok(count)
+    }
+
+    /// Injects both the prefix and the full digest of each given canonical
+    /// expression — the "shadow database" variant of tampering used by the
+    /// tracking system, which keeps the injected entries consistent so they
+    /// do not appear as orphans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::UnknownList`] if the list does not exist.
+    pub fn inject_tracking_expressions<'a>(
+        &self,
+        list: impl Into<ListName>,
+        expressions: impl IntoIterator<Item = &'a str>,
+    ) -> Result<usize, ServerError> {
+        Ok(self.blacklist_expressions(list, expressions)?.len())
+    }
+
+    /// Removes prefixes from a list via a sub chunk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::UnknownList`] if the list does not exist.
+    pub fn remove_prefixes(
+        &self,
+        list: impl Into<ListName>,
+        prefixes: impl IntoIterator<Item = Prefix>,
+    ) -> Result<usize, ServerError> {
+        let name = list.into();
+        let mut state = self.state.write();
+        if !state.lists.contains_key(&name) {
+            return Err(ServerError::UnknownList(name));
+        }
+        let blacklist = state.lists.get_mut(&name).expect("checked above");
+        let prefixes: Vec<Prefix> = prefixes.into_iter().collect();
+        let mut removed = 0;
+        for p in &prefixes {
+            if blacklist.remove_prefix(p) {
+                removed += 1;
+            }
+        }
+        Self::push_chunk(&mut state, name, ChunkKind::Sub, prefixes);
+        Ok(removed)
+    }
+
+    /// The provider's query log (the attacker's view of client traffic).
+    pub fn query_log(&self) -> QueryLog {
+        self.state.read().query_log.clone()
+    }
+
+    /// Clears the query log.
+    pub fn clear_query_log(&self) {
+        self.state.write().query_log.clear();
+    }
+
+    /// Total number of prefixes across all lists.
+    pub fn total_prefixes(&self) -> usize {
+        self.state.read().lists.values().map(Blacklist::prefix_count).sum()
+    }
+
+    fn push_chunk(state: &mut ServerState, list: ListName, kind: ChunkKind, prefixes: Vec<Prefix>) {
+        let number = state
+            .chunks
+            .iter()
+            .filter(|c| c.list == list && c.kind == kind)
+            .map(|c| c.number)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        state.chunks.push(Chunk {
+            list,
+            number,
+            kind,
+            prefixes,
+        });
+    }
+}
+
+impl SafeBrowsingService for SafeBrowsingServer {
+    fn update(&self, request: &UpdateRequest) -> UpdateResponse {
+        let state = self.state.read();
+        let mut chunks = Vec::new();
+        for (list, client_state) in &request.lists {
+            for chunk in state.chunks.iter().filter(|c| &c.list == list) {
+                let already_applied = match chunk.kind {
+                    ChunkKind::Add => chunk.number <= client_state.max_add_chunk,
+                    ChunkKind::Sub => chunk.number <= client_state.max_sub_chunk,
+                };
+                if !already_applied {
+                    chunks.push(chunk.clone());
+                }
+            }
+        }
+        UpdateResponse {
+            chunks,
+            next_update_seconds: self.next_update_seconds,
+        }
+    }
+
+    fn full_hashes(&self, request: &FullHashRequest) -> FullHashResponse {
+        let mut state = self.state.write();
+        state.clock += 1;
+        let timestamp = state.clock;
+        state.query_log.record(LoggedRequest {
+            timestamp,
+            cookie: request.cookie,
+            prefixes: request.prefixes.clone(),
+        });
+
+        let mut entries = Vec::new();
+        for prefix in &request.prefixes {
+            for (name, blacklist) in &state.lists {
+                for digest in blacklist.full_digests(prefix) {
+                    entries.push(FullHashEntry {
+                        list: name.clone(),
+                        digest: *digest,
+                    });
+                }
+            }
+        }
+        FullHashResponse { entries }
+    }
+}
+
+/// Errors returned by the simulated server's management operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The referenced list does not exist on this server.
+    UnknownList(ListName),
+    /// The URL could not be canonicalized.
+    InvalidUrl(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::UnknownList(name) => write!(f, "unknown list `{name}`"),
+            ServerError::InvalidUrl(err) => write!(f, "invalid URL: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_hash::prefix32;
+    use sb_protocol::{ClientCookie, ClientListState};
+
+    fn server_with_list() -> SafeBrowsingServer {
+        let server = SafeBrowsingServer::new(Provider::Google);
+        server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+        server
+    }
+
+    #[test]
+    fn standard_lists_match_inventory() {
+        let google = SafeBrowsingServer::with_standard_lists(Provider::Google);
+        assert_eq!(google.list_names().len(), 5);
+        let yandex = SafeBrowsingServer::with_standard_lists(Provider::Yandex);
+        // Table 3 has 19 rows but goog-malware-shavar / goog-mobile-only /
+        // goog-phish names are shared with the Google inventory, so the
+        // name-keyed map holds the distinct names.
+        assert_eq!(yandex.list_names().len(), 19);
+    }
+
+    #[test]
+    fn blacklist_and_full_hash_round_trip() {
+        let server = server_with_list();
+        let digest = server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/mal.html")
+            .unwrap();
+        let resp = server.full_hashes(&FullHashRequest::new(vec![digest.prefix32()]));
+        assert_eq!(resp.entries.len(), 1);
+        assert!(resp.contains_digest(&digest));
+        // Unrelated prefix: no entries (and a second log line).
+        let resp2 = server.full_hashes(&FullHashRequest::new(vec![prefix32("benign.org/")]));
+        assert!(resp2.entries.is_empty());
+        assert_eq!(server.query_log().len(), 2);
+    }
+
+    #[test]
+    fn unknown_list_errors() {
+        let server = SafeBrowsingServer::new(Provider::Google);
+        let err = server.blacklist_url("nope", "http://a.b/").unwrap_err();
+        assert!(matches!(err, ServerError::UnknownList(_)));
+        assert!(err.to_string().contains("nope"));
+        let err = server.inject_prefixes("nope", vec![prefix32("a/")]).unwrap_err();
+        assert!(matches!(err, ServerError::UnknownList(_)));
+    }
+
+    #[test]
+    fn invalid_url_errors() {
+        let server = server_with_list();
+        let err = server.blacklist_url("goog-malware-shavar", "   ").unwrap_err();
+        assert!(matches!(err, ServerError::InvalidUrl(_)));
+    }
+
+    #[test]
+    fn update_serves_only_new_chunks() {
+        let server = server_with_list();
+        server
+            .blacklist_expressions("goog-malware-shavar", ["a.example/", "b.example/"])
+            .unwrap();
+        server
+            .blacklist_expressions("goog-malware-shavar", ["c.example/"])
+            .unwrap();
+
+        let all = server.update(&UpdateRequest {
+            lists: vec![("goog-malware-shavar".into(), ClientListState::default())],
+        });
+        assert_eq!(all.chunks.len(), 2);
+
+        let partial = server.update(&UpdateRequest {
+            lists: vec![(
+                "goog-malware-shavar".into(),
+                ClientListState {
+                    max_add_chunk: 1,
+                    max_sub_chunk: 0,
+                },
+            )],
+        });
+        assert_eq!(partial.chunks.len(), 1);
+        assert_eq!(partial.chunks[0].number, 2);
+        assert!(partial.next_update_seconds > 0);
+    }
+
+    #[test]
+    fn sub_chunks_remove_prefixes() {
+        let server = server_with_list();
+        let digest = server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
+        let removed = server
+            .remove_prefixes("goog-malware-shavar", vec![digest.prefix32()])
+            .unwrap();
+        assert_eq!(removed, 1);
+        let snapshot = server
+            .list_snapshot(&"goog-malware-shavar".into())
+            .unwrap();
+        assert!(snapshot.is_empty());
+        let update = server.update(&UpdateRequest {
+            lists: vec![("goog-malware-shavar".into(), ClientListState::default())],
+        });
+        assert!(update.chunks.iter().any(|c| c.kind == ChunkKind::Sub));
+    }
+
+    #[test]
+    fn injected_prefixes_are_orphans() {
+        let server = server_with_list();
+        let orphan = Prefix::from_u32(0x1234_5678);
+        server.inject_prefixes("goog-malware-shavar", vec![orphan]).unwrap();
+        let snapshot = server.list_snapshot(&"goog-malware-shavar".into()).unwrap();
+        assert!(snapshot.contains_prefix(&orphan));
+        assert_eq!(snapshot.prefix_digest_histogram().orphans, 1);
+        // Full-hash request on the orphan returns nothing.
+        let resp = server.full_hashes(&FullHashRequest::new(vec![orphan]));
+        assert!(resp.entries.is_empty());
+    }
+
+    #[test]
+    fn query_log_records_cookie_and_prefixes() {
+        let server = server_with_list();
+        let cookie = ClientCookie::new(99);
+        server.full_hashes(
+            &FullHashRequest::new(vec![prefix32("a.example/"), prefix32("a.example/x")])
+                .with_cookie(cookie),
+        );
+        let log = server.query_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.requests()[0].cookie, Some(cookie));
+        assert_eq!(log.requests()[0].prefixes.len(), 2);
+        assert_eq!(log.requests()[0].timestamp, 1);
+        server.clear_query_log();
+        assert!(server.query_log().is_empty());
+    }
+
+    #[test]
+    fn total_prefixes_counts_all_lists() {
+        let server = SafeBrowsingServer::with_standard_lists(Provider::Google);
+        server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
+        server.blacklist_url("googpub-phish-shavar", "http://phish.example/").unwrap();
+        assert_eq!(server.total_prefixes(), 2);
+    }
+
+    #[test]
+    fn multiple_lists_can_match_one_prefix() {
+        let server = SafeBrowsingServer::with_standard_lists(Provider::Yandex);
+        server.blacklist_url("ydx-malware-shavar", "http://dual.example/").unwrap();
+        server.blacklist_url("ydx-porno-hosts-top-shavar", "http://dual.example/").unwrap();
+        let resp = server.full_hashes(&FullHashRequest::new(vec![prefix32("dual.example/")]));
+        assert_eq!(resp.entries.len(), 2);
+        let lists: Vec<String> = resp.entries.iter().map(|e| e.list.to_string()).collect();
+        assert!(lists.contains(&"ydx-malware-shavar".to_string()));
+        assert!(lists.contains(&"ydx-porno-hosts-top-shavar".to_string()));
+    }
+}

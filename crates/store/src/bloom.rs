@@ -1,0 +1,269 @@
+//! Bloom filter backend.
+//!
+//! Early versions of Chromium (until September 2012) stored the Safe
+//! Browsing prefixes in a Bloom filter.  The filter has a constant size
+//! regardless of the prefix length — the paper's Table 2 uses a 3 MB filter
+//! — but it is a static structure with an intrinsic false-positive
+//! probability, which is why Google abandoned it for the delta-coded table.
+
+use sb_hash::{Prefix, PrefixLen};
+
+use crate::traits::PrefixStore;
+
+/// A classic Bloom filter over digest prefixes.
+///
+/// Hashing uses double hashing (Kirsch–Mitzenmatcher): two 64-bit FNV-1a
+/// style hashes of the prefix bytes combined as `h1 + i * h2`.
+///
+/// # Examples
+///
+/// ```
+/// use sb_hash::prefix32;
+/// use sb_store::{BloomFilter, PrefixStore};
+///
+/// let filter = BloomFilter::from_prefixes_with_size(
+///     sb_hash::PrefixLen::L32,
+///     3 * 1024 * 1024,
+///     ["evil.example/"].iter().map(|e| prefix32(e)),
+/// );
+/// assert!(filter.contains(&prefix32("evil.example/")));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    prefix_len: PrefixLen,
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_hashes: u32,
+    count: usize,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter with `size_bytes` of bit storage and a number
+    /// of hash functions chosen for `expected_items` insertions.
+    pub fn with_size(prefix_len: PrefixLen, size_bytes: usize, expected_items: usize) -> Self {
+        let num_bits = (size_bytes.max(1) * 8) as u64;
+        // Optimal k = (m/n) ln 2, clamped to a sane range.
+        let k = if expected_items == 0 {
+            1
+        } else {
+            ((num_bits as f64 / expected_items as f64) * std::f64::consts::LN_2).round() as u32
+        };
+        let num_hashes = k.clamp(1, 30);
+        BloomFilter {
+            prefix_len,
+            bits: vec![0u64; (num_bits as usize).div_ceil(64)],
+            num_bits,
+            num_hashes,
+            count: 0,
+        }
+    }
+
+    /// Creates an empty filter sized for `expected_items` at the given
+    /// false-positive rate.
+    pub fn with_false_positive_rate(
+        prefix_len: PrefixLen,
+        expected_items: usize,
+        fp_rate: f64,
+    ) -> Self {
+        assert!(fp_rate > 0.0 && fp_rate < 1.0, "fp_rate must be in (0, 1)");
+        let n = expected_items.max(1) as f64;
+        let m = (-n * fp_rate.ln() / (std::f64::consts::LN_2 * std::f64::consts::LN_2)).ceil();
+        Self::with_size(prefix_len, (m / 8.0).ceil() as usize, expected_items)
+    }
+
+    /// Builds a filter of `size_bytes` directly from prefixes (the Table 2
+    /// configuration: 3 MB regardless of prefix size).
+    pub fn from_prefixes_with_size(
+        prefix_len: PrefixLen,
+        size_bytes: usize,
+        prefixes: impl IntoIterator<Item = Prefix>,
+    ) -> Self {
+        let items: Vec<Prefix> = prefixes.into_iter().collect();
+        let mut filter = Self::with_size(prefix_len, size_bytes, items.len());
+        for p in &items {
+            filter.insert(p);
+        }
+        filter
+    }
+
+    /// Inserts a prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prefix length does not match the filter's length.
+    pub fn insert(&mut self, prefix: &Prefix) {
+        assert_eq!(prefix.len(), self.prefix_len, "prefix length mismatch");
+        let (h1, h2) = Self::hash_pair(prefix.as_bytes());
+        for i in 0..self.num_hashes {
+            let bit = (h1.wrapping_add((i as u64).wrapping_mul(h2))) % self.num_bits;
+            self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+        self.count += 1;
+    }
+
+    /// Number of hash functions in use.
+    pub fn num_hashes(&self) -> u32 {
+        self.num_hashes
+    }
+
+    /// Fraction of bits set to one (diagnostic; drives the false-positive
+    /// rate estimate).
+    pub fn fill_ratio(&self) -> f64 {
+        let ones: u64 = self.bits.iter().map(|w| w.count_ones() as u64).sum();
+        ones as f64 / self.num_bits as f64
+    }
+
+    fn hash_pair(bytes: &[u8]) -> (u64, u64) {
+        // Two independent FNV-1a variants over the prefix bytes.
+        let mut h1: u64 = 0xcbf29ce484222325;
+        let mut h2: u64 = 0x84222325cbf29ce4;
+        for &b in bytes {
+            h1 ^= b as u64;
+            h1 = h1.wrapping_mul(0x100000001b3);
+            h2 = h2.wrapping_add(b as u64).wrapping_mul(0x9e3779b97f4a7c15);
+            h2 ^= h2 >> 29;
+        }
+        // Avoid a degenerate second hash.
+        (h1, h2 | 1)
+    }
+}
+
+impl PrefixStore for BloomFilter {
+    fn backend_name(&self) -> &'static str {
+        "bloom"
+    }
+
+    fn prefix_len(&self) -> PrefixLen {
+        self.prefix_len
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
+
+    fn contains(&self, prefix: &Prefix) -> bool {
+        if prefix.len() != self.prefix_len {
+            return false;
+        }
+        let (h1, h2) = Self::hash_pair(prefix.as_bytes());
+        (0..self.num_hashes).all(|i| {
+            let bit = (h1.wrapping_add((i as u64).wrapping_mul(h2))) % self.num_bits;
+            self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    fn intrinsic_false_positive_rate(&self) -> f64 {
+        // (1 - e^{-kn/m})^k
+        let k = self.num_hashes as f64;
+        let n = self.count as f64;
+        let m = self.num_bits as f64;
+        (1.0 - (-k * n / m).exp()).powf(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_hash::{digest_url, prefix32};
+
+    fn sample(n: usize) -> Vec<Prefix> {
+        (0..n).map(|i| digest_url(&format!("host{i}.example/")).prefix32()).collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let prefixes = sample(10_000);
+        let filter = BloomFilter::from_prefixes_with_size(
+            PrefixLen::L32,
+            1024 * 1024,
+            prefixes.clone(),
+        );
+        for p in &prefixes {
+            assert!(filter.contains(p));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_matches_estimate() {
+        let prefixes = sample(10_000);
+        let filter =
+            BloomFilter::from_prefixes_with_size(PrefixLen::L32, 32 * 1024, prefixes.clone());
+        let estimate = filter.intrinsic_false_positive_rate();
+        let mut fp = 0usize;
+        let probes = 20_000usize;
+        for i in 0..probes {
+            if filter.contains(&prefix32(&format!("absent{i}.net/"))) {
+                fp += 1;
+            }
+        }
+        let measured = fp as f64 / probes as f64;
+        assert!(
+            (measured - estimate).abs() < 0.05 + estimate,
+            "measured {measured} vs estimate {estimate}"
+        );
+        assert!(estimate > 0.0);
+    }
+
+    #[test]
+    fn small_filter_with_few_items_rejects_most_probes() {
+        let filter =
+            BloomFilter::from_prefixes_with_size(PrefixLen::L32, 64 * 1024, sample(100));
+        let mut fp = 0;
+        for i in 0..10_000 {
+            if filter.contains(&prefix32(&format!("probe{i}.org/"))) {
+                fp += 1;
+            }
+        }
+        assert!(fp < 100, "false positives should be rare, got {fp}");
+    }
+
+    #[test]
+    fn memory_is_constant_in_prefix_length() {
+        for len in [PrefixLen::L32, PrefixLen::L64, PrefixLen::L256] {
+            let prefixes: Vec<Prefix> =
+                (0..1000).map(|i| digest_url(&format!("h{i}/")).prefix(len)).collect();
+            let filter =
+                BloomFilter::from_prefixes_with_size(len, 3 * 1024 * 1024, prefixes);
+            assert_eq!(filter.memory_bytes(), 3 * 1024 * 1024);
+        }
+    }
+
+    #[test]
+    fn with_false_positive_rate_sizes_filter() {
+        let filter = BloomFilter::with_false_positive_rate(PrefixLen::L32, 100_000, 0.01);
+        // ~9.6 bits per element for 1% FP.
+        let bits_per_elem = filter.memory_bytes() as f64 * 8.0 / 100_000.0;
+        assert!((9.0..11.0).contains(&bits_per_elem), "{bits_per_elem}");
+        assert!(filter.num_hashes() >= 5 && filter.num_hashes() <= 9);
+    }
+
+    #[test]
+    fn wrong_length_query_is_false() {
+        let filter =
+            BloomFilter::from_prefixes_with_size(PrefixLen::L32, 1024, sample(10));
+        let d = digest_url("host0.example/");
+        assert!(filter.contains(&d.prefix32()));
+        assert!(!filter.contains(&d.prefix(PrefixLen::L64)));
+    }
+
+    #[test]
+    fn fill_ratio_increases_with_insertions() {
+        let mut filter = BloomFilter::with_size(PrefixLen::L32, 4096, 1000);
+        assert_eq!(filter.fill_ratio(), 0.0);
+        for p in sample(500) {
+            filter.insert(&p);
+        }
+        assert!(filter.fill_ratio() > 0.0);
+        assert_eq!(filter.len(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "fp_rate")]
+    fn invalid_fp_rate_panics() {
+        let _ = BloomFilter::with_false_positive_rate(PrefixLen::L32, 10, 1.5);
+    }
+}

@@ -1,0 +1,213 @@
+//! Uncompressed sorted prefix table.
+//!
+//! This is the "raw data" column of the paper's Table 2: every ℓ-bit prefix
+//! is stored verbatim in a sorted array and membership is a binary search.
+//! It serves both as the baseline for the memory comparison and as the
+//! reference implementation the compressed backends are tested against.
+
+use sb_hash::{Prefix, PrefixLen};
+
+use crate::traits::PrefixStore;
+
+/// A sorted, deduplicated table of fixed-length prefixes.
+///
+/// # Examples
+///
+/// ```
+/// use sb_hash::{prefix32, PrefixLen};
+/// use sb_store::{PrefixStore, RawPrefixTable};
+///
+/// let table = RawPrefixTable::from_prefixes(
+///     PrefixLen::L32,
+///     ["a.b.c/", "b.c/"].iter().map(|e| prefix32(e)),
+/// );
+/// assert!(table.contains(&prefix32("a.b.c/")));
+/// assert!(!table.contains(&prefix32("unrelated.org/")));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawPrefixTable {
+    prefix_len: PrefixLen,
+    /// Concatenated prefix bytes, sorted by prefix value and deduplicated.
+    data: Vec<u8>,
+}
+
+impl RawPrefixTable {
+    /// Builds a table from an iterator of prefixes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a prefix does not have length `prefix_len`.
+    pub fn from_prefixes(
+        prefix_len: PrefixLen,
+        prefixes: impl IntoIterator<Item = Prefix>,
+    ) -> Self {
+        let mut rows: Vec<Vec<u8>> = prefixes
+            .into_iter()
+            .map(|p| {
+                assert_eq!(p.len(), prefix_len, "prefix length mismatch");
+                p.as_bytes().to_vec()
+            })
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        let width = prefix_len.bytes();
+        let mut data = Vec::with_capacity(rows.len() * width);
+        for row in rows {
+            data.extend_from_slice(&row);
+        }
+        RawPrefixTable { prefix_len, data }
+    }
+
+    /// Iterates over the stored prefixes in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = Prefix> + '_ {
+        let width = self.prefix_len.bytes();
+        self.data
+            .chunks_exact(width)
+            .map(move |chunk| Prefix::from_bytes(chunk, self.prefix_len))
+    }
+
+    fn row(&self, index: usize) -> &[u8] {
+        let width = self.prefix_len.bytes();
+        &self.data[index * width..(index + 1) * width]
+    }
+}
+
+impl PrefixStore for RawPrefixTable {
+    fn backend_name(&self) -> &'static str {
+        "raw"
+    }
+
+    fn prefix_len(&self) -> PrefixLen {
+        self.prefix_len
+    }
+
+    fn len(&self) -> usize {
+        self.data.len() / self.prefix_len.bytes()
+    }
+
+    fn contains(&self, prefix: &Prefix) -> bool {
+        if prefix.len() != self.prefix_len || self.is_empty() {
+            return false;
+        }
+        let target = prefix.as_bytes();
+        let mut lo = 0usize;
+        let mut hi = self.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.row(mid).cmp(target) {
+                std::cmp::Ordering::Equal => return true,
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        false
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+impl FromIterator<Prefix> for RawPrefixTable {
+    /// Collects prefixes into a table; the prefix length is taken from the
+    /// first element (32 bits for an empty iterator).
+    fn from_iter<I: IntoIterator<Item = Prefix>>(iter: I) -> Self {
+        let items: Vec<Prefix> = iter.into_iter().collect();
+        let len = items.first().map(|p| p.len()).unwrap_or(PrefixLen::L32);
+        RawPrefixTable::from_prefixes(len, items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_hash::{digest_url, prefix32};
+
+    fn sample(n: usize) -> Vec<Prefix> {
+        (0..n).map(|i| digest_url(&format!("host{i}.example/")).prefix32()).collect()
+    }
+
+    #[test]
+    fn contains_all_inserted() {
+        let prefixes = sample(1000);
+        let table = RawPrefixTable::from_prefixes(PrefixLen::L32, prefixes.clone());
+        for p in &prefixes {
+            assert!(table.contains(p));
+        }
+        assert_eq!(table.len(), 1000);
+    }
+
+    #[test]
+    fn rejects_absent_prefixes() {
+        let table = RawPrefixTable::from_prefixes(PrefixLen::L32, sample(100));
+        let mut misses = 0;
+        for i in 0..1000 {
+            if !table.contains(&prefix32(&format!("other{i}.net/"))) {
+                misses += 1;
+            }
+        }
+        // 32-bit collisions between 100 stored and 1000 probed random values
+        // are overwhelmingly unlikely.
+        assert_eq!(misses, 1000);
+    }
+
+    #[test]
+    fn deduplicates() {
+        let p = prefix32("dup.example/");
+        let table = RawPrefixTable::from_prefixes(PrefixLen::L32, vec![p, p, p]);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn memory_is_len_times_width() {
+        for len in [PrefixLen::L32, PrefixLen::L64, PrefixLen::L256] {
+            let prefixes: Vec<Prefix> =
+                (0..500).map(|i| digest_url(&format!("h{i}/")).prefix(len)).collect();
+            let table = RawPrefixTable::from_prefixes(len, prefixes);
+            assert_eq!(table.memory_bytes(), table.len() * len.bytes());
+        }
+    }
+
+    #[test]
+    fn empty_table() {
+        let table = RawPrefixTable::from_prefixes(PrefixLen::L32, std::iter::empty());
+        assert!(table.is_empty());
+        assert!(!table.contains(&prefix32("x/")));
+        assert_eq!(table.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn wrong_length_query_is_false() {
+        let table = RawPrefixTable::from_prefixes(PrefixLen::L32, sample(10));
+        let d = digest_url("host0.example/");
+        assert!(table.contains(&d.prefix32()));
+        assert!(!table.contains(&d.prefix(PrefixLen::L64)));
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let table = RawPrefixTable::from_prefixes(PrefixLen::L32, sample(200));
+        let collected: Vec<Prefix> = table.iter().collect();
+        assert_eq!(collected.len(), 200);
+        let mut sorted = collected.clone();
+        sorted.sort();
+        assert_eq!(collected, sorted);
+    }
+
+    #[test]
+    fn from_iterator_infers_length() {
+        let table: RawPrefixTable = sample(5).into_iter().collect();
+        assert_eq!(table.prefix_len(), PrefixLen::L32);
+        assert_eq!(table.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix length mismatch")]
+    fn mixed_lengths_panic() {
+        let d = digest_url("a/");
+        let _ = RawPrefixTable::from_prefixes(
+            PrefixLen::L32,
+            vec![d.prefix32(), d.prefix(PrefixLen::L64)],
+        );
+    }
+}

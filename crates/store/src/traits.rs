@@ -1,0 +1,110 @@
+//! The [`PrefixStore`] abstraction shared by every client-side database
+//! backend.
+
+use sb_hash::{Prefix, PrefixLen};
+
+/// A read-only set of digest prefixes with memory accounting.
+///
+/// The Safe Browsing client stores the provider's blacklist locally as a set
+/// of ℓ-bit digest prefixes.  Google deployed two different backends over
+/// time — a Bloom filter (early Chromium) and a delta-coded table (current) —
+/// and the paper's Table 2 compares their memory footprint.  All backends
+/// implement this trait so the client and the experiments can swap them
+/// freely.
+pub trait PrefixStore: Send + Sync {
+    /// Human-readable backend name (used in experiment reports).
+    fn backend_name(&self) -> &'static str;
+
+    /// The prefix length stored in this database.
+    fn prefix_len(&self) -> PrefixLen;
+
+    /// Number of prefixes inserted.
+    fn len(&self) -> usize;
+
+    /// True when the store holds no prefixes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test.
+    ///
+    /// For exact backends (raw, delta-coded) this returns true iff the
+    /// prefix was inserted; for the Bloom filter it may also return true
+    /// with the intrinsic false-positive probability.
+    fn contains(&self, prefix: &Prefix) -> bool;
+
+    /// Approximate heap memory used by the store, in bytes.
+    fn memory_bytes(&self) -> usize;
+
+    /// The intrinsic false-positive probability of the backend itself
+    /// (0.0 for exact stores, > 0 for the Bloom filter).
+    fn intrinsic_false_positive_rate(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Blanket impl so `Box<dyn PrefixStore>` and `&T` can be used
+/// interchangeably by the client.
+impl<T: PrefixStore + ?Sized> PrefixStore for &T {
+    fn backend_name(&self) -> &'static str {
+        (**self).backend_name()
+    }
+    fn prefix_len(&self) -> PrefixLen {
+        (**self).prefix_len()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn contains(&self, prefix: &Prefix) -> bool {
+        (**self).contains(prefix)
+    }
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+    fn intrinsic_false_positive_rate(&self) -> f64 {
+        (**self).intrinsic_false_positive_rate()
+    }
+}
+
+impl<T: PrefixStore + ?Sized> PrefixStore for Box<T> {
+    fn backend_name(&self) -> &'static str {
+        (**self).backend_name()
+    }
+    fn prefix_len(&self) -> PrefixLen {
+        (**self).prefix_len()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn contains(&self, prefix: &Prefix) -> bool {
+        (**self).contains(prefix)
+    }
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+    fn intrinsic_false_positive_rate(&self) -> f64 {
+        (**self).intrinsic_false_positive_rate()
+    }
+}
+
+/// Which backend the client should use for its local database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StoreBackend {
+    /// Uncompressed sorted prefix table.
+    Raw,
+    /// Delta-coded table (Chromium's current choice, the paper's reference).
+    #[default]
+    DeltaCoded,
+    /// Bloom filter (early Chromium, abandoned in 2012).
+    Bloom,
+}
+
+impl std::fmt::Display for StoreBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreBackend::Raw => f.write_str("raw"),
+            StoreBackend::DeltaCoded => f.write_str("delta-coded"),
+            StoreBackend::Bloom => f.write_str("bloom"),
+        }
+    }
+}

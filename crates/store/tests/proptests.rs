@@ -1,0 +1,55 @@
+//! Property-based tests of the prefix stores: the compressed backends must
+//! behave exactly like the sorted reference table.
+
+use proptest::prelude::*;
+use sb_hash::{Prefix, PrefixLen};
+use sb_store::{BloomFilter, DeltaCodedTable, PrefixStore, RawPrefixTable};
+
+fn prefix_vec() -> impl Strategy<Value = Vec<Prefix>> {
+    prop::collection::vec(any::<u32>(), 0..300)
+        .prop_map(|values| values.into_iter().map(Prefix::from_u32).collect())
+}
+
+proptest! {
+    /// The delta-coded table answers membership exactly like the raw table,
+    /// for both present and absent values (including adjacent ones, which
+    /// stress the delta encoding).
+    #[test]
+    fn delta_equals_raw(values in prefix_vec(), probes in prop::collection::vec(any::<u32>(), 0..100)) {
+        let raw = RawPrefixTable::from_prefixes(PrefixLen::L32, values.iter().copied());
+        let delta = DeltaCodedTable::from_prefixes(PrefixLen::L32, values.iter().copied());
+        prop_assert_eq!(raw.len(), delta.len());
+        for p in &values {
+            prop_assert!(delta.contains(p));
+        }
+        for v in probes {
+            for candidate in [v, v.wrapping_add(1), v.wrapping_sub(1)] {
+                let p = Prefix::from_u32(candidate);
+                prop_assert_eq!(raw.contains(&p), delta.contains(&p), "value {:#x}", candidate);
+            }
+        }
+    }
+
+    /// The Bloom filter never yields false negatives.
+    #[test]
+    fn bloom_has_no_false_negatives(values in prefix_vec()) {
+        let bloom = BloomFilter::from_prefixes_with_size(
+            PrefixLen::L32,
+            16 * 1024,
+            values.iter().copied(),
+        );
+        for p in &values {
+            prop_assert!(bloom.contains(p));
+        }
+    }
+
+    /// Store sizes are coherent: raw is exactly 4 bytes per unique prefix,
+    /// the Bloom filter size is independent of the content.
+    #[test]
+    fn memory_accounting(values in prefix_vec()) {
+        let raw = RawPrefixTable::from_prefixes(PrefixLen::L32, values.iter().copied());
+        prop_assert_eq!(raw.memory_bytes(), raw.len() * 4);
+        let bloom = BloomFilter::from_prefixes_with_size(PrefixLen::L32, 8192, values.iter().copied());
+        prop_assert_eq!(bloom.memory_bytes(), 8192);
+    }
+}

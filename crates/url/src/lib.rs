@@ -1,0 +1,56 @@
+//! # sb-url
+//!
+//! URL handling for the Safe Browsing privacy-analysis workspace: parsing
+//! ([`RawUrl`]), Safe Browsing canonicalization ([`CanonicalUrl`]) and
+//! decomposition into host-suffix × path-prefix combinations
+//! ([`decompose`]).
+//!
+//! The decompositions are the values a Safe Browsing client hashes and whose
+//! 32-bit digest prefixes may be revealed to the provider; the paper's
+//! re-identification analysis (Sections 5–6) is entirely a statement about
+//! how many URLs share these decompositions.
+//!
+//! ## Example
+//!
+//! ```
+//! use sb_url::{CanonicalUrl, decompose};
+//!
+//! let url = CanonicalUrl::parse("https://petsymposium.org/2016/cfp.php")?;
+//! let decs = decompose(&url);
+//! assert_eq!(decs.len(), 3);
+//! assert_eq!(decs[0].expression(), "petsymposium.org/2016/cfp.php");
+//! # Ok::<(), sb_url::ParseUrlError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod canonicalize;
+mod decompose;
+mod parse;
+
+pub use canonicalize::CanonicalUrl;
+pub use decompose::{
+    decompose, decompose_url, host_candidates, path_candidates, Decomposition,
+    HOST_SUFFIX_LABELS, MAX_HOST_CANDIDATES, MAX_PATH_CANDIDATES,
+};
+pub use parse::{ParseUrlError, RawUrl};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RawUrl>();
+        assert_send_sync::<CanonicalUrl>();
+        assert_send_sync::<Decomposition>();
+    }
+
+    #[test]
+    fn end_to_end_decomposition_count_is_bounded() {
+        let decs = decompose_url("http://a.b.c.d.e.f/1/2/3/4/5/6/7/8?q=1").unwrap();
+        assert!(decs.len() <= MAX_HOST_CANDIDATES * MAX_PATH_CANDIDATES);
+    }
+}

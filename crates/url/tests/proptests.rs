@@ -1,0 +1,93 @@
+//! Property-based tests for canonicalization and decomposition invariants.
+
+use proptest::prelude::*;
+use sb_url::{decompose, CanonicalUrl, MAX_HOST_CANDIDATES, MAX_PATH_CANDIDATES};
+
+/// Strategy generating plausible host names (1-6 labels).
+fn host_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-z][a-z0-9-]{0,8}", 1..6).prop_map(|labels| labels.join("."))
+}
+
+/// Strategy generating plausible paths (0-7 segments, optional trailing slash).
+fn path_strategy() -> impl Strategy<Value = String> {
+    (prop::collection::vec("[a-zA-Z0-9_.-]{1,8}", 0..7), any::<bool>()).prop_map(
+        |(segs, trailing)| {
+            if segs.is_empty() {
+                "/".to_string()
+            } else {
+                let mut p = format!("/{}", segs.join("/"));
+                if trailing {
+                    p.push('/');
+                }
+                p
+            }
+        },
+    )
+}
+
+fn query_strategy() -> impl Strategy<Value = Option<String>> {
+    prop::option::of("[a-z]{1,5}=[a-z0-9]{1,5}")
+}
+
+proptest! {
+    /// Canonicalization is idempotent: re-parsing a canonical expression
+    /// yields the same canonical expression.
+    #[test]
+    fn canonicalization_is_idempotent(host in host_strategy(), path in path_strategy(), query in query_strategy()) {
+        let url = match &query {
+            Some(q) => format!("http://{host}{path}?{q}"),
+            None => format!("http://{host}{path}"),
+        };
+        let c1 = CanonicalUrl::parse(&url).unwrap();
+        let c2 = CanonicalUrl::parse(&c1.expression()).unwrap();
+        prop_assert_eq!(c1.expression(), c2.expression());
+    }
+
+    /// Decomposition always contains the full expression first and the
+    /// domain root somewhere, never exceeds the v3 caps, and never contains
+    /// duplicates.
+    #[test]
+    fn decomposition_invariants(host in host_strategy(), path in path_strategy(), query in query_strategy()) {
+        let url = match &query {
+            Some(q) => format!("http://{host}{path}?{q}"),
+            None => format!("http://{host}{path}"),
+        };
+        let c = CanonicalUrl::parse(&url).unwrap();
+        let decs = decompose(&c);
+
+        prop_assert!(!decs.is_empty());
+        prop_assert!(decs.len() <= MAX_HOST_CANDIDATES * MAX_PATH_CANDIDATES);
+        prop_assert_eq!(decs[0].expression(), c.expression());
+        prop_assert!(decs.iter().any(|d| d.is_domain_root()));
+
+        let mut seen = std::collections::HashSet::new();
+        for d in &decs {
+            prop_assert!(seen.insert(d.expression().to_string()), "duplicate {}", d);
+            // Every decomposition host is a suffix of the original host.
+            prop_assert!(c.host().ends_with(d.host()));
+            // Every decomposition expression is host + something starting with '/'.
+            prop_assert!(d.path_and_query().starts_with('/'));
+        }
+    }
+
+    /// The first decomposition of a URL with a query differs from the same
+    /// URL without the query, but all other decompositions are shared —
+    /// unless the v3 cap on path candidates truncates the deeper variant.
+    #[test]
+    fn query_only_affects_first_decomposition(host in host_strategy(), path in path_strategy()) {
+        let with_q = CanonicalUrl::parse(&format!("http://{host}{path}?x=1")).unwrap();
+        let without_q = CanonicalUrl::parse(&format!("http://{host}{path}")).unwrap();
+        // Skip the cases where the extra query-variant pushes the candidate
+        // list past the MAX_PATH_CANDIDATES cap (deep paths), as the cap then
+        // legitimately drops the deepest directory for the with-query URL.
+        prop_assume!(
+            sb_url::path_candidates(with_q.path(), with_q.query()).len()
+                < sb_url::MAX_PATH_CANDIDATES
+        );
+        let a: Vec<String> = decompose(&with_q).iter().map(|d| d.expression().to_string()).collect();
+        let b: Vec<String> = decompose(&without_q).iter().map(|d| d.expression().to_string()).collect();
+        for expr in &b {
+            prop_assert!(a.contains(expr), "missing {expr}");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The privacy advisor sketched in the paper's conclusion: before a Safe
+//! Browsing lookup is performed, preview what it would reveal to the
+//! provider and warn the user accordingly (no leak / k-anonymous prefix /
+//! domain identifiable / URL re-identifiable).
+//!
+//! Run with: `cargo run --example privacy_advisor`
+
+use safe_browsing_privacy::analysis::{PrivacyAdvisor, ReidentificationIndex};
+use safe_browsing_privacy::client::{ClientConfig, SafeBrowsingClient};
+use safe_browsing_privacy::corpus::{HostSite, WebCorpus};
+use safe_browsing_privacy::protocol::{Provider, ThreatCategory};
+use safe_browsing_privacy::server::SafeBrowsingServer;
+
+fn main() {
+    // A provider whose database contains a mix of legitimate blacklisting
+    // (an exact malicious URL) and tracking-style entries (a benign domain
+    // root plus one of its pages).
+    let server = SafeBrowsingServer::new(Provider::Google);
+    server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+    server
+        .blacklist_expressions(
+            "goog-malware-shavar",
+            [
+                "drive-by.example/exploit/kit.html",
+                "petsymposium.org/",
+                "petsymposium.org/2016/cfp.php",
+            ],
+        )
+        .unwrap();
+
+    let mut browser =
+        SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
+    browser.update(&server);
+
+    // The advisor knows (a slice of) the web, like the provider does.
+    let index = ReidentificationIndex::build(&WebCorpus::from_sites(
+        "advisor-index",
+        vec![HostSite::new(
+            "petsymposium.org",
+            vec![
+                "petsymposium.org/".to_string(),
+                "petsymposium.org/2016/cfp.php".to_string(),
+                "petsymposium.org/2016/links.php".to_string(),
+                "petsymposium.org/2016/faqs.php".to_string(),
+            ],
+        )],
+    ));
+    let advisor = PrivacyAdvisor::with_index(index);
+
+    let urls = [
+        "https://wikipedia.example/wiki/Privacy",
+        "http://drive-by.example/exploit/kit.html",
+        "https://petsymposium.org/2017/index.php",
+        "https://petsymposium.org/2016/cfp.php",
+    ];
+    println!("Privacy advisor: what would each navigation reveal to the Safe Browsing provider?\n");
+    for url in urls {
+        let preview = browser.preview_url(url).expect("valid URL");
+        let assessment = advisor.assess(&preview);
+        println!("[{:?}]", assessment.severity);
+        println!("  {}", assessment.warning());
+        if !preview.is_silent() {
+            println!(
+                "  revealed prefixes: {:?}",
+                preview
+                    .revealed_prefixes()
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+            );
+        }
+        println!();
+    }
+    println!(
+        "Nothing was actually sent: the provider's query log contains {} requests.",
+        server.query_log().len()
+    );
+}

@@ -1,0 +1,113 @@
+//! The tracking attack of Section 6.3: a malicious (or coerced) Safe
+//! Browsing provider selects prefixes with Algorithm 1, pushes them to every
+//! client, and then re-identifies from its full-hash query log which users
+//! visited the targeted pages — here the PETS 2016 call-for-papers and the
+//! submission site, the paper's running example.
+//!
+//! Run with: `cargo run --example tracking_attack`
+
+use safe_browsing_privacy::analysis::tracking::{tracking_prefixes, TrackingSystem};
+use safe_browsing_privacy::analysis::{ReidentificationIndex, TemporalCorrelator, TemporalPattern};
+use safe_browsing_privacy::client::{ClientConfig, SafeBrowsingClient};
+use safe_browsing_privacy::corpus::{HostSite, WebCorpus};
+use safe_browsing_privacy::hash::prefix32;
+use safe_browsing_privacy::protocol::{ClientCookie, Provider, ThreatCategory};
+use safe_browsing_privacy::server::SafeBrowsingServer;
+
+/// The provider's crawl of the targeted domain (its indexing capabilities).
+const PETS_URLS: &[&str] = &[
+    "petsymposium.org/",
+    "petsymposium.org/2016/cfp.php",
+    "petsymposium.org/2016/links.php",
+    "petsymposium.org/2016/faqs.php",
+    "petsymposium.org/2016/submission/",
+];
+
+fn main() {
+    // ---- provider side: build and deploy the campaign ----------------------
+    let server = SafeBrowsingServer::new(Provider::Yandex);
+    server.create_list("ydx-malware-shavar", ThreatCategory::Malware);
+
+    let mut campaign = TrackingSystem::new();
+    for target in ["https://petsymposium.org/2016/cfp.php", "https://petsymposium.org/2016/submission/"] {
+        let set = tracking_prefixes(target, PETS_URLS.iter().copied(), 4).expect("valid target");
+        println!(
+            "target {:40} precision: {:25} prefixes: {:?}",
+            set.target,
+            set.precision.to_string(),
+            set.prefixes.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+        );
+        campaign.add_target(set);
+    }
+    let injected = campaign.deploy(&server, "ydx-malware-shavar").expect("list exists");
+    println!("deployed: {injected} tracking entries pushed into ydx-malware-shavar\n");
+
+    // ---- client side: three users browse ------------------------------------
+    let mut author = client(1, &server);
+    let mut reader = client(2, &server);
+    let mut bystander = client(3, &server);
+
+    // The prospective author reads the CFP and then the submission site.
+    author.check_url("https://petsymposium.org/2016/cfp.php", &server).unwrap();
+    author.check_url("https://petsymposium.org/2016/submission/", &server).unwrap();
+    // The casual reader only opens the FAQ.
+    reader.check_url("https://petsymposium.org/2016/faqs.php", &server).unwrap();
+    // The bystander browses something unrelated.
+    bystander.check_url("https://news.example/today.html", &server).unwrap();
+
+    // ---- provider side: harvest the log -------------------------------------
+    let log = server.query_log();
+    println!("provider received {} full-hash requests", log.len());
+
+    let visits = campaign.detect_visits(&log, 2);
+    println!("\ntracking hits (>= 2 shadow prefixes in one request):");
+    for v in &visits {
+        println!(
+            "  t={} cookie={} visited {} ({})",
+            v.timestamp,
+            v.cookie.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+            v.target,
+            v.precision
+        );
+    }
+
+    // Temporal correlation: CFP then submission in a short window = author.
+    let mut correlator = TemporalCorrelator::new();
+    correlator.add_pattern(TemporalPattern {
+        label: "prospective PETS author".to_string(),
+        prefixes: vec![
+            prefix32("petsymposium.org/2016/cfp.php"),
+            prefix32("petsymposium.org/2016/submission/"),
+        ],
+        window: 10,
+    });
+    println!("\ntemporal correlation:");
+    for m in correlator.matches(&log) {
+        println!("  cookie={} profiled as \"{}\"", m.cookie, m.label);
+    }
+
+    // Re-identification check: what does a pair of prefixes reveal given the
+    // provider's index of the web?
+    let corpus = WebCorpus::from_sites(
+        "provider-index",
+        vec![HostSite::new(
+            "petsymposium.org",
+            PETS_URLS.iter().map(|s| s.to_string()).collect(),
+        )],
+    );
+    let index = ReidentificationIndex::build(&corpus);
+    let observed = [prefix32("petsymposium.org/2016/cfp.php"), prefix32("petsymposium.org/")];
+    let reid = index.reidentify(&observed);
+    println!(
+        "\nre-identification of the observed prefix pair: {} candidate(s), URL = {:?}",
+        reid.candidate_count, reid.unique_url
+    );
+}
+
+fn client(id: u64, server: &SafeBrowsingServer) -> SafeBrowsingClient {
+    let mut c = SafeBrowsingClient::new(
+        ClientConfig::subscribed_to(["ydx-malware-shavar"]).with_cookie(ClientCookie::new(id)),
+    );
+    c.update(server);
+    c
+}

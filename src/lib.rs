@@ -1,0 +1,51 @@
+//! # safe-browsing-privacy
+//!
+//! A reproduction of *“A Privacy Analysis of Google and Yandex Safe
+//! Browsing”* (Gerbet, Kumar, Lauradoux — DSN 2016 / INRIA RR-8686) as a
+//! Rust workspace: the Safe Browsing v3 client and a simulated provider, the
+//! hash-and-truncate pipeline, the client-side prefix stores, a synthetic
+//! web corpus, and the paper's full privacy analysis (k-anonymity of a
+//! single prefix, multi-prefix re-identification, the tracking algorithm,
+//! and the blacklist audits).
+//!
+//! This umbrella crate re-exports every workspace crate under a short
+//! module name so applications can depend on a single crate:
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`hash`] | SHA-256, digests, truncated prefixes |
+//! | [`url`] | canonicalization and decomposition |
+//! | [`store`] | raw / delta-coded / Bloom prefix stores |
+//! | [`corpus`] | synthetic web corpus and its statistics |
+//! | [`protocol`] | lists, chunks, messages, cookies |
+//! | [`server`] | the simulated GSB/YSB provider |
+//! | [`client`] | the Safe Browsing client and mitigations |
+//! | [`analysis`] | the privacy analysis itself |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use safe_browsing_privacy::client::{ClientConfig, SafeBrowsingClient};
+//! use safe_browsing_privacy::protocol::{Provider, ThreatCategory};
+//! use safe_browsing_privacy::server::SafeBrowsingServer;
+//!
+//! let server = SafeBrowsingServer::new(Provider::Google);
+//! server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+//! server.blacklist_url("goog-malware-shavar", "http://evil.example/exploit").unwrap();
+//!
+//! let mut browser = SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
+//! browser.update(&server);
+//! assert!(browser.check_url("http://evil.example/exploit", &server).unwrap().is_malicious());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sb_analysis as analysis;
+pub use sb_client as client;
+pub use sb_corpus as corpus;
+pub use sb_hash as hash;
+pub use sb_protocol as protocol;
+pub use sb_server as server;
+pub use sb_store as store;
+pub use sb_url as url;

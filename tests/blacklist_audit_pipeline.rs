@@ -1,0 +1,82 @@
+//! Integration test of the Section 7 audit pipeline against the synthetic
+//! provider databases used by the experiment binaries: inversion, orphan
+//! audit and multi-prefix audit must reproduce the paper's qualitative
+//! findings end to end.
+
+use safe_browsing_privacy::analysis::{
+    audit_orphans, find_multi_prefix_urls, invert_blacklist, Dictionary,
+};
+use safe_browsing_privacy::corpus::{HostSite, WebCorpus};
+use safe_browsing_privacy::protocol::Provider;
+use sb_bench::{synthetic_expression, synthetic_provider};
+
+#[test]
+fn google_lists_have_few_orphans_yandex_lists_many() {
+    let google = synthetic_provider(Provider::Google, 1);
+    let yandex = synthetic_provider(Provider::Yandex, 2);
+    let corpus = WebCorpus::from_sites("tiny", vec![]);
+
+    let goog_malware = google.list_snapshot(&"goog-malware-shavar".into()).unwrap();
+    let goog_report = audit_orphans(&goog_malware, &corpus);
+    assert!(goog_report.orphan_fraction() < 0.01);
+
+    let ydx_phish = yandex.list_snapshot(&"ydx-phish-shavar".into()).unwrap();
+    let ydx_report = audit_orphans(&ydx_phish, &corpus);
+    assert!(ydx_report.orphan_fraction() > 0.9);
+
+    let ydx_yellow = yandex.list_snapshot(&"ydx-yellow-shavar".into()).unwrap();
+    assert_eq!(audit_orphans(&ydx_yellow, &corpus).orphan_fraction(), 1.0);
+}
+
+#[test]
+fn domain_census_recovers_more_than_url_feeds() {
+    let yandex = synthetic_provider(Provider::Yandex, 3);
+    let porn = yandex
+        .list_snapshot(&"ydx-porno-hosts-top-shavar".into())
+        .unwrap();
+
+    // A "census" covering 60 % of the adult hosts and a URL feed covering
+    // none of them (they are domain roots, not URLs from a malware feed).
+    let census_entries: Vec<String> = (0..((porn.digest_count() as f64 * 0.6) as usize))
+        .map(|i| synthetic_expression("ydx-porno-hosts-top-shavar", i))
+        .collect();
+    let census = Dictionary::new("domain census", census_entries);
+    let feed = Dictionary::new(
+        "malware feed",
+        (0..5_000).map(|i| synthetic_expression("ydx-malware-shavar", i)).collect(),
+    );
+
+    let census_result = invert_blacklist(&porn, &census);
+    let feed_result = invert_blacklist(&porn, &feed);
+    assert!(census_result.match_percent() > 50.0);
+    assert!(feed_result.match_percent() < 1.0);
+    assert!(census_result.matched_prefixes > feed_result.matched_prefixes);
+}
+
+#[test]
+fn subdomain_plus_domain_blacklisting_is_re_identifiable() {
+    let yandex = synthetic_provider(Provider::Yandex, 4);
+    yandex
+        .blacklist_expressions(
+            "ydx-porno-hosts-top-shavar",
+            ["fr.adult-content0.com/", "adult-content0.com/"],
+        )
+        .unwrap();
+    let corpus = WebCorpus::from_sites(
+        "alexa-slice",
+        vec![
+            HostSite::new(
+                "adult-content0.com",
+                vec!["fr.adult-content0.com/user/video".to_string()],
+            ),
+            HostSite::new("benign.example", vec!["benign.example/".to_string()]),
+        ],
+    );
+    let list = yandex
+        .list_snapshot(&"ydx-porno-hosts-top-shavar".into())
+        .unwrap();
+    let report = find_multi_prefix_urls(&list, &corpus, 2);
+    assert_eq!(report.url_count(), 1);
+    assert_eq!(report.urls[0].domain, "adult-content0.com");
+    assert_eq!(report.urls[0].hit_count(), 2);
+}

@@ -1,0 +1,85 @@
+//! Integration test of the privacy advisor (the paper's proposed user-facing
+//! countermeasure) against a provider running a tracking campaign.
+
+use safe_browsing_privacy::analysis::tracking::{tracking_prefixes, TrackingSystem};
+use safe_browsing_privacy::analysis::{LeakSeverity, PrivacyAdvisor, ReidentificationIndex};
+use safe_browsing_privacy::client::{ClientConfig, SafeBrowsingClient};
+use safe_browsing_privacy::corpus::{HostSite, WebCorpus};
+use safe_browsing_privacy::protocol::Provider;
+use safe_browsing_privacy::server::SafeBrowsingServer;
+
+const PETS_URLS: &[&str] = &[
+    "petsymposium.org/",
+    "petsymposium.org/2016/cfp.php",
+    "petsymposium.org/2016/links.php",
+    "petsymposium.org/2016/faqs.php",
+];
+
+fn pets_corpus() -> WebCorpus {
+    WebCorpus::from_sites(
+        "pets",
+        vec![HostSite::new(
+            "petsymposium.org",
+            PETS_URLS.iter().map(|s| s.to_string()).collect(),
+        )],
+    )
+}
+
+#[test]
+fn advisor_detects_a_tracking_campaign_before_anything_is_sent() {
+    // The provider deploys Algorithm 1 against the CFP page.
+    let server = SafeBrowsingServer::with_standard_lists(Provider::Google);
+    let mut campaign = TrackingSystem::new();
+    campaign.add_target(
+        tracking_prefixes("https://petsymposium.org/2016/cfp.php", PETS_URLS.iter().copied(), 4)
+            .unwrap(),
+    );
+    campaign.deploy(&server, "goog-malware-shavar").unwrap();
+
+    // The user's browser syncs the (tampered) database.
+    let mut browser =
+        SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
+    browser.update(&server);
+
+    let advisor = PrivacyAdvisor::with_index(ReidentificationIndex::build(&pets_corpus()));
+
+    // Visiting the tracked page would reveal two prefixes and pinpoint the
+    // URL — the advisor flags it before any request is made.
+    let tracked = advisor.assess(&browser.preview_url("https://petsymposium.org/2016/cfp.php").unwrap());
+    assert_eq!(tracked.severity, LeakSeverity::MultiPrefix);
+    assert_eq!(tracked.candidate_urls_in_index, Some(1));
+
+    // Visiting a sibling page on the same domain only reveals the domain.
+    let sibling = advisor.assess(&browser.preview_url("https://petsymposium.org/2016/faqs.php").unwrap());
+    assert_eq!(sibling.severity, LeakSeverity::SinglePrefixDomain);
+
+    // Unrelated browsing reveals nothing.
+    let clean = advisor.assess(&browser.preview_url("https://news.example/today").unwrap());
+    assert_eq!(clean.severity, LeakSeverity::None);
+
+    // And crucially: previewing sent nothing to the provider.
+    assert_eq!(server.query_log().len(), 0);
+    assert_eq!(browser.metrics().requests_sent, 0);
+}
+
+#[test]
+fn advisor_severity_tracks_what_the_provider_actually_learns() {
+    let server = SafeBrowsingServer::with_standard_lists(Provider::Google);
+    server
+        .blacklist_expressions("goog-malware-shavar", ["exact-malware.example/bad/page.html"])
+        .unwrap();
+    let mut browser =
+        SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
+    browser.update(&server);
+    let advisor = PrivacyAdvisor::new();
+
+    // Legitimate exact-URL blacklisting: one non-root prefix, k-anonymous.
+    let assessment = advisor.assess(
+        &browser.preview_url("http://exact-malware.example/bad/page.html").unwrap(),
+    );
+    assert_eq!(assessment.severity, LeakSeverity::SinglePrefixUrl);
+    assert!(assessment.single_prefix_url_anonymity > 1_000);
+
+    // The warning text is user-presentable for every severity level.
+    assert!(!assessment.warning().is_empty());
+}

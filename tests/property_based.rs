@@ -1,0 +1,113 @@
+//! Cross-crate property-based tests: invariants of the hash-and-truncate
+//! pipeline, the stores and the client/server protocol under randomized
+//! inputs.
+
+use proptest::prelude::*;
+use safe_browsing_privacy::client::{ClientConfig, SafeBrowsingClient};
+use safe_browsing_privacy::hash::{digest_url, Digest, PrefixLen, Sha256};
+use safe_browsing_privacy::protocol::{Provider, ThreatCategory};
+use safe_browsing_privacy::server::SafeBrowsingServer;
+use safe_browsing_privacy::store::{
+    BloomFilter, DeltaCodedTable, PrefixStore, RawPrefixTable,
+};
+use safe_browsing_privacy::url::{decompose, CanonicalUrl};
+
+fn host_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-z][a-z0-9]{0,6}", 2..5).prop_map(|labels| labels.join("."))
+}
+
+fn path_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-z0-9]{1,6}", 0..4)
+        .prop_map(|segs| if segs.is_empty() { "/".to_string() } else { format!("/{}", segs.join("/")) })
+}
+
+proptest! {
+    /// SHA-256 streaming equals one-shot for arbitrary chunkings.
+    #[test]
+    fn sha256_streaming_equals_oneshot(data in prop::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut hasher = Sha256::new();
+        hasher.update(&data[..split]);
+        hasher.update(&data[split..]);
+        prop_assert_eq!(hasher.finalize(), Sha256::digest(&data));
+    }
+
+    /// Digest hex round-trips.
+    #[test]
+    fn digest_hex_roundtrip(bytes in prop::array::uniform32(any::<u8>())) {
+        let d = Digest::new(bytes);
+        prop_assert_eq!(Digest::from_hex(&d.to_hex()).unwrap(), d);
+    }
+
+    /// Every prefix of a digest matches that digest, and prefixes of
+    /// different lengths are consistent truncations of each other.
+    #[test]
+    fn prefixes_are_consistent_truncations(expr in "[a-z]{1,20}") {
+        let d = digest_url(&expr);
+        for len in PrefixLen::ALL {
+            let p = d.prefix(len);
+            prop_assert!(p.matches_digest(&d));
+            prop_assert_eq!(p.as_bytes(), &d.as_bytes()[..len.bytes()]);
+        }
+    }
+
+    /// All three stores agree with each other on membership of inserted
+    /// prefixes (and the exact stores agree on absent ones too).
+    #[test]
+    fn stores_agree_on_inserted_prefixes(exprs in prop::collection::hash_set("[a-z]{1,12}", 1..50)) {
+        let prefixes: Vec<_> = exprs.iter().map(|e| digest_url(e).prefix32()).collect();
+        let raw = RawPrefixTable::from_prefixes(PrefixLen::L32, prefixes.iter().copied());
+        let delta = DeltaCodedTable::from_prefixes(PrefixLen::L32, prefixes.iter().copied());
+        let bloom = BloomFilter::from_prefixes_with_size(PrefixLen::L32, 64 * 1024, prefixes.iter().copied());
+        for p in &prefixes {
+            prop_assert!(raw.contains(p));
+            prop_assert!(delta.contains(p));
+            prop_assert!(bloom.contains(p));
+        }
+        // Exact stores: absent values are absent.
+        for probe in ["zzz-absent-1", "zzz-absent-2", "zzz-absent-3"] {
+            if !exprs.contains(probe) {
+                let p = digest_url(probe).prefix32();
+                prop_assert_eq!(raw.contains(&p), delta.contains(&p));
+            }
+        }
+        // Sparse sets degenerate to all-anchors (8 bytes each vs 4 raw), so
+        // the delta table is at worst twice the raw size; dense sets (the
+        // deployed regime) compress below raw, which Table 2 measures.
+        prop_assert!(delta.memory_bytes() <= raw.memory_bytes() * 2);
+    }
+
+    /// A URL blacklisted on the provider is always flagged by a synced
+    /// client, and the number of prefixes revealed never exceeds the number
+    /// of decompositions.
+    #[test]
+    fn blacklisted_urls_are_always_flagged(host in host_strategy(), path in path_strategy()) {
+        let url = format!("http://{host}{path}");
+        let server = SafeBrowsingServer::new(Provider::Google);
+        server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+        server.blacklist_url("goog-malware-shavar", &url).unwrap();
+
+        let mut client = SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
+        client.update(&server);
+        let outcome = client.check_url(&url, &server).unwrap();
+        prop_assert!(outcome.is_malicious());
+
+        let canon = CanonicalUrl::parse(&url).unwrap();
+        let max_prefixes = decompose(&canon).len();
+        prop_assert!(client.metrics().prefixes_sent <= max_prefixes);
+        prop_assert!(client.metrics().requests_sent >= 1);
+    }
+
+    /// A client whose database is synced from an empty provider never sends
+    /// anything, whatever it browses.
+    #[test]
+    fn empty_database_never_contacts_the_provider(host in host_strategy(), path in path_strategy()) {
+        let server = SafeBrowsingServer::with_standard_lists(Provider::Google);
+        let mut client = SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
+        client.update(&server);
+        let url = format!("http://{host}{path}");
+        let outcome = client.check_url(&url, &server).unwrap();
+        prop_assert!(!outcome.is_malicious());
+        prop_assert_eq!(server.query_log().len(), 0);
+    }
+}
