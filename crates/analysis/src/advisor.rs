@@ -155,18 +155,24 @@ mod tests {
     use sb_protocol::{Provider, ThreatCategory};
     use sb_server::SafeBrowsingServer;
 
-    fn setup() -> (SafeBrowsingServer, SafeBrowsingClient) {
-        let server = SafeBrowsingServer::new(Provider::Google);
+    fn setup() -> (std::sync::Arc<SafeBrowsingServer>, SafeBrowsingClient) {
+        let server = std::sync::Arc::new(SafeBrowsingServer::new(Provider::Google));
         server.create_list("goog-malware-shavar", ThreatCategory::Malware);
         server
             .blacklist_expressions(
                 "goog-malware-shavar",
-                ["petsymposium.org/", "petsymposium.org/2016/cfp.php", "evil.example/page.html"],
+                [
+                    "petsymposium.org/",
+                    "petsymposium.org/2016/cfp.php",
+                    "evil.example/page.html",
+                ],
             )
             .unwrap();
-        let mut client =
-            SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
-        client.update(&server);
+        let mut client = SafeBrowsingClient::in_process(
+            ClientConfig::subscribed_to(["goog-malware-shavar"]),
+            server.clone(),
+        );
+        client.update().unwrap();
         (server, client)
     }
 
@@ -198,8 +204,11 @@ mod tests {
     fn tracked_url_is_multi_prefix_and_pinpointed_with_an_index() {
         let (_server, client) = setup();
         let advisor = PrivacyAdvisor::with_index(pets_index());
-        let assessment = advisor
-            .assess(&client.preview_url("https://petsymposium.org/2016/cfp.php").unwrap());
+        let assessment = advisor.assess(
+            &client
+                .preview_url("https://petsymposium.org/2016/cfp.php")
+                .unwrap(),
+        );
         assert_eq!(assessment.severity, LeakSeverity::MultiPrefix);
         assert_eq!(assessment.revealed_prefixes, 2);
         assert!(assessment.domain_revealed);
@@ -227,8 +236,11 @@ mod tests {
         let advisor = PrivacyAdvisor::new();
         // Visiting another page on petsymposium.org only hits the domain
         // root entry.
-        let assessment = advisor
-            .assess(&client.preview_url("https://petsymposium.org/2017/index.php").unwrap());
+        let assessment = advisor.assess(
+            &client
+                .preview_url("https://petsymposium.org/2017/index.php")
+                .unwrap(),
+        );
         assert_eq!(assessment.severity, LeakSeverity::SinglePrefixDomain);
         assert!(assessment.warning().contains("identify the site"));
     }

@@ -74,7 +74,9 @@ pub fn max_load_poisson(m: f64, prefix_len: PrefixLen) -> u64 {
     if lambda > 1.0e6 {
         let mut z = (2.0 * n.ln()).sqrt();
         for _ in 0..20 {
-            z = (2.0 * (n.ln() - (z * (2.0 * std::f64::consts::PI).sqrt()).ln())).max(1.0).sqrt();
+            z = (2.0 * (n.ln() - (z * (2.0 * std::f64::consts::PI).sqrt()).ln()))
+                .max(1.0)
+                .sqrt();
         }
         return (lambda + z * lambda.sqrt()).round() as u64;
     }
@@ -162,14 +164,19 @@ pub struct AnonymityCell {
 /// Computes the Table 5 cells for one Internet snapshot across the paper's
 /// prefix lengths (16, 32, 64 and 96 bits).
 pub fn table5_row(urls: f64, domains: f64) -> Vec<AnonymityCell> {
-    [PrefixLen::L16, PrefixLen::L32, PrefixLen::L64, PrefixLen::L96]
-        .into_iter()
-        .map(|len| AnonymityCell {
-            prefix_len: len,
-            urls_per_prefix: max_load_poisson(urls, len),
-            domains_per_prefix: max_load_poisson(domains, len),
-        })
-        .collect()
+    [
+        PrefixLen::L16,
+        PrefixLen::L32,
+        PrefixLen::L64,
+        PrefixLen::L96,
+    ]
+    .into_iter()
+    .map(|len| AnonymityCell {
+        prefix_len: len,
+        urls_per_prefix: max_load_poisson(urls, len),
+        domains_per_prefix: max_load_poisson(domains, len),
+    })
+    .collect()
 }
 
 #[cfg(test)]
@@ -230,12 +237,15 @@ mod tests {
         // 177e6 domains into 2^32 bins is the lightly loaded case: only a
         // couple of domains share a prefix.
         let rs = max_load_raab_steger(177.0e6, PrefixLen::L32, 1.5);
-        assert!(rs >= 1.0 && rs < 10.0, "{rs}");
+        assert!((1.0..10.0).contains(&rs), "{rs}");
     }
 
     #[test]
     fn min_load_theta_m_over_n() {
-        assert_eq!(min_load(30.0e12, PrefixLen::L32), (30.0e12 / 2f64.powi(32)).floor());
+        assert_eq!(
+            min_load(30.0e12, PrefixLen::L32),
+            (30.0e12 / 2f64.powi(32)).floor()
+        );
         assert_eq!(min_load(100.0, PrefixLen::L32), 0.0);
     }
 

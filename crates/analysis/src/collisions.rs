@@ -67,8 +67,10 @@ pub fn classify_collision(
         .map(|d| d.expression().to_string())
         .collect();
     let cand_decs = decompose(candidate);
-    let cand_exprs: HashSet<String> =
-        cand_decs.iter().map(|d| d.expression().to_string()).collect();
+    let cand_exprs: HashSet<String> = cand_decs
+        .iter()
+        .map(|d| d.expression().to_string())
+        .collect();
 
     // For every observed prefix, find out how the candidate reproduces it.
     let mut via_truncation = 0usize;
@@ -175,7 +177,11 @@ mod tests {
     fn table6_type1_example() {
         // g.a.b.c decomposes to g.a.b.c/, a.b.c/, b.c/ ... so it reproduces
         // both observed prefixes through shared decompositions.
-        let t = classify_collision(&canon("http://a.b.c/"), &canon("http://g.a.b.c/"), &observed_for_table6());
+        let t = classify_collision(
+            &canon("http://a.b.c/"),
+            &canon("http://g.a.b.c/"),
+            &observed_for_table6(),
+        );
         assert_eq!(t, Some(CollisionType::TypeI));
     }
 
@@ -183,13 +189,21 @@ mod tests {
     fn table6_unrelated_url_is_no_collision() {
         // d.e.f shares no decomposition and (overwhelmingly likely) no
         // truncated digest with the target, so it is not a collision.
-        let t = classify_collision(&canon("http://a.b.c/"), &canon("http://d.e.f/"), &observed_for_table6());
+        let t = classify_collision(
+            &canon("http://a.b.c/"),
+            &canon("http://d.e.f/"),
+            &observed_for_table6(),
+        );
         assert_eq!(t, None);
     }
 
     #[test]
     fn same_url_is_not_a_collision() {
-        let t = classify_collision(&canon("http://a.b.c/"), &canon("http://a.b.c/"), &observed_for_table6());
+        let t = classify_collision(
+            &canon("http://a.b.c/"),
+            &canon("http://a.b.c/"),
+            &observed_for_table6(),
+        );
         assert_eq!(t, None);
     }
 
@@ -199,7 +213,11 @@ mod tests {
         // so with both prefixes observed it is not a collision candidate
         // (it would be the paper's Type II only if its other decomposition
         // collided with A after truncation, which does not happen here).
-        let t = classify_collision(&canon("http://a.b.c/"), &canon("http://g.b.c/"), &observed_for_table6());
+        let t = classify_collision(
+            &canon("http://a.b.c/"),
+            &canon("http://g.b.c/"),
+            &observed_for_table6(),
+        );
         assert_eq!(t, None);
     }
 
@@ -245,7 +263,10 @@ mod tests {
             "petsymposium.org/2016/links.php",
             "petsymposium.org/2016/faqs.php",
         ];
-        assert!(is_leaf_url("petsymposium.org/2016/cfp.php", host_urls.iter().copied()));
+        assert!(is_leaf_url(
+            "petsymposium.org/2016/cfp.php",
+            host_urls.iter().copied()
+        ));
         // The 2016/ directory page is in every 2016 URL's decompositions.
         let set = type1_collision_set("petsymposium.org/2016/", host_urls.iter().copied());
         assert_eq!(set.len(), 3);
@@ -272,7 +293,11 @@ mod tests {
         // In any realistic host, Type I collisions exist while Type II/III
         // require 32-bit digest collisions and essentially never occur —
         // the P[Type I] > P[Type II] > P[Type III] ordering of the paper.
-        let host_urls = ["site.example/", "site.example/a/1.html", "site.example/a/2.html"];
+        let host_urls = [
+            "site.example/",
+            "site.example/a/1.html",
+            "site.example/a/2.html",
+        ];
         let observed = vec![prefix32("site.example/a/"), prefix32("site.example/")];
         let mut type1 = 0;
         for url in &host_urls {

@@ -146,7 +146,11 @@ mod tests {
         let list = blacklist_of(&["a.example/", "b.example/", "c.example/", "d.example/"]);
         let dict = Dictionary::new(
             "partial",
-            vec!["a.example/".to_string(), "c.example/".to_string(), "unrelated.org/".to_string()],
+            vec![
+                "a.example/".to_string(),
+                "c.example/".to_string(),
+                "unrelated.org/".to_string(),
+            ],
         );
         let result = invert_blacklist(&list, &dict);
         assert_eq!(result.matched_prefixes, 2);
@@ -157,7 +161,10 @@ mod tests {
     #[test]
     fn disjoint_dictionary_matches_nothing() {
         let list = blacklist_of(&["a.example/"]);
-        let dict = Dictionary::new("unrelated", vec!["x.org/".to_string(), "y.org/".to_string()]);
+        let dict = Dictionary::new(
+            "unrelated",
+            vec!["x.org/".to_string(), "y.org/".to_string()],
+        );
         let result = invert_blacklist(&list, &dict);
         assert_eq!(result.matched_prefixes, 0);
         assert_eq!(result.match_percent(), 0.0);

@@ -222,7 +222,10 @@ mod tests {
         // The directory page 2016/ is part of every 2016 URL's
         // decompositions, so (2016/, domain) leaves several candidates —
         // but they all live on petsymposium.org.
-        let observed = vec![prefix32("petsymposium.org/2016/"), prefix32("petsymposium.org/")];
+        let observed = vec![
+            prefix32("petsymposium.org/2016/"),
+            prefix32("petsymposium.org/"),
+        ];
         let result = index.reidentify(&observed);
         assert!(result.candidate_count > 1, "{result:?}");
         assert!(result.unique_url.is_none());
@@ -257,7 +260,10 @@ mod tests {
     #[test]
     fn prefixes_from_different_domains_conflict() {
         let index = ReidentificationIndex::build(&pets_corpus());
-        let observed = vec![prefix32("petsymposium.org/"), prefix32("othersite.example/")];
+        let observed = vec![
+            prefix32("petsymposium.org/"),
+            prefix32("othersite.example/"),
+        ];
         assert!(index.candidates(&observed).is_empty());
     }
 

@@ -190,13 +190,20 @@ mod tests {
         correlator.add_pattern(pets_pattern(10));
         correlator.add_pattern(TemporalPattern {
             label: "adult site visitor".to_string(),
-            prefixes: vec![prefix32("m.wickedpictures.com/"), prefix32("wickedpictures.com/")],
+            prefixes: vec![
+                prefix32("m.wickedpictures.com/"),
+                prefix32("wickedpictures.com/"),
+            ],
             window: 0,
         });
         assert_eq!(correlator.patterns().len(), 2);
 
         let mut log = QueryLog::new();
-        log.record(request(1, 3, &["m.wickedpictures.com/", "wickedpictures.com/"]));
+        log.record(request(
+            1,
+            3,
+            &["m.wickedpictures.com/", "wickedpictures.com/"],
+        ));
         log.record(request(2, 3, &["petsymposium.org/2016/cfp.php"]));
         log.record(request(3, 3, &["petsymposium.org/2016/submission/"]));
         let matches = correlator.matches(&log);

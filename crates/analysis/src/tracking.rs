@@ -97,10 +97,7 @@ pub fn tracking_prefixes<'a>(
 
     // Line 8-10: tiny domains — include everything.
     if decomps.len() <= 2 {
-        let expressions: Vec<String> = decomps
-            .iter()
-            .map(|d| d.expression().to_string())
-            .collect();
+        let expressions: Vec<String> = decomps.iter().map(|d| d.expression().to_string()).collect();
         let prefixes = expressions.iter().map(|e| prefix32(e)).collect();
         return Ok(TrackingSet {
             target: link,
@@ -303,7 +300,9 @@ mod tests {
         .unwrap();
         assert_eq!(set.precision, TrackingPrecision::UrlWithinTypeICollisions);
         assert!(set.prefixes.len() >= 4, "{:?}", set.expressions);
-        assert!(set.expressions.contains(&"petsymposium.org/2016/".to_string()));
+        assert!(set
+            .expressions
+            .contains(&"petsymposium.org/2016/".to_string()));
         assert!(set
             .expressions
             .contains(&"petsymposium.org/2016/links.php".to_string()));
@@ -337,7 +336,7 @@ mod tests {
     #[test]
     fn end_to_end_tracking_campaign_identifies_the_visitor() {
         // Provider-side: build and deploy the campaign.
-        let server = SafeBrowsingServer::new(Provider::Yandex);
+        let server = std::sync::Arc::new(SafeBrowsingServer::new(Provider::Yandex));
         server.create_list("ydx-malware-shavar", ThreatCategory::Malware);
         let mut system = TrackingSystem::new();
         system.add_target(
@@ -351,22 +350,22 @@ mod tests {
         system.deploy(&server, "ydx-malware-shavar").unwrap();
 
         // Client-side: two users, one visits the tracked page.
-        let mut victim = SafeBrowsingClient::new(
-            ClientConfig::subscribed_to(["ydx-malware-shavar"])
-                .with_cookie(ClientCookie::new(1)),
+        let mut victim = SafeBrowsingClient::in_process(
+            ClientConfig::subscribed_to(["ydx-malware-shavar"]).with_cookie(ClientCookie::new(1)),
+            server.clone(),
         );
-        let mut bystander = SafeBrowsingClient::new(
-            ClientConfig::subscribed_to(["ydx-malware-shavar"])
-                .with_cookie(ClientCookie::new(2)),
+        let mut bystander = SafeBrowsingClient::in_process(
+            ClientConfig::subscribed_to(["ydx-malware-shavar"]).with_cookie(ClientCookie::new(2)),
+            server.clone(),
         );
-        victim.update(&server);
-        bystander.update(&server);
+        victim.update().unwrap();
+        bystander.update().unwrap();
 
         victim
-            .check_url("https://petsymposium.org/2016/cfp.php", &server)
+            .check_url("https://petsymposium.org/2016/cfp.php")
             .unwrap();
         bystander
-            .check_url("https://unrelated.example/page.html", &server)
+            .check_url("https://unrelated.example/page.html")
             .unwrap();
 
         // Provider-side: scan the log.
@@ -383,7 +382,7 @@ mod tests {
 
     #[test]
     fn visiting_an_untracked_page_on_the_domain_is_not_misattributed() {
-        let server = SafeBrowsingServer::new(Provider::Google);
+        let server = std::sync::Arc::new(SafeBrowsingServer::new(Provider::Google));
         server.create_list("goog-malware-shavar", ThreatCategory::Malware);
         let mut system = TrackingSystem::new();
         system.add_target(
@@ -396,13 +395,14 @@ mod tests {
         );
         system.deploy(&server, "goog-malware-shavar").unwrap();
 
-        let mut user = SafeBrowsingClient::new(
+        let mut user = SafeBrowsingClient::in_process(
             ClientConfig::subscribed_to(["goog-malware-shavar"]).with_cookie(ClientCookie::new(7)),
+            server.clone(),
         );
-        user.update(&server);
+        user.update().unwrap();
         // The FAQ page shares the domain-root prefix but not the CFP prefix,
         // so only one tracking prefix appears in the request.
-        user.check_url("https://petsymposium.org/2016/faqs.php", &server)
+        user.check_url("https://petsymposium.org/2016/faqs.php")
             .unwrap();
 
         let visits = system.detect_visits(&server.query_log(), 2);

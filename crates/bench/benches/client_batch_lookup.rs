@@ -1,0 +1,140 @@
+//! Single-URL vs batched lookups over a 1M-prefix store — the perf baseline
+//! for the batched `check_urls` path.
+//!
+//! Two comparisons, both over the same provider with 1 000 000 blacklisted
+//! domain roots:
+//!
+//! * a 64-URL mixed workload checked URL-by-URL vs in one batch, with the
+//!   full-hash cache cleared each iteration so the hit URLs really resolve
+//!   against the provider (per-URL: one round trip per hit URL; batched:
+//!   one round trip for the whole workload);
+//! * the same comparison over a transport that *sleeps* 50 µs per round
+//!   trip, making the round-trip amplification of the per-URL path visible
+//!   in wall-clock time.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_client::{ClientConfig, InProcessTransport, SafeBrowsingClient, SimulatedTransport};
+use sb_protocol::{Provider, ThreatCategory};
+use sb_server::SafeBrowsingServer;
+
+const DB_SIZE: usize = 1_000_000;
+const BATCH: usize = 64;
+/// One in `HIT_EVERY` workload URLs is blacklisted (page loads are mostly
+/// benign subresources with the occasional hit).
+const HIT_EVERY: usize = 8;
+
+fn provider_1m() -> Arc<SafeBrowsingServer> {
+    let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
+    server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+    // Insert in chunks to keep peak memory for the expression batch modest.
+    for chunk_start in (0..DB_SIZE).step_by(100_000) {
+        let expressions: Vec<String> = (chunk_start..(chunk_start + 100_000).min(DB_SIZE))
+            .map(|i| format!("malware-host{i}.example/"))
+            .collect();
+        server
+            .blacklist_expressions(
+                "goog-malware-shavar",
+                expressions.iter().map(String::as_str),
+            )
+            .unwrap();
+    }
+    server
+}
+
+/// The 64-URL workload: mostly benign URLs, one blacklisted domain every
+/// `HIT_EVERY` entries.
+fn workload() -> Vec<String> {
+    (0..BATCH)
+        .map(|i| {
+            if i % HIT_EVERY == 0 {
+                format!("http://malware-host{}.example/landing/page{i}.html", i * 37)
+            } else {
+                format!("http://benign-host{i}.example/assets/resource{i}.js")
+            }
+        })
+        .collect()
+}
+
+fn synced_client(
+    server: &Arc<SafeBrowsingServer>,
+    latency: Option<Duration>,
+) -> SafeBrowsingClient {
+    let config = ClientConfig::subscribed_to(["goog-malware-shavar"]);
+    let mut client = match latency {
+        None => SafeBrowsingClient::in_process(config, server.clone()),
+        Some(latency) => SafeBrowsingClient::new(
+            config,
+            SimulatedTransport::new(InProcessTransport::new(server.clone()))
+                .with_blocking_latency(latency),
+        ),
+    };
+    client.update().unwrap();
+    client
+}
+
+fn bench_batch_vs_single(c: &mut Criterion) {
+    let server = provider_1m();
+    let urls = workload();
+    let url_refs: Vec<&str> = urls.iter().map(String::as_str).collect();
+
+    let mut group = c.benchmark_group("client_batch_lookup_1m");
+    group.sample_size(20);
+
+    let mut single = synced_client(&server, None);
+    group.bench_with_input(BenchmarkId::from_parameter("single_url"), &(), |b, _| {
+        b.iter(|| {
+            single.clear_cache();
+            for url in &url_refs {
+                std::hint::black_box(single.check_url(url).unwrap());
+            }
+        })
+    });
+
+    let mut batched = synced_client(&server, None);
+    group.bench_with_input(BenchmarkId::from_parameter("batched"), &(), |b, _| {
+        b.iter(|| {
+            batched.clear_cache();
+            std::hint::black_box(batched.check_urls(&url_refs).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_batch_vs_single_with_latency(c: &mut Criterion) {
+    let server = provider_1m();
+    let urls = workload();
+    let url_refs: Vec<&str> = urls.iter().map(String::as_str).collect();
+    let latency = Duration::from_micros(50);
+
+    let mut group = c.benchmark_group("client_batch_lookup_1m_50us_rtt");
+    group.sample_size(10);
+
+    let mut single = synced_client(&server, Some(latency));
+    group.bench_with_input(BenchmarkId::from_parameter("single_url"), &(), |b, _| {
+        b.iter(|| {
+            single.clear_cache();
+            for url in &url_refs {
+                std::hint::black_box(single.check_url(url).unwrap());
+            }
+        })
+    });
+
+    let mut batched = synced_client(&server, Some(latency));
+    group.bench_with_input(BenchmarkId::from_parameter("batched"), &(), |b, _| {
+        b.iter(|| {
+            batched.clear_cache();
+            std::hint::black_box(batched.check_urls(&url_refs).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_vs_single,
+    bench_batch_vs_single_with_latency
+);
+criterion_main!(benches);

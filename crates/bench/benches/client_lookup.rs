@@ -2,17 +2,24 @@
 //! in-process provider: local miss (the common case, no network), local hit
 //! with a full-hash round trip, and the database update path.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sb_client::{ClientConfig, SafeBrowsingClient};
 use sb_protocol::{Provider, ThreatCategory};
 use sb_server::SafeBrowsingServer;
 
-fn provider_with(n: usize) -> SafeBrowsingServer {
-    let server = SafeBrowsingServer::new(Provider::Google);
+fn provider_with(n: usize) -> Arc<SafeBrowsingServer> {
+    let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
     server.create_list("goog-malware-shavar", ThreatCategory::Malware);
-    let expressions: Vec<String> = (0..n).map(|i| format!("malware-host{i}.example/")).collect();
+    let expressions: Vec<String> = (0..n)
+        .map(|i| format!("malware-host{i}.example/"))
+        .collect();
     server
-        .blacklist_expressions("goog-malware-shavar", expressions.iter().map(String::as_str))
+        .blacklist_expressions(
+            "goog-malware-shavar",
+            expressions.iter().map(String::as_str),
+        )
         .unwrap();
     server
 }
@@ -21,13 +28,15 @@ fn bench_lookup_miss(c: &mut Criterion) {
     let mut group = c.benchmark_group("client_lookup_miss");
     for db_size in [1_000usize, 50_000] {
         let server = provider_with(db_size);
-        let mut client =
-            SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
-        client.update(&server);
+        let mut client = SafeBrowsingClient::in_process(
+            ClientConfig::subscribed_to(["goog-malware-shavar"]),
+            server.clone(),
+        );
+        client.update().unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(db_size), &db_size, |b, _| {
             b.iter(|| {
                 client
-                    .check_url("http://totally-benign.example/some/page.html", &server)
+                    .check_url("http://totally-benign.example/some/page.html")
                     .unwrap()
             })
         });
@@ -37,12 +46,15 @@ fn bench_lookup_miss(c: &mut Criterion) {
 
 fn bench_lookup_hit(c: &mut Criterion) {
     let server = provider_with(10_000);
-    let mut client = SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
-    client.update(&server);
+    let mut client = SafeBrowsingClient::in_process(
+        ClientConfig::subscribed_to(["goog-malware-shavar"]),
+        server.clone(),
+    );
+    client.update().unwrap();
     c.bench_function("client_lookup_hit_with_full_hash", |b| {
         b.iter(|| {
             client
-                .check_url("http://malware-host42.example/landing.html", &server)
+                .check_url("http://malware-host42.example/landing.html")
                 .unwrap()
         })
     });
@@ -55,10 +67,11 @@ fn bench_update(c: &mut Criterion) {
         let server = provider_with(db_size);
         group.bench_with_input(BenchmarkId::from_parameter(db_size), &db_size, |b, _| {
             b.iter(|| {
-                let mut client = SafeBrowsingClient::new(ClientConfig::subscribed_to([
-                    "goog-malware-shavar",
-                ]));
-                client.update(&server)
+                let mut client = SafeBrowsingClient::in_process(
+                    ClientConfig::subscribed_to(["goog-malware-shavar"]),
+                    server.clone(),
+                );
+                client.update().unwrap()
             })
         });
     }

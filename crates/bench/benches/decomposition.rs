@@ -40,8 +40,7 @@ fn bench_full_lookup_hashes(c: &mut Criterion) {
     // local-lookup cost per visited URL.
     c.bench_function("canonicalize_decompose_hash", |b| {
         b.iter(|| {
-            let canon =
-                CanonicalUrl::parse(std::hint::black_box(URLS[3].1)).unwrap();
+            let canon = CanonicalUrl::parse(std::hint::black_box(URLS[3].1)).unwrap();
             decompose(&canon)
                 .iter()
                 .map(|d| sb_hash::digest_url(d.expression()).prefix32())
@@ -50,5 +49,10 @@ fn bench_full_lookup_hashes(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_canonicalize, bench_decompose, bench_full_lookup_hashes);
+criterion_group!(
+    benches,
+    bench_canonicalize,
+    bench_decompose,
+    bench_full_lookup_hashes
+);
 criterion_main!(benches);

@@ -8,7 +8,10 @@ fn bench_sha256(c: &mut Criterion) {
     let mut group = c.benchmark_group("sha256");
     for (label, expr) in [
         ("domain_root", "petsymposium.org/".to_string()),
-        ("typical_url", "petsymposium.org/2016/cfp.php?session=1".to_string()),
+        (
+            "typical_url",
+            "petsymposium.org/2016/cfp.php?session=1".to_string(),
+        ),
         ("long_url", format!("example.com/{}", "segment/".repeat(30))),
         ("one_kib", "x".repeat(1024)),
     ] {

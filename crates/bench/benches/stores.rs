@@ -19,13 +19,15 @@ fn bench_build(c: &mut Criterion) {
     let prefixes = random_prefixes(DB_SIZE);
     let mut group = c.benchmark_group("store_build_630k");
     group.sample_size(10);
-    for backend in [StoreBackend::Raw, StoreBackend::DeltaCoded, StoreBackend::Bloom] {
+    for backend in [
+        StoreBackend::Raw,
+        StoreBackend::DeltaCoded,
+        StoreBackend::Bloom,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(backend),
             &backend,
-            |b, &backend| {
-                b.iter(|| build_store(backend, PrefixLen::L32, prefixes.iter().copied()))
-            },
+            |b, &backend| b.iter(|| build_store(backend, PrefixLen::L32, prefixes.iter().copied())),
         );
     }
     group.finish();
@@ -35,7 +37,11 @@ fn bench_lookup(c: &mut Criterion) {
     let prefixes = random_prefixes(DB_SIZE);
     let probes = random_prefixes(1_000);
     let mut group = c.benchmark_group("store_lookup_630k");
-    for backend in [StoreBackend::Raw, StoreBackend::DeltaCoded, StoreBackend::Bloom] {
+    for backend in [
+        StoreBackend::Raw,
+        StoreBackend::DeltaCoded,
+        StoreBackend::Bloom,
+    ] {
         let store = build_store(backend, PrefixLen::L32, prefixes.iter().copied());
         group.bench_with_input(BenchmarkId::from_parameter(backend), &store, |b, store| {
             let mut i = 0;

@@ -49,7 +49,12 @@ fn bench_log_scanning(c: &mut Criterion) {
     // A campaign with 50 targets scanning a log of 10 000 requests.
     let corpus = small_corpus();
     let mut system = TrackingSystem::new();
-    for site in corpus.sites().iter().filter(|s| s.url_count() >= 2).take(50) {
+    for site in corpus
+        .sites()
+        .iter()
+        .filter(|s| s.url_count() >= 2)
+        .take(50)
+    {
         let urls: Vec<&str> = site.urls().iter().map(String::as_str).collect();
         system.add_target(tracking_prefixes(urls[0], urls.iter().copied(), 8).unwrap());
     }
@@ -69,5 +74,10 @@ fn bench_log_scanning(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_algorithm1, bench_reidentification, bench_log_scanning);
+criterion_group!(
+    benches,
+    bench_algorithm1,
+    bench_reidentification,
+    bench_log_scanning
+);
 criterion_main!(benches);

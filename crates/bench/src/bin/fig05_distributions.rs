@@ -53,7 +53,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["host rank", "URLs (alexa)", "URLs (random)", "cum. frac (alexa)", "cum. frac (random)"],
+            &[
+                "host rank",
+                "URLs (alexa)",
+                "URLs (random)",
+                "cum. frac (alexa)",
+                "cum. frac (random)"
+            ],
             &rows
         )
     );
@@ -79,16 +85,37 @@ fn main() {
     println!("Figure 5 (d, e, f): decompositions per URL, summary over hosts\n");
     let mut rows = Vec::new();
     for (name, stats) in [("alexa", &alexa), ("random", &random)] {
-        let means: Vec<f64> = stats.hosts.iter().map(|h| h.mean_decompositions_per_url).collect();
-        let mins: Vec<usize> = stats.hosts.iter().map(|h| h.min_decompositions_per_url).collect();
-        let maxs: Vec<usize> = stats.hosts.iter().map(|h| h.max_decompositions_per_url).collect();
+        let means: Vec<f64> = stats
+            .hosts
+            .iter()
+            .map(|h| h.mean_decompositions_per_url)
+            .collect();
+        let mins: Vec<usize> = stats
+            .hosts
+            .iter()
+            .map(|h| h.min_decompositions_per_url)
+            .collect();
+        let maxs: Vec<usize> = stats
+            .hosts
+            .iter()
+            .map(|h| h.max_decompositions_per_url)
+            .collect();
         rows.push(vec![
             name.to_string(),
-            format!("{:.2}", means.iter().sum::<f64>() / means.len().max(1) as f64),
+            format!(
+                "{:.2}",
+                means.iter().sum::<f64>() / means.len().max(1) as f64
+            ),
             mins.iter().copied().min().unwrap_or(0).to_string(),
             maxs.iter().copied().max().unwrap_or(0).to_string(),
-            format!("{:.1}", 100.0 * stats.fraction_hosts_mean_decompositions_in(1.0, 5.0)),
-            format!("{:.1}", 100.0 * stats.fraction_hosts_max_decompositions_at_most(10)),
+            format!(
+                "{:.1}",
+                100.0 * stats.fraction_hosts_mean_decompositions_in(1.0, 5.0)
+            ),
+            format!(
+                "{:.1}",
+                100.0 * stats.fraction_hosts_max_decompositions_at_most(10)
+            ),
         ]);
     }
     println!(

@@ -24,7 +24,10 @@ fn main() {
             stats.dataset.clone(),
             stats.num_hosts.to_string(),
             collisions.len().to_string(),
-            format!("{:.3}", 100.0 * stats.fraction_hosts_with_prefix_collisions()),
+            format!(
+                "{:.3}",
+                100.0 * stats.fraction_hosts_with_prefix_collisions()
+            ),
             max.to_string(),
             total.to_string(),
         ]);

@@ -79,24 +79,29 @@ struct Outcome {
 }
 
 fn run(policy: MitigationPolicy) -> Outcome {
-    let server = SafeBrowsingServer::new(Provider::Google);
+    let server = std::sync::Arc::new(SafeBrowsingServer::new(Provider::Google));
     server.create_list("goog-malware-shavar", ThreatCategory::Malware);
 
     let mut campaign = TrackingSystem::new();
     campaign.add_target(
-        tracking_prefixes("https://petsymposium.org/2016/cfp.php", PETS_URLS.iter().copied(), 4)
-            .unwrap(),
+        tracking_prefixes(
+            "https://petsymposium.org/2016/cfp.php",
+            PETS_URLS.iter().copied(),
+            4,
+        )
+        .unwrap(),
     );
     campaign.deploy(&server, "goog-malware-shavar").unwrap();
 
-    let mut victim = SafeBrowsingClient::new(
+    let mut victim = SafeBrowsingClient::in_process(
         ClientConfig::subscribed_to(["goog-malware-shavar"])
             .with_cookie(ClientCookie::new(1))
             .with_mitigation(policy),
+        server.clone(),
     );
-    victim.update(&server);
+    victim.update().expect("provider reachable");
     victim
-        .check_url("https://petsymposium.org/2016/cfp.php", &server)
+        .check_url("https://petsymposium.org/2016/cfp.php")
         .unwrap();
 
     let log = server.query_log();

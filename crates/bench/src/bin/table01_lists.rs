@@ -20,5 +20,8 @@ fn main() {
         })
         .collect();
     println!("Table 1: Lists provided by the Google Safe Browsing API\n");
-    println!("{}", render_table(&["List name", "Description", "#prefixes"], &rows));
+    println!(
+        "{}",
+        render_table(&["List name", "Description", "#prefixes"], &rows)
+    );
 }

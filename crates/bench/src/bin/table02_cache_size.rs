@@ -35,12 +35,21 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for len in [PrefixLen::L32, PrefixLen::L64, PrefixLen::L80, PrefixLen::L128, PrefixLen::L256] {
+    for len in [
+        PrefixLen::L32,
+        PrefixLen::L64,
+        PrefixLen::L80,
+        PrefixLen::L128,
+        PrefixLen::L256,
+    ] {
         let prefixes = random_prefixes(len, NUM_PREFIXES, &mut rng);
         let raw = RawPrefixTable::from_prefixes(len, prefixes.iter().copied());
         let delta = DeltaCodedTable::from_prefixes(len, prefixes.iter().copied());
-        let bloom =
-            BloomFilter::from_prefixes_with_size(len, DEFAULT_BLOOM_BYTES, prefixes.iter().copied());
+        let bloom = BloomFilter::from_prefixes_with_size(
+            len,
+            DEFAULT_BLOOM_BYTES,
+            prefixes.iter().copied(),
+        );
         rows.push(vec![
             len.to_string(),
             mb(raw.memory_bytes()),
@@ -52,7 +61,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Prefix (bits)", "Raw (MB)", "Delta-coded (MB)", "Bloom (MB)", "Delta ratio"],
+            &[
+                "Prefix (bits)",
+                "Raw (MB)",
+                "Delta-coded (MB)",
+                "Bloom (MB)",
+                "Delta ratio"
+            ],
             &rows
         )
     );

@@ -20,5 +20,8 @@ fn main() {
         })
         .collect();
     println!("Table 3: Yandex blacklists\n");
-    println!("{}", render_table(&["List name", "Description", "#prefixes"], &rows));
+    println!(
+        "{}",
+        render_table(&["List name", "Description", "#prefixes"], &rows)
+    );
 }

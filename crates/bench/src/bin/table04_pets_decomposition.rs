@@ -14,11 +14,17 @@ fn print_decompositions(title: &str, url: &str) {
         .into_iter()
         .map(|d| {
             let digest = digest_url(d.expression());
-            vec![d.expression().to_string(), format!("0x{}", digest.prefix32().to_hex())]
+            vec![
+                d.expression().to_string(),
+                format!("0x{}", digest.prefix32().to_hex()),
+            ]
         })
         .collect();
     println!("{title}\n");
-    println!("{}", render_table(&["URL decomposition", "32-bit prefix"], &rows));
+    println!(
+        "{}",
+        render_table(&["URL decomposition", "32-bit prefix"], &rows)
+    );
 }
 
 fn main() {

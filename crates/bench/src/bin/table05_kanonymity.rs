@@ -12,7 +12,12 @@ fn main() {
     println!("Table 5: M (max items per prefix) for URLs and domains, per prefix size\n");
 
     let mut rows = Vec::new();
-    for len in [PrefixLen::L16, PrefixLen::L32, PrefixLen::L64, PrefixLen::L96] {
+    for len in [
+        PrefixLen::L16,
+        PrefixLen::L32,
+        PrefixLen::L64,
+        PrefixLen::L96,
+    ] {
         let mut row = vec![len.to_string()];
         for snapshot in SNAPSHOTS {
             let cell = table5_row(snapshot.urls, snapshot.domains)
@@ -52,7 +57,10 @@ fn main() {
         .map(|s| {
             vec![
                 s.year.to_string(),
-                format!("{:.0}", max_load_raab_steger(s.urls, PrefixLen::L32, 1.0001)),
+                format!(
+                    "{:.0}",
+                    max_load_raab_steger(s.urls, PrefixLen::L32, 1.0001)
+                ),
                 format!("{:.0}", min_load(s.urls, PrefixLen::L32)),
             ]
         })

@@ -22,11 +22,16 @@ fn main() {
             let canon = CanonicalUrl::parse(c).unwrap();
             let class = classify_collision(&target, &canon, &observed)
                 .map(|t| t.to_string())
-                .unwrap_or_else(|| "no collision (would need a 32-bit digest collision)".to_string());
+                .unwrap_or_else(|| {
+                    "no collision (would need a 32-bit digest collision)".to_string()
+                });
             vec![canon.expression(), class]
         })
         .collect();
-    println!("{}", render_table(&["Candidate URL", "Collision with (A, B)"], &rows));
+    println!(
+        "{}",
+        render_table(&["Candidate URL", "Collision with (A, B)"], &rows)
+    );
     println!(
         "Note: the paper's Type II/III rows are *constructed* examples that assume a truncated-\n\
          digest collision (probability 2^-32 per pair); with real SHA-256 values they do not\n\
@@ -48,7 +53,10 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render_table(&["Decomposition", "Label", "32-bit prefix"], &rows));
+    println!(
+        "{}",
+        render_table(&["Decomposition", "Label", "32-bit prefix"], &rows)
+    );
 
     // Case analysis (Section 6.1): which prefix pairs identify which URL.
     let host_urls = ["a.b.c/1", "a.b.c/", "b.c/1", "b.c/"];

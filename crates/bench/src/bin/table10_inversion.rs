@@ -28,7 +28,9 @@ fn dictionary_with_coverage(
 ) -> Dictionary {
     let mut entries = Vec::new();
     for (list, coverage) in lists_and_coverage {
-        let snapshot = server.list_snapshot(&ListName::new(*list)).expect("list exists");
+        let snapshot = server
+            .list_snapshot(&ListName::new(*list))
+            .expect("list exists");
         // The synthetic expressions are reconstructible from their index;
         // sample the requested fraction of the *consistent* entries.
         let real = snapshot.digest_count();
@@ -64,7 +66,10 @@ fn main() {
     let bigblacklist = dictionary_with_coverage(
         "BigBlackList",
         &server,
-        &[("ydx-malware-shavar", 0.04), ("ydx-porno-hosts-top-shavar", 0.11)],
+        &[
+            ("ydx-malware-shavar", 0.04),
+            ("ydx-porno-hosts-top-shavar", 0.11),
+        ],
         10_000,
     );
     let dns_census = dictionary_with_coverage(
@@ -99,7 +104,9 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for (srv, list) in audited {
-        let snapshot = srv.list_snapshot(&ListName::new(list)).expect("list exists");
+        let snapshot = srv
+            .list_snapshot(&ListName::new(list))
+            .expect("list exists");
         let mut row = vec![list.to_string(), snapshot.prefix_count().to_string()];
         for dict in dictionaries {
             let result = invert_blacklist(&snapshot, dict);

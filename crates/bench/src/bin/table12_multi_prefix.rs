@@ -61,7 +61,11 @@ fn main() {
     server
         .blacklist_expressions(
             "ydx-porno-hosts-top-shavar",
-            ["fr.adult-content0.com/", "nl.adult-content0.com/", "m.adult-content1.net/"],
+            [
+                "fr.adult-content0.com/",
+                "nl.adult-content0.com/",
+                "m.adult-content1.net/",
+            ],
         )
         .unwrap();
 
@@ -88,10 +92,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["URL", "matching decomposition", "prefix", "list"],
-            &rows
-        )
+        render_table(&["URL", "matching decomposition", "prefix", "list"], &rows)
     );
     println!(
         "{total_urls} URLs across {} domains create at least 2 hits (the paper found 1352 such\n\

@@ -13,7 +13,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sb_analysis::tracking::{tracking_prefixes, TrackingPrecision, TrackingSystem};
-use sb_bench::{render_table, random_corpus};
+use sb_bench::{random_corpus, render_table};
 use sb_client::{ClientConfig, SafeBrowsingClient};
 use sb_protocol::{ClientCookie, Provider, ThreatCategory};
 use sb_server::SafeBrowsingServer;
@@ -68,14 +68,20 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["delta", "% exact URL", "% within Type I set", "% domain only", "avg prefixes/target"],
+            &[
+                "delta",
+                "% exact URL",
+                "% within Type I set",
+                "% domain only",
+                "avg prefixes/target"
+            ],
             &rows
         )
     );
 
     // ---- part 2: end-to-end campaign ------------------------------------------
     println!("\nEnd-to-end campaign: 200 clients, 20 of them visit a tracked page\n");
-    let server = SafeBrowsingServer::new(Provider::Yandex);
+    let server = std::sync::Arc::new(SafeBrowsingServer::new(Provider::Yandex));
     server.create_list("ydx-malware-shavar", ThreatCategory::Malware);
 
     let mut campaign = TrackingSystem::new();
@@ -93,23 +99,26 @@ fn main() {
         .collect();
     let mut actual_visitors = Vec::new();
     for client_id in 0..200u64 {
-        let mut client = SafeBrowsingClient::new(
+        let mut client = SafeBrowsingClient::in_process(
             ClientConfig::subscribed_to(["ydx-malware-shavar"])
                 .with_cookie(ClientCookie::new(client_id)),
+            server.clone(),
         );
-        client.update(&server);
+        client.update().expect("provider reachable");
         if client_id < 20 {
             // A victim: visits one tracked page plus some unrelated browsing.
             let target = tracked_targets[(client_id as usize) % tracked_targets.len()];
-            client.check_url(target, &server).unwrap();
+            client.check_url(target).unwrap();
             actual_visitors.push(client_id);
         }
-        // Everyone also browses a few random corpus URLs.
+        // Everyone also browses a few random corpus URLs, as one batch (the
+        // batched path coalesces their cache misses into one round trip).
+        let mut batch: Vec<&str> = Vec::new();
         for _ in 0..5 {
             let site = &corpus.sites()[rng.gen_range(0..corpus.sites().len())];
-            let url = &site.urls()[rng.gen_range(0..site.url_count())];
-            client.check_url(url, &server).unwrap();
+            batch.push(&site.urls()[rng.gen_range(0..site.url_count())]);
         }
+        client.check_urls(&batch).unwrap();
     }
 
     let detected = campaign.visits_per_client(&server.query_log(), 2);
@@ -118,7 +127,10 @@ fn main() {
         v.sort_unstable();
         v
     };
-    let true_positives = detected_ids.iter().filter(|id| actual_visitors.contains(id)).count();
+    let true_positives = detected_ids
+        .iter()
+        .filter(|id| actual_visitors.contains(id))
+        .count();
     let false_positives = detected_ids.len() - true_positives;
     println!("  actual visitors:   {}", actual_visitors.len());
     println!("  detected visitors: {}", detected_ids.len());

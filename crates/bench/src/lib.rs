@@ -72,12 +72,16 @@ pub fn corpus_page_cap() -> u64 {
 /// The scaled-down Alexa-like corpus used by the Figure 5/6 and Table 8/11/12
 /// experiments.
 pub fn alexa_corpus() -> WebCorpus {
-    WebCorpus::generate(&CorpusConfig::alexa_like(corpus_hosts(), 20150401).with_page_cap(corpus_page_cap()))
+    WebCorpus::generate(
+        &CorpusConfig::alexa_like(corpus_hosts(), 20150401).with_page_cap(corpus_page_cap()),
+    )
 }
 
 /// The scaled-down random-domain corpus.
 pub fn random_corpus() -> WebCorpus {
-    WebCorpus::generate(&CorpusConfig::random_like(corpus_hosts(), 20150402).with_page_cap(corpus_page_cap()))
+    WebCorpus::generate(
+        &CorpusConfig::random_like(corpus_hosts(), 20150402).with_page_cap(corpus_page_cap()),
+    )
 }
 
 /// Scale factor applied to the published list sizes when building synthetic
@@ -210,7 +214,9 @@ mod tests {
     #[test]
     fn yandex_provider_has_orphan_heavy_phishing_list() {
         let server = synthetic_provider(Provider::Yandex, 2);
-        let phish = server.list_snapshot(&ListName::new("ydx-phish-shavar")).unwrap();
+        let phish = server
+            .list_snapshot(&ListName::new("ydx-phish-shavar"))
+            .unwrap();
         let hist = phish.prefix_digest_histogram();
         assert!(hist.orphans as f64 > 0.9 * hist.total() as f64);
         let porn = server

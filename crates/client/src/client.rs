@@ -1,8 +1,11 @@
 //! The Safe Browsing client and its lookup flow (Figure 3 of the paper).
 
-use sb_hash::{digest_url, PrefixLen};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use sb_hash::{digest_url, Prefix, PrefixLen};
 use sb_protocol::{
-    ClientCookie, FullHashRequest, ListName, SafeBrowsingService, UpdateRequest,
+    ClientCookie, FullHashRequest, ListName, SafeBrowsingService, ServiceError, UpdateRequest,
 };
 use sb_store::StoreBackend;
 use sb_url::{decompose, CanonicalUrl, Decomposition, ParseUrlError};
@@ -11,6 +14,7 @@ use crate::cache::FullHashCache;
 use crate::database::LocalDatabase;
 use crate::metrics::ClientMetrics;
 use crate::mitigation::MitigationPolicy;
+use crate::transport::{InProcessTransport, Transport};
 
 /// Configuration of a [`SafeBrowsingClient`].
 #[derive(Debug, Clone)]
@@ -72,6 +76,46 @@ impl ClientConfig {
     }
 }
 
+/// Errors surfaced by the URL-level client entry points: either the URL is
+/// unusable locally, or the provider exchange failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The URL could not be canonicalized; nothing was sent.
+    Url(ParseUrlError),
+    /// The transport/provider failed the exchange.
+    Service(ServiceError),
+}
+
+impl From<ParseUrlError> for ClientError {
+    fn from(error: ParseUrlError) -> Self {
+        ClientError::Url(error)
+    }
+}
+
+impl From<ServiceError> for ClientError {
+    fn from(error: ServiceError) -> Self {
+        ClientError::Service(error)
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Url(error) => write!(f, "invalid URL: {error}"),
+            ClientError::Service(error) => write!(f, "service failure: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Url(error) => Some(error),
+            ClientError::Service(error) => Some(error),
+        }
+    }
+}
+
 /// Outcome of a URL lookup.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LookupOutcome {
@@ -115,23 +159,39 @@ pub struct ConfirmedMatch {
 
 /// A Safe Browsing client implementing the lookup flow of Figure 3.
 ///
+/// The client *owns* its provider connection as a boxed
+/// [`Transport`] handle: construct it over an in-process provider with
+/// [`SafeBrowsingClient::in_process`], or pass any transport (e.g. a
+/// [`SimulatedTransport`](crate::SimulatedTransport) for failure scenarios)
+/// to [`SafeBrowsingClient::new`].  All provider exchanges are fallible.
+///
 /// # Examples
 ///
 /// ```
+/// use std::sync::Arc;
 /// use sb_client::{ClientConfig, SafeBrowsingClient};
 /// use sb_protocol::{Provider, ThreatCategory};
 /// use sb_server::SafeBrowsingServer;
 ///
-/// let server = SafeBrowsingServer::new(Provider::Google);
+/// let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
 /// server.create_list("goog-malware-shavar", ThreatCategory::Malware);
 /// server.blacklist_url("goog-malware-shavar", "http://evil.example/bad.html").unwrap();
 ///
-/// let mut client =
-///     SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
-/// client.update(&server);
+/// let mut client = SafeBrowsingClient::in_process(
+///     ClientConfig::subscribed_to(["goog-malware-shavar"]),
+///     server.clone(),
+/// );
+/// client.update().unwrap();
 ///
-/// assert!(client.check_url("http://evil.example/bad.html", &server).unwrap().is_malicious());
-/// assert!(!client.check_url("http://benign.example/", &server).unwrap().is_malicious());
+/// assert!(client.check_url("http://evil.example/bad.html").unwrap().is_malicious());
+/// assert!(!client.check_url("http://benign.example/").unwrap().is_malicious());
+///
+/// // Batched checking coalesces all cache misses into one round trip.
+/// let outcomes = client
+///     .check_urls(&["http://evil.example/bad.html", "http://also-benign.example/"])
+///     .unwrap();
+/// assert!(outcomes[0].is_malicious());
+/// assert!(!outcomes[1].is_malicious());
 /// ```
 #[derive(Debug)]
 pub struct SafeBrowsingClient {
@@ -139,11 +199,12 @@ pub struct SafeBrowsingClient {
     database: LocalDatabase,
     cache: FullHashCache,
     metrics: ClientMetrics,
+    transport: Box<dyn Transport>,
 }
 
 impl SafeBrowsingClient {
-    /// Creates a client from a configuration.
-    pub fn new(config: ClientConfig) -> Self {
+    /// Creates a client from a configuration and an owned transport handle.
+    pub fn new(config: ClientConfig, transport: impl Transport + 'static) -> Self {
         let mut database = LocalDatabase::new(config.backend, config.prefix_len);
         for list in &config.lists {
             database.subscribe(list.clone());
@@ -153,23 +214,45 @@ impl SafeBrowsingClient {
             database,
             cache: FullHashCache::new(),
             metrics: ClientMetrics::default(),
+            transport: Box::new(transport),
         }
     }
 
+    /// Convenience: a client talking in-process to a shared
+    /// [`SafeBrowsingService`] implementation (typically an
+    /// `Arc<SafeBrowsingServer>`).
+    pub fn in_process<S>(config: ClientConfig, service: Arc<S>) -> Self
+    where
+        S: SafeBrowsingService + Send + Sync + std::fmt::Debug + 'static,
+    {
+        Self::new(config, InProcessTransport::new(service))
+    }
+
     /// Fetches and applies a database update from the provider.  Returns the
-    /// number of chunks applied.  The full-hash cache is cleared, as an
-    /// update may invalidate cached digests.
-    pub fn update(&mut self, service: &dyn SafeBrowsingService) -> usize {
+    /// number of chunks applied.  The full-hash cache is cleared when any
+    /// chunk applies, as an update may invalidate cached digests.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServiceError`] from the transport; the local database is left
+    /// unchanged in that case.
+    pub fn update(&mut self) -> Result<usize, ServiceError> {
         let request = UpdateRequest {
             lists: self.database.update_request_lists(),
         };
-        let response = service.update(&request);
+        let response = match self.transport.update(&request) {
+            Ok(response) => response,
+            Err(error) => {
+                self.metrics.service_errors += 1;
+                return Err(error);
+            }
+        };
         let applied = self.database.apply_chunks(&response.chunks);
         if applied > 0 {
             self.cache.clear();
         }
         self.metrics.updates += 1;
-        applied
+        Ok(applied)
     }
 
     /// Checks a URL against the local database and, if needed, the provider
@@ -177,22 +260,19 @@ impl SafeBrowsingClient {
     ///
     /// # Errors
     ///
-    /// Returns a [`ParseUrlError`] when the URL cannot be canonicalized.
-    pub fn check_url(
-        &mut self,
-        url: &str,
-        service: &dyn SafeBrowsingService,
-    ) -> Result<LookupOutcome, ParseUrlError> {
+    /// [`ClientError::Url`] when the URL cannot be canonicalized (nothing is
+    /// sent), [`ClientError::Service`] when the full-hash exchange fails.
+    pub fn check_url(&mut self, url: &str) -> Result<LookupOutcome, ClientError> {
         let canonical = CanonicalUrl::parse(url)?;
-        Ok(self.check_canonical(&canonical, service))
+        Ok(self.check_canonical(&canonical)?)
     }
 
     /// Checks an already-canonicalized URL.
-    pub fn check_canonical(
-        &mut self,
-        url: &CanonicalUrl,
-        service: &dyn SafeBrowsingService,
-    ) -> LookupOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServiceError`] from the full-hash exchange.
+    pub fn check_canonical(&mut self, url: &CanonicalUrl) -> Result<LookupOutcome, ServiceError> {
         self.metrics.lookups += 1;
         let decompositions = decompose(url);
 
@@ -201,36 +281,130 @@ impl SafeBrowsingClient {
             .iter()
             .filter(|d| {
                 let digest = digest_url(d.expression());
-                self.database.contains(&digest.prefix(self.config.prefix_len))
+                self.database
+                    .contains(&digest.prefix(self.config.prefix_len))
             })
             .collect();
 
         if hits.is_empty() {
-            return LookupOutcome::Safe;
+            return Ok(LookupOutcome::Safe);
         }
         self.metrics.local_hits += 1;
 
         // Resolve the hits to full digests, honouring the mitigation policy
         // and the full-hash cache.
-        let confirmed = match self.config.mitigation {
-            MitigationPolicy::None => self.resolve_batch(&hits, service),
+        let resolution = match self.config.mitigation {
+            MitigationPolicy::None => self.resolve_batch(&hits),
             MitigationPolicy::DummyQueries { dummies } => {
-                self.resolve_batch_with_dummies(&hits, dummies, service)
+                self.resolve_batch_with_dummies(&hits, dummies)
             }
-            MitigationPolicy::OnePrefixAtATime => self.resolve_one_at_a_time(&hits, service),
+            MitigationPolicy::OnePrefixAtATime => self.resolve_one_at_a_time(&hits),
+        };
+        let confirmed = match resolution {
+            Ok(confirmed) => confirmed,
+            Err(error) => {
+                self.metrics.service_errors += 1;
+                return Err(error);
+            }
         };
 
-        if confirmed.is_empty() {
-            LookupOutcome::SafeAfterConfirmation {
-                matched_decompositions: hits
-                    .iter()
-                    .map(|d| d.expression().to_string())
-                    .collect(),
-            }
-        } else {
-            self.metrics.urls_flagged += 1;
-            LookupOutcome::Malicious { matches: confirmed }
+        Ok(self.verdict(hits.iter().copied(), confirmed))
+    }
+
+    /// Checks a batch of URLs in one pass.  Under the default
+    /// [`MitigationPolicy::None`], every uncached local hit across the whole
+    /// batch is coalesced into **a single full-hash round trip** — the
+    /// high-throughput path for page loads with many subresources and for
+    /// bulk scanning.
+    ///
+    /// The verdict for each URL is identical to what [`Self::check_url`]
+    /// would return.  When a privacy mitigation is configured
+    /// ([`MitigationPolicy::DummyQueries`],
+    /// [`MitigationPolicy::OnePrefixAtATime`]), the batch falls back to
+    /// sequential per-URL resolution: coalescing would put every hit prefix
+    /// of the batch into one request, which is exactly the multi-prefix
+    /// correlation those mitigations exist to prevent.  Privacy shaping
+    /// wins over round-trip savings.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Url`] if any URL fails to canonicalize (nothing is
+    /// sent), [`ClientError::Service`] when a full-hash exchange fails (no
+    /// further verdicts are produced).
+    pub fn check_urls(&mut self, urls: &[&str]) -> Result<Vec<LookupOutcome>, ClientError> {
+        let canonicals = urls
+            .iter()
+            .map(|url| CanonicalUrl::parse(url))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self.check_canonicals(&canonicals)?)
+    }
+
+    /// Batched variant of [`Self::check_canonical`]; see
+    /// [`Self::check_urls`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServiceError`] from a full-hash exchange.
+    pub fn check_canonicals(
+        &mut self,
+        urls: &[CanonicalUrl],
+    ) -> Result<Vec<LookupOutcome>, ServiceError> {
+        self.metrics.batched_lookups += 1;
+
+        // A configured mitigation shapes what each individual request may
+        // reveal; coalescing would defeat it, so resolve per URL instead.
+        if self.config.mitigation != MitigationPolicy::None {
+            return urls.iter().map(|url| self.check_canonical(url)).collect();
         }
+
+        // Local pass over the whole batch, collecting the distinct uncached
+        // prefixes that need resolution.  Each hit's digest is computed once
+        // and carried alongside its decomposition.
+        let mut per_url_hits: Vec<Vec<(Decomposition, sb_hash::Digest)>> =
+            Vec::with_capacity(urls.len());
+        let mut unresolved: Vec<Prefix> = Vec::new();
+        let mut seen: HashSet<Prefix> = HashSet::new();
+        for url in urls {
+            self.metrics.lookups += 1;
+            let hits: Vec<(Decomposition, sb_hash::Digest)> = decompose(url)
+                .into_iter()
+                .filter_map(|d| {
+                    let digest = digest_url(d.expression());
+                    self.database
+                        .contains(&digest.prefix(self.config.prefix_len))
+                        .then_some((d, digest))
+                })
+                .collect();
+            if !hits.is_empty() {
+                self.metrics.local_hits += 1;
+            }
+            for (_, digest) in &hits {
+                let prefix = digest.prefix32();
+                if !self.cache.is_resolved(&prefix) && seen.insert(prefix) {
+                    unresolved.push(prefix);
+                }
+            }
+            per_url_hits.push(hits);
+        }
+
+        // At most one full-hash round trip for the whole batch.
+        if !unresolved.is_empty() {
+            if let Err(error) = self.send_full_hash_request(unresolved) {
+                self.metrics.service_errors += 1;
+                return Err(error);
+            }
+        }
+
+        let mut outcomes = Vec::with_capacity(per_url_hits.len());
+        for hits in per_url_hits {
+            if hits.is_empty() {
+                outcomes.push(LookupOutcome::Safe);
+                continue;
+            }
+            let confirmed = self.confirmed_from_cache_digests(&hits);
+            outcomes.push(self.verdict(hits.iter().map(|(d, _)| d), confirmed));
+        }
+        Ok(outcomes)
     }
 
     /// Client metrics (requests sent, prefixes revealed, ...).
@@ -245,7 +419,7 @@ impl SafeBrowsingClient {
 
     /// Whether a prefix is present in the local database (used by lookup
     /// previews and by experiments inspecting the client state).
-    pub fn database_contains(&self, prefix: &sb_hash::Prefix) -> bool {
+    pub fn database_contains(&self, prefix: &Prefix) -> bool {
         self.database.contains(prefix)
     }
 
@@ -269,26 +443,58 @@ impl SafeBrowsingClient {
         self.config.mitigation
     }
 
+    /// The transport handle this client owns.
+    pub fn transport(&self) -> &dyn Transport {
+        self.transport.as_ref()
+    }
+
+    /// Discards the full-hash cache, as a browser does when the cache
+    /// lifetime returned by the provider expires.  Subsequent lookups on
+    /// previously-resolved prefixes contact the provider again.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
     // ---- resolution strategies -------------------------------------------------
+
+    /// Builds the verdict for one URL from its local hits and the confirmed
+    /// matches resolved against the cache.
+    fn verdict<'d>(
+        &mut self,
+        hits: impl Iterator<Item = &'d Decomposition>,
+        confirmed: Vec<ConfirmedMatch>,
+    ) -> LookupOutcome {
+        if confirmed.is_empty() {
+            LookupOutcome::SafeAfterConfirmation {
+                matched_decompositions: hits.map(|d| d.expression().to_string()).collect(),
+            }
+        } else {
+            self.metrics.urls_flagged += 1;
+            LookupOutcome::Malicious { matches: confirmed }
+        }
+    }
 
     /// Default behaviour: one request carrying every unresolved hit prefix.
     fn resolve_batch(
         &mut self,
         hits: &[&Decomposition],
-        service: &dyn SafeBrowsingService,
-    ) -> Vec<ConfirmedMatch> {
+    ) -> Result<Vec<ConfirmedMatch>, ServiceError> {
         let unresolved: Vec<_> = hits
             .iter()
-            .filter(|d| !self.cache.is_resolved(&digest_url(d.expression()).prefix32()))
+            .filter(|d| {
+                !self
+                    .cache
+                    .is_resolved(&digest_url(d.expression()).prefix32())
+            })
             .collect();
         if !unresolved.is_empty() {
             let prefixes: Vec<_> = unresolved
                 .iter()
                 .map(|d| digest_url(d.expression()).prefix32())
                 .collect();
-            self.send_full_hash_request(prefixes, service);
+            self.send_full_hash_request(prefixes)?;
         }
-        self.confirmed_from_cache(hits)
+        Ok(self.confirmed_from_cache(hits))
     }
 
     /// Firefox-style dummy queries: the real request is accompanied by
@@ -297,23 +503,23 @@ impl SafeBrowsingClient {
         &mut self,
         hits: &[&Decomposition],
         dummies: usize,
-        service: &dyn SafeBrowsingService,
-    ) -> Vec<ConfirmedMatch> {
+    ) -> Result<Vec<ConfirmedMatch>, ServiceError> {
         let first_prefix = digest_url(hits[0].expression()).prefix32();
-        let confirmed = self.resolve_batch(hits, service);
+        let confirmed = self.resolve_batch(hits)?;
         for dummy in MitigationPolicy::dummy_prefixes_for(&first_prefix, dummies) {
-            // Dummy requests are fire-and-forget; their responses are not
-            // cached so they cannot pollute the verdict.
+            // Dummy requests are fire-and-forget: their responses are not
+            // cached so they cannot pollute the verdict, and their failures
+            // cannot fail a lookup whose real exchange succeeded.
             let request = match self.config.cookie {
                 Some(cookie) => FullHashRequest::new(vec![dummy]).with_cookie(cookie),
                 None => FullHashRequest::new(vec![dummy]),
             };
-            service.full_hashes(&request);
+            let _ = self.transport.full_hashes(&request);
             self.metrics.requests_sent += 1;
             self.metrics.prefixes_sent += 1;
             self.metrics.dummy_prefixes_sent += 1;
         }
-        confirmed
+        Ok(confirmed)
     }
 
     /// The paper's proposed mitigation: reveal prefixes one per request,
@@ -322,95 +528,97 @@ impl SafeBrowsingClient {
     fn resolve_one_at_a_time(
         &mut self,
         hits: &[&Decomposition],
-        service: &dyn SafeBrowsingService,
-    ) -> Vec<ConfirmedMatch> {
+    ) -> Result<Vec<ConfirmedMatch>, ServiceError> {
         // Most generic first: domain roots, then shallower paths.
         let mut ordered: Vec<&&Decomposition> = hits.iter().collect();
-        ordered.sort_by_key(|d| {
-            (
-                std::cmp::Reverse(d.is_domain_root()),
-                d.expression().len(),
-            )
-        });
+        ordered.sort_by_key(|d| (std::cmp::Reverse(d.is_domain_root()), d.expression().len()));
         for d in ordered {
             let prefix = digest_url(d.expression()).prefix32();
             if !self.cache.is_resolved(&prefix) {
-                self.send_full_hash_request(vec![prefix], service);
+                self.send_full_hash_request(vec![prefix])?;
             }
             let confirmed = self.confirmed_from_cache(&[*d]);
             if !confirmed.is_empty() {
-                return confirmed;
+                return Ok(confirmed);
             }
         }
-        Vec::new()
+        Ok(Vec::new())
     }
 
-    fn send_full_hash_request(
-        &mut self,
-        prefixes: Vec<sb_hash::Prefix>,
-        service: &dyn SafeBrowsingService,
-    ) {
+    fn send_full_hash_request(&mut self, prefixes: Vec<Prefix>) -> Result<(), ServiceError> {
         let count = prefixes.len();
         let request = match self.config.cookie {
             Some(cookie) => FullHashRequest::new(prefixes.clone()).with_cookie(cookie),
             None => FullHashRequest::new(prefixes.clone()),
         };
-        let response = service.full_hashes(&request);
+        let response = self.transport.full_hashes(&request)?;
         self.cache.store_response(&prefixes, &response);
         self.metrics.requests_sent += 1;
         self.metrics.prefixes_sent += count;
+        Ok(())
     }
 
     fn confirmed_from_cache(&self, hits: &[&Decomposition]) -> Vec<ConfirmedMatch> {
-        let mut confirmed = Vec::new();
-        for d in hits {
-            let digest = digest_url(d.expression());
-            if let Some(digests) = self.cache.digests(&digest.prefix32()) {
-                if digests.contains(&digest) {
-                    confirmed.push(ConfirmedMatch {
-                        expression: d.expression().to_string(),
-                        // The cache does not retain list provenance; callers
-                        // needing it can inspect the provider's response
-                        // directly.  For the client verdict the expression
-                        // suffices.
-                        lists: Vec::new(),
-                    });
-                }
-            }
-        }
-        confirmed
+        hits.iter()
+            .filter_map(|d| self.confirm_one(d, &digest_url(d.expression())))
+            .collect()
+    }
+
+    /// Like [`Self::confirmed_from_cache`] for hits whose digest was already
+    /// computed (the batched path).
+    fn confirmed_from_cache_digests(
+        &self,
+        hits: &[(Decomposition, sb_hash::Digest)],
+    ) -> Vec<ConfirmedMatch> {
+        hits.iter()
+            .filter_map(|(d, digest)| self.confirm_one(d, digest))
+            .collect()
+    }
+
+    fn confirm_one(&self, d: &Decomposition, digest: &sb_hash::Digest) -> Option<ConfirmedMatch> {
+        let digests = self.cache.digests(&digest.prefix32())?;
+        digests.contains(digest).then(|| ConfirmedMatch {
+            expression: d.expression().to_string(),
+            // The cache does not retain list provenance; callers needing it
+            // can inspect the provider's response directly.  For the client
+            // verdict the expression suffices.
+            lists: Vec::new(),
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::SimulatedTransport;
     use sb_protocol::{Provider, ThreatCategory};
     use sb_server::SafeBrowsingServer;
 
-    fn server() -> SafeBrowsingServer {
-        let server = SafeBrowsingServer::new(Provider::Google);
+    fn server() -> Arc<SafeBrowsingServer> {
+        let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
         server.create_list("goog-malware-shavar", ThreatCategory::Malware);
         server.create_list("googpub-phish-shavar", ThreatCategory::Phishing);
         server
     }
 
-    fn client() -> SafeBrowsingClient {
-        SafeBrowsingClient::new(ClientConfig::subscribed_to([
-            "goog-malware-shavar",
-            "googpub-phish-shavar",
-        ]))
+    fn client(server: &Arc<SafeBrowsingServer>) -> SafeBrowsingClient {
+        SafeBrowsingClient::in_process(
+            ClientConfig::subscribed_to(["goog-malware-shavar", "googpub-phish-shavar"]),
+            server.clone(),
+        )
     }
 
     #[test]
     fn safe_url_never_contacts_the_server() {
         let server = server();
-        server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
-        let mut client = client();
-        client.update(&server);
+        server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        let mut client = client(&server);
+        client.update().unwrap();
         server.clear_query_log();
 
-        let outcome = client.check_url("http://benign.example/page.html", &server).unwrap();
+        let outcome = client.check_url("http://benign.example/page.html").unwrap();
         assert_eq!(outcome, LookupOutcome::Safe);
         assert!(outcome.was_resolved_locally());
         assert_eq!(server.query_log().len(), 0);
@@ -420,12 +628,14 @@ mod tests {
     #[test]
     fn blacklisted_domain_flags_all_urls_on_it() {
         let server = server();
-        server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
-        let mut client = client();
-        client.update(&server);
+        server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        let mut client = client(&server);
+        client.update().unwrap();
 
         let outcome = client
-            .check_url("http://evil.example/any/deep/page.html", &server)
+            .check_url("http://evil.example/any/deep/page.html")
             .unwrap();
         assert!(outcome.is_malicious());
         if let LookupOutcome::Malicious { matches } = outcome {
@@ -438,17 +648,20 @@ mod tests {
     fn exact_url_blacklisting_does_not_flag_siblings() {
         let server = server();
         server
-            .blacklist_url("goog-malware-shavar", "http://site.example/infected/page.html")
+            .blacklist_url(
+                "goog-malware-shavar",
+                "http://site.example/infected/page.html",
+            )
             .unwrap();
-        let mut client = client();
-        client.update(&server);
+        let mut client = client(&server);
+        client.update().unwrap();
 
         assert!(client
-            .check_url("http://site.example/infected/page.html", &server)
+            .check_url("http://site.example/infected/page.html")
             .unwrap()
             .is_malicious());
         assert!(!client
-            .check_url("http://site.example/clean/other.html", &server)
+            .check_url("http://site.example/clean/other.html")
             .unwrap()
             .is_malicious());
     }
@@ -456,14 +669,18 @@ mod tests {
     #[test]
     fn update_is_incremental() {
         let server = server();
-        server.blacklist_url("goog-malware-shavar", "http://one.example/").unwrap();
-        let mut client = client();
-        assert_eq!(client.update(&server), 1);
-        server.blacklist_url("goog-malware-shavar", "http://two.example/").unwrap();
-        assert_eq!(client.update(&server), 1);
+        server
+            .blacklist_url("goog-malware-shavar", "http://one.example/")
+            .unwrap();
+        let mut client = client(&server);
+        assert_eq!(client.update().unwrap(), 1);
+        server
+            .blacklist_url("goog-malware-shavar", "http://two.example/")
+            .unwrap();
+        assert_eq!(client.update().unwrap(), 1);
         assert_eq!(client.database_prefix_count(), 2);
         // Nothing new: zero chunks.
-        assert_eq!(client.update(&server), 0);
+        assert_eq!(client.update().unwrap(), 0);
     }
 
     #[test]
@@ -472,14 +689,21 @@ mod tests {
         // Inject a bare prefix (orphan) matching a benign URL: local hit,
         // but the server has no full digest for it.
         let prefix = sb_hash::prefix32("innocent.example/");
-        server.inject_prefixes("goog-malware-shavar", vec![prefix]).unwrap();
-        let mut client = client();
-        client.update(&server);
+        server
+            .inject_prefixes("goog-malware-shavar", vec![prefix])
+            .unwrap();
+        let mut client = client(&server);
+        client.update().unwrap();
 
-        let outcome = client.check_url("http://innocent.example/", &server).unwrap();
+        let outcome = client.check_url("http://innocent.example/").unwrap();
         match outcome {
-            LookupOutcome::SafeAfterConfirmation { matched_decompositions } => {
-                assert_eq!(matched_decompositions, vec!["innocent.example/".to_string()]);
+            LookupOutcome::SafeAfterConfirmation {
+                matched_decompositions,
+            } => {
+                assert_eq!(
+                    matched_decompositions,
+                    vec!["innocent.example/".to_string()]
+                );
             }
             other => panic!("expected SafeAfterConfirmation, got {other:?}"),
         }
@@ -489,14 +713,16 @@ mod tests {
     #[test]
     fn cache_prevents_repeated_requests() {
         let server = server();
-        server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
-        let mut client = client();
-        client.update(&server);
+        server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        let mut client = client(&server);
+        client.update().unwrap();
         server.clear_query_log();
 
-        client.check_url("http://evil.example/", &server).unwrap();
-        client.check_url("http://evil.example/", &server).unwrap();
-        client.check_url("http://evil.example/other", &server).unwrap();
+        client.check_url("http://evil.example/").unwrap();
+        client.check_url("http://evil.example/").unwrap();
+        client.check_url("http://evil.example/other").unwrap();
         // Only the first lookup for the prefix generates a request; the two
         // later lookups are served from the full-hash cache.
         assert_eq!(server.query_log().len(), 1);
@@ -506,15 +732,34 @@ mod tests {
     }
 
     #[test]
+    fn clearing_the_cache_re_contacts_the_provider() {
+        let server = server();
+        server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        let mut client = client(&server);
+        client.update().unwrap();
+        server.clear_query_log();
+
+        client.check_url("http://evil.example/").unwrap();
+        client.clear_cache();
+        client.check_url("http://evil.example/").unwrap();
+        assert_eq!(server.query_log().len(), 2);
+    }
+
+    #[test]
     fn cookie_is_attached_to_requests() {
         let server = server();
-        server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
+        server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
         let cookie = ClientCookie::new(1234);
-        let mut client = SafeBrowsingClient::new(
+        let mut client = SafeBrowsingClient::in_process(
             ClientConfig::subscribed_to(["goog-malware-shavar"]).with_cookie(cookie),
+            server.clone(),
         );
-        client.update(&server);
-        client.check_url("http://evil.example/", &server).unwrap();
+        client.update().unwrap();
+        client.check_url("http://evil.example/").unwrap();
         assert_eq!(server.query_log().requests()[0].cookie, Some(cookie));
         assert_eq!(client.cookie(), Some(cookie));
     }
@@ -530,12 +775,12 @@ mod tests {
                 ["tracked.example/", "tracked.example/article/"],
             )
             .unwrap();
-        let mut client = client();
-        client.update(&server);
+        let mut client = client(&server);
+        client.update().unwrap();
         server.clear_query_log();
 
         client
-            .check_url("http://tracked.example/article/today.html", &server)
+            .check_url("http://tracked.example/article/today.html")
             .unwrap();
         let log = server.query_log();
         assert_eq!(log.len(), 1);
@@ -545,15 +790,18 @@ mod tests {
     #[test]
     fn dummy_queries_add_requests() {
         let server = server();
-        server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
-        let mut client = SafeBrowsingClient::new(
+        server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        let mut client = SafeBrowsingClient::in_process(
             ClientConfig::subscribed_to(["goog-malware-shavar"])
                 .with_mitigation(MitigationPolicy::DummyQueries { dummies: 3 }),
+            server.clone(),
         );
-        client.update(&server);
+        client.update().unwrap();
         server.clear_query_log();
 
-        let outcome = client.check_url("http://evil.example/", &server).unwrap();
+        let outcome = client.check_url("http://evil.example/").unwrap();
         assert!(outcome.is_malicious());
         // 1 real + 3 dummy requests.
         assert_eq!(server.query_log().len(), 4);
@@ -569,15 +817,16 @@ mod tests {
                 ["tracked.example/", "tracked.example/article/"],
             )
             .unwrap();
-        let mut client = SafeBrowsingClient::new(
+        let mut client = SafeBrowsingClient::in_process(
             ClientConfig::subscribed_to(["goog-malware-shavar"])
                 .with_mitigation(MitigationPolicy::OnePrefixAtATime),
+            server.clone(),
         );
-        client.update(&server);
+        client.update().unwrap();
         server.clear_query_log();
 
         let outcome = client
-            .check_url("http://tracked.example/article/today.html", &server)
+            .check_url("http://tracked.example/article/today.html")
             .unwrap();
         // The domain root already confirms the URL as malicious, so only one
         // single-prefix request is sent.
@@ -590,11 +839,13 @@ mod tests {
     #[test]
     fn metrics_accumulate() {
         let server = server();
-        server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
-        let mut client = client();
-        client.update(&server);
-        client.check_url("http://evil.example/", &server).unwrap();
-        client.check_url("http://benign.example/", &server).unwrap();
+        server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        let mut client = client(&server);
+        client.update().unwrap();
+        client.check_url("http://evil.example/").unwrap();
+        client.check_url("http://benign.example/").unwrap();
         let m = client.metrics();
         assert_eq!(m.lookups, 2);
         assert_eq!(m.local_hits, 1);
@@ -606,7 +857,279 @@ mod tests {
     #[test]
     fn invalid_url_is_an_error() {
         let server = server();
-        let mut client = client();
-        assert!(client.check_url("http:///no-host-here", &server).is_err());
+        let mut client = client(&server);
+        let err = client.check_url("http:///no-host-here").unwrap_err();
+        assert!(matches!(err, ClientError::Url(_)));
+    }
+
+    // ---- batched lookups -------------------------------------------------------
+
+    #[test]
+    fn check_urls_coalesces_misses_into_one_round_trip() {
+        let server = server();
+        server
+            .blacklist_expressions(
+                "goog-malware-shavar",
+                [
+                    "evil.example/",
+                    "phish.example/login.html",
+                    "tracked.example/",
+                ],
+            )
+            .unwrap();
+        let mut client = client(&server);
+        client.update().unwrap();
+        server.clear_query_log();
+
+        let outcomes = client
+            .check_urls(&[
+                "http://evil.example/a.html",
+                "http://benign.example/",
+                "http://phish.example/login.html",
+                "http://tracked.example/deep/page",
+                "http://also-benign.example/x",
+            ])
+            .unwrap();
+        assert_eq!(outcomes.len(), 5);
+        assert!(outcomes[0].is_malicious());
+        assert!(!outcomes[1].is_malicious());
+        assert!(outcomes[2].is_malicious());
+        assert!(outcomes[3].is_malicious());
+        assert!(!outcomes[4].is_malicious());
+
+        // Exactly one full-hash request for the whole batch, carrying the
+        // three distinct unresolved prefixes.
+        let log = server.query_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.requests()[0].prefixes.len(), 3);
+        assert_eq!(client.metrics().requests_sent, 1);
+        assert_eq!(client.metrics().batched_lookups, 1);
+        assert_eq!(client.metrics().lookups, 5);
+    }
+
+    #[test]
+    fn check_urls_verdicts_match_check_url() {
+        let server = server();
+        server
+            .blacklist_expressions(
+                "goog-malware-shavar",
+                ["evil.example/", "site.example/infected/page.html"],
+            )
+            .unwrap();
+        let urls = [
+            "http://evil.example/any.html",
+            "http://site.example/infected/page.html",
+            "http://site.example/clean.html",
+            "http://benign.example/",
+        ];
+
+        let mut batched = client(&server);
+        batched.update().unwrap();
+        let batch_outcomes = batched.check_urls(&urls).unwrap();
+
+        let mut sequential = client(&server);
+        sequential.update().unwrap();
+        let seq_outcomes: Vec<LookupOutcome> = urls
+            .iter()
+            .map(|u| sequential.check_url(u).unwrap())
+            .collect();
+
+        assert_eq!(batch_outcomes, seq_outcomes);
+    }
+
+    #[test]
+    fn check_urls_with_all_resolved_prefixes_sends_nothing() {
+        let server = server();
+        server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        let mut client = client(&server);
+        client.update().unwrap();
+        client.check_url("http://evil.example/").unwrap();
+        server.clear_query_log();
+
+        let outcomes = client
+            .check_urls(&["http://evil.example/", "http://benign.example/"])
+            .unwrap();
+        assert!(outcomes[0].is_malicious());
+        assert_eq!(server.query_log().len(), 0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let server = server();
+        let mut client = client(&server);
+        client.update().unwrap();
+        let outcomes = client.check_urls(&[]).unwrap();
+        assert!(outcomes.is_empty());
+        assert_eq!(server.query_log().len(), 0);
+    }
+
+    #[test]
+    fn batched_lookups_respect_the_mitigation_policy() {
+        // Coalescing a batch under one-prefix-at-a-time would hand the
+        // provider the multi-prefix correlation the policy exists to
+        // prevent; the batch must fall back to mitigated per-URL lookups.
+        let server = server();
+        server
+            .blacklist_expressions(
+                "goog-malware-shavar",
+                ["tracked.example/", "tracked.example/article/"],
+            )
+            .unwrap();
+        let mut client = SafeBrowsingClient::in_process(
+            ClientConfig::subscribed_to(["goog-malware-shavar"])
+                .with_mitigation(MitigationPolicy::OnePrefixAtATime),
+            server.clone(),
+        );
+        client.update().unwrap();
+        server.clear_query_log();
+
+        let outcomes = client
+            .check_urls(&[
+                "http://tracked.example/article/today.html",
+                "http://benign.example/",
+            ])
+            .unwrap();
+        assert!(outcomes[0].is_malicious());
+        assert!(!outcomes[1].is_malicious());
+        // No request ever carried more than one prefix.
+        let log = server.query_log();
+        assert!(log.requests().iter().all(|r| r.prefixes.len() == 1));
+    }
+
+    #[test]
+    fn batch_with_an_invalid_url_sends_nothing() {
+        let server = server();
+        server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        let mut client = client(&server);
+        client.update().unwrap();
+        server.clear_query_log();
+
+        let err = client
+            .check_urls(&["http://evil.example/", "http:///no-host"])
+            .unwrap_err();
+        assert!(matches!(err, ClientError::Url(_)));
+        assert_eq!(server.query_log().len(), 0);
+    }
+
+    // ---- failure modes ---------------------------------------------------------
+
+    fn flaky_client(
+        server: &Arc<SafeBrowsingServer>,
+    ) -> (Arc<SimulatedTransport>, SafeBrowsingClient) {
+        let transport = Arc::new(SimulatedTransport::new(InProcessTransport::new(
+            server.clone(),
+        )));
+        let client = SafeBrowsingClient::new(
+            ClientConfig::subscribed_to(["goog-malware-shavar"]),
+            transport.clone(),
+        );
+        (transport, client)
+    }
+
+    #[test]
+    fn update_failure_leaves_database_untouched() {
+        let server = server();
+        server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        let (transport, mut client) = flaky_client(&server);
+        transport.push_update_fault(ServiceError::Backoff {
+            retry_after_seconds: 1800,
+        });
+
+        let err = client.update().unwrap_err();
+        assert!(err.is_retryable());
+        assert_eq!(client.database_prefix_count(), 0);
+        assert_eq!(client.metrics().updates, 0);
+        assert_eq!(client.metrics().service_errors, 1);
+
+        // The retry succeeds and the database catches up.
+        assert_eq!(client.update().unwrap(), 1);
+        assert_eq!(client.database_prefix_count(), 1);
+    }
+
+    #[test]
+    fn full_hash_failure_surfaces_and_recovers() {
+        let server = server();
+        server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        let (transport, mut client) = flaky_client(&server);
+        client.update().unwrap();
+        transport.push_full_hash_fault(ServiceError::Unavailable {
+            reason: "gethash endpoint down".into(),
+        });
+
+        let err = client.check_url("http://evil.example/").unwrap_err();
+        assert_eq!(
+            err,
+            ClientError::Service(ServiceError::Unavailable {
+                reason: "gethash endpoint down".into()
+            })
+        );
+        assert_eq!(client.metrics().service_errors, 1);
+
+        // Nothing was cached by the failed exchange: the retry contacts the
+        // provider and gets the right verdict.
+        assert!(client
+            .check_url("http://evil.example/")
+            .unwrap()
+            .is_malicious());
+    }
+
+    #[test]
+    fn batched_lookup_failure_produces_no_partial_verdicts() {
+        let server = server();
+        server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        let (transport, mut client) = flaky_client(&server);
+        client.update().unwrap();
+        transport.push_full_hash_fault(ServiceError::Unavailable {
+            reason: "offline".into(),
+        });
+
+        let err = client
+            .check_urls(&["http://evil.example/", "http://benign.example/"])
+            .unwrap_err();
+        assert!(matches!(err, ClientError::Service(_)));
+        // The batch failed atomically; a retry succeeds end to end.
+        let outcomes = client
+            .check_urls(&["http://evil.example/", "http://benign.example/"])
+            .unwrap();
+        assert!(outcomes[0].is_malicious());
+        assert!(!outcomes[1].is_malicious());
+    }
+
+    #[test]
+    fn dummy_query_failures_do_not_fail_the_lookup() {
+        let server = server();
+        server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        let transport = Arc::new(SimulatedTransport::new(InProcessTransport::new(
+            server.clone(),
+        )));
+        let mut client = SafeBrowsingClient::new(
+            ClientConfig::subscribed_to(["goog-malware-shavar"])
+                .with_mitigation(MitigationPolicy::DummyQueries { dummies: 2 }),
+            transport.clone(),
+        );
+        client.update().unwrap();
+        // First lookup resolves the real prefix into the cache.
+        assert!(client
+            .check_url("http://evil.example/")
+            .unwrap()
+            .is_malicious());
+        // Second lookup re-sends only the dummy requests; both fail.
+        transport.push_full_hash_fault(ServiceError::Unavailable { reason: "x".into() });
+        transport.push_full_hash_fault(ServiceError::Unavailable { reason: "y".into() });
+        let outcome = client.check_url("http://evil.example/").unwrap();
+        assert!(outcome.is_malicious());
+        assert_eq!(transport.stats().faults_injected, 2);
     }
 }

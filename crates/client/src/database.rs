@@ -144,7 +144,11 @@ mod tests {
     fn apply_add_and_sub_chunks() {
         let mut db = LocalDatabase::new(StoreBackend::DeltaCoded, PrefixLen::L32);
         db.subscribe("goog-malware-shavar");
-        let applied = db.apply_chunks(&[add_chunk("goog-malware-shavar", 1, &["evil.example/", "bad.example/"])]);
+        let applied = db.apply_chunks(&[add_chunk(
+            "goog-malware-shavar",
+            1,
+            &["evil.example/", "bad.example/"],
+        )]);
         assert_eq!(applied, 1);
         assert_eq!(db.prefix_count(), 2);
         assert!(db.contains(&prefix32("evil.example/")));
@@ -185,7 +189,10 @@ mod tests {
         let mut db = LocalDatabase::new(StoreBackend::Bloom, PrefixLen::L32);
         db.subscribe("a");
         db.subscribe("b");
-        db.apply_chunks(&[add_chunk("a", 1, &["x.example/"]), add_chunk("b", 1, &["y.example/"])]);
+        db.apply_chunks(&[
+            add_chunk("a", 1, &["x.example/"]),
+            add_chunk("b", 1, &["y.example/"]),
+        ]);
         assert!(db.contains(&prefix32("x.example/")));
         assert!(db.contains(&prefix32("y.example/")));
         assert_eq!(db.prefix_count(), 2);

@@ -3,24 +3,35 @@
 //! The Safe Browsing client: local prefix database (with the raw, Bloom and
 //! delta-coded backends of `sb-store`), incremental updates, the lookup flow
 //! of Figure 3 (canonicalize → decompose → local check → full-hash request →
-//! verdict), a full-hash cache, per-client metrics and the privacy
-//! mitigations discussed in Section 8 of the paper (deterministic dummy
-//! queries, one-prefix-at-a-time).
+//! verdict), batched lookups that coalesce cache misses into one round
+//! trip, a full-hash cache, per-client metrics and the privacy mitigations
+//! discussed in Section 8 of the paper (deterministic dummy queries,
+//! one-prefix-at-a-time).
+//!
+//! The client owns its provider connection as a [`Transport`] handle:
+//! [`InProcessTransport`] for direct calls into a simulated provider, and
+//! [`SimulatedTransport`] to inject faults and latency on top of any other
+//! transport.  Every provider exchange is fallible
+//! (`Result<_, ServiceError>`).
 //!
 //! ## Example
 //!
 //! ```
+//! use std::sync::Arc;
 //! use sb_client::{ClientConfig, SafeBrowsingClient};
 //! use sb_protocol::{Provider, ThreatCategory};
 //! use sb_server::SafeBrowsingServer;
 //!
-//! let server = SafeBrowsingServer::new(Provider::Google);
+//! let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
 //! server.create_list("goog-malware-shavar", ThreatCategory::Malware);
 //! server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
 //!
-//! let mut client = SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
-//! client.update(&server);
-//! assert!(client.check_url("http://evil.example/install.exe", &server).unwrap().is_malicious());
+//! let mut client = SafeBrowsingClient::in_process(
+//!     ClientConfig::subscribed_to(["goog-malware-shavar"]),
+//!     server.clone(),
+//! );
+//! client.update().unwrap();
+//! assert!(client.check_url("http://evil.example/install.exe").unwrap().is_malicious());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -32,13 +43,15 @@ mod database;
 mod metrics;
 mod mitigation;
 mod preview;
+mod transport;
 
 pub use cache::FullHashCache;
-pub use client::{ClientConfig, ConfirmedMatch, LookupOutcome, SafeBrowsingClient};
+pub use client::{ClientConfig, ClientError, ConfirmedMatch, LookupOutcome, SafeBrowsingClient};
 pub use database::LocalDatabase;
 pub use metrics::ClientMetrics;
 pub use mitigation::MitigationPolicy;
 pub use preview::{LookupPreview, PreviewedDecomposition};
+pub use transport::{InProcessTransport, SimulatedTransport, Transport, TransportStats};
 
 #[cfg(test)]
 mod tests {

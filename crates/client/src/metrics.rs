@@ -22,6 +22,11 @@ pub struct ClientMetrics {
     pub urls_flagged: usize,
     /// Database updates performed.
     pub updates: usize,
+    /// Batched lookup calls (`check_urls`/`check_canonicals`); the URLs they
+    /// carry are also counted individually in `lookups`.
+    pub batched_lookups: usize,
+    /// Provider exchanges that failed with a `ServiceError`.
+    pub service_errors: usize,
 }
 
 impl ClientMetrics {
@@ -57,6 +62,8 @@ mod tests {
             dummy_prefixes_sent: 3,
             urls_flagged: 2,
             updates: 1,
+            batched_lookups: 0,
+            service_errors: 0,
         };
         assert_eq!(m.real_prefixes_sent(), 6);
         assert!((m.mean_prefixes_per_request() - 3.0).abs() < 1e-12);

@@ -119,8 +119,8 @@ mod tests {
     use sb_protocol::{Provider, ThreatCategory};
     use sb_server::SafeBrowsingServer;
 
-    fn tracked_client() -> (SafeBrowsingServer, SafeBrowsingClient) {
-        let server = SafeBrowsingServer::new(Provider::Google);
+    fn tracked_client() -> (std::sync::Arc<SafeBrowsingServer>, SafeBrowsingClient) {
+        let server = std::sync::Arc::new(SafeBrowsingServer::new(Provider::Google));
         server.create_list("goog-malware-shavar", ThreatCategory::Malware);
         server
             .blacklist_expressions(
@@ -128,9 +128,11 @@ mod tests {
                 ["petsymposium.org/", "petsymposium.org/2016/cfp.php"],
             )
             .unwrap();
-        let mut client =
-            SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
-        client.update(&server);
+        let mut client = SafeBrowsingClient::in_process(
+            ClientConfig::subscribed_to(["goog-malware-shavar"]),
+            server.clone(),
+        );
+        client.update().unwrap();
         (server, client)
     }
 
@@ -155,7 +157,9 @@ mod tests {
     #[test]
     fn preview_of_a_clean_url_is_silent() {
         let (_server, client) = tracked_client();
-        let preview = client.preview_url("https://unrelated.example/page").unwrap();
+        let preview = client
+            .preview_url("https://unrelated.example/page")
+            .unwrap();
         assert!(preview.is_silent());
         assert!(preview.revealed_prefixes().is_empty());
         assert!(!preview.reveals_domain());
@@ -165,7 +169,9 @@ mod tests {
     fn preview_does_not_change_metrics() {
         let (_server, client) = tracked_client();
         let before = *client.metrics();
-        client.preview_url("https://petsymposium.org/2016/cfp.php").unwrap();
+        client
+            .preview_url("https://petsymposium.org/2016/cfp.php")
+            .unwrap();
         assert_eq!(*client.metrics(), before);
     }
 

@@ -1,0 +1,439 @@
+//! The client↔provider transport layer.
+//!
+//! A [`SafeBrowsingClient`](crate::SafeBrowsingClient) owns a boxed
+//! [`Transport`] handle instead of borrowing a provider on every call.  The
+//! transport carries the two protocol exchanges of the v3 API (updates and
+//! batched full-hash resolution) and is where failure, latency and — in
+//! later iterations — sharding and asynchrony live, without the client or
+//! the analysis code changing shape:
+//!
+//! * [`InProcessTransport`] wraps any shared [`SafeBrowsingService`]
+//!   implementation (typically an `Arc<SafeBrowsingServer>`) with no
+//!   overhead — the configuration used by the reproduction experiments;
+//! * [`SimulatedTransport`] decorates another transport with deterministic
+//!   fault injection (scripted errors, every-Nth failures) and optional
+//!   per-round-trip latency, for the failure-mode scenarios.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use sb_protocol::{
+    FullHashRequest, FullHashResponse, SafeBrowsingService, ServiceError, UpdateRequest,
+    UpdateResponse,
+};
+
+/// A handle to a Safe Browsing provider.
+///
+/// The contract mirrors [`SafeBrowsingService`]: batched full-hash calls
+/// return one response per request, in request order, and an empty batch is
+/// a no-op.  Implementations must be usable from multiple client threads
+/// (`Send + Sync`) and printable for diagnostics (`Debug`).
+pub trait Transport: Send + Sync + std::fmt::Debug {
+    /// Performs a database-update round trip.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServiceError`] from the provider or the path to it.
+    fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError>;
+
+    /// Performs one full-hash round trip carrying a batch of requests.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServiceError`] from the provider or the path to it.
+    fn full_hashes_batch(
+        &self,
+        requests: &[FullHashRequest],
+    ) -> Result<Vec<FullHashResponse>, ServiceError>;
+
+    /// Performs a single-request full-hash round trip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates batch errors; the non-retryable error of
+    /// [`sb_protocol::expect_single_response`] if the provider miscounts
+    /// the batch.
+    fn full_hashes(&self, request: &FullHashRequest) -> Result<FullHashResponse, ServiceError> {
+        sb_protocol::expect_single_response(self.full_hashes_batch(std::slice::from_ref(request))?)
+    }
+}
+
+/// Shared transports are transports: cloning the `Arc` lets a test or
+/// experiment keep a handle (to script faults, read stats) while the client
+/// owns the other.
+impl<T: Transport + ?Sized> Transport for Arc<T> {
+    fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+        (**self).update(request)
+    }
+
+    fn full_hashes_batch(
+        &self,
+        requests: &[FullHashRequest],
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        (**self).full_hashes_batch(requests)
+    }
+}
+
+/// An in-process transport: direct calls into a shared
+/// [`SafeBrowsingService`] implementation.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use sb_client::InProcessTransport;
+/// use sb_protocol::Provider;
+/// use sb_server::SafeBrowsingServer;
+///
+/// let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
+/// let transport = InProcessTransport::new(server.clone());
+/// ```
+#[derive(Debug)]
+pub struct InProcessTransport<S> {
+    service: Arc<S>,
+}
+
+impl<S> InProcessTransport<S> {
+    /// Wraps a shared service.
+    pub fn new(service: Arc<S>) -> Self {
+        InProcessTransport { service }
+    }
+}
+
+impl<S> Clone for InProcessTransport<S> {
+    fn clone(&self) -> Self {
+        InProcessTransport {
+            service: Arc::clone(&self.service),
+        }
+    }
+}
+
+impl<S> Transport for InProcessTransport<S>
+where
+    S: SafeBrowsingService + Send + Sync + std::fmt::Debug,
+{
+    fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+        self.service.update(request)
+    }
+
+    fn full_hashes_batch(
+        &self,
+        requests: &[FullHashRequest],
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        self.service.full_hashes_batch(requests)
+    }
+}
+
+/// Counters accumulated by a [`SimulatedTransport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Update round trips attempted (including failed ones).
+    pub update_calls: usize,
+    /// Full-hash round trips attempted (including failed ones).
+    pub full_hash_calls: usize,
+    /// Individual full-hash requests carried by successful round trips.
+    pub full_hash_requests_carried: usize,
+    /// Errors injected by the fault plan (not forwarded to the inner
+    /// transport).
+    pub faults_injected: usize,
+    /// Total latency simulated across all round trips.
+    pub simulated_latency: Duration,
+}
+
+#[derive(Debug, Default)]
+struct SimulatedState {
+    /// Errors to inject on upcoming update calls, in order.
+    update_faults: VecDeque<ServiceError>,
+    /// Errors to inject on upcoming full-hash calls, in order.
+    full_hash_faults: VecDeque<ServiceError>,
+    /// When set, every Nth round trip (counting both kinds) fails.
+    fail_every: Option<(usize, ServiceError)>,
+    round_trips: usize,
+    stats: TransportStats,
+}
+
+/// A fault- and latency-injecting decorator around another [`Transport`].
+///
+/// Failures are deterministic: either scripted per-call (push an error, the
+/// next call of that kind returns it) or periodic (every Nth round trip
+/// fails).  Latency is simulated per round trip — batched lookups therefore
+/// pay it once where per-URL lookups pay it per request, which is exactly
+/// the effect the batched client API exists to exploit.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use sb_client::{InProcessTransport, SimulatedTransport, Transport};
+/// use sb_protocol::{Provider, ServiceError, UpdateRequest};
+/// use sb_server::SafeBrowsingServer;
+///
+/// let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
+/// let flaky = SimulatedTransport::new(InProcessTransport::new(server));
+/// flaky.push_update_fault(ServiceError::Backoff { retry_after_seconds: 60 });
+///
+/// assert!(flaky.update(&UpdateRequest::default()).is_err());
+/// assert!(flaky.update(&UpdateRequest::default()).is_ok());
+/// ```
+#[derive(Debug)]
+pub struct SimulatedTransport {
+    inner: Box<dyn Transport>,
+    latency_per_round_trip: Duration,
+    /// When true, simulated latency is actually slept (wall-clock faithful,
+    /// for benchmarks); when false it is only accounted in the stats.
+    sleep_latency: bool,
+    state: Mutex<SimulatedState>,
+}
+
+impl SimulatedTransport {
+    /// Decorates `inner` with no faults and no latency.
+    pub fn new(inner: impl Transport + 'static) -> Self {
+        SimulatedTransport {
+            inner: Box::new(inner),
+            latency_per_round_trip: Duration::ZERO,
+            sleep_latency: false,
+            state: Mutex::new(SimulatedState::default()),
+        }
+    }
+
+    /// Sets a simulated latency per round trip, accounted in
+    /// [`TransportStats::simulated_latency`].
+    pub fn with_latency(mut self, latency: Duration) -> Self {
+        self.latency_per_round_trip = latency;
+        self
+    }
+
+    /// Makes [`Self::with_latency`] latency real (the transport sleeps), so
+    /// wall-clock measurements see it.
+    pub fn with_blocking_latency(mut self, latency: Duration) -> Self {
+        self.latency_per_round_trip = latency;
+        self.sleep_latency = true;
+        self
+    }
+
+    /// Scripts `error` for the next update round trip (FIFO when called
+    /// repeatedly).
+    pub fn push_update_fault(&self, error: ServiceError) {
+        self.state().update_faults.push_back(error);
+    }
+
+    /// Scripts `error` for the next full-hash round trip (FIFO).
+    pub fn push_full_hash_fault(&self, error: ServiceError) {
+        self.state().full_hash_faults.push_back(error);
+    }
+
+    /// Makes every `n`-th round trip (of either kind) fail with `error`.
+    /// `n = 0` disables periodic failures.
+    pub fn fail_every(&self, n: usize, error: ServiceError) {
+        self.state().fail_every = if n == 0 { None } else { Some((n, error)) };
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> TransportStats {
+        self.state().stats
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, SimulatedState> {
+        self.state
+            .lock()
+            .expect("simulated transport lock poisoned")
+    }
+
+    /// Accounts one round trip; returns an injected error when the fault
+    /// plan says this round trip fails.
+    fn begin_round_trip(&self, scripted: bool, state: &mut SimulatedState) -> Option<ServiceError> {
+        state.round_trips += 1;
+        state.stats.simulated_latency += self.latency_per_round_trip;
+        if scripted {
+            return None; // the caller already popped a scripted fault
+        }
+        if let Some((n, error)) = &state.fail_every {
+            if state.round_trips.is_multiple_of(*n) {
+                return Some(error.clone());
+            }
+        }
+        None
+    }
+
+    fn simulate_latency(&self) {
+        if self.sleep_latency && !self.latency_per_round_trip.is_zero() {
+            std::thread::sleep(self.latency_per_round_trip);
+        }
+    }
+}
+
+impl Transport for SimulatedTransport {
+    fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+        let fault = {
+            let mut state = self.state();
+            state.stats.update_calls += 1;
+            let scripted = state.update_faults.pop_front();
+            let periodic = self.begin_round_trip(scripted.is_some(), &mut state);
+            scripted.or(periodic)
+        };
+        self.simulate_latency();
+        if let Some(error) = fault {
+            self.state().stats.faults_injected += 1;
+            return Err(error);
+        }
+        self.inner.update(request)
+    }
+
+    fn full_hashes_batch(
+        &self,
+        requests: &[FullHashRequest],
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        let fault = {
+            let mut state = self.state();
+            state.stats.full_hash_calls += 1;
+            let scripted = state.full_hash_faults.pop_front();
+            let periodic = self.begin_round_trip(scripted.is_some(), &mut state);
+            scripted.or(periodic)
+        };
+        self.simulate_latency();
+        if let Some(error) = fault {
+            self.state().stats.faults_injected += 1;
+            return Err(error);
+        }
+        let responses = self.inner.full_hashes_batch(requests)?;
+        self.state().stats.full_hash_requests_carried += requests.len();
+        Ok(responses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_hash::prefix32;
+    use sb_protocol::{Provider, ThreatCategory};
+    use sb_server::SafeBrowsingServer;
+
+    fn in_process() -> (
+        Arc<SafeBrowsingServer>,
+        InProcessTransport<SafeBrowsingServer>,
+    ) {
+        let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
+        server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+        let transport = InProcessTransport::new(server.clone());
+        (server, transport)
+    }
+
+    #[test]
+    fn in_process_transport_forwards_both_exchanges() {
+        let (server, transport) = in_process();
+        let digest = server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+
+        let update = transport.update(&UpdateRequest::default()).unwrap();
+        assert!(update.chunks.is_empty());
+
+        let response = transport
+            .full_hashes(&FullHashRequest::new(vec![digest.prefix32()]))
+            .unwrap();
+        assert!(response.contains_digest(&digest));
+        assert_eq!(server.query_log().len(), 1);
+    }
+
+    #[test]
+    fn scripted_faults_fire_once_in_order() {
+        let (_server, inner) = in_process();
+        let transport = SimulatedTransport::new(inner);
+        transport.push_full_hash_fault(ServiceError::Unavailable {
+            reason: "first".into(),
+        });
+        transport.push_full_hash_fault(ServiceError::Backoff {
+            retry_after_seconds: 5,
+        });
+
+        let request = FullHashRequest::new(vec![prefix32("a.example/")]);
+        assert_eq!(
+            transport.full_hashes(&request).unwrap_err(),
+            ServiceError::Unavailable {
+                reason: "first".into()
+            }
+        );
+        assert_eq!(
+            transport.full_hashes(&request).unwrap_err(),
+            ServiceError::Backoff {
+                retry_after_seconds: 5
+            }
+        );
+        assert!(transport.full_hashes(&request).is_ok());
+        assert_eq!(transport.stats().faults_injected, 2);
+        assert_eq!(transport.stats().full_hash_calls, 3);
+    }
+
+    #[test]
+    fn periodic_faults_hit_every_nth_round_trip() {
+        let (_server, inner) = in_process();
+        let transport = SimulatedTransport::new(inner);
+        transport.fail_every(
+            3,
+            ServiceError::Unavailable {
+                reason: "periodic".into(),
+            },
+        );
+        let request = FullHashRequest::new(vec![prefix32("a.example/")]);
+        let outcomes: Vec<bool> = (0..6)
+            .map(|_| transport.full_hashes(&request).is_ok())
+            .collect();
+        assert_eq!(outcomes, vec![true, true, false, true, true, false]);
+    }
+
+    #[test]
+    fn injected_faults_never_reach_the_provider() {
+        let (server, inner) = in_process();
+        let transport = SimulatedTransport::new(inner);
+        transport.push_full_hash_fault(ServiceError::Unavailable {
+            reason: "offline".into(),
+        });
+        let request = FullHashRequest::new(vec![prefix32("a.example/")]);
+        assert!(transport.full_hashes(&request).is_err());
+        assert!(server.query_log().is_empty());
+    }
+
+    #[test]
+    fn latency_is_accounted_per_round_trip() {
+        let (_server, inner) = in_process();
+        let transport = SimulatedTransport::new(inner).with_latency(Duration::from_millis(40));
+        let requests: Vec<FullHashRequest> = (0..8)
+            .map(|i| FullHashRequest::new(vec![prefix32(&format!("h{i}.example/"))]))
+            .collect();
+        // One batched round trip: 8 requests, 40 ms simulated.
+        transport.full_hashes_batch(&requests).unwrap();
+        assert_eq!(
+            transport.stats().simulated_latency,
+            Duration::from_millis(40)
+        );
+        assert_eq!(transport.stats().full_hash_requests_carried, 8);
+        // Eight sequential round trips: 8 × 40 ms.
+        for request in &requests {
+            transport.full_hashes(request).unwrap();
+        }
+        assert_eq!(
+            transport.stats().simulated_latency,
+            Duration::from_millis(40 * 9)
+        );
+    }
+
+    #[test]
+    fn update_faults_and_batch_forwarding() {
+        let (server, inner) = in_process();
+        server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        let transport = SimulatedTransport::new(inner);
+        transport.push_update_fault(ServiceError::Backoff {
+            retry_after_seconds: 1800,
+        });
+        let request = UpdateRequest {
+            lists: vec![("goog-malware-shavar".into(), Default::default())],
+        };
+        assert!(transport.update(&request).unwrap_err().is_retryable());
+        let response = transport.update(&request).unwrap();
+        assert_eq!(response.chunks.len(), 1);
+        assert_eq!(transport.stats().update_calls, 2);
+    }
+}

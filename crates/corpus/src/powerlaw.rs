@@ -147,10 +147,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let light = PowerLaw::new(2.5, 1e9);
         let heavy = PowerLaw::new(1.2, 1e9);
-        let mean_light: f64 =
-            (0..20_000).map(|_| light.sample(&mut rng) as f64).sum::<f64>() / 20_000.0;
-        let mean_heavy: f64 =
-            (0..20_000).map(|_| heavy.sample(&mut rng) as f64).sum::<f64>() / 20_000.0;
+        let mean_light: f64 = (0..20_000)
+            .map(|_| light.sample(&mut rng) as f64)
+            .sum::<f64>()
+            / 20_000.0;
+        let mean_heavy: f64 = (0..20_000)
+            .map(|_| heavy.sample(&mut rng) as f64)
+            .sum::<f64>()
+            / 20_000.0;
         assert!(mean_heavy > mean_light);
     }
 

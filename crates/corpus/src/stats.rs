@@ -77,7 +77,7 @@ impl CorpusStats {
                 }
             })
             .collect();
-        hosts.sort_by(|a, b| b.url_count.cmp(&a.url_count));
+        hosts.sort_by_key(|h| std::cmp::Reverse(h.url_count));
 
         let url_counts: Vec<u64> = hosts.iter().map(|h| h.url_count as u64).collect();
         let power_law = fit_power_law(&url_counts, 1.0);
@@ -179,7 +179,10 @@ impl CorpusStats {
         if self.hosts.is_empty() {
             return 0.0;
         }
-        self.hosts.iter().filter(|h| h.prefix_collisions > 0).count() as f64
+        self.hosts
+            .iter()
+            .filter(|h| h.prefix_collisions > 0)
+            .count() as f64
             / self.hosts.len() as f64
     }
 }
@@ -251,7 +254,10 @@ mod tests {
         // A tiny host cannot produce 32-bit prefix collisions.
         let corpus = WebCorpus::from_sites(
             "tiny",
-            vec![HostSite::new("a.example", vec!["a.example/".into(), "a.example/x.html".into()])],
+            vec![HostSite::new(
+                "a.example",
+                vec!["a.example/".into(), "a.example/x.html".into()],
+            )],
         );
         let stats = CorpusStats::analyze(&corpus);
         assert_eq!(stats.hosts[0].prefix_collisions, 0);

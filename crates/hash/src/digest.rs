@@ -127,7 +127,7 @@ pub fn encode_hex(bytes: &[u8]) -> String {
 
 /// Decodes a hex string; returns `None` on odd length or non-hex characters.
 pub fn decode_hex(hex: &str) -> Option<Vec<u8>> {
-    if hex.len() % 2 != 0 {
+    if !hex.len().is_multiple_of(2) {
         return None;
     }
     let mut out = Vec::with_capacity(hex.len() / 2);

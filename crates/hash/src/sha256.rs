@@ -233,7 +233,11 @@ mod tests {
     #[test]
     fn nist_vectors() {
         for (msg, expected) in VECTORS {
-            assert_eq!(&Sha256::digest(msg.as_bytes()).to_hex(), expected, "msg={msg:?}");
+            assert_eq!(
+                &Sha256::digest(msg.as_bytes()).to_hex(),
+                expected,
+                "msg={msg:?}"
+            );
         }
     }
 

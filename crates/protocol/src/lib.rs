@@ -33,8 +33,8 @@ pub use chunk::{Chunk, ChunkKind};
 pub use cookie::ClientCookie;
 pub use lists::{google_lists, lists_for, yandex_lists, ListDescriptor, ListName};
 pub use messages::{
-    ClientListState, FullHashEntry, FullHashRequest, FullHashResponse, SafeBrowsingService,
-    UpdateRequest, UpdateResponse,
+    expect_single_response, ClientListState, FullHashEntry, FullHashRequest, FullHashResponse,
+    SafeBrowsingService, ServiceError, UpdateRequest, UpdateResponse,
 };
 
 #[cfg(test)]

@@ -81,11 +81,26 @@ impl ListDescriptor {
 pub fn google_lists() -> Vec<ListDescriptor> {
     use ThreatCategory::*;
     vec![
-        ListDescriptor::new("goog-malware-shavar", Provider::Google, Malware, Some(317_807)),
+        ListDescriptor::new(
+            "goog-malware-shavar",
+            Provider::Google,
+            Malware,
+            Some(317_807),
+        ),
         ListDescriptor::new("goog-regtest-shavar", Provider::Google, Test, Some(29_667)),
-        ListDescriptor::new("goog-unwanted-shavar", Provider::Google, UnwantedSoftware, None),
+        ListDescriptor::new(
+            "goog-unwanted-shavar",
+            Provider::Google,
+            UnwantedSoftware,
+            None,
+        ),
         ListDescriptor::new("goog-whitedomain-shavar", Provider::Google, Unused, Some(1)),
-        ListDescriptor::new("googpub-phish-shavar", Provider::Google, Phishing, Some(312_621)),
+        ListDescriptor::new(
+            "googpub-phish-shavar",
+            Provider::Google,
+            Phishing,
+            Some(312_621),
+        ),
     ]
 }
 
@@ -93,19 +108,44 @@ pub fn google_lists() -> Vec<ListDescriptor> {
 pub fn yandex_lists() -> Vec<ListDescriptor> {
     use ThreatCategory::*;
     vec![
-        ListDescriptor::new("goog-malware-shavar", Provider::Yandex, Malware, Some(283_211)),
+        ListDescriptor::new(
+            "goog-malware-shavar",
+            Provider::Yandex,
+            Malware,
+            Some(283_211),
+        ),
         ListDescriptor::new(
             "goog-mobile-only-malware-shavar",
             Provider::Yandex,
             MobileMalware,
             Some(2_107),
         ),
-        ListDescriptor::new("goog-phish-shavar", Provider::Yandex, Phishing, Some(31_593)),
+        ListDescriptor::new(
+            "goog-phish-shavar",
+            Provider::Yandex,
+            Phishing,
+            Some(31_593),
+        ),
         ListDescriptor::new("ydx-adult-shavar", Provider::Yandex, Adult, Some(434)),
-        ListDescriptor::new("ydx-adult-testing-shavar", Provider::Yandex, Test, Some(535)),
+        ListDescriptor::new(
+            "ydx-adult-testing-shavar",
+            Provider::Yandex,
+            Test,
+            Some(535),
+        ),
         ListDescriptor::new("ydx-imgs-shavar", Provider::Yandex, MaliciousImage, Some(0)),
-        ListDescriptor::new("ydx-malware-shavar", Provider::Yandex, Malware, Some(283_211)),
-        ListDescriptor::new("ydx-mitb-masks-shavar", Provider::Yandex, ManInTheBrowser, Some(87)),
+        ListDescriptor::new(
+            "ydx-malware-shavar",
+            Provider::Yandex,
+            Malware,
+            Some(283_211),
+        ),
+        ListDescriptor::new(
+            "ydx-mitb-masks-shavar",
+            Provider::Yandex,
+            ManInTheBrowser,
+            Some(87),
+        ),
         ListDescriptor::new(
             "ydx-mobile-only-malware-shavar",
             Provider::Yandex,
@@ -119,14 +159,39 @@ pub fn yandex_lists() -> Vec<ListDescriptor> {
             Pornography,
             Some(99_990),
         ),
-        ListDescriptor::new("ydx-sms-fraud-shavar", Provider::Yandex, SmsFraud, Some(10_609)),
+        ListDescriptor::new(
+            "ydx-sms-fraud-shavar",
+            Provider::Yandex,
+            SmsFraud,
+            Some(10_609),
+        ),
         ListDescriptor::new("ydx-test-shavar", Provider::Yandex, Test, Some(0)),
         ListDescriptor::new("ydx-yellow-shavar", Provider::Yandex, Shocking, Some(209)),
-        ListDescriptor::new("ydx-yellow-testing-shavar", Provider::Yandex, Test, Some(370)),
-        ListDescriptor::new("ydx-badcrxids-digestvar", Provider::Yandex, MaliciousBinary, None),
-        ListDescriptor::new("ydx-badbin-digestvar", Provider::Yandex, MaliciousBinary, None),
+        ListDescriptor::new(
+            "ydx-yellow-testing-shavar",
+            Provider::Yandex,
+            Test,
+            Some(370),
+        ),
+        ListDescriptor::new(
+            "ydx-badcrxids-digestvar",
+            Provider::Yandex,
+            MaliciousBinary,
+            None,
+        ),
+        ListDescriptor::new(
+            "ydx-badbin-digestvar",
+            Provider::Yandex,
+            MaliciousBinary,
+            None,
+        ),
         ListDescriptor::new("ydx-mitb-uids", Provider::Yandex, ManInTheBrowser, None),
-        ListDescriptor::new("ydx-badcrxids-testing-digestvar", Provider::Yandex, Test, None),
+        ListDescriptor::new(
+            "ydx-badcrxids-testing-digestvar",
+            Provider::Yandex,
+            Test,
+            None,
+        ),
     ]
 }
 
@@ -146,9 +211,15 @@ mod tests {
     fn table1_has_five_lists() {
         let lists = google_lists();
         assert_eq!(lists.len(), 5);
-        let malware = lists.iter().find(|l| l.name.as_str() == "goog-malware-shavar").unwrap();
+        let malware = lists
+            .iter()
+            .find(|l| l.name.as_str() == "goog-malware-shavar")
+            .unwrap();
         assert_eq!(malware.prefix_count, Some(317_807));
-        let phish = lists.iter().find(|l| l.name.as_str() == "googpub-phish-shavar").unwrap();
+        let phish = lists
+            .iter()
+            .find(|l| l.name.as_str() == "googpub-phish-shavar")
+            .unwrap();
         assert_eq!(phish.prefix_count, Some(312_621));
     }
 

@@ -105,16 +105,129 @@ impl FullHashResponse {
     }
 }
 
+/// Errors a Safe Browsing provider (or the transport in front of it) can
+/// return for a protocol exchange.
+///
+/// The deployed services communicate all of these out-of-band (HTTP status
+/// codes, back-off headers); modelling them in the trait is what lets the
+/// client, the failure-injection transports and the analysis reason about
+/// provider misbehaviour and unavailability explicitly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The provider asked the client to back off before retrying.
+    Backoff {
+        /// Minimum delay before the next attempt, in seconds.
+        retry_after_seconds: u64,
+    },
+    /// The provider (or the path to it) is temporarily unavailable.
+    Unavailable {
+        /// Human-readable cause (timeout, connection refused, 5xx, ...).
+        reason: String,
+    },
+    /// The request violates the protocol (e.g. a full-hash request carrying
+    /// no prefixes).
+    MalformedRequest {
+        /// What was wrong with the request.
+        reason: String,
+    },
+    /// The request referenced a list this provider does not serve.
+    ListUnknown(ListName),
+}
+
+impl ServiceError {
+    /// True when retrying the same request later can succeed (back-off and
+    /// availability failures); false for requests the provider will always
+    /// reject (malformed, unknown list).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::Backoff { .. } | ServiceError::Unavailable { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Backoff {
+                retry_after_seconds,
+            } => {
+                write!(f, "provider asked to back off for {retry_after_seconds} s")
+            }
+            ServiceError::Unavailable { reason } => write!(f, "provider unavailable: {reason}"),
+            ServiceError::MalformedRequest { reason } => write!(f, "malformed request: {reason}"),
+            ServiceError::ListUnknown(name) => write!(f, "unknown list `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
 /// The provider-side interface a Safe Browsing client talks to.
 ///
 /// `sb-server` implements this for the simulated Google/Yandex provider;
-/// tests can provide lightweight fakes.
+/// tests can provide lightweight fakes.  Both exchanges are fallible, and
+/// full-hash resolution is batch-first: one call carries any number of
+/// independent requests (e.g. one per URL of a batched page-load check) and
+/// the responses come back **in request order**, one per request.  An empty
+/// batch is a no-op (`Ok(vec![])`), not an error.
 pub trait SafeBrowsingService {
     /// Serves a database update.
-    fn update(&self, request: &UpdateRequest) -> UpdateResponse;
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::ListUnknown`] when the request references a list the
+    /// provider does not serve, plus any transport-level failure.
+    fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError>;
 
-    /// Serves a full-hash request.
-    fn full_hashes(&self, request: &FullHashRequest) -> FullHashResponse;
+    /// Serves a batch of full-hash requests, returning exactly one response
+    /// per request, in request order.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::MalformedRequest`] when any request in the batch
+    /// carries no prefixes, plus any transport-level failure.
+    fn full_hashes_batch(
+        &self,
+        requests: &[FullHashRequest],
+    ) -> Result<Vec<FullHashResponse>, ServiceError>;
+
+    /// Serves a single full-hash request (convenience wrapper over
+    /// [`SafeBrowsingService::full_hashes_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the batch errors; additionally returns the
+    /// (non-retryable) error of [`expect_single_response`] if the
+    /// implementation violates the one-response-per-request contract.
+    fn full_hashes(&self, request: &FullHashRequest) -> Result<FullHashResponse, ServiceError> {
+        expect_single_response(self.full_hashes_batch(std::slice::from_ref(request))?)
+    }
+}
+
+/// Extracts the single response of a 1-request batch, enforcing the
+/// one-response-per-request contract.
+///
+/// Shared by [`SafeBrowsingService::full_hashes`] and the transport layer's
+/// equivalent wrapper so the contract check lives in one place.
+///
+/// # Errors
+///
+/// A miscounted batch is a deterministic protocol violation by the
+/// implementation, not a transient outage, so it maps to the non-retryable
+/// [`ServiceError::MalformedRequest`] — a retry policy must not loop on it.
+pub fn expect_single_response(
+    mut responses: Vec<FullHashResponse>,
+) -> Result<FullHashResponse, ServiceError> {
+    if responses.len() != 1 {
+        return Err(ServiceError::MalformedRequest {
+            reason: format!(
+                "batch contract violated: {} responses for a 1-request batch",
+                responses.len()
+            ),
+        });
+    }
+    Ok(responses.pop().expect("length checked above"))
 }
 
 #[cfg(test)]
@@ -124,8 +237,7 @@ mod tests {
 
     #[test]
     fn full_hash_request_builder() {
-        let req = FullHashRequest::new(vec![prefix32("a.b.c/")])
-            .with_cookie(ClientCookie::new(42));
+        let req = FullHashRequest::new(vec![prefix32("a.b.c/")]).with_cookie(ClientCookie::new(42));
         assert_eq!(req.prefixes.len(), 1);
         assert_eq!(req.cookie, Some(ClientCookie::new(42)));
     }
@@ -148,5 +260,77 @@ mod tests {
     fn default_update_request_is_empty() {
         assert!(UpdateRequest::default().lists.is_empty());
         assert!(UpdateResponse::default().chunks.is_empty());
+    }
+
+    #[test]
+    fn service_error_retryability() {
+        assert!(ServiceError::Backoff {
+            retry_after_seconds: 60
+        }
+        .is_retryable());
+        assert!(ServiceError::Unavailable {
+            reason: "timeout".into()
+        }
+        .is_retryable());
+        assert!(!ServiceError::MalformedRequest {
+            reason: "empty".into()
+        }
+        .is_retryable());
+        assert!(!ServiceError::ListUnknown("nope".into()).is_retryable());
+    }
+
+    #[test]
+    fn service_error_display_is_informative() {
+        let cases = [
+            (
+                ServiceError::Backoff {
+                    retry_after_seconds: 1800,
+                },
+                "1800",
+            ),
+            (
+                ServiceError::Unavailable {
+                    reason: "connection reset".into(),
+                },
+                "connection reset",
+            ),
+            (
+                ServiceError::MalformedRequest {
+                    reason: "no prefixes".into(),
+                },
+                "no prefixes",
+            ),
+            (
+                ServiceError::ListUnknown("ghost-shavar".into()),
+                "ghost-shavar",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    /// A provided-method contract check: `full_hashes` surfaces batch-size
+    /// violations instead of panicking or silently truncating.
+    #[test]
+    fn default_full_hashes_rejects_miscounted_batches() {
+        struct Broken;
+        impl SafeBrowsingService for Broken {
+            fn update(&self, _: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+                Ok(UpdateResponse::default())
+            }
+            fn full_hashes_batch(
+                &self,
+                _: &[FullHashRequest],
+            ) -> Result<Vec<FullHashResponse>, ServiceError> {
+                Ok(Vec::new())
+            }
+        }
+        let err = Broken
+            .full_hashes(&FullHashRequest::new(vec![prefix32("a/")]))
+            .unwrap_err();
+        // A contract violation is deterministic: it must not be retryable.
+        assert!(matches!(err, ServiceError::MalformedRequest { .. }));
+        assert!(!err.is_retryable());
     }
 }

@@ -1,0 +1,129 @@
+//! Property tests of the batched `SafeBrowsingService` contract: one
+//! response per request, in request order; an empty batch is a no-op, not an
+//! error; and `ServiceError` values round-trip through their display form
+//! distinguishably.
+
+use proptest::prelude::*;
+use sb_hash::{digest_url, Prefix};
+use sb_protocol::{
+    FullHashEntry, FullHashRequest, FullHashResponse, SafeBrowsingService, ServiceError,
+    UpdateRequest, UpdateResponse,
+};
+
+/// A reference implementation of the batch contract: every prefix is
+/// "blacklisted" with the digest of its own hex expression, so responses are
+/// a pure function of their request and pairing violations are detectable.
+struct EchoService;
+
+impl SafeBrowsingService for EchoService {
+    fn update(&self, _request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+        Ok(UpdateResponse::default())
+    }
+
+    fn full_hashes_batch(
+        &self,
+        requests: &[FullHashRequest],
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        if let Some(bad) = requests.iter().position(|r| r.prefixes.is_empty()) {
+            return Err(ServiceError::MalformedRequest {
+                reason: format!("request {bad} carries no prefixes"),
+            });
+        }
+        Ok(requests
+            .iter()
+            .map(|request| FullHashResponse {
+                entries: request
+                    .prefixes
+                    .iter()
+                    .map(|p| FullHashEntry {
+                        list: "echo-shavar".into(),
+                        digest: digest_url(&p.to_string()),
+                    })
+                    .collect(),
+            })
+            .collect())
+    }
+}
+
+fn expected_response(request: &FullHashRequest) -> FullHashResponse {
+    FullHashResponse {
+        entries: request
+            .prefixes
+            .iter()
+            .map(|p| FullHashEntry {
+                list: "echo-shavar".into(),
+                digest: digest_url(&p.to_string()),
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    /// Responses pair 1:1 with requests and arrive in request order.
+    #[test]
+    fn batch_responses_match_request_order(
+        batches in prop::collection::vec(prop::collection::vec(any::<u32>(), 1..8), 0..20)
+    ) {
+        let requests: Vec<FullHashRequest> = batches
+            .iter()
+            .map(|values| {
+                FullHashRequest::new(values.iter().map(|&v| Prefix::from_u32(v)).collect())
+            })
+            .collect();
+        let responses = EchoService.full_hashes_batch(&requests).unwrap();
+        prop_assert_eq!(responses.len(), requests.len());
+        for (request, response) in requests.iter().zip(&responses) {
+            prop_assert_eq!(response, &expected_response(request));
+        }
+    }
+
+    /// An empty batch succeeds with an empty response vector.
+    #[test]
+    fn empty_batch_is_a_noop(_unused in 0u8..1) {
+        let responses = EchoService.full_hashes_batch(&[]).unwrap();
+        prop_assert!(responses.is_empty());
+    }
+
+    /// The single-request convenience method agrees with the batch method.
+    #[test]
+    fn single_request_agrees_with_batch(values in prop::collection::vec(any::<u32>(), 1..10)) {
+        let request =
+            FullHashRequest::new(values.iter().map(|&v| Prefix::from_u32(v)).collect());
+        let single = EchoService.full_hashes(&request).unwrap();
+        let batch = EchoService.full_hashes_batch(std::slice::from_ref(&request)).unwrap();
+        prop_assert_eq!(&single, &batch[0]);
+        prop_assert_eq!(single, expected_response(&request));
+    }
+
+    /// A batch containing an empty request is rejected as malformed (the
+    /// whole batch, since partial application would break the pairing).
+    #[test]
+    fn empty_request_inside_batch_is_malformed(position in 0usize..5) {
+        let mut requests: Vec<FullHashRequest> = (0..5u32)
+            .map(|v| FullHashRequest::new(vec![Prefix::from_u32(v)]))
+            .collect();
+        requests[position] = FullHashRequest::new(Vec::new());
+        let err = EchoService.full_hashes_batch(&requests).unwrap_err();
+        prop_assert!(matches!(err, ServiceError::MalformedRequest { .. }), "{:?}", err);
+        prop_assert!(!err.is_retryable());
+    }
+
+    /// Display forms of distinct error variants are pairwise distinct (a
+    /// "round-trip" via the human-readable form loses no variant identity).
+    #[test]
+    fn service_error_display_distinguishes_variants(seconds in 1u64..10_000, reason in "[a-z]{1,12}") {
+        let errors = [
+            ServiceError::Backoff { retry_after_seconds: seconds },
+            ServiceError::Unavailable { reason: reason.clone() },
+            ServiceError::MalformedRequest { reason: reason.clone() },
+            ServiceError::ListUnknown(reason.clone().into()),
+        ];
+        for (i, a) in errors.iter().enumerate() {
+            for (j, b) in errors.iter().enumerate() {
+                if i != j {
+                    prop_assert_ne!(a.to_string(), b.to_string());
+                }
+            }
+        }
+    }
+}

@@ -19,7 +19,9 @@
 //! let digest = server
 //!     .blacklist_url("ydx-phish-shavar", "http://phishing.example/login")
 //!     .unwrap();
-//! let response = server.full_hashes(&FullHashRequest::new(vec![digest.prefix32()]));
+//! let response = server
+//!     .full_hashes(&FullHashRequest::new(vec![digest.prefix32()]))
+//!     .unwrap();
 //! assert!(response.contains_digest(&digest));
 //! assert_eq!(server.query_log().len(), 1);
 //! ```

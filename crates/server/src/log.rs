@@ -77,11 +77,8 @@ impl QueryLog {
 
     /// The distinct cookies seen in the log.
     pub fn cookies(&self) -> Vec<ClientCookie> {
-        let mut cookies: Vec<ClientCookie> = self
-            .requests
-            .iter()
-            .filter_map(|r| r.cookie)
-            .collect();
+        let mut cookies: Vec<ClientCookie> =
+            self.requests.iter().filter_map(|r| r.cookie).collect();
         cookies.sort();
         cookies.dedup();
         cookies
@@ -115,7 +112,10 @@ mod tests {
         assert_eq!(log.len(), 3);
         assert_eq!(log.requests_for(ClientCookie::new(1)).len(), 1);
         assert_eq!(log.requests_for(ClientCookie::new(2)).len(), 1);
-        assert_eq!(log.cookies(), vec![ClientCookie::new(1), ClientCookie::new(2)]);
+        assert_eq!(
+            log.cookies(),
+            vec![ClientCookie::new(1), ClientCookie::new(2)]
+        );
         assert!(log.requests()[1].reveals_at_least(2));
         assert!(!log.requests()[0].reveals_at_least(2));
 

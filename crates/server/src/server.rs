@@ -10,12 +10,12 @@
 //! (Section 7.2).
 
 use std::collections::BTreeMap;
+use std::sync::RwLock;
 
-use parking_lot::RwLock;
 use sb_hash::Prefix;
 use sb_protocol::{
     Chunk, ChunkKind, FullHashEntry, FullHashRequest, FullHashResponse, ListName, Provider,
-    SafeBrowsingService, ThreatCategory, UpdateRequest, UpdateResponse,
+    SafeBrowsingService, ServiceError, ThreatCategory, UpdateRequest, UpdateResponse,
 };
 use sb_url::CanonicalUrl;
 
@@ -49,7 +49,9 @@ struct ServerState {
 ///     .blacklist_url("goog-malware-shavar", "http://evil.example/exploit.html")
 ///     .unwrap();
 ///
-/// let response = server.full_hashes(&FullHashRequest::new(vec![digest.prefix32()]));
+/// let response = server
+///     .full_hashes(&FullHashRequest::new(vec![digest.prefix32()]))
+///     .unwrap();
 /// assert!(response.contains_digest(&digest));
 /// ```
 #[derive(Debug)]
@@ -92,24 +94,26 @@ impl SafeBrowsingServer {
     /// Registers an empty blacklist.  Returns false if it already existed.
     pub fn create_list(&self, name: impl Into<ListName>, category: ThreatCategory) -> bool {
         let name = name.into();
-        let mut state = self.state.write();
+        let mut state = self.write_state();
         if state.lists.contains_key(&name) {
             return false;
         }
-        state.lists.insert(name.clone(), Blacklist::new(name, category));
+        state
+            .lists
+            .insert(name.clone(), Blacklist::new(name, category));
         true
     }
 
     /// Names of the lists currently served.
     pub fn list_names(&self) -> Vec<ListName> {
-        self.state.read().lists.keys().cloned().collect()
+        self.read_state().lists.keys().cloned().collect()
     }
 
     /// A point-in-time copy of one blacklist (used by the audit
     /// experiments, which play the role of an external analyst crawling the
     /// database exactly as the paper does in Section 7.1).
     pub fn list_snapshot(&self, name: &ListName) -> Option<Blacklist> {
-        self.state.read().lists.get(name).cloned()
+        self.read_state().lists.get(name).cloned()
     }
 
     /// Blacklists the *exact canonical expression* of a URL in a list and
@@ -142,7 +146,7 @@ impl SafeBrowsingServer {
         expressions: impl IntoIterator<Item = &'a str>,
     ) -> Result<Vec<sb_hash::Digest>, ServerError> {
         let name = list.into();
-        let mut state = self.state.write();
+        let mut state = self.write_state();
         if !state.lists.contains_key(&name) {
             return Err(ServerError::UnknownList(name));
         }
@@ -173,7 +177,7 @@ impl SafeBrowsingServer {
         prefixes: impl IntoIterator<Item = Prefix>,
     ) -> Result<usize, ServerError> {
         let name = list.into();
-        let mut state = self.state.write();
+        let mut state = self.write_state();
         if !state.lists.contains_key(&name) {
             return Err(ServerError::UnknownList(name));
         }
@@ -214,7 +218,7 @@ impl SafeBrowsingServer {
         prefixes: impl IntoIterator<Item = Prefix>,
     ) -> Result<usize, ServerError> {
         let name = list.into();
-        let mut state = self.state.write();
+        let mut state = self.write_state();
         if !state.lists.contains_key(&name) {
             return Err(ServerError::UnknownList(name));
         }
@@ -232,17 +236,29 @@ impl SafeBrowsingServer {
 
     /// The provider's query log (the attacker's view of client traffic).
     pub fn query_log(&self) -> QueryLog {
-        self.state.read().query_log.clone()
+        self.read_state().query_log.clone()
     }
 
     /// Clears the query log.
     pub fn clear_query_log(&self) {
-        self.state.write().query_log.clear();
+        self.write_state().query_log.clear();
     }
 
     /// Total number of prefixes across all lists.
     pub fn total_prefixes(&self) -> usize {
-        self.state.read().lists.values().map(Blacklist::prefix_count).sum()
+        self.read_state()
+            .lists
+            .values()
+            .map(Blacklist::prefix_count)
+            .sum()
+    }
+
+    fn read_state(&self) -> std::sync::RwLockReadGuard<'_, ServerState> {
+        self.state.read().expect("server state lock poisoned")
+    }
+
+    fn write_state(&self) -> std::sync::RwLockWriteGuard<'_, ServerState> {
+        self.state.write().expect("server state lock poisoned")
     }
 
     fn push_chunk(state: &mut ServerState, list: ListName, kind: ChunkKind, prefixes: Vec<Prefix>) {
@@ -264,10 +280,13 @@ impl SafeBrowsingServer {
 }
 
 impl SafeBrowsingService for SafeBrowsingServer {
-    fn update(&self, request: &UpdateRequest) -> UpdateResponse {
-        let state = self.state.read();
+    fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+        let state = self.read_state();
         let mut chunks = Vec::new();
         for (list, client_state) in &request.lists {
+            if !state.lists.contains_key(list) {
+                return Err(ServiceError::ListUnknown(list.clone()));
+            }
             for chunk in state.chunks.iter().filter(|c| &c.list == list) {
                 let already_applied = match chunk.kind {
                     ChunkKind::Add => chunk.number <= client_state.max_add_chunk,
@@ -278,34 +297,50 @@ impl SafeBrowsingService for SafeBrowsingServer {
                 }
             }
         }
-        UpdateResponse {
+        Ok(UpdateResponse {
             chunks,
             next_update_seconds: self.next_update_seconds,
-        }
+        })
     }
 
-    fn full_hashes(&self, request: &FullHashRequest) -> FullHashResponse {
-        let mut state = self.state.write();
-        state.clock += 1;
-        let timestamp = state.clock;
-        state.query_log.record(LoggedRequest {
-            timestamp,
-            cookie: request.cookie,
-            prefixes: request.prefixes.clone(),
-        });
+    fn full_hashes_batch(
+        &self,
+        requests: &[FullHashRequest],
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        // Validate the whole batch up-front: a malformed member rejects the
+        // batch without logging anything, as partial application would break
+        // the one-response-per-request pairing.
+        if let Some(position) = requests.iter().position(|r| r.prefixes.is_empty()) {
+            return Err(ServiceError::MalformedRequest {
+                reason: format!("full-hash request {position} carries no prefixes"),
+            });
+        }
 
-        let mut entries = Vec::new();
-        for prefix in &request.prefixes {
-            for (name, blacklist) in &state.lists {
-                for digest in blacklist.full_digests(prefix) {
-                    entries.push(FullHashEntry {
-                        list: name.clone(),
-                        digest: *digest,
-                    });
+        let mut state = self.write_state();
+        let mut responses = Vec::with_capacity(requests.len());
+        for request in requests {
+            state.clock += 1;
+            let timestamp = state.clock;
+            state.query_log.record(LoggedRequest {
+                timestamp,
+                cookie: request.cookie,
+                prefixes: request.prefixes.clone(),
+            });
+
+            let mut entries = Vec::new();
+            for prefix in &request.prefixes {
+                for (name, blacklist) in &state.lists {
+                    for digest in blacklist.full_digests(prefix) {
+                        entries.push(FullHashEntry {
+                            list: name.clone(),
+                            digest: *digest,
+                        });
+                    }
                 }
             }
+            responses.push(FullHashResponse { entries });
         }
-        FullHashResponse { entries }
+        Ok(responses)
     }
 }
 
@@ -358,11 +393,15 @@ mod tests {
         let digest = server
             .blacklist_url("goog-malware-shavar", "http://evil.example/mal.html")
             .unwrap();
-        let resp = server.full_hashes(&FullHashRequest::new(vec![digest.prefix32()]));
+        let resp = server
+            .full_hashes(&FullHashRequest::new(vec![digest.prefix32()]))
+            .unwrap();
         assert_eq!(resp.entries.len(), 1);
         assert!(resp.contains_digest(&digest));
         // Unrelated prefix: no entries (and a second log line).
-        let resp2 = server.full_hashes(&FullHashRequest::new(vec![prefix32("benign.org/")]));
+        let resp2 = server
+            .full_hashes(&FullHashRequest::new(vec![prefix32("benign.org/")]))
+            .unwrap();
         assert!(resp2.entries.is_empty());
         assert_eq!(server.query_log().len(), 2);
     }
@@ -373,14 +412,18 @@ mod tests {
         let err = server.blacklist_url("nope", "http://a.b/").unwrap_err();
         assert!(matches!(err, ServerError::UnknownList(_)));
         assert!(err.to_string().contains("nope"));
-        let err = server.inject_prefixes("nope", vec![prefix32("a/")]).unwrap_err();
+        let err = server
+            .inject_prefixes("nope", vec![prefix32("a/")])
+            .unwrap_err();
         assert!(matches!(err, ServerError::UnknownList(_)));
     }
 
     #[test]
     fn invalid_url_errors() {
         let server = server_with_list();
-        let err = server.blacklist_url("goog-malware-shavar", "   ").unwrap_err();
+        let err = server
+            .blacklist_url("goog-malware-shavar", "   ")
+            .unwrap_err();
         assert!(matches!(err, ServerError::InvalidUrl(_)));
     }
 
@@ -394,20 +437,24 @@ mod tests {
             .blacklist_expressions("goog-malware-shavar", ["c.example/"])
             .unwrap();
 
-        let all = server.update(&UpdateRequest {
-            lists: vec![("goog-malware-shavar".into(), ClientListState::default())],
-        });
+        let all = server
+            .update(&UpdateRequest {
+                lists: vec![("goog-malware-shavar".into(), ClientListState::default())],
+            })
+            .unwrap();
         assert_eq!(all.chunks.len(), 2);
 
-        let partial = server.update(&UpdateRequest {
-            lists: vec![(
-                "goog-malware-shavar".into(),
-                ClientListState {
-                    max_add_chunk: 1,
-                    max_sub_chunk: 0,
-                },
-            )],
-        });
+        let partial = server
+            .update(&UpdateRequest {
+                lists: vec![(
+                    "goog-malware-shavar".into(),
+                    ClientListState {
+                        max_add_chunk: 1,
+                        max_sub_chunk: 0,
+                    },
+                )],
+            })
+            .unwrap();
         assert_eq!(partial.chunks.len(), 1);
         assert_eq!(partial.chunks[0].number, 2);
         assert!(partial.next_update_seconds > 0);
@@ -416,18 +463,20 @@ mod tests {
     #[test]
     fn sub_chunks_remove_prefixes() {
         let server = server_with_list();
-        let digest = server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
+        let digest = server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
         let removed = server
             .remove_prefixes("goog-malware-shavar", vec![digest.prefix32()])
             .unwrap();
         assert_eq!(removed, 1);
-        let snapshot = server
-            .list_snapshot(&"goog-malware-shavar".into())
-            .unwrap();
+        let snapshot = server.list_snapshot(&"goog-malware-shavar".into()).unwrap();
         assert!(snapshot.is_empty());
-        let update = server.update(&UpdateRequest {
-            lists: vec![("goog-malware-shavar".into(), ClientListState::default())],
-        });
+        let update = server
+            .update(&UpdateRequest {
+                lists: vec![("goog-malware-shavar".into(), ClientListState::default())],
+            })
+            .unwrap();
         assert!(update.chunks.iter().any(|c| c.kind == ChunkKind::Sub));
     }
 
@@ -435,12 +484,16 @@ mod tests {
     fn injected_prefixes_are_orphans() {
         let server = server_with_list();
         let orphan = Prefix::from_u32(0x1234_5678);
-        server.inject_prefixes("goog-malware-shavar", vec![orphan]).unwrap();
+        server
+            .inject_prefixes("goog-malware-shavar", vec![orphan])
+            .unwrap();
         let snapshot = server.list_snapshot(&"goog-malware-shavar".into()).unwrap();
         assert!(snapshot.contains_prefix(&orphan));
         assert_eq!(snapshot.prefix_digest_histogram().orphans, 1);
         // Full-hash request on the orphan returns nothing.
-        let resp = server.full_hashes(&FullHashRequest::new(vec![orphan]));
+        let resp = server
+            .full_hashes(&FullHashRequest::new(vec![orphan]))
+            .unwrap();
         assert!(resp.entries.is_empty());
     }
 
@@ -448,10 +501,12 @@ mod tests {
     fn query_log_records_cookie_and_prefixes() {
         let server = server_with_list();
         let cookie = ClientCookie::new(99);
-        server.full_hashes(
-            &FullHashRequest::new(vec![prefix32("a.example/"), prefix32("a.example/x")])
-                .with_cookie(cookie),
-        );
+        server
+            .full_hashes(
+                &FullHashRequest::new(vec![prefix32("a.example/"), prefix32("a.example/x")])
+                    .with_cookie(cookie),
+            )
+            .unwrap();
         let log = server.query_log();
         assert_eq!(log.len(), 1);
         assert_eq!(log.requests()[0].cookie, Some(cookie));
@@ -462,19 +517,85 @@ mod tests {
     }
 
     #[test]
+    fn update_for_an_unknown_list_is_a_service_error() {
+        let server = server_with_list();
+        let err = server
+            .update(&UpdateRequest {
+                lists: vec![("ghost-shavar".into(), ClientListState::default())],
+            })
+            .unwrap_err();
+        assert_eq!(err, ServiceError::ListUnknown("ghost-shavar".into()));
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn empty_full_hash_request_is_malformed_and_unlogged() {
+        let server = server_with_list();
+        let requests = [
+            FullHashRequest::new(vec![prefix32("a.example/")]),
+            FullHashRequest::new(Vec::new()),
+        ];
+        let err = server.full_hashes_batch(&requests).unwrap_err();
+        assert!(matches!(err, ServiceError::MalformedRequest { .. }));
+        // A rejected batch leaves no trace in the query log.
+        assert!(server.query_log().is_empty());
+    }
+
+    #[test]
+    fn batch_responses_preserve_request_order_and_log_each_request() {
+        let server = server_with_list();
+        let hit = server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        let requests = [
+            FullHashRequest::new(vec![prefix32("miss-one.example/")]),
+            FullHashRequest::new(vec![hit.prefix32()]),
+            FullHashRequest::new(vec![prefix32("miss-two.example/")]),
+        ];
+        let responses = server.full_hashes_batch(&requests).unwrap();
+        assert_eq!(responses.len(), 3);
+        assert!(responses[0].entries.is_empty());
+        assert!(responses[1].contains_digest(&hit));
+        assert!(responses[2].entries.is_empty());
+        // One log line per request, timestamped in order.
+        let log = server.query_log();
+        assert_eq!(log.len(), 3);
+        let timestamps: Vec<u64> = log.requests().iter().map(|r| r.timestamp).collect();
+        assert_eq!(timestamps, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let server = server_with_list();
+        let responses = server.full_hashes_batch(&[]).unwrap();
+        assert!(responses.is_empty());
+        assert!(server.query_log().is_empty());
+    }
+
+    #[test]
     fn total_prefixes_counts_all_lists() {
         let server = SafeBrowsingServer::with_standard_lists(Provider::Google);
-        server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
-        server.blacklist_url("googpub-phish-shavar", "http://phish.example/").unwrap();
+        server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        server
+            .blacklist_url("googpub-phish-shavar", "http://phish.example/")
+            .unwrap();
         assert_eq!(server.total_prefixes(), 2);
     }
 
     #[test]
     fn multiple_lists_can_match_one_prefix() {
         let server = SafeBrowsingServer::with_standard_lists(Provider::Yandex);
-        server.blacklist_url("ydx-malware-shavar", "http://dual.example/").unwrap();
-        server.blacklist_url("ydx-porno-hosts-top-shavar", "http://dual.example/").unwrap();
-        let resp = server.full_hashes(&FullHashRequest::new(vec![prefix32("dual.example/")]));
+        server
+            .blacklist_url("ydx-malware-shavar", "http://dual.example/")
+            .unwrap();
+        server
+            .blacklist_url("ydx-porno-hosts-top-shavar", "http://dual.example/")
+            .unwrap();
+        let resp = server
+            .full_hashes(&FullHashRequest::new(vec![prefix32("dual.example/")]))
+            .unwrap();
         assert_eq!(resp.entries.len(), 2);
         let lists: Vec<String> = resp.entries.iter().map(|e| e.list.to_string()).collect();
         assert!(lists.contains(&"ydx-malware-shavar".to_string()));

@@ -171,17 +171,16 @@ mod tests {
     use sb_hash::{digest_url, prefix32};
 
     fn sample(n: usize) -> Vec<Prefix> {
-        (0..n).map(|i| digest_url(&format!("host{i}.example/")).prefix32()).collect()
+        (0..n)
+            .map(|i| digest_url(&format!("host{i}.example/")).prefix32())
+            .collect()
     }
 
     #[test]
     fn no_false_negatives() {
         let prefixes = sample(10_000);
-        let filter = BloomFilter::from_prefixes_with_size(
-            PrefixLen::L32,
-            1024 * 1024,
-            prefixes.clone(),
-        );
+        let filter =
+            BloomFilter::from_prefixes_with_size(PrefixLen::L32, 1024 * 1024, prefixes.clone());
         for p in &prefixes {
             assert!(filter.contains(p));
         }
@@ -210,8 +209,7 @@ mod tests {
 
     #[test]
     fn small_filter_with_few_items_rejects_most_probes() {
-        let filter =
-            BloomFilter::from_prefixes_with_size(PrefixLen::L32, 64 * 1024, sample(100));
+        let filter = BloomFilter::from_prefixes_with_size(PrefixLen::L32, 64 * 1024, sample(100));
         let mut fp = 0;
         for i in 0..10_000 {
             if filter.contains(&prefix32(&format!("probe{i}.org/"))) {
@@ -224,10 +222,10 @@ mod tests {
     #[test]
     fn memory_is_constant_in_prefix_length() {
         for len in [PrefixLen::L32, PrefixLen::L64, PrefixLen::L256] {
-            let prefixes: Vec<Prefix> =
-                (0..1000).map(|i| digest_url(&format!("h{i}/")).prefix(len)).collect();
-            let filter =
-                BloomFilter::from_prefixes_with_size(len, 3 * 1024 * 1024, prefixes);
+            let prefixes: Vec<Prefix> = (0..1000)
+                .map(|i| digest_url(&format!("h{i}/")).prefix(len))
+                .collect();
+            let filter = BloomFilter::from_prefixes_with_size(len, 3 * 1024 * 1024, prefixes);
             assert_eq!(filter.memory_bytes(), 3 * 1024 * 1024);
         }
     }
@@ -243,8 +241,7 @@ mod tests {
 
     #[test]
     fn wrong_length_query_is_false() {
-        let filter =
-            BloomFilter::from_prefixes_with_size(PrefixLen::L32, 1024, sample(10));
+        let filter = BloomFilter::from_prefixes_with_size(PrefixLen::L32, 1024, sample(10));
         let d = digest_url("host0.example/");
         assert!(filter.contains(&d.prefix32()));
         assert!(!filter.contains(&d.prefix(PrefixLen::L64)));

@@ -3,7 +3,9 @@
 //! Google replaced the client-side Bloom filter with a delta-coded table in
 //! 2012: the sorted 32-bit prefixes are split into runs, each run starting
 //! with a full 32-bit anchor followed by 16-bit deltas to the next values.
-//! A new run is started whenever a delta would overflow 16 bits.  For the
+//! A new run is started whenever a delta would overflow 16 bits, and — as
+//! in Chromium — after [`MAX_RUN`] deltas, so lookups stay a binary search
+//! plus a short bounded walk even for dense tables.  For the
 //! longer prefixes evaluated in Table 2, only the leading 32 bits are
 //! delta-coded and the remaining bytes are stored verbatim in a side array,
 //! which reproduces the paper's observation that the compression gain is
@@ -22,6 +24,14 @@ struct Anchor {
     value: u32,
     start_index: u32,
 }
+
+/// Maximum number of deltas per run (Chromium's `kMaxRun`).  Without this
+/// cap a dense table (average gap below 2¹⁶) collapses into one giant run
+/// and every lookup degenerates to a linear walk over the whole table; with
+/// it, a lookup is a binary search over anchors plus at most `MAX_RUN`
+/// delta additions, at a memory cost of one extra 8-byte anchor per
+/// `MAX_RUN + 1` prefixes.
+const MAX_RUN: usize = 100;
 
 /// Delta-coded table of ℓ-bit prefixes.
 ///
@@ -87,23 +97,24 @@ impl DeltaCodedTable {
         let mut deltas = Vec::new();
         let mut suffixes = Vec::with_capacity(rows.len() * suffix_width);
         let mut prev_lead: Option<u32> = None;
+        let mut run_len = 0usize;
 
         for (i, row) in rows.iter().enumerate() {
             let lead = u32::from_be_bytes([row[0], row[1], row[2], row[3]]);
             match prev_lead {
-                Some(prev) if lead - prev <= u16::MAX as u32 && lead != prev => {
+                // Extend the run while the delta fits 16 bits (a zero delta
+                // encodes identical leading 32 bits, possible for long
+                // prefixes) and the run is below the cap.
+                Some(prev) if lead - prev <= u16::MAX as u32 && run_len < MAX_RUN => {
                     deltas.push((lead - prev) as u16);
-                }
-                Some(prev) if lead == prev => {
-                    // Same leading 32 bits (possible for long prefixes):
-                    // encode a zero delta.
-                    deltas.push(0);
+                    run_len += 1;
                 }
                 _ => {
                     anchors.push(Anchor {
                         value: lead,
                         start_index: i as u32,
                     });
+                    run_len = 0;
                 }
             }
             prev_lead = Some(lead);
@@ -194,14 +205,28 @@ impl PrefixStore for DeltaCodedTable {
         let suffix = &bytes[4..];
 
         // Find the last anchor with value <= lead.
-        let run = match self.anchors.binary_search_by(|a| a.value.cmp(&lead)) {
+        let mut run = match self.anchors.binary_search_by(|a| a.value.cmp(&lead)) {
             Ok(i) => i,
             Err(0) => return false,
             Err(i) => i - 1,
         };
-        // Runs with identical leading value can only arise from the first
-        // anchor of the table, so checking the located run is sufficient.
-        self.run_contains(run, lead, suffix)
+        // The run cap can split a group of identical leading values (long
+        // prefixes) across adjacent runs, so entries matching `lead` may
+        // start in an earlier run and continue into later ones.  Walk back
+        // to the first candidate run, then scan forward while anchors still
+        // allow a match; `run_contains` stops as soon as it passes `lead`.
+        while run > 0 && self.anchors[run].value == lead {
+            run -= 1;
+        }
+        loop {
+            if self.run_contains(run, lead, suffix) {
+                return true;
+            }
+            run += 1;
+            if run >= self.anchors.len() || self.anchors[run].value > lead {
+                return false;
+            }
+        }
     }
 
     fn memory_bytes(&self) -> usize {
@@ -245,7 +270,12 @@ mod tests {
 
     #[test]
     fn agrees_with_raw_table_on_membership() {
-        for len in [PrefixLen::L32, PrefixLen::L64, PrefixLen::L128, PrefixLen::L256] {
+        for len in [
+            PrefixLen::L32,
+            PrefixLen::L64,
+            PrefixLen::L128,
+            PrefixLen::L256,
+        ] {
             let prefixes = sample(2000, len);
             let delta = DeltaCodedTable::from_prefixes(len, prefixes.clone());
             let raw = RawPrefixTable::from_prefixes(len, prefixes);
@@ -255,7 +285,11 @@ mod tests {
             }
             for i in 0..500 {
                 let q = digest_url(&format!("absent{i}.org/")).prefix(len);
-                assert_eq!(delta.contains(&q), raw.contains(&q), "absent len={len} i={i}");
+                assert_eq!(
+                    delta.contains(&q),
+                    raw.contains(&q),
+                    "absent len={len} i={i}"
+                );
             }
         }
     }
@@ -269,7 +303,9 @@ mod tests {
         let mut state = 0x12345678u64;
         let prefixes: Vec<Prefix> = (0..300_000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 Prefix::from_u32((state >> 32) as u32)
             })
             .collect();
@@ -324,12 +360,50 @@ mod tests {
     fn adjacent_values_use_deltas() {
         let prefixes: Vec<Prefix> = (0u32..1000).map(|v| Prefix::from_u32(v * 10)).collect();
         let table = DeltaCodedTable::from_prefixes(PrefixLen::L32, prefixes.clone());
-        assert_eq!(table.anchor_count(), 1);
+        // One anchor per MAX_RUN + 1 entries: the cap bounds lookup cost.
+        assert_eq!(table.anchor_count(), 1000usize.div_ceil(MAX_RUN + 1));
         for p in &prefixes {
             assert!(table.contains(p));
         }
         assert!(!table.contains(&Prefix::from_u32(5)));
         assert!(!table.contains(&Prefix::from_u32(10_001)));
+    }
+
+    #[test]
+    fn dense_sets_stay_run_capped() {
+        // A dense set (every gap fits 16 bits) must not collapse into one
+        // giant run, or lookups degenerate into a linear scan of the table.
+        let prefixes: Vec<Prefix> = (0u32..100_000).map(|v| Prefix::from_u32(v * 100)).collect();
+        let table = DeltaCodedTable::from_prefixes(PrefixLen::L32, prefixes.clone());
+        assert!(table.anchor_count() >= 100_000 / (MAX_RUN + 1));
+        for p in prefixes.iter().step_by(997) {
+            assert!(table.contains(p));
+        }
+        assert!(!table.contains(&Prefix::from_u32(50)));
+    }
+
+    #[test]
+    fn equal_leads_split_across_runs_are_still_found() {
+        // More than MAX_RUN long prefixes sharing the same leading 32 bits
+        // force the cap to split the equal-lead group across several runs;
+        // membership must still be answered across the split.
+        let mut bytes = [0u8; 32];
+        bytes[..4].copy_from_slice(&0xAABB_CCDDu32.to_be_bytes());
+        let prefixes: Vec<Prefix> = (0..(3 * MAX_RUN as u32))
+            .map(|i| {
+                let mut b = bytes;
+                b[4..8].copy_from_slice(&i.to_be_bytes());
+                Prefix::from_bytes(&b, PrefixLen::L256)
+            })
+            .collect();
+        let table = DeltaCodedTable::from_prefixes(PrefixLen::L256, prefixes.clone());
+        assert!(table.anchor_count() >= 2);
+        for p in &prefixes {
+            assert!(table.contains(p));
+        }
+        let mut absent = bytes;
+        absent[4..8].copy_from_slice(&(4 * MAX_RUN as u32).to_be_bytes());
+        assert!(!table.contains(&Prefix::from_bytes(&absent, PrefixLen::L256)));
     }
 
     #[test]
@@ -351,7 +425,10 @@ mod tests {
 
     #[test]
     fn boundary_gap_of_exactly_u16_max_is_a_delta() {
-        let prefixes = vec![Prefix::from_u32(100), Prefix::from_u32(100 + u16::MAX as u32)];
+        let prefixes = vec![
+            Prefix::from_u32(100),
+            Prefix::from_u32(100 + u16::MAX as u32),
+        ];
         let table = DeltaCodedTable::from_prefixes(PrefixLen::L32, prefixes.clone());
         assert_eq!(table.anchor_count(), 1);
         for p in &prefixes {

@@ -52,9 +52,7 @@ pub fn build_store(
 ) -> Box<dyn PrefixStore> {
     match backend {
         StoreBackend::Raw => Box::new(RawPrefixTable::from_prefixes(prefix_len, prefixes)),
-        StoreBackend::DeltaCoded => {
-            Box::new(DeltaCodedTable::from_prefixes(prefix_len, prefixes))
-        }
+        StoreBackend::DeltaCoded => Box::new(DeltaCodedTable::from_prefixes(prefix_len, prefixes)),
         StoreBackend::Bloom => Box::new(BloomFilter::from_prefixes_with_size(
             prefix_len,
             DEFAULT_BLOOM_BYTES,
@@ -73,7 +71,11 @@ mod tests {
         let prefixes: Vec<Prefix> = (0..100)
             .map(|i| prefix32(&format!("host{i}.example/")))
             .collect();
-        for backend in [StoreBackend::Raw, StoreBackend::DeltaCoded, StoreBackend::Bloom] {
+        for backend in [
+            StoreBackend::Raw,
+            StoreBackend::DeltaCoded,
+            StoreBackend::Bloom,
+        ] {
             let store = build_store(backend, PrefixLen::L32, prefixes.iter().copied());
             assert_eq!(store.len(), 100, "{backend}");
             for p in &prefixes {
@@ -87,8 +89,16 @@ mod tests {
     fn exact_backends_have_zero_intrinsic_fp() {
         let prefixes: Vec<Prefix> = (0..10).map(|i| prefix32(&i.to_string())).collect();
         let raw = build_store(StoreBackend::Raw, PrefixLen::L32, prefixes.iter().copied());
-        let delta = build_store(StoreBackend::DeltaCoded, PrefixLen::L32, prefixes.iter().copied());
-        let bloom = build_store(StoreBackend::Bloom, PrefixLen::L32, prefixes.iter().copied());
+        let delta = build_store(
+            StoreBackend::DeltaCoded,
+            PrefixLen::L32,
+            prefixes.iter().copied(),
+        );
+        let bloom = build_store(
+            StoreBackend::Bloom,
+            PrefixLen::L32,
+            prefixes.iter().copied(),
+        );
         assert_eq!(raw.intrinsic_false_positive_rate(), 0.0);
         assert_eq!(delta.intrinsic_false_positive_rate(), 0.0);
         assert!(bloom.intrinsic_false_positive_rate() >= 0.0);

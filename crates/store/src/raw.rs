@@ -124,7 +124,9 @@ mod tests {
     use sb_hash::{digest_url, prefix32};
 
     fn sample(n: usize) -> Vec<Prefix> {
-        (0..n).map(|i| digest_url(&format!("host{i}.example/")).prefix32()).collect()
+        (0..n)
+            .map(|i| digest_url(&format!("host{i}.example/")).prefix32())
+            .collect()
     }
 
     #[test]
@@ -161,8 +163,9 @@ mod tests {
     #[test]
     fn memory_is_len_times_width() {
         for len in [PrefixLen::L32, PrefixLen::L64, PrefixLen::L256] {
-            let prefixes: Vec<Prefix> =
-                (0..500).map(|i| digest_url(&format!("h{i}/")).prefix(len)).collect();
+            let prefixes: Vec<Prefix> = (0..500)
+                .map(|i| digest_url(&format!("h{i}/")).prefix(len))
+                .collect();
             let table = RawPrefixTable::from_prefixes(len, prefixes);
             assert_eq!(table.memory_bytes(), table.len() * len.bytes());
         }

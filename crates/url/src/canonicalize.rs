@@ -191,7 +191,11 @@ fn canonicalize_host(host: &str) -> String {
 /// octal, hexadecimal or as a single 32-bit integer, and normalizes it to
 /// dotted decimal.  Returns `None` for DNS names.
 fn parse_ip(host: &str) -> Option<String> {
-    if host.is_empty() || host.chars().any(|c| !(c.is_ascii_hexdigit() || c == '.' || c == 'x' || c == 'X')) {
+    if host.is_empty()
+        || host
+            .chars()
+            .any(|c| !(c.is_ascii_hexdigit() || c == '.' || c == 'x' || c == 'X'))
+    {
         return None;
     }
     let parts: Vec<&str> = host.split('.').collect();
@@ -218,7 +222,10 @@ fn parse_ip(host: &str) -> Option<String> {
     }
     let last_bytes = last.to_be_bytes();
     bytes[n - 1..].copy_from_slice(&last_bytes[8 - remaining..]);
-    Some(format!("{}.{}.{}.{}", bytes[0], bytes[1], bytes[2], bytes[3]))
+    Some(format!(
+        "{}.{}.{}.{}",
+        bytes[0], bytes[1], bytes[2], bytes[3]
+    ))
 }
 
 fn parse_ip_component(p: &str) -> Option<u64> {
@@ -236,16 +243,22 @@ fn parse_ip_component(p: &str) -> Option<u64> {
 fn looks_like_ipv4(host: &str) -> bool {
     let parts: Vec<&str> = host.split('.').collect();
     parts.len() == 4
-        && parts
-            .iter()
-            .all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()) && p.parse::<u16>().map(|v| v <= 255).unwrap_or(false))
+        && parts.iter().all(|p| {
+            !p.is_empty()
+                && p.chars().all(|c| c.is_ascii_digit())
+                && p.parse::<u16>().map(|v| v <= 255).unwrap_or(false)
+        })
 }
 
 /// Canonicalizes a path: unescape, resolve `.` and `..`, collapse duplicate
 /// slashes, re-escape.
 fn canonicalize_path(path: &str) -> String {
     let p = unescape_repeated(path);
-    let p = if p.starts_with('/') { p } else { format!("/{p}") };
+    let p = if p.starts_with('/') {
+        p
+    } else {
+        format!("/{p}")
+    };
 
     let ends_with_slash = p.ends_with('/') || p.ends_with("/.") || p.ends_with("/..");
     let mut segments: Vec<&str> = Vec::new();

@@ -268,7 +268,7 @@ mod tests {
     fn trailing_slash_directory_counts_as_its_own_prefix() {
         assert_eq!(
             path_candidates("/2016/", None),
-            ["/2016/", "/", ] // "/2016/" dedups with the intermediate candidate
+            ["/2016/", "/",] // "/2016/" dedups with the intermediate candidate
         );
     }
 

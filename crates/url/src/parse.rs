@@ -105,18 +105,13 @@ impl RawUrl {
         };
 
         // Authority boundary: first '/', '?' or end.
-        let authority_end = rest
-            .find(|c| c == '/' || c == '?')
-            .unwrap_or(rest.len());
+        let authority_end = rest.find(['/', '?']).unwrap_or(rest.len());
         let authority = &rest[..authority_end];
         let after_authority = &rest[authority_end..];
 
         // Userinfo.
         let (userinfo, hostport) = match authority.rfind('@') {
-            Some(pos) => (
-                Some(authority[..pos].to_string()),
-                &authority[pos + 1..],
-            ),
+            Some(pos) => (Some(authority[..pos].to_string()), &authority[pos + 1..]),
             None => (None, authority),
         };
 
@@ -150,7 +145,11 @@ impl RawUrl {
             ),
             None => (after_authority.to_string(), None),
         };
-        let path = if path.is_empty() { "/".to_string() } else { path };
+        let path = if path.is_empty() {
+            "/".to_string()
+        } else {
+            path
+        };
 
         Ok(RawUrl {
             scheme,
@@ -253,7 +252,10 @@ mod tests {
 
     #[test]
     fn missing_host() {
-        assert_eq!(RawUrl::parse("http:///path"), Err(ParseUrlError::MissingHost));
+        assert_eq!(
+            RawUrl::parse("http:///path"),
+            Err(ParseUrlError::MissingHost)
+        );
     }
 
     #[test]

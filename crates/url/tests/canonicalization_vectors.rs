@@ -5,7 +5,9 @@
 use sb_url::CanonicalUrl;
 
 fn canon(url: &str) -> String {
-    CanonicalUrl::parse(url).expect("vector should parse").expression()
+    CanonicalUrl::parse(url)
+        .expect("vector should parse")
+        .expression()
 }
 
 #[test]
@@ -58,7 +60,10 @@ fn ip_address_forms() {
     assert_eq!(canon("http://3279880203/blah"), "195.127.0.11/blah");
     assert_eq!(canon("http://0x7f.0.0.1/"), "127.0.0.1/");
     assert_eq!(canon("http://010.010.010.010/"), "8.8.8.8/");
-    assert_eq!(canon("http://192.168.0.1/index.html"), "192.168.0.1/index.html");
+    assert_eq!(
+        canon("http://192.168.0.1/index.html"),
+        "192.168.0.1/index.html"
+    );
 }
 
 #[test]
@@ -83,5 +88,8 @@ fn digit_only_labels_are_not_confused_with_ips() {
 fn whitespace_and_control_characters() {
     assert_eq!(canon("   http://www.google.com/   "), "www.google.com/");
     assert_eq!(canon("http://www.goo\tgle.com/"), "www.google.com/");
-    assert_eq!(canon("http://www.google.com/foo\tbar\rbaz\n2"), "www.google.com/foobarbaz2");
+    assert_eq!(
+        canon("http://www.google.com/foo\tbar\rbaz\n2"),
+        "www.google.com/foobarbaz2"
+    );
 }

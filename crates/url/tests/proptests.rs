@@ -10,8 +10,11 @@ fn host_strategy() -> impl Strategy<Value = String> {
 
 /// Strategy generating plausible paths (0-7 segments, optional trailing slash).
 fn path_strategy() -> impl Strategy<Value = String> {
-    (prop::collection::vec("[a-zA-Z0-9_.-]{1,8}", 0..7), any::<bool>()).prop_map(
-        |(segs, trailing)| {
+    (
+        prop::collection::vec("[a-zA-Z0-9_.-]{1,8}", 0..7),
+        any::<bool>(),
+    )
+        .prop_map(|(segs, trailing)| {
             if segs.is_empty() {
                 "/".to_string()
             } else {
@@ -21,8 +24,7 @@ fn path_strategy() -> impl Strategy<Value = String> {
                 }
                 p
             }
-        },
-    )
+        })
 }
 
 fn query_strategy() -> impl Strategy<Value = Option<String>> {

@@ -22,22 +22,32 @@ fn main() {
     let server = SafeBrowsingServer::with_standard_lists(Provider::Yandex);
 
     // Malware entries: some from a "known feed", some unknown to the analyst.
-    let known_malware: Vec<String> =
-        (0..300).map(|i| format!("malware-host{i}.example/")).collect();
-    let unknown_malware: Vec<String> =
-        (0..700).map(|i| format!("obscure-malware{i}.test/dropper.exe")).collect();
+    let known_malware: Vec<String> = (0..300)
+        .map(|i| format!("malware-host{i}.example/"))
+        .collect();
+    let unknown_malware: Vec<String> = (0..700)
+        .map(|i| format!("obscure-malware{i}.test/dropper.exe"))
+        .collect();
     server
         .blacklist_expressions(
             "ydx-malware-shavar",
-            known_malware.iter().chain(&unknown_malware).map(String::as_str),
+            known_malware
+                .iter()
+                .chain(&unknown_malware)
+                .map(String::as_str),
         )
         .unwrap();
 
     // Pornography hosts: mostly guessable domain roots (the paper recovered
     // 55 % of this list from a domain dictionary).
-    let porn_hosts: Vec<String> = (0..200).map(|i| format!("adult-site{i}.example/")).collect();
+    let porn_hosts: Vec<String> = (0..200)
+        .map(|i| format!("adult-site{i}.example/"))
+        .collect();
     server
-        .blacklist_expressions("ydx-porno-hosts-top-shavar", porn_hosts.iter().map(String::as_str))
+        .blacklist_expressions(
+            "ydx-porno-hosts-top-shavar",
+            porn_hosts.iter().map(String::as_str),
+        )
         .unwrap();
 
     // Orphan prefixes: entries with no corresponding full digest, as found
@@ -48,7 +58,9 @@ fn main() {
     server
         .inject_prefixes(
             "ydx-phish-shavar",
-            vec![safe_browsing_privacy::hash::prefix32("popular-portal0.example/")],
+            vec![safe_browsing_privacy::hash::prefix32(
+                "popular-portal0.example/",
+            )],
         )
         .unwrap();
 
@@ -57,21 +69,23 @@ fn main() {
     server
         .blacklist_expressions(
             "ydx-porno-hosts-top-shavar",
-            ["fr.adult-videos.example/", "nl.adult-videos.example/", "adult-videos.example/"],
+            [
+                "fr.adult-videos.example/",
+                "nl.adult-videos.example/",
+                "adult-videos.example/",
+            ],
         )
         .unwrap();
 
     // ---- the analyst's reference corpus (an Alexa-like crawl) ---------------
-    let mut sites = vec![
-        HostSite::new(
-            "adult-videos.example",
-            vec![
-                "fr.adult-videos.example/user/video".to_string(),
-                "nl.adult-videos.example/user/video".to_string(),
-                "adult-videos.example/".to_string(),
-            ],
-        ),
-    ];
+    let mut sites = vec![HostSite::new(
+        "adult-videos.example",
+        vec![
+            "fr.adult-videos.example/user/video".to_string(),
+            "nl.adult-videos.example/user/video".to_string(),
+            "adult-videos.example/".to_string(),
+        ],
+    )];
     for i in 0..50 {
         sites.push(HostSite::new(
             format!("popular-portal{i}.example"),
@@ -86,14 +100,24 @@ fn main() {
     // ---- 1. inversion (Tables 9–10) -----------------------------------------
     println!("== blacklist inversion ==");
     let malware_list = server.list_snapshot(&"ydx-malware-shavar".into()).unwrap();
-    let porn_list = server.list_snapshot(&"ydx-porno-hosts-top-shavar".into()).unwrap();
+    let porn_list = server
+        .list_snapshot(&"ydx-porno-hosts-top-shavar".into())
+        .unwrap();
 
     let feed = Dictionary::new("harvested malware feed", known_malware.clone());
     let domain_census = Dictionary::new(
         "domain census",
-        porn_hosts.iter().take(120).cloned().chain(known_malware.iter().take(50).cloned()).collect(),
+        porn_hosts
+            .iter()
+            .take(120)
+            .cloned()
+            .chain(known_malware.iter().take(50).cloned())
+            .collect(),
     );
-    for (list, dicts) in [(&malware_list, [&feed, &domain_census]), (&porn_list, [&feed, &domain_census])] {
+    for (list, dicts) in [
+        (&malware_list, [&feed, &domain_census]),
+        (&porn_list, [&feed, &domain_census]),
+    ] {
         for dict in dicts {
             let result = invert_blacklist(list, dict);
             println!(
@@ -109,7 +133,11 @@ fn main() {
 
     // ---- 2. orphan audit (Table 11) ------------------------------------------
     println!("\n== orphan prefixes ==");
-    for name in ["ydx-malware-shavar", "ydx-phish-shavar", "ydx-porno-hosts-top-shavar"] {
+    for name in [
+        "ydx-malware-shavar",
+        "ydx-phish-shavar",
+        "ydx-porno-hosts-top-shavar",
+    ] {
         let list = server.list_snapshot(&name.into()).unwrap();
         let report = audit_orphans(&list, &alexa_like);
         println!(

@@ -15,7 +15,7 @@ fn main() {
     // A provider whose database contains a mix of legitimate blacklisting
     // (an exact malicious URL) and tracking-style entries (a benign domain
     // root plus one of its pages).
-    let server = SafeBrowsingServer::new(Provider::Google);
+    let server = std::sync::Arc::new(SafeBrowsingServer::new(Provider::Google));
     server.create_list("goog-malware-shavar", ThreatCategory::Malware);
     server
         .blacklist_expressions(
@@ -28,9 +28,11 @@ fn main() {
         )
         .unwrap();
 
-    let mut browser =
-        SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
-    browser.update(&server);
+    let mut browser = SafeBrowsingClient::in_process(
+        ClientConfig::subscribed_to(["goog-malware-shavar"]),
+        server.clone(),
+    );
+    browser.update().expect("provider reachable");
 
     // The advisor knows (a slice of) the web, like the provider does.
     let index = ReidentificationIndex::build(&WebCorpus::from_sites(

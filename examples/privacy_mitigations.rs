@@ -37,7 +37,11 @@ fn main() {
             requests,
             prefixes,
             dummies,
-            if tracked { "re-identified" } else { "not tracked" }
+            if tracked {
+                "re-identified"
+            } else {
+                "not tracked"
+            }
         );
     }
 
@@ -53,26 +57,31 @@ fn main() {
 /// returns (requests seen by the provider, prefixes revealed, dummy
 /// prefixes, whether the tracking system identified the visit).
 fn run_scenario(policy: MitigationPolicy) -> (usize, usize, usize, bool) {
-    let server = SafeBrowsingServer::new(Provider::Google);
+    let server = std::sync::Arc::new(SafeBrowsingServer::new(Provider::Google));
     server.create_list("goog-malware-shavar", ThreatCategory::Malware);
 
     // The provider deploys a tracking campaign against the CFP page.
     let mut campaign = TrackingSystem::new();
     campaign.add_target(
-        tracking_prefixes("https://petsymposium.org/2016/cfp.php", PETS_URLS.iter().copied(), 4)
-            .unwrap(),
+        tracking_prefixes(
+            "https://petsymposium.org/2016/cfp.php",
+            PETS_URLS.iter().copied(),
+            4,
+        )
+        .unwrap(),
     );
     campaign.deploy(&server, "goog-malware-shavar").unwrap();
 
     // The victim browses with the given mitigation enabled.
-    let mut victim = SafeBrowsingClient::new(
+    let mut victim = SafeBrowsingClient::in_process(
         ClientConfig::subscribed_to(["goog-malware-shavar"])
             .with_cookie(ClientCookie::new(1))
             .with_mitigation(policy),
+        server.clone(),
     );
-    victim.update(&server);
+    victim.update().expect("provider reachable");
     victim
-        .check_url("https://petsymposium.org/2016/cfp.php", &server)
+        .check_url("https://petsymposium.org/2016/cfp.php")
         .unwrap();
 
     let log = server.query_log();

@@ -5,6 +5,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+use std::sync::Arc;
+
 use safe_browsing_privacy::client::{ClientConfig, LookupOutcome, SafeBrowsingClient};
 use safe_browsing_privacy::protocol::{ClientCookie, Provider};
 use safe_browsing_privacy::server::SafeBrowsingServer;
@@ -12,9 +14,12 @@ use safe_browsing_privacy::server::SafeBrowsingServer;
 fn main() {
     // ---- provider side -----------------------------------------------------
     // A Google-like provider with its published list inventory (Table 1).
-    let server = SafeBrowsingServer::with_standard_lists(Provider::Google);
+    let server = Arc::new(SafeBrowsingServer::with_standard_lists(Provider::Google));
     server
-        .blacklist_url("goog-malware-shavar", "http://evil.example/drive-by/exploit.html")
+        .blacklist_url(
+            "goog-malware-shavar",
+            "http://evil.example/drive-by/exploit.html",
+        )
         .expect("list exists");
     server
         .blacklist_url("goog-malware-shavar", "http://malware-domain.example/")
@@ -23,15 +28,21 @@ fn main() {
         .blacklist_url("googpub-phish-shavar", "http://phishing.example/login.php")
         .expect("list exists");
 
-    println!("provider: {} lists, {} prefixes total", server.list_names().len(), server.total_prefixes());
+    println!(
+        "provider: {} lists, {} prefixes total",
+        server.list_names().len(),
+        server.total_prefixes()
+    );
 
     // ---- client side -------------------------------------------------------
     // A browser-embedded client: delta-coded local database, SB cookie.
-    let mut browser = SafeBrowsingClient::new(
+    // The browser owns an in-process transport handle to the provider.
+    let mut browser = SafeBrowsingClient::in_process(
         ClientConfig::subscribed_to(["goog-malware-shavar", "googpub-phish-shavar"])
             .with_cookie(ClientCookie::new(0xC0FFEE)),
+        server.clone(),
     );
-    let chunks = browser.update(&server);
+    let chunks = browser.update().expect("provider reachable");
     println!(
         "client: applied {chunks} chunks, {} prefixes, {} bytes of local database\n",
         browser.database_prefix_count(),
@@ -46,7 +57,9 @@ fn main() {
         "https://petsymposium.org/2016/cfp.php",     // benign
     ];
     for url in urls {
-        let outcome = browser.check_url(url, &server).expect("valid URL");
+        let outcome = browser
+            .check_url(url)
+            .expect("valid URL and provider reachable");
         let verdict = match &outcome {
             LookupOutcome::Safe => "SAFE (resolved locally, nothing sent)".to_string(),
             LookupOutcome::SafeAfterConfirmation { .. } => {
@@ -64,6 +77,22 @@ fn main() {
         println!("{url}\n  -> {verdict}");
     }
 
+    // ---- batched lookups -----------------------------------------------------
+    // A page load with many subresources checks them in one batch: every
+    // uncached local hit across the batch is coalesced into a single
+    // full-hash round trip.
+    browser.clear_cache();
+    let before = browser.metrics().requests_sent;
+    let outcomes = browser
+        .check_urls(&urls)
+        .expect("valid URLs and provider reachable");
+    println!(
+        "\nbatched re-check of all {} URLs: {} malicious, {} full-hash round trip(s)",
+        outcomes.len(),
+        outcomes.iter().filter(|o| o.is_malicious()).count(),
+        browser.metrics().requests_sent - before
+    );
+
     // ---- what the provider learned ------------------------------------------
     let metrics = browser.metrics();
     println!(
@@ -76,7 +105,11 @@ fn main() {
             "  t={} cookie={:?} prefixes={:?}",
             request.timestamp,
             request.cookie.map(|c| c.to_string()),
-            request.prefixes.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+            request
+                .prefixes
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
         );
     }
 }

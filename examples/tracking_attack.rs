@@ -25,21 +25,29 @@ const PETS_URLS: &[&str] = &[
 
 fn main() {
     // ---- provider side: build and deploy the campaign ----------------------
-    let server = SafeBrowsingServer::new(Provider::Yandex);
+    let server = std::sync::Arc::new(SafeBrowsingServer::new(Provider::Yandex));
     server.create_list("ydx-malware-shavar", ThreatCategory::Malware);
 
     let mut campaign = TrackingSystem::new();
-    for target in ["https://petsymposium.org/2016/cfp.php", "https://petsymposium.org/2016/submission/"] {
+    for target in [
+        "https://petsymposium.org/2016/cfp.php",
+        "https://petsymposium.org/2016/submission/",
+    ] {
         let set = tracking_prefixes(target, PETS_URLS.iter().copied(), 4).expect("valid target");
         println!(
             "target {:40} precision: {:25} prefixes: {:?}",
             set.target,
             set.precision.to_string(),
-            set.prefixes.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+            set.prefixes
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
         );
         campaign.add_target(set);
     }
-    let injected = campaign.deploy(&server, "ydx-malware-shavar").expect("list exists");
+    let injected = campaign
+        .deploy(&server, "ydx-malware-shavar")
+        .expect("list exists");
     println!("deployed: {injected} tracking entries pushed into ydx-malware-shavar\n");
 
     // ---- client side: three users browse ------------------------------------
@@ -48,12 +56,20 @@ fn main() {
     let mut bystander = client(3, &server);
 
     // The prospective author reads the CFP and then the submission site.
-    author.check_url("https://petsymposium.org/2016/cfp.php", &server).unwrap();
-    author.check_url("https://petsymposium.org/2016/submission/", &server).unwrap();
+    author
+        .check_url("https://petsymposium.org/2016/cfp.php")
+        .unwrap();
+    author
+        .check_url("https://petsymposium.org/2016/submission/")
+        .unwrap();
     // The casual reader only opens the FAQ.
-    reader.check_url("https://petsymposium.org/2016/faqs.php", &server).unwrap();
+    reader
+        .check_url("https://petsymposium.org/2016/faqs.php")
+        .unwrap();
     // The bystander browses something unrelated.
-    bystander.check_url("https://news.example/today.html", &server).unwrap();
+    bystander
+        .check_url("https://news.example/today.html")
+        .unwrap();
 
     // ---- provider side: harvest the log -------------------------------------
     let log = server.query_log();
@@ -65,7 +81,9 @@ fn main() {
         println!(
             "  t={} cookie={} visited {} ({})",
             v.timestamp,
-            v.cookie.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+            v.cookie
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into()),
             v.target,
             v.precision
         );
@@ -96,7 +114,10 @@ fn main() {
         )],
     );
     let index = ReidentificationIndex::build(&corpus);
-    let observed = [prefix32("petsymposium.org/2016/cfp.php"), prefix32("petsymposium.org/")];
+    let observed = [
+        prefix32("petsymposium.org/2016/cfp.php"),
+        prefix32("petsymposium.org/"),
+    ];
     let reid = index.reidentify(&observed);
     println!(
         "\nre-identification of the observed prefix pair: {} candidate(s), URL = {:?}",
@@ -104,10 +125,11 @@ fn main() {
     );
 }
 
-fn client(id: u64, server: &SafeBrowsingServer) -> SafeBrowsingClient {
-    let mut c = SafeBrowsingClient::new(
+fn client(id: u64, server: &std::sync::Arc<SafeBrowsingServer>) -> SafeBrowsingClient {
+    let mut c = SafeBrowsingClient::in_process(
         ClientConfig::subscribed_to(["ydx-malware-shavar"]).with_cookie(ClientCookie::new(id)),
+        server.clone(),
     );
-    c.update(server);
+    c.update().expect("provider reachable");
     c
 }

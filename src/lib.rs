@@ -17,27 +17,51 @@
 //! | [`url`] | canonicalization and decomposition |
 //! | [`store`] | raw / delta-coded / Bloom prefix stores |
 //! | [`corpus`] | synthetic web corpus and its statistics |
-//! | [`protocol`] | lists, chunks, messages, cookies |
+//! | [`protocol`] | lists, chunks, fallible batched messages, cookies, `ServiceError` |
 //! | [`server`] | the simulated GSB/YSB provider |
-//! | [`client`] | the Safe Browsing client and mitigations |
+//! | [`client`] | the Safe Browsing client, its `Transport` layer and mitigations |
 //! | [`analysis`] | the privacy analysis itself |
+//!
+//! ## Architecture: clients own a transport
+//!
+//! A [`client::SafeBrowsingClient`] owns a boxed [`client::Transport`]
+//! handle to its provider instead of borrowing a server on every call.
+//! [`client::InProcessTransport`] wraps a shared
+//! [`server::SafeBrowsingServer`] for the in-process experiments, and
+//! [`client::SimulatedTransport`] layers deterministic faults
+//! ([`protocol::ServiceError`]) and latency on top of any other transport.
+//! Every provider exchange returns a `Result`, and
+//! [`client::SafeBrowsingClient::check_urls`] checks a whole batch of URLs
+//! with at most one full-hash round trip.
 //!
 //! ## Quick start
 //!
 //! ```
+//! use std::sync::Arc;
+//!
 //! use safe_browsing_privacy::client::{ClientConfig, SafeBrowsingClient};
 //! use safe_browsing_privacy::protocol::{Provider, ThreatCategory};
 //! use safe_browsing_privacy::server::SafeBrowsingServer;
 //!
-//! let server = SafeBrowsingServer::new(Provider::Google);
+//! let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
 //! server.create_list("goog-malware-shavar", ThreatCategory::Malware);
 //! server.blacklist_url("goog-malware-shavar", "http://evil.example/exploit").unwrap();
 //!
-//! let mut browser = SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
-//! browser.update(&server);
-//! assert!(browser.check_url("http://evil.example/exploit", &server).unwrap().is_malicious());
+//! // The browser owns its connection to the provider.
+//! let mut browser = SafeBrowsingClient::in_process(
+//!     ClientConfig::subscribed_to(["goog-malware-shavar"]),
+//!     server.clone(),
+//! );
+//! browser.update().unwrap();
+//! assert!(browser.check_url("http://evil.example/exploit").unwrap().is_malicious());
+//!
+//! // Batched lookups coalesce cache misses into one full-hash round trip.
+//! let outcomes = browser
+//!     .check_urls(&["http://evil.example/exploit", "http://benign.example/"])
+//!     .unwrap();
+//! assert!(outcomes[0].is_malicious());
+//! assert!(!outcomes[1].is_malicious());
 //! ```
-
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

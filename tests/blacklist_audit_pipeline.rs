@@ -43,7 +43,9 @@ fn domain_census_recovers_more_than_url_feeds() {
     let census = Dictionary::new("domain census", census_entries);
     let feed = Dictionary::new(
         "malware feed",
-        (0..5_000).map(|i| synthetic_expression("ydx-malware-shavar", i)).collect(),
+        (0..5_000)
+            .map(|i| synthetic_expression("ydx-malware-shavar", i))
+            .collect(),
     );
 
     let census_result = invert_blacklist(&porn, &census);

@@ -1,15 +1,19 @@
 //! End-to-end integration tests spanning the whole workspace: provider,
 //! client, protocol, stores and analysis working together.
 
+use std::sync::Arc;
+
 use safe_browsing_privacy::analysis::tracking::{tracking_prefixes, TrackingSystem};
-use safe_browsing_privacy::client::{ClientConfig, LookupOutcome, MitigationPolicy, SafeBrowsingClient};
+use safe_browsing_privacy::client::{
+    ClientConfig, LookupOutcome, MitigationPolicy, SafeBrowsingClient,
+};
 use safe_browsing_privacy::hash::prefix32;
 use safe_browsing_privacy::protocol::{ClientCookie, Provider, SafeBrowsingService, UpdateRequest};
 use safe_browsing_privacy::server::SafeBrowsingServer;
 use safe_browsing_privacy::store::StoreBackend;
 
-fn yandex_with_content() -> SafeBrowsingServer {
-    let server = SafeBrowsingServer::with_standard_lists(Provider::Yandex);
+fn yandex_with_content() -> Arc<SafeBrowsingServer> {
+    let server = Arc::new(SafeBrowsingServer::with_standard_lists(Provider::Yandex));
     server
         .blacklist_expressions(
             "ydx-malware-shavar",
@@ -34,35 +38,38 @@ fn yandex_with_content() -> SafeBrowsingServer {
 #[test]
 fn full_ecosystem_lookup_flow() {
     let server = yandex_with_content();
-    let mut client = SafeBrowsingClient::new(
+    let mut client = SafeBrowsingClient::in_process(
         ClientConfig::subscribed_to([
             "ydx-malware-shavar",
             "ydx-phish-shavar",
             "ydx-porno-hosts-top-shavar",
         ])
         .with_cookie(ClientCookie::new(42)),
+        server.clone(),
     );
-    client.update(&server);
+    client.update().unwrap();
     assert_eq!(client.database_prefix_count(), 5);
 
     // Domain-level blacklisting flags every URL on the domain.
     assert!(client
-        .check_url("http://malware-site.example/deep/page?x=1", &server)
+        .check_url("http://malware-site.example/deep/page?x=1")
         .unwrap()
         .is_malicious());
     // Exact-URL blacklisting flags only that URL.
     assert!(client
-        .check_url("http://infected.example/downloads/setup.exe", &server)
+        .check_url("http://infected.example/downloads/setup.exe")
         .unwrap()
         .is_malicious());
     assert!(!client
-        .check_url("http://infected.example/about.html", &server)
+        .check_url("http://infected.example/about.html")
         .unwrap()
         .is_malicious());
     // Benign URL: nothing sent at all.
     let before = server.query_log().len();
     assert_eq!(
-        client.check_url("http://wikipedia.example/wiki/Privacy", &server).unwrap(),
+        client
+            .check_url("http://wikipedia.example/wiki/Privacy")
+            .unwrap(),
         LookupOutcome::Safe
     );
     assert_eq!(server.query_log().len(), before);
@@ -79,19 +86,24 @@ fn all_store_backends_agree_on_verdicts() {
         "http://fr.adult.example/user/video",
     ];
     let mut verdicts: Vec<Vec<bool>> = Vec::new();
-    for backend in [StoreBackend::Raw, StoreBackend::DeltaCoded, StoreBackend::Bloom] {
-        let mut client = SafeBrowsingClient::new(
+    for backend in [
+        StoreBackend::Raw,
+        StoreBackend::DeltaCoded,
+        StoreBackend::Bloom,
+    ] {
+        let mut client = SafeBrowsingClient::in_process(
             ClientConfig::subscribed_to([
                 "ydx-malware-shavar",
                 "ydx-phish-shavar",
                 "ydx-porno-hosts-top-shavar",
             ])
             .with_backend(backend),
+            server.clone(),
         );
-        client.update(&server);
+        client.update().unwrap();
         verdicts.push(
             urls.iter()
-                .map(|u| client.check_url(u, &server).unwrap().is_malicious())
+                .map(|u| client.check_url(u).unwrap().is_malicious())
                 .collect(),
         );
     }
@@ -102,19 +114,21 @@ fn all_store_backends_agree_on_verdicts() {
 
 #[test]
 fn incremental_updates_and_removals_propagate() {
-    let server = SafeBrowsingServer::with_standard_lists(Provider::Google);
-    let mut client =
-        SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
-    client.update(&server);
+    let server = Arc::new(SafeBrowsingServer::with_standard_lists(Provider::Google));
+    let mut client = SafeBrowsingClient::in_process(
+        ClientConfig::subscribed_to(["goog-malware-shavar"]),
+        server.clone(),
+    );
+    client.update().unwrap();
     assert_eq!(client.database_prefix_count(), 0);
 
     // Add, propagate, verify.
     let digest = server
         .blacklist_url("goog-malware-shavar", "http://newly-found.example/")
         .unwrap();
-    client.update(&server);
+    client.update().unwrap();
     assert!(client
-        .check_url("http://newly-found.example/x", &server)
+        .check_url("http://newly-found.example/x")
         .unwrap()
         .is_malicious());
 
@@ -122,9 +136,9 @@ fn incremental_updates_and_removals_propagate() {
     server
         .remove_prefixes("goog-malware-shavar", vec![digest.prefix32()])
         .unwrap();
-    client.update(&server);
+    client.update().unwrap();
     assert!(!client
-        .check_url("http://newly-found.example/x", &server)
+        .check_url("http://newly-found.example/x")
         .unwrap()
         .is_malicious());
 }
@@ -132,22 +146,29 @@ fn incremental_updates_and_removals_propagate() {
 #[test]
 fn multi_prefix_requests_are_visible_in_the_provider_log() {
     let server = yandex_with_content();
-    let mut client = SafeBrowsingClient::new(
+    let mut client = SafeBrowsingClient::in_process(
         ClientConfig::subscribed_to(["ydx-porno-hosts-top-shavar"])
             .with_cookie(ClientCookie::new(7)),
+        server.clone(),
     );
-    client.update(&server);
+    client.update().unwrap();
     server.clear_query_log();
 
     // Both fr.adult.example/ and adult.example/ are blacklisted: a visit to
     // the French subdomain reveals two prefixes in one request — exactly the
     // Table 12 situation the paper flags as re-identifiable.
-    client.check_url("http://fr.adult.example/user/video", &server).unwrap();
+    client
+        .check_url("http://fr.adult.example/user/video")
+        .unwrap();
     let log = server.query_log();
     assert_eq!(log.len(), 1);
     assert_eq!(log.requests()[0].prefixes.len(), 2);
-    assert!(log.requests()[0].prefixes.contains(&prefix32("adult.example/")));
-    assert!(log.requests()[0].prefixes.contains(&prefix32("fr.adult.example/")));
+    assert!(log.requests()[0]
+        .prefixes
+        .contains(&prefix32("adult.example/")));
+    assert!(log.requests()[0]
+        .prefixes
+        .contains(&prefix32("fr.adult.example/")));
     assert_eq!(log.requests()[0].cookie, Some(ClientCookie::new(7)));
 }
 
@@ -163,7 +184,7 @@ fn tracking_campaign_with_mitigations_end_to_end() {
         (MitigationPolicy::DummyQueries { dummies: 5 }, true),
         (MitigationPolicy::OnePrefixAtATime, false),
     ] {
-        let server = SafeBrowsingServer::with_standard_lists(Provider::Google);
+        let server = Arc::new(SafeBrowsingServer::with_standard_lists(Provider::Google));
         let mut campaign = TrackingSystem::new();
         campaign.add_target(
             tracking_prefixes(
@@ -175,14 +196,15 @@ fn tracking_campaign_with_mitigations_end_to_end() {
         );
         campaign.deploy(&server, "goog-malware-shavar").unwrap();
 
-        let mut victim = SafeBrowsingClient::new(
+        let mut victim = SafeBrowsingClient::in_process(
             ClientConfig::subscribed_to(["goog-malware-shavar"])
                 .with_cookie(ClientCookie::new(1))
                 .with_mitigation(policy),
+            server.clone(),
         );
-        victim.update(&server);
+        victim.update().unwrap();
         victim
-            .check_url("https://petsymposium.org/2016/cfp.php", &server)
+            .check_url("https://petsymposium.org/2016/cfp.php")
             .unwrap();
 
         let tracked = !campaign.detect_visits(&server.query_log(), 2).is_empty();
@@ -193,22 +215,24 @@ fn tracking_campaign_with_mitigations_end_to_end() {
 #[test]
 fn update_protocol_is_idempotent_for_up_to_date_clients() {
     let server = yandex_with_content();
-    let mut client = SafeBrowsingClient::new(ClientConfig::subscribed_to(["ydx-malware-shavar"]));
-    client.update(&server);
+    let mut client = SafeBrowsingClient::in_process(
+        ClientConfig::subscribed_to(["ydx-malware-shavar"]),
+        server.clone(),
+    );
+    client.update().unwrap();
     // Direct protocol-level check: an up-to-date state gets no chunks.
     let request = UpdateRequest {
-        lists: vec![(
-            "ydx-malware-shavar".into(),
-            sb_protocol_state(&client),
-        )],
+        lists: vec![("ydx-malware-shavar".into(), sb_protocol_state(&client))],
     };
-    let response = server.update(&request);
+    let response = server.update(&request).unwrap();
     assert!(response.chunks.is_empty());
 }
 
 /// Helper extracting the client's chunk state for one list through the
 /// public update-request API.
-fn sb_protocol_state(client: &SafeBrowsingClient) -> safe_browsing_privacy::protocol::ClientListState {
+fn sb_protocol_state(
+    client: &SafeBrowsingClient,
+) -> safe_browsing_privacy::protocol::ClientListState {
     // The client exposes its state only through the request it would build;
     // rebuilding it here keeps the test at the public-API level.
     let _ = client;

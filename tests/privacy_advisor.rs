@@ -28,29 +28,43 @@ fn pets_corpus() -> WebCorpus {
 #[test]
 fn advisor_detects_a_tracking_campaign_before_anything_is_sent() {
     // The provider deploys Algorithm 1 against the CFP page.
-    let server = SafeBrowsingServer::with_standard_lists(Provider::Google);
+    let server = std::sync::Arc::new(SafeBrowsingServer::with_standard_lists(Provider::Google));
     let mut campaign = TrackingSystem::new();
     campaign.add_target(
-        tracking_prefixes("https://petsymposium.org/2016/cfp.php", PETS_URLS.iter().copied(), 4)
-            .unwrap(),
+        tracking_prefixes(
+            "https://petsymposium.org/2016/cfp.php",
+            PETS_URLS.iter().copied(),
+            4,
+        )
+        .unwrap(),
     );
     campaign.deploy(&server, "goog-malware-shavar").unwrap();
 
     // The user's browser syncs the (tampered) database.
-    let mut browser =
-        SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
-    browser.update(&server);
+    let mut browser = SafeBrowsingClient::in_process(
+        ClientConfig::subscribed_to(["goog-malware-shavar"]),
+        server.clone(),
+    );
+    browser.update().unwrap();
 
     let advisor = PrivacyAdvisor::with_index(ReidentificationIndex::build(&pets_corpus()));
 
     // Visiting the tracked page would reveal two prefixes and pinpoint the
     // URL — the advisor flags it before any request is made.
-    let tracked = advisor.assess(&browser.preview_url("https://petsymposium.org/2016/cfp.php").unwrap());
+    let tracked = advisor.assess(
+        &browser
+            .preview_url("https://petsymposium.org/2016/cfp.php")
+            .unwrap(),
+    );
     assert_eq!(tracked.severity, LeakSeverity::MultiPrefix);
     assert_eq!(tracked.candidate_urls_in_index, Some(1));
 
     // Visiting a sibling page on the same domain only reveals the domain.
-    let sibling = advisor.assess(&browser.preview_url("https://petsymposium.org/2016/faqs.php").unwrap());
+    let sibling = advisor.assess(
+        &browser
+            .preview_url("https://petsymposium.org/2016/faqs.php")
+            .unwrap(),
+    );
     assert_eq!(sibling.severity, LeakSeverity::SinglePrefixDomain);
 
     // Unrelated browsing reveals nothing.
@@ -64,18 +78,25 @@ fn advisor_detects_a_tracking_campaign_before_anything_is_sent() {
 
 #[test]
 fn advisor_severity_tracks_what_the_provider_actually_learns() {
-    let server = SafeBrowsingServer::with_standard_lists(Provider::Google);
+    let server = std::sync::Arc::new(SafeBrowsingServer::with_standard_lists(Provider::Google));
     server
-        .blacklist_expressions("goog-malware-shavar", ["exact-malware.example/bad/page.html"])
+        .blacklist_expressions(
+            "goog-malware-shavar",
+            ["exact-malware.example/bad/page.html"],
+        )
         .unwrap();
-    let mut browser =
-        SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
-    browser.update(&server);
+    let mut browser = SafeBrowsingClient::in_process(
+        ClientConfig::subscribed_to(["goog-malware-shavar"]),
+        server.clone(),
+    );
+    browser.update().unwrap();
     let advisor = PrivacyAdvisor::new();
 
     // Legitimate exact-URL blacklisting: one non-root prefix, k-anonymous.
     let assessment = advisor.assess(
-        &browser.preview_url("http://exact-malware.example/bad/page.html").unwrap(),
+        &browser
+            .preview_url("http://exact-malware.example/bad/page.html")
+            .unwrap(),
     );
     assert_eq!(assessment.severity, LeakSeverity::SinglePrefixUrl);
     assert!(assessment.single_prefix_url_anonymity > 1_000);

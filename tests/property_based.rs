@@ -7,9 +7,7 @@ use safe_browsing_privacy::client::{ClientConfig, SafeBrowsingClient};
 use safe_browsing_privacy::hash::{digest_url, Digest, PrefixLen, Sha256};
 use safe_browsing_privacy::protocol::{Provider, ThreatCategory};
 use safe_browsing_privacy::server::SafeBrowsingServer;
-use safe_browsing_privacy::store::{
-    BloomFilter, DeltaCodedTable, PrefixStore, RawPrefixTable,
-};
+use safe_browsing_privacy::store::{BloomFilter, DeltaCodedTable, PrefixStore, RawPrefixTable};
 use safe_browsing_privacy::url::{decompose, CanonicalUrl};
 
 fn host_strategy() -> impl Strategy<Value = String> {
@@ -17,8 +15,13 @@ fn host_strategy() -> impl Strategy<Value = String> {
 }
 
 fn path_strategy() -> impl Strategy<Value = String> {
-    prop::collection::vec("[a-z0-9]{1,6}", 0..4)
-        .prop_map(|segs| if segs.is_empty() { "/".to_string() } else { format!("/{}", segs.join("/")) })
+    prop::collection::vec("[a-z0-9]{1,6}", 0..4).prop_map(|segs| {
+        if segs.is_empty() {
+            "/".to_string()
+        } else {
+            format!("/{}", segs.join("/"))
+        }
+    })
 }
 
 proptest! {
@@ -83,13 +86,16 @@ proptest! {
     #[test]
     fn blacklisted_urls_are_always_flagged(host in host_strategy(), path in path_strategy()) {
         let url = format!("http://{host}{path}");
-        let server = SafeBrowsingServer::new(Provider::Google);
+        let server = std::sync::Arc::new(SafeBrowsingServer::new(Provider::Google));
         server.create_list("goog-malware-shavar", ThreatCategory::Malware);
         server.blacklist_url("goog-malware-shavar", &url).unwrap();
 
-        let mut client = SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
-        client.update(&server);
-        let outcome = client.check_url(&url, &server).unwrap();
+        let mut client = SafeBrowsingClient::in_process(
+            ClientConfig::subscribed_to(["goog-malware-shavar"]),
+            server.clone(),
+        );
+        client.update().unwrap();
+        let outcome = client.check_url(&url).unwrap();
         prop_assert!(outcome.is_malicious());
 
         let canon = CanonicalUrl::parse(&url).unwrap();
@@ -102,11 +108,14 @@ proptest! {
     /// anything, whatever it browses.
     #[test]
     fn empty_database_never_contacts_the_provider(host in host_strategy(), path in path_strategy()) {
-        let server = SafeBrowsingServer::with_standard_lists(Provider::Google);
-        let mut client = SafeBrowsingClient::new(ClientConfig::subscribed_to(["goog-malware-shavar"]));
-        client.update(&server);
+        let server = std::sync::Arc::new(SafeBrowsingServer::with_standard_lists(Provider::Google));
+        let mut client = SafeBrowsingClient::in_process(
+            ClientConfig::subscribed_to(["goog-malware-shavar"]),
+            server.clone(),
+        );
+        client.update().unwrap();
         let url = format!("http://{host}{path}");
-        let outcome = client.check_url(&url, &server).unwrap();
+        let outcome = client.check_url(&url).unwrap();
         prop_assert!(!outcome.is_malicious());
         prop_assert_eq!(server.query_log().len(), 0);
     }

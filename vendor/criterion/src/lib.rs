@@ -1,0 +1,283 @@
+//! Offline shim for the subset of `criterion` used by this workspace.
+//!
+//! Implements `criterion_group!`/`criterion_main!`, [`Criterion`] with
+//! `bench_function`/`benchmark_group`, [`BenchmarkId`], and
+//! [`Bencher::iter`] with simple wall-clock measurement (calibrated batch
+//! size, fixed measurement budget, mean/min reporting).  No statistics
+//! beyond that, no HTML reports, no CLI filtering.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+const DEFAULT_MEASUREMENT_BUDGET: Duration = Duration::from_millis(300);
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_budget: DEFAULT_MEASUREMENT_BUDGET,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.measurement_budget, &mut body);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            measurement_budget: DEFAULT_MEASUREMENT_BUDGET,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Compatibility stub: upstream tunes the statistical sample count; the
+    /// shim scales its measurement budget with the requested samples.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.measurement_budget = DEFAULT_MEASUREMENT_BUDGET.min(Duration::from_millis(
+            (samples as u64).saturating_mul(10).max(50),
+        ));
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.measurement_budget, &mut body);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.measurement_budget, &mut |b| body(b, input));
+        self
+    }
+
+    /// Ends the group (reporting happens per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (name, optional parameter).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An identifier with a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An identifier carrying only a parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            text: name.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark bodies; `iter` measures the closure.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    /// (total elapsed, total iterations) accumulated by `iter`.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly within the configured time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: find a batch size taking roughly 1/20 of the budget.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget / 20 || batch >= 1 << 30 {
+                break;
+            }
+            batch = if elapsed.is_zero() {
+                batch.saturating_mul(16)
+            } else {
+                batch.saturating_mul(2)
+            };
+        }
+        // Measurement: run batches until the budget is spent.
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push((start.elapsed(), batch));
+        }
+        if self.samples.is_empty() {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push((start.elapsed(), batch));
+        }
+    }
+}
+
+fn run_benchmark(label: &str, budget: Duration, body: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        budget,
+        samples: Vec::new(),
+    };
+    body(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<60} (no measurement: iter was never called)");
+        return;
+    }
+    let total_time: Duration = bencher.samples.iter().map(|(d, _)| *d).sum();
+    let total_iters: u64 = bencher.samples.iter().map(|(_, n)| *n).sum();
+    let mean = total_time.as_nanos() as f64 / total_iters as f64;
+    let best = bencher
+        .samples
+        .iter()
+        .map(|(d, n)| d.as_nanos() as f64 / *n as f64)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "{label:<60} mean {:>12} best {:>12} ({} iters)",
+        format_nanos(mean),
+        format_nanos(best),
+        total_iters
+    );
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion {
+            measurement_budget: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(21u64) * 2)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion {
+            measurement_budget: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(42), &42u32, |b, &v| {
+            b.iter(|| black_box(v) + 1)
+        });
+        group.bench_function(BenchmarkId::new("sub", "x"), |b| b.iter(|| black_box(1)));
+        group.finish();
+        assert_eq!(BenchmarkId::new("a", 3).to_string(), "a/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+
+    #[test]
+    fn format_nanos_scales() {
+        assert!(format_nanos(12.0).ends_with("ns"));
+        assert!(format_nanos(12_000.0).ends_with("us"));
+        assert!(format_nanos(12_000_000.0).ends_with("ms"));
+    }
+}

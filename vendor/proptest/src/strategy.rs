@@ -1,0 +1,252 @@
+//! The [`Strategy`] trait, combinators, and the built-in strategies for
+//! ranges, tuples and regex-subset string patterns.
+
+use crate::test_runner::TestRng;
+use core::ops::Range;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// String patterns as strategies: a `&str` is interpreted as a regex in the
+/// subset `literal | [class] | atom{m} | atom{m,n}`, producing matching
+/// strings — the subset the upstream crate's string strategies are used with
+/// in this workspace.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = if atom.min == atom.max {
+                atom.min
+            } else {
+                rng.below(atom.min..atom.max + 1)
+            };
+            for _ in 0..n {
+                let choice = rng.below(0..atom.chars.len());
+                out.push(atom.chars[choice]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the supported regex subset; panics (with the pattern) on anything
+/// outside it so unsupported tests fail loudly rather than silently.
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let mut atoms: Vec<PatternAtom> = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+                    match c {
+                        ']' => break,
+                        '-' => match (prev, chars.peek()) {
+                            // A range like `a-z` (only when between two chars).
+                            (Some(lo), Some(&hi)) if hi != ']' => {
+                                chars.next();
+                                for v in (lo as u32 + 1)..=(hi as u32) {
+                                    class.push(char::from_u32(v).expect("valid range"));
+                                }
+                                prev = None;
+                            }
+                            // Trailing or leading `-` is a literal.
+                            _ => {
+                                class.push('-');
+                                prev = Some('-');
+                            }
+                        },
+                        other => {
+                            class.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                assert!(!class.is_empty(), "empty class in pattern {pattern:?}");
+                atoms.push(PatternAtom {
+                    chars: class,
+                    min: 1,
+                    max: 1,
+                });
+            }
+            '{' => {
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                let atom = atoms
+                    .last_mut()
+                    .unwrap_or_else(|| panic!("repeat without atom in pattern {pattern:?}"));
+                let (min, max) = match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("repeat lower bound"),
+                        hi.parse().expect("repeat upper bound"),
+                    ),
+                    None => {
+                        let n = spec.parse().expect("repeat count");
+                        (n, n)
+                    }
+                };
+                assert!(min <= max, "inverted repeat in pattern {pattern:?}");
+                atom.min = min;
+                atom.max = max;
+            }
+            '*' | '+' | '?' | '(' | ')' | '|' | '\\' | '^' | '$' | '.' => {
+                panic!("unsupported regex feature {c:?} in pattern {pattern:?} (shim subset)")
+            }
+            literal => atoms.push(PatternAtom {
+                chars: vec![literal],
+                min: 1,
+                max: 1,
+            }),
+        }
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        let mut rng = TestRng::new(seed);
+        pattern.generate(&mut rng)
+    }
+
+    #[test]
+    fn classes_and_repeats() {
+        for seed in 0..200 {
+            let s = gen("[a-z][a-z0-9-]{0,8}", seed);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase(), "{s:?}");
+            assert!(
+                s.chars()
+                    .skip(1)
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        for seed in 0..50 {
+            let s = gen("[a-z]{1,5}=[a-z0-9]{1,5}", seed);
+            let (k, v) = s.split_once('=').expect("literal '=' present");
+            assert!((1..=5).contains(&k.len()), "{s:?}");
+            assert!((1..=5).contains(&v.len()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_repeat_counts() {
+        for seed in 0..50 {
+            assert_eq!(gen("[a-z]{12}", seed).len(), 12);
+        }
+    }
+
+    #[test]
+    fn dotted_class_is_literal_dot() {
+        for seed in 0..100 {
+            let s = gen("[a-zA-Z0-9_.-]{1,8}", seed);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-'));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex feature")]
+    fn unsupported_features_panic() {
+        let _ = gen("[a-z]+", 0);
+    }
+}

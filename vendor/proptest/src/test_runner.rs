@@ -1,0 +1,85 @@
+//! Deterministic test-case generation plumbing used by the `proptest!`
+//! macro expansion.
+
+/// Why a test-case body did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert*!` failed with the given message.
+    Fail(String),
+}
+
+/// The per-case random number generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[range.start, range.end)`.
+    pub fn below(&mut self, range: core::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let span = (range.end - range.start) as u64;
+        range.start + (((self.next_u64() as u128 * span as u128) >> 64) as usize)
+    }
+}
+
+/// Number of cases each property runs: `PROPTEST_CASES` or 64.
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// A stable per-property seed derived from the property name (FNV-1a), so
+/// failures reproduce across runs without any global state.
+pub fn seed_for(name: &str) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_respects_bounds() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..10_000 {
+            let v = rng.below(3..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(seed_for("a"), seed_for("a"));
+        assert_ne!(seed_for("a"), seed_for("b"));
+    }
+
+    #[test]
+    fn case_count_is_positive() {
+        assert!(case_count() > 0);
+    }
+}
