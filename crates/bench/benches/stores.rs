@@ -1,6 +1,8 @@
 //! Benchmarks of the client-side prefix stores (Table 2 companion): build
-//! time and lookup latency of the raw table, the delta-coded table and the
-//! Bloom filter at the deployed database size (~630 k prefixes).
+//! time and lookup latency of the raw table, the delta-coded table, the
+//! Bloom filter and the lead-indexed table at the deployed database size
+//! (~630 k prefixes) and at the 1M-prefix scale the throughput harness
+//! targets.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -9,6 +11,7 @@ use sb_hash::{Prefix, PrefixLen};
 use sb_store::{build_store, PrefixStore, StoreBackend};
 
 const DB_SIZE: usize = 630_428;
+const MILLION: usize = 1_000_000;
 
 fn random_prefixes(n: usize) -> Vec<Prefix> {
     let mut rng = StdRng::seed_from_u64(42);
@@ -19,11 +22,7 @@ fn bench_build(c: &mut Criterion) {
     let prefixes = random_prefixes(DB_SIZE);
     let mut group = c.benchmark_group("store_build_630k");
     group.sample_size(10);
-    for backend in [
-        StoreBackend::Raw,
-        StoreBackend::DeltaCoded,
-        StoreBackend::Bloom,
-    ] {
+    for backend in StoreBackend::ALL {
         group.bench_with_input(
             BenchmarkId::from_parameter(backend),
             &backend,
@@ -37,10 +36,40 @@ fn bench_lookup(c: &mut Criterion) {
     let prefixes = random_prefixes(DB_SIZE);
     let probes = random_prefixes(1_000);
     let mut group = c.benchmark_group("store_lookup_630k");
+    for backend in StoreBackend::ALL {
+        let store = build_store(backend, PrefixLen::L32, prefixes.iter().copied());
+        group.bench_with_input(BenchmarkId::from_parameter(backend), &store, |b, store| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % probes.len();
+                std::hint::black_box(store.contains(&probes[i]))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The acceptance scale for the lead-indexed backend: at 1M prefixes a
+/// lookup must be a flat index load + tiny-bucket scan, several times faster
+/// than the raw table's full binary search.
+fn bench_lookup_1m(c: &mut Criterion) {
+    let prefixes = random_prefixes(MILLION);
+    // Half the probes are present, half absent, interleaved.
+    let mut rng = StdRng::seed_from_u64(7);
+    let probes: Vec<Prefix> = (0..2_000usize)
+        .map(|i| {
+            if i % 2 == 0 {
+                prefixes[rng.gen::<u32>() as usize % prefixes.len()]
+            } else {
+                Prefix::from_u32(rng.gen())
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("store_lookup_1m");
     for backend in [
         StoreBackend::Raw,
         StoreBackend::DeltaCoded,
-        StoreBackend::Bloom,
+        StoreBackend::Indexed,
     ] {
         let store = build_store(backend, PrefixLen::L32, prefixes.iter().copied());
         group.bench_with_input(BenchmarkId::from_parameter(backend), &store, |b, store| {
@@ -54,5 +83,5 @@ fn bench_lookup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_build, bench_lookup);
+criterion_group!(benches, bench_build, bench_lookup, bench_lookup_1m);
 criterion_main!(benches);

@@ -1,0 +1,355 @@
+//! End-to-end lookup throughput harness — the first point of the repo's
+//! recorded perf trajectory (`BENCH_throughput.json`).
+//!
+//! Loads a 1M-prefix corpus into a simulated provider, drives N concurrent
+//! clients over a mixed hit/miss URL workload through the full `Transport`
+//! stack (decomposition → SHA-256 → prefix membership → full-hash round
+//! trip), and reports, per store backend:
+//!
+//! * `lookups_per_sec` — aggregate wall-clock throughput across all clients;
+//! * `p50_ns` / `p99_ns` — per-lookup latency percentiles;
+//! * `allocs_per_lookup` — heap allocations per lookup over the mixed
+//!   workload, via a counting global allocator;
+//! * `allocs_per_cache_hit_lookup` — allocations for a lookup answered
+//!   entirely from local state (the common case); the zero-alloc pipeline
+//!   must report **0** here.
+//!
+//! Run: `cargo run --release -p sb-bench --bin throughput` (full corpus) or
+//! `--smoke` for the CI-sized run.  Scale knobs: `SB_THROUGHPUT_PREFIXES`,
+//! `SB_THROUGHPUT_CLIENTS`, `SB_THROUGHPUT_URLS` (per client), and
+//! `SB_THROUGHPUT_OUT` (output path, default `BENCH_throughput.json`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sb_client::{ClientConfig, SafeBrowsingClient};
+use sb_hash::Prefix;
+use sb_protocol::{Provider, ThreatCategory};
+use sb_server::SafeBrowsingServer;
+use sb_store::StoreBackend;
+use sb_url::CanonicalUrl;
+
+/// A global allocator that counts every allocation (`alloc` + `realloc`),
+/// so the harness can attribute heap traffic to lookups.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to the system allocator; the counter is a relaxed
+// atomic increment with no further invariants.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+const LIST: &str = "goog-malware-shavar";
+/// One URL in `HIT_PERIOD` targets a blacklisted domain.
+const HIT_PERIOD: usize = 50;
+/// Number of blacklisted (full-digest-backed) expressions hit URLs draw from.
+const HIT_EXPRESSIONS: usize = 512;
+
+struct Config {
+    smoke: bool,
+    prefixes: usize,
+    clients: usize,
+    urls_per_client: usize,
+    out_path: String,
+}
+
+impl Config {
+    fn from_env_and_args() -> Self {
+        let smoke = std::env::args().any(|a| a == "--smoke");
+        let env_usize = |key: &str, default: usize| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        Config {
+            smoke,
+            prefixes: env_usize(
+                "SB_THROUGHPUT_PREFIXES",
+                if smoke { 20_000 } else { 1_000_000 },
+            ),
+            clients: env_usize("SB_THROUGHPUT_CLIENTS", if smoke { 2 } else { 4 }),
+            urls_per_client: env_usize("SB_THROUGHPUT_URLS", if smoke { 2_000 } else { 20_000 }),
+            out_path: std::env::var("SB_THROUGHPUT_OUT")
+                .unwrap_or_else(|_| "BENCH_throughput.json".to_string()),
+        }
+    }
+}
+
+struct BackendReport {
+    backend: StoreBackend,
+    lookups_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    allocs_per_lookup: f64,
+    allocs_per_cache_hit_lookup: f64,
+    database_bytes: usize,
+    flagged: usize,
+}
+
+fn main() {
+    let config = Config::from_env_and_args();
+    eprintln!(
+        "throughput harness: {} prefixes, {} clients x {} URLs{}",
+        config.prefixes,
+        config.clients,
+        config.urls_per_client,
+        if config.smoke { " (smoke)" } else { "" }
+    );
+
+    let server = build_server(config.prefixes);
+    let workload = build_workload(config.clients * config.urls_per_client);
+
+    let backends = [
+        StoreBackend::Raw,
+        StoreBackend::DeltaCoded,
+        StoreBackend::Indexed,
+    ];
+    let reports: Vec<BackendReport> = backends
+        .iter()
+        .map(|&backend| run_backend(backend, &server, &workload, &config))
+        .collect();
+
+    let json = render_json(&config, &reports);
+    std::fs::write(&config.out_path, &json).expect("write BENCH_throughput.json");
+    eprintln!("wrote {}", config.out_path);
+    println!("{json}");
+}
+
+/// A provider holding `total` 32-bit prefixes: `HIT_EXPRESSIONS` of them
+/// backed by full digests (the workload's hit targets), the rest a random
+/// prefix corpus, as a real list mostly is from the client's perspective.
+fn build_server(total: usize) -> Arc<SafeBrowsingServer> {
+    let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
+    server.create_list(LIST, ThreatCategory::Malware);
+    let expressions: Vec<String> = (0..HIT_EXPRESSIONS.min(total))
+        .map(|i| format!("{}/", hit_host(i)))
+        .collect();
+    server
+        .blacklist_expressions(LIST, expressions.iter().map(String::as_str))
+        .expect("list exists");
+
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let bulk: Vec<Prefix> = (0..total.saturating_sub(HIT_EXPRESSIONS))
+        .map(|_| Prefix::from_u32(rng.gen()))
+        .collect();
+    server.inject_prefixes(LIST, bulk).expect("list exists");
+    server
+}
+
+fn hit_host(i: usize) -> String {
+    format!("hit{i}.evil.example")
+}
+
+/// Pre-canonicalized mixed workload: every `HIT_PERIOD`-th URL targets a
+/// blacklisted domain (with a path, so the lookup exercises several
+/// decompositions), the rest are misses over distinct hosts.
+fn build_workload(total: usize) -> Vec<CanonicalUrl> {
+    (0..total)
+        .map(|i| {
+            let url = if i % HIT_PERIOD == 0 {
+                format!(
+                    "http://{}/landing/page{}.html",
+                    hit_host((i / HIT_PERIOD) % HIT_EXPRESSIONS),
+                    i
+                )
+            } else {
+                format!("http://m{i}.miss.example/content/item{i}.html")
+            };
+            CanonicalUrl::parse(&url).expect("workload URL parses")
+        })
+        .collect()
+}
+
+fn client_for(backend: StoreBackend, server: &Arc<SafeBrowsingServer>) -> SafeBrowsingClient {
+    let mut client = SafeBrowsingClient::in_process(
+        ClientConfig::subscribed_to([LIST]).with_backend(backend),
+        server.clone(),
+    );
+    client.update().expect("initial update");
+    client
+}
+
+fn run_backend(
+    backend: StoreBackend,
+    server: &Arc<SafeBrowsingServer>,
+    workload: &[CanonicalUrl],
+    config: &Config,
+) -> BackendReport {
+    eprintln!(
+        "[{backend}] building {} client database(s)...",
+        config.clients
+    );
+    let mut clients: Vec<SafeBrowsingClient> = (0..config.clients)
+        .map(|_| client_for(backend, server))
+        .collect();
+    let database_bytes = clients[0].database_memory_bytes();
+
+    // ---- timed multi-client phase -----------------------------------------
+    let barrier = Barrier::new(config.clients);
+    let chunk = config.urls_per_client;
+    let started = Instant::now();
+    let (latencies, flagged): (Vec<Vec<u64>>, Vec<usize>) = std::thread::scope(|scope| {
+        let barrier = &barrier;
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .enumerate()
+            .map(|(i, client)| {
+                let slice = &workload[i * chunk..(i + 1) * chunk];
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(slice.len());
+                    let mut flagged = 0usize;
+                    barrier.wait();
+                    for url in slice {
+                        let start = Instant::now();
+                        let outcome = client.check_canonical(url).expect("lookup");
+                        latencies.push(start.elapsed().as_nanos() as u64);
+                        if outcome.is_malicious() {
+                            flagged += 1;
+                        }
+                    }
+                    (latencies, flagged)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .unzip()
+    });
+    let wall = started.elapsed();
+    let total_lookups = config.clients * chunk;
+    let lookups_per_sec = total_lookups as f64 / wall.as_secs_f64();
+
+    let mut merged: Vec<u64> = latencies.into_iter().flatten().collect();
+    merged.sort_unstable();
+    let percentile = |p: f64| -> u64 {
+        if merged.is_empty() {
+            return 0;
+        }
+        let rank = ((merged.len() as f64 - 1.0) * p).round() as usize;
+        merged[rank]
+    };
+
+    // ---- single-threaded allocation accounting ----------------------------
+    // Mixed workload: warm one client (resolves full-hash caches and grows
+    // the scratch buffers), then count allocations over a second pass.
+    let mut probe = client_for(backend, server);
+    let sample = &workload[..config.urls_per_client.min(workload.len())];
+    for url in sample {
+        probe.check_canonical(url).expect("warmup lookup");
+    }
+    let before = allocations();
+    for url in sample {
+        probe.check_canonical(url).expect("measured lookup");
+    }
+    let allocs_per_lookup = (allocations() - before) as f64 / sample.len() as f64;
+
+    // Locally-resolved ("cache-hit") lookup: a URL the database answers
+    // without any provider exchange must not allocate at all.
+    let safe_url = sample
+        .iter()
+        .find(|url| {
+            probe
+                .check_canonical(url)
+                .expect("probe lookup")
+                .was_resolved_locally()
+        })
+        .expect("workload contains locally-resolved URLs");
+    const CACHE_HIT_ROUNDS: usize = 1000;
+    let before = allocations();
+    for _ in 0..CACHE_HIT_ROUNDS {
+        probe.check_canonical(safe_url).expect("cache-hit lookup");
+    }
+    let allocs_per_cache_hit_lookup = (allocations() - before) as f64 / CACHE_HIT_ROUNDS as f64;
+
+    let report = BackendReport {
+        backend,
+        lookups_per_sec,
+        p50_ns: percentile(0.50),
+        p99_ns: percentile(0.99),
+        allocs_per_lookup,
+        allocs_per_cache_hit_lookup,
+        database_bytes,
+        flagged: flagged.iter().sum(),
+    };
+    eprintln!(
+        "[{backend}] {:.0} lookups/s, p50 {} ns, p99 {} ns, {:.3} allocs/lookup, {:.3} allocs/cache-hit, {} flagged",
+        report.lookups_per_sec,
+        report.p50_ns,
+        report.p99_ns,
+        report.allocs_per_lookup,
+        report.allocs_per_cache_hit_lookup,
+        report.flagged,
+    );
+    report
+}
+
+fn render_json(config: &Config, reports: &[BackendReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"throughput\",\n");
+    out.push_str(&format!("  \"smoke\": {},\n", config.smoke));
+    out.push_str(&format!("  \"prefixes\": {},\n", config.prefixes));
+    out.push_str(&format!("  \"clients\": {},\n", config.clients));
+    out.push_str(&format!(
+        "  \"urls_per_client\": {},\n",
+        config.urls_per_client
+    ));
+    out.push_str("  \"backends\": {\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!("    \"{}\": {{\n", r.backend));
+        out.push_str(&format!(
+            "      \"lookups_per_sec\": {:.1},\n",
+            r.lookups_per_sec
+        ));
+        out.push_str(&format!("      \"p50_ns\": {},\n", r.p50_ns));
+        out.push_str(&format!("      \"p99_ns\": {},\n", r.p99_ns));
+        out.push_str(&format!(
+            "      \"allocs_per_lookup\": {:.4},\n",
+            r.allocs_per_lookup
+        ));
+        out.push_str(&format!(
+            "      \"allocs_per_cache_hit_lookup\": {:.4},\n",
+            r.allocs_per_cache_hit_lookup
+        ));
+        out.push_str(&format!(
+            "      \"database_bytes\": {},\n",
+            r.database_bytes
+        ));
+        out.push_str(&format!("      \"urls_flagged\": {}\n", r.flagged));
+        out.push_str(if i + 1 == reports.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}

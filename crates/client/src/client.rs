@@ -3,12 +3,12 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use sb_hash::{digest_url, Prefix, PrefixLen};
+use sb_hash::{digest_url, Digest, Prefix, PrefixLen};
 use sb_protocol::{
     ClientCookie, FullHashRequest, ListName, SafeBrowsingService, ServiceError, UpdateRequest,
 };
 use sb_store::StoreBackend;
-use sb_url::{decompose, CanonicalUrl, Decomposition, ParseUrlError};
+use sb_url::{visit_decompositions, CanonicalUrl, DecomposeScratch, ParseUrlError};
 
 use crate::cache::FullHashCache;
 use crate::database::LocalDatabase;
@@ -200,6 +200,26 @@ pub struct SafeBrowsingClient {
     cache: FullHashCache,
     metrics: ClientMetrics,
     transport: Box<dyn Transport>,
+    /// Per-client scratch buffers reused across lookups: a locally-resolved
+    /// lookup (no database hit) performs zero heap allocations once these
+    /// have warmed up.
+    scratch: LookupScratch,
+}
+
+/// Reusable lookup state (see [`SafeBrowsingClient::check_canonical`]).
+#[derive(Debug, Default)]
+struct LookupScratch {
+    decompose: DecomposeScratch,
+    hits: Vec<LocalHit>,
+}
+
+/// One decomposition whose prefix matched the local database, with its
+/// digest computed exactly once for the whole lookup.
+#[derive(Debug, Clone)]
+struct LocalHit {
+    expression: String,
+    digest: Digest,
+    domain_root: bool,
 }
 
 impl SafeBrowsingClient {
@@ -215,6 +235,7 @@ impl SafeBrowsingClient {
             cache: FullHashCache::new(),
             metrics: ClientMetrics::default(),
             transport: Box::new(transport),
+            scratch: LookupScratch::default(),
         }
     }
 
@@ -269,24 +290,31 @@ impl SafeBrowsingClient {
 
     /// Checks an already-canonicalized URL.
     ///
+    /// This is the zero-allocation entry point of the hot path: the
+    /// decomposition → SHA-256 → prefix-membership pipeline runs entirely in
+    /// per-client scratch buffers, so a lookup that resolves locally (no
+    /// database hit — the overwhelmingly common case) performs **zero heap
+    /// allocations** once the buffers have warmed up.  Only lookups whose
+    /// prefixes hit the local database allocate (to carry expressions and
+    /// build the verdict).
+    ///
     /// # Errors
     ///
     /// Any [`ServiceError`] from the full-hash exchange.
     pub fn check_canonical(&mut self, url: &CanonicalUrl) -> Result<LookupOutcome, ServiceError> {
         self.metrics.lookups += 1;
-        let decompositions = decompose(url);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.hits.clear();
+        Self::collect_local_hits(
+            &self.database,
+            self.config.prefix_len,
+            url,
+            &mut scratch.decompose,
+            &mut scratch.hits,
+        );
 
-        // Local database pass: which decompositions hit?
-        let hits: Vec<&Decomposition> = decompositions
-            .iter()
-            .filter(|d| {
-                let digest = digest_url(d.expression());
-                self.database
-                    .contains(&digest.prefix(self.config.prefix_len))
-            })
-            .collect();
-
-        if hits.is_empty() {
+        if scratch.hits.is_empty() {
+            self.scratch = scratch;
             return Ok(LookupOutcome::Safe);
         }
         self.metrics.local_hits += 1;
@@ -294,21 +322,42 @@ impl SafeBrowsingClient {
         // Resolve the hits to full digests, honouring the mitigation policy
         // and the full-hash cache.
         let resolution = match self.config.mitigation {
-            MitigationPolicy::None => self.resolve_batch(&hits),
+            MitigationPolicy::None => self.resolve_batch(&scratch.hits),
             MitigationPolicy::DummyQueries { dummies } => {
-                self.resolve_batch_with_dummies(&hits, dummies)
+                self.resolve_batch_with_dummies(&scratch.hits, dummies)
             }
-            MitigationPolicy::OnePrefixAtATime => self.resolve_one_at_a_time(&hits),
+            MitigationPolicy::OnePrefixAtATime => self.resolve_one_at_a_time(&scratch.hits),
         };
-        let confirmed = match resolution {
-            Ok(confirmed) => confirmed,
+        let outcome = match resolution {
+            Ok(confirmed) => Ok(self.verdict(&scratch.hits, confirmed)),
             Err(error) => {
                 self.metrics.service_errors += 1;
-                return Err(error);
+                Err(error)
             }
         };
+        self.scratch = scratch;
+        outcome
+    }
 
-        Ok(self.verdict(hits.iter().copied(), confirmed))
+    /// Runs the local-database pass for one URL: every decomposition is
+    /// hashed exactly once and matching ones are appended to `hits`.
+    fn collect_local_hits(
+        database: &LocalDatabase,
+        prefix_len: PrefixLen,
+        url: &CanonicalUrl,
+        decompose_scratch: &mut DecomposeScratch,
+        hits: &mut Vec<LocalHit>,
+    ) {
+        visit_decompositions(url, decompose_scratch, |d| {
+            let digest = digest_url(d.expression());
+            if database.contains(&digest.prefix(prefix_len)) {
+                hits.push(LocalHit {
+                    expression: d.expression().to_string(),
+                    digest,
+                    domain_root: d.is_domain_root(),
+                });
+            }
+        });
     }
 
     /// Checks a batch of URLs in one pass.  Under the default
@@ -359,51 +408,56 @@ impl SafeBrowsingClient {
 
         // Local pass over the whole batch, collecting the distinct uncached
         // prefixes that need resolution.  Each hit's digest is computed once
-        // and carried alongside its decomposition.
-        let mut per_url_hits: Vec<Vec<(Decomposition, sb_hash::Digest)>> =
-            Vec::with_capacity(urls.len());
+        // and carried with its hit record; hits live in one flat scratch
+        // vector with per-URL ranges, so safe URLs cost no allocation.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.hits.clear();
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(urls.len());
         let mut unresolved: Vec<Prefix> = Vec::new();
         let mut seen: HashSet<Prefix> = HashSet::new();
         for url in urls {
             self.metrics.lookups += 1;
-            let hits: Vec<(Decomposition, sb_hash::Digest)> = decompose(url)
-                .into_iter()
-                .filter_map(|d| {
-                    let digest = digest_url(d.expression());
-                    self.database
-                        .contains(&digest.prefix(self.config.prefix_len))
-                        .then_some((d, digest))
-                })
-                .collect();
-            if !hits.is_empty() {
+            let start = scratch.hits.len();
+            Self::collect_local_hits(
+                &self.database,
+                self.config.prefix_len,
+                url,
+                &mut scratch.decompose,
+                &mut scratch.hits,
+            );
+            let end = scratch.hits.len();
+            if end > start {
                 self.metrics.local_hits += 1;
             }
-            for (_, digest) in &hits {
-                let prefix = digest.prefix32();
+            for hit in &scratch.hits[start..end] {
+                let prefix = hit.digest.prefix32();
                 if !self.cache.is_resolved(&prefix) && seen.insert(prefix) {
                     unresolved.push(prefix);
                 }
             }
-            per_url_hits.push(hits);
+            ranges.push((start, end));
         }
 
         // At most one full-hash round trip for the whole batch.
         if !unresolved.is_empty() {
             if let Err(error) = self.send_full_hash_request(unresolved) {
                 self.metrics.service_errors += 1;
+                self.scratch = scratch;
                 return Err(error);
             }
         }
 
-        let mut outcomes = Vec::with_capacity(per_url_hits.len());
-        for hits in per_url_hits {
+        let mut outcomes = Vec::with_capacity(ranges.len());
+        for (start, end) in ranges {
+            let hits = &scratch.hits[start..end];
             if hits.is_empty() {
                 outcomes.push(LookupOutcome::Safe);
                 continue;
             }
-            let confirmed = self.confirmed_from_cache_digests(&hits);
-            outcomes.push(self.verdict(hits.iter().map(|(d, _)| d), confirmed));
+            let confirmed = self.confirmed_from_cache(hits);
+            outcomes.push(self.verdict(hits, confirmed));
         }
+        self.scratch = scratch;
         Ok(outcomes)
     }
 
@@ -459,14 +513,10 @@ impl SafeBrowsingClient {
 
     /// Builds the verdict for one URL from its local hits and the confirmed
     /// matches resolved against the cache.
-    fn verdict<'d>(
-        &mut self,
-        hits: impl Iterator<Item = &'d Decomposition>,
-        confirmed: Vec<ConfirmedMatch>,
-    ) -> LookupOutcome {
+    fn verdict(&mut self, hits: &[LocalHit], confirmed: Vec<ConfirmedMatch>) -> LookupOutcome {
         if confirmed.is_empty() {
             LookupOutcome::SafeAfterConfirmation {
-                matched_decompositions: hits.map(|d| d.expression().to_string()).collect(),
+                matched_decompositions: hits.iter().map(|h| h.expression.clone()).collect(),
             }
         } else {
             self.metrics.urls_flagged += 1;
@@ -475,24 +525,14 @@ impl SafeBrowsingClient {
     }
 
     /// Default behaviour: one request carrying every unresolved hit prefix.
-    fn resolve_batch(
-        &mut self,
-        hits: &[&Decomposition],
-    ) -> Result<Vec<ConfirmedMatch>, ServiceError> {
-        let unresolved: Vec<_> = hits
+    fn resolve_batch(&mut self, hits: &[LocalHit]) -> Result<Vec<ConfirmedMatch>, ServiceError> {
+        let unresolved: Vec<Prefix> = hits
             .iter()
-            .filter(|d| {
-                !self
-                    .cache
-                    .is_resolved(&digest_url(d.expression()).prefix32())
-            })
+            .map(|h| h.digest.prefix32())
+            .filter(|p| !self.cache.is_resolved(p))
             .collect();
         if !unresolved.is_empty() {
-            let prefixes: Vec<_> = unresolved
-                .iter()
-                .map(|d| digest_url(d.expression()).prefix32())
-                .collect();
-            self.send_full_hash_request(prefixes)?;
+            self.send_full_hash_request(unresolved)?;
         }
         Ok(self.confirmed_from_cache(hits))
     }
@@ -501,10 +541,10 @@ impl SafeBrowsingClient {
     /// `dummies` single-prefix requests derived from the first real prefix.
     fn resolve_batch_with_dummies(
         &mut self,
-        hits: &[&Decomposition],
+        hits: &[LocalHit],
         dummies: usize,
     ) -> Result<Vec<ConfirmedMatch>, ServiceError> {
-        let first_prefix = digest_url(hits[0].expression()).prefix32();
+        let first_prefix = hits[0].digest.prefix32();
         let confirmed = self.resolve_batch(hits)?;
         for dummy in MitigationPolicy::dummy_prefixes_for(&first_prefix, dummies) {
             // Dummy requests are fire-and-forget: their responses are not
@@ -527,19 +567,18 @@ impl SafeBrowsingClient {
     /// reached.
     fn resolve_one_at_a_time(
         &mut self,
-        hits: &[&Decomposition],
+        hits: &[LocalHit],
     ) -> Result<Vec<ConfirmedMatch>, ServiceError> {
         // Most generic first: domain roots, then shallower paths.
-        let mut ordered: Vec<&&Decomposition> = hits.iter().collect();
-        ordered.sort_by_key(|d| (std::cmp::Reverse(d.is_domain_root()), d.expression().len()));
-        for d in ordered {
-            let prefix = digest_url(d.expression()).prefix32();
+        let mut ordered: Vec<&LocalHit> = hits.iter().collect();
+        ordered.sort_by_key(|h| (std::cmp::Reverse(h.domain_root), h.expression.len()));
+        for hit in ordered {
+            let prefix = hit.digest.prefix32();
             if !self.cache.is_resolved(&prefix) {
                 self.send_full_hash_request(vec![prefix])?;
             }
-            let confirmed = self.confirmed_from_cache(&[*d]);
-            if !confirmed.is_empty() {
-                return Ok(confirmed);
+            if let Some(confirmed) = self.confirm_one(hit) {
+                return Ok(vec![confirmed]);
             }
         }
         Ok(Vec::new())
@@ -558,27 +597,14 @@ impl SafeBrowsingClient {
         Ok(())
     }
 
-    fn confirmed_from_cache(&self, hits: &[&Decomposition]) -> Vec<ConfirmedMatch> {
-        hits.iter()
-            .filter_map(|d| self.confirm_one(d, &digest_url(d.expression())))
-            .collect()
+    fn confirmed_from_cache(&self, hits: &[LocalHit]) -> Vec<ConfirmedMatch> {
+        hits.iter().filter_map(|h| self.confirm_one(h)).collect()
     }
 
-    /// Like [`Self::confirmed_from_cache`] for hits whose digest was already
-    /// computed (the batched path).
-    fn confirmed_from_cache_digests(
-        &self,
-        hits: &[(Decomposition, sb_hash::Digest)],
-    ) -> Vec<ConfirmedMatch> {
-        hits.iter()
-            .filter_map(|(d, digest)| self.confirm_one(d, digest))
-            .collect()
-    }
-
-    fn confirm_one(&self, d: &Decomposition, digest: &sb_hash::Digest) -> Option<ConfirmedMatch> {
-        let digests = self.cache.digests(&digest.prefix32())?;
-        digests.contains(digest).then(|| ConfirmedMatch {
-            expression: d.expression().to_string(),
+    fn confirm_one(&self, hit: &LocalHit) -> Option<ConfirmedMatch> {
+        let digests = self.cache.digests(&hit.digest.prefix32())?;
+        digests.contains(&hit.digest).then(|| ConfirmedMatch {
+            expression: hit.expression.clone(),
             // The cache does not retain list provenance; callers needing it
             // can inspect the provider's response directly.  For the client
             // verdict the expression suffices.

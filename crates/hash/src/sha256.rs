@@ -135,12 +135,16 @@ impl Sha256 {
         pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
 
         // `update` must not re-count padding bytes towards total_len, so we
-        // process the padded blocks directly.
-        let mut data: Vec<u8> = Vec::with_capacity(self.buffer_len + pad_len + 8);
-        data.extend_from_slice(&self.buffer[..self.buffer_len]);
-        data.extend_from_slice(&pad[..pad_len + 8]);
-        debug_assert_eq!(data.len() % 64, 0);
-        for block in data.chunks_exact(64) {
+        // process the padded blocks directly.  The tail is at most one
+        // partial block (≤ 63 bytes) plus padding — never more than two
+        // blocks — so a fixed stack buffer suffices and finalization stays
+        // allocation-free (the lookup hot path hashes per decomposition).
+        let mut data = [0u8; 128];
+        data[..self.buffer_len].copy_from_slice(&self.buffer[..self.buffer_len]);
+        data[self.buffer_len..self.buffer_len + pad_len + 8].copy_from_slice(&pad[..pad_len + 8]);
+        let data_len = self.buffer_len + pad_len + 8;
+        debug_assert_eq!(data_len % 64, 0);
+        for block in data[..data_len].chunks_exact(64) {
             let mut b = [0u8; 64];
             b.copy_from_slice(block);
             self.compress(&b);

@@ -16,21 +16,36 @@ use sb_hash::{digest_url, Digest, Prefix};
 use sb_protocol::{ListName, ThreatCategory};
 
 /// One provider blacklist (e.g. `goog-malware-shavar`).
+///
+/// Entries are sharded by the prefix's **lead byte** into
+/// [`Blacklist::SHARD_COUNT`] independent maps.  Prefixes are
+/// uniformly-distributed digest truncations, so the shards are balanced;
+/// full-hash resolution fans out across threads with each worker touching
+/// only the shards of its lead bytes (disjoint memory, no coordination).
 #[derive(Debug, Clone)]
 pub struct Blacklist {
     name: ListName,
     category: ThreatCategory,
-    /// Prefix → full digests sharing that prefix (empty vector = orphan).
-    entries: HashMap<Prefix, Vec<Digest>>,
+    /// Per-lead-byte maps: prefix → full digests sharing that prefix (empty
+    /// vector = orphan).
+    shards: Vec<HashMap<Prefix, Vec<Digest>>>,
+}
+
+/// The shard a prefix belongs to: its lead byte.
+pub(crate) fn shard_of(prefix: &Prefix) -> usize {
+    prefix.as_bytes()[0] as usize
 }
 
 impl Blacklist {
+    /// Number of lead-byte shards.
+    pub const SHARD_COUNT: usize = 256;
+
     /// Creates an empty blacklist.
     pub fn new(name: impl Into<ListName>, category: ThreatCategory) -> Self {
         Blacklist {
             name: name.into(),
             category,
-            entries: HashMap::new(),
+            shards: vec![HashMap::new(); Self::SHARD_COUNT],
         }
     }
 
@@ -55,7 +70,8 @@ impl Blacklist {
 
     /// Inserts a full digest (and its prefix).
     pub fn insert_digest(&mut self, digest: Digest) {
-        let entry = self.entries.entry(digest.prefix32()).or_default();
+        let prefix = digest.prefix32();
+        let entry = self.shards[shard_of(&prefix)].entry(prefix).or_default();
         if !entry.contains(&digest) {
             entry.push(digest);
         }
@@ -64,56 +80,65 @@ impl Blacklist {
     /// Inserts a bare prefix with *no* corresponding full digest — an orphan
     /// (Section 7.2).  If the prefix already exists, its digests are kept.
     pub fn insert_orphan_prefix(&mut self, prefix: Prefix) {
-        self.entries.entry(prefix).or_default();
+        self.shards[shard_of(&prefix)].entry(prefix).or_default();
     }
 
     /// Removes a prefix entirely (used by sub-chunk generation and list
     /// maintenance).  Returns true if the prefix was present.
     pub fn remove_prefix(&mut self, prefix: &Prefix) -> bool {
-        self.entries.remove(prefix).is_some()
+        self.shards[shard_of(prefix)].remove(prefix).is_some()
     }
 
     /// Number of prefixes in the list (what Tables 1 and 3 report).
     pub fn prefix_count(&self) -> usize {
-        self.entries.len()
+        self.shards.iter().map(HashMap::len).sum()
     }
 
     /// True when the list holds no prefixes.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.shards.iter().all(HashMap::is_empty)
     }
 
     /// Number of full digests in the list.
     pub fn digest_count(&self) -> usize {
-        self.entries.values().map(Vec::len).sum()
+        self.shards
+            .iter()
+            .flat_map(HashMap::values)
+            .map(Vec::len)
+            .sum()
     }
 
     /// Whether a prefix is present (with or without full digests).
     pub fn contains_prefix(&self, prefix: &Prefix) -> bool {
-        self.entries.contains_key(prefix)
+        self.shards[shard_of(prefix)].contains_key(prefix)
     }
 
     /// The full digests registered for a prefix (empty slice for orphans
     /// and absent prefixes).
     pub fn full_digests(&self, prefix: &Prefix) -> &[Digest] {
-        self.entries.get(prefix).map(Vec::as_slice).unwrap_or(&[])
+        self.shards[shard_of(prefix)]
+            .get(prefix)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
-    /// Iterates over all prefixes.
+    /// Iterates over all prefixes (shard by shard, unordered within one).
     pub fn prefixes(&self) -> impl Iterator<Item = Prefix> + '_ {
-        self.entries.keys().copied()
+        self.shards.iter().flat_map(|s| s.keys().copied())
     }
 
     /// Iterates over `(prefix, digests)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (Prefix, &[Digest])> + '_ {
-        self.entries.iter().map(|(p, d)| (*p, d.as_slice()))
+        self.shards
+            .iter()
+            .flat_map(|s| s.iter().map(|(p, d)| (*p, d.as_slice())))
     }
 
     /// Distribution of prefixes by their number of full digests — the shape
     /// audited in Table 11 (columns "0", "1", "2").
     pub fn prefix_digest_histogram(&self) -> PrefixDigestHistogram {
         let mut hist = PrefixDigestHistogram::default();
-        for digests in self.entries.values() {
+        for digests in self.shards.iter().flat_map(HashMap::values) {
             match digests.len() {
                 0 => hist.orphans += 1,
                 1 => hist.single += 1,
@@ -218,6 +243,25 @@ mod tests {
         assert!(bl.remove_prefix(&d.prefix32()));
         assert!(!bl.remove_prefix(&d.prefix32()));
         assert!(bl.is_empty());
+    }
+
+    #[test]
+    fn shards_partition_by_lead_byte() {
+        let mut bl = list();
+        let prefixes: Vec<Prefix> = (0..1024u32)
+            .map(|i| Prefix::from_u32(i.wrapping_mul(2_654_435_761)))
+            .collect();
+        for p in &prefixes {
+            bl.insert_orphan_prefix(*p);
+        }
+        assert_eq!(bl.prefix_count(), prefixes.len());
+        for p in &prefixes {
+            assert!(bl.contains_prefix(p));
+            assert_eq!(shard_of(p), p.as_bytes()[0] as usize);
+        }
+        // A multiplicative-hash walk over u32 space covers many lead bytes.
+        let leads: std::collections::HashSet<usize> = prefixes.iter().map(shard_of).collect();
+        assert!(leads.len() > Blacklist::SHARD_COUNT / 2);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! (Section 7.2).
 
 use std::collections::BTreeMap;
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock};
 
 use sb_hash::Prefix;
 use sb_protocol::{
@@ -19,18 +19,25 @@ use sb_protocol::{
 };
 use sb_url::CanonicalUrl;
 
-use crate::blacklist::Blacklist;
+use crate::blacklist::{shard_of, Blacklist};
 use crate::log::{LoggedRequest, QueryLog};
 
 /// Default minimum delay between update requests, in seconds (the deployed
 /// services ask clients to respect a similar back-off).
 pub const DEFAULT_NEXT_UPDATE_SECONDS: u64 = 30 * 60;
 
+/// Below this many prefixes in a batch, full-hash resolution stays on the
+/// calling thread: spawning workers costs more than a handful of hash-map
+/// probes.
+const PARALLEL_RESOLVE_THRESHOLD: usize = 32;
+
+/// Upper bound on resolver threads per batch.
+const MAX_RESOLVE_WORKERS: usize = 16;
+
+/// The query log and its logical clock, under one lock so timestamps are
+/// assigned in arrival order.
 #[derive(Debug)]
-struct ServerState {
-    lists: BTreeMap<ListName, Blacklist>,
-    /// Full chunk history, used to serve incremental updates.
-    chunks: Vec<Chunk>,
+struct LogState {
     query_log: QueryLog,
     clock: u64,
 }
@@ -57,7 +64,14 @@ struct ServerState {
 #[derive(Debug)]
 pub struct SafeBrowsingServer {
     provider: Provider,
-    state: RwLock<ServerState>,
+    /// The blacklists, on their own reader-writer lock: full-hash
+    /// resolution only needs shared access, so any number of batches can
+    /// resolve concurrently (and fan out internally) while updates and
+    /// logging proceed under the other locks.
+    lists: RwLock<BTreeMap<ListName, Blacklist>>,
+    /// Full chunk history, used to serve incremental updates.
+    chunks: Mutex<Vec<Chunk>>,
+    log: Mutex<LogState>,
     next_update_seconds: u64,
 }
 
@@ -66,9 +80,9 @@ impl SafeBrowsingServer {
     pub fn new(provider: Provider) -> Self {
         SafeBrowsingServer {
             provider,
-            state: RwLock::new(ServerState {
-                lists: BTreeMap::new(),
-                chunks: Vec::new(),
+            lists: RwLock::new(BTreeMap::new()),
+            chunks: Mutex::new(Vec::new()),
+            log: Mutex::new(LogState {
                 query_log: QueryLog::new(),
                 clock: 0,
             }),
@@ -94,26 +108,24 @@ impl SafeBrowsingServer {
     /// Registers an empty blacklist.  Returns false if it already existed.
     pub fn create_list(&self, name: impl Into<ListName>, category: ThreatCategory) -> bool {
         let name = name.into();
-        let mut state = self.write_state();
-        if state.lists.contains_key(&name) {
+        let mut lists = self.write_lists();
+        if lists.contains_key(&name) {
             return false;
         }
-        state
-            .lists
-            .insert(name.clone(), Blacklist::new(name, category));
+        lists.insert(name.clone(), Blacklist::new(name, category));
         true
     }
 
     /// Names of the lists currently served.
     pub fn list_names(&self) -> Vec<ListName> {
-        self.read_state().lists.keys().cloned().collect()
+        self.read_lists().keys().cloned().collect()
     }
 
     /// A point-in-time copy of one blacklist (used by the audit
     /// experiments, which play the role of an external analyst crawling the
     /// database exactly as the paper does in Section 7.1).
     pub fn list_snapshot(&self, name: &ListName) -> Option<Blacklist> {
-        self.read_state().lists.get(name).cloned()
+        self.read_lists().get(name).cloned()
     }
 
     /// Blacklists the *exact canonical expression* of a URL in a list and
@@ -146,11 +158,10 @@ impl SafeBrowsingServer {
         expressions: impl IntoIterator<Item = &'a str>,
     ) -> Result<Vec<sb_hash::Digest>, ServerError> {
         let name = list.into();
-        let mut state = self.write_state();
-        if !state.lists.contains_key(&name) {
+        let mut lists = self.write_lists();
+        let Some(blacklist) = lists.get_mut(&name) else {
             return Err(ServerError::UnknownList(name));
-        }
-        let blacklist = state.lists.get_mut(&name).expect("checked above");
+        };
         let mut digests = Vec::new();
         let mut prefixes = Vec::new();
         for expr in expressions {
@@ -158,7 +169,7 @@ impl SafeBrowsingServer {
             prefixes.push(d.prefix32());
             digests.push(d);
         }
-        Self::push_chunk(&mut state, name, ChunkKind::Add, prefixes);
+        self.push_chunk(name, ChunkKind::Add, prefixes);
         Ok(digests)
     }
 
@@ -177,17 +188,16 @@ impl SafeBrowsingServer {
         prefixes: impl IntoIterator<Item = Prefix>,
     ) -> Result<usize, ServerError> {
         let name = list.into();
-        let mut state = self.write_state();
-        if !state.lists.contains_key(&name) {
+        let mut lists = self.write_lists();
+        let Some(blacklist) = lists.get_mut(&name) else {
             return Err(ServerError::UnknownList(name));
-        }
-        let blacklist = state.lists.get_mut(&name).expect("checked above");
+        };
         let prefixes: Vec<Prefix> = prefixes.into_iter().collect();
         for p in &prefixes {
             blacklist.insert_orphan_prefix(*p);
         }
         let count = prefixes.len();
-        Self::push_chunk(&mut state, name, ChunkKind::Add, prefixes);
+        self.push_chunk(name, ChunkKind::Add, prefixes);
         Ok(count)
     }
 
@@ -218,11 +228,10 @@ impl SafeBrowsingServer {
         prefixes: impl IntoIterator<Item = Prefix>,
     ) -> Result<usize, ServerError> {
         let name = list.into();
-        let mut state = self.write_state();
-        if !state.lists.contains_key(&name) {
+        let mut lists = self.write_lists();
+        let Some(blacklist) = lists.get_mut(&name) else {
             return Err(ServerError::UnknownList(name));
-        }
-        let blacklist = state.lists.get_mut(&name).expect("checked above");
+        };
         let prefixes: Vec<Prefix> = prefixes.into_iter().collect();
         let mut removed = 0;
         for p in &prefixes {
@@ -230,47 +239,50 @@ impl SafeBrowsingServer {
                 removed += 1;
             }
         }
-        Self::push_chunk(&mut state, name, ChunkKind::Sub, prefixes);
+        self.push_chunk(name, ChunkKind::Sub, prefixes);
         Ok(removed)
     }
 
     /// The provider's query log (the attacker's view of client traffic).
     pub fn query_log(&self) -> QueryLog {
-        self.read_state().query_log.clone()
+        self.lock_log().query_log.clone()
     }
 
     /// Clears the query log.
     pub fn clear_query_log(&self) {
-        self.write_state().query_log.clear();
+        self.lock_log().query_log.clear();
     }
 
     /// Total number of prefixes across all lists.
     pub fn total_prefixes(&self) -> usize {
-        self.read_state()
-            .lists
+        self.read_lists()
             .values()
             .map(Blacklist::prefix_count)
             .sum()
     }
 
-    fn read_state(&self) -> std::sync::RwLockReadGuard<'_, ServerState> {
-        self.state.read().expect("server state lock poisoned")
+    fn read_lists(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<ListName, Blacklist>> {
+        self.lists.read().expect("server list lock poisoned")
     }
 
-    fn write_state(&self) -> std::sync::RwLockWriteGuard<'_, ServerState> {
-        self.state.write().expect("server state lock poisoned")
+    fn write_lists(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<ListName, Blacklist>> {
+        self.lists.write().expect("server list lock poisoned")
     }
 
-    fn push_chunk(state: &mut ServerState, list: ListName, kind: ChunkKind, prefixes: Vec<Prefix>) {
-        let number = state
-            .chunks
+    fn lock_log(&self) -> std::sync::MutexGuard<'_, LogState> {
+        self.log.lock().expect("server log lock poisoned")
+    }
+
+    fn push_chunk(&self, list: ListName, kind: ChunkKind, prefixes: Vec<Prefix>) {
+        let mut chunks = self.chunks.lock().expect("server chunk lock poisoned");
+        let number = chunks
             .iter()
             .filter(|c| c.list == list && c.kind == kind)
             .map(|c| c.number)
             .max()
             .unwrap_or(0)
             + 1;
-        state.chunks.push(Chunk {
+        chunks.push(Chunk {
             list,
             number,
             kind,
@@ -279,15 +291,31 @@ impl SafeBrowsingServer {
     }
 }
 
+/// Resolves one prefix against every list, in list-name order — the
+/// read-only kernel each resolver worker runs over its shard of the batch.
+fn resolve_prefix(lists: &BTreeMap<ListName, Blacklist>, prefix: &Prefix) -> Vec<FullHashEntry> {
+    let mut entries = Vec::new();
+    for (name, blacklist) in lists {
+        for digest in blacklist.full_digests(prefix) {
+            entries.push(FullHashEntry {
+                list: name.clone(),
+                digest: *digest,
+            });
+        }
+    }
+    entries
+}
+
 impl SafeBrowsingService for SafeBrowsingServer {
     fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
-        let state = self.read_state();
+        let lists = self.read_lists();
+        let history = self.chunks.lock().expect("server chunk lock poisoned");
         let mut chunks = Vec::new();
         for (list, client_state) in &request.lists {
-            if !state.lists.contains_key(list) {
+            if !lists.contains_key(list) {
                 return Err(ServiceError::ListUnknown(list.clone()));
             }
-            for chunk in state.chunks.iter().filter(|c| &c.list == list) {
+            for chunk in history.iter().filter(|c| &c.list == list) {
                 let already_applied = match chunk.kind {
                     ChunkKind::Add => chunk.number <= client_state.max_add_chunk,
                     ChunkKind::Sub => chunk.number <= client_state.max_sub_chunk,
@@ -303,6 +331,15 @@ impl SafeBrowsingService for SafeBrowsingServer {
         })
     }
 
+    /// Answers a batch of full-hash requests.
+    ///
+    /// Requests are logged serially (timestamps in arrival order), then the
+    /// batch's prefixes are resolved **concurrently**: workers fan out under
+    /// [`std::thread::scope`], each handling the prefixes whose lead byte
+    /// maps to it, so a worker only ever touches its own [`Blacklist`]
+    /// shards.  Responses are reassembled in request order with entries in
+    /// the same (prefix order × list order) sequence the serial resolver
+    /// produced, so the parallelism is observationally invisible.
     fn full_hashes_batch(
         &self,
         requests: &[FullHashRequest],
@@ -316,29 +353,90 @@ impl SafeBrowsingService for SafeBrowsingServer {
             });
         }
 
-        let mut state = self.write_state();
-        let mut responses = Vec::with_capacity(requests.len());
-        for request in requests {
-            state.clock += 1;
-            let timestamp = state.clock;
-            state.query_log.record(LoggedRequest {
-                timestamp,
-                cookie: request.cookie,
-                prefixes: request.prefixes.clone(),
-            });
-
-            let mut entries = Vec::new();
-            for prefix in &request.prefixes {
-                for (name, blacklist) in &state.lists {
-                    for digest in blacklist.full_digests(prefix) {
-                        entries.push(FullHashEntry {
-                            list: name.clone(),
-                            digest: *digest,
-                        });
-                    }
-                }
+        {
+            let mut log = self.lock_log();
+            for request in requests {
+                log.clock += 1;
+                let timestamp = log.clock;
+                log.query_log.record(LoggedRequest {
+                    timestamp,
+                    cookie: request.cookie,
+                    prefixes: request.prefixes.clone(),
+                });
             }
-            responses.push(FullHashResponse { entries });
+        }
+
+        let lists = self.read_lists();
+        // Flatten the batch into (request index, prefix) work items.
+        let flat: Vec<(usize, &Prefix)> = requests
+            .iter()
+            .enumerate()
+            .flat_map(|(i, r)| r.prefixes.iter().map(move |p| (i, p)))
+            .collect();
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_RESOLVE_WORKERS);
+
+        // Assign each lead byte present in the batch to one worker,
+        // round-robin in order of first appearance: workers own disjoint
+        // sets of `Blacklist` shards (no two touch the same shard), the
+        // assignment balances whatever lead bytes the batch actually
+        // contains, and no thread is spawned without work.  A batch
+        // concentrated on a single lead byte degrades to one worker — i.e.
+        // to the serial path's performance, never below it.
+        let mut worker_of_lead = [usize::MAX; Blacklist::SHARD_COUNT];
+        let mut leads_seen = 0usize;
+        for (_, prefix) in &flat {
+            let lead = shard_of(prefix);
+            if worker_of_lead[lead] == usize::MAX {
+                worker_of_lead[lead] = leads_seen % workers;
+                leads_seen += 1;
+            }
+        }
+        let active_workers = leads_seen.min(workers);
+
+        let resolved: Vec<Vec<FullHashEntry>> =
+            if flat.len() < PARALLEL_RESOLVE_THRESHOLD || active_workers <= 1 {
+                flat.iter()
+                    .map(|(_, p)| resolve_prefix(&lists, p))
+                    .collect()
+            } else {
+                let mut out: Vec<Vec<FullHashEntry>> = vec![Vec::new(); flat.len()];
+                std::thread::scope(|scope| {
+                    let lists = &*lists;
+                    let flat = &flat;
+                    let worker_of_lead = &worker_of_lead;
+                    let handles: Vec<_> = (0..active_workers)
+                        .map(|worker| {
+                            scope.spawn(move || {
+                                let mut mine = Vec::new();
+                                for (slot, (_, prefix)) in flat.iter().enumerate() {
+                                    if worker_of_lead[shard_of(prefix)] == worker {
+                                        mine.push((slot, resolve_prefix(lists, prefix)));
+                                    }
+                                }
+                                mine
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        for (slot, entries) in
+                            handle.join().expect("full-hash resolver thread panicked")
+                        {
+                            out[slot] = entries;
+                        }
+                    }
+                });
+                out
+            };
+
+        let mut responses: Vec<FullHashResponse> = requests
+            .iter()
+            .map(|_| FullHashResponse::default())
+            .collect();
+        for ((request_index, _), entries) in flat.iter().zip(resolved) {
+            responses[*request_index].entries.extend(entries);
         }
         Ok(responses)
     }
@@ -562,6 +660,88 @@ mod tests {
         assert_eq!(log.len(), 3);
         let timestamps: Vec<u64> = log.requests().iter().map(|r| r.timestamp).collect();
         assert_eq!(timestamps, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn large_batches_resolve_concurrently_with_serial_semantics() {
+        // Enough prefixes to cross PARALLEL_RESOLVE_THRESHOLD: the fan-out
+        // path must produce exactly what the serial path would — same
+        // request order, same per-request entry order, same log.
+        let server = SafeBrowsingServer::with_standard_lists(Provider::Google);
+        let digests: Vec<_> = (0..50)
+            .map(|i| {
+                server
+                    .blacklist_url(
+                        "goog-malware-shavar",
+                        &format!("http://evil{i}.example/mal.html"),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        // One multi-prefix request (hits interleaved with misses) plus many
+        // single-prefix requests.
+        let mut mixed = Vec::new();
+        for (i, d) in digests.iter().enumerate().take(20) {
+            mixed.push(d.prefix32());
+            mixed.push(prefix32(&format!("miss{i}.example/")));
+        }
+        let mut requests = vec![FullHashRequest::new(mixed)];
+        requests.extend(
+            digests
+                .iter()
+                .map(|d| FullHashRequest::new(vec![d.prefix32()])),
+        );
+
+        let responses = server.full_hashes_batch(&requests).unwrap();
+        assert_eq!(responses.len(), requests.len());
+        // The mixed request resolves its 20 hits in prefix order.
+        assert_eq!(responses[0].entries.len(), 20);
+        for (entry, digest) in responses[0].entries.iter().zip(digests.iter().take(20)) {
+            assert_eq!(entry.digest, *digest);
+        }
+        for (response, digest) in responses[1..].iter().zip(&digests) {
+            assert_eq!(response.entries.len(), 1);
+            assert!(response.contains_digest(digest));
+        }
+        // One log line per request, timestamps in arrival order.
+        let log = server.query_log();
+        assert_eq!(log.len(), requests.len());
+        let timestamps: Vec<u64> = log.requests().iter().map(|r| r.timestamp).collect();
+        assert_eq!(timestamps, (1..=requests.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_batches_from_many_threads_stay_consistent() {
+        let server = SafeBrowsingServer::with_standard_lists(Provider::Google);
+        let digest = server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let requests: Vec<FullHashRequest> = (0..40)
+                        .map(|i| {
+                            FullHashRequest::new(vec![
+                                digest.prefix32(),
+                                prefix32(&format!("miss{i}.example/")),
+                            ])
+                        })
+                        .collect();
+                    let responses = server.full_hashes_batch(&requests).unwrap();
+                    for response in responses {
+                        assert!(response.contains_digest(&digest));
+                        assert_eq!(response.entries.len(), 1);
+                    }
+                });
+            }
+        });
+        // 8 threads × 40 requests, each logged exactly once with a unique
+        // timestamp.
+        let log = server.query_log();
+        assert_eq!(log.len(), 8 * 40);
+        let mut timestamps: Vec<u64> = log.requests().iter().map(|r| r.timestamp).collect();
+        timestamps.sort_unstable();
+        assert_eq!(timestamps, (1..=(8 * 40) as u64).collect::<Vec<_>>());
     }
 
     #[test]

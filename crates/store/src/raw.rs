@@ -7,6 +7,7 @@
 
 use sb_hash::{Prefix, PrefixLen};
 
+use crate::rows::sorted_rows;
 use crate::traits::PrefixStore;
 
 /// A sorted, deduplicated table of fixed-length prefixes.
@@ -41,21 +42,10 @@ impl RawPrefixTable {
         prefix_len: PrefixLen,
         prefixes: impl IntoIterator<Item = Prefix>,
     ) -> Self {
-        let mut rows: Vec<Vec<u8>> = prefixes
-            .into_iter()
-            .map(|p| {
-                assert_eq!(p.len(), prefix_len, "prefix length mismatch");
-                p.as_bytes().to_vec()
-            })
-            .collect();
-        rows.sort_unstable();
-        rows.dedup();
-        let width = prefix_len.bytes();
-        let mut data = Vec::with_capacity(rows.len() * width);
-        for row in rows {
-            data.extend_from_slice(&row);
+        RawPrefixTable {
+            prefix_len,
+            data: sorted_rows(prefix_len, prefixes),
         }
-        RawPrefixTable { prefix_len, data }
     }
 
     /// Iterates over the stored prefixes in sorted order.

@@ -3,11 +3,48 @@
 
 use proptest::prelude::*;
 use sb_hash::{Prefix, PrefixLen};
-use sb_store::{BloomFilter, DeltaCodedTable, PrefixStore, RawPrefixTable};
+use sb_store::{BloomFilter, DeltaCodedTable, IndexedPrefixTable, PrefixStore, RawPrefixTable};
 
 fn prefix_vec() -> impl Strategy<Value = Vec<Prefix>> {
     prop::collection::vec(any::<u32>(), 0..300)
         .prop_map(|values| values.into_iter().map(Prefix::from_u32).collect())
+}
+
+/// Random prefixes of an arbitrary experiment length, built from 32 random
+/// bytes truncated to the length's width.
+fn any_len_prefix_vec() -> impl Strategy<Value = (PrefixLen, Vec<Prefix>)> {
+    (
+        0usize..PrefixLen::ALL.len(),
+        prop::collection::vec(prop::array::uniform32(any::<u8>()), 0..200),
+    )
+        .prop_map(|(len_index, rows)| {
+            let len = PrefixLen::ALL[len_index];
+            let prefixes = rows
+                .into_iter()
+                .map(|row| Prefix::from_bytes(&row[..len.bytes()], len))
+                .collect();
+            (len, prefixes)
+        })
+}
+
+/// Values clustered around two-byte-lead bucket boundaries: `lead << 16`
+/// plus a tiny offset, so tables contain first-row/last-row bucket entries,
+/// single-entry buckets and many empty buckets.
+fn bucket_boundary_vec() -> impl Strategy<Value = Vec<Prefix>> {
+    prop::collection::vec((any::<u16>(), 0u32..4, any::<bool>()), 0..200).prop_map(|triples| {
+        triples
+            .into_iter()
+            .map(|(lead, offset, from_top)| {
+                let base = (lead as u32) << 16;
+                let value = if from_top {
+                    base | (0xffff - offset)
+                } else {
+                    base | offset
+                };
+                Prefix::from_u32(value)
+            })
+            .collect()
+    })
 }
 
 proptest! {
@@ -19,6 +56,75 @@ proptest! {
         let raw = RawPrefixTable::from_prefixes(PrefixLen::L32, values.iter().copied());
         let delta = DeltaCodedTable::from_prefixes(PrefixLen::L32, values.iter().copied());
         prop_assert_eq!(raw.len(), delta.len());
+        for p in &values {
+            prop_assert!(delta.contains(p));
+        }
+        for v in probes {
+            for candidate in [v, v.wrapping_add(1), v.wrapping_sub(1)] {
+                let p = Prefix::from_u32(candidate);
+                prop_assert_eq!(raw.contains(&p), delta.contains(&p), "value {:#x}", candidate);
+            }
+        }
+    }
+
+    /// The indexed table answers membership exactly like the raw table for
+    /// every experiment prefix length, for present values and random probes.
+    #[test]
+    fn indexed_equals_raw_for_every_prefix_len(
+        len_and_values in any_len_prefix_vec(),
+        probes in prop::collection::vec(prop::array::uniform32(any::<u8>()), 0..100),
+    ) {
+        let (len, values) = len_and_values;
+        let raw = RawPrefixTable::from_prefixes(len, values.iter().copied());
+        let indexed = IndexedPrefixTable::from_prefixes(len, values.iter().copied());
+        prop_assert_eq!(raw.len(), indexed.len());
+        for p in &values {
+            prop_assert!(indexed.contains(p));
+        }
+        for row in probes {
+            let p = Prefix::from_bytes(&row[..len.bytes()], len);
+            prop_assert_eq!(raw.contains(&p), indexed.contains(&p), "probe {}", p);
+        }
+    }
+
+    /// Bucket-boundary stress: values hugging the edges of two-byte-lead
+    /// buckets (first/last possible tail, adjacent empty buckets) agree with
+    /// the raw table, including for probes shifted across the boundary.
+    #[test]
+    fn indexed_equals_raw_at_bucket_boundaries(values in bucket_boundary_vec()) {
+        let raw = RawPrefixTable::from_prefixes(PrefixLen::L32, values.iter().copied());
+        let indexed = IndexedPrefixTable::from_prefixes(PrefixLen::L32, values.iter().copied());
+        for p in &values {
+            prop_assert!(indexed.contains(p));
+            for probe in [
+                p.value().wrapping_add(1),
+                p.value().wrapping_sub(1),
+                p.value().wrapping_add(1 << 16),
+                p.value().wrapping_sub(1 << 16),
+                p.value() ^ 0xffff,
+            ] {
+                let q = Prefix::from_u32(probe);
+                prop_assert_eq!(raw.contains(&q), indexed.contains(&q), "probe {:#x}", probe);
+            }
+        }
+    }
+
+    /// The lead-indexed delta table agrees with the raw table when the
+    /// anchor index is active: sparse values (every gap > 2^16, no u32
+    /// wrap-around of the progression itself) make nearly every value an
+    /// anchor, so 10000 values safely cross the index threshold.
+    #[test]
+    fn lead_indexed_delta_equals_raw(
+        start in any::<u32>(),
+        stride in 66_000u32..400_000,
+        probes in prop::collection::vec(any::<u32>(), 0..200),
+    ) {
+        let values: Vec<Prefix> = (0..10_000u32)
+            .map(|i| Prefix::from_u32(start.wrapping_add(i.wrapping_mul(stride))))
+            .collect();
+        let raw = RawPrefixTable::from_prefixes(PrefixLen::L32, values.iter().copied());
+        let delta = DeltaCodedTable::from_prefixes(PrefixLen::L32, values.iter().copied());
+        prop_assert!(delta.lead_index_buckets() > 0, "index must be active");
         for p in &values {
             prop_assert!(delta.contains(p));
         }

@@ -241,13 +241,19 @@ fn parse_ip_component(p: &str) -> Option<u64> {
 }
 
 fn looks_like_ipv4(host: &str) -> bool {
-    let parts: Vec<&str> = host.split('.').collect();
-    parts.len() == 4
-        && parts.iter().all(|p| {
-            !p.is_empty()
-                && p.chars().all(|c| c.is_ascii_digit())
-                && p.parse::<u16>().map(|v| v <= 255).unwrap_or(false)
-        })
+    // Allocation-free: this runs on every lookup via `CanonicalUrl::host_is_ip`.
+    let mut parts = 0usize;
+    for p in host.split('.') {
+        parts += 1;
+        if parts > 4
+            || p.is_empty()
+            || !p.chars().all(|c| c.is_ascii_digit())
+            || !p.parse::<u16>().map(|v| v <= 255).unwrap_or(false)
+        {
+            return false;
+        }
+    }
+    parts == 4
 }
 
 /// Canonicalizes a path: unescape, resolve `.` and `..`, collapse duplicate

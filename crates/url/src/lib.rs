@@ -31,8 +31,9 @@ mod parse;
 
 pub use canonicalize::CanonicalUrl;
 pub use decompose::{
-    decompose, decompose_url, host_candidates, path_candidates, Decomposition, HOST_SUFFIX_LABELS,
-    MAX_HOST_CANDIDATES, MAX_PATH_CANDIDATES,
+    decompose, decompose_url, host_candidates, path_candidates, visit_decompositions,
+    DecomposeScratch, Decomposition, DecompositionRef, HOST_SUFFIX_LABELS, MAX_HOST_CANDIDATES,
+    MAX_PATH_CANDIDATES,
 };
 pub use parse::{ParseUrlError, RawUrl};
 

@@ -1,7 +1,10 @@
 //! Property-based tests for canonicalization and decomposition invariants.
 
 use proptest::prelude::*;
-use sb_url::{decompose, CanonicalUrl, MAX_HOST_CANDIDATES, MAX_PATH_CANDIDATES};
+use sb_url::{
+    decompose, visit_decompositions, CanonicalUrl, DecomposeScratch, MAX_HOST_CANDIDATES,
+    MAX_PATH_CANDIDATES,
+};
 
 /// Strategy generating plausible host names (1-6 labels).
 fn host_strategy() -> impl Strategy<Value = String> {
@@ -69,6 +72,43 @@ proptest! {
             prop_assert!(c.host().ends_with(d.host()));
             // Every decomposition expression is host + something starting with '/'.
             prop_assert!(d.path_and_query().starts_with('/'));
+        }
+    }
+
+    /// The zero-allocation visitor produces exactly the same expressions,
+    /// hosts, paths and domain-root flags as the allocating `decompose`, in
+    /// the same order — including when one scratch is reused across URLs.
+    #[test]
+    fn visitor_matches_decompose(host in host_strategy(), path in path_strategy(), query in query_strategy()) {
+        let url = match &query {
+            Some(q) => format!("http://{host}{path}?{q}"),
+            None => format!("http://{host}{path}"),
+        };
+        let c = CanonicalUrl::parse(&url).unwrap();
+        let expected = decompose(&c);
+
+        let mut scratch = DecomposeScratch::new();
+        // Dirty the scratch with another URL first: reuse must not leak
+        // state between calls.
+        let other = CanonicalUrl::parse("http://prior.example.test/some/long/path?q=1").unwrap();
+        visit_decompositions(&other, &mut scratch, |_| {});
+
+        let mut visited = Vec::new();
+        visit_decompositions(&c, &mut scratch, |d| {
+            assert_eq!(d.to_owned().expression(), d.expression());
+            visited.push((
+                d.expression().to_string(),
+                d.host().to_string(),
+                d.path_and_query().to_string(),
+                d.is_domain_root(),
+            ));
+        });
+        prop_assert_eq!(visited.len(), expected.len());
+        for (got, want) in visited.iter().zip(&expected) {
+            prop_assert_eq!(&got.0, want.expression());
+            prop_assert_eq!(&got.1, want.host());
+            prop_assert_eq!(&got.2, want.path_and_query());
+            prop_assert_eq!(got.3, want.is_domain_root());
         }
     }
 

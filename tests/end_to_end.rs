@@ -86,11 +86,7 @@ fn all_store_backends_agree_on_verdicts() {
         "http://fr.adult.example/user/video",
     ];
     let mut verdicts: Vec<Vec<bool>> = Vec::new();
-    for backend in [
-        StoreBackend::Raw,
-        StoreBackend::DeltaCoded,
-        StoreBackend::Bloom,
-    ] {
+    for backend in StoreBackend::ALL {
         let mut client = SafeBrowsingClient::in_process(
             ClientConfig::subscribed_to([
                 "ydx-malware-shavar",
