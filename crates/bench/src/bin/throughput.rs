@@ -1,23 +1,48 @@
-//! End-to-end lookup throughput harness — the first point of the repo's
-//! recorded perf trajectory (`BENCH_throughput.json`).
+//! End-to-end lookup throughput harness — the recorded perf trajectory of
+//! the repo (`BENCH_throughput.json`).
 //!
 //! Loads a 1M-prefix corpus into a simulated provider, drives N concurrent
 //! clients over a mixed hit/miss URL workload through the full `Transport`
 //! stack (decomposition → SHA-256 → prefix membership → full-hash round
-//! trip), and reports, per store backend:
-//!
-//! * `lookups_per_sec` — aggregate wall-clock throughput across all clients;
-//! * `p50_ns` / `p99_ns` — per-lookup latency percentiles;
-//! * `allocs_per_lookup` — heap allocations per lookup over the mixed
-//!   workload, via a counting global allocator;
-//! * `allocs_per_cache_hit_lookup` — allocations for a lookup answered
-//!   entirely from local state (the common case); the zero-alloc pipeline
-//!   must report **0** here.
+//! trip), per store backend; then re-runs the workload (indexed backend)
+//! through the resilience stack: a retrying transport over a flaky path, a
+//! sharded provider fleet, and the full stack with one degraded shard.
 //!
 //! Run: `cargo run --release -p sb-bench --bin throughput` (full corpus) or
 //! `--smoke` for the CI-sized run.  Scale knobs: `SB_THROUGHPUT_PREFIXES`,
 //! `SB_THROUGHPUT_CLIENTS`, `SB_THROUGHPUT_URLS` (per client), and
 //! `SB_THROUGHPUT_OUT` (output path, default `BENCH_throughput.json`).
+//!
+//! # `BENCH_throughput.json` schema
+//!
+//! Top level: `bench` (always `"throughput"`), `smoke` (bool), `prefixes`,
+//! `clients`, `urls_per_client` (run shape), then two maps:
+//!
+//! * `backends` — one entry per store backend (`raw`, `delta-coded`,
+//!   `indexed`), each with:
+//!   * `lookups_per_sec` — aggregate wall-clock throughput across all
+//!     clients;
+//!   * `p50_ns` / `p99_ns` — per-lookup latency percentiles;
+//!   * `allocs_per_lookup` — heap allocations per lookup over the mixed
+//!     workload, via a counting global allocator;
+//!   * `allocs_per_cache_hit_lookup` — allocations for a lookup answered
+//!     entirely from local state (the common case); the zero-alloc
+//!     pipeline must report **0** here;
+//!   * `database_bytes` — client database memory;
+//!   * `urls_flagged` — malicious verdicts over the workload (workload
+//!     sanity check).
+//! * `scenarios` — resilience runs on the indexed backend, keys
+//!   `retrying_flaky`, `sharded_fleet`, `resilient_degraded_shard`, each
+//!   with `lookups_per_sec`, `p50_ns`, `p99_ns`, `urls_flagged`, plus the
+//!   fault accounting: `shards` (fleet width; 1 = no fleet),
+//!   `faults_injected` (transport faults fired), `retries` (retry-layer
+//!   attempts beyond the first), `degraded_requests` (requests a failed
+//!   shard answered with fail-open empties) and `failed_lookups` (lookups
+//!   that still surfaced an error after retries — expected 0 for the
+//!   recorded scenarios).
+//!
+//! All scenario backoff time flows through a `VirtualClock`, so injected
+//! faults never inflate the wall-clock numbers with sleeps.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,10 +51,13 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sb_client::{ClientConfig, SafeBrowsingClient};
+use sb_client::{
+    ClientConfig, InProcessTransport, RetryPolicy, RetryingTransport, SafeBrowsingClient,
+    SimulatedTransport, TransportService, VirtualClock,
+};
 use sb_hash::Prefix;
-use sb_protocol::{Provider, ThreatCategory};
-use sb_server::SafeBrowsingServer;
+use sb_protocol::{Provider, ServiceError, ThreatCategory};
+use sb_server::{SafeBrowsingServer, ShardHandle, ShardedProvider};
 use sb_store::StoreBackend;
 use sb_url::CanonicalUrl;
 
@@ -112,6 +140,21 @@ struct BackendReport {
     flagged: usize,
 }
 
+/// One resilience-scenario measurement (see the module doc for the JSON
+/// schema).
+struct ScenarioReport {
+    name: &'static str,
+    lookups_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    flagged: usize,
+    failed_lookups: usize,
+    shards: usize,
+    faults_injected: usize,
+    retries: usize,
+    degraded_requests: usize,
+}
+
 fn main() {
     let config = Config::from_env_and_args();
     eprintln!(
@@ -135,7 +178,13 @@ fn main() {
         .map(|&backend| run_backend(backend, &server, &workload, &config))
         .collect();
 
-    let json = render_json(&config, &reports);
+    let scenarios = [
+        run_retrying_flaky(&server, &workload, &config),
+        run_sharded_fleet(&server, &workload, &config),
+        run_resilient_degraded_shard(&server, &workload, &config),
+    ];
+
+    let json = render_json(&config, &reports, &scenarios);
     std::fs::write(&config.out_path, &json).expect("write BENCH_throughput.json");
     eprintln!("wrote {}", config.out_path);
     println!("{json}");
@@ -211,50 +260,14 @@ fn run_backend(
     let database_bytes = clients[0].database_memory_bytes();
 
     // ---- timed multi-client phase -----------------------------------------
-    let barrier = Barrier::new(config.clients);
-    let chunk = config.urls_per_client;
-    let started = Instant::now();
-    let (latencies, flagged): (Vec<Vec<u64>>, Vec<usize>) = std::thread::scope(|scope| {
-        let barrier = &barrier;
-        let handles: Vec<_> = clients
-            .iter_mut()
-            .enumerate()
-            .map(|(i, client)| {
-                let slice = &workload[i * chunk..(i + 1) * chunk];
-                scope.spawn(move || {
-                    let mut latencies = Vec::with_capacity(slice.len());
-                    let mut flagged = 0usize;
-                    barrier.wait();
-                    for url in slice {
-                        let start = Instant::now();
-                        let outcome = client.check_canonical(url).expect("lookup");
-                        latencies.push(start.elapsed().as_nanos() as u64);
-                        if outcome.is_malicious() {
-                            flagged += 1;
-                        }
-                    }
-                    (latencies, flagged)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread panicked"))
-            .unzip()
-    });
-    let wall = started.elapsed();
-    let total_lookups = config.clients * chunk;
-    let lookups_per_sec = total_lookups as f64 / wall.as_secs_f64();
-
-    let mut merged: Vec<u64> = latencies.into_iter().flatten().collect();
-    merged.sort_unstable();
-    let percentile = |p: f64| -> u64 {
-        if merged.is_empty() {
-            return 0;
-        }
-        let rank = ((merged.len() as f64 - 1.0) * p).round() as usize;
-        merged[rank]
-    };
+    let timed = timed_phase(&mut clients, workload, config.urls_per_client);
+    assert_eq!(
+        timed.failed, 0,
+        "lookups must not fail without fault injection"
+    );
+    let lookups_per_sec = timed.lookups_per_sec;
+    let flagged = timed.flagged;
+    let percentile = |p: f64| timed.percentile(p);
 
     // ---- single-threaded allocation accounting ----------------------------
     // Mixed workload: warm one client (resolves full-hash caches and grows
@@ -296,7 +309,7 @@ fn run_backend(
         allocs_per_lookup,
         allocs_per_cache_hit_lookup,
         database_bytes,
-        flagged: flagged.iter().sum(),
+        flagged,
     };
     eprintln!(
         "[{backend}] {:.0} lookups/s, p50 {} ns, p99 {} ns, {:.3} allocs/lookup, {:.3} allocs/cache-hit, {} flagged",
@@ -310,7 +323,273 @@ fn run_backend(
     report
 }
 
-fn render_json(config: &Config, reports: &[BackendReport]) -> String {
+/// Result of one timed multi-client sweep over the workload.
+struct TimedPhase {
+    lookups_per_sec: f64,
+    /// Merged per-lookup latencies, sorted ascending.
+    latencies: Vec<u64>,
+    flagged: usize,
+    /// Lookups that surfaced a `ServiceError` (only possible under fault
+    /// injection).
+    failed: usize,
+}
+
+impl TimedPhase {
+    fn percentile(&self, p: f64) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((self.latencies.len() as f64 - 1.0) * p).round() as usize;
+        self.latencies[rank]
+    }
+}
+
+/// Drives each client over its slice of the workload concurrently,
+/// measuring per-lookup latency.  Failed lookups (possible only under
+/// fault injection) are counted, not fatal.
+fn timed_phase(
+    clients: &mut [SafeBrowsingClient],
+    workload: &[CanonicalUrl],
+    chunk: usize,
+) -> TimedPhase {
+    let barrier = Barrier::new(clients.len());
+    let total_lookups = clients.len() * chunk;
+    let started = Instant::now();
+    let results: Vec<(Vec<u64>, usize, usize)> = std::thread::scope(|scope| {
+        let barrier = &barrier;
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .enumerate()
+            .map(|(i, client)| {
+                let slice = &workload[i * chunk..(i + 1) * chunk];
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(slice.len());
+                    let mut flagged = 0usize;
+                    let mut failed = 0usize;
+                    barrier.wait();
+                    for url in slice {
+                        let start = Instant::now();
+                        match client.check_canonical(url) {
+                            Ok(outcome) => {
+                                if outcome.is_malicious() {
+                                    flagged += 1;
+                                }
+                            }
+                            Err(_) => failed += 1,
+                        }
+                        latencies.push(start.elapsed().as_nanos() as u64);
+                    }
+                    (latencies, flagged, failed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    let mut latencies: Vec<u64> = Vec::with_capacity(total_lookups);
+    let mut flagged = 0;
+    let mut failed = 0;
+    for (lat, f, e) in results {
+        latencies.extend(lat);
+        flagged += f;
+        failed += e;
+    }
+    latencies.sort_unstable();
+    TimedPhase {
+        lookups_per_sec: total_lookups as f64 / wall.as_secs_f64(),
+        latencies,
+        flagged,
+        failed,
+    }
+}
+
+/// Fault plan shared by the resilience scenarios: one transport fault
+/// every `FAULT_PERIOD` round trips on the flaky path.
+const FAULT_PERIOD: usize = 20;
+
+/// Retry-policy clients over a transport handle, each owning its own
+/// retry layer (stats handles returned for accounting).
+#[allow(clippy::type_complexity)]
+fn retrying_clients(
+    transport: &Arc<SimulatedTransport>,
+    clients: usize,
+) -> (
+    Vec<Arc<RetryingTransport<Arc<SimulatedTransport>>>>,
+    Vec<SafeBrowsingClient>,
+) {
+    let clock = Arc::new(VirtualClock::new());
+    let retrying: Vec<Arc<RetryingTransport<Arc<SimulatedTransport>>>> = (0..clients)
+        .map(|_| {
+            Arc::new(RetryingTransport::with_clock(
+                transport.clone(),
+                RetryPolicy::default(),
+                clock.clone(),
+            ))
+        })
+        .collect();
+    let clients = retrying
+        .iter()
+        .map(|rt| {
+            let mut client = SafeBrowsingClient::new(
+                ClientConfig::subscribed_to([LIST]).with_backend(StoreBackend::Indexed),
+                rt.clone(),
+            );
+            client.update().expect("initial update");
+            client
+        })
+        .collect();
+    (retrying, clients)
+}
+
+fn scenario_report(
+    name: &'static str,
+    timed: &TimedPhase,
+    shards: usize,
+    faults_injected: usize,
+    retries: usize,
+    degraded_requests: usize,
+) -> ScenarioReport {
+    let report = ScenarioReport {
+        name,
+        lookups_per_sec: timed.lookups_per_sec,
+        p50_ns: timed.percentile(0.50),
+        p99_ns: timed.percentile(0.99),
+        flagged: timed.flagged,
+        failed_lookups: timed.failed,
+        shards,
+        faults_injected,
+        retries,
+        degraded_requests,
+    };
+    eprintln!(
+        "[{name}] {:.0} lookups/s, p50 {} ns, p99 {} ns, {} flagged, {} failed, \
+         {} faults, {} retries, {} degraded",
+        report.lookups_per_sec,
+        report.p50_ns,
+        report.p99_ns,
+        report.flagged,
+        report.failed_lookups,
+        report.faults_injected,
+        report.retries,
+        report.degraded_requests,
+    );
+    report
+}
+
+/// Scenario: the provider path drops every `FAULT_PERIOD`-th round trip;
+/// the retry layer absorbs the faults (virtual-clock backoff, so the
+/// throughput numbers measure the pipeline, not injected sleeps).
+fn run_retrying_flaky(
+    server: &Arc<SafeBrowsingServer>,
+    workload: &[CanonicalUrl],
+    config: &Config,
+) -> ScenarioReport {
+    eprintln!("[retrying_flaky] building {} client(s)...", config.clients);
+    let flaky = Arc::new(SimulatedTransport::new(InProcessTransport::new(
+        server.clone(),
+    )));
+    let (retrying, mut clients) = retrying_clients(&flaky, config.clients);
+    // Start injecting faults only after the setup updates.
+    flaky.fail_every(
+        FAULT_PERIOD,
+        ServiceError::Unavailable {
+            reason: "injected".into(),
+        },
+    );
+    let timed = timed_phase(&mut clients, workload, config.urls_per_client);
+    let retries = retrying.iter().map(|rt| rt.stats().retries).sum();
+    scenario_report(
+        "retrying_flaky",
+        &timed,
+        1,
+        flaky.stats().faults_injected,
+        retries,
+        0,
+    )
+}
+
+/// Scenario: a healthy `SHARD_COUNT`-shard fleet behind the in-process
+/// transport — the load-spread configuration.
+fn run_sharded_fleet(
+    server: &Arc<SafeBrowsingServer>,
+    workload: &[CanonicalUrl],
+    config: &Config,
+) -> ScenarioReport {
+    const SHARD_COUNT: usize = 4;
+    eprintln!("[sharded_fleet] building {} client(s)...", config.clients);
+    let fleet = Arc::new(ShardedProvider::new(
+        (0..SHARD_COUNT)
+            .map(|_| server.clone() as ShardHandle)
+            .collect(),
+    ));
+    let mut clients: Vec<SafeBrowsingClient> = (0..config.clients)
+        .map(|_| {
+            let mut client = SafeBrowsingClient::in_process(
+                ClientConfig::subscribed_to([LIST]).with_backend(StoreBackend::Indexed),
+                fleet.clone(),
+            );
+            client.update().expect("initial update");
+            client
+        })
+        .collect();
+    let timed = timed_phase(&mut clients, workload, config.urls_per_client);
+    let stats = fleet.stats();
+    scenario_report(
+        "sharded_fleet",
+        &timed,
+        SHARD_COUNT,
+        0,
+        0,
+        stats.degraded_requests,
+    )
+}
+
+/// Scenario: the full resilience stack — retrying clients over a 4-shard
+/// fleet with one shard dropping every `FAULT_PERIOD`-th round trip.  A
+/// lookup owned by the flaky shard fails its exchange; the retry layer
+/// re-sends and the next round trip goes through.
+fn run_resilient_degraded_shard(
+    server: &Arc<SafeBrowsingServer>,
+    workload: &[CanonicalUrl],
+    config: &Config,
+) -> ScenarioReport {
+    const SHARD_COUNT: usize = 4;
+    eprintln!(
+        "[resilient_degraded_shard] building {} client(s)...",
+        config.clients
+    );
+    let flaky_shard = Arc::new(SimulatedTransport::new(InProcessTransport::new(
+        server.clone(),
+    )));
+    let mut shards: Vec<ShardHandle> = vec![Arc::new(TransportService::new(flaky_shard.clone()))];
+    shards.extend((1..SHARD_COUNT).map(|_| server.clone() as ShardHandle));
+    let fleet = Arc::new(ShardedProvider::new(shards));
+    let front = Arc::new(SimulatedTransport::new(InProcessTransport::new(
+        fleet.clone(),
+    )));
+    let (retrying, mut clients) = retrying_clients(&front, config.clients);
+    flaky_shard.fail_every(
+        FAULT_PERIOD,
+        ServiceError::Unavailable {
+            reason: "injected shard fault".into(),
+        },
+    );
+    let timed = timed_phase(&mut clients, workload, config.urls_per_client);
+    let retries = retrying.iter().map(|rt| rt.stats().retries).sum();
+    scenario_report(
+        "resilient_degraded_shard",
+        &timed,
+        SHARD_COUNT,
+        flaky_shard.stats().faults_injected,
+        retries,
+        fleet.stats().degraded_requests,
+    )
+}
+
+fn render_json(config: &Config, reports: &[BackendReport], scenarios: &[ScenarioReport]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"throughput\",\n");
@@ -344,6 +623,37 @@ fn render_json(config: &Config, reports: &[BackendReport]) -> String {
         ));
         out.push_str(&format!("      \"urls_flagged\": {}\n", r.flagged));
         out.push_str(if i + 1 == reports.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"scenarios\": {\n");
+    for (i, s) in scenarios.iter().enumerate() {
+        out.push_str(&format!("    \"{}\": {{\n", s.name));
+        out.push_str(&format!(
+            "      \"lookups_per_sec\": {:.1},\n",
+            s.lookups_per_sec
+        ));
+        out.push_str(&format!("      \"p50_ns\": {},\n", s.p50_ns));
+        out.push_str(&format!("      \"p99_ns\": {},\n", s.p99_ns));
+        out.push_str(&format!("      \"urls_flagged\": {},\n", s.flagged));
+        out.push_str(&format!(
+            "      \"failed_lookups\": {},\n",
+            s.failed_lookups
+        ));
+        out.push_str(&format!("      \"shards\": {},\n", s.shards));
+        out.push_str(&format!(
+            "      \"faults_injected\": {},\n",
+            s.faults_injected
+        ));
+        out.push_str(&format!("      \"retries\": {},\n", s.retries));
+        out.push_str(&format!(
+            "      \"degraded_requests\": {}\n",
+            s.degraded_requests
+        ));
+        out.push_str(if i + 1 == scenarios.len() {
             "    }\n"
         } else {
             "    },\n"

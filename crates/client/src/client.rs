@@ -249,6 +249,44 @@ impl SafeBrowsingClient {
         Self::new(config, InProcessTransport::new(service))
     }
 
+    /// Convenience: a client whose transport is wrapped in a
+    /// [`RetryingTransport`](crate::RetryingTransport) with the given
+    /// policy — provider back-off delays are honoured (bounded by the
+    /// policy's back-off cap) and transient unavailability is retried with
+    /// deterministic jittered exponential fallback before any error
+    /// reaches the caller.  Delays run on the real, sleeping
+    /// [`SystemClock`](crate::SystemClock); use
+    /// [`RetryingTransport::with_clock`](crate::RetryingTransport::with_clock)
+    /// directly to inject a virtual clock.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use sb_client::{ClientConfig, InProcessTransport, RetryPolicy, SafeBrowsingClient};
+    /// use sb_protocol::{Provider, ThreatCategory};
+    /// use sb_server::SafeBrowsingServer;
+    ///
+    /// let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
+    /// server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+    /// server.blacklist_url("goog-malware-shavar", "http://evil.example/").unwrap();
+    ///
+    /// let mut client = SafeBrowsingClient::with_retries(
+    ///     ClientConfig::subscribed_to(["goog-malware-shavar"]),
+    ///     InProcessTransport::new(server),
+    ///     RetryPolicy::default().with_max_attempts(3),
+    /// );
+    /// client.update().unwrap();
+    /// assert!(client.check_url("http://evil.example/a").unwrap().is_malicious());
+    /// ```
+    pub fn with_retries(
+        config: ClientConfig,
+        transport: impl Transport + 'static,
+        policy: crate::RetryPolicy,
+    ) -> Self {
+        Self::new(config, crate::RetryingTransport::new(transport, policy))
+    }
+
     /// Fetches and applies a database update from the provider.  Returns the
     /// number of chunks applied.  The full-hash cache is cleared when any
     /// chunk applies, as an update may invalidate cached digests.

@@ -9,10 +9,12 @@
 //! one-prefix-at-a-time).
 //!
 //! The client owns its provider connection as a [`Transport`] handle:
-//! [`InProcessTransport`] for direct calls into a simulated provider, and
+//! [`InProcessTransport`] for direct calls into a simulated provider,
 //! [`SimulatedTransport`] to inject faults and latency on top of any other
-//! transport.  Every provider exchange is fallible
-//! (`Result<_, ServiceError>`).
+//! transport, and [`RetryingTransport`] to add the deployed services'
+//! retry/backoff policy (honouring provider back-off delays, deterministic
+//! jittered exponential fallback, injectable [`Clock`]).  Every provider
+//! exchange is fallible (`Result<_, ServiceError>`).
 //!
 //! ## Example
 //!
@@ -43,6 +45,7 @@ mod database;
 mod metrics;
 mod mitigation;
 mod preview;
+mod retry;
 mod transport;
 
 pub use cache::FullHashCache;
@@ -51,7 +54,10 @@ pub use database::LocalDatabase;
 pub use metrics::ClientMetrics;
 pub use mitigation::MitigationPolicy;
 pub use preview::{LookupPreview, PreviewedDecomposition};
-pub use transport::{InProcessTransport, SimulatedTransport, Transport, TransportStats};
+pub use retry::{Clock, RetryPolicy, RetryStats, RetryingTransport, SystemClock, VirtualClock};
+pub use transport::{
+    InProcessTransport, SimulatedTransport, Transport, TransportService, TransportStats,
+};
 
 #[cfg(test)]
 mod tests {

@@ -302,6 +302,57 @@ impl Transport for SimulatedTransport {
     }
 }
 
+/// Adapts any [`Transport`] into a [`SafeBrowsingService`], closing the
+/// loop between the two traits: a service can already be used as a
+/// transport (via [`InProcessTransport`]), and with this wrapper a
+/// transport can stand in anywhere a provider is expected.
+///
+/// The main use is building provider *fleets*: a
+/// `sb_server::ShardedProvider` shard handle is a service, so wrapping a
+/// [`SimulatedTransport`] in `TransportService` is how the fleet tests and
+/// the throughput harness script per-shard outages.  Keep a clone of the
+/// inner `Arc` to drive the fault plan:
+///
+/// ```
+/// use std::sync::Arc;
+/// use sb_client::{InProcessTransport, SimulatedTransport, TransportService};
+/// use sb_protocol::{Provider, SafeBrowsingService, UpdateRequest};
+/// use sb_server::SafeBrowsingServer;
+///
+/// let server = Arc::new(SafeBrowsingServer::with_standard_lists(Provider::Google));
+/// let shard = Arc::new(SimulatedTransport::new(InProcessTransport::new(server)));
+/// let service = TransportService::new(shard.clone());
+/// assert!(service.update(&UpdateRequest::default()).is_ok());
+/// assert_eq!(shard.stats().update_calls, 1);
+/// ```
+#[derive(Debug)]
+pub struct TransportService<T>(T);
+
+impl<T: Transport> TransportService<T> {
+    /// Wraps a transport.
+    pub fn new(transport: T) -> Self {
+        TransportService(transport)
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: Transport> SafeBrowsingService for TransportService<T> {
+    fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+        self.0.update(request)
+    }
+
+    fn full_hashes_batch(
+        &self,
+        requests: &[FullHashRequest],
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        self.0.full_hashes_batch(requests)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,6 +5,9 @@
 //! (the attacker's view of client traffic), and the tampering primitives
 //! the paper shows are available to a malicious or coerced provider
 //! (arbitrary prefix injection, orphan prefixes, tracking entries).
+//! [`ShardedProvider`] scales the backend to an N-shard fleet: requests
+//! route by prefix lead byte, sub-batches resolve concurrently, and a
+//! failing shard degrades only its own requests.
 //!
 //! The server is in-process (no network I/O): the privacy findings of the
 //! paper only depend on *what* the protocol reveals, not on the transport.
@@ -32,10 +35,12 @@
 mod blacklist;
 mod log;
 mod server;
+mod sharded;
 
 pub use blacklist::{Blacklist, PrefixDigestHistogram};
 pub use log::{LoggedRequest, QueryLog};
 pub use server::{SafeBrowsingServer, ServerError, DEFAULT_NEXT_UPDATE_SECONDS};
+pub use sharded::{FleetStats, ShardHandle, ShardService, ShardedProvider};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,506 @@
+//! A sharded provider fleet behind the batch-first service API.
+//!
+//! The paper's threat model is a statement about what *one* provider
+//! endpoint observes; a deployed service is a fleet.  [`ShardedProvider`]
+//! models that fleet: N shard handles (each any [`SafeBrowsingService`] —
+//! a [`SafeBrowsingServer`](crate::SafeBrowsingServer) replica, or a
+//! fault-injecting transport wrapped by `sb_client::TransportService`),
+//! with each full-hash request of a batch routed to the shard owning its
+//! lead-byte range and the sub-batches resolved concurrently under
+//! [`std::thread::scope`].
+//!
+//! The batch API was designed shard-friendly (one response per request, in
+//! request order, no cross-request state), so the fleet is observationally
+//! equivalent to a single provider when healthy.  Under partial outage it
+//! *degrades* instead of failing: a shard that reports a retryable error
+//! ([`ServiceError::is_retryable`]) costs only its own requests, which
+//! fail open with empty responses — the same fail-open stance deployed
+//! browsers take when a full-hash fetch fails.  Deterministic rejections
+//! (malformed request, unknown list) and whole-fleet outages still surface
+//! as the [`ServiceError`] a single provider would return.
+
+use std::sync::{Arc, Mutex};
+
+use sb_protocol::{
+    FullHashRequest, FullHashResponse, SafeBrowsingService, ServiceError, UpdateRequest,
+    UpdateResponse,
+};
+
+/// The bound a [`ShardedProvider`] shard must satisfy: a thread-safe,
+/// printable [`SafeBrowsingService`].  Blanket-implemented — any qualifying
+/// service is a shard service automatically.
+pub trait ShardService: SafeBrowsingService + Send + Sync + std::fmt::Debug {}
+
+impl<T: SafeBrowsingService + Send + Sync + std::fmt::Debug + ?Sized> ShardService for T {}
+
+/// A shard of a [`ShardedProvider`]: any shared service implementation.
+pub type ShardHandle = Arc<dyn ShardService>;
+
+/// Counters accumulated by a [`ShardedProvider`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Full-hash batches served (including degraded ones).
+    pub batches: usize,
+    /// Full-hash requests routed to each shard, by shard index.
+    pub requests_routed: Vec<usize>,
+    /// Retryable failures observed per shard, by shard index.
+    pub shard_failures: Vec<usize>,
+    /// Requests that failed open (empty response) because their shard
+    /// failed while the rest of the fleet answered.
+    pub degraded_requests: usize,
+    /// Update exchanges that succeeded only after failing over past at
+    /// least one unavailable shard.
+    pub update_failovers: usize,
+}
+
+/// An N-shard Safe Browsing provider fleet.
+///
+/// Each shard owns a contiguous range of prefix lead bytes
+/// (`256 / shard_count` lead bytes per shard, remainder spread over the
+/// leading shards); a request is routed by the lead byte of its **first**
+/// prefix, so every request is answered wholly by one shard and a
+/// multi-prefix request stays intact — the per-request privacy surface the
+/// paper analyzes is unchanged by the fleet layout.
+///
+/// Shards are full replicas from the protocol's point of view (any shard
+/// *can* answer any request); the routing fixes which shard *does*, which
+/// is what spreads load and localizes failures.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use sb_protocol::{FullHashRequest, Provider, SafeBrowsingService};
+/// use sb_server::{SafeBrowsingServer, ShardedProvider};
+///
+/// let backend = Arc::new(SafeBrowsingServer::with_standard_lists(Provider::Google));
+/// let digest = backend
+///     .blacklist_url("goog-malware-shavar", "http://evil.example/")
+///     .unwrap();
+///
+/// // A 4-shard fleet over the shared backend.
+/// let fleet = ShardedProvider::new((0..4).map(|_| backend.clone() as _).collect());
+/// let response = fleet
+///     .full_hashes(&FullHashRequest::new(vec![digest.prefix32()]))
+///     .unwrap();
+/// assert!(response.contains_digest(&digest));
+/// assert_eq!(fleet.stats().requests_routed.iter().sum::<usize>(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ShardedProvider {
+    shards: Vec<ShardHandle>,
+    stats: Mutex<FleetStats>,
+}
+
+impl ShardedProvider {
+    /// Builds a fleet over the given shard handles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty — a fleet of zero providers cannot
+    /// serve anything.
+    pub fn new(shards: Vec<ShardHandle>) -> Self {
+        assert!(
+            !shards.is_empty(),
+            "a provider fleet needs at least one shard"
+        );
+        let stats = FleetStats {
+            requests_routed: vec![0; shards.len()],
+            shard_failures: vec![0; shards.len()],
+            ..FleetStats::default()
+        };
+        ShardedProvider {
+            shards,
+            stats: Mutex::new(stats),
+        }
+    }
+
+    /// Number of shards in the fleet.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index owning `request` (lead byte of its first prefix,
+    /// scaled into the shard range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request carries no prefixes — such a request is a
+    /// protocol violation ([`ServiceError::MalformedRequest`]) with no
+    /// owning shard; [`Self::full_hashes_batch`] rejects it before
+    /// routing, and external callers partitioning a batch themselves must
+    /// validate first, exactly as the fleet does.
+    pub fn shard_for(&self, request: &FullHashRequest) -> usize {
+        let lead = request
+            .prefixes
+            .first()
+            .expect("a request with no prefixes has no owning shard (validate before routing)")
+            .as_bytes()[0] as usize;
+        lead * self.shards.len() / 256
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> FleetStats {
+        self.lock_stats().clone()
+    }
+
+    fn lock_stats(&self) -> std::sync::MutexGuard<'_, FleetStats> {
+        self.stats.lock().expect("fleet stats lock poisoned")
+    }
+}
+
+impl SafeBrowsingService for ShardedProvider {
+    /// Updates fail over: shards are tried in index order and the first
+    /// healthy one serves the exchange.  A non-retryable rejection is
+    /// returned immediately (replicas reject deterministically alike); if
+    /// every shard is unavailable, the last error surfaces.
+    fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+        let mut last_error = None;
+        for (index, shard) in self.shards.iter().enumerate() {
+            match shard.update(request) {
+                Ok(response) => {
+                    if index > 0 {
+                        self.lock_stats().update_failovers += 1;
+                    }
+                    return Ok(response);
+                }
+                Err(error) if error.is_retryable() => {
+                    self.lock_stats().shard_failures[index] += 1;
+                    last_error = Some(error);
+                }
+                Err(error) => return Err(error),
+            }
+        }
+        Err(last_error.expect("fleet has at least one shard"))
+    }
+
+    /// Serves a batch by fanning its requests out to their owning shards
+    /// under [`std::thread::scope`] and reassembling the responses in
+    /// request order.
+    ///
+    /// Failure semantics, in order of precedence:
+    ///
+    /// 1. a malformed batch is rejected up-front (nothing reaches any
+    ///    shard), exactly like a single provider;
+    /// 2. a non-retryable shard error fails the whole batch (it is a
+    ///    deterministic protocol rejection, not an outage);
+    /// 3. if **every** shard touched by the batch fails retryably, the
+    ///    fleet is effectively down for this client: the lowest-index
+    ///    shard's error surfaces so a retry layer can react;
+    /// 4. otherwise failed shards degrade: their requests fail open with
+    ///    empty responses (counted in [`FleetStats::degraded_requests`])
+    ///    while the rest of the batch is answered normally.
+    fn full_hashes_batch(
+        &self,
+        requests: &[FullHashRequest],
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Same up-front validation as a single provider, with batch-global
+        // positions in the error.
+        if let Some(position) = requests.iter().position(|r| r.prefixes.is_empty()) {
+            return Err(ServiceError::MalformedRequest {
+                reason: format!("full-hash request {position} carries no prefixes"),
+            });
+        }
+
+        // Group the batch by owning shard, keeping each request's global
+        // slot for reassembly.
+        let mut slots_of: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (slot, request) in requests.iter().enumerate() {
+            slots_of[self.shard_for(request)].push(slot);
+        }
+        {
+            let mut stats = self.lock_stats();
+            stats.batches += 1;
+            for (shard, slots) in slots_of.iter().enumerate() {
+                stats.requests_routed[shard] += slots.len();
+            }
+        }
+
+        // Fan out: one worker per shard with work.  A single touched shard
+        // (single-shard fleet, or — the per-lookup common case — a batch
+        // whose requests all share one owner) resolves on the calling
+        // thread straight from `requests`, no sub-batch clones.
+        let touched: Vec<usize> = (0..self.shards.len())
+            .filter(|&s| !slots_of[s].is_empty())
+            .collect();
+        let mut results: Vec<Option<Result<Vec<FullHashResponse>, ServiceError>>> =
+            (0..self.shards.len()).map(|_| None).collect();
+        if let [only] = touched[..] {
+            results[only] = Some(self.shards[only].full_hashes_batch(requests));
+        } else {
+            let sub_batches: Vec<Vec<FullHashRequest>> = slots_of
+                .iter()
+                .map(|slots| slots.iter().map(|&slot| requests[slot].clone()).collect())
+                .collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<(usize, _)> = touched
+                    .iter()
+                    .map(|&shard| {
+                        let handle = &self.shards[shard];
+                        let sub_batch = &sub_batches[shard];
+                        (
+                            shard,
+                            scope.spawn(move || handle.full_hashes_batch(sub_batch)),
+                        )
+                    })
+                    .collect();
+                for (shard, handle) in handles {
+                    results[shard] = Some(handle.join().expect("fleet shard worker panicked"));
+                }
+            });
+        }
+
+        // Reassemble in request order, degrading per failed shard.
+        let mut responses: Vec<FullHashResponse> = requests
+            .iter()
+            .map(|_| FullHashResponse::default())
+            .collect();
+        let mut first_retryable: Option<ServiceError> = None;
+        let mut failed_shards = 0usize;
+        let mut degraded = 0usize;
+        for &shard in &touched {
+            match results[shard].take().expect("touched shard has a result") {
+                Ok(sub_responses) => {
+                    // Enforce the one-response-per-request contract per
+                    // shard (the fleet analogue of
+                    // `sb_protocol::expect_single_response`): a miscount is
+                    // a deterministic protocol violation, not an outage, so
+                    // it must not fail open or be retried.
+                    if sub_responses.len() != slots_of[shard].len() {
+                        return Err(ServiceError::MalformedRequest {
+                            reason: format!(
+                                "batch contract violated: shard {shard} returned {} responses \
+                                 for {} requests",
+                                sub_responses.len(),
+                                slots_of[shard].len()
+                            ),
+                        });
+                    }
+                    for (&slot, response) in slots_of[shard].iter().zip(sub_responses) {
+                        responses[slot] = response;
+                    }
+                }
+                Err(error) if error.is_retryable() => {
+                    failed_shards += 1;
+                    degraded += slots_of[shard].len();
+                    self.lock_stats().shard_failures[shard] += 1;
+                    if first_retryable.is_none() {
+                        first_retryable = Some(error);
+                    }
+                    // The requests keep their default (empty) responses:
+                    // fail open.
+                }
+                Err(error) => return Err(error),
+            }
+        }
+        if failed_shards == touched.len() {
+            // The whole fleet (as seen by this batch) is down.
+            return Err(first_retryable.expect("all touched shards failed"));
+        }
+        self.lock_stats().degraded_requests += degraded;
+        Ok(responses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SafeBrowsingServer;
+    use sb_hash::{prefix32, Prefix};
+    use sb_protocol::{ClientListState, Provider, ThreatCategory};
+
+    fn backend() -> Arc<SafeBrowsingServer> {
+        let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
+        server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+        server
+    }
+
+    fn fleet_over(backend: &Arc<SafeBrowsingServer>, shards: usize) -> ShardedProvider {
+        ShardedProvider::new(
+            (0..shards)
+                .map(|_| backend.clone() as ShardHandle)
+                .collect(),
+        )
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_fleet_panics() {
+        ShardedProvider::new(Vec::new());
+    }
+
+    #[test]
+    fn routing_partitions_lead_bytes_contiguously() {
+        let backend = backend();
+        let fleet = fleet_over(&backend, 4);
+        let shard_of_lead = |lead: u8| {
+            fleet.shard_for(&FullHashRequest::new(vec![Prefix::from_u32(
+                u32::from_be_bytes([lead, 0, 0, 0]),
+            )]))
+        };
+        assert_eq!(shard_of_lead(0x00), 0);
+        assert_eq!(shard_of_lead(0x3F), 0);
+        assert_eq!(shard_of_lead(0x40), 1);
+        assert_eq!(shard_of_lead(0x7F), 1);
+        assert_eq!(shard_of_lead(0x80), 2);
+        assert_eq!(shard_of_lead(0xFF), 3);
+    }
+
+    #[test]
+    fn fleet_is_observationally_a_single_provider() {
+        let backend = backend();
+        let digests: Vec<_> = (0..40)
+            .map(|i| {
+                backend
+                    .blacklist_url("goog-malware-shavar", &format!("http://evil{i}.example/"))
+                    .unwrap()
+            })
+            .collect();
+        let fleet = fleet_over(&backend, 4);
+
+        // Interleave hits and misses; responses must come back in request
+        // order with exactly the single-provider content.
+        let mut requests = Vec::new();
+        for (i, digest) in digests.iter().enumerate() {
+            requests.push(FullHashRequest::new(vec![digest.prefix32()]));
+            requests.push(FullHashRequest::new(vec![prefix32(&format!(
+                "miss{i}.example/"
+            ))]));
+        }
+        let fleet_responses = fleet.full_hashes_batch(&requests).unwrap();
+        let solo_responses = backend.full_hashes_batch(&requests).unwrap();
+        assert_eq!(fleet_responses, solo_responses);
+
+        // Every request was routed somewhere.
+        let stats = fleet.stats();
+        assert_eq!(stats.requests_routed.iter().sum::<usize>(), requests.len());
+        assert_eq!(stats.degraded_requests, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let backend = backend();
+        let fleet = fleet_over(&backend, 3);
+        assert!(fleet.full_hashes_batch(&[]).unwrap().is_empty());
+        assert_eq!(fleet.stats().batches, 0);
+    }
+
+    #[test]
+    fn malformed_batches_are_rejected_with_global_positions() {
+        let backend = backend();
+        let fleet = fleet_over(&backend, 2);
+        let requests = [
+            FullHashRequest::new(vec![prefix32("a.example/")]),
+            FullHashRequest::new(Vec::new()),
+        ];
+        let err = fleet.full_hashes_batch(&requests).unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::MalformedRequest {
+                reason: "full-hash request 1 carries no prefixes".into()
+            }
+        );
+        // Nothing reached any shard.
+        assert!(backend.query_log().is_empty());
+    }
+
+    #[test]
+    fn update_fails_over_past_unavailable_shards() {
+        #[derive(Debug)]
+        struct Down;
+        impl SafeBrowsingService for Down {
+            fn update(&self, _: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+                Err(ServiceError::Unavailable {
+                    reason: "shard down".into(),
+                })
+            }
+            fn full_hashes_batch(
+                &self,
+                _: &[FullHashRequest],
+            ) -> Result<Vec<FullHashResponse>, ServiceError> {
+                Err(ServiceError::Unavailable {
+                    reason: "shard down".into(),
+                })
+            }
+        }
+
+        let backend = backend();
+        backend
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        let fleet = ShardedProvider::new(vec![Arc::new(Down) as ShardHandle, backend.clone()]);
+        let response = fleet
+            .update(&UpdateRequest {
+                lists: vec![("goog-malware-shavar".into(), ClientListState::default())],
+            })
+            .unwrap();
+        assert_eq!(response.chunks.len(), 1);
+        let stats = fleet.stats();
+        assert_eq!(stats.update_failovers, 1);
+        assert_eq!(stats.shard_failures, vec![1, 0]);
+
+        // A fleet that is down end to end surfaces the error.
+        let dark = ShardedProvider::new(vec![Arc::new(Down) as ShardHandle, Arc::new(Down) as _]);
+        assert!(dark
+            .update(&UpdateRequest::default())
+            .unwrap_err()
+            .is_retryable());
+    }
+
+    #[test]
+    fn unknown_list_update_is_not_failed_over() {
+        let backend = backend();
+        let fleet = fleet_over(&backend, 3);
+        let err = fleet
+            .update(&UpdateRequest {
+                lists: vec![("ghost-shavar".into(), ClientListState::default())],
+            })
+            .unwrap_err();
+        assert_eq!(err, ServiceError::ListUnknown("ghost-shavar".into()));
+        // Deterministic rejection: no failover was attempted.
+        assert_eq!(fleet.stats().shard_failures, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn a_shard_miscounting_its_sub_batch_is_a_contract_violation() {
+        #[derive(Debug)]
+        struct Miscounting;
+        impl SafeBrowsingService for Miscounting {
+            fn update(&self, _: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+                Ok(UpdateResponse::default())
+            }
+            fn full_hashes_batch(
+                &self,
+                _: &[FullHashRequest],
+            ) -> Result<Vec<FullHashResponse>, ServiceError> {
+                // One response short, whatever the batch size.
+                Ok(Vec::new())
+            }
+        }
+
+        let fleet = ShardedProvider::new(vec![Arc::new(Miscounting) as ShardHandle]);
+        let err = fleet
+            .full_hashes_batch(&[FullHashRequest::new(vec![prefix32("a.example/")])])
+            .unwrap_err();
+        // A miscount must surface as a non-retryable protocol violation,
+        // never fail open as an empty (safe-looking) response.
+        assert!(matches!(err, ServiceError::MalformedRequest { .. }));
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn single_shard_fleet_resolves_on_the_calling_thread() {
+        let backend = backend();
+        let digest = backend
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        let fleet = fleet_over(&backend, 1);
+        let responses = fleet
+            .full_hashes_batch(&[FullHashRequest::new(vec![digest.prefix32()])])
+            .unwrap();
+        assert!(responses[0].contains_digest(&digest));
+    }
+}

@@ -18,8 +18,8 @@
 //! | [`store`] | raw / delta-coded / Bloom / lead-indexed prefix stores |
 //! | [`corpus`] | synthetic web corpus and its statistics |
 //! | [`protocol`] | lists, chunks, fallible batched messages, cookies, `ServiceError` |
-//! | [`server`] | the simulated GSB/YSB provider (lead-byte-sharded, concurrent full-hash serving) |
-//! | [`client`] | the Safe Browsing client, its `Transport` layer and mitigations |
+//! | [`server`] | the simulated GSB/YSB provider (lead-byte-sharded, concurrent full-hash serving) and the `ShardedProvider` fleet |
+//! | [`client`] | the Safe Browsing client, its `Transport` stack (in-process, simulated-fault, retrying) and mitigations |
 //! | [`analysis`] | the privacy analysis itself |
 //!
 //! ## Architecture: clients own a transport
@@ -27,12 +27,18 @@
 //! A [`client::SafeBrowsingClient`] owns a boxed [`client::Transport`]
 //! handle to its provider instead of borrowing a server on every call.
 //! [`client::InProcessTransport`] wraps a shared
-//! [`server::SafeBrowsingServer`] for the in-process experiments, and
+//! [`server::SafeBrowsingServer`] for the in-process experiments,
 //! [`client::SimulatedTransport`] layers deterministic faults
-//! ([`protocol::ServiceError`]) and latency on top of any other transport.
-//! Every provider exchange returns a `Result`, and
-//! [`client::SafeBrowsingClient::check_urls`] checks a whole batch of URLs
-//! with at most one full-hash round trip.
+//! ([`protocol::ServiceError`]) and latency on top of any other transport,
+//! and [`client::RetryingTransport`] adds the deployed services' retry
+//! policy (provider back-off honoured, deterministic jittered exponential
+//! fallback, injectable [`client::Clock`]).  On the provider side,
+//! [`server::ShardedProvider`] scales the backend to an N-shard fleet that
+//! routes each request by prefix lead byte and degrades — rather than
+//! fails — under partial outage.  Every provider exchange returns a
+//! `Result`, and [`client::SafeBrowsingClient::check_urls`] checks a whole
+//! batch of URLs with at most one full-hash round trip.  The full stack is
+//! diagrammed in `docs/ARCHITECTURE.md`.
 //!
 //! ## Quick start
 //!
