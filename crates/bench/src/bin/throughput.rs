@@ -31,15 +31,24 @@
 //!   * `database_bytes` — client database memory;
 //!   * `urls_flagged` — malicious verdicts over the workload (workload
 //!     sanity check).
-//! * `scenarios` — resilience runs on the indexed backend, keys
-//!   `retrying_flaky`, `sharded_fleet`, `resilient_degraded_shard`, each
-//!   with `lookups_per_sec`, `p50_ns`, `p99_ns`, `urls_flagged`, plus the
-//!   fault accounting: `shards` (fleet width; 1 = no fleet),
-//!   `faults_injected` (transport faults fired), `retries` (retry-layer
-//!   attempts beyond the first), `degraded_requests` (requests a failed
-//!   shard answered with fail-open empties) and `failed_lookups` (lookups
-//!   that still surfaced an error after retries — expected 0 for the
-//!   recorded scenarios).
+//! * `scenarios` — resilience/churn runs on the indexed backend, keys
+//!   `retrying_flaky`, `sharded_fleet`, `resilient_degraded_shard` and
+//!   `update_churn`, each with `lookups_per_sec`, `p50_ns`, `p99_ns`,
+//!   `urls_flagged`, plus the fault accounting: `shards` (fleet width;
+//!   1 = no fleet), `faults_injected` (transport faults fired), `retries`
+//!   (retry-layer attempts beyond the first), `degraded_requests`
+//!   (requests a failed shard answered with fail-open empties) and
+//!   `failed_lookups` (lookups that still surfaced an error after
+//!   retries — expected 0 for the recorded scenarios).
+//!
+//!   `update_churn` measures the generational update pipeline: a writer
+//!   thread keeps mutating the provider's list (add + remove batches)
+//!   while the clients look up **and** apply periodic updates mid-run.
+//!   It carries four extra keys: `updates_applied` (mid-run update
+//!   exchanges), `chunks_applied` (journal chunks applied by them),
+//!   `deltas_absorbed` (update deltas the stores took on the overlay
+//!   path) and `rebuilds` (full store rebuilds an oversized overlay
+//!   triggered).
 //!
 //! All scenario backoff time flows through a `VirtualClock`, so injected
 //! faults never inflate the wall-clock numbers with sleeps.
@@ -153,6 +162,20 @@ struct ScenarioReport {
     faults_injected: usize,
     retries: usize,
     degraded_requests: usize,
+    /// Present only for the `update_churn` scenario.
+    churn: Option<ChurnStats>,
+}
+
+/// Update-pipeline accounting of the `update_churn` scenario.
+struct ChurnStats {
+    /// Mid-run update exchanges performed by the clients.
+    updates_applied: usize,
+    /// Chunks those updates applied.
+    chunks_applied: usize,
+    /// Update deltas the client stores absorbed on the overlay path.
+    deltas_absorbed: usize,
+    /// Full store rebuilds triggered by an oversized overlay.
+    rebuilds: usize,
 }
 
 fn main() {
@@ -182,6 +205,7 @@ fn main() {
         run_retrying_flaky(&server, &workload, &config),
         run_sharded_fleet(&server, &workload, &config),
         run_resilient_degraded_shard(&server, &workload, &config),
+        run_update_churn(&server, &workload, &config),
     ];
 
     let json = render_json(&config, &reports, &scenarios);
@@ -463,6 +487,7 @@ fn scenario_report(
         faults_injected,
         retries,
         degraded_requests,
+        churn: None,
     };
     eprintln!(
         "[{name}] {:.0} lookups/s, p50 {} ns, p99 {} ns, {} flagged, {} failed, \
@@ -589,6 +614,193 @@ fn run_resilient_degraded_shard(
     )
 }
 
+/// How many lookups a churn client performs between update exchanges.
+const CHURN_UPDATE_PERIOD: usize = 1000;
+/// Prefixes per writer add batch (the matching remove batch follows one
+/// batch behind, so the provider's list size stays steady).
+const CHURN_BATCH: usize = 64;
+
+/// Scenario: the generational update pipeline under churn.  A writer
+/// thread keeps mutating the provider's list (inject a random batch,
+/// remove the previous one) while every client interleaves lookups with
+/// periodic `update()` calls.  Lookups must keep returning correct
+/// verdicts mid-update (`urls_flagged` equal to the quiet runs,
+/// `failed_lookups: 0`), and the update accounting records how much of
+/// the churn the stores absorbed on the overlay path vs consolidated.
+fn run_update_churn(
+    server: &Arc<SafeBrowsingServer>,
+    workload: &[CanonicalUrl],
+    config: &Config,
+) -> ScenarioReport {
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    eprintln!("[update_churn] building {} client(s)...", config.clients);
+    let mut clients: Vec<SafeBrowsingClient> = (0..config.clients)
+        .map(|_| client_for(StoreBackend::Indexed, server))
+        .collect();
+    // Baselines after the setup update: only mid-run work is reported.
+    let base_updates: usize = clients.iter().map(|c| c.metrics().updates).sum();
+    let base_chunks: usize = clients.iter().map(|c| c.metrics().chunks_applied).sum();
+    let base_stats: Vec<_> = clients.iter().map(|c| c.database_store_stats()).collect();
+
+    // The writer must never touch the workload's hit prefixes, or the
+    // verdict comparison with the quiet runs would break.
+    let hit_prefixes: HashSet<Prefix> = (0..HIT_EXPRESSIONS)
+        .map(|i| sb_hash::digest_url(&format!("{}/", hit_host(i))).prefix32())
+        .collect();
+
+    // Seed one churn batch *before* the threads start: on a loaded
+    // (1-core CI) machine the writer thread can be scheduled so late
+    // that every client runs its mid-run update first — this guarantees
+    // those updates always have chunks to apply and a non-empty delta
+    // for the overlay, so the recorded churn accounting never races the
+    // scheduler.
+    let mut seed_rng = StdRng::seed_from_u64(0x5eed_c0de);
+    let seed_batch: Vec<Prefix> = (0..CHURN_BATCH)
+        .map(|_| loop {
+            let p = Prefix::from_u32(seed_rng.gen());
+            if !hit_prefixes.contains(&p) {
+                break p;
+            }
+        })
+        .collect();
+    server
+        .inject_prefixes(LIST, seed_batch)
+        .expect("list exists");
+
+    let stop = AtomicBool::new(false);
+    let chunk = config.urls_per_client;
+    let barrier = Barrier::new(clients.len());
+    let started = Instant::now();
+    let (results, batches) = std::thread::scope(|scope| {
+        let stop = &stop;
+        let hit_prefixes = &hit_prefixes;
+        let writer = scope.spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0xc0ffee);
+            let mut previous: Option<Vec<Prefix>> = None;
+            let mut batches = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let batch: Vec<Prefix> = (0..CHURN_BATCH)
+                    .map(|_| loop {
+                        let p = Prefix::from_u32(rng.gen());
+                        if !hit_prefixes.contains(&p) {
+                            break p;
+                        }
+                    })
+                    .collect();
+                server
+                    .inject_prefixes(LIST, batch.clone())
+                    .expect("list exists");
+                if let Some(old) = previous.replace(batch) {
+                    server.remove_prefixes(LIST, old).expect("list exists");
+                }
+                batches += 1;
+                // Pace the churn so the journal grows at a realistic rate
+                // rather than saturating the server's write lock.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            batches
+        });
+
+        let barrier = &barrier;
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .enumerate()
+            .map(|(i, client)| {
+                let slice = &workload[i * chunk..(i + 1) * chunk];
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(slice.len());
+                    let mut flagged = 0usize;
+                    let mut failed = 0usize;
+                    barrier.wait();
+                    for (n, url) in slice.iter().enumerate() {
+                        if n > 0 && n % CHURN_UPDATE_PERIOD == 0 {
+                            client.update().expect("mid-run update");
+                        }
+                        let start = Instant::now();
+                        match client.check_canonical(url) {
+                            Ok(outcome) => {
+                                if outcome.is_malicious() {
+                                    flagged += 1;
+                                }
+                            }
+                            Err(_) => failed += 1,
+                        }
+                        latencies.push(start.elapsed().as_nanos() as u64);
+                    }
+                    (latencies, flagged, failed)
+                })
+            })
+            .collect();
+        let results: Vec<(Vec<u64>, usize, usize)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("churn client thread panicked"))
+            .collect();
+        stop.store(true, Ordering::Relaxed);
+        (results, writer.join().expect("churn writer panicked"))
+    });
+    let wall = started.elapsed();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut flagged = 0;
+    let mut failed = 0;
+    for (lat, f, e) in results {
+        latencies.extend(lat);
+        flagged += f;
+        failed += e;
+    }
+    latencies.sort_unstable();
+    let timed = TimedPhase {
+        lookups_per_sec: (config.clients * chunk) as f64 / wall.as_secs_f64(),
+        latencies,
+        flagged,
+        failed,
+    };
+
+    let updates_applied: usize =
+        clients.iter().map(|c| c.metrics().updates).sum::<usize>() - base_updates;
+    let chunks_applied: usize = clients
+        .iter()
+        .map(|c| c.metrics().chunks_applied)
+        .sum::<usize>()
+        - base_chunks;
+    let (deltas_absorbed, rebuilds) = clients
+        .iter()
+        .zip(&base_stats)
+        .map(|(c, base)| {
+            let now = c.database_store_stats();
+            (
+                (now.deltas_absorbed - base.deltas_absorbed) as usize,
+                (now.rebuilds - base.rebuilds) as usize,
+            )
+        })
+        .fold((0, 0), |(a, r), (da, dr)| (a + da, r + dr));
+    let journal = server.journal_stats();
+    eprintln!(
+        "[update_churn] {} writer batches, journal: {} live chunks / {} live prefixes, \
+         {} compactions",
+        batches,
+        journal.add_chunks + journal.sub_chunks,
+        journal.live_prefixes,
+        journal.compactions,
+    );
+
+    let mut report = scenario_report("update_churn", &timed, 1, 0, 0, 0);
+    report.churn = Some(ChurnStats {
+        updates_applied,
+        chunks_applied,
+        deltas_absorbed,
+        rebuilds,
+    });
+    let churn = report.churn.as_ref().expect("just set");
+    eprintln!(
+        "[update_churn] {} updates applied ({} chunks), {} deltas absorbed, {} rebuilds",
+        churn.updates_applied, churn.chunks_applied, churn.deltas_absorbed, churn.rebuilds,
+    );
+    report
+}
+
 fn render_json(config: &Config, reports: &[BackendReport], scenarios: &[ScenarioReport]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -650,9 +862,25 @@ fn render_json(config: &Config, reports: &[BackendReport], scenarios: &[Scenario
         ));
         out.push_str(&format!("      \"retries\": {},\n", s.retries));
         out.push_str(&format!(
-            "      \"degraded_requests\": {}\n",
-            s.degraded_requests
+            "      \"degraded_requests\": {}{}\n",
+            s.degraded_requests,
+            if s.churn.is_some() { "," } else { "" }
         ));
+        if let Some(churn) = &s.churn {
+            out.push_str(&format!(
+                "      \"updates_applied\": {},\n",
+                churn.updates_applied
+            ));
+            out.push_str(&format!(
+                "      \"chunks_applied\": {},\n",
+                churn.chunks_applied
+            ));
+            out.push_str(&format!(
+                "      \"deltas_absorbed\": {},\n",
+                churn.deltas_absorbed
+            ));
+            out.push_str(&format!("      \"rebuilds\": {}\n", churn.rebuilds));
+        }
         out.push_str(if i + 1 == scenarios.len() {
             "    }\n"
         } else {

@@ -7,7 +7,7 @@ use sb_hash::{digest_url, Digest, Prefix, PrefixLen};
 use sb_protocol::{
     ClientCookie, FullHashRequest, ListName, SafeBrowsingService, ServiceError, UpdateRequest,
 };
-use sb_store::StoreBackend;
+use sb_store::{PrefixStore, StoreBackend};
 use sb_url::{visit_decompositions, CanonicalUrl, DecomposeScratch, ParseUrlError};
 
 use crate::cache::FullHashCache;
@@ -291,10 +291,19 @@ impl SafeBrowsingClient {
     /// number of chunks applied.  The full-hash cache is cleared when any
     /// chunk applies, as an update may invalidate cached digests.
     ///
+    /// Chunks apply through the database's generational pipeline (hygiene
+    /// validation, subs-before-adds ordering, overlay absorption with an
+    /// atomically swapped snapshot); see
+    /// [`LocalDatabase::apply_chunks`](crate::LocalDatabase::apply_chunks).
+    /// The response's `next_update_seconds` schedule hint is recorded in
+    /// [`ClientMetrics::next_update_hint`] for update drivers.
+    ///
     /// # Errors
     ///
-    /// Any [`ServiceError`] from the transport; the local database is left
-    /// unchanged in that case.
+    /// Any [`ServiceError`] from the transport, or
+    /// [`ServiceError::MalformedResponse`] when the provider's chunks fail
+    /// hygiene validation; the local database is left unchanged in either
+    /// case.
     pub fn update(&mut self) -> Result<usize, ServiceError> {
         let request = UpdateRequest {
             lists: self.database.update_request_lists(),
@@ -306,11 +315,24 @@ impl SafeBrowsingClient {
                 return Err(error);
             }
         };
-        let applied = self.database.apply_chunks(&response.chunks);
+        let applied = match self.database.apply_chunks(&response.chunks) {
+            Ok(applied) => applied,
+            Err(rejected) => {
+                self.metrics.service_errors += 1;
+                return Err(ServiceError::MalformedResponse {
+                    reason: rejected.to_string(),
+                });
+            }
+        };
         if applied > 0 {
             self.cache.clear();
         }
         self.metrics.updates += 1;
+        self.metrics.chunks_applied += applied;
+        self.metrics.next_update_hint = Some(response.next_update_seconds);
+        let store = self.database.store_stats();
+        self.metrics.deltas_absorbed = store.deltas_absorbed as usize;
+        self.metrics.store_rebuilds = store.rebuilds as usize;
         Ok(applied)
     }
 
@@ -379,6 +401,12 @@ impl SafeBrowsingClient {
 
     /// Runs the local-database pass for one URL: every decomposition is
     /// hashed exactly once and matching ones are appended to `hits`.
+    ///
+    /// The database snapshot is loaded **once** per URL (an `Arc` clone —
+    /// no allocation) and every decomposition probes that same
+    /// generation: one lock acquisition per lookup instead of one per
+    /// decomposition, and a mid-lookup update can never split a URL's
+    /// probes across two generations.
     fn collect_local_hits(
         database: &LocalDatabase,
         prefix_len: PrefixLen,
@@ -386,9 +414,10 @@ impl SafeBrowsingClient {
         decompose_scratch: &mut DecomposeScratch,
         hits: &mut Vec<LocalHit>,
     ) {
+        let snapshot = database.snapshot();
         visit_decompositions(url, decompose_scratch, |d| {
             let digest = digest_url(d.expression());
-            if database.contains(&digest.prefix(prefix_len)) {
+            if snapshot.contains(&digest.prefix(prefix_len)) {
                 hits.push(LocalHit {
                     expression: d.expression().to_string(),
                     digest,
@@ -523,6 +552,19 @@ impl SafeBrowsingClient {
     /// Memory used by the local database's query structure.
     pub fn database_memory_bytes(&self) -> usize {
         self.database.memory_bytes()
+    }
+
+    /// A shareable read handle onto the local database's query snapshot:
+    /// other threads keep resolving membership against consistent
+    /// generations while this client applies updates.
+    pub fn database_reader(&self) -> crate::DatabaseReader {
+        self.database.reader()
+    }
+
+    /// Update-pipeline counters of the local database's store (generation,
+    /// overlay absorptions, rebuilds).
+    pub fn database_store_stats(&self) -> sb_store::GenerationalStats {
+        self.database.store_stats()
     }
 
     /// The configured cookie, if any.

@@ -1,0 +1,327 @@
+//! Scheduled update driving for long-running clients.
+//!
+//! Every update response carries the provider's schedule hint
+//! (`next_update_seconds`: the minimum delay before the next update
+//! request).  Short-lived experiments call
+//! [`SafeBrowsingClient::update`](crate::SafeBrowsingClient::update)
+//! manually and ignore the hint; a long-running client must *honour* it —
+//! polling faster hammers the provider (and triggers back-off), polling
+//! slower serves stale verdicts.  [`UpdateDriver`] closes that loop: it
+//! runs update rounds, sleeps the provider-hinted delay between them on an
+//! injectable [`Clock`], and keeps going through transient failures so a
+//! flap never kills the update cadence.
+//!
+//! Time is injected exactly as in [`RetryingTransport`](crate::RetryingTransport):
+//! production drivers sleep on the [`SystemClock`], tests pass a
+//! [`VirtualClock`] and assert the exact schedule with zero wall-clock
+//! sleeps.
+
+use std::time::Duration;
+
+use sb_protocol::ServiceError;
+
+use crate::client::SafeBrowsingClient;
+use crate::retry::{Clock, SystemClock};
+
+/// Scheduling policy of an [`UpdateDriver`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriverPolicy {
+    /// Delay used when no hint is available (the provider has not been
+    /// reached yet, or the exchange failed before a response).
+    pub fallback_delay: Duration,
+    /// Upper bound on any scheduled delay.  The provider is part of this
+    /// repo's threat model: without a cap, one hostile
+    /// `next_update_seconds: u64::MAX` response would silence a client's
+    /// updates forever.
+    pub max_delay: Duration,
+}
+
+impl Default for DriverPolicy {
+    fn default() -> Self {
+        DriverPolicy {
+            // The deployed services' standard update cadence.
+            fallback_delay: Duration::from_secs(30 * 60),
+            // Twice the standard cadence: a well-behaved provider is always
+            // honoured in full, a hostile one is bounded.
+            max_delay: Duration::from_secs(60 * 60),
+        }
+    }
+}
+
+/// Counters accumulated by an [`UpdateDriver`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriverStats {
+    /// Update rounds run.
+    pub rounds: usize,
+    /// Rounds whose update exchange succeeded.
+    pub updates_ok: usize,
+    /// Rounds whose update exchange failed (the driver keeps going).
+    pub update_failures: usize,
+    /// Chunks applied across all successful rounds.
+    pub chunks_applied: usize,
+    /// Total delay scheduled between rounds.
+    pub total_scheduled: Duration,
+    /// The delay scheduled after the most recent round.
+    pub last_delay: Option<Duration>,
+}
+
+/// Drives [`SafeBrowsingClient::update`] on the provider's own schedule.
+///
+/// Each round runs one update and then sleeps:
+///
+/// * on success — the response's `next_update_seconds` hint, capped by
+///   [`DriverPolicy::max_delay`];
+/// * on [`ServiceError::Backoff`] — the provider's `retry_after_seconds`,
+///   same cap (the back-off *is* the schedule);
+/// * on any other failure — [`DriverPolicy::fallback_delay`].
+///
+/// Failures never abort the loop: a long-running client outlives provider
+/// flaps, and a [`RetryingTransport`](crate::RetryingTransport) underneath
+/// handles intra-round retries.
+///
+/// # Examples
+///
+/// A three-round schedule asserted with zero wall-clock sleeps:
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use sb_client::{ClientConfig, SafeBrowsingClient, UpdateDriver, VirtualClock};
+/// use sb_protocol::{Provider, ThreatCategory};
+/// use sb_server::SafeBrowsingServer;
+///
+/// let server = Arc::new(
+///     SafeBrowsingServer::new(Provider::Google).with_next_update_seconds(120),
+/// );
+/// server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+/// let mut client = SafeBrowsingClient::in_process(
+///     ClientConfig::subscribed_to(["goog-malware-shavar"]),
+///     server.clone(),
+/// );
+///
+/// let clock = Arc::new(VirtualClock::new());
+/// let mut driver = UpdateDriver::with_clock(clock.clone());
+/// let stats = driver.run_rounds(&mut client, 3);
+/// assert_eq!(stats.updates_ok, 3);
+/// // Two inter-round sleeps; the final round's delay is recorded, not slept.
+/// assert_eq!(clock.sleeps(), vec![Duration::from_secs(120); 2]);
+/// assert_eq!(stats.last_delay, Some(Duration::from_secs(120)));
+/// ```
+#[derive(Debug)]
+pub struct UpdateDriver {
+    policy: DriverPolicy,
+    clock: Box<dyn Clock>,
+    stats: DriverStats,
+}
+
+impl Default for UpdateDriver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UpdateDriver {
+    /// A driver with the default policy, sleeping on the real
+    /// [`SystemClock`].
+    pub fn new() -> Self {
+        Self::with_policy_and_clock(DriverPolicy::default(), SystemClock)
+    }
+
+    /// A driver with the default policy and an injected clock — the
+    /// deterministic-test constructor.
+    pub fn with_clock(clock: impl Clock + 'static) -> Self {
+        Self::with_policy_and_clock(DriverPolicy::default(), clock)
+    }
+
+    /// A driver with an explicit policy and clock.
+    pub fn with_policy_and_clock(policy: DriverPolicy, clock: impl Clock + 'static) -> Self {
+        UpdateDriver {
+            policy,
+            clock: Box::new(clock),
+            stats: DriverStats::default(),
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &DriverPolicy {
+        &self.policy
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> DriverStats {
+        self.stats
+    }
+
+    /// Runs one update round: one update exchange, then the scheduled
+    /// sleep — the cadence primitive for an open-ended update loop.
+    /// Returns the exchange outcome (the driver's own state already
+    /// accounts for it either way).
+    ///
+    /// # Errors
+    ///
+    /// The round's [`ServiceError`], surfaced for callers that want to
+    /// observe failures; the schedule has already been honoured.
+    pub fn run_round(&mut self, client: &mut SafeBrowsingClient) -> Result<usize, ServiceError> {
+        let (outcome, delay) = self.exchange(client);
+        self.stats.total_scheduled += delay;
+        self.clock.sleep(delay);
+        outcome
+    }
+
+    /// Runs `rounds` update rounds, surviving failures, sleeping the
+    /// scheduled delay *between* rounds — the final round's delay is
+    /// computed and recorded ([`DriverStats::last_delay`]) but not slept,
+    /// so a finite run returns as soon as its last exchange completes.
+    /// Returns the accumulated stats.
+    pub fn run_rounds(&mut self, client: &mut SafeBrowsingClient, rounds: usize) -> DriverStats {
+        for round in 0..rounds {
+            if round + 1 == rounds {
+                let _ = self.exchange(client);
+            } else {
+                let _ = self.run_round(client);
+            }
+        }
+        self.stats
+    }
+
+    /// One update exchange plus its stats accounting; returns the outcome
+    /// and the delay the schedule asks for before the next round (also
+    /// recorded as [`DriverStats::last_delay`]).
+    fn exchange(
+        &mut self,
+        client: &mut SafeBrowsingClient,
+    ) -> (Result<usize, ServiceError>, Duration) {
+        self.stats.rounds += 1;
+        let outcome = client.update();
+        let delay = match &outcome {
+            Ok(applied) => {
+                self.stats.updates_ok += 1;
+                self.stats.chunks_applied += applied;
+                let hint = client
+                    .metrics()
+                    .next_update_hint
+                    .map(Duration::from_secs)
+                    .unwrap_or(self.policy.fallback_delay);
+                hint.min(self.policy.max_delay)
+            }
+            Err(ServiceError::Backoff {
+                retry_after_seconds,
+            }) => {
+                self.stats.update_failures += 1;
+                Duration::from_secs(*retry_after_seconds).min(self.policy.max_delay)
+            }
+            Err(_) => {
+                self.stats.update_failures += 1;
+                self.policy.fallback_delay.min(self.policy.max_delay)
+            }
+        };
+        self.stats.last_delay = Some(delay);
+        (outcome, delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientConfig;
+    use crate::retry::VirtualClock;
+    use crate::transport::{InProcessTransport, SimulatedTransport};
+    use std::sync::Arc;
+
+    use sb_protocol::{Provider, ThreatCategory};
+    use sb_server::SafeBrowsingServer;
+
+    const LIST: &str = "goog-malware-shavar";
+
+    fn server(next_update: u64) -> Arc<SafeBrowsingServer> {
+        let server = Arc::new(
+            SafeBrowsingServer::new(Provider::Google).with_next_update_seconds(next_update),
+        );
+        server.create_list(LIST, ThreatCategory::Malware);
+        server
+    }
+
+    fn driver() -> (Arc<VirtualClock>, UpdateDriver) {
+        let clock = Arc::new(VirtualClock::new());
+        let driver = UpdateDriver::with_clock(clock.clone());
+        (clock, driver)
+    }
+
+    #[test]
+    fn honours_the_provider_schedule_hint() {
+        let server = server(300);
+        let mut client =
+            SafeBrowsingClient::in_process(ClientConfig::subscribed_to([LIST]), server.clone());
+        let (clock, mut driver) = driver();
+
+        server.blacklist_url(LIST, "http://one.example/").unwrap();
+        driver.run_round(&mut client).unwrap();
+        server.blacklist_url(LIST, "http://two.example/").unwrap();
+        driver.run_round(&mut client).unwrap();
+
+        assert_eq!(
+            clock.sleeps(),
+            vec![Duration::from_secs(300), Duration::from_secs(300)]
+        );
+        let stats = driver.stats();
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(stats.updates_ok, 2);
+        assert_eq!(stats.chunks_applied, 2);
+        assert_eq!(stats.total_scheduled, Duration::from_secs(600));
+        assert_eq!(client.database_prefix_count(), 2);
+    }
+
+    #[test]
+    fn hostile_hint_is_capped() {
+        let server = server(u64::MAX);
+        let mut client =
+            SafeBrowsingClient::in_process(ClientConfig::subscribed_to([LIST]), server);
+        let (clock, mut driver) = driver();
+        driver.run_round(&mut client).unwrap();
+        assert_eq!(clock.sleeps(), vec![driver.policy().max_delay]);
+    }
+
+    #[test]
+    fn backoff_failure_schedules_the_providers_delay() {
+        let server = server(300);
+        let transport = Arc::new(SimulatedTransport::new(InProcessTransport::new(server)));
+        transport.push_update_fault(ServiceError::Backoff {
+            retry_after_seconds: 77,
+        });
+        let mut client =
+            SafeBrowsingClient::new(ClientConfig::subscribed_to([LIST]), transport.clone());
+        let (clock, mut driver) = driver();
+
+        assert!(driver.run_round(&mut client).is_err());
+        driver.run_round(&mut client).unwrap();
+
+        assert_eq!(
+            clock.sleeps(),
+            vec![Duration::from_secs(77), Duration::from_secs(300)]
+        );
+        let stats = driver.stats();
+        assert_eq!(stats.update_failures, 1);
+        assert_eq!(stats.updates_ok, 1);
+    }
+
+    #[test]
+    fn other_failures_fall_back_and_the_loop_survives() {
+        let server = server(300);
+        let transport = Arc::new(SimulatedTransport::new(InProcessTransport::new(server)));
+        transport.push_update_fault(ServiceError::Unavailable {
+            reason: "down".into(),
+        });
+        let mut client =
+            SafeBrowsingClient::new(ClientConfig::subscribed_to([LIST]), transport.clone());
+        let (clock, mut driver) = driver();
+
+        let stats = driver.run_rounds(&mut client, 2);
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(stats.update_failures, 1);
+        assert_eq!(stats.updates_ok, 1);
+        // Only the inter-round delay is slept; the final round's delay is
+        // recorded for the caller but not waited out.
+        assert_eq!(clock.sleeps(), vec![driver.policy().fallback_delay]);
+        assert_eq!(stats.last_delay, Some(Duration::from_secs(300)));
+    }
+}

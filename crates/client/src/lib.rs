@@ -42,6 +42,7 @@
 mod cache;
 mod client;
 mod database;
+mod driver;
 mod metrics;
 mod mitigation;
 mod preview;
@@ -50,7 +51,8 @@ mod transport;
 
 pub use cache::FullHashCache;
 pub use client::{ClientConfig, ClientError, ConfirmedMatch, LookupOutcome, SafeBrowsingClient};
-pub use database::LocalDatabase;
+pub use database::{ApplyChunksError, DatabaseReader, LocalDatabase};
+pub use driver::{DriverPolicy, DriverStats, UpdateDriver};
 pub use metrics::ClientMetrics;
 pub use mitigation::MitigationPolicy;
 pub use preview::{LookupPreview, PreviewedDecomposition};

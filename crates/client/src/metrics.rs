@@ -27,6 +27,16 @@ pub struct ClientMetrics {
     pub batched_lookups: usize,
     /// Provider exchanges that failed with a `ServiceError`.
     pub service_errors: usize,
+    /// Chunks applied across all updates (excludes idempotent
+    /// re-deliveries the database skipped).
+    pub chunks_applied: usize,
+    /// The provider's most recent `next_update_seconds` schedule hint —
+    /// what an `UpdateDriver` sleeps on between updates.
+    pub next_update_hint: Option<u64>,
+    /// Update deltas absorbed on the store's overlay path (no rebuild).
+    pub deltas_absorbed: usize,
+    /// Full store rebuilds triggered by an oversized overlay.
+    pub store_rebuilds: usize,
 }
 
 impl ClientMetrics {
@@ -62,8 +72,7 @@ mod tests {
             dummy_prefixes_sent: 3,
             urls_flagged: 2,
             updates: 1,
-            batched_lookups: 0,
-            service_errors: 0,
+            ..ClientMetrics::default()
         };
         assert_eq!(m.real_prefixes_sent(), 6);
         assert!((m.mean_prefixes_per_request() - 3.0).abs() < 1e-12);

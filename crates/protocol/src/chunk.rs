@@ -2,10 +2,25 @@
 //!
 //! The v3 API delivers blacklist updates as numbered *chunks*: `add` chunks
 //! carry new prefixes, `sub` chunks revoke prefixes added by earlier chunks.
-//! The client tracks the chunk numbers it holds per list and sends them back
-//! in the next update request so the server can compute a delta.
+//! The client tracks the chunk numbers it holds per list (as
+//! [`ChunkRanges`](crate::ChunkRanges)) and sends them back in the next
+//! update request so the server can compute the exact missing delta.
+//!
+//! # Hygiene
+//!
+//! A well-formed chunk carries prefixes of **one** length
+//! ([`Chunk::uniform_prefix_len`]); mixing lengths within a chunk is a
+//! protocol violation a client must reject.  Within one update response,
+//! chunk numbers must be unique per (list, kind); re-delivery of an
+//! *already applied* number is idempotent and skipped, but two distinct
+//! chunks with the same number in one response are a provider bug.
+//!
+//! # Ordering
+//!
+//! Within one response, clients apply sub chunks before add chunks (see
+//! [`UpdateResponse`](crate::UpdateResponse) for the full contract).
 
-use sb_hash::Prefix;
+use sb_hash::{Prefix, PrefixLen};
 
 use crate::lists::ListName;
 
@@ -61,7 +76,53 @@ impl Chunk {
     pub fn is_empty(&self) -> bool {
         self.prefixes.is_empty()
     }
+
+    /// The single prefix length carried by this chunk.
+    ///
+    /// Returns `Ok(None)` for an empty chunk and `Ok(Some(len))` when every
+    /// prefix has the same length.
+    ///
+    /// # Errors
+    ///
+    /// [`MixedPrefixLengths`] when the chunk mixes prefix lengths — a
+    /// malformed chunk the client must reject.
+    pub fn uniform_prefix_len(&self) -> Result<Option<PrefixLen>, MixedPrefixLengths> {
+        let mut lens = self.prefixes.iter().map(|p| p.len());
+        let Some(first) = lens.next() else {
+            return Ok(None);
+        };
+        if lens.all(|l| l == first) {
+            Ok(Some(first))
+        } else {
+            Err(MixedPrefixLengths {
+                list: self.list.clone(),
+                number: self.number,
+            })
+        }
+    }
 }
+
+/// Error of [`Chunk::uniform_prefix_len`]: the chunk carries prefixes of
+/// more than one length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixedPrefixLengths {
+    /// The offending chunk's list.
+    pub list: ListName,
+    /// The offending chunk's number.
+    pub number: u32,
+}
+
+impl std::fmt::Display for MixedPrefixLengths {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "chunk {} of list `{}` mixes prefix lengths",
+            self.number, self.list
+        )
+    }
+}
+
+impl std::error::Error for MixedPrefixLengths {}
 
 #[cfg(test)]
 mod tests {
@@ -77,5 +138,26 @@ mod tests {
         assert_eq!(a.len(), 1);
         assert!(!a.is_empty());
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn uniform_prefix_len_accepts_well_formed_chunks() {
+        let empty = Chunk::add("l", 1, vec![]);
+        assert_eq!(empty.uniform_prefix_len(), Ok(None));
+        let uniform = Chunk::add("l", 2, vec![prefix32("a/"), prefix32("b/")]);
+        assert_eq!(uniform.uniform_prefix_len(), Ok(Some(PrefixLen::L32)));
+    }
+
+    #[test]
+    fn uniform_prefix_len_rejects_mixed_lengths() {
+        use sb_hash::digest_url;
+        let mixed = Chunk::add(
+            "l",
+            3,
+            vec![prefix32("a/"), digest_url("b/").prefix(PrefixLen::L64)],
+        );
+        let err = mixed.uniform_prefix_len().unwrap_err();
+        assert_eq!(err.number, 3);
+        assert!(err.to_string().contains("mixes prefix lengths"));
     }
 }

@@ -27,15 +27,17 @@ mod chunk;
 mod cookie;
 mod lists;
 mod messages;
+mod ranges;
 
 pub use category::{Provider, ThreatCategory};
-pub use chunk::{Chunk, ChunkKind};
+pub use chunk::{Chunk, ChunkKind, MixedPrefixLengths};
 pub use cookie::ClientCookie;
 pub use lists::{google_lists, lists_for, yandex_lists, ListDescriptor, ListName};
 pub use messages::{
     expect_single_response, ClientListState, FullHashEntry, FullHashRequest, FullHashResponse,
     SafeBrowsingService, ServiceError, UpdateRequest, UpdateResponse,
 };
+pub use ranges::ChunkRanges;
 
 #[cfg(test)]
 mod tests {

@@ -13,18 +13,65 @@
 
 use sb_hash::{Digest, Prefix};
 
-use crate::chunk::Chunk;
+use crate::chunk::{Chunk, ChunkKind};
 use crate::cookie::ClientCookie;
 use crate::lists::ListName;
+use crate::ranges::ChunkRanges;
 
-/// The chunk state a client holds for one list (highest add/sub chunk
-/// numbers already applied).
+/// The chunk state a client holds for one list: the exact add/sub chunk
+/// numbers already applied, as compact [`ChunkRanges`].
+///
+/// Advertising ranges (the wire protocol's `a:1-5,8` / `s:2-3` shape)
+/// instead of a single high-water mark lets the server answer with
+/// **exactly** the missing chunks: chunks delivered out of order, retired
+/// by journal compaction, or skipped by a partial outage never force a
+/// replay of everything above a maximum.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ClientListState {
-    /// Highest add-chunk number applied (0 when none).
-    pub max_add_chunk: u32,
-    /// Highest sub-chunk number applied (0 when none).
-    pub max_sub_chunk: u32,
+    /// Add-chunk numbers applied.
+    pub add: ChunkRanges,
+    /// Sub-chunk numbers applied.
+    pub sub: ChunkRanges,
+}
+
+impl ClientListState {
+    /// State of a client that applied add chunks `1..=max_add` and sub
+    /// chunks `1..=max_sub` in order (0 = none) — the common contiguous
+    /// case and the migration path from the old high-water-mark state.
+    pub fn up_to(max_add: u32, max_sub: u32) -> Self {
+        ClientListState {
+            add: ChunkRanges::through(max_add),
+            sub: ChunkRanges::through(max_sub),
+        }
+    }
+
+    /// True when the chunk of the given kind/number has been applied.
+    pub fn holds(&self, kind: ChunkKind, number: u32) -> bool {
+        match kind {
+            ChunkKind::Add => self.add.contains(number),
+            ChunkKind::Sub => self.sub.contains(number),
+        }
+    }
+
+    /// Records a chunk of the given kind/number as applied.  Returns true
+    /// if it was newly recorded.
+    pub fn record(&mut self, kind: ChunkKind, number: u32) -> bool {
+        match kind {
+            ChunkKind::Add => self.add.insert(number),
+            ChunkKind::Sub => self.sub.insert(number),
+        }
+    }
+
+    /// The highest add-chunk number applied (0 when none) — kept for
+    /// reporting; deltas are computed from the full ranges.
+    pub fn max_add_chunk(&self) -> u32 {
+        self.add.max().unwrap_or(0)
+    }
+
+    /// The highest sub-chunk number applied (0 when none).
+    pub fn max_sub_chunk(&self) -> u32 {
+        self.sub.max().unwrap_or(0)
+    }
 }
 
 /// A database-update request (one entry per subscribed list).
@@ -35,11 +82,31 @@ pub struct UpdateRequest {
 }
 
 /// A database-update response.
+///
+/// # Ordering contract
+///
+/// Within one response the client **applies every sub chunk before any add
+/// chunk**, each group in ascending chunk number (per list).  The server
+/// emits chunks in that order too, but the contract binds the *applier*:
+/// a prefix that one response both removes (sub) and re-adds (add) must
+/// end up present.
+///
+/// The emitter's side of the contract is a **netted view**: an add chunk
+/// in a response must not carry a prefix that a chronologically *later*
+/// sub chunk of the same response removes (the server strips such
+/// prefixes before emission — `sb-server`'s journal does this both when
+/// serving and when compacting).  Given a netted response, subs-before-adds
+/// application is exactly equivalent to replaying the served history in
+/// chronological order, so incremental application converges to the
+/// server's current membership regardless of how far behind the client
+/// was.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct UpdateResponse {
-    /// Chunks the client must apply, in order.
+    /// Chunks the client must apply (see the ordering contract above).
     pub chunks: Vec<Chunk>,
-    /// Minimum delay before the next update request, in seconds.
+    /// Minimum delay before the next update request, in seconds — the
+    /// provider's update schedule.  Long-running clients feed this to an
+    /// update driver (`sb_client::UpdateDriver`) instead of polling.
     pub next_update_seconds: u64,
 }
 
@@ -130,6 +197,14 @@ pub enum ServiceError {
         /// What was wrong with the request.
         reason: String,
     },
+    /// The provider's *response* violates the protocol (e.g. an update
+    /// chunk mixing prefix lengths, or duplicate chunk numbers in one
+    /// response).  Raised by the client when it rejects a response; the
+    /// local database is left unchanged.
+    MalformedResponse {
+        /// What was wrong with the response.
+        reason: String,
+    },
     /// The request referenced a list this provider does not serve.
     ListUnknown(ListName),
 }
@@ -156,6 +231,9 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::Unavailable { reason } => write!(f, "provider unavailable: {reason}"),
             ServiceError::MalformedRequest { reason } => write!(f, "malformed request: {reason}"),
+            ServiceError::MalformedResponse { reason } => {
+                write!(f, "malformed response: {reason}")
+            }
             ServiceError::ListUnknown(name) => write!(f, "unknown list `{name}`"),
         }
     }
@@ -276,7 +354,39 @@ mod tests {
             reason: "empty".into()
         }
         .is_retryable());
+        assert!(!ServiceError::MalformedResponse {
+            reason: "mixed prefix lengths".into()
+        }
+        .is_retryable());
         assert!(!ServiceError::ListUnknown("nope".into()).is_retryable());
+    }
+
+    #[test]
+    fn client_list_state_tracks_ranges() {
+        let mut state = ClientListState::default();
+        assert!(!state.holds(ChunkKind::Add, 1));
+        assert!(state.record(ChunkKind::Add, 1));
+        assert!(state.record(ChunkKind::Add, 3));
+        assert!(state.record(ChunkKind::Sub, 2));
+        assert!(!state.record(ChunkKind::Add, 3)); // idempotent
+        assert!(state.holds(ChunkKind::Add, 1));
+        assert!(!state.holds(ChunkKind::Add, 2));
+        assert!(state.holds(ChunkKind::Add, 3));
+        assert!(state.holds(ChunkKind::Sub, 2));
+        assert_eq!(state.max_add_chunk(), 3);
+        assert_eq!(state.max_sub_chunk(), 2);
+    }
+
+    #[test]
+    fn up_to_matches_contiguous_application() {
+        let state = ClientListState::up_to(3, 1);
+        for n in 1..=3 {
+            assert!(state.holds(ChunkKind::Add, n));
+        }
+        assert!(!state.holds(ChunkKind::Add, 4));
+        assert!(state.holds(ChunkKind::Sub, 1));
+        assert!(!state.holds(ChunkKind::Sub, 2));
+        assert_eq!(ClientListState::up_to(0, 0), ClientListState::default());
     }
 
     #[test]
@@ -299,6 +409,12 @@ mod tests {
                     reason: "no prefixes".into(),
                 },
                 "no prefixes",
+            ),
+            (
+                ServiceError::MalformedResponse {
+                    reason: "duplicate chunk 7".into(),
+                },
+                "duplicate chunk 7",
             ),
             (
                 ServiceError::ListUnknown("ghost-shavar".into()),

@@ -1,0 +1,277 @@
+//! Compact sets of chunk numbers, as sorted disjoint inclusive ranges.
+//!
+//! The v3 wire protocol advertises the chunks a client holds as a range
+//! list (`a:1-5,8,10-11`), not as a single high-water mark: chunks can be
+//! delivered out of order, retired by compaction, or skipped entirely, so
+//! the set of held chunk numbers is in general *not* a contiguous prefix.
+//! [`ChunkRanges`] is the in-process equivalent — the building block of
+//! [`ClientListState`](crate::ClientListState), which lets the server
+//! compute the exact missing delta instead of replaying everything above a
+//! high-water mark.
+
+/// A set of `u32` chunk numbers stored as sorted, disjoint, inclusive
+/// ranges.
+///
+/// Insertion keeps the ranges normalized (sorted, non-overlapping,
+/// non-adjacent), so a client holding chunks 1..=100_000 costs one range,
+/// not 100_000 entries, and membership is a binary search over the range
+/// vector.
+///
+/// # Examples
+///
+/// ```
+/// use sb_protocol::ChunkRanges;
+///
+/// let mut held = ChunkRanges::new();
+/// held.insert(1);
+/// held.insert(2);
+/// held.insert(5);
+/// assert!(held.contains(2));
+/// assert!(!held.contains(3));
+/// assert_eq!(held.to_string(), "1-2,5");
+/// assert_eq!(held.max(), Some(5));
+/// assert_eq!(held.count(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct ChunkRanges {
+    /// Sorted, disjoint, non-adjacent inclusive ranges.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl ChunkRanges {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ChunkRanges::default()
+    }
+
+    /// The contiguous set `1..=max` (empty when `max` is 0) — the shape a
+    /// client that applied every chunk in order holds, and the migration
+    /// path from the old high-water-mark state.
+    pub fn through(max: u32) -> Self {
+        if max == 0 {
+            ChunkRanges::new()
+        } else {
+            ChunkRanges {
+                ranges: vec![(1, max)],
+            }
+        }
+    }
+
+    /// True when no chunk number is held.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of chunk numbers held (not the number of ranges).
+    pub fn count(&self) -> u64 {
+        self.ranges
+            .iter()
+            .map(|&(lo, hi)| u64::from(hi - lo) + 1)
+            .sum()
+    }
+
+    /// Number of stored ranges (the wire/memory cost of the set).
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The highest chunk number held, if any.
+    pub fn max(&self) -> Option<u32> {
+        self.ranges.last().map(|&(_, hi)| hi)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, number: u32) -> bool {
+        self.ranges
+            .binary_search_by(|&(lo, hi)| {
+                if number < lo {
+                    std::cmp::Ordering::Greater
+                } else if number > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Inserts one chunk number, merging with adjacent/overlapping ranges.
+    /// Returns true if the number was newly inserted.
+    pub fn insert(&mut self, number: u32) -> bool {
+        // First range whose end is >= number - 1: the only candidate for
+        // containing `number` or being adjacent to it.  Every earlier range
+        // ends strictly below number - 1, so it can neither contain nor
+        // touch `number`.
+        let idx = self
+            .ranges
+            .partition_point(|&(_, hi)| hi < number.saturating_sub(1));
+        if let Some(&(lo, hi)) = self.ranges.get(idx) {
+            if number >= lo && number <= hi {
+                return false; // already held
+            }
+            if number > hi {
+                // hi >= number - 1 and number > hi force hi == number - 1:
+                // extend upward, merging with the next range if adjacent.
+                self.ranges[idx].1 = number;
+                if let Some(&(next_lo, next_hi)) = self.ranges.get(idx + 1) {
+                    if number.checked_add(1) == Some(next_lo) {
+                        self.ranges[idx].1 = next_hi;
+                        self.ranges.remove(idx + 1);
+                    }
+                }
+                return true;
+            }
+            if number + 1 == lo {
+                // Extend downward; the previous range ends below
+                // number - 1, so no further merge is possible.
+                self.ranges[idx].0 = number;
+                return true;
+            }
+        }
+        self.ranges.insert(idx, (number, number));
+        true
+    }
+
+    /// Iterates the held chunk numbers in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.ranges.iter().flat_map(|&(lo, hi)| lo..=hi)
+    }
+
+    /// The inclusive ranges themselves, ascending.
+    pub fn ranges(&self) -> &[(u32, u32)] {
+        &self.ranges
+    }
+}
+
+impl FromIterator<u32> for ChunkRanges {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut ranges = ChunkRanges::new();
+        for n in iter {
+            ranges.insert(n);
+        }
+        ranges
+    }
+}
+
+impl std::fmt::Display for ChunkRanges {
+    /// Wire-style rendering: `1-5,8,10-11` (empty set renders as `-`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.ranges.is_empty() {
+            return f.write_str("-");
+        }
+        for (i, &(lo, hi)) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            if lo == hi {
+                write!(f, "{lo}")?;
+            } else {
+                write!(f, "{lo}-{hi}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set() {
+        let r = ChunkRanges::new();
+        assert!(r.is_empty());
+        assert_eq!(r.count(), 0);
+        assert_eq!(r.max(), None);
+        assert!(!r.contains(0));
+        assert!(!r.contains(1));
+        assert_eq!(r.to_string(), "-");
+    }
+
+    #[test]
+    fn through_builds_contiguous_prefix() {
+        let r = ChunkRanges::through(4);
+        assert_eq!(r.to_string(), "1-4");
+        assert_eq!(r.count(), 4);
+        assert!(r.contains(1) && r.contains(4));
+        assert!(!r.contains(0) && !r.contains(5));
+        assert!(ChunkRanges::through(0).is_empty());
+    }
+
+    #[test]
+    fn insert_merges_adjacent_and_overlapping() {
+        let mut r = ChunkRanges::new();
+        assert!(r.insert(5));
+        assert!(r.insert(3));
+        assert!(r.insert(4)); // bridges 3 and 5
+        assert_eq!(r.ranges(), &[(3, 5)]);
+        assert!(r.insert(7));
+        assert_eq!(r.ranges(), &[(3, 5), (7, 7)]);
+        assert!(r.insert(6)); // bridges again
+        assert_eq!(r.ranges(), &[(3, 7)]);
+        assert!(!r.insert(4)); // duplicate
+        assert_eq!(r.count(), 5);
+    }
+
+    #[test]
+    fn insert_extends_in_both_directions() {
+        let mut r = ChunkRanges::new();
+        r.insert(10);
+        r.insert(11); // upward
+        r.insert(9); // downward
+        assert_eq!(r.ranges(), &[(9, 11)]);
+        r.insert(1);
+        assert_eq!(r.ranges(), &[(1, 1), (9, 11)]);
+        assert_eq!(r.to_string(), "1,9-11");
+    }
+
+    #[test]
+    fn random_inserts_match_reference_set() {
+        // Deterministic pseudo-random order; the normalized ranges must
+        // describe exactly the inserted set.
+        let mut r = ChunkRanges::new();
+        let mut reference = std::collections::BTreeSet::new();
+        let mut x: u32 = 0x2545_f491;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            let n = x % 64;
+            assert_eq!(r.insert(n), reference.insert(n));
+        }
+        for n in 0..70 {
+            assert_eq!(r.contains(n), reference.contains(&n), "n = {n}");
+        }
+        assert_eq!(r.count(), reference.len() as u64);
+        assert_eq!(
+            r.iter().collect::<Vec<_>>(),
+            reference.iter().copied().collect::<Vec<_>>()
+        );
+        // Normalization: ranges are sorted, disjoint and non-adjacent.
+        for pair in r.ranges().windows(2) {
+            assert!(
+                pair[0].1 + 1 < pair[1].0,
+                "ranges {:?} not normalized",
+                r.ranges()
+            );
+        }
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let r: ChunkRanges = [4u32, 1, 2, 9].into_iter().collect();
+        assert_eq!(r.to_string(), "1-2,4,9");
+    }
+
+    #[test]
+    fn boundary_values() {
+        let mut r = ChunkRanges::new();
+        r.insert(0);
+        r.insert(u32::MAX);
+        assert!(r.contains(0));
+        assert!(r.contains(u32::MAX));
+        assert_eq!(r.count(), 2);
+        r.insert(1);
+        assert_eq!(r.ranges()[0], (0, 1));
+    }
+}

@@ -1,0 +1,530 @@
+//! The per-list chunk journal: the server-side source of incremental
+//! updates.
+//!
+//! Every blacklist mutation appends a numbered add/sub chunk to its list's
+//! journal.  An update request carries the exact chunk ranges the client
+//! holds ([`ClientListState`]), so [`ChunkJournal::missing_chunks`] serves
+//! precisely the delta — no replay of already-applied history, no scan over
+//! other lists' chunks.
+//!
+//! Unbounded append would make the journal (and a fresh client's first
+//! update) grow forever, so the journal **compacts**: a sub chunk's
+//! prefixes are netted out of the *earlier* add chunks they cancel, and add
+//! chunks that become empty are dropped.  Sub chunks are never dropped —
+//! a client that already holds the original (un-netted) add chunk still
+//! needs the sub to remove the prefix; a fresh client applies the sub as a
+//! harmless no-op.  Netting only touches prefixes that are not re-added by
+//! a *later* add chunk, so the subs-before-adds application order of
+//! [`UpdateResponse`](sb_protocol::UpdateResponse) converges to the same
+//! membership for every client, however stale.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use sb_hash::Prefix;
+use sb_protocol::{Chunk, ChunkKind, ClientListState, ListName};
+
+/// Journal of one list: chronological chunks plus the number allocators.
+#[derive(Debug, Default, Clone)]
+struct ListJournal {
+    /// Chunks in append (chronological) order — the true mutation order,
+    /// which compaction relies on.
+    chunks: Vec<Chunk>,
+    /// Next add-chunk number to allocate (numbers start at 1).
+    next_add: u32,
+    /// Next sub-chunk number to allocate.
+    next_sub: u32,
+    /// Live chunk count right after the last compaction pass — the
+    /// baseline of the geometric re-compaction trigger.  Compaction
+    /// cannot shrink below the un-nettable chunks (subs are never
+    /// dropped; a pure-add history nets nothing), so retriggering on a
+    /// fixed size would re-walk the whole journal on *every* append once
+    /// past the bound.  Requiring the journal to grow by half since the
+    /// last pass keeps the amortized cost per append O(1).
+    compacted_at: usize,
+}
+
+impl ListJournal {
+    fn allocate(&mut self, kind: ChunkKind) -> u32 {
+        let counter = match kind {
+            ChunkKind::Add => &mut self.next_add,
+            ChunkKind::Sub => &mut self.next_sub,
+        };
+        *counter += 1;
+        *counter
+    }
+}
+
+/// Aggregate statistics over a [`ChunkJournal`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Lists with at least one journal entry.
+    pub lists: usize,
+    /// Add chunks currently live in the journal.
+    pub add_chunks: usize,
+    /// Sub chunks currently live in the journal.
+    pub sub_chunks: usize,
+    /// Prefix entries across all live chunks (the replay cost of a fresh
+    /// client, in prefixes).
+    pub live_prefixes: usize,
+    /// Chunks appended over the journal's lifetime.
+    pub appends: usize,
+    /// Prefixes removed from add chunks by compaction netting.
+    pub netted_prefixes: usize,
+    /// Add chunks dropped because netting emptied them.
+    pub dropped_chunks: usize,
+    /// Compaction passes run (automatic + explicit).
+    pub compactions: usize,
+}
+
+/// The server's chunk journal: one per-list journal with append, delta
+/// computation and compaction.
+#[derive(Debug)]
+pub struct ChunkJournal {
+    lists: BTreeMap<ListName, ListJournal>,
+    /// A list is compacted automatically when its live chunk count exceeds
+    /// this bound after an append.
+    auto_compact_above: usize,
+    appends: usize,
+    netted_prefixes: usize,
+    dropped_chunks: usize,
+    compactions: usize,
+}
+
+/// Default per-list chunk count above which an append triggers compaction.
+pub const DEFAULT_AUTO_COMPACT_ABOVE: usize = 64;
+
+impl Default for ChunkJournal {
+    fn default() -> Self {
+        Self::new(DEFAULT_AUTO_COMPACT_ABOVE)
+    }
+}
+
+impl ChunkJournal {
+    /// Creates an empty journal with the given auto-compaction bound.
+    pub fn new(auto_compact_above: usize) -> Self {
+        ChunkJournal {
+            lists: BTreeMap::new(),
+            auto_compact_above,
+            appends: 0,
+            netted_prefixes: 0,
+            dropped_chunks: 0,
+            compactions: 0,
+        }
+    }
+
+    /// Appends a chunk to `list`, allocating its number.  Returns the
+    /// allocated chunk number.  Compacts the list automatically when its
+    /// journal has outgrown the bound *and* grown by half since the last
+    /// pass (amortized O(1) per append — see `ListJournal::compacted_at`).
+    pub fn append(&mut self, list: ListName, kind: ChunkKind, prefixes: Vec<Prefix>) -> u32 {
+        let journal = self.lists.entry(list.clone()).or_default();
+        let number = journal.allocate(kind);
+        journal.chunks.push(Chunk {
+            list: list.clone(),
+            number,
+            kind,
+            prefixes,
+        });
+        let len = journal.chunks.len();
+        let due =
+            len > self.auto_compact_above && len >= journal.compacted_at + journal.compacted_at / 2;
+        self.appends += 1;
+        if due {
+            self.compact_list_inner(&list);
+        }
+        number
+    }
+
+    /// The chunks of `list` the client is missing, **sub chunks first**,
+    /// each group in ascending chunk number — the emission side of the
+    /// response ordering contract.
+    ///
+    /// The served view is *netted*: a prefix that an add chunk carries
+    /// and a chronologically-later sub chunk of the **whole journal**
+    /// removes is stripped from the add before emission.  Without this,
+    /// subs-before-adds application would resurrect it (the sub applies
+    /// first, then the add re-inserts) — and a client whose held ranges
+    /// interleave with the served chunks (e.g. holding the sub but not
+    /// the add it cancels) would resurrect it permanently.  Netting over
+    /// the full journal rather than just the response makes the served
+    /// view identical to what stored compaction would persist, so the
+    /// response a client sees does not depend on whether compaction has
+    /// run yet.  Adds emptied by netting are still emitted (number
+    /// intact, no prefixes) so the client records them as applied instead
+    /// of re-requesting them forever.
+    pub fn missing_chunks(&self, list: &ListName, state: &ClientListState) -> Vec<Chunk> {
+        let Some(journal) = self.lists.get(list) else {
+            return Vec::new();
+        };
+        let strips = net_strip_map(&journal.chunks);
+        let mut missing: Vec<Chunk> = Vec::new();
+        for (idx, chunk) in journal.chunks.iter().enumerate() {
+            if state.holds(chunk.kind, chunk.number) {
+                continue;
+            }
+            let mut chunk = chunk.clone();
+            if let Some(strip) = strips.get(&idx) {
+                chunk.prefixes.retain(|p| !strip.contains(p));
+            }
+            missing.push(chunk);
+        }
+        let (mut subs, mut adds): (Vec<Chunk>, Vec<Chunk>) =
+            missing.into_iter().partition(|c| c.kind == ChunkKind::Sub);
+        subs.sort_by_key(|c| c.number);
+        adds.sort_by_key(|c| c.number);
+        subs.extend(adds);
+        subs
+    }
+
+    /// True when the journal has entries for `list`.
+    pub fn has_list(&self, list: &ListName) -> bool {
+        self.lists.contains_key(list)
+    }
+
+    /// Compacts one list now (netting + empty-add-chunk dropping).
+    pub fn compact_list(&mut self, list: &ListName) {
+        self.compact_list_inner(list);
+    }
+
+    /// Compacts every list now.
+    pub fn compact_all(&mut self) {
+        let names: Vec<ListName> = self.lists.keys().cloned().collect();
+        for name in &names {
+            self.compact_list_inner(name);
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> JournalStats {
+        let mut stats = JournalStats {
+            lists: self.lists.len(),
+            appends: self.appends,
+            netted_prefixes: self.netted_prefixes,
+            dropped_chunks: self.dropped_chunks,
+            compactions: self.compactions,
+            ..JournalStats::default()
+        };
+        for journal in self.lists.values() {
+            for chunk in &journal.chunks {
+                match chunk.kind {
+                    ChunkKind::Add => stats.add_chunks += 1,
+                    ChunkKind::Sub => stats.sub_chunks += 1,
+                }
+                stats.live_prefixes += chunk.prefixes.len();
+            }
+        }
+        stats
+    }
+
+    /// The stored netting pass: strip the [`net_strip_map`] prefixes from
+    /// the journal's add chunks, dropping adds that become empty.  Sub
+    /// chunks are kept verbatim (stale clients need them).
+    fn compact_list_inner(&mut self, list: &ListName) {
+        let Some(journal) = self.lists.get_mut(list) else {
+            return;
+        };
+        let netted = net_strip_map(&journal.chunks);
+        if netted.is_empty() {
+            journal.compacted_at = journal.chunks.len();
+            self.compactions += 1;
+            return;
+        }
+        let netted_count: usize = netted.values().map(HashSet::len).sum();
+        let mut dropped = 0usize;
+        let mut kept: Vec<Chunk> = Vec::with_capacity(journal.chunks.len());
+        for (idx, mut chunk) in journal.chunks.drain(..).enumerate() {
+            if let Some(strip) = netted.get(&idx) {
+                chunk.prefixes.retain(|p| !strip.contains(p));
+                if chunk.prefixes.is_empty() {
+                    dropped += 1;
+                    continue; // an emptied add chunk vanishes
+                }
+            }
+            kept.push(chunk);
+        }
+        journal.compacted_at = kept.len();
+        journal.chunks = kept;
+        self.netted_prefixes += netted_count;
+        self.dropped_chunks += dropped;
+        self.compactions += 1;
+    }
+}
+
+/// The netting walk shared by serve-time netting
+/// ([`ChunkJournal::missing_chunks`]) and stored compaction: a
+/// chronological pass over `chunks` in which an occurrence of prefix `p`
+/// in an add chunk is *pending* until a later sub chunk carries `p`, at
+/// which point every pending occurrence is netted.  Occurrences added
+/// *after* the sub stay — the prefix was re-added.  Returns, per chunk
+/// index, the prefixes to strip from that add chunk; subs are never in
+/// the map.  Keeping this in one place is what guarantees the served
+/// view and the stored view net identically.
+fn net_strip_map(chunks: &[Chunk]) -> HashMap<usize, HashSet<Prefix>> {
+    // pending[p] = indices of add chunks whose copy of `p` is not yet
+    // cancelled by a later sub.
+    let mut pending: HashMap<Prefix, Vec<usize>> = HashMap::new();
+    let mut netted: HashMap<usize, HashSet<Prefix>> = HashMap::new();
+    for (idx, chunk) in chunks.iter().enumerate() {
+        match chunk.kind {
+            ChunkKind::Add => {
+                for p in &chunk.prefixes {
+                    pending.entry(*p).or_default().push(idx);
+                }
+            }
+            ChunkKind::Sub => {
+                for p in &chunk.prefixes {
+                    if let Some(holders) = pending.remove(p) {
+                        for holder in holders {
+                            netted.entry(holder).or_default().insert(*p);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    netted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: u32) -> Prefix {
+        Prefix::from_u32(v)
+    }
+
+    fn list() -> ListName {
+        ListName::new("goog-malware-shavar")
+    }
+
+    #[test]
+    fn append_allocates_independent_number_spaces() {
+        let mut journal = ChunkJournal::default();
+        assert_eq!(journal.append(list(), ChunkKind::Add, vec![p(1)]), 1);
+        assert_eq!(journal.append(list(), ChunkKind::Add, vec![p(2)]), 2);
+        assert_eq!(journal.append(list(), ChunkKind::Sub, vec![p(1)]), 1);
+        assert_eq!(journal.append(list(), ChunkKind::Add, vec![p(3)]), 3);
+        let stats = journal.stats();
+        assert_eq!(stats.appends, 4);
+        assert_eq!(stats.add_chunks, 3);
+        assert_eq!(stats.sub_chunks, 1);
+    }
+
+    #[test]
+    fn missing_chunks_serves_exact_delta_subs_first() {
+        let mut journal = ChunkJournal::default();
+        journal.append(list(), ChunkKind::Add, vec![p(1)]); // add 1
+        journal.append(list(), ChunkKind::Add, vec![p(2)]); // add 2
+        journal.append(list(), ChunkKind::Sub, vec![p(1)]); // sub 1
+        journal.append(list(), ChunkKind::Add, vec![p(3)]); // add 3
+
+        // Client holds add 2 only (out-of-order hole at add 1).
+        let mut state = ClientListState::default();
+        state.record(ChunkKind::Add, 2);
+        let missing = journal.missing_chunks(&list(), &state);
+        let shape: Vec<(ChunkKind, u32)> = missing.iter().map(|c| (c.kind, c.number)).collect();
+        assert_eq!(
+            shape,
+            vec![
+                (ChunkKind::Sub, 1),
+                (ChunkKind::Add, 1),
+                (ChunkKind::Add, 3),
+            ]
+        );
+
+        // A fully caught-up client gets nothing.
+        let mut caught_up = ClientListState::default();
+        for n in 1..=3 {
+            caught_up.record(ChunkKind::Add, n);
+        }
+        caught_up.record(ChunkKind::Sub, 1);
+        assert!(journal.missing_chunks(&list(), &caught_up).is_empty());
+    }
+
+    #[test]
+    fn served_adds_are_netted_against_later_subs_in_the_same_response() {
+        // Server chronology: add {1, 2}, then remove {1}.  A fresh client
+        // applies subs first, so serving the add un-netted would
+        // resurrect p(1).  The served add must carry only p(2).
+        let mut journal = ChunkJournal::default();
+        journal.append(list(), ChunkKind::Add, vec![p(1), p(2)]);
+        journal.append(list(), ChunkKind::Sub, vec![p(1)]);
+
+        let missing = journal.missing_chunks(&list(), &ClientListState::default());
+        let add = missing.iter().find(|c| c.kind == ChunkKind::Add).unwrap();
+        assert_eq!(add.prefixes, vec![p(2)]);
+        let sub = missing.iter().find(|c| c.kind == ChunkKind::Sub).unwrap();
+        assert_eq!(sub.prefixes, vec![p(1)], "the sub itself stays intact");
+
+        // Subs-first application converges to the server's membership.
+        let mut membership = std::collections::BTreeSet::new();
+        for chunk in &missing {
+            match chunk.kind {
+                ChunkKind::Sub => {
+                    for q in &chunk.prefixes {
+                        membership.remove(q);
+                    }
+                }
+                ChunkKind::Add => membership.extend(chunk.prefixes.iter().copied()),
+            }
+        }
+        assert_eq!(membership.into_iter().collect::<Vec<_>>(), vec![p(2)]);
+
+        // Netting is computed over the whole journal, not just the served
+        // chunks: a client already holding the sub (a hole state the range
+        // protocol can express) must get the add netted too, or applying
+        // it would permanently resurrect p(1) on that client.
+        let mut holds_sub = ClientListState::default();
+        holds_sub.record(ChunkKind::Sub, 1);
+        let for_synced = journal.missing_chunks(&list(), &holds_sub);
+        assert_eq!(for_synced.len(), 1);
+        assert_eq!(for_synced[0].prefixes, vec![p(2)]);
+    }
+
+    #[test]
+    fn served_netting_respects_re_adds() {
+        // add {1}, sub {1}, add {1} again: the final add keeps p(1), the
+        // first is netted — replay converges to "present".
+        let mut journal = ChunkJournal::default();
+        journal.append(list(), ChunkKind::Add, vec![p(1)]);
+        journal.append(list(), ChunkKind::Sub, vec![p(1)]);
+        journal.append(list(), ChunkKind::Add, vec![p(1)]);
+
+        let missing = journal.missing_chunks(&list(), &ClientListState::default());
+        let adds: Vec<&Chunk> = missing
+            .iter()
+            .filter(|c| c.kind == ChunkKind::Add)
+            .collect();
+        assert_eq!(adds[0].number, 1);
+        assert!(adds[0].prefixes.is_empty(), "first add netted");
+        assert_eq!(adds[1].number, 2);
+        assert_eq!(adds[1].prefixes, vec![p(1)], "re-add survives");
+    }
+
+    #[test]
+    fn unknown_list_has_no_chunks() {
+        let journal = ChunkJournal::default();
+        assert!(journal
+            .missing_chunks(&list(), &ClientListState::default())
+            .is_empty());
+        assert!(!journal.has_list(&list()));
+    }
+
+    #[test]
+    fn compaction_nets_subbed_prefixes_out_of_earlier_adds() {
+        let mut journal = ChunkJournal::default();
+        journal.append(list(), ChunkKind::Add, vec![p(1), p(2)]);
+        journal.append(list(), ChunkKind::Sub, vec![p(1)]);
+        journal.compact_list(&list());
+
+        let stats = journal.stats();
+        assert_eq!(stats.netted_prefixes, 1);
+        assert_eq!(stats.dropped_chunks, 0);
+        assert_eq!(stats.compactions, 1);
+
+        // Fresh client: add 1 now carries only p(2); the sub is preserved.
+        let missing = journal.missing_chunks(&list(), &ClientListState::default());
+        let add = missing.iter().find(|c| c.kind == ChunkKind::Add).unwrap();
+        assert_eq!(add.prefixes, vec![p(2)]);
+        let sub = missing.iter().find(|c| c.kind == ChunkKind::Sub).unwrap();
+        assert_eq!(sub.prefixes, vec![p(1)]);
+    }
+
+    #[test]
+    fn compaction_drops_emptied_add_chunks_but_keeps_subs() {
+        let mut journal = ChunkJournal::default();
+        journal.append(list(), ChunkKind::Add, vec![p(1)]);
+        journal.append(list(), ChunkKind::Sub, vec![p(1)]);
+        journal.compact_list(&list());
+
+        let stats = journal.stats();
+        assert_eq!(stats.dropped_chunks, 1);
+        assert_eq!(stats.add_chunks, 0);
+        assert_eq!(stats.sub_chunks, 1);
+
+        let missing = journal.missing_chunks(&list(), &ClientListState::default());
+        assert_eq!(missing.len(), 1);
+        assert_eq!(missing[0].kind, ChunkKind::Sub);
+    }
+
+    #[test]
+    fn compaction_keeps_re_added_prefixes() {
+        let mut journal = ChunkJournal::default();
+        journal.append(list(), ChunkKind::Add, vec![p(1)]); // add 1: netted
+        journal.append(list(), ChunkKind::Sub, vec![p(1)]); // sub 1
+        journal.append(list(), ChunkKind::Add, vec![p(1)]); // add 2: re-added, kept
+        journal.compact_list(&list());
+
+        let missing = journal.missing_chunks(&list(), &ClientListState::default());
+        let adds: Vec<&Chunk> = missing
+            .iter()
+            .filter(|c| c.kind == ChunkKind::Add)
+            .collect();
+        assert_eq!(adds.len(), 1);
+        assert_eq!(adds[0].number, 2);
+        assert_eq!(adds[0].prefixes, vec![p(1)]);
+
+        // Fresh-client application (subs first) converges to {p(1)}.
+        let mut membership = std::collections::BTreeSet::new();
+        for chunk in &missing {
+            match chunk.kind {
+                ChunkKind::Sub => {
+                    for q in &chunk.prefixes {
+                        membership.remove(q);
+                    }
+                }
+                ChunkKind::Add => membership.extend(chunk.prefixes.iter().copied()),
+            }
+        }
+        assert!(membership.contains(&p(1)));
+    }
+
+    #[test]
+    fn auto_compaction_bounds_journal_growth() {
+        let mut journal = ChunkJournal::new(8);
+        // Alternate add/sub of the same prefix: history grows, membership
+        // stays empty — compaction keeps only the subs.
+        for _ in 0..16 {
+            journal.append(list(), ChunkKind::Add, vec![p(7)]);
+            journal.append(list(), ChunkKind::Sub, vec![p(7)]);
+        }
+        let auto = journal.stats();
+        assert!(auto.compactions > 0, "auto-compaction must have fired");
+        // The trigger is geometric (amortized O(1) per append), so a tail
+        // of un-netted chunks may remain; an explicit pass finishes it.
+        journal.compact_all();
+        let stats = journal.stats();
+        assert_eq!(stats.add_chunks, 0, "all adds were netted away");
+        // A fresh client's replay cost is bounded by the surviving subs.
+        let missing = journal.missing_chunks(&list(), &ClientListState::default());
+        assert!(missing.iter().all(|c| c.kind == ChunkKind::Sub));
+    }
+
+    #[test]
+    fn auto_compaction_is_amortized_not_per_append() {
+        // A pure-add journal has nothing to net, so compaction can never
+        // shrink it below the bound; the geometric trigger must not
+        // degenerate into one full-journal pass per append.
+        let mut journal = ChunkJournal::new(4);
+        for i in 0..200u32 {
+            journal.append(list(), ChunkKind::Add, vec![p(i)]);
+        }
+        let stats = journal.stats();
+        assert_eq!(stats.add_chunks, 200, "nothing nettable, nothing lost");
+        assert!(
+            stats.compactions <= 16,
+            "expected O(log n) passes over 200 appends, got {}",
+            stats.compactions
+        );
+    }
+
+    #[test]
+    fn stats_count_live_prefixes() {
+        let mut journal = ChunkJournal::default();
+        journal.append(list(), ChunkKind::Add, vec![p(1), p(2), p(3)]);
+        journal.append(ListName::new("other"), ChunkKind::Add, vec![p(9)]);
+        let stats = journal.stats();
+        assert_eq!(stats.lists, 2);
+        assert_eq!(stats.live_prefixes, 4);
+    }
+}

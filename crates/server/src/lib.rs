@@ -33,11 +33,13 @@
 #![warn(missing_docs)]
 
 mod blacklist;
+mod journal;
 mod log;
 mod server;
 mod sharded;
 
 pub use blacklist::{Blacklist, PrefixDigestHistogram};
+pub use journal::{ChunkJournal, JournalStats, DEFAULT_AUTO_COMPACT_ABOVE};
 pub use log::{LoggedRequest, QueryLog};
 pub use server::{SafeBrowsingServer, ServerError, DEFAULT_NEXT_UPDATE_SECONDS};
 pub use sharded::{FleetStats, ShardHandle, ShardService, ShardedProvider};

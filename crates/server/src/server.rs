@@ -14,12 +14,13 @@ use std::sync::{Mutex, RwLock};
 
 use sb_hash::Prefix;
 use sb_protocol::{
-    Chunk, ChunkKind, FullHashEntry, FullHashRequest, FullHashResponse, ListName, Provider,
+    ChunkKind, FullHashEntry, FullHashRequest, FullHashResponse, ListName, Provider,
     SafeBrowsingService, ServiceError, ThreatCategory, UpdateRequest, UpdateResponse,
 };
 use sb_url::CanonicalUrl;
 
 use crate::blacklist::{shard_of, Blacklist};
+use crate::journal::{ChunkJournal, JournalStats};
 use crate::log::{LoggedRequest, QueryLog};
 
 /// Default minimum delay between update requests, in seconds (the deployed
@@ -69,8 +70,9 @@ pub struct SafeBrowsingServer {
     /// resolve concurrently (and fan out internally) while updates and
     /// logging proceed under the other locks.
     lists: RwLock<BTreeMap<ListName, Blacklist>>,
-    /// Full chunk history, used to serve incremental updates.
-    chunks: Mutex<Vec<Chunk>>,
+    /// Per-list chunk journal (append + compaction), used to serve exact
+    /// incremental deltas.
+    journal: Mutex<ChunkJournal>,
     log: Mutex<LogState>,
     next_update_seconds: u64,
 }
@@ -81,13 +83,22 @@ impl SafeBrowsingServer {
         SafeBrowsingServer {
             provider,
             lists: RwLock::new(BTreeMap::new()),
-            chunks: Mutex::new(Vec::new()),
+            journal: Mutex::new(ChunkJournal::default()),
             log: Mutex::new(LogState {
                 query_log: QueryLog::new(),
                 clock: 0,
             }),
             next_update_seconds: DEFAULT_NEXT_UPDATE_SECONDS,
         }
+    }
+
+    /// Overrides the `next_update_seconds` schedule hint returned by every
+    /// update response (the deployed services' 30-minute default
+    /// otherwise) — update drivers and their tests steer polling cadence
+    /// with this.
+    pub fn with_next_update_seconds(mut self, seconds: u64) -> Self {
+        self.next_update_seconds = seconds;
+        self
     }
 
     /// Creates a server pre-populated with every (empty) list of the
@@ -274,20 +285,24 @@ impl SafeBrowsingServer {
     }
 
     fn push_chunk(&self, list: ListName, kind: ChunkKind, prefixes: Vec<Prefix>) {
-        let mut chunks = self.chunks.lock().expect("server chunk lock poisoned");
-        let number = chunks
-            .iter()
-            .filter(|c| c.list == list && c.kind == kind)
-            .map(|c| c.number)
-            .max()
-            .unwrap_or(0)
-            + 1;
-        chunks.push(Chunk {
-            list,
-            number,
-            kind,
-            prefixes,
-        });
+        self.lock_journal().append(list, kind, prefixes);
+    }
+
+    /// Journal accounting: live chunks and prefixes per kind, appends,
+    /// compaction effects.
+    pub fn journal_stats(&self) -> JournalStats {
+        self.lock_journal().stats()
+    }
+
+    /// Compacts every list's journal now (netting subbed prefixes out of
+    /// earlier add chunks, dropping emptied add chunks).  Compaction also
+    /// runs automatically when a list's journal outgrows its bound.
+    pub fn compact_journal(&self) {
+        self.lock_journal().compact_all();
+    }
+
+    fn lock_journal(&self) -> std::sync::MutexGuard<'_, ChunkJournal> {
+        self.journal.lock().expect("server journal lock poisoned")
     }
 }
 
@@ -307,23 +322,19 @@ fn resolve_prefix(lists: &BTreeMap<ListName, Blacklist>, prefix: &Prefix) -> Vec
 }
 
 impl SafeBrowsingService for SafeBrowsingServer {
+    /// Serves the exact missing delta for each requested list: the journal
+    /// is consulted with the client's advertised chunk ranges, so chunks
+    /// the client already holds are never re-sent, and each list's chunks
+    /// come back **subs first** (the response ordering contract).
     fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
         let lists = self.read_lists();
-        let history = self.chunks.lock().expect("server chunk lock poisoned");
+        let journal = self.lock_journal();
         let mut chunks = Vec::new();
         for (list, client_state) in &request.lists {
             if !lists.contains_key(list) {
                 return Err(ServiceError::ListUnknown(list.clone()));
             }
-            for chunk in history.iter().filter(|c| &c.list == list) {
-                let already_applied = match chunk.kind {
-                    ChunkKind::Add => chunk.number <= client_state.max_add_chunk,
-                    ChunkKind::Sub => chunk.number <= client_state.max_sub_chunk,
-                };
-                if !already_applied {
-                    chunks.push(chunk.clone());
-                }
-            }
+            chunks.extend(journal.missing_chunks(list, client_state));
         }
         Ok(UpdateResponse {
             chunks,
@@ -544,13 +555,7 @@ mod tests {
 
         let partial = server
             .update(&UpdateRequest {
-                lists: vec![(
-                    "goog-malware-shavar".into(),
-                    ClientListState {
-                        max_add_chunk: 1,
-                        max_sub_chunk: 0,
-                    },
-                )],
+                lists: vec![("goog-malware-shavar".into(), ClientListState::up_to(1, 0))],
             })
             .unwrap();
         assert_eq!(partial.chunks.len(), 1);

@@ -9,6 +9,12 @@
 //! can swap them freely and compare memory footprint, lookup behaviour and
 //! intrinsic false-positive rates.
 //!
+//! On top of any backend, [`GenerationalStore`] adds incremental updates:
+//! small add/sub deltas are absorbed into an overlay (an add-set and a
+//! tombstone-set consulted before the immutable base) and only an overlay
+//! past the [`OverlayPolicy`] bound triggers a full rebuild — the update
+//! path of `sb-client`'s local database.
+//!
 //! ## Example
 //!
 //! ```
@@ -27,6 +33,7 @@
 
 mod bloom;
 mod delta;
+mod generational;
 mod indexed;
 mod raw;
 mod rows;
@@ -34,6 +41,7 @@ mod traits;
 
 pub use bloom::BloomFilter;
 pub use delta::DeltaCodedTable;
+pub use generational::{GenerationalStats, GenerationalStore, OverlayPolicy};
 pub use indexed::IndexedPrefixTable;
 pub use raw::RawPrefixTable;
 pub use traits::{PrefixStore, StoreBackend};

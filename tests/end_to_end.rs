@@ -232,8 +232,5 @@ fn sb_protocol_state(
     // The client exposes its state only through the request it would build;
     // rebuilding it here keeps the test at the public-API level.
     let _ = client;
-    safe_browsing_privacy::protocol::ClientListState {
-        max_add_chunk: 1,
-        max_sub_chunk: 0,
-    }
+    safe_browsing_privacy::protocol::ClientListState::up_to(1, 0)
 }
