@@ -13,7 +13,7 @@
 //! * two or more prefixes → the URL is re-identifiable, and if the provider
 //!   also has an index of the domain (which it does), usually uniquely so.
 
-use sb_client::LookupPreview;
+use sb_client::{DisclosureLedger, LookupPreview};
 use sb_hash::PrefixLen;
 
 use crate::balls_into_bins::k_anonymity;
@@ -99,6 +99,66 @@ impl PrivacyAssessment {
     }
 }
 
+/// The advisor's retrospective assessment of a client's
+/// [`DisclosureLedger`] — what the provider has *actually* learned so
+/// far, computed entirely from the client's own records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisclosureAssessment {
+    /// Wire requests revealed.
+    pub requests: usize,
+    /// Requests that revealed at least one real prefix (pure cover
+    /// volleys excluded).
+    pub revealing_requests: usize,
+    /// Total prefixes revealed (reals and cover dummies).
+    pub prefixes_revealed: usize,
+    /// Cover (dummy) prefixes among them.
+    pub dummy_prefixes: usize,
+    /// The largest number of real prefixes that co-occurred in one
+    /// request; ≥ 2 means a re-identifiable request was sent (Section 6).
+    pub max_real_co_occurrence: usize,
+    /// Requests that revealed two or more real prefixes together.
+    pub multi_prefix_requests: usize,
+    /// Whether any request revealed a domain-root prefix.
+    pub domain_revealed: bool,
+    /// Severity of the worst disclosure in the ledger.
+    pub severity: LeakSeverity,
+    /// When the advisor was given a web index: how many URLs of that index
+    /// are compatible with the worst request's real prefixes (1 = the
+    /// provider pinpointed the exact URL).
+    pub candidate_urls_in_index: Option<usize>,
+}
+
+impl DisclosureAssessment {
+    /// A one-line human-readable summary, suitable for a browser UI.
+    pub fn warning(&self) -> String {
+        match self.severity {
+            LeakSeverity::None => "nothing has been revealed to the provider".to_string(),
+            LeakSeverity::SinglePrefixUrl => format!(
+                "{} request(s) revealed one k-anonymous URL prefix each",
+                self.revealing_requests
+            ),
+            LeakSeverity::SinglePrefixDomain => format!(
+                "{} request(s) revealed a real prefix, including a domain root: the provider can identify the sites visited",
+                self.revealing_requests
+            ),
+            LeakSeverity::MultiPrefix => match self.candidate_urls_in_index {
+                Some(1) => format!(
+                    "{} request(s) revealed correlated prefixes; the provider can re-identify an exact URL",
+                    self.multi_prefix_requests
+                ),
+                Some(n) => format!(
+                    "{} request(s) revealed correlated prefixes; the provider narrows a visit down to {n} URLs",
+                    self.multi_prefix_requests
+                ),
+                None => format!(
+                    "{} request(s) revealed correlated prefixes; visited URLs are re-identifiable",
+                    self.multi_prefix_requests
+                ),
+            },
+        }
+    }
+}
+
 /// The privacy advisor.
 #[derive(Debug, Clone, Default)]
 pub struct PrivacyAdvisor {
@@ -142,6 +202,49 @@ impl PrivacyAdvisor {
             severity,
             single_prefix_url_anonymity: k_anonymity(latest.urls, PrefixLen::L32),
             single_prefix_domain_anonymity: k_anonymity(latest.domains, PrefixLen::L32),
+            candidate_urls_in_index,
+        }
+    }
+
+    /// Assesses a client's accumulated [`DisclosureLedger`]: the
+    /// retrospective twin of [`Self::assess`], computed from the client's
+    /// own records of what each wire request revealed (including the
+    /// co-occurrence structure a provider-side tracker exploits).
+    ///
+    /// Severity is that of the worst request group: any group with two or
+    /// more *real* prefixes is re-identifiable; otherwise a revealed
+    /// domain root identifies the site; otherwise single URL prefixes are
+    /// k-anonymous.  Cover dummies never worsen the severity — only the
+    /// real prefixes carry browsing information.
+    pub fn assess_ledger(&self, ledger: &DisclosureLedger) -> DisclosureAssessment {
+        let max_real = ledger.max_real_co_occurrence();
+        let domain_revealed = ledger.domain_roots_revealed() > 0;
+        let severity = if max_real >= 2 {
+            LeakSeverity::MultiPrefix
+        } else if domain_revealed {
+            LeakSeverity::SinglePrefixDomain
+        } else if ledger.real_prefixes_revealed() > 0 {
+            LeakSeverity::SinglePrefixUrl
+        } else {
+            LeakSeverity::None
+        };
+        let candidate_urls_in_index = match &self.index {
+            Some(index) => ledger
+                .groups()
+                .filter(|g| !g.real.is_empty())
+                .map(|g| index.candidates(&g.real).len())
+                .min(),
+            None => None,
+        };
+        DisclosureAssessment {
+            requests: ledger.requests_revealed(),
+            revealing_requests: ledger.revealing_requests(),
+            prefixes_revealed: ledger.prefixes_revealed(),
+            dummy_prefixes: ledger.dummy_prefixes_revealed(),
+            max_real_co_occurrence: max_real,
+            multi_prefix_requests: ledger.multi_prefix_requests(),
+            domain_revealed,
+            severity,
             candidate_urls_in_index,
         }
     }
@@ -250,5 +353,59 @@ mod tests {
         assert!(LeakSeverity::None < LeakSeverity::SinglePrefixUrl);
         assert!(LeakSeverity::SinglePrefixUrl < LeakSeverity::SinglePrefixDomain);
         assert!(LeakSeverity::SinglePrefixDomain < LeakSeverity::MultiPrefix);
+    }
+
+    #[test]
+    fn ledger_assessment_reflects_what_was_actually_sent() {
+        let (_server, mut client) = setup();
+        let advisor = PrivacyAdvisor::with_index(pets_index());
+
+        // Nothing sent yet.
+        let empty = advisor.assess_ledger(client.disclosure_ledger());
+        assert_eq!(empty.severity, LeakSeverity::None);
+        assert_eq!(empty.requests, 0);
+        assert!(empty.warning().contains("nothing"));
+
+        // A multi-prefix visit under the default exact shaper.
+        client
+            .check_url("https://petsymposium.org/2016/cfp.php")
+            .unwrap();
+        let assessment = advisor.assess_ledger(client.disclosure_ledger());
+        assert_eq!(assessment.severity, LeakSeverity::MultiPrefix);
+        assert_eq!(assessment.max_real_co_occurrence, 2);
+        assert_eq!(assessment.multi_prefix_requests, 1);
+        assert!(assessment.domain_revealed);
+        assert_eq!(assessment.candidate_urls_in_index, Some(1));
+        assert!(assessment.warning().contains("re-identify"));
+    }
+
+    #[test]
+    fn ledger_assessment_sees_shaping_working() {
+        use sb_client::OnePrefixAtATimeShaper;
+        let server = std::sync::Arc::new(SafeBrowsingServer::new(Provider::Google));
+        server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+        server
+            .blacklist_expressions(
+                "goog-malware-shavar",
+                ["petsymposium.org/", "petsymposium.org/2016/cfp.php"],
+            )
+            .unwrap();
+        let mut client = SafeBrowsingClient::in_process(
+            ClientConfig::subscribed_to(["goog-malware-shavar"])
+                .with_shaper(OnePrefixAtATimeShaper),
+            server.clone(),
+        );
+        client.update().unwrap();
+        client
+            .check_url("https://petsymposium.org/2016/cfp.php")
+            .unwrap();
+
+        let assessment = PrivacyAdvisor::new().assess_ledger(client.disclosure_ledger());
+        // The shaper kept every request single-prefix: no multi-prefix
+        // leak, but the domain root was (necessarily) revealed.
+        assert_eq!(assessment.severity, LeakSeverity::SinglePrefixDomain);
+        assert_eq!(assessment.max_real_co_occurrence, 1);
+        assert_eq!(assessment.multi_prefix_requests, 0);
+        assert!(assessment.warning().contains("identify the sites"));
     }
 }

@@ -50,7 +50,7 @@ pub mod reident;
 pub mod temporal;
 pub mod tracking;
 
-pub use advisor::{LeakSeverity, PrivacyAdvisor, PrivacyAssessment};
+pub use advisor::{DisclosureAssessment, LeakSeverity, PrivacyAdvisor, PrivacyAssessment};
 pub use balls_into_bins::{
     k_anonymity, max_load_poisson, max_load_raab_steger, min_load, table5_row, AnonymityCell,
 };
@@ -66,8 +66,8 @@ pub use orphans::{audit_orphans, OrphanAuditReport};
 pub use reident::{IndexedUrl, Reidentification, ReidentificationIndex};
 pub use temporal::{PatternMatch, TemporalCorrelator, TemporalPattern};
 pub use tracking::{
-    decomposition_digests, tracking_prefixes, TrackedVisit, TrackingPrecision, TrackingSet,
-    TrackingSystem,
+    decomposition_digests, tracking_prefixes, LedgerExposure, TrackedVisit, TrackingPrecision,
+    TrackingSet, TrackingSystem,
 };
 
 #[cfg(test)]

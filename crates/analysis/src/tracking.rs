@@ -9,6 +9,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use sb_client::DisclosureLedger;
 use sb_hash::{digest_url, prefix32, Prefix};
 use sb_protocol::{ClientCookie, ListName};
 use sb_server::{QueryLog, SafeBrowsingServer};
@@ -145,6 +146,19 @@ pub struct TrackingSystem {
     targets: Vec<TrackingSet>,
 }
 
+/// One exposure found in a client's own disclosure ledger: a request
+/// group that revealed enough of a target's tracking set for the provider
+/// to have re-identified the visit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerExposure {
+    /// The target URL whose tracking set was matched.
+    pub target: String,
+    /// Number of tracking prefixes of that target the group revealed.
+    pub matched_prefixes: usize,
+    /// The tracking precision configured for this target.
+    pub precision: TrackingPrecision,
+}
+
 /// One detected visit: a client (cookie) whose request matched a target.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrackedVisit {
@@ -224,6 +238,41 @@ impl TrackingSystem {
             }
         }
         visits
+    }
+
+    /// Scans a client's own [`DisclosureLedger`] and reports every request
+    /// group that exposed at least `min_prefixes` (normally 2) prefixes of
+    /// one target's tracking set — the *client-side* view of the same
+    /// matching the provider runs over its query log, so a user (or the
+    /// privacy advisor) can tell from local records alone whether a
+    /// tracking entry fired on them.
+    ///
+    /// Matching runs over the full wire prefixes of each group (reals and
+    /// dummies): that is exactly what the provider sees.
+    pub fn detect_ledger_exposures(
+        &self,
+        ledger: &DisclosureLedger,
+        min_prefixes: usize,
+    ) -> Vec<LedgerExposure> {
+        let mut exposures = Vec::new();
+        for group in ledger.groups() {
+            let revealed: HashSet<Prefix> = group.prefixes.iter().copied().collect();
+            for target in &self.targets {
+                let matched = target
+                    .prefixes
+                    .iter()
+                    .filter(|p| revealed.contains(p))
+                    .count();
+                if matched >= min_prefixes {
+                    exposures.push(LedgerExposure {
+                        target: target.target.clone(),
+                        matched_prefixes: matched,
+                        precision: target.precision,
+                    });
+                }
+            }
+        }
+        exposures
     }
 
     /// Aggregates detected visits per client cookie — the provider's view of
@@ -407,6 +456,57 @@ mod tests {
 
         let visits = system.detect_visits(&server.query_log(), 2);
         assert!(visits.is_empty());
+    }
+
+    #[test]
+    fn ledger_exposures_match_the_provider_side_detection() {
+        let server = std::sync::Arc::new(SafeBrowsingServer::new(Provider::Google));
+        server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+        let mut system = TrackingSystem::new();
+        system.add_target(
+            tracking_prefixes(
+                "https://petsymposium.org/2016/cfp.php",
+                PETS_HOST_URLS.iter().copied(),
+                4,
+            )
+            .unwrap(),
+        );
+        system.deploy(&server, "goog-malware-shavar").unwrap();
+
+        let mut victim = SafeBrowsingClient::in_process(
+            ClientConfig::subscribed_to(["goog-malware-shavar"]).with_cookie(ClientCookie::new(1)),
+            server.clone(),
+        );
+        victim.update().unwrap();
+        victim
+            .check_url("https://petsymposium.org/2016/cfp.php")
+            .unwrap();
+
+        // The provider detects the visit from its log; the client detects
+        // the same exposure from its own ledger.
+        let provider_view = system.detect_visits(&server.query_log(), 2);
+        let client_view = system.detect_ledger_exposures(victim.disclosure_ledger(), 2);
+        assert_eq!(provider_view.len(), 1);
+        assert_eq!(client_view.len(), 1);
+        assert_eq!(client_view[0].target, provider_view[0].target);
+        assert_eq!(
+            client_view[0].matched_prefixes,
+            provider_view[0].matched_prefixes
+        );
+        assert_eq!(client_view[0].precision, TrackingPrecision::ExactUrl);
+
+        // An untracked client's ledger shows no exposure.
+        let mut bystander = SafeBrowsingClient::in_process(
+            ClientConfig::subscribed_to(["goog-malware-shavar"]).with_cookie(ClientCookie::new(2)),
+            server.clone(),
+        );
+        bystander.update().unwrap();
+        bystander
+            .check_url("https://petsymposium.org/2016/faqs.php")
+            .unwrap();
+        assert!(system
+            .detect_ledger_exposures(bystander.disclosure_ledger(), 2)
+            .is_empty());
     }
 
     #[test]

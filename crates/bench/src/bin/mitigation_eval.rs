@@ -1,16 +1,22 @@
-//! Section 8 — quantitative comparison of the privacy mitigations: no
-//! mitigation, Firefox-style deterministic dummy queries, and the paper's
-//! one-prefix-at-a-time proposal.
+//! Section 8 — quantitative comparison of the request-shaping policies: the
+//! deployed exact behaviour, Firefox-style deterministic dummy queries, the
+//! paper's one-prefix-at-a-time proposal, and padded-bucket shaping.
 //!
 //! For a tracked victim the experiment reports the provider's view
 //! (requests, prefixes per request, whether the multi-prefix tracking entry
-//! fires) and the bandwidth overhead each mitigation costs.
+//! fires), the bandwidth overhead each shaper costs, and whether the
+//! client's own disclosure ledger agrees with the provider-side detection.
 //!
 //! Run: `cargo run -p sb-bench --release --bin mitigation_eval`
 
+use std::sync::Arc;
+
 use sb_analysis::tracking::{tracking_prefixes, TrackingSystem};
 use sb_bench::render_table;
-use sb_client::{ClientConfig, MitigationPolicy, SafeBrowsingClient};
+use sb_client::{
+    ClientConfig, DeterministicDummiesShaper, ExactShaper, OnePrefixAtATimeShaper,
+    PaddedBucketShaper, QueryShaper, SafeBrowsingClient,
+};
 use sb_protocol::{ClientCookie, Provider, ThreatCategory};
 use sb_server::SafeBrowsingServer;
 
@@ -23,24 +29,28 @@ const PETS_URLS: &[&str] = &[
 ];
 
 fn main() {
-    let policies = [
-        MitigationPolicy::None,
-        MitigationPolicy::DummyQueries { dummies: 1 },
-        MitigationPolicy::DummyQueries { dummies: 4 },
-        MitigationPolicy::DummyQueries { dummies: 16 },
-        MitigationPolicy::OnePrefixAtATime,
+    let shapers: Vec<Arc<dyn QueryShaper>> = vec![
+        Arc::new(ExactShaper),
+        Arc::new(DeterministicDummiesShaper { dummies: 1 }),
+        Arc::new(DeterministicDummiesShaper { dummies: 4 }),
+        Arc::new(DeterministicDummiesShaper { dummies: 16 }),
+        Arc::new(OnePrefixAtATimeShaper),
+        Arc::new(PaddedBucketShaper { bucket: 4 }),
+        Arc::new(PaddedBucketShaper { bucket: 16 }),
     ];
 
-    println!("Section 8: effect of client-side mitigations on the tracking attack\n");
+    println!("Section 8: effect of client-side request shaping on the tracking attack\n");
     let mut rows = Vec::new();
-    for policy in policies {
-        let outcome = run(policy);
+    for shaper in shapers {
+        let name = shaper.name();
+        let outcome = run(shaper);
         rows.push(vec![
-            policy.to_string(),
+            name,
             outcome.requests.to_string(),
             outcome.prefixes.to_string(),
             outcome.dummies.to_string(),
             format!("{:.2}", outcome.max_prefixes_per_request),
+            outcome.round_trips.to_string(),
             if outcome.tracked { "yes" } else { "no" }.to_string(),
             if outcome.domain_leaked { "yes" } else { "no" }.to_string(),
         ]);
@@ -49,11 +59,12 @@ fn main() {
         "{}",
         render_table(
             &[
-                "mitigation",
+                "shaper",
                 "requests",
                 "prefixes sent",
                 "dummy prefixes",
                 "max prefixes/request",
+                "round trips",
                 "URL tracked?",
                 "domain leaked?",
             ],
@@ -63,9 +74,11 @@ fn main() {
     println!(
         "Reading: dummy queries only raise the k-anonymity of *single*-prefix requests — the\n\
          real multi-prefix request is still sent as one message, so the tracking entry fires\n\
-         regardless of the number of dummies.  One-prefix-at-a-time stops the URL-level\n\
+         regardless of the number of dummies.  One-prefix-at-a-time stops URL-level\n\
          re-identification (the provider never sees two shadow prefixes together) at the cost\n\
-         of still revealing the domain-root prefix, i.e. the domain visited (Section 8)."
+         of still revealing the domain-root prefix.  Padded-bucket shaping achieves the same\n\
+         co-occurrence bound in a single round trip, while hiding the real prefix among its\n\
+         bucket.  The client's disclosure ledger reaches the identical verdict locally."
     );
 }
 
@@ -74,12 +87,13 @@ struct Outcome {
     prefixes: usize,
     dummies: usize,
     max_prefixes_per_request: f64,
+    round_trips: usize,
     tracked: bool,
     domain_leaked: bool,
 }
 
-fn run(policy: MitigationPolicy) -> Outcome {
-    let server = std::sync::Arc::new(SafeBrowsingServer::new(Provider::Google));
+fn run(shaper: Arc<dyn QueryShaper>) -> Outcome {
+    let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
     server.create_list("goog-malware-shavar", ThreatCategory::Malware);
 
     let mut campaign = TrackingSystem::new();
@@ -96,7 +110,7 @@ fn run(policy: MitigationPolicy) -> Outcome {
     let mut victim = SafeBrowsingClient::in_process(
         ClientConfig::subscribed_to(["goog-malware-shavar"])
             .with_cookie(ClientCookie::new(1))
-            .with_mitigation(policy),
+            .with_shaper_arc(shaper),
         server.clone(),
     );
     victim.update().expect("provider reachable");
@@ -105,6 +119,13 @@ fn run(policy: MitigationPolicy) -> Outcome {
         .unwrap();
 
     let log = server.query_log();
+    let tracked = !campaign.detect_visits(&log, 2).is_empty();
+    // The client-side ledger must reach the same verdict as the provider.
+    let exposed = !campaign
+        .detect_ledger_exposures(victim.disclosure_ledger(), 2)
+        .is_empty();
+    assert_eq!(tracked, exposed, "ledger and provider log disagree");
+
     let domain_prefix = sb_hash::prefix32("petsymposium.org/");
     Outcome {
         requests: log.len(),
@@ -116,7 +137,8 @@ fn run(policy: MitigationPolicy) -> Outcome {
             .map(|r| r.prefixes.len())
             .max()
             .unwrap_or(0) as f64,
-        tracked: !campaign.detect_visits(&log, 2).is_empty(),
+        round_trips: victim.metrics().full_hash_round_trips,
+        tracked,
         domain_leaked: log
             .requests()
             .iter()

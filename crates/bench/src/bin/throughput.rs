@@ -49,6 +49,17 @@
 //!   `deltas_absorbed` (update deltas the stores took on the overlay
 //!   path) and `rebuilds` (full store rebuilds an oversized overlay
 //!   triggered).
+//! * `mitigated_batch` — one entry per query shaper (`exact`,
+//!   `dummy-queries(2)`, `one-prefix-at-a-time`, `padded-bucket(4)`):
+//!   clients drive the workload through `check_canonicals` in 16-URL
+//!   batches with the shaper configured.  Keys: `lookups_per_sec`,
+//!   `urls_flagged` (must equal the indexed backend's — shaping never
+//!   changes verdicts), `failed_lookups` (expected 0), `round_trips`
+//!   (transport round trips), `request_groups` (wire requests, i.e.
+//!   distinct revealed groups — a shaped batch still coalesces: at most
+//!   one round trip per group, never one per URL),
+//!   `round_trips_per_url` and `prefixes_per_url` (total prefixes
+//!   revealed, dummies included, per URL checked).
 //!
 //! All scenario backoff time flows through a `VirtualClock`, so injected
 //! faults never inflate the wall-clock numbers with sleeps.
@@ -61,8 +72,9 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sb_client::{
-    ClientConfig, InProcessTransport, RetryPolicy, RetryingTransport, SafeBrowsingClient,
-    SimulatedTransport, TransportService, VirtualClock,
+    ClientConfig, DeterministicDummiesShaper, ExactShaper, InProcessTransport,
+    OnePrefixAtATimeShaper, PaddedBucketShaper, QueryShaper, RetryPolicy, RetryingTransport,
+    SafeBrowsingClient, SimulatedTransport, TransportService, VirtualClock,
 };
 use sb_hash::Prefix;
 use sb_protocol::{Provider, ServiceError, ThreatCategory};
@@ -208,7 +220,9 @@ fn main() {
         run_update_churn(&server, &workload, &config),
     ];
 
-    let json = render_json(&config, &reports, &scenarios);
+    let shaped = run_mitigated_batch(&server, &workload, &config);
+
+    let json = render_json(&config, &reports, &scenarios, &shaped);
     std::fs::write(&config.out_path, &json).expect("write BENCH_throughput.json");
     eprintln!("wrote {}", config.out_path);
     println!("{json}");
@@ -801,7 +815,136 @@ fn run_update_churn(
     report
 }
 
-fn render_json(config: &Config, reports: &[BackendReport], scenarios: &[ScenarioReport]) -> String {
+/// URLs per `check_canonicals` call in the `mitigated_batch` scenario —
+/// roughly a page load's worth of subresources.
+const MITIGATED_BATCH_SIZE: usize = 16;
+
+/// One per-shaper measurement of the `mitigated_batch` scenario.
+struct ShaperReport {
+    name: String,
+    lookups_per_sec: f64,
+    flagged: usize,
+    failed_lookups: usize,
+    round_trips: usize,
+    request_groups: usize,
+    prefixes_sent: usize,
+    urls: usize,
+}
+
+/// Scenario: batched checking under every built-in query shaper.  The
+/// point on record: a shaping policy no longer forces per-URL round trips
+/// — the plan's independent requests share transport round trips, so
+/// `round_trips` stays bounded by `request_groups` (one per distinct
+/// revealed group) and far below the URL count, while verdicts stay
+/// identical to the unshaped run.
+fn run_mitigated_batch(
+    server: &Arc<SafeBrowsingServer>,
+    workload: &[CanonicalUrl],
+    config: &Config,
+) -> Vec<ShaperReport> {
+    let shapers: Vec<Arc<dyn QueryShaper>> = vec![
+        Arc::new(ExactShaper),
+        Arc::new(DeterministicDummiesShaper { dummies: 2 }),
+        Arc::new(OnePrefixAtATimeShaper),
+        Arc::new(PaddedBucketShaper { bucket: 4 }),
+    ];
+    shapers
+        .into_iter()
+        .map(|shaper| {
+            let name = shaper.name();
+            eprintln!(
+                "[mitigated_batch:{name}] building {} client(s)...",
+                config.clients
+            );
+            let mut clients: Vec<SafeBrowsingClient> = (0..config.clients)
+                .map(|_| {
+                    let mut client = SafeBrowsingClient::in_process(
+                        ClientConfig::subscribed_to([LIST])
+                            .with_backend(StoreBackend::Indexed)
+                            .with_shaper_arc(shaper.clone()),
+                        server.clone(),
+                    );
+                    client.update().expect("initial update");
+                    client
+                })
+                .collect();
+
+            let chunk = config.urls_per_client;
+            let barrier = Barrier::new(clients.len());
+            let started = Instant::now();
+            let results: Vec<(usize, usize)> = std::thread::scope(|scope| {
+                let barrier = &barrier;
+                let handles: Vec<_> = clients
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, client)| {
+                        let slice = &workload[i * chunk..(i + 1) * chunk];
+                        scope.spawn(move || {
+                            let mut flagged = 0usize;
+                            let mut failed = 0usize;
+                            barrier.wait();
+                            for batch in slice.chunks(MITIGATED_BATCH_SIZE) {
+                                match client.check_canonicals(batch) {
+                                    Ok(outcomes) => {
+                                        flagged +=
+                                            outcomes.iter().filter(|o| o.is_malicious()).count()
+                                    }
+                                    Err(_) => failed += batch.len(),
+                                }
+                            }
+                            (flagged, failed)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shaped client thread panicked"))
+                    .collect()
+            });
+            let wall = started.elapsed();
+
+            let flagged = results.iter().map(|(f, _)| f).sum();
+            let failed_lookups = results.iter().map(|(_, e)| e).sum();
+            let round_trips = clients
+                .iter()
+                .map(|c| c.metrics().full_hash_round_trips)
+                .sum();
+            let request_groups = clients.iter().map(|c| c.metrics().requests_sent).sum();
+            let prefixes_sent = clients.iter().map(|c| c.metrics().prefixes_sent).sum();
+            let urls = config.clients * chunk;
+            let report = ShaperReport {
+                name,
+                lookups_per_sec: urls as f64 / wall.as_secs_f64(),
+                flagged,
+                failed_lookups,
+                round_trips,
+                request_groups,
+                prefixes_sent,
+                urls,
+            };
+            eprintln!(
+                "[mitigated_batch:{}] {:.0} lookups/s, {} flagged, {} failed, \
+                 {} round trips for {} request groups ({:.4} rt/URL, {:.4} prefixes/URL)",
+                report.name,
+                report.lookups_per_sec,
+                report.flagged,
+                report.failed_lookups,
+                report.round_trips,
+                report.request_groups,
+                report.round_trips as f64 / report.urls as f64,
+                report.prefixes_sent as f64 / report.urls as f64,
+            );
+            report
+        })
+        .collect()
+}
+
+fn render_json(
+    config: &Config,
+    reports: &[BackendReport],
+    scenarios: &[ScenarioReport],
+    shaped: &[ShaperReport],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"throughput\",\n");
@@ -882,6 +1025,38 @@ fn render_json(config: &Config, reports: &[BackendReport], scenarios: &[Scenario
             out.push_str(&format!("      \"rebuilds\": {}\n", churn.rebuilds));
         }
         out.push_str(if i + 1 == scenarios.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"mitigated_batch\": {\n");
+    for (i, s) in shaped.iter().enumerate() {
+        out.push_str(&format!("    \"{}\": {{\n", s.name));
+        out.push_str(&format!(
+            "      \"lookups_per_sec\": {:.1},\n",
+            s.lookups_per_sec
+        ));
+        out.push_str(&format!("      \"urls_flagged\": {},\n", s.flagged));
+        out.push_str(&format!(
+            "      \"failed_lookups\": {},\n",
+            s.failed_lookups
+        ));
+        out.push_str(&format!("      \"round_trips\": {},\n", s.round_trips));
+        out.push_str(&format!(
+            "      \"request_groups\": {},\n",
+            s.request_groups
+        ));
+        out.push_str(&format!(
+            "      \"round_trips_per_url\": {:.6},\n",
+            s.round_trips as f64 / s.urls as f64
+        ));
+        out.push_str(&format!(
+            "      \"prefixes_per_url\": {:.6}\n",
+            s.prefixes_sent as f64 / s.urls as f64
+        ));
+        out.push_str(if i + 1 == shaped.len() {
             "    }\n"
         } else {
             "    },\n"

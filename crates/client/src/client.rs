@@ -1,6 +1,6 @@
 //! The Safe Browsing client and its lookup flow (Figure 3 of the paper).
 
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
 
 use sb_hash::{digest_url, Digest, Prefix, PrefixLen};
@@ -12,8 +12,9 @@ use sb_url::{visit_decompositions, CanonicalUrl, DecomposeScratch, ParseUrlError
 
 use crate::cache::FullHashCache;
 use crate::database::LocalDatabase;
+use crate::ledger::{DisclosureGroup, DisclosureLedger, DisclosureRecord};
 use crate::metrics::ClientMetrics;
-use crate::mitigation::MitigationPolicy;
+use crate::shaper::{ExactShaper, PlannedRequest, QueryShaper, ShaperHit};
 use crate::transport::{InProcessTransport, Transport};
 
 /// Configuration of a [`SafeBrowsingClient`].
@@ -26,8 +27,11 @@ pub struct ClientConfig {
     /// The Safe Browsing cookie attached to full-hash requests, if any.
     /// Browsers cannot disable it (Section 2.2.3).
     pub cookie: Option<ClientCookie>,
-    /// Privacy mitigation policy (Section 8).
-    pub mitigation: MitigationPolicy,
+    /// The query shaper deciding how local hits are revealed to the
+    /// provider (Section 8).  The default [`ExactShaper`] reproduces the
+    /// deployed services' behaviour (everything coalesced into one
+    /// request).
+    pub shaper: Arc<dyn QueryShaper>,
     /// Lists the client subscribes to.
     pub lists: Vec<ListName>,
 }
@@ -38,7 +42,7 @@ impl Default for ClientConfig {
             backend: StoreBackend::DeltaCoded,
             prefix_len: PrefixLen::L32,
             cookie: None,
-            mitigation: MitigationPolicy::None,
+            shaper: Arc::new(ExactShaper),
             lists: Vec::new(),
         }
     }
@@ -63,10 +67,37 @@ impl ClientConfig {
         self
     }
 
-    /// Sets the mitigation policy.
-    pub fn with_mitigation(mut self, mitigation: MitigationPolicy) -> Self {
-        self.mitigation = mitigation;
+    /// Sets the query shaper.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sb_client::{ClientConfig, PaddedBucketShaper};
+    ///
+    /// let config = ClientConfig::subscribed_to(["goog-malware-shavar"])
+    ///     .with_shaper(PaddedBucketShaper { bucket: 4 });
+    /// assert_eq!(config.shaper.name(), "padded-bucket(4)");
+    /// ```
+    pub fn with_shaper(mut self, shaper: impl QueryShaper + 'static) -> Self {
+        self.shaper = Arc::new(shaper);
         self
+    }
+
+    /// Sets an already-shared query shaper (e.g. one `Arc` reused across a
+    /// fleet of clients).
+    pub fn with_shaper_arc(mut self, shaper: Arc<dyn QueryShaper>) -> Self {
+        self.shaper = shaper;
+        self
+    }
+
+    /// Sets the query shaper from a legacy mitigation policy.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct the shaper directly and use ClientConfig::with_shaper"
+    )]
+    #[allow(deprecated)]
+    pub fn with_mitigation(self, mitigation: crate::MitigationPolicy) -> Self {
+        self.with_shaper_arc(mitigation.into_shaper())
     }
 
     /// Sets the local database backend.
@@ -200,6 +231,9 @@ pub struct SafeBrowsingClient {
     cache: FullHashCache,
     metrics: ClientMetrics,
     transport: Box<dyn Transport>,
+    /// Everything this client has revealed to the provider, request group
+    /// by request group (see [`DisclosureLedger`]).
+    ledger: DisclosureLedger,
     /// Per-client scratch buffers reused across lookups: a locally-resolved
     /// lookup (no database hit) performs zero heap allocations once these
     /// have warmed up.
@@ -235,6 +269,7 @@ impl SafeBrowsingClient {
             cache: FullHashCache::new(),
             metrics: ClientMetrics::default(),
             transport: Box::new(transport),
+            ledger: DisclosureLedger::new(),
             scratch: LookupScratch::default(),
         }
     }
@@ -379,17 +414,14 @@ impl SafeBrowsingClient {
         }
         self.metrics.local_hits += 1;
 
-        // Resolve the hits to full digests, honouring the mitigation policy
-        // and the full-hash cache.
-        let resolution = match self.config.mitigation {
-            MitigationPolicy::None => self.resolve_batch(&scratch.hits),
-            MitigationPolicy::DummyQueries { dummies } => {
-                self.resolve_batch_with_dummies(&scratch.hits, dummies)
+        // Resolve the hits through the configured shaper's query plan and
+        // the full-hash cache.
+        let ranges = [(0usize, scratch.hits.len())];
+        let outcome = match self.resolve_shaped(&scratch.hits, &ranges) {
+            Ok(()) => {
+                let confirmed = self.confirmed_from_cache(&scratch.hits);
+                Ok(self.verdict(&scratch.hits, confirmed))
             }
-            MitigationPolicy::OnePrefixAtATime => self.resolve_one_at_a_time(&scratch.hits),
-        };
-        let outcome = match resolution {
-            Ok(confirmed) => Ok(self.verdict(&scratch.hits, confirmed)),
             Err(error) => {
                 self.metrics.service_errors += 1;
                 Err(error)
@@ -427,20 +459,24 @@ impl SafeBrowsingClient {
         });
     }
 
-    /// Checks a batch of URLs in one pass.  Under the default
-    /// [`MitigationPolicy::None`], every uncached local hit across the whole
-    /// batch is coalesced into **a single full-hash round trip** — the
-    /// high-throughput path for page loads with many subresources and for
-    /// bulk scanning.
+    /// Checks a batch of URLs in one pass.  The configured
+    /// [`QueryShaper`] plans the wire requests for the whole batch at
+    /// once, so shaping and throughput compose instead of conflicting:
+    ///
+    /// * under the default [`ExactShaper`], every uncached local hit across
+    ///   the batch coalesces into **a single full-hash round trip** — the
+    ///   high-throughput path for page loads with many subresources and for
+    ///   bulk scanning;
+    /// * under a privacy shaper, the *per-request* reveal keeps the shape
+    ///   the policy demands (e.g. one prefix per request), but independent
+    ///   planned requests still share transport round trips — a batch
+    ///   under [`OnePrefixAtATimeShaper`](crate::OnePrefixAtATimeShaper)
+    ///   costs `max probes per URL` round trips, not `sum`.
     ///
     /// The verdict for each URL is identical to what [`Self::check_url`]
-    /// would return.  When a privacy mitigation is configured
-    /// ([`MitigationPolicy::DummyQueries`],
-    /// [`MitigationPolicy::OnePrefixAtATime`]), the batch falls back to
-    /// sequential per-URL resolution: coalescing would put every hit prefix
-    /// of the batch into one request, which is exactly the multi-prefix
-    /// correlation those mitigations exist to prevent.  Privacy shaping
-    /// wins over round-trip savings.
+    /// would return (for the adaptive one-prefix-at-a-time shaper, the
+    /// malicious/safe classification is identical and the confirmed
+    /// matches are a subset).
     ///
     /// # Errors
     ///
@@ -467,21 +503,13 @@ impl SafeBrowsingClient {
     ) -> Result<Vec<LookupOutcome>, ServiceError> {
         self.metrics.batched_lookups += 1;
 
-        // A configured mitigation shapes what each individual request may
-        // reveal; coalescing would defeat it, so resolve per URL instead.
-        if self.config.mitigation != MitigationPolicy::None {
-            return urls.iter().map(|url| self.check_canonical(url)).collect();
-        }
-
-        // Local pass over the whole batch, collecting the distinct uncached
-        // prefixes that need resolution.  Each hit's digest is computed once
-        // and carried with its hit record; hits live in one flat scratch
-        // vector with per-URL ranges, so safe URLs cost no allocation.
+        // Local pass over the whole batch.  Each hit's digest is computed
+        // once and carried with its hit record; hits live in one flat
+        // scratch vector with per-URL ranges, so safe URLs cost no
+        // allocation.
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.hits.clear();
         let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(urls.len());
-        let mut unresolved: Vec<Prefix> = Vec::new();
-        let mut seen: HashSet<Prefix> = HashSet::new();
         for url in urls {
             self.metrics.lookups += 1;
             let start = scratch.hits.len();
@@ -496,18 +524,13 @@ impl SafeBrowsingClient {
             if end > start {
                 self.metrics.local_hits += 1;
             }
-            for hit in &scratch.hits[start..end] {
-                let prefix = hit.digest.prefix32();
-                if !self.cache.is_resolved(&prefix) && seen.insert(prefix) {
-                    unresolved.push(prefix);
-                }
-            }
             ranges.push((start, end));
         }
 
-        // At most one full-hash round trip for the whole batch.
-        if !unresolved.is_empty() {
-            if let Err(error) = self.send_full_hash_request(unresolved) {
+        // The shaper plans the wire exchange for the whole batch;
+        // independent planned requests share round trips.
+        if !scratch.hits.is_empty() {
+            if let Err(error) = self.resolve_shaped(&scratch.hits, &ranges) {
                 self.metrics.service_errors += 1;
                 self.scratch = scratch;
                 return Err(error);
@@ -515,7 +538,7 @@ impl SafeBrowsingClient {
         }
 
         let mut outcomes = Vec::with_capacity(ranges.len());
-        for (start, end) in ranges {
+        for &(start, end) in &ranges {
             let hits = &scratch.hits[start..end];
             if hits.is_empty() {
                 outcomes.push(LookupOutcome::Safe);
@@ -572,9 +595,23 @@ impl SafeBrowsingClient {
         self.config.cookie
     }
 
-    /// The configured mitigation policy.
-    pub fn mitigation(&self) -> MitigationPolicy {
-        self.config.mitigation
+    /// The configured query shaper.
+    pub fn shaper(&self) -> &dyn QueryShaper {
+        self.config.shaper.as_ref()
+    }
+
+    /// The client's disclosure ledger: every prefix revealed to the
+    /// provider so far, grouped by wire request — the client-side mirror
+    /// of the provider's query log, consumed by
+    /// `sb_analysis::PrivacyAdvisor` and
+    /// `sb_analysis::TrackingSystem`.
+    pub fn disclosure_ledger(&self) -> &DisclosureLedger {
+        &self.ledger
+    }
+
+    /// Forgets the disclosure history (e.g. after exporting it).
+    pub fn clear_disclosure_ledger(&mut self) {
+        self.ledger.clear();
     }
 
     /// The transport handle this client owns.
@@ -604,76 +641,181 @@ impl SafeBrowsingClient {
         }
     }
 
-    /// Default behaviour: one request carrying every unresolved hit prefix.
-    fn resolve_batch(&mut self, hits: &[LocalHit]) -> Result<Vec<ConfirmedMatch>, ServiceError> {
-        let unresolved: Vec<Prefix> = hits
+    /// Resolves a batch of local hits through the configured shaper's
+    /// [`QueryPlan`](crate::QueryPlan): builds the shaper's view of the
+    /// hits, partitions the planned requests, executes them batch-natively
+    /// (unconditional requests in one round trip, cover traffic in one
+    /// fire-and-forget round trip, per-URL sequenced requests in waves
+    /// with early stop) and records every revealed group in the
+    /// [`DisclosureLedger`].  Successful responses land in the full-hash
+    /// cache, from which the caller derives verdicts.
+    fn resolve_shaped(
+        &mut self,
+        hits: &[LocalHit],
+        ranges: &[(usize, usize)],
+    ) -> Result<(), ServiceError> {
+        // The shaper's view: prefix + provenance, never the full digest.
+        let mut shaper_hits: Vec<ShaperHit> = Vec::with_capacity(hits.len());
+        for (url, &(start, end)) in ranges.iter().enumerate() {
+            for hit in &hits[start..end] {
+                let prefix = hit.digest.prefix32();
+                shaper_hits.push(ShaperHit {
+                    url,
+                    prefix,
+                    domain_root: hit.domain_root,
+                    expression_len: hit.expression.len(),
+                    cached: self.cache.is_resolved(&prefix),
+                });
+            }
+        }
+        let plan = self.config.shaper.shape(&shaper_hits);
+        if plan.requests.is_empty() {
+            return Ok(());
+        }
+
+        // Which real prefixes are domain roots, for the ledger.
+        let domain_roots: HashSet<Prefix> = shaper_hits
             .iter()
-            .map(|h| h.digest.prefix32())
-            .filter(|p| !self.cache.is_resolved(p))
+            .filter(|h| h.domain_root)
+            .map(|h| h.prefix)
             .collect();
-        if !unresolved.is_empty() {
-            self.send_full_hash_request(unresolved)?;
+
+        // Partition the plan: unconditional real-bearing requests share
+        // one round trip, cover requests one fire-and-forget round trip,
+        // per-URL sequenced requests advance in waves.
+        let mut unconditional: Vec<PlannedRequest> = Vec::new();
+        let mut cover: Vec<PlannedRequest> = Vec::new();
+        let mut lanes: Vec<VecDeque<PlannedRequest>> = vec![VecDeque::new(); ranges.len()];
+        for request in plan.requests {
+            if request.prefixes.is_empty() {
+                continue; // the provider rejects empty requests
+            }
+            match request.serves_url {
+                Some(url) if url < lanes.len() => lanes[url].push_back(request),
+                Some(_) => continue, // out-of-range lane: drop defensively
+                None if request.is_cover() => cover.push(request),
+                None => unconditional.push(request),
+            }
         }
-        Ok(self.confirmed_from_cache(hits))
+
+        let mut record = DisclosureRecord::default();
+        let mut outcome = Ok(());
+        if !unconditional.is_empty() {
+            outcome = self.send_round_trip(&unconditional, &domain_roots, &mut record, false);
+        }
+        if outcome.is_ok() && !cover.is_empty() {
+            // Cover traffic cannot fail a lookup whose real exchange
+            // succeeded (and its responses are never cached).
+            let _ = self.send_round_trip(&cover, &domain_roots, &mut record, true);
+        }
+        while outcome.is_ok() {
+            let mut wave: Vec<PlannedRequest> = Vec::new();
+            // Wire prefix sets already queued this wave: a lane whose next
+            // probe duplicates one defers to the next wave, when the cache
+            // will answer it — the same prefix is never revealed twice.
+            let mut queued: HashSet<Vec<Prefix>> = HashSet::new();
+            for (url, lane) in lanes.iter_mut().enumerate() {
+                let (start, end) = ranges[url];
+                while let Some(front) = lane.front() {
+                    let decided = hits[start..end]
+                        .iter()
+                        .any(|h| self.confirm_one(h).is_some());
+                    if decided {
+                        // Early stop: the URL's verdict is already known,
+                        // so the remaining planned probes are never
+                        // revealed.
+                        lane.clear();
+                        break;
+                    }
+                    // A probe whose real prefixes all resolved meanwhile
+                    // (an earlier wave, or another URL's lane) needs no
+                    // wire exchange: drop it and reconsider the verdict.
+                    if !front.real.is_empty()
+                        && front.real.iter().all(|p| self.cache.is_resolved(p))
+                    {
+                        lane.pop_front();
+                        continue;
+                    }
+                    if queued.contains(&front.prefixes) {
+                        break; // defer to the next wave
+                    }
+                    let request = lane.pop_front().expect("front checked above");
+                    queued.insert(request.prefixes.clone());
+                    wave.push(request);
+                    break;
+                }
+            }
+            if wave.is_empty() {
+                break;
+            }
+            outcome = self.send_round_trip(&wave, &domain_roots, &mut record, false);
+        }
+        self.ledger.push(record);
+        outcome
     }
 
-    /// Firefox-style dummy queries: the real request is accompanied by
-    /// `dummies` single-prefix requests derived from the first real prefix.
-    fn resolve_batch_with_dummies(
+    /// Sends one transport round trip carrying several planned requests.
+    ///
+    /// Groups are appended to `record` when the round trip is *attempted*
+    /// (the ledger is a conservative bound on disclosure).  For real
+    /// requests, responses are cached per request — only the request's
+    /// real prefixes, so padding dummies never pollute the cache — and
+    /// metrics count on success, matching the legacy accounting.  Cover
+    /// round trips (`fire_and_forget`) ignore transport errors and count
+    /// unconditionally.
+    fn send_round_trip(
         &mut self,
-        hits: &[LocalHit],
-        dummies: usize,
-    ) -> Result<Vec<ConfirmedMatch>, ServiceError> {
-        let first_prefix = hits[0].digest.prefix32();
-        let confirmed = self.resolve_batch(hits)?;
-        for dummy in MitigationPolicy::dummy_prefixes_for(&first_prefix, dummies) {
-            // Dummy requests are fire-and-forget: their responses are not
-            // cached so they cannot pollute the verdict, and their failures
-            // cannot fail a lookup whose real exchange succeeded.
-            let request = match self.config.cookie {
-                Some(cookie) => FullHashRequest::new(vec![dummy]).with_cookie(cookie),
-                None => FullHashRequest::new(vec![dummy]),
-            };
-            let _ = self.transport.full_hashes(&request);
+        requests: &[PlannedRequest],
+        domain_roots: &HashSet<Prefix>,
+        record: &mut DisclosureRecord,
+        fire_and_forget: bool,
+    ) -> Result<(), ServiceError> {
+        let wire: Vec<FullHashRequest> = requests
+            .iter()
+            .map(|r| {
+                let request = FullHashRequest::new(r.prefixes.clone());
+                match self.config.cookie {
+                    Some(cookie) => request.with_cookie(cookie),
+                    None => request,
+                }
+            })
+            .collect();
+        for request in requests {
+            record.groups.push(DisclosureGroup {
+                prefixes: request.prefixes.clone(),
+                real: request.real.clone(),
+                domain_root_revealed: request.real.iter().any(|p| domain_roots.contains(p)),
+            });
+        }
+        self.metrics.full_hash_round_trips += 1;
+        if fire_and_forget {
+            for request in requests {
+                self.metrics.requests_sent += 1;
+                self.metrics.prefixes_sent += request.prefixes.len();
+                self.metrics.dummy_prefixes_sent += request.dummy_count();
+            }
+            let _ = self.transport.full_hashes_batch(&wire);
+            return Ok(());
+        }
+        let responses = self.transport.full_hashes_batch(&wire)?;
+        if responses.len() != wire.len() {
+            // A miscounted batch is the provider violating the protocol —
+            // the non-retryable response-side error, as for malformed
+            // update chunks.
+            return Err(ServiceError::MalformedResponse {
+                reason: format!(
+                    "batch contract violated: {} responses for a {}-request batch",
+                    responses.len(),
+                    wire.len()
+                ),
+            });
+        }
+        for (request, response) in requests.iter().zip(&responses) {
+            self.cache.store_response(&request.real, response);
             self.metrics.requests_sent += 1;
-            self.metrics.prefixes_sent += 1;
-            self.metrics.dummy_prefixes_sent += 1;
+            self.metrics.prefixes_sent += request.prefixes.len();
+            self.metrics.dummy_prefixes_sent += request.dummy_count();
         }
-        Ok(confirmed)
-    }
-
-    /// The paper's proposed mitigation: reveal prefixes one per request,
-    /// most generic decomposition first, stopping as soon as a verdict is
-    /// reached.
-    fn resolve_one_at_a_time(
-        &mut self,
-        hits: &[LocalHit],
-    ) -> Result<Vec<ConfirmedMatch>, ServiceError> {
-        // Most generic first: domain roots, then shallower paths.
-        let mut ordered: Vec<&LocalHit> = hits.iter().collect();
-        ordered.sort_by_key(|h| (std::cmp::Reverse(h.domain_root), h.expression.len()));
-        for hit in ordered {
-            let prefix = hit.digest.prefix32();
-            if !self.cache.is_resolved(&prefix) {
-                self.send_full_hash_request(vec![prefix])?;
-            }
-            if let Some(confirmed) = self.confirm_one(hit) {
-                return Ok(vec![confirmed]);
-            }
-        }
-        Ok(Vec::new())
-    }
-
-    fn send_full_hash_request(&mut self, prefixes: Vec<Prefix>) -> Result<(), ServiceError> {
-        let count = prefixes.len();
-        let request = match self.config.cookie {
-            Some(cookie) => FullHashRequest::new(prefixes.clone()).with_cookie(cookie),
-            None => FullHashRequest::new(prefixes.clone()),
-        };
-        let response = self.transport.full_hashes(&request)?;
-        self.cache.store_response(&prefixes, &response);
-        self.metrics.requests_sent += 1;
-        self.metrics.prefixes_sent += count;
         Ok(())
     }
 
@@ -901,7 +1043,7 @@ mod tests {
             .unwrap();
         let mut client = SafeBrowsingClient::in_process(
             ClientConfig::subscribed_to(["goog-malware-shavar"])
-                .with_mitigation(MitigationPolicy::DummyQueries { dummies: 3 }),
+                .with_shaper(crate::DeterministicDummiesShaper { dummies: 3 }),
             server.clone(),
         );
         client.update().unwrap();
@@ -909,9 +1051,10 @@ mod tests {
 
         let outcome = client.check_url("http://evil.example/").unwrap();
         assert!(outcome.is_malicious());
-        // 1 real + 3 dummy requests.
+        // 1 real + 3 dummy requests, sharing 2 round trips (real, cover).
         assert_eq!(server.query_log().len(), 4);
         assert_eq!(client.metrics().dummy_prefixes_sent, 3);
+        assert_eq!(client.metrics().full_hash_round_trips, 2);
     }
 
     #[test]
@@ -925,7 +1068,7 @@ mod tests {
             .unwrap();
         let mut client = SafeBrowsingClient::in_process(
             ClientConfig::subscribed_to(["goog-malware-shavar"])
-                .with_mitigation(MitigationPolicy::OnePrefixAtATime),
+                .with_shaper(crate::OnePrefixAtATimeShaper),
             server.clone(),
         );
         client.update().unwrap();
@@ -940,6 +1083,117 @@ mod tests {
         let log = server.query_log();
         assert_eq!(log.len(), 1);
         assert_eq!(log.requests()[0].prefixes.len(), 1);
+    }
+
+    #[test]
+    fn padded_bucket_isolates_prefixes_in_one_round_trip() {
+        let server = server();
+        server
+            .blacklist_expressions(
+                "goog-malware-shavar",
+                ["tracked.example/", "tracked.example/article/"],
+            )
+            .unwrap();
+        let mut client = SafeBrowsingClient::in_process(
+            ClientConfig::subscribed_to(["goog-malware-shavar"])
+                .with_shaper(crate::PaddedBucketShaper { bucket: 4 }),
+            server.clone(),
+        );
+        client.update().unwrap();
+        server.clear_query_log();
+
+        let outcome = client
+            .check_url("http://tracked.example/article/today.html")
+            .unwrap();
+        // Both prefixes resolve (verdict identical to the unshaped path)...
+        assert!(outcome.is_malicious());
+        if let LookupOutcome::Malicious { matches } = &outcome {
+            assert_eq!(matches.len(), 2);
+        }
+        let log = server.query_log();
+        // ...but never together: two padded single-real requests, one
+        // transport round trip.
+        assert_eq!(log.len(), 2);
+        assert!(log.requests().iter().all(|r| r.prefixes.len() == 4));
+        assert_eq!(client.metrics().full_hash_round_trips, 1);
+        assert_eq!(client.metrics().dummy_prefixes_sent, 6);
+        assert_eq!(client.disclosure_ledger().max_real_co_occurrence(), 1);
+    }
+
+    #[test]
+    fn waves_never_reveal_an_already_resolved_prefix_twice() {
+        // Two URLs on one domain hit the same (orphan, so never
+        // confirming) domain-root prefix under one-prefix-at-a-time: the
+        // second lane must defer to the cache instead of re-sending the
+        // prefix the first lane already revealed.
+        let server = server();
+        server
+            .inject_prefixes(
+                "goog-malware-shavar",
+                vec![sb_hash::prefix32("shared.example/")],
+            )
+            .unwrap();
+        let mut client = SafeBrowsingClient::in_process(
+            ClientConfig::subscribed_to(["goog-malware-shavar"])
+                .with_shaper(crate::OnePrefixAtATimeShaper),
+            server.clone(),
+        );
+        client.update().unwrap();
+        server.clear_query_log();
+
+        let outcomes = client
+            .check_urls(&["http://shared.example/a", "http://shared.example/b"])
+            .unwrap();
+        assert!(outcomes.iter().all(|o| !o.is_malicious()));
+        // The shared prefix went over the wire exactly once.
+        assert_eq!(server.query_log().len(), 1);
+        assert_eq!(client.disclosure_ledger().prefixes_revealed(), 1);
+    }
+
+    #[test]
+    fn disclosure_ledger_mirrors_the_provider_log() {
+        let server = server();
+        server
+            .blacklist_expressions(
+                "goog-malware-shavar",
+                ["tracked.example/", "tracked.example/article/"],
+            )
+            .unwrap();
+        let mut client = client(&server);
+        client.update().unwrap();
+        server.clear_query_log();
+        assert!(client.disclosure_ledger().is_empty());
+
+        client
+            .check_url("http://tracked.example/article/today.html")
+            .unwrap();
+        client.check_url("http://benign.example/").unwrap();
+
+        let ledger = client.disclosure_ledger();
+        assert_eq!(ledger.len(), 1); // the benign lookup revealed nothing
+        assert_eq!(ledger.requests_revealed(), 1);
+        assert_eq!(ledger.prefixes_revealed(), 2);
+        assert_eq!(ledger.max_real_co_occurrence(), 2);
+        assert_eq!(ledger.multi_prefix_requests(), 1);
+        assert_eq!(ledger.domain_roots_revealed(), 1);
+        // Group for group, the ledger matches what the provider logged.
+        let log = server.query_log();
+        let logged: Vec<Vec<sb_hash::Prefix>> =
+            log.requests().iter().map(|r| r.prefixes.clone()).collect();
+        let recorded: Vec<Vec<sb_hash::Prefix>> =
+            ledger.groups().map(|g| g.prefixes.clone()).collect();
+        assert_eq!(logged, recorded);
+
+        client.clear_disclosure_ledger();
+        assert!(client.disclosure_ledger().is_empty());
+    }
+
+    #[test]
+    fn legacy_mitigation_policy_maps_onto_shapers() {
+        #[allow(deprecated)]
+        let config = ClientConfig::subscribed_to(["goog-malware-shavar"])
+            .with_mitigation(crate::MitigationPolicy::OnePrefixAtATime);
+        assert_eq!(config.shaper.name(), "one-prefix-at-a-time");
     }
 
     #[test]
@@ -1072,10 +1326,11 @@ mod tests {
     }
 
     #[test]
-    fn batched_lookups_respect_the_mitigation_policy() {
+    fn batched_lookups_respect_the_shaping_policy() {
         // Coalescing a batch under one-prefix-at-a-time would hand the
         // provider the multi-prefix correlation the policy exists to
-        // prevent; the batch must fall back to mitigated per-URL lookups.
+        // prevent; the shaped batch must keep every wire request
+        // single-prefix while still sharing round trips.
         let server = server();
         server
             .blacklist_expressions(
@@ -1085,7 +1340,7 @@ mod tests {
             .unwrap();
         let mut client = SafeBrowsingClient::in_process(
             ClientConfig::subscribed_to(["goog-malware-shavar"])
-                .with_mitigation(MitigationPolicy::OnePrefixAtATime),
+                .with_shaper(crate::OnePrefixAtATimeShaper),
             server.clone(),
         );
         client.update().unwrap();
@@ -1102,6 +1357,46 @@ mod tests {
         // No request ever carried more than one prefix.
         let log = server.query_log();
         assert!(log.requests().iter().all(|r| r.prefixes.len() == 1));
+    }
+
+    #[test]
+    fn shaped_batches_share_round_trips_across_urls() {
+        // Three URLs hit under one-prefix-at-a-time: the first probe of
+        // every undecided URL shares one wave round trip, so the batch
+        // costs max-probes-per-URL round trips, not one per URL.
+        let server = server();
+        server
+            .blacklist_expressions(
+                "goog-malware-shavar",
+                ["evil.example/", "phish.example/", "tracked.example/"],
+            )
+            .unwrap();
+        let mut client = SafeBrowsingClient::in_process(
+            ClientConfig::subscribed_to(["goog-malware-shavar"])
+                .with_shaper(crate::OnePrefixAtATimeShaper),
+            server.clone(),
+        );
+        client.update().unwrap();
+        server.clear_query_log();
+
+        let outcomes = client
+            .check_urls(&[
+                "http://evil.example/a",
+                "http://phish.example/b",
+                "http://tracked.example/c",
+                "http://benign.example/",
+            ])
+            .unwrap();
+        assert!(outcomes[..3].iter().all(LookupOutcome::is_malicious));
+        assert!(!outcomes[3].is_malicious());
+        // Three single-prefix wire requests, one transport round trip.
+        assert_eq!(server.query_log().len(), 3);
+        assert!(server
+            .query_log()
+            .requests()
+            .iter()
+            .all(|r| r.prefixes.len() == 1));
+        assert_eq!(client.metrics().full_hash_round_trips, 1);
     }
 
     #[test]
@@ -1222,7 +1517,7 @@ mod tests {
         )));
         let mut client = SafeBrowsingClient::new(
             ClientConfig::subscribed_to(["goog-malware-shavar"])
-                .with_mitigation(MitigationPolicy::DummyQueries { dummies: 2 }),
+                .with_shaper(crate::DeterministicDummiesShaper { dummies: 2 }),
             transport.clone(),
         );
         client.update().unwrap();
@@ -1231,11 +1526,11 @@ mod tests {
             .check_url("http://evil.example/")
             .unwrap()
             .is_malicious());
-        // Second lookup re-sends only the dummy requests; both fail.
+        // Second lookup re-sends only the cover volley (one shared round
+        // trip); its failure must not fail the cache-served lookup.
         transport.push_full_hash_fault(ServiceError::Unavailable { reason: "x".into() });
-        transport.push_full_hash_fault(ServiceError::Unavailable { reason: "y".into() });
         let outcome = client.check_url("http://evil.example/").unwrap();
         assert!(outcome.is_malicious());
-        assert_eq!(transport.stats().faults_injected, 2);
+        assert_eq!(transport.stats().faults_injected, 1);
     }
 }

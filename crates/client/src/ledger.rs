@@ -1,0 +1,220 @@
+//! The disclosure ledger — the client-side mirror of the provider's query
+//! log.
+//!
+//! The paper's analyses (k-anonymity, re-identification, tracking) all run
+//! over what the provider *records*.  The ledger records the same
+//! information on the client: every prefix revealed, and crucially **which
+//! prefixes were sent together in one request** — the co-occurrence
+//! structure the multi-prefix tracking attack of Section 6 exploits.  A
+//! user-facing advisor (`sb_analysis::PrivacyAdvisor`) can therefore
+//! assess the damage from the client's own records, without access to the
+//! provider, and the re-identification experiments can diff the two views.
+//!
+//! Groups are recorded when a wire request is *attempted*: a request that
+//! fails in transit may still have reached the adversary, so the ledger is
+//! a conservative upper bound on disclosure.
+
+use sb_hash::Prefix;
+
+/// The prefixes revealed together in one wire request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisclosureGroup {
+    /// Every prefix in the request, in wire order (reals and dummies).
+    pub prefixes: Vec<Prefix>,
+    /// The subset corresponding to real browsing (the rest is cover
+    /// traffic the shaper added).
+    pub real: Vec<Prefix>,
+    /// Whether a revealed real prefix was the domain root of a visited URL
+    /// — a single such prefix already identifies the site (Table 5).
+    pub domain_root_revealed: bool,
+}
+
+impl DisclosureGroup {
+    /// Number of cover (dummy) prefixes in the group.
+    pub fn dummy_count(&self) -> usize {
+        self.prefixes.len() - self.real.len()
+    }
+
+    /// True when two or more *real* prefixes co-occur — the
+    /// re-identifiable shape of Section 6.
+    pub fn is_multi_prefix(&self) -> bool {
+        self.real.len() >= 2
+    }
+}
+
+/// Everything one lookup (or one batched lookup) revealed: one group per
+/// wire request the executed [`QueryPlan`](crate::QueryPlan) sent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DisclosureRecord {
+    /// The request groups, in emission order.
+    pub groups: Vec<DisclosureGroup>,
+}
+
+impl DisclosureRecord {
+    /// True when the lookup revealed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Every prefix the record reveals, in emission order.
+    pub fn revealed_prefixes(&self) -> Vec<Prefix> {
+        self.groups
+            .iter()
+            .flat_map(|g| g.prefixes.iter().copied())
+            .collect()
+    }
+}
+
+/// The accumulated disclosure history of one client.
+///
+/// Appended to by every lookup that contacts the provider; consumed by
+/// `sb_analysis::PrivacyAdvisor::assess_ledger` and
+/// `sb_analysis::TrackingSystem::detect_ledger_exposures`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DisclosureLedger {
+    records: Vec<DisclosureRecord>,
+}
+
+impl DisclosureLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        DisclosureLedger::default()
+    }
+
+    /// Appends one lookup's disclosure record (no-op when empty).
+    pub fn push(&mut self, record: DisclosureRecord) {
+        if !record.is_empty() {
+            self.records.push(record);
+        }
+    }
+
+    /// The recorded lookups, in order.
+    pub fn records(&self) -> &[DisclosureRecord] {
+        &self.records
+    }
+
+    /// All request groups across all records, in emission order.
+    pub fn groups(&self) -> impl Iterator<Item = &DisclosureGroup> {
+        self.records.iter().flat_map(|r| r.groups.iter())
+    }
+
+    /// Number of recorded lookups.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been revealed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Forgets the recorded history.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Total wire requests revealed.
+    pub fn requests_revealed(&self) -> usize {
+        self.groups().count()
+    }
+
+    /// Total prefixes revealed (reals and dummies).
+    pub fn prefixes_revealed(&self) -> usize {
+        self.groups().map(|g| g.prefixes.len()).sum()
+    }
+
+    /// Prefixes revealed that correspond to real browsing.
+    pub fn real_prefixes_revealed(&self) -> usize {
+        self.groups().map(|g| g.real.len()).sum()
+    }
+
+    /// Cover (dummy) prefixes revealed.
+    pub fn dummy_prefixes_revealed(&self) -> usize {
+        self.groups().map(DisclosureGroup::dummy_count).sum()
+    }
+
+    /// The largest number of real prefixes that co-occurred in one request
+    /// (≥ 2 means the provider saw a re-identifiable request).
+    pub fn max_real_co_occurrence(&self) -> usize {
+        self.groups().map(|g| g.real.len()).max().unwrap_or(0)
+    }
+
+    /// Number of requests that revealed two or more real prefixes
+    /// together.
+    pub fn multi_prefix_requests(&self) -> usize {
+        self.groups().filter(|g| g.is_multi_prefix()).count()
+    }
+
+    /// Number of requests that revealed at least one real prefix
+    /// (excludes pure cover volleys).
+    pub fn revealing_requests(&self) -> usize {
+        self.groups().filter(|g| !g.real.is_empty()).count()
+    }
+
+    /// Number of requests that revealed a domain-root prefix.
+    pub fn domain_roots_revealed(&self) -> usize {
+        self.groups().filter(|g| g.domain_root_revealed).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_hash::prefix32;
+
+    fn group(reals: &[&str], dummies: &[&str], domain_root: bool) -> DisclosureGroup {
+        let real: Vec<Prefix> = reals.iter().map(|e| prefix32(e)).collect();
+        let mut prefixes = real.clone();
+        prefixes.extend(dummies.iter().map(|e| prefix32(e)));
+        DisclosureGroup {
+            prefixes,
+            real,
+            domain_root_revealed: domain_root,
+        }
+    }
+
+    #[test]
+    fn ledger_accumulates_and_aggregates() {
+        let mut ledger = DisclosureLedger::new();
+        assert!(ledger.is_empty());
+        ledger.push(DisclosureRecord {
+            groups: vec![
+                group(&["a.example/", "a.example/x"], &[], true),
+                group(&[], &["dummy1"], false),
+            ],
+        });
+        ledger.push(DisclosureRecord {
+            groups: vec![group(&["b.example/y"], &["d2", "d3"], false)],
+        });
+        // Empty records are dropped.
+        ledger.push(DisclosureRecord::default());
+
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger.requests_revealed(), 3);
+        assert_eq!(ledger.revealing_requests(), 2);
+        assert_eq!(ledger.prefixes_revealed(), 6);
+        assert_eq!(ledger.real_prefixes_revealed(), 3);
+        assert_eq!(ledger.dummy_prefixes_revealed(), 3);
+        assert_eq!(ledger.max_real_co_occurrence(), 2);
+        assert_eq!(ledger.multi_prefix_requests(), 1);
+        assert_eq!(ledger.domain_roots_revealed(), 1);
+
+        ledger.clear();
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.max_real_co_occurrence(), 0);
+    }
+
+    #[test]
+    fn group_shape_helpers() {
+        let g = group(&["a/", "b/"], &["c/"], false);
+        assert!(g.is_multi_prefix());
+        assert_eq!(g.dummy_count(), 1);
+        let single = group(&["a/"], &[], true);
+        assert!(!single.is_multi_prefix());
+        let record = DisclosureRecord {
+            groups: vec![single.clone()],
+        };
+        assert_eq!(record.revealed_prefixes(), vec![prefix32("a/")]);
+        assert!(!record.is_empty());
+    }
+}

@@ -4,9 +4,12 @@
 //! delta-coded backends of `sb-store`), incremental updates, the lookup flow
 //! of Figure 3 (canonicalize → decompose → local check → full-hash request →
 //! verdict), batched lookups that coalesce cache misses into one round
-//! trip, a full-hash cache, per-client metrics and the privacy mitigations
-//! discussed in Section 8 of the paper (deterministic dummy queries,
-//! one-prefix-at-a-time).
+//! trip, a full-hash cache, per-client metrics, and the composable privacy
+//! pipeline: a [`QueryShaper`] turns local hits into a [`QueryPlan`] of
+//! wire requests (Section 8's mitigations are the built-in shapers —
+//! [`ExactShaper`], [`DeterministicDummiesShaper`],
+//! [`OnePrefixAtATimeShaper`], [`PaddedBucketShaper`]), and everything
+//! revealed is recorded in the client's [`DisclosureLedger`].
 //!
 //! The client owns its provider connection as a [`Transport`] handle:
 //! [`InProcessTransport`] for direct calls into a simulated provider,
@@ -43,20 +46,28 @@ mod cache;
 mod client;
 mod database;
 mod driver;
+mod ledger;
 mod metrics;
 mod mitigation;
 mod preview;
 mod retry;
+pub(crate) mod shaper;
 mod transport;
 
 pub use cache::FullHashCache;
 pub use client::{ClientConfig, ClientError, ConfirmedMatch, LookupOutcome, SafeBrowsingClient};
 pub use database::{ApplyChunksError, DatabaseReader, LocalDatabase};
 pub use driver::{DriverPolicy, DriverStats, UpdateDriver};
+pub use ledger::{DisclosureGroup, DisclosureLedger, DisclosureRecord};
 pub use metrics::ClientMetrics;
+#[allow(deprecated)]
 pub use mitigation::MitigationPolicy;
 pub use preview::{LookupPreview, PreviewedDecomposition};
 pub use retry::{Clock, RetryPolicy, RetryStats, RetryingTransport, SystemClock, VirtualClock};
+pub use shaper::{
+    dummy_prefixes_for, DeterministicDummiesShaper, ExactShaper, OnePrefixAtATimeShaper,
+    PaddedBucketShaper, PlannedRequest, QueryPlan, QueryShaper, ShaperHit,
+};
 pub use transport::{
     InProcessTransport, SimulatedTransport, Transport, TransportService, TransportStats,
 };

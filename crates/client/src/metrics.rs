@@ -13,7 +13,15 @@ pub struct ClientMetrics {
     /// local database.
     pub local_hits: usize,
     /// Full-hash requests sent to the provider (including dummy requests).
+    /// Several requests can share one transport round trip — see
+    /// [`Self::full_hash_round_trips`].
     pub requests_sent: usize,
+    /// Transport round trips performed for full-hash resolution.  Batch
+    /// execution packs the independent requests of a shaper's query plan
+    /// into shared round trips, so this stays far below `requests_sent`
+    /// under the dummy/padded shapers and far below `lookups` for batched
+    /// checking.
+    pub full_hash_round_trips: usize,
     /// Total prefixes revealed to the provider (including dummies).
     pub prefixes_sent: usize,
     /// Dummy prefixes revealed (only under the dummy-query mitigation).

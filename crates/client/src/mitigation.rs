@@ -1,58 +1,81 @@
-//! Client-side privacy mitigations (Section 8 of the paper).
+//! Legacy mitigation policies (Section 8 of the paper) — superseded by the
+//! composable [`QueryShaper`](crate::QueryShaper) pipeline.
 //!
-//! Two countermeasures are modelled:
-//!
-//! * **Deterministic dummy requests** — Firefox's approach: each real
-//!   full-hash query is accompanied by dummy queries derived
-//!   deterministically from the real prefix (determinism avoids the
-//!   differential analysis of sending fresh random dummies each time).
-//!   This raises the k-anonymity of a *single*-prefix query but does not
-//!   prevent multi-prefix re-identification, because two given prefixes are
-//!   essentially never chosen together as dummies.
-//! * **One prefix at a time** — the paper's proposal: query the most
-//!   generic matching decomposition (the domain root) first and only reveal
-//!   further prefixes when needed, so the provider learns the domain but
-//!   not the full URL.
+//! [`MitigationPolicy`] survives as a thin constructor mapping each legacy
+//! variant onto its built-in shaper, so existing configuration code keeps
+//! compiling; new code should construct shapers directly
+//! ([`ExactShaper`](crate::ExactShaper),
+//! [`DeterministicDummiesShaper`](crate::DeterministicDummiesShaper),
+//! [`OnePrefixAtATimeShaper`](crate::OnePrefixAtATimeShaper),
+//! [`PaddedBucketShaper`](crate::PaddedBucketShaper)) and pass them to
+//! [`ClientConfig::with_shaper`](crate::ClientConfig::with_shaper).
 
-use sb_hash::{Prefix, Sha256};
+use std::sync::Arc;
 
-/// The mitigation policy applied by a client when querying full hashes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+use sb_hash::Prefix;
+
+use crate::shaper::{DeterministicDummiesShaper, ExactShaper, OnePrefixAtATimeShaper, QueryShaper};
+
+/// The legacy closed enumeration of privacy mitigations.
+///
+/// Kept as a compatibility constructor over the open
+/// [`QueryShaper`](crate::QueryShaper) trait; see the module docs.
+#[deprecated(
+    since = "0.1.0",
+    note = "construct a QueryShaper (ExactShaper, DeterministicDummiesShaper, \
+            OnePrefixAtATimeShaper, PaddedBucketShaper, or your own) and pass it \
+            to ClientConfig::with_shaper"
+)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MitigationPolicy {
     /// No mitigation: all matching prefixes are sent in one request
-    /// (the behaviour of the deployed services).
-    #[default]
+    /// (the behaviour of the deployed services) — [`ExactShaper`].
     None,
-    /// Send `dummies` additional single-prefix dummy requests per real
-    /// request, derived deterministically from the real prefix.
+    /// Send `dummies` additional single-prefix dummy requests per lookup,
+    /// derived deterministically from the real prefix —
+    /// [`DeterministicDummiesShaper`].
     DummyQueries {
         /// Number of dummy requests accompanying each real request.
         dummies: usize,
     },
     /// Send one prefix per request, most-generic decomposition first, and
-    /// stop as soon as the verdict is known.
+    /// stop as soon as the verdict is known — [`OnePrefixAtATimeShaper`].
     OnePrefixAtATime,
 }
 
-impl MitigationPolicy {
-    /// Generates the deterministic dummy prefixes accompanying a real
-    /// prefix under the [`MitigationPolicy::DummyQueries`] policy.
-    ///
-    /// The i-th dummy is the 32-bit prefix of `SHA-256(prefix-bytes ‖ i)`,
-    /// which is deterministic for a given real prefix (per Firefox's
-    /// design) yet spread uniformly over the prefix space.
-    pub fn dummy_prefixes_for(real: &Prefix, dummies: usize) -> Vec<Prefix> {
-        (0..dummies)
-            .map(|i| {
-                let mut hasher = Sha256::new();
-                hasher.update(real.as_bytes());
-                hasher.update((i as u64).to_be_bytes());
-                hasher.finalize().prefix32()
-            })
-            .collect()
+// Manual (not derived) so the deprecated variant reference stays inside
+// an `#[allow(deprecated)]` item; `#[default]` on the variant would warn.
+#[allow(deprecated, clippy::derivable_impls)]
+impl Default for MitigationPolicy {
+    fn default() -> Self {
+        MitigationPolicy::None
     }
 }
 
+#[allow(deprecated)]
+impl MitigationPolicy {
+    /// The built-in shaper implementing this legacy policy.
+    pub fn into_shaper(self) -> Arc<dyn QueryShaper> {
+        match self {
+            MitigationPolicy::None => Arc::new(ExactShaper),
+            MitigationPolicy::DummyQueries { dummies } => {
+                Arc::new(DeterministicDummiesShaper { dummies })
+            }
+            MitigationPolicy::OnePrefixAtATime => Arc::new(OnePrefixAtATimeShaper),
+        }
+    }
+
+    /// Generates the deterministic dummy prefixes accompanying a real
+    /// prefix under the [`MitigationPolicy::DummyQueries`] policy.
+    ///
+    /// Forwards to [`crate::dummy_prefixes_for`], which skips candidates
+    /// colliding with the real prefix or a sibling dummy.
+    pub fn dummy_prefixes_for(real: &Prefix, dummies: usize) -> Vec<Prefix> {
+        crate::shaper::dummy_prefixes_for(real, dummies, &[])
+    }
+}
+
+#[allow(deprecated)]
 impl std::fmt::Display for MitigationPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -64,6 +87,7 @@ impl std::fmt::Display for MitigationPolicy {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use sb_hash::prefix32;
@@ -110,5 +134,20 @@ mod tests {
     #[test]
     fn zero_dummies_is_empty() {
         assert!(MitigationPolicy::dummy_prefixes_for(&prefix32("x/"), 0).is_empty());
+    }
+
+    #[test]
+    fn policies_map_onto_their_shapers() {
+        assert_eq!(MitigationPolicy::None.into_shaper().name(), "exact");
+        assert_eq!(
+            MitigationPolicy::DummyQueries { dummies: 5 }
+                .into_shaper()
+                .name(),
+            "dummy-queries(5)"
+        );
+        assert_eq!(
+            MitigationPolicy::OnePrefixAtATime.into_shaper().name(),
+            "one-prefix-at-a-time"
+        );
     }
 }

@@ -7,7 +7,10 @@
 //! (arbitrary prefix injection, orphan prefixes, tracking entries).
 //! [`ShardedProvider`] scales the backend to an N-shard fleet: requests
 //! route by prefix lead byte, sub-batches resolve concurrently, and a
-//! failing shard degrades only its own requests.
+//! failing shard degrades only its own requests.  [`ObservingService`]
+//! taps any backend per client connection, feeding a shared
+//! [`ObservationLog`] so the re-identification experiments run against
+//! the real transport stack end to end.
 //!
 //! The server is in-process (no network I/O): the privacy findings of the
 //! paper only depend on *what* the protocol reveals, not on the transport.
@@ -35,12 +38,14 @@
 mod blacklist;
 mod journal;
 mod log;
+mod observe;
 mod server;
 mod sharded;
 
 pub use blacklist::{Blacklist, PrefixDigestHistogram};
 pub use journal::{ChunkJournal, JournalStats, DEFAULT_AUTO_COMPACT_ABOVE};
 pub use log::{LoggedRequest, QueryLog};
+pub use observe::{ObservationLog, ObservedRequest, ObservingService};
 pub use server::{SafeBrowsingServer, ServerError, DEFAULT_NEXT_UPDATE_SECONDS};
 pub use sharded::{FleetStats, ShardHandle, ShardService, ShardedProvider};
 

@@ -1,0 +1,316 @@
+//! The observing adversary: a per-connection tap on the provider path.
+//!
+//! The paper's threat model (Section 4) is an honest-but-curious — or
+//! coerced — provider that records the full-hash request stream.  The
+//! [`SafeBrowsingServer`](crate::SafeBrowsingServer) already keeps a
+//! cookie-attributed [`QueryLog`]; [`ObservingService`] generalizes that
+//! view to **any** [`SafeBrowsingService`] implementation, including the
+//! retry/fleet stacks: it decorates a shared backend, one decorator per
+//! client *connection*, and appends everything that flows through it to a
+//! shared [`ObservationLog`].
+//!
+//! Because each decorator carries a connection id, the log supports the
+//! re-identification experiments even for cookie-less clients: requests of
+//! one connection are linkable exactly the way one TLS session's requests
+//! are, which is the weakest adversary the paper considers.  The
+//! experiments drive real clients through the real transport stack and
+//! then analyze the observed streams with `sb_analysis::TrackingSystem`.
+
+use std::sync::{Arc, Mutex};
+
+use sb_protocol::{
+    ClientCookie, FullHashRequest, FullHashResponse, SafeBrowsingService, ServiceError,
+    UpdateRequest, UpdateResponse,
+};
+
+use crate::log::{LoggedRequest, QueryLog};
+
+/// One full-hash request seen by the observer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservedRequest {
+    /// The connection (one per attached [`ObservingService`]) the request
+    /// arrived on.
+    pub connection: u64,
+    /// Logical arrival time across the whole log (monotonic).
+    pub timestamp: u64,
+    /// The client cookie, when the request carried one.
+    pub cookie: Option<ClientCookie>,
+    /// The prefixes revealed.
+    pub prefixes: Vec<sb_hash::Prefix>,
+}
+
+#[derive(Debug, Default)]
+struct ObservationState {
+    requests: Vec<ObservedRequest>,
+    clock: u64,
+    next_connection: u64,
+    update_exchanges: usize,
+}
+
+/// The shared request log an observing adversary accumulates across every
+/// tapped connection.
+#[derive(Debug, Default)]
+pub struct ObservationLog {
+    state: Mutex<ObservationState>,
+}
+
+impl ObservationLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        ObservationLog::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ObservationState> {
+        self.state.lock().expect("observation log lock poisoned")
+    }
+
+    /// Assigns the next connection id (called by
+    /// [`ObservingService::attach`]).
+    fn register_connection(&self) -> u64 {
+        let mut state = self.lock();
+        state.next_connection += 1;
+        state.next_connection
+    }
+
+    fn record(&self, connection: u64, request: &FullHashRequest) {
+        let mut state = self.lock();
+        state.clock += 1;
+        let timestamp = state.clock;
+        state.requests.push(ObservedRequest {
+            connection,
+            timestamp,
+            cookie: request.cookie,
+            prefixes: request.prefixes.clone(),
+        });
+    }
+
+    fn count_update(&self) {
+        self.lock().update_exchanges += 1;
+    }
+
+    /// Every observed full-hash request, in arrival order.
+    pub fn requests(&self) -> Vec<ObservedRequest> {
+        self.lock().requests.clone()
+    }
+
+    /// Number of observed full-hash requests.
+    pub fn len(&self) -> usize {
+        self.lock().requests.len()
+    }
+
+    /// True when nothing was observed.
+    pub fn is_empty(&self) -> bool {
+        self.lock().requests.is_empty()
+    }
+
+    /// Update exchanges seen (they reveal nothing about visited URLs, but
+    /// the adversary can still count them).
+    pub fn update_exchanges(&self) -> usize {
+        self.lock().update_exchanges
+    }
+
+    /// The distinct connection ids observed so far, ascending.
+    pub fn connections(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.lock().requests.iter().map(|r| r.connection).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The request stream of one connection, in arrival order — what the
+    /// adversary can link *without* any cookie.
+    pub fn stream_for(&self, connection: u64) -> Vec<ObservedRequest> {
+        self.lock()
+            .requests
+            .iter()
+            .filter(|r| r.connection == connection)
+            .cloned()
+            .collect()
+    }
+
+    /// The observations as a provider-style [`QueryLog`] (cookie
+    /// attribution), so the tracking and re-identification analyses run on
+    /// observed streams unchanged.
+    pub fn query_log(&self) -> QueryLog {
+        let mut log = QueryLog::new();
+        for request in self.lock().requests.iter() {
+            log.record(LoggedRequest {
+                timestamp: request.timestamp,
+                cookie: request.cookie,
+                prefixes: request.prefixes.clone(),
+            });
+        }
+        log
+    }
+
+    /// Forgets everything observed (connection ids keep advancing).
+    pub fn clear(&self) {
+        let mut state = self.lock();
+        state.requests.clear();
+        state.update_exchanges = 0;
+    }
+}
+
+/// A [`SafeBrowsingService`] decorator that records the request stream of
+/// one client connection into a shared [`ObservationLog`] before
+/// forwarding to the real backend.
+///
+/// Attach one per client; the decorator is itself a service, so it slots
+/// anywhere a provider does — directly under a client's
+/// `InProcessTransport`, or in front of a `ShardedProvider` fleet.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use sb_protocol::{FullHashRequest, Provider, SafeBrowsingService};
+/// use sb_server::{ObservationLog, ObservingService, SafeBrowsingServer};
+///
+/// let backend = Arc::new(SafeBrowsingServer::with_standard_lists(Provider::Google));
+/// let log = Arc::new(ObservationLog::new());
+/// let tap = ObservingService::attach(backend, log.clone());
+/// let prefix = sb_hash::prefix32("example.test/");
+/// tap.full_hashes(&FullHashRequest::new(vec![prefix])).unwrap();
+/// assert_eq!(log.len(), 1);
+/// assert_eq!(log.requests()[0].connection, tap.connection());
+/// ```
+#[derive(Debug)]
+pub struct ObservingService<S> {
+    inner: Arc<S>,
+    log: Arc<ObservationLog>,
+    connection: u64,
+}
+
+impl<S> ObservingService<S> {
+    /// Taps a new connection to `inner`, recording into `log`.
+    pub fn attach(inner: Arc<S>, log: Arc<ObservationLog>) -> Self {
+        let connection = log.register_connection();
+        ObservingService {
+            inner,
+            log,
+            connection,
+        }
+    }
+
+    /// The id of the connection this tap records under.
+    pub fn connection(&self) -> u64 {
+        self.connection
+    }
+
+    /// The shared observation log.
+    pub fn observation_log(&self) -> &Arc<ObservationLog> {
+        &self.log
+    }
+
+    /// The decorated backend.
+    pub fn inner(&self) -> &Arc<S> {
+        &self.inner
+    }
+}
+
+impl<S: SafeBrowsingService> SafeBrowsingService for ObservingService<S> {
+    fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+        self.log.count_update();
+        self.inner.update(request)
+    }
+
+    fn full_hashes_batch(
+        &self,
+        requests: &[FullHashRequest],
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        // Record before forwarding: the adversary sees the request arrive
+        // whether or not the backend accepts it.
+        for request in requests {
+            self.log.record(self.connection, request);
+        }
+        self.inner.full_hashes_batch(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SafeBrowsingServer;
+    use sb_hash::prefix32;
+    use sb_protocol::{Provider, ThreatCategory};
+
+    fn backend() -> Arc<SafeBrowsingServer> {
+        let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
+        server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+        server
+    }
+
+    #[test]
+    fn taps_record_per_connection_streams() {
+        let backend = backend();
+        let log = Arc::new(ObservationLog::new());
+        let tap_a = ObservingService::attach(backend.clone(), log.clone());
+        let tap_b = ObservingService::attach(backend.clone(), log.clone());
+        assert_ne!(tap_a.connection(), tap_b.connection());
+
+        tap_a
+            .full_hashes(&FullHashRequest::new(vec![prefix32("a.example/")]))
+            .unwrap();
+        tap_b
+            .full_hashes(&FullHashRequest::new(vec![prefix32("b.example/")]))
+            .unwrap();
+        tap_a
+            .full_hashes(&FullHashRequest::new(vec![prefix32("a.example/x")]))
+            .unwrap();
+
+        assert_eq!(log.len(), 3);
+        assert_eq!(
+            log.connections(),
+            vec![tap_a.connection(), tap_b.connection()]
+        );
+        let stream_a = log.stream_for(tap_a.connection());
+        assert_eq!(stream_a.len(), 2);
+        assert_eq!(stream_a[0].prefixes, vec![prefix32("a.example/")]);
+        assert_eq!(stream_a[1].prefixes, vec![prefix32("a.example/x")]);
+        // Timestamps are global and monotonic across connections.
+        let timestamps: Vec<u64> = log.requests().iter().map(|r| r.timestamp).collect();
+        assert_eq!(timestamps, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn observations_export_as_a_query_log() {
+        let backend = backend();
+        let log = Arc::new(ObservationLog::new());
+        let tap = ObservingService::attach(backend, log.clone());
+        let cookie = ClientCookie::new(9);
+        tap.full_hashes(
+            &FullHashRequest::new(vec![prefix32("a/"), prefix32("a/x")]).with_cookie(cookie),
+        )
+        .unwrap();
+
+        let query_log = log.query_log();
+        assert_eq!(query_log.len(), 1);
+        assert_eq!(query_log.requests()[0].cookie, Some(cookie));
+        assert_eq!(query_log.requests()[0].prefixes.len(), 2);
+    }
+
+    #[test]
+    fn rejected_requests_are_still_observed() {
+        let backend = backend();
+        let log = Arc::new(ObservationLog::new());
+        let tap = ObservingService::attach(backend, log.clone());
+        // Empty request: backend rejects, but the tap saw it arrive.
+        let err = tap
+            .full_hashes_batch(&[FullHashRequest::new(Vec::new())])
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::MalformedRequest { .. }));
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn updates_are_counted_not_logged() {
+        let backend = backend();
+        let log = Arc::new(ObservationLog::new());
+        let tap = ObservingService::attach(backend, log.clone());
+        tap.update(&UpdateRequest::default()).unwrap();
+        assert_eq!(log.update_exchanges(), 1);
+        assert!(log.is_empty());
+        log.clear();
+        assert_eq!(log.update_exchanges(), 0);
+    }
+}

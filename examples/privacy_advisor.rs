@@ -1,12 +1,14 @@
 //! The privacy advisor sketched in the paper's conclusion: before a Safe
 //! Browsing lookup is performed, preview what it would reveal to the
 //! provider and warn the user accordingly (no leak / k-anonymous prefix /
-//! domain identifiable / URL re-identifiable).
+//! domain identifiable / URL re-identifiable) — and afterwards, audit the
+//! client's own disclosure ledger to report what the provider has
+//! *actually* learned, with and without request shaping.
 //!
 //! Run with: `cargo run --example privacy_advisor`
 
 use safe_browsing_privacy::analysis::{PrivacyAdvisor, ReidentificationIndex};
-use safe_browsing_privacy::client::{ClientConfig, SafeBrowsingClient};
+use safe_browsing_privacy::client::{ClientConfig, OnePrefixAtATimeShaper, SafeBrowsingClient};
 use safe_browsing_privacy::corpus::{HostSite, WebCorpus};
 use safe_browsing_privacy::protocol::{Provider, ThreatCategory};
 use safe_browsing_privacy::server::SafeBrowsingServer;
@@ -74,7 +76,33 @@ fn main() {
         println!();
     }
     println!(
-        "Nothing was actually sent: the provider's query log contains {} requests.",
+        "Nothing was actually sent: the provider's query log contains {} requests.\n",
         server.query_log().len()
     );
+
+    // ---- retrospective: the disclosure ledger -------------------------------
+    // Now actually browse, once unshaped and once with the paper's
+    // one-prefix-at-a-time shaper, and let the advisor assess what each
+    // client's own ledger says was revealed.
+    browser
+        .check_url("https://petsymposium.org/2016/cfp.php")
+        .expect("lookup");
+    let mut shaped = SafeBrowsingClient::in_process(
+        ClientConfig::subscribed_to(["goog-malware-shavar"]).with_shaper(OnePrefixAtATimeShaper),
+        server.clone(),
+    );
+    shaped.update().expect("provider reachable");
+    shaped
+        .check_url("https://petsymposium.org/2016/cfp.php")
+        .expect("lookup");
+
+    println!("After visiting the tracked page, each client's own ledger says:");
+    for (label, client) in [("unshaped", &browser), ("one-prefix-at-a-time", &shaped)] {
+        let assessment = advisor.assess_ledger(client.disclosure_ledger());
+        println!("  [{label}] {}", assessment.warning());
+        println!(
+            "    {} request(s), {} prefix(es), worst co-occurrence {}",
+            assessment.requests, assessment.prefixes_revealed, assessment.max_real_co_occurrence
+        );
+    }
 }

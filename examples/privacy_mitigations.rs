@@ -1,13 +1,20 @@
-//! Compare the privacy mitigations of Section 8: no mitigation, Firefox-style
-//! deterministic dummy queries, and the paper's one-prefix-at-a-time
-//! proposal.  For each policy the example reports what the provider's query
-//! log contains and whether a multi-prefix tracking entry can still
-//! re-identify the visit.
+//! Compare the request-shaping policies of the privacy pipeline: the
+//! deployed exact behaviour, Firefox-style deterministic dummy queries, the
+//! paper's one-prefix-at-a-time proposal, and padded-bucket shaping.  For
+//! each shaper the example reports what the provider's query log contains,
+//! whether a multi-prefix tracking entry can still re-identify the visit,
+//! and what the client's own disclosure ledger says about the damage.
 //!
 //! Run with: `cargo run --example privacy_mitigations`
 
+use std::sync::Arc;
+
 use safe_browsing_privacy::analysis::tracking::{tracking_prefixes, TrackingSystem};
-use safe_browsing_privacy::client::{ClientConfig, MitigationPolicy, SafeBrowsingClient};
+use safe_browsing_privacy::analysis::PrivacyAdvisor;
+use safe_browsing_privacy::client::{
+    ClientConfig, DeterministicDummiesShaper, ExactShaper, OnePrefixAtATimeShaper,
+    PaddedBucketShaper, QueryShaper, SafeBrowsingClient,
+};
 use safe_browsing_privacy::protocol::{ClientCookie, Provider, ThreatCategory};
 use safe_browsing_privacy::server::SafeBrowsingServer;
 
@@ -19,25 +26,28 @@ const PETS_URLS: &[&str] = &[
 ];
 
 fn main() {
-    let policies = [
-        MitigationPolicy::None,
-        MitigationPolicy::DummyQueries { dummies: 4 },
-        MitigationPolicy::OnePrefixAtATime,
+    let shapers: Vec<Arc<dyn QueryShaper>> = vec![
+        Arc::new(ExactShaper),
+        Arc::new(DeterministicDummiesShaper { dummies: 4 }),
+        Arc::new(OnePrefixAtATimeShaper),
+        Arc::new(PaddedBucketShaper { bucket: 4 }),
     ];
 
     println!(
-        "{:<24} {:>9} {:>9} {:>8} {:>14}",
-        "mitigation", "requests", "prefixes", "dummies", "tracked?"
+        "{:<24} {:>9} {:>9} {:>8} {:>12} {:>14}",
+        "shaper", "requests", "prefixes", "dummies", "round trips", "tracked?"
     );
-    for policy in policies {
-        let (requests, prefixes, dummies, tracked) = run_scenario(policy);
+    for shaper in shapers {
+        let name = shaper.name();
+        let outcome = run_scenario(shaper);
         println!(
-            "{:<24} {:>9} {:>9} {:>8} {:>14}",
-            policy.to_string(),
-            requests,
-            prefixes,
-            dummies,
-            if tracked {
+            "{:<24} {:>9} {:>9} {:>8} {:>12} {:>14}",
+            name,
+            outcome.requests,
+            outcome.prefixes,
+            outcome.dummies,
+            outcome.round_trips,
+            if outcome.tracked {
                 "re-identified"
             } else {
                 "not tracked"
@@ -46,18 +56,26 @@ fn main() {
     }
 
     println!(
-        "\nReading: the dummy-query policy inflates the provider's log but the real \
-         multi-prefix request is still present, so tracking succeeds; only the \
-         one-prefix-at-a-time policy stops the server from seeing two shadow \
-         prefixes in one request."
+        "\nReading: dummy queries inflate the provider's log but the real multi-prefix \
+         request is still present, so tracking succeeds; one-prefix-at-a-time and \
+         padded-bucket shaping never put two real prefixes in one request, so the \
+         tracking entry cannot fire.  The client knows all of this from its own \
+         disclosure ledger, before the provider tells anyone."
     );
 }
 
-/// Runs the PETS-CFP tracking scenario under one mitigation policy and
-/// returns (requests seen by the provider, prefixes revealed, dummy
-/// prefixes, whether the tracking system identified the visit).
-fn run_scenario(policy: MitigationPolicy) -> (usize, usize, usize, bool) {
-    let server = std::sync::Arc::new(SafeBrowsingServer::new(Provider::Google));
+struct ScenarioOutcome {
+    requests: usize,
+    prefixes: usize,
+    dummies: usize,
+    round_trips: usize,
+    tracked: bool,
+}
+
+/// Runs the PETS-CFP tracking scenario under one shaper and reports the
+/// provider's view plus the client-side ledger assessment.
+fn run_scenario(shaper: Arc<dyn QueryShaper>) -> ScenarioOutcome {
+    let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
     server.create_list("goog-malware-shavar", ThreatCategory::Malware);
 
     // The provider deploys a tracking campaign against the CFP page.
@@ -72,11 +90,11 @@ fn run_scenario(policy: MitigationPolicy) -> (usize, usize, usize, bool) {
     );
     campaign.deploy(&server, "goog-malware-shavar").unwrap();
 
-    // The victim browses with the given mitigation enabled.
+    // The victim browses with the given shaper enabled.
     let mut victim = SafeBrowsingClient::in_process(
         ClientConfig::subscribed_to(["goog-malware-shavar"])
             .with_cookie(ClientCookie::new(1))
-            .with_mitigation(policy),
+            .with_shaper_arc(shaper),
         server.clone(),
     );
     victim.update().expect("provider reachable");
@@ -84,13 +102,23 @@ fn run_scenario(policy: MitigationPolicy) -> (usize, usize, usize, bool) {
         .check_url("https://petsymposium.org/2016/cfp.php")
         .unwrap();
 
+    // Provider side: does the tracking entry fire?
     let log = server.query_log();
     let tracked = !campaign.detect_visits(&log, 2).is_empty();
+
+    // Client side: the ledger tells the same story without the provider.
+    let ledger = victim.disclosure_ledger();
+    let assessment = PrivacyAdvisor::new().assess_ledger(ledger);
+    let exposures = campaign.detect_ledger_exposures(ledger, 2);
+    assert_eq!(tracked, !exposures.is_empty(), "ledger and log must agree");
+    debug_assert!(assessment.requests == log.len());
+
     let metrics = victim.metrics();
-    (
-        log.len(),
-        metrics.prefixes_sent,
-        metrics.dummy_prefixes_sent,
+    ScenarioOutcome {
+        requests: log.len(),
+        prefixes: metrics.prefixes_sent,
+        dummies: metrics.dummy_prefixes_sent,
+        round_trips: metrics.full_hash_round_trips,
         tracked,
-    )
+    }
 }

@@ -1,10 +1,17 @@
 //! The tracking attack of Section 6.3: a malicious (or coerced) Safe
 //! Browsing provider selects prefixes with Algorithm 1, pushes them to every
-//! client, and then re-identifies from its full-hash query log which users
-//! visited the targeted pages — here the PETS 2016 call-for-papers and the
-//! submission site, the paper's running example.
+//! client, and then re-identifies from the observed request streams which
+//! users visited the targeted pages — here the PETS 2016 call-for-papers and
+//! the submission site, the paper's running example.
+//!
+//! Each client talks to the provider through its own
+//! [`ObservingService`] connection tap, so the harvested view is what a
+//! real observing adversary records per connection — not a privileged
+//! in-process shortcut.
 //!
 //! Run with: `cargo run --example tracking_attack`
+
+use std::sync::Arc;
 
 use safe_browsing_privacy::analysis::tracking::{tracking_prefixes, TrackingSystem};
 use safe_browsing_privacy::analysis::{ReidentificationIndex, TemporalCorrelator, TemporalPattern};
@@ -12,7 +19,7 @@ use safe_browsing_privacy::client::{ClientConfig, SafeBrowsingClient};
 use safe_browsing_privacy::corpus::{HostSite, WebCorpus};
 use safe_browsing_privacy::hash::prefix32;
 use safe_browsing_privacy::protocol::{ClientCookie, Provider, ThreatCategory};
-use safe_browsing_privacy::server::SafeBrowsingServer;
+use safe_browsing_privacy::server::{ObservationLog, ObservingService, SafeBrowsingServer};
 
 /// The provider's crawl of the targeted domain (its indexing capabilities).
 const PETS_URLS: &[&str] = &[
@@ -50,10 +57,12 @@ fn main() {
         .expect("list exists");
     println!("deployed: {injected} tracking entries pushed into ydx-malware-shavar\n");
 
-    // ---- client side: three users browse ------------------------------------
-    let mut author = client(1, &server);
-    let mut reader = client(2, &server);
-    let mut bystander = client(3, &server);
+    // ---- client side: three users browse, each through an observed
+    // connection tap ----------------------------------------------------------
+    let observations = Arc::new(ObservationLog::new());
+    let mut author = client(1, &server, &observations);
+    let mut reader = client(2, &server, &observations);
+    let mut bystander = client(3, &server, &observations);
 
     // The prospective author reads the CFP and then the submission site.
     author
@@ -71,9 +80,13 @@ fn main() {
         .check_url("https://news.example/today.html")
         .unwrap();
 
-    // ---- provider side: harvest the log -------------------------------------
-    let log = server.query_log();
-    println!("provider received {} full-hash requests", log.len());
+    // ---- adversary side: harvest the observed streams -----------------------
+    let log = observations.query_log();
+    println!(
+        "adversary observed {} full-hash requests over {} connections",
+        log.len(),
+        observations.connections().len()
+    );
 
     let visits = campaign.detect_visits(&log, 2);
     println!("\ntracking hits (>= 2 shadow prefixes in one request):");
@@ -125,10 +138,18 @@ fn main() {
     );
 }
 
-fn client(id: u64, server: &std::sync::Arc<SafeBrowsingServer>) -> SafeBrowsingClient {
+fn client(
+    id: u64,
+    server: &Arc<SafeBrowsingServer>,
+    observations: &Arc<ObservationLog>,
+) -> SafeBrowsingClient {
+    let tap = Arc::new(ObservingService::attach(
+        server.clone(),
+        observations.clone(),
+    ));
     let mut c = SafeBrowsingClient::in_process(
         ClientConfig::subscribed_to(["ydx-malware-shavar"]).with_cookie(ClientCookie::new(id)),
-        server.clone(),
+        tap,
     );
     c.update().expect("provider reachable");
     c

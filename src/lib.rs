@@ -18,8 +18,8 @@
 //! | [`store`] | raw / delta-coded / Bloom / lead-indexed prefix stores |
 //! | [`corpus`] | synthetic web corpus and its statistics |
 //! | [`protocol`] | lists, chunks, fallible batched messages, cookies, `ServiceError` |
-//! | [`server`] | the simulated GSB/YSB provider (lead-byte-sharded, concurrent full-hash serving) and the `ShardedProvider` fleet |
-//! | [`client`] | the Safe Browsing client, its `Transport` stack (in-process, simulated-fault, retrying) and mitigations |
+//! | [`server`] | the simulated GSB/YSB provider (lead-byte-sharded, concurrent full-hash serving), the `ShardedProvider` fleet and per-connection `ObservingService` taps |
+//! | [`client`] | the Safe Browsing client, its `Transport` stack (in-process, simulated-fault, retrying) and the `QueryShaper` privacy pipeline with its `DisclosureLedger` |
 //! | [`analysis`] | the privacy analysis itself |
 //!
 //! ## Architecture: clients own a transport
@@ -35,10 +35,16 @@
 //! fallback, injectable [`client::Clock`]).  On the provider side,
 //! [`server::ShardedProvider`] scales the backend to an N-shard fleet that
 //! routes each request by prefix lead byte and degrades — rather than
-//! fails — under partial outage.  Every provider exchange returns a
-//! `Result`, and [`client::SafeBrowsingClient::check_urls`] checks a whole
-//! batch of URLs with at most one full-hash round trip.  The full stack is
-//! diagrammed in `docs/ARCHITECTURE.md`.
+//! fails — under partial outage, and [`server::ObservingService`] taps any
+//! backend per client connection for the re-identification experiments.
+//! Every provider exchange returns a `Result`, and
+//! [`client::SafeBrowsingClient::check_urls`] checks a whole batch of URLs
+//! with at most one full-hash round trip under the default shaper — while
+//! a configured [`client::QueryShaper`] reshapes what each *request*
+//! reveals (Section 8's mitigations, plus padded-bucket shaping) without
+//! giving up the batch path, and records everything revealed in the
+//! client's [`client::DisclosureLedger`].  The full stack is diagrammed in
+//! `docs/ARCHITECTURE.md`.
 //!
 //! ## Quick start
 //!

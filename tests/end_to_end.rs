@@ -5,7 +5,8 @@ use std::sync::Arc;
 
 use safe_browsing_privacy::analysis::tracking::{tracking_prefixes, TrackingSystem};
 use safe_browsing_privacy::client::{
-    ClientConfig, LookupOutcome, MitigationPolicy, SafeBrowsingClient,
+    ClientConfig, DeterministicDummiesShaper, ExactShaper, LookupOutcome, OnePrefixAtATimeShaper,
+    PaddedBucketShaper, QueryShaper, SafeBrowsingClient,
 };
 use safe_browsing_privacy::hash::prefix32;
 use safe_browsing_privacy::protocol::{ClientCookie, Provider, SafeBrowsingService, UpdateRequest};
@@ -169,17 +170,20 @@ fn multi_prefix_requests_are_visible_in_the_provider_log() {
 }
 
 #[test]
-fn tracking_campaign_with_mitigations_end_to_end() {
+fn tracking_campaign_with_shapers_end_to_end() {
     let host_urls = [
         "petsymposium.org/",
         "petsymposium.org/2016/cfp.php",
         "petsymposium.org/2016/links.php",
     ];
-    for (policy, expect_tracked) in [
-        (MitigationPolicy::None, true),
-        (MitigationPolicy::DummyQueries { dummies: 5 }, true),
-        (MitigationPolicy::OnePrefixAtATime, false),
-    ] {
+    let cases: Vec<(Arc<dyn QueryShaper>, bool)> = vec![
+        (Arc::new(ExactShaper), true),
+        (Arc::new(DeterministicDummiesShaper { dummies: 5 }), true),
+        (Arc::new(OnePrefixAtATimeShaper), false),
+        (Arc::new(PaddedBucketShaper { bucket: 4 }), false),
+    ];
+    for (shaper, expect_tracked) in cases {
+        let name = shaper.name();
         let server = Arc::new(SafeBrowsingServer::with_standard_lists(Provider::Google));
         let mut campaign = TrackingSystem::new();
         campaign.add_target(
@@ -195,7 +199,7 @@ fn tracking_campaign_with_mitigations_end_to_end() {
         let mut victim = SafeBrowsingClient::in_process(
             ClientConfig::subscribed_to(["goog-malware-shavar"])
                 .with_cookie(ClientCookie::new(1))
-                .with_mitigation(policy),
+                .with_shaper_arc(shaper),
             server.clone(),
         );
         victim.update().unwrap();
@@ -204,7 +208,13 @@ fn tracking_campaign_with_mitigations_end_to_end() {
             .unwrap();
 
         let tracked = !campaign.detect_visits(&server.query_log(), 2).is_empty();
-        assert_eq!(tracked, expect_tracked, "policy {policy}");
+        assert_eq!(tracked, expect_tracked, "shaper {name}");
+        // The client's own ledger reaches the same verdict without asking
+        // the provider.
+        let exposed = !campaign
+            .detect_ledger_exposures(victim.disclosure_ledger(), 2)
+            .is_empty();
+        assert_eq!(exposed, expect_tracked, "ledger for shaper {name}");
     }
 }
 

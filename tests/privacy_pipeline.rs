@@ -1,0 +1,256 @@
+//! End-to-end tests of the composable privacy pipeline: query shapers →
+//! query plans → disclosure ledger → advisor, with the adversary's view
+//! provided by `ObservingService` connection taps over the real transport
+//! stack — plus property tests that every shaper preserves verdicts and
+//! that the ledger exactly mirrors what reached the wire.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use safe_browsing_privacy::analysis::tracking::{tracking_prefixes, TrackingSystem};
+use safe_browsing_privacy::analysis::{LeakSeverity, PrivacyAdvisor};
+use safe_browsing_privacy::client::{
+    ClientConfig, DeterministicDummiesShaper, ExactShaper, LookupOutcome, OnePrefixAtATimeShaper,
+    PaddedBucketShaper, QueryShaper, SafeBrowsingClient,
+};
+use safe_browsing_privacy::hash::Prefix;
+use safe_browsing_privacy::protocol::{ClientCookie, Provider, ThreatCategory};
+use safe_browsing_privacy::server::{ObservationLog, ObservingService, SafeBrowsingServer};
+
+const PETS_URLS: &[&str] = &[
+    "petsymposium.org/",
+    "petsymposium.org/2016/cfp.php",
+    "petsymposium.org/2016/links.php",
+    "petsymposium.org/2016/faqs.php",
+];
+
+fn observed_client(
+    server: &Arc<SafeBrowsingServer>,
+    observations: &Arc<ObservationLog>,
+    cookie: u64,
+    shaper: Arc<dyn QueryShaper>,
+) -> (u64, SafeBrowsingClient) {
+    let tap = Arc::new(ObservingService::attach(
+        server.clone(),
+        observations.clone(),
+    ));
+    let connection = tap.connection();
+    let mut client = SafeBrowsingClient::in_process(
+        ClientConfig::subscribed_to(["goog-malware-shavar"])
+            .with_cookie(ClientCookie::new(cookie))
+            .with_shaper_arc(shaper),
+        tap,
+    );
+    client.update().unwrap();
+    (connection, client)
+}
+
+/// The PR's acceptance scenario: clients drive through `ObservingService`
+/// taps into the real provider; the tracking system re-identifies the
+/// unshaped client from the observed streams, the one-prefix-at-a-time
+/// shaper defeats URL-level re-identification, and the advisor computes
+/// its assessment from each client's own `DisclosureLedger`.
+#[test]
+fn observed_tracking_campaign_and_ledger_assessments() {
+    let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
+    server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+    let mut campaign = TrackingSystem::new();
+    campaign.add_target(
+        tracking_prefixes(
+            "https://petsymposium.org/2016/cfp.php",
+            PETS_URLS.iter().copied(),
+            4,
+        )
+        .unwrap(),
+    );
+    campaign.deploy(&server, "goog-malware-shavar").unwrap();
+
+    let observations = Arc::new(ObservationLog::new());
+    let (naive_conn, mut naive) = observed_client(&server, &observations, 1, Arc::new(ExactShaper));
+    let (shaped_conn, mut shaped) =
+        observed_client(&server, &observations, 2, Arc::new(OnePrefixAtATimeShaper));
+
+    // Both victims visit the tracked page through their observed
+    // connections (the shadow entries carry full digests, so the lookup
+    // completes the whole Figure 3 flow either way).
+    naive
+        .check_url("https://petsymposium.org/2016/cfp.php")
+        .unwrap();
+    shaped
+        .check_url("https://petsymposium.org/2016/cfp.php")
+        .unwrap();
+
+    // Adversary side: the tracking system runs over the *observed* log.
+    let visits = campaign.detect_visits(&observations.query_log(), 2);
+    assert_eq!(visits.len(), 1, "only the unshaped client is re-identified");
+    assert_eq!(visits[0].cookie, Some(ClientCookie::new(1)));
+    assert_eq!(visits[0].target, "petsymposium.org/2016/cfp.php");
+
+    // Connection-level linking agrees even without cookies: the naive
+    // stream contains a multi-prefix request, the shaped one never does.
+    assert!(observations
+        .stream_for(naive_conn)
+        .iter()
+        .any(|r| r.prefixes.len() >= 2));
+    assert!(observations
+        .stream_for(shaped_conn)
+        .iter()
+        .all(|r| r.prefixes.len() == 1));
+
+    // Client side: the advisor's assessment is computed from each
+    // client's own disclosure ledger, no provider access needed.
+    let advisor = PrivacyAdvisor::new();
+    let naive_assessment = advisor.assess_ledger(naive.disclosure_ledger());
+    assert_eq!(naive_assessment.severity, LeakSeverity::MultiPrefix);
+    assert!(!campaign
+        .detect_ledger_exposures(naive.disclosure_ledger(), 2)
+        .is_empty());
+
+    let shaped_assessment = advisor.assess_ledger(shaped.disclosure_ledger());
+    assert_eq!(shaped_assessment.severity, LeakSeverity::SinglePrefixDomain);
+    assert_eq!(shaped_assessment.max_real_co_occurrence, 1);
+    assert!(campaign
+        .detect_ledger_exposures(shaped.disclosure_ledger(), 2)
+        .is_empty());
+}
+
+/// Every ledger group of every client must correspond 1:1 (same prefixes,
+/// same order) to a request the provider actually logged.
+fn assert_ledger_mirrors_log(client: &SafeBrowsingClient, server: &SafeBrowsingServer) {
+    let logged: Vec<Vec<Prefix>> = server
+        .query_log()
+        .requests()
+        .iter()
+        .map(|r| r.prefixes.clone())
+        .collect();
+    let recorded: Vec<Vec<Prefix>> = client
+        .disclosure_ledger()
+        .groups()
+        .map(|g| g.prefixes.clone())
+        .collect();
+    assert_eq!(logged, recorded, "ledger must mirror the provider log");
+}
+
+fn shapers_under_test() -> Vec<Arc<dyn QueryShaper>> {
+    vec![
+        Arc::new(ExactShaper),
+        Arc::new(DeterministicDummiesShaper { dummies: 3 }),
+        Arc::new(OnePrefixAtATimeShaper),
+        Arc::new(PaddedBucketShaper { bucket: 4 }),
+    ]
+}
+
+/// Verdict equivalence between a shaped batch and the unshaped per-URL
+/// path: identical everywhere, except that the adaptive
+/// one-prefix-at-a-time shaper may confirm a *subset* of the malicious
+/// matches (it stops probing once the verdict is known).
+fn assert_verdicts_equivalent(shaped: &[LookupOutcome], unshaped: &[LookupOutcome], name: &str) {
+    assert_eq!(shaped.len(), unshaped.len());
+    for (s, u) in shaped.iter().zip(unshaped) {
+        match (s, u) {
+            (
+                LookupOutcome::Malicious { matches: sm },
+                LookupOutcome::Malicious { matches: um },
+            ) => {
+                assert!(!sm.is_empty(), "{name}: malicious verdict without matches");
+                for m in sm {
+                    assert!(
+                        um.contains(m),
+                        "{name}: shaped match {m:?} absent from unshaped verdict"
+                    );
+                }
+            }
+            (s, u) => assert_eq!(s, u, "{name}: outcome variant diverged"),
+        }
+    }
+}
+
+proptest! {
+    /// For every shaper: resolving a random URL batch through its query
+    /// plan yields verdicts equivalent to the unshaped path, the ledger
+    /// mirrors the provider's log exactly (no prefix recorded that was
+    /// not sent, none sent unrecorded), and the shapers that promise a
+    /// co-occurrence bound keep it.
+    #[test]
+    fn shapers_preserve_verdicts_and_ledgers_mirror_the_wire(
+        blacklist_paths in prop::collection::hash_set(0usize..12, 1..6),
+        blacklist_domain in any::<bool>(),
+        visit_paths in prop::collection::vec(0usize..12, 1..8),
+    ) {
+        // A small universe of URLs on one domain plus unrelated hosts, so
+        // multi-prefix hits actually happen.
+        let mut expressions: Vec<String> = blacklist_paths
+            .iter()
+            .map(|p| format!("tracked.example/page{p}.html"))
+            .collect();
+        if blacklist_domain {
+            expressions.push("tracked.example/".to_string());
+        }
+        let urls: Vec<String> = visit_paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                if i % 3 == 2 {
+                    format!("http://miss{i}.example/item{p}.html")
+                } else {
+                    format!("http://tracked.example/page{p}.html")
+                }
+            })
+            .collect();
+        let url_refs: Vec<&str> = urls.iter().map(String::as_str).collect();
+
+        let make_server = || {
+            let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
+            server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+            server
+                .blacklist_expressions(
+                    "goog-malware-shavar",
+                    expressions.iter().map(String::as_str),
+                )
+                .unwrap();
+            server
+        };
+
+        // Reference: unshaped, sequential per-URL lookups.
+        let reference_server = make_server();
+        let mut reference = SafeBrowsingClient::in_process(
+            ClientConfig::subscribed_to(["goog-malware-shavar"]),
+            reference_server.clone(),
+        );
+        reference.update().unwrap();
+        let unshaped: Vec<LookupOutcome> = url_refs
+            .iter()
+            .map(|u| reference.check_url(u).unwrap())
+            .collect();
+
+        for shaper in shapers_under_test() {
+            let name = shaper.name();
+            let bounded = name.starts_with("one-prefix") || name.starts_with("padded-bucket");
+            let server = make_server();
+            let mut client = SafeBrowsingClient::in_process(
+                ClientConfig::subscribed_to(["goog-malware-shavar"])
+                    .with_shaper_arc(shaper),
+                server.clone(),
+            );
+            client.update().unwrap();
+            server.clear_query_log();
+
+            let shaped = client.check_urls(&url_refs).unwrap();
+            assert_verdicts_equivalent(&shaped, &unshaped, &name);
+            assert_ledger_mirrors_log(&client, &server);
+            if bounded {
+                prop_assert!(
+                    client
+                        .disclosure_ledger()
+                        .groups()
+                        .all(|g| g.real.len() <= 1),
+                    "{name}: a request co-revealed two real prefixes"
+                );
+            }
+            // Re-checking the same batch must stay consistent (cache path).
+            let again = client.check_urls(&url_refs).unwrap();
+            assert_verdicts_equivalent(&again, &unshaped, &name);
+            assert_ledger_mirrors_log(&client, &server);
+        }
+    }
+}
