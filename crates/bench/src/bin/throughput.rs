@@ -31,8 +31,9 @@
 //!   * `database_bytes` — client database memory;
 //!   * `urls_flagged` — malicious verdicts over the workload (workload
 //!     sanity check).
-//! * `scenarios` — resilience/churn runs on the indexed backend, keys
-//!   `retrying_flaky`, `sharded_fleet`, `resilient_degraded_shard` and
+//! * `scenarios` — resilience/churn/network runs on the indexed backend,
+//!   keys `retrying_flaky`, `sharded_fleet`, `resilient_degraded_shard`,
+//!   `tcp_serving` and
 //!   `update_churn`, each with `lookups_per_sec`, `p50_ns`, `p99_ns`,
 //!   `urls_flagged`, plus the fault accounting: `shards` (fleet width;
 //!   1 = no fleet), `faults_injected` (transport faults fired), `retries`
@@ -40,6 +41,17 @@
 //!   (requests a failed shard answered with fail-open empties) and
 //!   `failed_lookups` (lookups that still surfaced an error after
 //!   retries — expected 0 for the recorded scenarios).
+//!
+//!   `tcp_serving` runs the workload over the real network tier: an
+//!   `sb_server::TcpServingTier` (worker-thread pool over a loopback
+//!   listener) in front of the provider, every client on a pooled
+//!   `sb_client::TcpTransport` under the retry layer, all exchanges as
+//!   `sb-wire` frames over kernel sockets.  It carries the wire-level
+//!   accounting as extra keys: `connections_opened`/`connections_reused`/
+//!   `client_bytes_sent`/`client_bytes_received` (client side, summed over
+//!   transports) and `server_connections`/`server_frames_received`/
+//!   `server_frames_sent`/`server_bytes_received`/`server_bytes_sent`
+//!   (the tier's `WireStats`).
 //!
 //!   `update_churn` measures the generational update pipeline: a writer
 //!   thread keeps mutating the provider's list (add + remove batches)
@@ -74,11 +86,12 @@ use rand::{Rng, SeedableRng};
 use sb_client::{
     ClientConfig, DeterministicDummiesShaper, ExactShaper, InProcessTransport,
     OnePrefixAtATimeShaper, PaddedBucketShaper, QueryShaper, RetryPolicy, RetryingTransport,
-    SafeBrowsingClient, SimulatedTransport, TransportService, VirtualClock,
+    SafeBrowsingClient, SimulatedTransport, TcpTransport, TcpTransportStats, TransportService,
+    VirtualClock,
 };
 use sb_hash::Prefix;
 use sb_protocol::{Provider, ServiceError, ThreatCategory};
-use sb_server::{SafeBrowsingServer, ShardHandle, ShardedProvider};
+use sb_server::{SafeBrowsingServer, ShardHandle, ShardedProvider, TcpServingTier, TierConfig};
 use sb_store::StoreBackend;
 use sb_url::CanonicalUrl;
 
@@ -176,6 +189,22 @@ struct ScenarioReport {
     degraded_requests: usize,
     /// Present only for the `update_churn` scenario.
     churn: Option<ChurnStats>,
+    /// Present only for the `tcp_serving` scenario.
+    wire: Option<WireReport>,
+}
+
+/// Wire-level accounting of the `tcp_serving` scenario: the client
+/// transports' counters summed, plus the serving tier's `WireStats`.
+struct WireReport {
+    connections_opened: u64,
+    connections_reused: u64,
+    client_bytes_sent: u64,
+    client_bytes_received: u64,
+    server_connections: u64,
+    server_frames_received: u64,
+    server_frames_sent: u64,
+    server_bytes_received: u64,
+    server_bytes_sent: u64,
 }
 
 /// Update-pipeline accounting of the `update_churn` scenario.
@@ -217,6 +246,7 @@ fn main() {
         run_retrying_flaky(&server, &workload, &config),
         run_sharded_fleet(&server, &workload, &config),
         run_resilient_degraded_shard(&server, &workload, &config),
+        run_tcp_serving(&server, &workload, &config),
         run_update_churn(&server, &workload, &config),
     ];
 
@@ -502,6 +532,7 @@ fn scenario_report(
         retries,
         degraded_requests,
         churn: None,
+        wire: None,
     };
     eprintln!(
         "[{name}] {:.0} lookups/s, p50 {} ns, p99 {} ns, {} flagged, {} failed, \
@@ -626,6 +657,95 @@ fn run_resilient_degraded_shard(
         retries,
         fleet.stats().degraded_requests,
     )
+}
+
+/// Scenario: the real network tier.  A `TcpServingTier` (loopback
+/// listener and worker-thread pool) fronts the provider; every client runs a pooled
+/// `TcpTransport` under the retry layer, so the full stack — decomposition,
+/// local check, shaping, retry policy — is exercised over genuine kernel
+/// round trips in `sb-wire` frames.  No faults are injected, so
+/// `failed_lookups` must be 0 and verdicts must match the in-process runs.
+fn run_tcp_serving(
+    server: &Arc<SafeBrowsingServer>,
+    workload: &[CanonicalUrl],
+    config: &Config,
+) -> ScenarioReport {
+    eprintln!(
+        "[tcp_serving] binding serving tier + {} client(s)...",
+        config.clients
+    );
+    let tier = TcpServingTier::bind(
+        server.clone(),
+        // Pooled client connections stay open for the whole run, and each
+        // occupies one worker: size the pool for every client plus slack.
+        TierConfig::default().with_workers(config.clients + 1),
+    )
+    .expect("bind TCP serving tier");
+
+    let clock = Arc::new(VirtualClock::new());
+    let transports: Vec<Arc<TcpTransport>> = (0..config.clients)
+        .map(|_| Arc::new(TcpTransport::new(tier.local_addr()).expect("tier address resolves")))
+        .collect();
+    let mut clients: Vec<SafeBrowsingClient> = transports
+        .iter()
+        .map(|transport| {
+            let retrying = Arc::new(RetryingTransport::with_clock(
+                transport.clone(),
+                RetryPolicy::default(),
+                clock.clone(),
+            ));
+            let mut client = SafeBrowsingClient::new(
+                ClientConfig::subscribed_to([LIST]).with_backend(StoreBackend::Indexed),
+                retrying,
+            );
+            client.update().expect("initial update over TCP");
+            client
+        })
+        .collect();
+
+    let timed = timed_phase(&mut clients, workload, config.urls_per_client);
+
+    let client_stats =
+        transports
+            .iter()
+            .map(|t| t.stats())
+            .fold(TcpTransportStats::default(), |acc, s| TcpTransportStats {
+                connections_opened: acc.connections_opened + s.connections_opened,
+                connections_reused: acc.connections_reused + s.connections_reused,
+                reconnects: acc.reconnects + s.reconnects,
+                round_trips: acc.round_trips + s.round_trips,
+                bytes_sent: acc.bytes_sent + s.bytes_sent,
+                bytes_received: acc.bytes_received + s.bytes_received,
+            });
+    // Close the pooled client connections, then drain the tier; shutdown
+    // joins every worker, so the counters it returns are final.
+    drop(clients);
+    drop(transports);
+    let server_stats = tier.shutdown();
+
+    eprintln!(
+        "[tcp_serving] {} conns opened / {} reuses, client {}B out / {}B in; \
+         server {} frames in / {} frames out",
+        client_stats.connections_opened,
+        client_stats.connections_reused,
+        client_stats.bytes_sent,
+        client_stats.bytes_received,
+        server_stats.frames_received,
+        server_stats.frames_sent,
+    );
+    let mut report = scenario_report("tcp_serving", &timed, 1, 0, 0, 0);
+    report.wire = Some(WireReport {
+        connections_opened: client_stats.connections_opened,
+        connections_reused: client_stats.connections_reused,
+        client_bytes_sent: client_stats.bytes_sent,
+        client_bytes_received: client_stats.bytes_received,
+        server_connections: server_stats.connections_accepted,
+        server_frames_received: server_stats.frames_received,
+        server_frames_sent: server_stats.frames_sent,
+        server_bytes_received: server_stats.bytes_received,
+        server_bytes_sent: server_stats.bytes_sent,
+    });
+    report
 }
 
 /// How many lookups a churn client performs between update exchanges.
@@ -1007,8 +1127,50 @@ fn render_json(
         out.push_str(&format!(
             "      \"degraded_requests\": {}{}\n",
             s.degraded_requests,
-            if s.churn.is_some() { "," } else { "" }
+            if s.churn.is_some() || s.wire.is_some() {
+                ","
+            } else {
+                ""
+            }
         ));
+        if let Some(wire) = &s.wire {
+            out.push_str(&format!(
+                "      \"connections_opened\": {},\n",
+                wire.connections_opened
+            ));
+            out.push_str(&format!(
+                "      \"connections_reused\": {},\n",
+                wire.connections_reused
+            ));
+            out.push_str(&format!(
+                "      \"client_bytes_sent\": {},\n",
+                wire.client_bytes_sent
+            ));
+            out.push_str(&format!(
+                "      \"client_bytes_received\": {},\n",
+                wire.client_bytes_received
+            ));
+            out.push_str(&format!(
+                "      \"server_connections\": {},\n",
+                wire.server_connections
+            ));
+            out.push_str(&format!(
+                "      \"server_frames_received\": {},\n",
+                wire.server_frames_received
+            ));
+            out.push_str(&format!(
+                "      \"server_frames_sent\": {},\n",
+                wire.server_frames_sent
+            ));
+            out.push_str(&format!(
+                "      \"server_bytes_received\": {},\n",
+                wire.server_bytes_received
+            ));
+            out.push_str(&format!(
+                "      \"server_bytes_sent\": {}\n",
+                wire.server_bytes_sent
+            ));
+        }
         if let Some(churn) = &s.churn {
             out.push_str(&format!(
                 "      \"updates_applied\": {},\n",

@@ -13,11 +13,13 @@
 //!
 //! The client owns its provider connection as a [`Transport`] handle:
 //! [`InProcessTransport`] for direct calls into a simulated provider,
-//! [`SimulatedTransport`] to inject faults and latency on top of any other
-//! transport, and [`RetryingTransport`] to add the deployed services'
-//! retry/backoff policy (honouring provider back-off delays, deterministic
-//! jittered exponential fallback, injectable [`Clock`]).  Every provider
-//! exchange is fallible (`Result<_, ServiceError>`).
+//! [`TcpTransport`] for pooled `sb-wire` round trips to a real
+//! `sb_server::TcpServingTier` socket, [`SimulatedTransport`] to inject
+//! faults and latency on top of any other transport, and
+//! [`RetryingTransport`] to add the deployed services' retry/backoff policy
+//! (honouring provider back-off delays, deterministic jittered exponential
+//! fallback, injectable [`Clock`]).  Every provider exchange is fallible
+//! (`Result<_, ServiceError>`).
 //!
 //! ## Example
 //!
@@ -52,6 +54,7 @@ mod mitigation;
 mod preview;
 mod retry;
 pub(crate) mod shaper;
+mod tcp;
 mod transport;
 
 pub use cache::FullHashCache;
@@ -68,6 +71,7 @@ pub use shaper::{
     dummy_prefixes_for, DeterministicDummiesShaper, ExactShaper, OnePrefixAtATimeShaper,
     PaddedBucketShaper, PlannedRequest, QueryPlan, QueryShaper, ShaperHit,
 };
+pub use tcp::{TcpTransport, TcpTransportStats};
 pub use transport::{
     InProcessTransport, SimulatedTransport, Transport, TransportService, TransportStats,
 };

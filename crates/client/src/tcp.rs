@@ -1,0 +1,287 @@
+//! A connection-pooled TCP [`Transport`] speaking the `sb-wire` protocol.
+//!
+//! [`TcpTransport`] is the client end of `sb_server::TcpServingTier`: each
+//! provider exchange is one request frame and one reply frame over a pooled
+//! `std::net::TcpStream`.  Because it implements the ordinary [`Transport`]
+//! trait, everything stacked on transports — `RetryingTransport`, the
+//! query-shaping pipeline, `UpdateDriver`, the experiments — runs over real
+//! kernel round trips with zero call-site changes.
+//!
+//! # Error mapping
+//!
+//! * Connect/read/write failures and truncated streams surface as the
+//!   retryable [`ServiceError::Unavailable`] — a dead socket says nothing
+//!   about the request, so retry policy applies.
+//! * Frames that arrive but fail to decode, and replies of the wrong type,
+//!   surface as the non-retryable [`ServiceError::MalformedResponse`] — the
+//!   peer is speaking, just not our protocol.
+//! * A typed error frame is the provider's own [`ServiceError`], returned
+//!   verbatim (a backoff stays a backoff across the wire).
+//!
+//! A request sent on a *reused* pooled connection that dies before a reply
+//! is retried once on a fresh connection before reporting `Unavailable`:
+//! the likely cause is the server having closed an idle connection, which
+//! is not worth bubbling to retry policy.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use sb_protocol::{FullHashRequest, FullHashResponse, ServiceError, UpdateRequest, UpdateResponse};
+use sb_wire::{encode_frame, read_message, FrameType, Message, WireError};
+
+use crate::transport::Transport;
+
+/// Wire-level counters of a [`TcpTransport`] (monotonic; snapshot via
+/// [`TcpTransport::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpTransportStats {
+    /// Fresh TCP connections opened.
+    pub connections_opened: u64,
+    /// Round trips that reused a pooled connection.
+    pub connections_reused: u64,
+    /// Transparent reconnects after a reused connection turned out dead.
+    pub reconnects: u64,
+    /// Completed request/reply exchanges.
+    pub round_trips: u64,
+    /// Bytes written to the sockets (headers + payloads).
+    pub bytes_sent: u64,
+    /// Bytes read off the sockets.
+    pub bytes_received: u64,
+}
+
+#[derive(Debug, Default)]
+struct AtomicStats {
+    connections_opened: AtomicU64,
+    connections_reused: AtomicU64,
+    reconnects: AtomicU64,
+    round_trips: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+/// A pooled TCP connection to a `TcpServingTier` (or anything speaking the
+/// `sb-wire` protocol), usable as a [`Transport`].
+///
+/// Connections are reused across round trips (bounded idle pool), opened
+/// lazily, and replaced transparently when a pooled one has gone stale.
+/// The transport is `Send + Sync`: concurrent callers each check out their
+/// own connection, so a shared `Arc<TcpTransport>` serves a whole fleet of
+/// client threads.
+#[derive(Debug)]
+pub struct TcpTransport {
+    addr: SocketAddr,
+    pool: Mutex<Vec<TcpStream>>,
+    max_idle: usize,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+    stats: AtomicStats,
+}
+
+impl TcpTransport {
+    /// Creates a transport for `addr`.  No connection is opened until the
+    /// first round trip.
+    ///
+    /// # Errors
+    ///
+    /// An I/O error when `addr` does not resolve to any socket address.
+    pub fn new(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        })?;
+        Ok(TcpTransport {
+            addr,
+            pool: Mutex::new(Vec::new()),
+            max_idle: 4,
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(30),
+            stats: AtomicStats::default(),
+        })
+    }
+
+    /// Caps how many idle connections the pool keeps (default 4).
+    pub fn with_max_idle(mut self, max_idle: usize) -> Self {
+        self.max_idle = max_idle;
+        self
+    }
+
+    /// Sets the connect and per-frame I/O deadlines (defaults 5 s / 30 s).
+    pub fn with_timeouts(mut self, connect: Duration, io: Duration) -> Self {
+        self.connect_timeout = connect;
+        self.io_timeout = io;
+        self
+    }
+
+    /// The server address this transport talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the transport's wire-level counters.
+    pub fn stats(&self) -> TcpTransportStats {
+        TcpTransportStats {
+            connections_opened: self.stats.connections_opened.load(Ordering::Relaxed),
+            connections_reused: self.stats.connections_reused.load(Ordering::Relaxed),
+            reconnects: self.stats.reconnects.load(Ordering::Relaxed),
+            round_trips: self.stats.round_trips.load(Ordering::Relaxed),
+            bytes_sent: self.stats.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.stats.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Idle connections currently pooled.
+    pub fn pooled_connections(&self) -> usize {
+        self.pool.lock().expect("tcp pool lock poisoned").len()
+    }
+
+    /// Pops a pooled connection, or opens a fresh one.  The bool is "this
+    /// connection was reused" — the caller's licence for one transparent
+    /// retry.
+    fn checkout(&self) -> Result<(TcpStream, bool), ServiceError> {
+        if let Some(stream) = self.pool.lock().expect("tcp pool lock poisoned").pop() {
+            self.stats
+                .connections_reused
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok((stream, true));
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout).map_err(|e| {
+            ServiceError::Unavailable {
+                reason: format!("connect to {} failed: {e}", self.addr),
+            }
+        })?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(self.io_timeout));
+        let _ = stream.set_write_timeout(Some(self.io_timeout));
+        self.stats
+            .connections_opened
+            .fetch_add(1, Ordering::Relaxed);
+        Ok((stream, false))
+    }
+
+    fn checkin(&self, stream: TcpStream) {
+        let mut pool = self.pool.lock().expect("tcp pool lock poisoned");
+        if pool.len() < self.max_idle {
+            pool.push(stream);
+        }
+    }
+
+    /// One frame out, one frame back.  `Err` is "this socket is dead"
+    /// (eligible for the reused-connection retry); protocol-level outcomes
+    /// come back as `Ok` and are classified by the caller.
+    fn exchange(&self, stream: &mut TcpStream, frame: &[u8]) -> Result<(Message, u64), WireError> {
+        stream.write_all(frame)?;
+        stream.flush()?;
+        read_message(stream)
+    }
+
+    /// Runs a full round trip, retrying once on a fresh connection when a
+    /// reused one turns out dead.
+    fn round_trip(&self, request: &Message, expect: FrameType) -> Result<Message, ServiceError> {
+        let frame = encode_frame(request).map_err(|e| ServiceError::MalformedRequest {
+            reason: format!("request could not be encoded: {e}"),
+        })?;
+        let mut first_failure: Option<WireError> = None;
+        loop {
+            let (mut stream, reused) = self.checkout()?;
+            match self.exchange(&mut stream, &frame) {
+                Ok((reply, bytes_in)) => {
+                    self.stats
+                        .bytes_sent
+                        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+                    self.stats
+                        .bytes_received
+                        .fetch_add(bytes_in, Ordering::Relaxed);
+                    self.stats.round_trips.fetch_add(1, Ordering::Relaxed);
+                    return self.classify(stream, reply, expect);
+                }
+                Err(error) if error.transport_level() && reused && first_failure.is_none() => {
+                    // The pooled connection died under us (most likely the
+                    // server dropped it while idle): one fresh attempt.
+                    self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                    first_failure = Some(error);
+                }
+                Err(error) if error.transport_level() => {
+                    return Err(ServiceError::Unavailable {
+                        reason: match first_failure {
+                            Some(first) => format!(
+                                "round trip to {} failed twice: {first}; then {error}",
+                                self.addr
+                            ),
+                            None => format!("round trip to {} failed: {error}", self.addr),
+                        },
+                    });
+                }
+                Err(error) => {
+                    // Bytes arrived but the codec rejected them: the stream
+                    // may be desynchronized, so the connection is dropped
+                    // and the failure is not retried.
+                    return Err(ServiceError::MalformedResponse {
+                        reason: format!("reply from {} rejected: {error}", self.addr),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Sorts a decoded reply into "expected response" / "provider error" /
+    /// "protocol violation", returning healthy connections to the pool.
+    fn classify(
+        &self,
+        stream: TcpStream,
+        reply: Message,
+        expect: FrameType,
+    ) -> Result<Message, ServiceError> {
+        match reply {
+            Message::Error(error) => {
+                // The connection is healthy — the *service* said no.
+                self.checkin(stream);
+                Err(error)
+            }
+            reply if reply.frame_type() == expect => {
+                self.checkin(stream);
+                Ok(reply)
+            }
+            reply => {
+                // Wrong frame type: request/reply pairing is broken, so the
+                // connection cannot be trusted again.
+                drop(stream);
+                Err(ServiceError::MalformedResponse {
+                    reason: format!("expected a {expect:?} frame, got {:?}", reply.frame_type()),
+                })
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+        match self.round_trip(
+            &Message::UpdateRequest(request.clone()),
+            FrameType::UpdateResponse,
+        )? {
+            Message::UpdateResponse(response) => Ok(response),
+            _ => unreachable!("round_trip returned a non-matching frame type"),
+        }
+    }
+
+    fn full_hashes_batch(
+        &self,
+        requests: &[FullHashRequest],
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        if requests.is_empty() {
+            return Ok(Vec::new()); // batch contract: empty batch is a no-op
+        }
+        match self.round_trip(
+            &Message::FullHashRequests(requests.to_vec()),
+            FrameType::FullHashResponses,
+        )? {
+            Message::FullHashResponses(responses) => Ok(responses),
+            _ => unreachable!("round_trip returned a non-matching frame type"),
+        }
+    }
+}

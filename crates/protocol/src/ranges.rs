@@ -141,6 +141,29 @@ impl ChunkRanges {
     pub fn ranges(&self) -> &[(u32, u32)] {
         &self.ranges
     }
+
+    /// Rebuilds a set from already-normalized ranges — the O(ranges)
+    /// counterpart of inserting every member, used by wire decoders that
+    /// receive the range list itself.
+    ///
+    /// Returns `None` unless the ranges are exactly the normal form this
+    /// type maintains: each `lo <= hi`, sorted ascending, and neither
+    /// overlapping nor adjacent (a gap of at least one number between
+    /// consecutive ranges).
+    pub fn from_ranges(ranges: Vec<(u32, u32)>) -> Option<Self> {
+        for (i, &(lo, hi)) in ranges.iter().enumerate() {
+            if lo > hi {
+                return None;
+            }
+            if i > 0 {
+                let prev_hi = ranges[i - 1].1;
+                if prev_hi.checked_add(1).is_none_or(|bound| lo <= bound) {
+                    return None;
+                }
+            }
+        }
+        Some(ChunkRanges { ranges })
+    }
 }
 
 impl FromIterator<u32> for ChunkRanges {
@@ -261,6 +284,26 @@ mod tests {
     fn from_iterator_collects() {
         let r: ChunkRanges = [4u32, 1, 2, 9].into_iter().collect();
         assert_eq!(r.to_string(), "1-2,4,9");
+    }
+
+    #[test]
+    fn from_ranges_accepts_only_normal_form() {
+        // Round-trip: whatever `insert` built, `from_ranges` accepts.
+        let built: ChunkRanges = [1u32, 2, 5, 9, 10].into_iter().collect();
+        let rebuilt = ChunkRanges::from_ranges(built.ranges().to_vec()).unwrap();
+        assert_eq!(rebuilt, built);
+        assert_eq!(
+            ChunkRanges::from_ranges(Vec::new()),
+            Some(ChunkRanges::new())
+        );
+        // Inverted, overlapping, adjacent and unsorted inputs are rejected.
+        assert_eq!(ChunkRanges::from_ranges(vec![(5, 3)]), None);
+        assert_eq!(ChunkRanges::from_ranges(vec![(1, 4), (3, 6)]), None);
+        assert_eq!(ChunkRanges::from_ranges(vec![(1, 4), (5, 6)]), None);
+        assert_eq!(ChunkRanges::from_ranges(vec![(7, 9), (1, 2)]), None);
+        // Nothing can follow a range ending at u32::MAX.
+        assert_eq!(ChunkRanges::from_ranges(vec![(0, u32::MAX), (0, 0)]), None);
+        assert!(ChunkRanges::from_ranges(vec![(u32::MAX, u32::MAX)]).is_some());
     }
 
     #[test]

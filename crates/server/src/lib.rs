@@ -12,8 +12,12 @@
 //! [`ObservationLog`] so the re-identification experiments run against
 //! the real transport stack end to end.
 //!
-//! The server is in-process (no network I/O): the privacy findings of the
-//! paper only depend on *what* the protocol reveals, not on the transport.
+//! The backend itself is transport-agnostic: the privacy findings of the
+//! paper only depend on *what* the protocol reveals, not on how the bytes
+//! move.  [`TcpServingTier`] puts real sockets in front of any of these
+//! services — a listener, a fixed worker pool, per-connection framing via
+//! `sb-wire`, and wire-level counters ([`WireStats`]) — so the same
+//! experiments also run over genuine kernel round trips.
 //!
 //! ## Example
 //!
@@ -41,6 +45,7 @@ mod log;
 mod observe;
 mod server;
 mod sharded;
+mod tcp;
 
 pub use blacklist::{Blacklist, PrefixDigestHistogram};
 pub use journal::{ChunkJournal, JournalStats, DEFAULT_AUTO_COMPACT_ABOVE};
@@ -48,6 +53,7 @@ pub use log::{LoggedRequest, QueryLog};
 pub use observe::{ObservationLog, ObservedRequest, ObservingService};
 pub use server::{SafeBrowsingServer, ServerError, DEFAULT_NEXT_UPDATE_SECONDS};
 pub use sharded::{FleetStats, ShardHandle, ShardService, ShardedProvider};
+pub use tcp::{DynService, TcpServingTier, TierConfig, WireStats};
 
 #[cfg(test)]
 mod tests {

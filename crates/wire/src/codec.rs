@@ -1,0 +1,507 @@
+//! Byte-level encoding of the protocol types carried by wire frames.
+//!
+//! Everything is fixed-width big-endian with length-prefixed collections —
+//! no self-describing envelope, no reflection, one unambiguous byte layout
+//! per type.  The decoder works on a bounded in-memory payload (the frame
+//! layer has already read and checksummed it), consumes it through a
+//! [`Reader`] cursor and **rejects** — never panics on — truncated counts,
+//! out-of-range enum tags, non-UTF-8 names, unknown prefix widths and
+//! trailing garbage.
+
+use sb_hash::{Digest, Prefix, PrefixLen};
+use sb_protocol::{
+    Chunk, ChunkKind, ChunkRanges, ClientCookie, ClientListState, FullHashEntry, FullHashRequest,
+    FullHashResponse, ListName, ServiceError, UpdateRequest, UpdateResponse,
+};
+
+use crate::WireError;
+
+/// Longest list name the codec accepts (the real shavar names are < 64
+/// bytes; the bound keeps a hostile length field from forcing a large
+/// allocation).
+pub const MAX_LIST_NAME_BYTES: usize = 1024;
+
+/// Longest error-reason string the codec accepts.
+pub const MAX_REASON_BYTES: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Cursor
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked read cursor over a frame payload.
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors with [`WireError::TrailingBytes`] unless the payload was
+    /// consumed exactly.
+    pub(crate) fn finish(self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes {
+                extra: self.remaining(),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a collection count that precedes elements of at least
+    /// `min_element_bytes` each, rejecting counts the remaining payload
+    /// cannot possibly hold — the guard that keeps a hostile count from
+    /// driving a huge `Vec` reservation.
+    fn count(&mut self, min_element_bytes: usize) -> Result<usize, WireError> {
+        let count = self.u32()? as usize;
+        if count > self.remaining() / min_element_bytes.max(1) {
+            return Err(WireError::Truncated);
+        }
+        Ok(count)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writers
+// ---------------------------------------------------------------------------
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Strings and names
+// ---------------------------------------------------------------------------
+
+fn encode_str(out: &mut Vec<u8>, s: &str, max: usize) -> Result<(), WireError> {
+    if s.len() > max || s.len() > u16::MAX as usize {
+        return Err(WireError::Malformed(format!(
+            "string of {} bytes exceeds the wire bound of {max}",
+            s.len()
+        )));
+    }
+    put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn decode_str(r: &mut Reader<'_>, max: usize) -> Result<String, WireError> {
+    let len = r.u16()? as usize;
+    if len > max {
+        return Err(WireError::Malformed(format!(
+            "string of {len} bytes exceeds the wire bound of {max}"
+        )));
+    }
+    let bytes = r.take(len)?;
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| WireError::Malformed("string is not UTF-8".into()))
+}
+
+fn encode_list_name(out: &mut Vec<u8>, name: &ListName) -> Result<(), WireError> {
+    encode_str(out, name.as_str(), MAX_LIST_NAME_BYTES)
+}
+
+fn decode_list_name(r: &mut Reader<'_>) -> Result<ListName, WireError> {
+    Ok(ListName::new(decode_str(r, MAX_LIST_NAME_BYTES)?))
+}
+
+// ---------------------------------------------------------------------------
+// Prefixes and digests
+// ---------------------------------------------------------------------------
+
+fn encode_prefix(out: &mut Vec<u8>, prefix: &Prefix) {
+    put_u16(out, prefix.len().bits() as u16);
+    out.extend_from_slice(prefix.as_bytes());
+}
+
+fn decode_prefix(r: &mut Reader<'_>) -> Result<Prefix, WireError> {
+    let bits = r.u16()?;
+    let len = PrefixLen::from_bits(u32::from(bits))
+        .ok_or_else(|| WireError::Malformed(format!("unknown prefix width: {bits} bits")))?;
+    let bytes = r.take(len.bytes())?;
+    Ok(Prefix::from_bytes(bytes, len))
+}
+
+fn encode_prefixes(out: &mut Vec<u8>, prefixes: &[Prefix]) -> Result<(), WireError> {
+    let count = u32::try_from(prefixes.len())
+        .map_err(|_| WireError::Malformed("more than u32::MAX prefixes".into()))?;
+    put_u32(out, count);
+    for prefix in prefixes {
+        encode_prefix(out, prefix);
+    }
+    Ok(())
+}
+
+fn decode_prefixes(r: &mut Reader<'_>) -> Result<Vec<Prefix>, WireError> {
+    // Smallest prefix on the wire: 2-byte width tag + 2-byte L16 body.
+    let count = r.count(4)?;
+    let mut prefixes = Vec::with_capacity(count);
+    for _ in 0..count {
+        prefixes.push(decode_prefix(r)?);
+    }
+    Ok(prefixes)
+}
+
+fn encode_digest(out: &mut Vec<u8>, digest: &Digest) {
+    out.extend_from_slice(digest.as_bytes());
+}
+
+fn decode_digest(r: &mut Reader<'_>) -> Result<Digest, WireError> {
+    let bytes = r.take(32)?;
+    let mut raw = [0u8; 32];
+    raw.copy_from_slice(bytes);
+    Ok(Digest::new(raw))
+}
+
+// ---------------------------------------------------------------------------
+// Chunk ranges and client list state
+// ---------------------------------------------------------------------------
+
+fn encode_ranges(out: &mut Vec<u8>, ranges: &ChunkRanges) -> Result<(), WireError> {
+    let count = u32::try_from(ranges.range_count())
+        .map_err(|_| WireError::Malformed("more than u32::MAX ranges".into()))?;
+    put_u32(out, count);
+    for &(lo, hi) in ranges.ranges() {
+        put_u32(out, lo);
+        put_u32(out, hi);
+    }
+    Ok(())
+}
+
+fn decode_ranges(r: &mut Reader<'_>) -> Result<ChunkRanges, WireError> {
+    let count = r.count(8)?;
+    let mut ranges = Vec::with_capacity(count);
+    for _ in 0..count {
+        let lo = r.u32()?;
+        let hi = r.u32()?;
+        ranges.push((lo, hi));
+    }
+    ChunkRanges::from_ranges(ranges)
+        .ok_or_else(|| WireError::Malformed("chunk ranges not sorted/disjoint".into()))
+}
+
+fn encode_list_state(out: &mut Vec<u8>, state: &ClientListState) -> Result<(), WireError> {
+    encode_ranges(out, &state.add)?;
+    encode_ranges(out, &state.sub)
+}
+
+fn decode_list_state(r: &mut Reader<'_>) -> Result<ClientListState, WireError> {
+    Ok(ClientListState {
+        add: decode_ranges(r)?,
+        sub: decode_ranges(r)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Chunks
+// ---------------------------------------------------------------------------
+
+fn encode_chunk(out: &mut Vec<u8>, chunk: &Chunk) -> Result<(), WireError> {
+    encode_list_name(out, &chunk.list)?;
+    put_u32(out, chunk.number);
+    put_u8(
+        out,
+        match chunk.kind {
+            ChunkKind::Add => 0,
+            ChunkKind::Sub => 1,
+        },
+    );
+    encode_prefixes(out, &chunk.prefixes)
+}
+
+fn decode_chunk(r: &mut Reader<'_>) -> Result<Chunk, WireError> {
+    let list = decode_list_name(r)?;
+    let number = r.u32()?;
+    let kind = match r.u8()? {
+        0 => ChunkKind::Add,
+        1 => ChunkKind::Sub,
+        tag => return Err(WireError::Malformed(format!("unknown chunk kind: {tag}"))),
+    };
+    let prefixes = decode_prefixes(r)?;
+    Ok(Chunk {
+        list,
+        number,
+        kind,
+        prefixes,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Update exchange
+// ---------------------------------------------------------------------------
+
+pub(crate) fn encode_update_request(
+    out: &mut Vec<u8>,
+    request: &UpdateRequest,
+) -> Result<(), WireError> {
+    let count = u32::try_from(request.lists.len())
+        .map_err(|_| WireError::Malformed("more than u32::MAX lists".into()))?;
+    put_u32(out, count);
+    for (name, state) in &request.lists {
+        encode_list_name(out, name)?;
+        encode_list_state(out, state)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn decode_update_request(r: &mut Reader<'_>) -> Result<UpdateRequest, WireError> {
+    // Minimum per list: 2-byte empty name + two 4-byte empty range counts.
+    let count = r.count(10)?;
+    let mut lists = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = decode_list_name(r)?;
+        let state = decode_list_state(r)?;
+        lists.push((name, state));
+    }
+    Ok(UpdateRequest { lists })
+}
+
+pub(crate) fn encode_update_response(
+    out: &mut Vec<u8>,
+    response: &UpdateResponse,
+) -> Result<(), WireError> {
+    put_u64(out, response.next_update_seconds);
+    let count = u32::try_from(response.chunks.len())
+        .map_err(|_| WireError::Malformed("more than u32::MAX chunks".into()))?;
+    put_u32(out, count);
+    for chunk in &response.chunks {
+        encode_chunk(out, chunk)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn decode_update_response(r: &mut Reader<'_>) -> Result<UpdateResponse, WireError> {
+    let next_update_seconds = r.u64()?;
+    // Minimum per chunk: 2-byte name + 4-byte number + kind + 4-byte count.
+    let count = r.count(11)?;
+    let mut chunks = Vec::with_capacity(count);
+    for _ in 0..count {
+        chunks.push(decode_chunk(r)?);
+    }
+    Ok(UpdateResponse {
+        chunks,
+        next_update_seconds,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Full-hash exchange
+// ---------------------------------------------------------------------------
+
+fn encode_full_hash_request(out: &mut Vec<u8>, request: &FullHashRequest) -> Result<(), WireError> {
+    match request.cookie {
+        Some(cookie) => {
+            put_u8(out, 1);
+            put_u64(out, cookie.id());
+        }
+        None => put_u8(out, 0),
+    }
+    encode_prefixes(out, &request.prefixes)
+}
+
+fn decode_full_hash_request(r: &mut Reader<'_>) -> Result<FullHashRequest, WireError> {
+    let cookie = match r.u8()? {
+        0 => None,
+        1 => Some(ClientCookie::new(r.u64()?)),
+        tag => {
+            return Err(WireError::Malformed(format!(
+                "unknown cookie presence tag: {tag}"
+            )))
+        }
+    };
+    let prefixes = decode_prefixes(r)?;
+    Ok(FullHashRequest { prefixes, cookie })
+}
+
+pub(crate) fn encode_full_hash_requests(
+    out: &mut Vec<u8>,
+    requests: &[FullHashRequest],
+) -> Result<(), WireError> {
+    let count = u32::try_from(requests.len())
+        .map_err(|_| WireError::Malformed("more than u32::MAX requests".into()))?;
+    put_u32(out, count);
+    for request in requests {
+        encode_full_hash_request(out, request)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn decode_full_hash_requests(
+    r: &mut Reader<'_>,
+) -> Result<Vec<FullHashRequest>, WireError> {
+    // Minimum per request: cookie tag + 4-byte prefix count.
+    let count = r.count(5)?;
+    let mut requests = Vec::with_capacity(count);
+    for _ in 0..count {
+        requests.push(decode_full_hash_request(r)?);
+    }
+    Ok(requests)
+}
+
+fn encode_full_hash_response(
+    out: &mut Vec<u8>,
+    response: &FullHashResponse,
+) -> Result<(), WireError> {
+    let count = u32::try_from(response.entries.len())
+        .map_err(|_| WireError::Malformed("more than u32::MAX entries".into()))?;
+    put_u32(out, count);
+    for entry in &response.entries {
+        encode_list_name(out, &entry.list)?;
+        encode_digest(out, &entry.digest);
+    }
+    Ok(())
+}
+
+fn decode_full_hash_response(r: &mut Reader<'_>) -> Result<FullHashResponse, WireError> {
+    // Minimum per entry: 2-byte name + 32-byte digest.
+    let count = r.count(34)?;
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let list = decode_list_name(r)?;
+        let digest = decode_digest(r)?;
+        entries.push(FullHashEntry { list, digest });
+    }
+    Ok(FullHashResponse { entries })
+}
+
+pub(crate) fn encode_full_hash_responses(
+    out: &mut Vec<u8>,
+    responses: &[FullHashResponse],
+) -> Result<(), WireError> {
+    let count = u32::try_from(responses.len())
+        .map_err(|_| WireError::Malformed("more than u32::MAX responses".into()))?;
+    put_u32(out, count);
+    for response in responses {
+        encode_full_hash_response(out, response)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn decode_full_hash_responses(
+    r: &mut Reader<'_>,
+) -> Result<Vec<FullHashResponse>, WireError> {
+    // Minimum per response: 4-byte entry count.
+    let count = r.count(4)?;
+    let mut responses = Vec::with_capacity(count);
+    for _ in 0..count {
+        responses.push(decode_full_hash_response(r)?);
+    }
+    Ok(responses)
+}
+
+// ---------------------------------------------------------------------------
+// Error frames
+// ---------------------------------------------------------------------------
+
+pub(crate) fn encode_service_error(
+    out: &mut Vec<u8>,
+    error: &ServiceError,
+) -> Result<(), WireError> {
+    match error {
+        ServiceError::Backoff {
+            retry_after_seconds,
+        } => {
+            put_u8(out, 1);
+            put_u64(out, *retry_after_seconds);
+        }
+        ServiceError::Unavailable { reason } => {
+            put_u8(out, 2);
+            encode_bounded_reason(out, reason)?;
+        }
+        ServiceError::MalformedRequest { reason } => {
+            put_u8(out, 3);
+            encode_bounded_reason(out, reason)?;
+        }
+        ServiceError::MalformedResponse { reason } => {
+            put_u8(out, 4);
+            encode_bounded_reason(out, reason)?;
+        }
+        ServiceError::ListUnknown(name) => {
+            put_u8(out, 5);
+            encode_list_name(out, name)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reasons are human-readable diagnostics: rather than failing to report an
+/// error whose reason is unusually long, the encoder truncates at a char
+/// boundary under [`MAX_REASON_BYTES`].
+fn encode_bounded_reason(out: &mut Vec<u8>, reason: &str) -> Result<(), WireError> {
+    let mut end = reason.len().min(MAX_REASON_BYTES);
+    while !reason.is_char_boundary(end) {
+        end -= 1;
+    }
+    encode_str(out, &reason[..end], MAX_REASON_BYTES)
+}
+
+pub(crate) fn decode_service_error(r: &mut Reader<'_>) -> Result<ServiceError, WireError> {
+    match r.u8()? {
+        1 => Ok(ServiceError::Backoff {
+            retry_after_seconds: r.u64()?,
+        }),
+        2 => Ok(ServiceError::Unavailable {
+            reason: decode_str(r, MAX_REASON_BYTES)?,
+        }),
+        3 => Ok(ServiceError::MalformedRequest {
+            reason: decode_str(r, MAX_REASON_BYTES)?,
+        }),
+        4 => Ok(ServiceError::MalformedResponse {
+            reason: decode_str(r, MAX_REASON_BYTES)?,
+        }),
+        5 => Ok(ServiceError::ListUnknown(decode_list_name(r)?)),
+        tag => Err(WireError::Malformed(format!(
+            "unknown service error tag: {tag}"
+        ))),
+    }
+}

@@ -1,0 +1,275 @@
+//! Codec robustness properties.
+//!
+//! Three families of guarantees, each over randomly generated inputs:
+//!
+//! 1. **Round trips**: `decode(encode(m)) == m` for every message and every
+//!    [`ServiceError`] variant, both frame-at-a-time and through the
+//!    stream reader/writer pair.
+//! 2. **Corruption**: flipping any payload byte of a valid frame is a
+//!    *detected* decode error (the CRC-32 guarantees it) — never a panic,
+//!    never a plausible-but-wrong message.  Header corruption may land on
+//!    another valid frame (e.g. a frame-type flip between two empty
+//!    collections), so there the property is self-consistency: an accepted
+//!    corrupted frame re-encodes to exactly those bytes.
+//! 3. **Truncation / garbage**: every strict prefix of a valid frame and
+//!    arbitrary byte soup decode to `Err`, never a panic.
+
+use proptest::prelude::*;
+use sb_hash::{Digest, Prefix, PrefixLen};
+use sb_protocol::{
+    Chunk, ChunkKind, ChunkRanges, ClientCookie, ClientListState, FullHashEntry, FullHashRequest,
+    FullHashResponse, ListName, ServiceError, UpdateRequest, UpdateResponse,
+};
+use sb_wire::{decode_frame, encode_frame, read_message, write_message, Message, HEADER_LEN};
+
+// ---------------------------------------------------------------------------
+// Strategies for the protocol types
+// ---------------------------------------------------------------------------
+
+fn arb_list_name() -> impl Strategy<Value = ListName> {
+    "[a-z]{1,8}-[a-z]{1,8}-shavar".prop_map(ListName::new)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (
+        0usize..PrefixLen::ALL.len(),
+        prop::array::uniform32(any::<u8>()),
+    )
+        .prop_map(|(i, bytes)| {
+            let len = PrefixLen::ALL[i];
+            Prefix::from_bytes(&bytes[..len.bytes()], len)
+        })
+}
+
+fn arb_digest() -> impl Strategy<Value = Digest> {
+    prop::array::uniform32(any::<u8>()).prop_map(Digest::new)
+}
+
+fn arb_ranges() -> impl Strategy<Value = ChunkRanges> {
+    // Collecting arbitrary numbers through the inserting constructor always
+    // yields normal form, which is exactly what the codec emits.
+    prop::collection::vec(any::<u32>(), 0..12).prop_map(|ns| ns.into_iter().collect())
+}
+
+fn arb_list_state() -> impl Strategy<Value = ClientListState> {
+    (arb_ranges(), arb_ranges()).prop_map(|(add, sub)| ClientListState { add, sub })
+}
+
+fn arb_chunk() -> impl Strategy<Value = Chunk> {
+    (
+        arb_list_name(),
+        any::<u32>(),
+        any::<bool>(),
+        prop::collection::vec(arb_prefix(), 0..6),
+    )
+        .prop_map(|(list, number, is_add, prefixes)| Chunk {
+            list,
+            number,
+            kind: if is_add {
+                ChunkKind::Add
+            } else {
+                ChunkKind::Sub
+            },
+            prefixes,
+        })
+}
+
+fn arb_update_request() -> impl Strategy<Value = UpdateRequest> {
+    prop::collection::vec((arb_list_name(), arb_list_state()), 0..5)
+        .prop_map(|lists| UpdateRequest { lists })
+}
+
+fn arb_update_response() -> impl Strategy<Value = UpdateResponse> {
+    (prop::collection::vec(arb_chunk(), 0..5), any::<u64>()).prop_map(
+        |(chunks, next_update_seconds)| UpdateResponse {
+            chunks,
+            next_update_seconds,
+        },
+    )
+}
+
+fn arb_full_hash_request() -> impl Strategy<Value = FullHashRequest> {
+    (
+        prop::collection::vec(arb_prefix(), 0..6),
+        prop::option::of(any::<u64>()),
+    )
+        .prop_map(|(prefixes, cookie)| FullHashRequest {
+            prefixes,
+            cookie: cookie.map(ClientCookie::new),
+        })
+}
+
+fn arb_full_hash_response() -> impl Strategy<Value = FullHashResponse> {
+    prop::collection::vec((arb_list_name(), arb_digest()), 0..6).prop_map(|entries| {
+        FullHashResponse {
+            entries: entries
+                .into_iter()
+                .map(|(list, digest)| FullHashEntry { list, digest })
+                .collect(),
+        }
+    })
+}
+
+fn arb_service_error() -> impl Strategy<Value = ServiceError> {
+    (0usize..5, any::<u64>(), "[ -~]{0,60}", arb_list_name()).prop_map(
+        |(variant, seconds, reason, list)| match variant {
+            0 => ServiceError::Backoff {
+                retry_after_seconds: seconds,
+            },
+            1 => ServiceError::Unavailable { reason },
+            2 => ServiceError::MalformedRequest { reason },
+            3 => ServiceError::MalformedResponse { reason },
+            _ => ServiceError::ListUnknown(list),
+        },
+    )
+}
+
+/// Every frame type, dispatched by index (the shim has no `prop_oneof`).
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        (0usize..5, arb_update_request(), arb_update_response()),
+        (
+            prop::collection::vec(arb_full_hash_request(), 0..4),
+            prop::collection::vec(arb_full_hash_response(), 0..4),
+            arb_service_error(),
+        ),
+    )
+        .prop_map(
+            |((variant, update_req, update_resp), (fh_reqs, fh_resps, error))| match variant {
+                0 => Message::UpdateRequest(update_req),
+                1 => Message::UpdateResponse(update_resp),
+                2 => Message::FullHashRequests(fh_reqs),
+                3 => Message::FullHashResponses(fh_resps),
+                _ => Message::Error(error),
+            },
+        )
+}
+
+// ---------------------------------------------------------------------------
+// 1. Round trips
+// ---------------------------------------------------------------------------
+
+proptest! {
+    fn update_request_round_trips(request in arb_update_request()) {
+        let message = Message::UpdateRequest(request);
+        let frame = encode_frame(&message).expect("encode");
+        prop_assert_eq!(decode_frame(&frame).expect("decode"), message);
+    }
+
+    fn update_response_round_trips(response in arb_update_response()) {
+        let message = Message::UpdateResponse(response);
+        let frame = encode_frame(&message).expect("encode");
+        prop_assert_eq!(decode_frame(&frame).expect("decode"), message);
+    }
+
+    fn full_hash_request_batch_round_trips(
+        requests in prop::collection::vec(arb_full_hash_request(), 0..6)
+    ) {
+        let message = Message::FullHashRequests(requests);
+        let frame = encode_frame(&message).expect("encode");
+        prop_assert_eq!(decode_frame(&frame).expect("decode"), message);
+    }
+
+    fn full_hash_response_batch_round_trips(
+        responses in prop::collection::vec(arb_full_hash_response(), 0..6)
+    ) {
+        let message = Message::FullHashResponses(responses);
+        let frame = encode_frame(&message).expect("encode");
+        prop_assert_eq!(decode_frame(&frame).expect("decode"), message);
+    }
+
+    fn every_service_error_round_trips(error in arb_service_error()) {
+        let message = Message::Error(error);
+        let frame = encode_frame(&message).expect("encode");
+        prop_assert_eq!(decode_frame(&frame).expect("decode"), message);
+    }
+
+    /// The stream pair agrees with the frame pair: what `write_message`
+    /// emits, `read_message` returns, with matching byte accounting.
+    fn stream_and_frame_codecs_agree(message in arb_message()) {
+        let mut stream = Vec::new();
+        let written = write_message(&mut stream, &message).expect("write");
+        prop_assert_eq!(written, stream.len() as u64);
+        let mut reader: &[u8] = &stream;
+        let (decoded, consumed) = read_message(&mut reader).expect("read");
+        prop_assert_eq!(decoded, message);
+        prop_assert_eq!(consumed, written);
+        prop_assert!(reader.is_empty(), "reader left {} bytes", reader.len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Corruption
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Flipping any payload byte is a detected decode error: the CRC-32 in
+    /// the header turns corruption into rejection, never into a
+    /// plausible-but-wrong message.
+    fn payload_corruption_is_always_detected(
+        message in arb_message(),
+        position in any::<usize>(),
+        flip in 1u32..256,
+    ) {
+        let mut frame = encode_frame(&message).expect("encode");
+        prop_assume!(frame.len() > HEADER_LEN); // needs a payload byte to flip
+        let index = HEADER_LEN + position % (frame.len() - HEADER_LEN);
+        frame[index] ^= flip as u8;
+        prop_assert!(
+            decode_frame(&frame).is_err(),
+            "payload corruption at byte {} went undetected",
+            index
+        );
+    }
+
+    /// Flipping *any* byte (header included) never panics, and a corrupted
+    /// frame that still decodes is self-consistent: it re-encodes to
+    /// exactly the corrupted bytes (a frame-type flip between two empty
+    /// collections is such a case — a valid frame of the other type).
+    fn any_corruption_never_panics_or_desyncs(
+        message in arb_message(),
+        position in any::<usize>(),
+        flip in 1u32..256,
+    ) {
+        let mut frame = encode_frame(&message).expect("encode");
+        let index = position % frame.len();
+        frame[index] ^= flip as u8;
+        match decode_frame(&frame) {
+            Err(_) => {}
+            Ok(reinterpreted) => {
+                let reencoded = encode_frame(&reinterpreted).expect("re-encode");
+                prop_assert_eq!(
+                    reencoded, frame,
+                    "corrupted frame decoded to a message it does not encode"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Truncation and garbage
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Every strict prefix of a valid frame is rejected — by both the
+    /// frame decoder and the stream reader — without panicking.
+    fn every_truncation_is_rejected(message in arb_message(), cut in any::<usize>()) {
+        let frame = encode_frame(&message).expect("encode");
+        let keep = cut % frame.len(); // strictly shorter than the frame
+        prop_assert!(decode_frame(&frame[..keep]).is_err());
+        let mut reader = &frame[..keep];
+        prop_assert!(read_message(&mut reader).is_err());
+    }
+
+    /// Arbitrary byte soup never panics the decoder; if it happens to be
+    /// accepted it must be a self-consistent frame.
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        match decode_frame(&bytes) {
+            Err(_) => {}
+            Ok(message) => {
+                prop_assert_eq!(encode_frame(&message).expect("re-encode"), bytes);
+            }
+        }
+    }
+}

@@ -18,8 +18,9 @@
 //! | [`store`] | raw / delta-coded / Bloom / lead-indexed prefix stores |
 //! | [`corpus`] | synthetic web corpus and its statistics |
 //! | [`protocol`] | lists, chunks, fallible batched messages, cookies, `ServiceError` |
-//! | [`server`] | the simulated GSB/YSB provider (lead-byte-sharded, concurrent full-hash serving), the `ShardedProvider` fleet and per-connection `ObservingService` taps |
-//! | [`client`] | the Safe Browsing client, its `Transport` stack (in-process, simulated-fault, retrying) and the `QueryShaper` privacy pipeline with its `DisclosureLedger` |
+//! | [`server`] | the simulated GSB/YSB provider (lead-byte-sharded, concurrent full-hash serving), the `ShardedProvider` fleet, per-connection `ObservingService` taps and the `TcpServingTier` network front |
+//! | [`client`] | the Safe Browsing client, its `Transport` stack (in-process, simulated-fault, pooled TCP, retrying) and the `QueryShaper` privacy pipeline with its `DisclosureLedger` |
+//! | [`wire`] | the length-prefixed, CRC-checked binary frame codec spoken between `TcpTransport` and `TcpServingTier` |
 //! | [`analysis`] | the privacy analysis itself |
 //!
 //! ## Architecture: clients own a transport
@@ -103,3 +104,4 @@ pub use sb_protocol as protocol;
 pub use sb_server as server;
 pub use sb_store as store;
 pub use sb_url as url;
+pub use sb_wire as wire;
