@@ -33,7 +33,7 @@
 //!     sanity check).
 //! * `scenarios` — resilience/churn/network runs on the indexed backend,
 //!   keys `retrying_flaky`, `sharded_fleet`, `resilient_degraded_shard`,
-//!   `tcp_serving` and
+//!   `tcp_serving`, `chaos_resilience` and
 //!   `update_churn`, each with `lookups_per_sec`, `p50_ns`, `p99_ns`,
 //!   `urls_flagged`, plus the fault accounting: `shards` (fleet width;
 //!   1 = no fleet), `faults_injected` (transport faults fired), `retries`
@@ -52,6 +52,21 @@
 //!   transports) and `server_connections`/`server_frames_received`/
 //!   `server_frames_sent`/`server_bytes_received`/`server_bytes_sent`
 //!   (the tier's `WireStats`).
+//!
+//!   `chaos_resilience` re-runs the network workload with an
+//!   `sb_server::ChaosProxy` interposed between every client transport and
+//!   the serving tier, injecting a seeded, deterministic wire-fault
+//!   schedule (latency, connection resets mid-frame, stalled writes, byte
+//!   corruption on both directions, blackholes, slow-drip reads).  Retry
+//!   backoff runs on the virtual clock; the only real delays are the ones
+//!   the proxy itself injects, so `p99_ns` here is the recorded
+//!   p99-under-chaos.  Extra keys: `exchanges` (request frames the proxy
+//!   saw), the per-kind fault counters (`delays`, `resets_mid_frame`,
+//!   `stalls`, `corrupted_requests`, `corrupted_replies`, `blackholes`,
+//!   `slow_drips` — their sum drives `faults_injected`), and
+//!   `verdict_parity` (flag count matched the fault-free indexed run —
+//!   chaos may slow lookups down but must never change a verdict).
+//!   `failed_lookups` must be 0: every palette fault is retryable.
 //!
 //!   `update_churn` measures the generational update pipeline: a writer
 //!   thread keeps mutating the provider's list (add + remove batches)
@@ -79,19 +94,22 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sb_client::{
-    ClientConfig, DeterministicDummiesShaper, ExactShaper, InProcessTransport,
-    OnePrefixAtATimeShaper, PaddedBucketShaper, QueryShaper, RetryPolicy, RetryingTransport,
-    SafeBrowsingClient, SimulatedTransport, TcpTransport, TcpTransportStats, TransportService,
-    VirtualClock,
+    BreakerPolicy, CircuitBreakerTransport, ClientConfig, DeterministicDummiesShaper, ExactShaper,
+    InProcessTransport, OnePrefixAtATimeShaper, PaddedBucketShaper, QueryShaper, RetryPolicy,
+    RetryingTransport, SafeBrowsingClient, SimulatedTransport, TcpTransport, TcpTransportStats,
+    TransportService, VirtualClock,
 };
 use sb_hash::Prefix;
 use sb_protocol::{Provider, ServiceError, ThreatCategory};
-use sb_server::{SafeBrowsingServer, ShardHandle, ShardedProvider, TcpServingTier, TierConfig};
+use sb_server::{
+    ChaosProxy, ChaosSchedule, Fault, SafeBrowsingServer, ShardHandle, ShardedProvider,
+    TcpServingTier, TierConfig,
+};
 use sb_store::StoreBackend;
 use sb_url::CanonicalUrl;
 
@@ -191,6 +209,23 @@ struct ScenarioReport {
     churn: Option<ChurnStats>,
     /// Present only for the `tcp_serving` scenario.
     wire: Option<WireReport>,
+    /// Present only for the `chaos_resilience` scenario.
+    chaos: Option<ChaosReport>,
+}
+
+/// Fault accounting of the `chaos_resilience` scenario: the proxy's
+/// per-kind injection counters plus the verdict-parity check against the
+/// fault-free indexed run.
+struct ChaosReport {
+    exchanges: u64,
+    delays: u64,
+    resets_mid_frame: u64,
+    stalls: u64,
+    corrupted_requests: u64,
+    corrupted_replies: u64,
+    blackholes: u64,
+    slow_drips: u64,
+    verdict_parity: bool,
 }
 
 /// Wire-level accounting of the `tcp_serving` scenario: the client
@@ -242,11 +277,18 @@ fn main() {
         .map(|&backend| run_backend(backend, &server, &workload, &config))
         .collect();
 
+    // The fault-free flag count the chaos scenario must reproduce.
+    let indexed_flagged = reports
+        .iter()
+        .find(|r| r.backend == StoreBackend::Indexed)
+        .expect("indexed backend measured")
+        .flagged;
     let scenarios = [
         run_retrying_flaky(&server, &workload, &config),
         run_sharded_fleet(&server, &workload, &config),
         run_resilient_degraded_shard(&server, &workload, &config),
         run_tcp_serving(&server, &workload, &config),
+        run_chaos_resilience(&server, &workload, &config, indexed_flagged),
         run_update_churn(&server, &workload, &config),
     ];
 
@@ -533,6 +575,7 @@ fn scenario_report(
         degraded_requests,
         churn: None,
         wire: None,
+        chaos: None,
     };
     eprintln!(
         "[{name}] {:.0} lookups/s, p50 {} ns, p99 {} ns, {} flagged, {} failed, \
@@ -744,6 +787,141 @@ fn run_tcp_serving(
         server_frames_sent: server_stats.frames_sent,
         server_bytes_received: server_stats.bytes_received,
         server_bytes_sent: server_stats.bytes_sent,
+    });
+    report
+}
+
+/// Seed of the `chaos_resilience` fault schedule.  Chosen offline (by
+/// simulating the schedule's splitmix64 draws) so that every palette kind
+/// fires within the first ~20 exchanges — even a smoke run records all
+/// seven counters non-zero — and the longest run of consecutive faulted
+/// exchanges over 100k stays single-digit, far inside the retry budget.
+const CHAOS_SEED: u64 = 25;
+/// Roughly one exchange in `CHAOS_PERIOD` draws a fault.
+const CHAOS_PERIOD: u64 = 3;
+
+/// The `chaos_resilience` fault palette: every kind either completes the
+/// exchange (delay, slow-drip) or fails it retryably (reset, stall,
+/// corruption on either side, blackhole).  Real delays are kept small —
+/// they are the only wall-clock sleeps in the scenario — and the slow-drip
+/// chunk is sized so that dripping a full-corpus update reply (megabytes)
+/// costs tenths of a second, not minutes.
+fn chaos_palette() -> Vec<Fault> {
+    vec![
+        Fault::Delay(Duration::from_millis(1)),
+        Fault::ResetMidFrame,
+        Fault::Stall {
+            pause: Duration::from_millis(1),
+        },
+        Fault::CorruptRequest,
+        Fault::CorruptReply,
+        Fault::Blackhole,
+        Fault::SlowDrip {
+            chunk: 4096,
+            pause: Duration::from_micros(200),
+        },
+    ]
+}
+
+/// Scenario: the network workload under wire chaos.  A `ChaosProxy` sits
+/// between every client transport and the serving tier, injecting the
+/// seeded fault schedule above; each client runs the full resilience
+/// stack — retry layer (virtual-clock backoff) over a circuit breaker
+/// over a pooled `TcpTransport`.  The breaker threshold sits far above
+/// the schedule's longest fault run: chaos is supposed to degrade the
+/// path, not open the breaker.  On record: `failed_lookups: 0` (every
+/// fault is retryable) and verdict parity with the fault-free runs.
+fn run_chaos_resilience(
+    server: &Arc<SafeBrowsingServer>,
+    workload: &[CanonicalUrl],
+    config: &Config,
+    expected_flagged: usize,
+) -> ScenarioReport {
+    eprintln!(
+        "[chaos_resilience] binding tier + chaos proxy + {} client(s)...",
+        config.clients
+    );
+    let tier = TcpServingTier::bind(
+        server.clone(),
+        TierConfig::default().with_workers(config.clients + 1),
+    )
+    .expect("bind TCP serving tier");
+    let proxy = ChaosProxy::start(
+        tier.local_addr(),
+        ChaosSchedule::seeded(CHAOS_SEED, CHAOS_PERIOD, chaos_palette()),
+    )
+    .expect("start chaos proxy");
+
+    let clock = Arc::new(VirtualClock::new());
+    type ChaosStack = RetryingTransport<CircuitBreakerTransport<TcpTransport>>;
+    let retrying: Vec<Arc<ChaosStack>> = (0..config.clients)
+        .map(|_| {
+            Arc::new(RetryingTransport::with_clock(
+                CircuitBreakerTransport::new(
+                    TcpTransport::new(proxy.local_addr()).expect("proxy address resolves"),
+                    BreakerPolicy::default().with_failure_threshold(1_000),
+                ),
+                RetryPolicy::default()
+                    .with_max_attempts(16)
+                    .with_base_delay(Duration::from_millis(10)),
+                clock.clone(),
+            ))
+        })
+        .collect();
+    let mut clients: Vec<SafeBrowsingClient> = retrying
+        .iter()
+        .map(|rt| {
+            let mut client = SafeBrowsingClient::new(
+                ClientConfig::subscribed_to([LIST]).with_backend(StoreBackend::Indexed),
+                rt.clone(),
+            );
+            client.update().expect("initial update through chaos");
+            client
+        })
+        .collect();
+
+    let timed = timed_phase(&mut clients, workload, config.urls_per_client);
+    let retries: usize = retrying.iter().map(|rt| rt.stats().retries).sum();
+
+    // Close the pooled client connections, then drain the proxy and the
+    // tier: shutdown joins every connection thread, so the fault counters
+    // are final.
+    drop(clients);
+    drop(retrying);
+    let stats = proxy.shutdown();
+    tier.shutdown();
+
+    eprintln!(
+        "[chaos_resilience] {} exchanges, {} faulted ({} delay / {} reset / {} stall / \
+         {} corrupt-req / {} corrupt-reply / {} blackhole / {} slow-drip)",
+        stats.exchanges,
+        stats.faults_injected,
+        stats.delays,
+        stats.resets_mid_frame,
+        stats.stalls,
+        stats.corrupted_requests,
+        stats.corrupted_replies,
+        stats.blackholes,
+        stats.slow_drips,
+    );
+    let mut report = scenario_report(
+        "chaos_resilience",
+        &timed,
+        1,
+        stats.faults_injected as usize,
+        retries,
+        0,
+    );
+    report.chaos = Some(ChaosReport {
+        exchanges: stats.exchanges,
+        delays: stats.delays,
+        resets_mid_frame: stats.resets_mid_frame,
+        stalls: stats.stalls,
+        corrupted_requests: stats.corrupted_requests,
+        corrupted_replies: stats.corrupted_replies,
+        blackholes: stats.blackholes,
+        slow_drips: stats.slow_drips,
+        verdict_parity: timed.flagged == expected_flagged,
     });
     report
 }
@@ -1127,7 +1305,7 @@ fn render_json(
         out.push_str(&format!(
             "      \"degraded_requests\": {}{}\n",
             s.degraded_requests,
-            if s.churn.is_some() || s.wire.is_some() {
+            if s.churn.is_some() || s.wire.is_some() || s.chaos.is_some() {
                 ","
             } else {
                 ""
@@ -1169,6 +1347,29 @@ fn render_json(
             out.push_str(&format!(
                 "      \"server_bytes_sent\": {}\n",
                 wire.server_bytes_sent
+            ));
+        }
+        if let Some(chaos) = &s.chaos {
+            out.push_str(&format!("      \"exchanges\": {},\n", chaos.exchanges));
+            out.push_str(&format!("      \"delays\": {},\n", chaos.delays));
+            out.push_str(&format!(
+                "      \"resets_mid_frame\": {},\n",
+                chaos.resets_mid_frame
+            ));
+            out.push_str(&format!("      \"stalls\": {},\n", chaos.stalls));
+            out.push_str(&format!(
+                "      \"corrupted_requests\": {},\n",
+                chaos.corrupted_requests
+            ));
+            out.push_str(&format!(
+                "      \"corrupted_replies\": {},\n",
+                chaos.corrupted_replies
+            ));
+            out.push_str(&format!("      \"blackholes\": {},\n", chaos.blackholes));
+            out.push_str(&format!("      \"slow_drips\": {},\n", chaos.slow_drips));
+            out.push_str(&format!(
+                "      \"verdict_parity\": {}\n",
+                chaos.verdict_parity
             ));
         }
         if let Some(churn) = &s.churn {

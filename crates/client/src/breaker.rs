@@ -1,0 +1,516 @@
+//! A circuit breaker as a [`Transport`] decorator.
+//!
+//! A retry layer makes one exchange resilient; a circuit breaker protects
+//! everything *else* from an endpoint that is down hard.  Once enough
+//! consecutive retryable failures accumulate, [`CircuitBreakerTransport`]
+//! **opens**: further calls fail fast with a retryable
+//! [`ServiceError::Unavailable`] without touching the wire, so lookup
+//! threads stop queueing on a dead socket and the provider gets room to
+//! recover.  After a cool-down, one **half-open** probe is let through: if
+//! it succeeds the breaker closes, if it fails the breaker re-opens for
+//! another cool-down.
+//!
+//! The state machine is deterministic over the injectable
+//! [`Clock`](sb_protocol::Clock) — under a
+//! [`VirtualClock`](sb_protocol::VirtualClock) the cool-down elapses by
+//! *sleeping on the shared clock*, so breaker scenarios run without any
+//! wall-clock waiting.  Composition with [`RetryingTransport`] works in
+//! both orders:
+//!
+//! * `Retrying(Breaker(Tcp))` — retry delays (on the same shared clock)
+//!   advance the breaker's cool-down, so a retry loop rides through an
+//!   open-then-recovered breaker;
+//! * `Breaker(Retrying(Tcp))` — the breaker counts whole exchanges that
+//!   failed even after retrying, opening only for sustained outages.
+//!
+//! Non-retryable errors pass through **without** counting as failures:
+//! a deterministic protocol rejection proves the endpoint is alive and
+//! answering, which is the opposite of an outage.
+//!
+//! [`RetryingTransport`]: crate::RetryingTransport
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use sb_protocol::{
+    Clock, DeadlineBudget, FullHashRequest, FullHashResponse, ServiceError, SystemClock,
+    UpdateRequest, UpdateResponse,
+};
+
+use crate::transport::Transport;
+
+/// Tuning knobs of a [`CircuitBreakerTransport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive retryable failures that open the breaker (minimum 1).
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before letting a half-open probe
+    /// through.
+    pub cool_down: Duration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            failure_threshold: 5,
+            cool_down: Duration::from_secs(30),
+        }
+    }
+}
+
+impl BreakerPolicy {
+    /// Sets the consecutive-failure threshold (clamped to at least 1).
+    pub fn with_failure_threshold(mut self, failure_threshold: u32) -> Self {
+        self.failure_threshold = failure_threshold.max(1);
+        self
+    }
+
+    /// Sets the open-state cool-down.
+    pub fn with_cool_down(mut self, cool_down: Duration) -> Self {
+        self.cool_down = cool_down;
+        self
+    }
+}
+
+/// The observable state of a [`CircuitBreakerTransport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow to the inner transport; failures are being counted.
+    Closed,
+    /// Calls fail fast until the cool-down elapses.
+    Open,
+    /// One probe call is in flight; its outcome decides open vs. closed.
+    HalfOpen,
+}
+
+/// Counters accumulated by a [`CircuitBreakerTransport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerStats {
+    /// Exchanges requested by the caller.
+    pub calls: usize,
+    /// Exchanges that reached the inner transport.
+    pub inner_calls: usize,
+    /// Exchanges failed fast because the breaker was open (or a half-open
+    /// probe was already in flight).
+    pub fast_failures: usize,
+    /// Closed→open and half-open→open transitions.
+    pub opens: usize,
+    /// Half-open→closed transitions (a probe succeeded).
+    pub closes: usize,
+    /// Open→half-open transitions (a probe was admitted).
+    pub half_open_probes: usize,
+}
+
+#[derive(Debug)]
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { since: Duration },
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: State,
+    stats: BreakerStats,
+}
+
+/// A closed/open/half-open circuit breaker around any [`Transport`]; see
+/// the [module docs](self) for the state machine and composition rules.
+///
+/// # Examples
+///
+/// Deterministic open → half-open → closed cycle on a virtual clock:
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use sb_client::{
+///     BreakerPolicy, BreakerState, CircuitBreakerTransport, Clock, InProcessTransport,
+///     SimulatedTransport, Transport, VirtualClock,
+/// };
+/// use sb_protocol::{Provider, ServiceError, UpdateRequest};
+/// use sb_server::SafeBrowsingServer;
+///
+/// let server = Arc::new(SafeBrowsingServer::with_standard_lists(Provider::Google));
+/// let flaky = SimulatedTransport::new(InProcessTransport::new(server));
+/// flaky.push_update_fault(ServiceError::Unavailable { reason: "down".into() });
+/// flaky.push_update_fault(ServiceError::Unavailable { reason: "down".into() });
+///
+/// let clock = Arc::new(VirtualClock::new());
+/// let breaker = CircuitBreakerTransport::with_clock(
+///     flaky,
+///     BreakerPolicy::default()
+///         .with_failure_threshold(2)
+///         .with_cool_down(Duration::from_secs(10)),
+///     clock.clone(),
+/// );
+///
+/// // Two consecutive failures open the breaker; the third call fails fast.
+/// assert!(breaker.update(&UpdateRequest::default()).is_err());
+/// assert!(breaker.update(&UpdateRequest::default()).is_err());
+/// assert_eq!(breaker.state(), BreakerState::Open);
+/// assert!(breaker.update(&UpdateRequest::default()).is_err());
+/// assert_eq!(breaker.stats().fast_failures, 1);
+///
+/// // The cool-down elapses on the shared clock; the probe closes it.
+/// clock.sleep(Duration::from_secs(10));
+/// assert!(breaker.update(&UpdateRequest::default()).is_ok());
+/// assert_eq!(breaker.state(), BreakerState::Closed);
+/// assert_eq!(breaker.stats().closes, 1);
+/// ```
+#[derive(Debug)]
+pub struct CircuitBreakerTransport<T> {
+    inner: T,
+    policy: BreakerPolicy,
+    clock: Box<dyn Clock>,
+    state: Mutex<BreakerInner>,
+}
+
+impl<T: Transport> CircuitBreakerTransport<T> {
+    /// Decorates `inner` with `policy` on the real [`SystemClock`].
+    pub fn new(inner: T, policy: BreakerPolicy) -> Self {
+        Self::with_clock(inner, policy, SystemClock)
+    }
+
+    /// Decorates `inner` with `policy` and an injected [`Clock`] — the
+    /// deterministic-test constructor.
+    pub fn with_clock(inner: T, policy: BreakerPolicy, clock: impl Clock + 'static) -> Self {
+        CircuitBreakerTransport {
+            inner,
+            policy,
+            clock: Box::new(clock),
+            state: Mutex::new(BreakerInner {
+                state: State::Closed {
+                    consecutive_failures: 0,
+                },
+                stats: BreakerStats::default(),
+            }),
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &BreakerPolicy {
+        &self.policy
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> BreakerStats {
+        self.lock().stats
+    }
+
+    /// The breaker's current state.
+    pub fn state(&self) -> BreakerState {
+        match self.lock().state {
+            State::Closed { .. } => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+        self.state.lock().expect("circuit breaker lock poisoned")
+    }
+
+    /// Gate for one exchange.  `Ok(is_probe)` admits the call; `Err` is
+    /// the fail-fast rejection.
+    fn admit(&self) -> Result<bool, ServiceError> {
+        let mut inner = self.lock();
+        inner.stats.calls += 1;
+        let admitted = match inner.state {
+            State::Closed { .. } => Ok(false),
+            State::HalfOpen => {
+                // A probe is already in flight; its outcome decides.
+                Err(Duration::ZERO)
+            }
+            State::Open { since } => {
+                let waited = self.clock.now().saturating_sub(since);
+                if waited >= self.policy.cool_down {
+                    inner.state = State::HalfOpen;
+                    inner.stats.half_open_probes += 1;
+                    Ok(true)
+                } else {
+                    Err(self.policy.cool_down - waited)
+                }
+            }
+        };
+        match admitted {
+            Ok(is_probe) => {
+                inner.stats.inner_calls += 1;
+                Ok(is_probe)
+            }
+            Err(remaining) => {
+                inner.stats.fast_failures += 1;
+                Err(ServiceError::Unavailable {
+                    reason: format!("circuit breaker open (fail-fast; probe in {remaining:?})"),
+                })
+            }
+        }
+    }
+
+    /// Records the outcome of an admitted exchange.
+    fn settle(&self, was_probe: bool, retryable_failure: bool) {
+        let mut inner = self.lock();
+        if retryable_failure {
+            if was_probe {
+                // The probe failed: back to open for another cool-down.
+                inner.state = State::Open {
+                    since: self.clock.now(),
+                };
+                inner.stats.opens += 1;
+            } else if let State::Closed {
+                consecutive_failures,
+            } = &mut inner.state
+            {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= self.policy.failure_threshold {
+                    inner.state = State::Open {
+                        since: self.clock.now(),
+                    };
+                    inner.stats.opens += 1;
+                }
+            }
+            // A concurrent transition already moved the state: leave it.
+        } else if was_probe {
+            inner.state = State::Closed {
+                consecutive_failures: 0,
+            };
+            inner.stats.closes += 1;
+        } else if let State::Closed {
+            consecutive_failures,
+        } = &mut inner.state
+        {
+            *consecutive_failures = 0;
+        }
+    }
+
+    /// The admit/call/settle cycle shared by all four exchange methods.
+    fn run<R>(&self, call: impl FnOnce() -> Result<R, ServiceError>) -> Result<R, ServiceError> {
+        let was_probe = self.admit()?;
+        let result = call();
+        // Only retryable failures are outages; a deterministic rejection
+        // (malformed request, unknown list) proves the endpoint answers.
+        let retryable_failure = matches!(&result, Err(error) if error.is_retryable());
+        self.settle(was_probe, retryable_failure);
+        result
+    }
+}
+
+impl<T: Transport> Transport for CircuitBreakerTransport<T> {
+    fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+        self.run(|| self.inner.update(request))
+    }
+
+    fn full_hashes_batch(
+        &self,
+        requests: &[FullHashRequest],
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        self.run(|| self.inner.full_hashes_batch(requests))
+    }
+
+    fn update_within(
+        &self,
+        request: &UpdateRequest,
+        budget: &DeadlineBudget,
+    ) -> Result<UpdateResponse, ServiceError> {
+        self.run(|| self.inner.update_within(request, budget))
+    }
+
+    fn full_hashes_batch_within(
+        &self,
+        requests: &[FullHashRequest],
+        budget: &DeadlineBudget,
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        self.run(|| self.inner.full_hashes_batch_within(requests, budget))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{InProcessTransport, SimulatedTransport, Transport};
+    use sb_hash::prefix32;
+    use sb_protocol::{Provider, VirtualClock};
+    use sb_server::SafeBrowsingServer;
+    use std::sync::Arc;
+
+    fn harness(
+        policy: BreakerPolicy,
+    ) -> (
+        Arc<VirtualClock>,
+        Arc<SimulatedTransport>,
+        CircuitBreakerTransport<Arc<SimulatedTransport>>,
+    ) {
+        let server = Arc::new(SafeBrowsingServer::with_standard_lists(Provider::Google));
+        let flaky = Arc::new(SimulatedTransport::new(InProcessTransport::new(server)));
+        let clock = Arc::new(VirtualClock::new());
+        let breaker = CircuitBreakerTransport::with_clock(flaky.clone(), policy, clock.clone());
+        (clock, flaky, breaker)
+    }
+
+    fn unavailable() -> ServiceError {
+        ServiceError::Unavailable {
+            reason: "down".into(),
+        }
+    }
+
+    fn lookup(breaker: &impl Transport) -> Result<FullHashResponse, ServiceError> {
+        breaker.full_hashes(&FullHashRequest::new(vec![prefix32("a.example/")]))
+    }
+
+    #[test]
+    fn stays_closed_below_the_threshold() {
+        let policy = BreakerPolicy::default().with_failure_threshold(3);
+        let (_clock, flaky, breaker) = harness(policy);
+        // Two failures, then a success: the failure streak resets.
+        flaky.push_full_hash_fault(unavailable());
+        flaky.push_full_hash_fault(unavailable());
+        assert!(lookup(&breaker).is_err());
+        assert!(lookup(&breaker).is_err());
+        assert!(lookup(&breaker).is_ok());
+        // Two more failures still do not reach the threshold.
+        flaky.push_full_hash_fault(unavailable());
+        flaky.push_full_hash_fault(unavailable());
+        assert!(lookup(&breaker).is_err());
+        assert!(lookup(&breaker).is_err());
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert_eq!(breaker.stats().opens, 0);
+        assert_eq!(breaker.stats().fast_failures, 0);
+    }
+
+    #[test]
+    fn opens_after_consecutive_failures_and_fails_fast() {
+        let policy = BreakerPolicy::default().with_failure_threshold(2);
+        let (_clock, flaky, breaker) = harness(policy);
+        flaky.push_full_hash_fault(unavailable());
+        flaky.push_full_hash_fault(unavailable());
+        assert!(lookup(&breaker).is_err());
+        assert!(lookup(&breaker).is_err());
+        assert_eq!(breaker.state(), BreakerState::Open);
+
+        // While open: fail fast, nothing reaches the inner transport.
+        let calls_before = flaky.stats().full_hash_calls;
+        let err = lookup(&breaker).unwrap_err();
+        assert!(err.is_retryable(), "fail-fast must stay retryable");
+        assert_eq!(flaky.stats().full_hash_calls, calls_before);
+        assert_eq!(breaker.stats().fast_failures, 1);
+        assert_eq!(breaker.stats().opens, 1);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let policy = BreakerPolicy::default()
+            .with_failure_threshold(1)
+            .with_cool_down(Duration::from_secs(60));
+        let (clock, flaky, breaker) = harness(policy);
+        flaky.push_full_hash_fault(unavailable());
+        assert!(lookup(&breaker).is_err());
+        assert_eq!(breaker.state(), BreakerState::Open);
+
+        // Not yet: the cool-down has not elapsed.
+        clock.sleep(Duration::from_secs(59));
+        assert!(lookup(&breaker).is_err());
+        assert_eq!(breaker.stats().half_open_probes, 0);
+
+        // Cool-down over: the probe goes through and closes the breaker.
+        clock.sleep(Duration::from_secs(1));
+        assert!(lookup(&breaker).is_ok());
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        let stats = breaker.stats();
+        assert_eq!(stats.half_open_probes, 1);
+        assert_eq!(stats.closes, 1);
+    }
+
+    #[test]
+    fn half_open_probe_reopens_on_failure() {
+        let policy = BreakerPolicy::default()
+            .with_failure_threshold(1)
+            .with_cool_down(Duration::from_secs(10));
+        let (clock, flaky, breaker) = harness(policy);
+        flaky.push_full_hash_fault(unavailable());
+        assert!(lookup(&breaker).is_err());
+
+        clock.sleep(Duration::from_secs(10));
+        flaky.push_full_hash_fault(unavailable());
+        assert!(lookup(&breaker).is_err()); // the probe itself fails
+        assert_eq!(breaker.state(), BreakerState::Open);
+        let stats = breaker.stats();
+        assert_eq!(stats.half_open_probes, 1);
+        assert_eq!(stats.opens, 2, "initial open + probe-failure re-open");
+        assert_eq!(stats.closes, 0);
+
+        // The re-open starts a fresh cool-down.
+        clock.sleep(Duration::from_secs(10));
+        assert!(lookup(&breaker).is_ok());
+        assert_eq!(breaker.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn non_retryable_errors_do_not_count_as_failures() {
+        let policy = BreakerPolicy::default().with_failure_threshold(1);
+        let (_clock, _flaky, breaker) = harness(policy);
+        // An empty full-hash request is rejected deterministically by the
+        // provider — proof the endpoint is alive, not an outage.
+        let err = breaker
+            .full_hashes_batch(&[FullHashRequest::new(Vec::new())])
+            .unwrap_err();
+        assert!(!err.is_retryable());
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert_eq!(breaker.stats().opens, 0);
+    }
+
+    #[test]
+    fn composes_under_a_retrying_transport() {
+        use crate::retry::{RetryPolicy, RetryingTransport};
+
+        // Retrying(Breaker(flaky)): the retry delays run on the same
+        // virtual clock, so they advance the breaker's cool-down and the
+        // exchange rides through an open-then-recovered breaker.
+        let server = Arc::new(SafeBrowsingServer::with_standard_lists(Provider::Google));
+        let flaky = Arc::new(SimulatedTransport::new(InProcessTransport::new(server)));
+        flaky.push_full_hash_fault(unavailable());
+        flaky.push_full_hash_fault(unavailable());
+        let clock = Arc::new(VirtualClock::new());
+        let breaker = CircuitBreakerTransport::with_clock(
+            flaky.clone(),
+            BreakerPolicy::default()
+                .with_failure_threshold(2)
+                .with_cool_down(Duration::from_millis(200)),
+            clock.clone(),
+        );
+        let retrying = RetryingTransport::with_clock(
+            breaker,
+            RetryPolicy::default()
+                .with_max_attempts(6)
+                .with_base_delay(Duration::from_millis(500)),
+            clock.clone(),
+        );
+        // Attempts 1–2 fail and open the breaker; the 500 ms-scale retry
+        // delay outlasts the 200 ms cool-down, so a later attempt probes
+        // and succeeds.
+        assert!(lookup(&retrying).is_ok());
+        let stats = retrying.inner().stats();
+        assert_eq!(stats.opens, 1);
+        assert_eq!(stats.closes, 1);
+        assert_eq!(retrying.inner().state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn budgeted_calls_forward_the_budget() {
+        let policy = BreakerPolicy::default();
+        let (_clock, flaky, breaker) = harness(policy);
+        let budget = DeadlineBudget::new(Duration::from_secs(1));
+        let responses = breaker
+            .full_hashes_batch_within(
+                &[FullHashRequest::new(vec![prefix32("a.example/")])],
+                &budget,
+            )
+            .unwrap();
+        assert_eq!(responses.len(), 1);
+        assert_eq!(flaky.stats().full_hash_calls, 1);
+    }
+}

@@ -2,10 +2,12 @@
 
 use std::collections::{HashSet, VecDeque};
 use std::sync::Arc;
+use std::time::Duration;
 
 use sb_hash::{digest_url, Digest, Prefix, PrefixLen};
 use sb_protocol::{
-    ClientCookie, FullHashRequest, ListName, SafeBrowsingService, ServiceError, UpdateRequest,
+    ClientCookie, DeadlineBudget, FullHashRequest, ListName, SafeBrowsingService, ServiceError,
+    UpdateRequest,
 };
 use sb_store::{PrefixStore, StoreBackend};
 use sb_url::{visit_decompositions, CanonicalUrl, DecomposeScratch, ParseUrlError};
@@ -34,6 +36,12 @@ pub struct ClientConfig {
     pub shaper: Arc<dyn QueryShaper>,
     /// Lists the client subscribes to.
     pub lists: Vec<ListName>,
+    /// End-to-end deadline for one lookup (or one batched lookup): every
+    /// full-hash round trip a `check_*` call performs — including all
+    /// retries and backoff sleeps of a budget-aware transport stack —
+    /// draws down this one budget.  `None` (the default) leaves each
+    /// transport layer on its own fixed timeouts.
+    pub lookup_budget: Option<Duration>,
 }
 
 impl Default for ClientConfig {
@@ -44,6 +52,7 @@ impl Default for ClientConfig {
             cookie: None,
             shaper: Arc::new(ExactShaper),
             lists: Vec::new(),
+            lookup_budget: None,
         }
     }
 }
@@ -103,6 +112,16 @@ impl ClientConfig {
     /// Sets the local database backend.
     pub fn with_backend(mut self, backend: StoreBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Gives every lookup (single or batched) one end-to-end
+    /// [`DeadlineBudget`](sb_protocol::DeadlineBudget): budget-aware
+    /// transports (`TcpTransport`, `RetryingTransport`) derive their
+    /// per-attempt timeouts from what remains and stop retrying when it is
+    /// spent.
+    pub fn with_lookup_budget(mut self, budget: Duration) -> Self {
+        self.lookup_budget = Some(budget);
         self
     }
 }
@@ -654,6 +673,18 @@ impl SafeBrowsingClient {
         hits: &[LocalHit],
         ranges: &[(usize, usize)],
     ) -> Result<(), ServiceError> {
+        // One deadline budget covers the whole lookup — every wave, every
+        // retry, every backoff sleep below draws it down.
+        let budget = self.config.lookup_budget.map(DeadlineBudget::new);
+        self.resolve_shaped_within(hits, ranges, budget.as_ref())
+    }
+
+    fn resolve_shaped_within(
+        &mut self,
+        hits: &[LocalHit],
+        ranges: &[(usize, usize)],
+        budget: Option<&DeadlineBudget>,
+    ) -> Result<(), ServiceError> {
         // The shaper's view: prefix + provenance, never the full digest.
         let mut shaper_hits: Vec<ShaperHit> = Vec::with_capacity(hits.len());
         for (url, &(start, end)) in ranges.iter().enumerate() {
@@ -701,12 +732,13 @@ impl SafeBrowsingClient {
         let mut record = DisclosureRecord::default();
         let mut outcome = Ok(());
         if !unconditional.is_empty() {
-            outcome = self.send_round_trip(&unconditional, &domain_roots, &mut record, false);
+            outcome =
+                self.send_round_trip(&unconditional, &domain_roots, &mut record, false, budget);
         }
         if outcome.is_ok() && !cover.is_empty() {
             // Cover traffic cannot fail a lookup whose real exchange
             // succeeded (and its responses are never cached).
-            let _ = self.send_round_trip(&cover, &domain_roots, &mut record, true);
+            let _ = self.send_round_trip(&cover, &domain_roots, &mut record, true, budget);
         }
         while outcome.is_ok() {
             let mut wave: Vec<PlannedRequest> = Vec::new();
@@ -748,7 +780,7 @@ impl SafeBrowsingClient {
             if wave.is_empty() {
                 break;
             }
-            outcome = self.send_round_trip(&wave, &domain_roots, &mut record, false);
+            outcome = self.send_round_trip(&wave, &domain_roots, &mut record, false, budget);
         }
         self.ledger.push(record);
         outcome
@@ -769,6 +801,7 @@ impl SafeBrowsingClient {
         domain_roots: &HashSet<Prefix>,
         record: &mut DisclosureRecord,
         fire_and_forget: bool,
+        budget: Option<&DeadlineBudget>,
     ) -> Result<(), ServiceError> {
         let wire: Vec<FullHashRequest> = requests
             .iter()
@@ -794,10 +827,16 @@ impl SafeBrowsingClient {
                 self.metrics.prefixes_sent += request.prefixes.len();
                 self.metrics.dummy_prefixes_sent += request.dummy_count();
             }
-            let _ = self.transport.full_hashes_batch(&wire);
+            let _ = match budget {
+                Some(budget) => self.transport.full_hashes_batch_within(&wire, budget),
+                None => self.transport.full_hashes_batch(&wire),
+            };
             return Ok(());
         }
-        let responses = self.transport.full_hashes_batch(&wire)?;
+        let responses = match budget {
+            Some(budget) => self.transport.full_hashes_batch_within(&wire, budget)?,
+            None => self.transport.full_hashes_batch(&wire)?,
+        };
         if responses.len() != wire.len() {
             // A miscounted batch is the provider violating the protocol —
             // the non-retryable response-side error, as for malformed
@@ -841,6 +880,49 @@ mod tests {
     use crate::transport::SimulatedTransport;
     use sb_protocol::{Provider, ThreatCategory};
     use sb_server::SafeBrowsingServer;
+
+    #[test]
+    fn a_lookup_budget_stops_a_retrying_transport_early() {
+        use crate::retry::{RetryPolicy, RetryingTransport, VirtualClock};
+        use crate::transport::InProcessTransport;
+
+        let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
+        server.create_list("goog-malware-shavar", ThreatCategory::Malware);
+        server
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+
+        let flaky = SimulatedTransport::new(InProcessTransport::new(server.clone()));
+        for _ in 0..16 {
+            flaky.push_full_hash_fault(ServiceError::Unavailable {
+                reason: "down".into(),
+            });
+        }
+        let clock = Arc::new(VirtualClock::new());
+        let retrying = RetryingTransport::with_clock(
+            flaky,
+            RetryPolicy::default()
+                .with_max_attempts(10)
+                .with_base_delay(Duration::from_secs(60)),
+            clock.clone(),
+        );
+        let mut client = SafeBrowsingClient::new(
+            ClientConfig::subscribed_to(["goog-malware-shavar"])
+                .with_lookup_budget(Duration::from_secs(30)),
+            retrying,
+        );
+        client.update().unwrap();
+
+        // Every full-hash attempt fails; the first backoff delay (60s)
+        // already exceeds the 30s lookup budget, so the retry loop stops
+        // after one attempt instead of burning through all ten.
+        let err = client.check_url("http://evil.example/a").unwrap_err();
+        assert!(matches!(
+            err,
+            ClientError::Service(ServiceError::Unavailable { .. })
+        ));
+        assert!(clock.total_slept() <= Duration::from_secs(30));
+    }
 
     fn server() -> Arc<SafeBrowsingServer> {
         let server = Arc::new(SafeBrowsingServer::new(Provider::Google));

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod breaker;
 mod cache;
 mod client;
 mod database;
@@ -57,6 +58,7 @@ pub(crate) mod shaper;
 mod tcp;
 mod transport;
 
+pub use breaker::{BreakerPolicy, BreakerState, BreakerStats, CircuitBreakerTransport};
 pub use cache::FullHashCache;
 pub use client::{ClientConfig, ClientError, ConfirmedMatch, LookupOutcome, SafeBrowsingClient};
 pub use database::{ApplyChunksError, DatabaseReader, LocalDatabase};
@@ -67,6 +69,10 @@ pub use metrics::ClientMetrics;
 pub use mitigation::MitigationPolicy;
 pub use preview::{LookupPreview, PreviewedDecomposition};
 pub use retry::{Clock, RetryPolicy, RetryStats, RetryingTransport, SystemClock, VirtualClock};
+// The end-to-end deadline budget lives in `sb-protocol` (every layer of
+// the stack shares it); re-exported here because transports are where
+// callers meet it.
+pub use sb_protocol::DeadlineBudget;
 pub use shaper::{
     dummy_prefixes_for, DeterministicDummiesShaper, ExactShaper, OnePrefixAtATimeShaper,
     PaddedBucketShaper, PlannedRequest, QueryPlan, QueryShaper, ShaperHit,

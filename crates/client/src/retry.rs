@@ -17,91 +17,19 @@
 //! [`Clock`].  A test drives scripted faults through a [`VirtualClock`] and
 //! asserts the exact sleep sequence without ever blocking.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 use std::time::Duration;
 
-use sb_protocol::{FullHashRequest, FullHashResponse, ServiceError, UpdateRequest, UpdateResponse};
+use sb_protocol::{
+    DeadlineBudget, FullHashRequest, FullHashResponse, ServiceError, UpdateRequest, UpdateResponse,
+};
+
+// The injectable clock moved to `sb-protocol` (the server's shard-health
+// tracking needs it too); re-exported here so `sb_client::{Clock,
+// SystemClock, VirtualClock}` keep working.
+pub use sb_protocol::{Clock, SystemClock, VirtualClock};
 
 use crate::transport::Transport;
-
-/// A source of (blocking) time for [`RetryingTransport`].
-///
-/// The production clock really sleeps; tests inject a [`VirtualClock`] that
-/// only records the requested delays, so a scripted multi-retry scenario
-/// runs in microseconds of wall-clock time.
-pub trait Clock: Send + Sync + std::fmt::Debug {
-    /// Blocks the calling thread for `duration` (or records it, for
-    /// virtual clocks).
-    fn sleep(&self, duration: Duration);
-}
-
-/// The production [`Clock`]: delegates to [`std::thread::sleep`].
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SystemClock;
-
-impl Clock for SystemClock {
-    fn sleep(&self, duration: Duration) {
-        if !duration.is_zero() {
-            std::thread::sleep(duration);
-        }
-    }
-}
-
-/// A deterministic [`Clock`] that records every requested sleep instead of
-/// blocking — the injectable clock of the retry tests and the fault
-/// scenarios of the throughput harness.
-///
-/// # Examples
-///
-/// ```
-/// use std::time::Duration;
-/// use sb_client::{Clock, VirtualClock};
-///
-/// let clock = VirtualClock::new();
-/// clock.sleep(Duration::from_secs(5));
-/// clock.sleep(Duration::ZERO);
-/// assert_eq!(clock.total_slept(), Duration::from_secs(5));
-/// assert_eq!(clock.sleeps().len(), 2); // zero-length sleeps are recorded too
-/// ```
-#[derive(Debug, Default)]
-pub struct VirtualClock {
-    sleeps: Mutex<Vec<Duration>>,
-}
-
-impl VirtualClock {
-    /// Creates a virtual clock with an empty sleep log.
-    pub fn new() -> Self {
-        VirtualClock::default()
-    }
-
-    /// Every sleep requested so far, in order (including zero-length ones).
-    pub fn sleeps(&self) -> Vec<Duration> {
-        self.lock().clone()
-    }
-
-    /// Total virtual time slept.
-    pub fn total_slept(&self) -> Duration {
-        self.lock().iter().sum()
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Duration>> {
-        self.sleeps.lock().expect("virtual clock lock poisoned")
-    }
-}
-
-impl Clock for VirtualClock {
-    fn sleep(&self, duration: Duration) {
-        self.lock().push(duration);
-    }
-}
-
-/// Shared clocks are clocks (a test keeps one handle, the transport the
-/// other).
-impl<C: Clock + ?Sized> Clock for Arc<C> {
-    fn sleep(&self, duration: Duration) {
-        (**self).sleep(duration);
-    }
-}
 
 /// Retry policy of a [`RetryingTransport`].
 ///
@@ -216,6 +144,9 @@ pub struct RetryStats {
     pub unavailable_retries: usize,
     /// Exchanges abandoned after `max_attempts` failed attempts.
     pub exhausted: usize,
+    /// Exchanges abandoned because the caller's [`DeadlineBudget`] was
+    /// spent (or the next delay would overshoot it) before the attempt cap.
+    pub budget_stops: usize,
     /// Exchanges failed on a non-retryable error (surfaced immediately).
     pub non_retryable_failures: usize,
     /// Total delay requested of the clock across all retries.
@@ -362,9 +293,15 @@ impl<T: Transport> RetryingTransport<T> {
         }
     }
 
-    /// The retry loop shared by both exchanges.
+    /// The retry loop shared by both exchanges.  With a budget, the loop
+    /// stops retrying the moment the budget is spent — or when the next
+    /// backoff delay alone would overshoot what remains, since sleeping
+    /// past the caller's deadline helps nobody — and surfaces the last
+    /// underlying error.  Each delay actually taken is charged against the
+    /// budget (inner layers charge their own I/O time themselves).
     fn run<R>(
         &self,
+        budget: Option<&DeadlineBudget>,
         mut attempt_exchange: impl FnMut() -> Result<R, ServiceError>,
     ) -> Result<R, ServiceError> {
         let mut attempt = 1u32;
@@ -384,6 +321,13 @@ impl<T: Transport> RetryingTransport<T> {
                 return Err(error);
             }
             let delay = self.delay_for(&error, attempt);
+            if let Some(budget) = budget {
+                if budget.is_exhausted() || delay > budget.remaining() {
+                    self.state().stats.budget_stops += 1;
+                    return Err(error);
+                }
+                budget.charge(delay);
+            }
             {
                 let mut state = self.state();
                 state.stats.retries += 1;
@@ -393,22 +337,60 @@ impl<T: Transport> RetryingTransport<T> {
             attempt += 1;
         }
     }
+
+    fn run_update(
+        &self,
+        request: &UpdateRequest,
+        budget: Option<&DeadlineBudget>,
+    ) -> Result<UpdateResponse, ServiceError> {
+        self.state().stats.update_calls += 1;
+        let response = self.run(budget, || match budget {
+            Some(budget) => self.inner.update_within(request, budget),
+            None => self.inner.update(request),
+        })?;
+        self.state().stats.last_next_update_seconds = Some(response.next_update_seconds);
+        Ok(response)
+    }
+
+    fn run_full_hashes(
+        &self,
+        requests: &[FullHashRequest],
+        budget: Option<&DeadlineBudget>,
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        self.state().stats.full_hash_calls += 1;
+        self.run(budget, || match budget {
+            Some(budget) => self.inner.full_hashes_batch_within(requests, budget),
+            None => self.inner.full_hashes_batch(requests),
+        })
+    }
 }
 
 impl<T: Transport> Transport for RetryingTransport<T> {
     fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
-        self.state().stats.update_calls += 1;
-        let response = self.run(|| self.inner.update(request))?;
-        self.state().stats.last_next_update_seconds = Some(response.next_update_seconds);
-        Ok(response)
+        self.run_update(request, None)
     }
 
     fn full_hashes_batch(
         &self,
         requests: &[FullHashRequest],
     ) -> Result<Vec<FullHashResponse>, ServiceError> {
-        self.state().stats.full_hash_calls += 1;
-        self.run(|| self.inner.full_hashes_batch(requests))
+        self.run_full_hashes(requests, None)
+    }
+
+    fn update_within(
+        &self,
+        request: &UpdateRequest,
+        budget: &DeadlineBudget,
+    ) -> Result<UpdateResponse, ServiceError> {
+        self.run_update(request, Some(budget))
+    }
+
+    fn full_hashes_batch_within(
+        &self,
+        requests: &[FullHashRequest],
+        budget: &DeadlineBudget,
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        self.run_full_hashes(requests, Some(budget))
     }
 }
 
@@ -419,6 +401,7 @@ mod tests {
     use sb_hash::prefix32;
     use sb_protocol::{Provider, ThreatCategory};
     use sb_server::SafeBrowsingServer;
+    use std::sync::Arc;
 
     fn flaky() -> (Arc<SafeBrowsingServer>, SimulatedTransport) {
         let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
@@ -629,6 +612,72 @@ mod tests {
         let (_clock, retrying) = retrying(transport, RetryPolicy::default());
         assert_eq!(retrying.next_update_hint(), None);
         retrying.update(&UpdateRequest::default()).unwrap();
+        assert_eq!(
+            retrying.next_update_hint(),
+            Some(sb_server::DEFAULT_NEXT_UPDATE_SECONDS)
+        );
+    }
+
+    #[test]
+    fn a_spent_budget_stops_retrying_before_the_attempt_cap() {
+        let (_server, transport) = flaky();
+        transport.fail_every(
+            1,
+            ServiceError::Unavailable {
+                reason: "hard down".into(),
+            },
+        );
+        // 10 attempts would be allowed; the budget only affords the first
+        // backoff delay (500 ms base → first delay ∈ [250 ms, 500 ms]).
+        let policy = RetryPolicy::default().with_max_attempts(10);
+        let (clock, retrying) = retrying(transport, policy);
+        let budget = DeadlineBudget::new(Duration::from_millis(600));
+        let err = retrying
+            .full_hashes_batch_within(
+                &[FullHashRequest::new(vec![prefix32("a.example/")])],
+                &budget,
+            )
+            .unwrap_err();
+        assert!(err.is_retryable(), "the last underlying error surfaces");
+        let stats = retrying.stats();
+        assert_eq!(stats.budget_stops, 1);
+        assert_eq!(stats.exhausted, 0, "the attempt cap was never reached");
+        // At most two attempts fit: the second delay (~1 s) overshoots what
+        // remains of the 600 ms budget.
+        assert!(stats.attempts <= 2, "attempts: {}", stats.attempts);
+        // Every delay actually slept was charged.
+        assert_eq!(budget.spent(), clock.total_slept());
+    }
+
+    #[test]
+    fn a_generous_budget_changes_nothing() {
+        let (_server, transport) = flaky();
+        transport.push_full_hash_fault(ServiceError::Unavailable {
+            reason: "blip".into(),
+        });
+        let (_clock, retrying) = retrying(transport, RetryPolicy::default());
+        let budget = DeadlineBudget::new(Duration::from_secs(3600));
+        let response = retrying
+            .full_hashes_batch_within(
+                &[FullHashRequest::new(vec![prefix32("a.example/")])],
+                &budget,
+            )
+            .unwrap();
+        assert_eq!(response.len(), 1);
+        let stats = retrying.stats();
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.budget_stops, 0);
+        assert!(!budget.is_exhausted());
+    }
+
+    #[test]
+    fn budgeted_update_still_records_the_hint() {
+        let (_server, transport) = flaky();
+        let (_clock, retrying) = retrying(transport, RetryPolicy::default());
+        let budget = DeadlineBudget::new(Duration::from_secs(5));
+        retrying
+            .update_within(&UpdateRequest::default(), &budget)
+            .unwrap();
         assert_eq!(
             retrying.next_update_hint(),
             Some(sb_server::DEFAULT_NEXT_UPDATE_SECONDS)

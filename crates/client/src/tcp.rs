@@ -12,9 +12,14 @@
 //! * Connect/read/write failures and truncated streams surface as the
 //!   retryable [`ServiceError::Unavailable`] — a dead socket says nothing
 //!   about the request, so retry policy applies.
-//! * Frames that arrive but fail to decode, and replies of the wrong type,
-//!   surface as the non-retryable [`ServiceError::MalformedResponse`] — the
-//!   peer is speaking, just not our protocol.
+//! * A reply that fails its CRC-32 also surfaces as the retryable
+//!   [`ServiceError::Unavailable`]: corruption the checksum caught is
+//!   transient wire damage, and resending is exactly the right response.
+//!   The connection is dropped (the stream can no longer be trusted).
+//! * Frames that arrive intact but fail to decode, and replies of the
+//!   wrong type, surface as the non-retryable
+//!   [`ServiceError::MalformedResponse`] — the peer is speaking, just not
+//!   our protocol.
 //! * A typed error frame is the provider's own [`ServiceError`], returned
 //!   verbatim (a backoff stays a backoff across the wire).
 //!
@@ -22,14 +27,25 @@
 //! is retried once on a fresh connection before reporting `Unavailable`:
 //! the likely cause is the server having closed an idle connection, which
 //! is not worth bubbling to retry policy.
+//!
+//! # Deadline budgets
+//!
+//! Under [`Transport::full_hashes_batch_within`] /
+//! [`Transport::update_within`], the per-frame I/O timeouts are derived
+//! from the **remaining** [`DeadlineBudget`] (capped by the configured
+//! defaults, floored at [`sb_protocol::MIN_IO_TIMEOUT`]) and the measured
+//! wall time of every attempt is charged back, so a stalling server
+//! cannot eat more of a batch's deadline than the budget allows.
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use sb_protocol::{FullHashRequest, FullHashResponse, ServiceError, UpdateRequest, UpdateResponse};
+use sb_protocol::{
+    DeadlineBudget, FullHashRequest, FullHashResponse, ServiceError, UpdateRequest, UpdateResponse,
+};
 use sb_wire::{encode_frame, read_message, FrameType, Message, WireError};
 
 use crate::transport::Transport;
@@ -111,7 +127,22 @@ impl TcpTransport {
     }
 
     /// Sets the connect and per-frame I/O deadlines (defaults 5 s / 30 s).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either duration is zero: the OS rejects
+    /// `set_read_timeout(Some(Duration::ZERO))` outright and
+    /// `connect_timeout` cannot wait for no time, so a zero here is a
+    /// configuration bug that must not vanish into a per-call I/O error.
     pub fn with_timeouts(mut self, connect: Duration, io: Duration) -> Self {
+        assert!(
+            !connect.is_zero(),
+            "connect timeout must be non-zero (the OS rejects a zero timeout)"
+        );
+        assert!(
+            !io.is_zero(),
+            "I/O timeout must be non-zero (the OS rejects a zero timeout)"
+        );
         self.connect_timeout = connect;
         self.io_timeout = io;
         self
@@ -139,28 +170,47 @@ impl TcpTransport {
         self.pool.lock().expect("tcp pool lock poisoned").len()
     }
 
-    /// Pops a pooled connection, or opens a fresh one.  The bool is "this
-    /// connection was reused" — the caller's licence for one transparent
-    /// retry.
-    fn checkout(&self) -> Result<(TcpStream, bool), ServiceError> {
+    /// Pops a pooled connection, or opens a fresh one under
+    /// `connect_timeout` (already capped by the budget, if any).  The bool
+    /// is "this connection was reused" — the caller's licence for one
+    /// transparent retry.
+    fn checkout(&self, connect_timeout: Duration) -> Result<(TcpStream, bool), ServiceError> {
         if let Some(stream) = self.pool.lock().expect("tcp pool lock poisoned").pop() {
             self.stats
                 .connections_reused
                 .fetch_add(1, Ordering::Relaxed);
             return Ok((stream, true));
         }
-        let stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout).map_err(|e| {
+        let stream = TcpStream::connect_timeout(&self.addr, connect_timeout).map_err(|e| {
             ServiceError::Unavailable {
                 reason: format!("connect to {} failed: {e}", self.addr),
             }
         })?;
-        let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(self.io_timeout));
-        let _ = stream.set_write_timeout(Some(self.io_timeout));
+        let _ = stream.set_nodelay(true); // a failed hint costs latency, not correctness
         self.stats
             .connections_opened
             .fetch_add(1, Ordering::Relaxed);
         Ok((stream, false))
+    }
+
+    /// Arms both per-frame I/O deadlines on a connection.  A socket that
+    /// cannot take a timeout is a socket that could block a lookup thread
+    /// forever, so the error is surfaced (retryably — the socket is
+    /// broken, not the request) instead of being discarded.
+    fn arm_io_deadlines(
+        &self,
+        stream: &TcpStream,
+        io_timeout: Duration,
+    ) -> Result<(), ServiceError> {
+        stream
+            .set_read_timeout(Some(io_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(io_timeout)))
+            .map_err(|e| ServiceError::Unavailable {
+                reason: format!(
+                    "could not arm I/O deadline on connection to {}: {e}",
+                    self.addr
+                ),
+            })
     }
 
     fn checkin(&self, stream: TcpStream) {
@@ -179,16 +229,57 @@ impl TcpTransport {
         read_message(stream)
     }
 
+    /// The connect/I/O deadlines for one attempt: the configured defaults,
+    /// capped by the remaining budget when one is in force.  A budget that
+    /// is already spent refuses the attempt outright (retryably, so the
+    /// caller's retry layer — which also watches the budget — decides).
+    fn attempt_deadlines(
+        &self,
+        budget: Option<&DeadlineBudget>,
+    ) -> Result<(Duration, Duration), ServiceError> {
+        match budget {
+            None => Ok((self.connect_timeout, self.io_timeout)),
+            Some(budget) => {
+                if budget.is_exhausted() {
+                    return Err(ServiceError::Unavailable {
+                        reason: format!(
+                            "deadline budget of {:?} exhausted before contacting {}",
+                            budget.total(),
+                            self.addr
+                        ),
+                    });
+                }
+                Ok((
+                    budget.cap_timeout(self.connect_timeout),
+                    budget.cap_timeout(self.io_timeout),
+                ))
+            }
+        }
+    }
+
     /// Runs a full round trip, retrying once on a fresh connection when a
-    /// reused one turns out dead.
-    fn round_trip(&self, request: &Message, expect: FrameType) -> Result<Message, ServiceError> {
+    /// reused one turns out dead.  Every attempt's measured wall time is
+    /// charged against the budget, if one is in force.
+    fn round_trip(
+        &self,
+        request: &Message,
+        expect: FrameType,
+        budget: Option<&DeadlineBudget>,
+    ) -> Result<Message, ServiceError> {
         let frame = encode_frame(request).map_err(|e| ServiceError::MalformedRequest {
             reason: format!("request could not be encoded: {e}"),
         })?;
         let mut first_failure: Option<WireError> = None;
         loop {
-            let (mut stream, reused) = self.checkout()?;
-            match self.exchange(&mut stream, &frame) {
+            let (connect_timeout, io_timeout) = self.attempt_deadlines(budget)?;
+            let started = Instant::now();
+            let (mut stream, reused) = self.checkout(connect_timeout)?;
+            self.arm_io_deadlines(&stream, io_timeout)?;
+            let attempt = self.exchange(&mut stream, &frame);
+            if let Some(budget) = budget {
+                budget.charge(started.elapsed());
+            }
+            match attempt {
                 Ok((reply, bytes_in)) => {
                     self.stats
                         .bytes_sent
@@ -216,10 +307,23 @@ impl TcpTransport {
                         },
                     });
                 }
+                Err(WireError::ChecksumMismatch) => {
+                    // The reply arrived but its payload fails the CRC:
+                    // corruption in transit, not a protocol disagreement.
+                    // The connection is dropped (the stream may be
+                    // desynchronized) and the failure is retryable —
+                    // resending is the correct response to wire damage.
+                    return Err(ServiceError::Unavailable {
+                        reason: format!(
+                            "reply from {} failed its checksum (corrupted in transit)",
+                            self.addr
+                        ),
+                    });
+                }
                 Err(error) => {
-                    // Bytes arrived but the codec rejected them: the stream
-                    // may be desynchronized, so the connection is dropped
-                    // and the failure is not retried.
+                    // Bytes arrived intact but the codec rejected them: the
+                    // peer is speaking another protocol, so the connection
+                    // is dropped and the failure is not retried.
                     return Err(ServiceError::MalformedResponse {
                         reason: format!("reply from {} rejected: {error}", self.addr),
                     });
@@ -258,20 +362,26 @@ impl TcpTransport {
     }
 }
 
-impl Transport for TcpTransport {
-    fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+impl TcpTransport {
+    fn update_round_trip(
+        &self,
+        request: &UpdateRequest,
+        budget: Option<&DeadlineBudget>,
+    ) -> Result<UpdateResponse, ServiceError> {
         match self.round_trip(
             &Message::UpdateRequest(request.clone()),
             FrameType::UpdateResponse,
+            budget,
         )? {
             Message::UpdateResponse(response) => Ok(response),
             _ => unreachable!("round_trip returned a non-matching frame type"),
         }
     }
 
-    fn full_hashes_batch(
+    fn full_hashes_round_trip(
         &self,
         requests: &[FullHashRequest],
+        budget: Option<&DeadlineBudget>,
     ) -> Result<Vec<FullHashResponse>, ServiceError> {
         if requests.is_empty() {
             return Ok(Vec::new()); // batch contract: empty batch is a no-op
@@ -279,9 +389,39 @@ impl Transport for TcpTransport {
         match self.round_trip(
             &Message::FullHashRequests(requests.to_vec()),
             FrameType::FullHashResponses,
+            budget,
         )? {
             Message::FullHashResponses(responses) => Ok(responses),
             _ => unreachable!("round_trip returned a non-matching frame type"),
         }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+        self.update_round_trip(request, None)
+    }
+
+    fn full_hashes_batch(
+        &self,
+        requests: &[FullHashRequest],
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        self.full_hashes_round_trip(requests, None)
+    }
+
+    fn update_within(
+        &self,
+        request: &UpdateRequest,
+        budget: &DeadlineBudget,
+    ) -> Result<UpdateResponse, ServiceError> {
+        self.update_round_trip(request, Some(budget))
+    }
+
+    fn full_hashes_batch_within(
+        &self,
+        requests: &[FullHashRequest],
+        budget: &DeadlineBudget,
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        self.full_hashes_round_trip(requests, Some(budget))
     }
 }

@@ -19,8 +19,8 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use sb_protocol::{
-    FullHashRequest, FullHashResponse, SafeBrowsingService, ServiceError, UpdateRequest,
-    UpdateResponse,
+    DeadlineBudget, FullHashRequest, FullHashResponse, SafeBrowsingService, ServiceError,
+    UpdateRequest, UpdateResponse,
 };
 
 /// A handle to a Safe Browsing provider.
@@ -57,6 +57,46 @@ pub trait Transport: Send + Sync + std::fmt::Debug {
     fn full_hashes(&self, request: &FullHashRequest) -> Result<FullHashResponse, ServiceError> {
         sb_protocol::expect_single_response(self.full_hashes_batch(std::slice::from_ref(request))?)
     }
+
+    /// Performs a database-update round trip under an end-to-end
+    /// [`DeadlineBudget`].
+    ///
+    /// Budget-aware transports (the retry layer, the TCP transport) charge
+    /// the time they consume against the budget and refuse to start work
+    /// once it is exhausted; the default implementation ignores the budget
+    /// and delegates, so every existing [`Transport`] keeps compiling and
+    /// simply opts out.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServiceError`] from the provider or the path to it; a
+    /// retryable [`ServiceError::Unavailable`] when the budget is already
+    /// spent (for budget-aware implementations).
+    fn update_within(
+        &self,
+        request: &UpdateRequest,
+        budget: &DeadlineBudget,
+    ) -> Result<UpdateResponse, ServiceError> {
+        let _ = budget;
+        self.update(request)
+    }
+
+    /// Performs one full-hash round trip carrying a batch of requests
+    /// under an end-to-end [`DeadlineBudget`]; see [`Self::update_within`]
+    /// for the budget contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::full_hashes_batch`], plus budget exhaustion for
+    /// budget-aware implementations.
+    fn full_hashes_batch_within(
+        &self,
+        requests: &[FullHashRequest],
+        budget: &DeadlineBudget,
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        let _ = budget;
+        self.full_hashes_batch(requests)
+    }
 }
 
 /// Shared transports are transports: cloning the `Arc` lets a test or
@@ -72,6 +112,24 @@ impl<T: Transport + ?Sized> Transport for Arc<T> {
         requests: &[FullHashRequest],
     ) -> Result<Vec<FullHashResponse>, ServiceError> {
         (**self).full_hashes_batch(requests)
+    }
+
+    // The budget-aware methods must forward explicitly — the defaults
+    // would silently strip the budget from the wrapped transport.
+    fn update_within(
+        &self,
+        request: &UpdateRequest,
+        budget: &DeadlineBudget,
+    ) -> Result<UpdateResponse, ServiceError> {
+        (**self).update_within(request, budget)
+    }
+
+    fn full_hashes_batch_within(
+        &self,
+        requests: &[FullHashRequest],
+        budget: &DeadlineBudget,
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        (**self).full_hashes_batch_within(requests, budget)
     }
 }
 
@@ -263,8 +321,11 @@ impl SimulatedTransport {
     }
 }
 
-impl Transport for SimulatedTransport {
-    fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+impl SimulatedTransport {
+    /// Runs the fault plan for one update round trip; `Err` is the
+    /// injected fault, `Ok(())` means the call may proceed to the inner
+    /// transport.
+    fn update_preamble(&self) -> Result<(), ServiceError> {
         let fault = {
             let mut state = self.state();
             state.stats.update_calls += 1;
@@ -277,13 +338,11 @@ impl Transport for SimulatedTransport {
             self.state().stats.faults_injected += 1;
             return Err(error);
         }
-        self.inner.update(request)
+        Ok(())
     }
 
-    fn full_hashes_batch(
-        &self,
-        requests: &[FullHashRequest],
-    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+    /// The full-hash counterpart of [`Self::update_preamble`].
+    fn full_hash_preamble(&self) -> Result<(), ServiceError> {
         let fault = {
             let mut state = self.state();
             state.stats.full_hash_calls += 1;
@@ -296,7 +355,45 @@ impl Transport for SimulatedTransport {
             self.state().stats.faults_injected += 1;
             return Err(error);
         }
+        Ok(())
+    }
+}
+
+impl Transport for SimulatedTransport {
+    fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+        self.update_preamble()?;
+        self.inner.update(request)
+    }
+
+    fn full_hashes_batch(
+        &self,
+        requests: &[FullHashRequest],
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        self.full_hash_preamble()?;
         let responses = self.inner.full_hashes_batch(requests)?;
+        self.state().stats.full_hash_requests_carried += requests.len();
+        Ok(responses)
+    }
+
+    // A decorator forwards the budget; injected faults and simulated
+    // latency do not charge it (they model the *provider's* behaviour, not
+    // time this process spent).
+    fn update_within(
+        &self,
+        request: &UpdateRequest,
+        budget: &DeadlineBudget,
+    ) -> Result<UpdateResponse, ServiceError> {
+        self.update_preamble()?;
+        self.inner.update_within(request, budget)
+    }
+
+    fn full_hashes_batch_within(
+        &self,
+        requests: &[FullHashRequest],
+        budget: &DeadlineBudget,
+    ) -> Result<Vec<FullHashResponse>, ServiceError> {
+        self.full_hash_preamble()?;
+        let responses = self.inner.full_hashes_batch_within(requests, budget)?;
         self.state().stats.full_hash_requests_carried += requests.len();
         Ok(responses)
     }

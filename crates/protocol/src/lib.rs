@@ -22,15 +22,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod category;
 mod chunk;
+mod clock;
 mod cookie;
 mod lists;
 mod messages;
 mod ranges;
 
+pub use budget::{DeadlineBudget, MIN_IO_TIMEOUT};
 pub use category::{Provider, ThreatCategory};
 pub use chunk::{Chunk, ChunkKind, MixedPrefixLengths};
+pub use clock::{Clock, SystemClock, VirtualClock};
 pub use cookie::ClientCookie;
 pub use lists::{google_lists, lists_for, yandex_lists, ListDescriptor, ListName};
 pub use messages::{

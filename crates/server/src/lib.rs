@@ -17,7 +17,11 @@
 //! move.  [`TcpServingTier`] puts real sockets in front of any of these
 //! services — a listener, a fixed worker pool, per-connection framing via
 //! `sb-wire`, and wire-level counters ([`WireStats`]) — so the same
-//! experiments also run over genuine kernel round trips.
+//! experiments also run over genuine kernel round trips.  For chaos
+//! testing, [`ChaosProxy`] interposes between a client transport and the
+//! tier, injecting deterministic wire faults (latency, resets mid-frame,
+//! corruption, blackholes, slow-drip reads) from a seeded or scripted
+//! [`ChaosSchedule`].
 //!
 //! ## Example
 //!
@@ -40,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod blacklist;
+mod chaos;
 mod journal;
 mod log;
 mod observe;
@@ -48,11 +53,12 @@ mod sharded;
 mod tcp;
 
 pub use blacklist::{Blacklist, PrefixDigestHistogram};
+pub use chaos::{ChaosProxy, ChaosSchedule, ChaosStats, Fault};
 pub use journal::{ChunkJournal, JournalStats, DEFAULT_AUTO_COMPACT_ABOVE};
 pub use log::{LoggedRequest, QueryLog};
 pub use observe::{ObservationLog, ObservedRequest, ObservingService};
 pub use server::{SafeBrowsingServer, ServerError, DEFAULT_NEXT_UPDATE_SECONDS};
-pub use sharded::{FleetStats, ShardHandle, ShardService, ShardedProvider};
+pub use sharded::{FleetStats, HealthPolicy, ShardHandle, ShardService, ShardedProvider};
 pub use tcp::{DynService, TcpServingTier, TierConfig, WireStats};
 
 #[cfg(test)]

@@ -18,12 +18,22 @@
 //! browsers take when a full-hash fetch fails.  Deterministic rejections
 //! (malformed request, unknown list) and whole-fleet outages still surface
 //! as the [`ServiceError`] a single provider would return.
+//!
+//! With a [`HealthPolicy`] installed ([`ShardedProvider::with_health_policy`];
+//! off by default) the fleet also *remembers* how shards behave: a shard
+//! that fails consecutively (or answers slower than the policy's latency
+//! threshold) is **quarantined** — its requests fail open immediately,
+//! without paying the failing call — until the quarantine period elapses,
+//! at which point the next batch touching it becomes a *probe* that either
+//! reinstates the shard or re-arms the quarantine.  All of it is
+//! deterministic over an injectable [`Clock`].
 
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use sb_protocol::{
-    FullHashRequest, FullHashResponse, SafeBrowsingService, ServiceError, UpdateRequest,
-    UpdateResponse,
+    Clock, FullHashRequest, FullHashResponse, SafeBrowsingService, ServiceError, SystemClock,
+    UpdateRequest, UpdateResponse,
 };
 
 /// The bound a [`ShardedProvider`] shard must satisfy: a thread-safe,
@@ -51,6 +61,73 @@ pub struct FleetStats {
     /// Update exchanges that succeeded only after failing over past at
     /// least one unavailable shard.
     pub update_failovers: usize,
+    /// Healthy→quarantined transitions (requires a [`HealthPolicy`]).
+    pub quarantines: usize,
+    /// Quarantined→healthy transitions after a successful probe.
+    pub reinstatements: usize,
+    /// Batches that probed a quarantined shard whose quarantine period had
+    /// elapsed.
+    pub probes: usize,
+    /// Requests that failed open (empty response) without touching their
+    /// shard because it was quarantined.
+    pub quarantined_skips: usize,
+    /// Shard calls that succeeded but breached the policy's latency
+    /// threshold (each counts toward that shard's consecutive failures).
+    pub slow_responses: usize,
+}
+
+/// When and how a [`ShardedProvider`] quarantines misbehaving shards.
+/// Installed via [`ShardedProvider::with_health_policy`]; without one the
+/// fleet keeps the stateless degrade-per-batch behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Consecutive failure events (retryable errors or over-latency
+    /// responses) that quarantine a shard.
+    pub failure_threshold: usize,
+    /// A successful response slower than this counts as a failure event
+    /// (`None` disables latency tracking).
+    pub latency_threshold: Option<Duration>,
+    /// How long a quarantined shard sits out before a batch probes it.
+    pub quarantine_period: Duration,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            failure_threshold: 3,
+            latency_threshold: None,
+            quarantine_period: Duration::from_secs(30),
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// Sets the consecutive-failure threshold (clamped to at least 1).
+    pub fn with_failure_threshold(mut self, threshold: usize) -> Self {
+        self.failure_threshold = threshold.max(1);
+        self
+    }
+
+    /// Treats successful responses slower than `threshold` as failure
+    /// events.
+    pub fn with_latency_threshold(mut self, threshold: Duration) -> Self {
+        self.latency_threshold = Some(threshold);
+        self
+    }
+
+    /// Sets how long a quarantined shard sits out before being probed.
+    pub fn with_quarantine_period(mut self, period: Duration) -> Self {
+        self.quarantine_period = period;
+        self
+    }
+}
+
+/// Per-shard health memory (only consulted when a policy is installed).
+#[derive(Debug, Clone, Default)]
+struct ShardHealth {
+    consecutive_failures: usize,
+    /// `Some(clock reading)` while quarantined.
+    quarantined_since: Option<Duration>,
 }
 
 /// An N-shard Safe Browsing provider fleet.
@@ -90,6 +167,9 @@ pub struct FleetStats {
 pub struct ShardedProvider {
     shards: Vec<ShardHandle>,
     stats: Mutex<FleetStats>,
+    health_policy: Option<HealthPolicy>,
+    health: Mutex<Vec<ShardHealth>>,
+    clock: Box<dyn Clock>,
 }
 
 impl ShardedProvider {
@@ -109,10 +189,46 @@ impl ShardedProvider {
             shard_failures: vec![0; shards.len()],
             ..FleetStats::default()
         };
+        let health = vec![ShardHealth::default(); shards.len()];
         ShardedProvider {
             shards,
             stats: Mutex::new(stats),
+            health_policy: None,
+            health: Mutex::new(health),
+            clock: Box::new(SystemClock),
         }
+    }
+
+    /// Installs a [`HealthPolicy`]: the fleet starts tracking per-shard
+    /// consecutive failures (and, if configured, latency), quarantining
+    /// shards that breach the policy and probing them back in after the
+    /// quarantine period.
+    pub fn with_health_policy(mut self, policy: HealthPolicy) -> Self {
+        self.health_policy = Some(policy);
+        self
+    }
+
+    /// Replaces the clock the health machinery measures time with —
+    /// inject a `VirtualClock` for deterministic quarantine tests.
+    pub fn with_clock(mut self, clock: impl Clock + 'static) -> Self {
+        self.clock = Box::new(clock);
+        self
+    }
+
+    /// The installed health policy, if any.
+    pub fn health_policy(&self) -> Option<&HealthPolicy> {
+        self.health_policy.as_ref()
+    }
+
+    /// Indices of the shards currently quarantined (always empty without a
+    /// [`HealthPolicy`]).
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        self.lock_health()
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.quarantined_since.is_some())
+            .map(|(index, _)| index)
+            .collect()
     }
 
     /// Number of shards in the fleet.
@@ -147,19 +263,73 @@ impl ShardedProvider {
     fn lock_stats(&self) -> std::sync::MutexGuard<'_, FleetStats> {
         self.stats.lock().expect("fleet stats lock poisoned")
     }
+
+    fn lock_health(&self) -> std::sync::MutexGuard<'_, Vec<ShardHealth>> {
+        self.health.lock().expect("fleet health lock poisoned")
+    }
+
+    /// Records one health event for `shard` and applies the policy's
+    /// quarantine/reinstatement transitions.  `healthy` means the call
+    /// succeeded within the latency threshold.  No-op without a policy.
+    fn note_shard_outcome(&self, shard: usize, healthy: bool) {
+        let Some(policy) = &self.health_policy else {
+            return;
+        };
+        let now = self.clock.now();
+        // Compute transitions under the health lock, bump counters after
+        // releasing it (stats and health locks are never held together).
+        let (quarantined, reinstated) = {
+            let mut health = self.lock_health();
+            let entry = &mut health[shard];
+            if healthy {
+                entry.consecutive_failures = 0;
+                (false, entry.quarantined_since.take().is_some())
+            } else {
+                entry.consecutive_failures += 1;
+                if entry.quarantined_since.is_some() {
+                    // A failed probe re-arms the quarantine; it is not a
+                    // new healthy→quarantined transition.
+                    entry.quarantined_since = Some(now);
+                    (false, false)
+                } else if entry.consecutive_failures >= policy.failure_threshold {
+                    entry.quarantined_since = Some(now);
+                    (true, false)
+                } else {
+                    (false, false)
+                }
+            }
+        };
+        if quarantined {
+            self.lock_stats().quarantines += 1;
+        }
+        if reinstated {
+            self.lock_stats().reinstatements += 1;
+        }
+    }
 }
 
 impl SafeBrowsingService for ShardedProvider {
-    /// Updates fail over: shards are tried in index order and the first
-    /// healthy one serves the exchange.  A non-retryable rejection is
-    /// returned immediately (replicas reject deterministically alike); if
-    /// every shard is unavailable, the last error surfaces.
+    /// Updates fail over: shards are tried in index order — with a
+    /// [`HealthPolicy`] installed, non-quarantined shards first, so a
+    /// known-bad replica is only asked once every healthy one has failed —
+    /// and the first healthy one serves the exchange.  A non-retryable
+    /// rejection is returned immediately (replicas reject
+    /// deterministically alike); if every shard is unavailable, the last
+    /// error surfaces.
     fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+        let order: Vec<usize> = if self.health_policy.is_some() {
+            let health = self.lock_health();
+            let (healthy, quarantined): (Vec<usize>, Vec<usize>) =
+                (0..self.shards.len()).partition(|&i| health[i].quarantined_since.is_none());
+            healthy.into_iter().chain(quarantined).collect()
+        } else {
+            (0..self.shards.len()).collect()
+        };
         let mut last_error = None;
-        for (index, shard) in self.shards.iter().enumerate() {
-            match shard.update(request) {
+        for (position, &index) in order.iter().enumerate() {
+            match self.shards[index].update(request) {
                 Ok(response) => {
-                    if index > 0 {
+                    if position > 0 {
                         self.lock_stats().update_failovers += 1;
                     }
                     return Ok(response);
@@ -219,32 +389,76 @@ impl SafeBrowsingService for ShardedProvider {
             }
         }
 
-        // Fan out: one worker per shard with work.  A single touched shard
-        // (single-shard fleet, or — the per-lookup common case — a batch
-        // whose requests all share one owner) resolves on the calling
-        // thread straight from `requests`, no sub-batch clones.
         let touched: Vec<usize> = (0..self.shards.len())
             .filter(|&s| !slots_of[s].is_empty())
             .collect();
-        let mut results: Vec<Option<Result<Vec<FullHashResponse>, ServiceError>>> =
-            (0..self.shards.len()).map(|_| None).collect();
-        if let [only] = touched[..] {
-            results[only] = Some(self.shards[only].full_hashes_batch(requests));
+
+        // Health gate: quarantined shards whose period has not elapsed are
+        // skipped outright (their requests fail open without paying the
+        // call); ones whose period has elapsed are probed by this batch.
+        let mut attempted: Vec<usize> = Vec::with_capacity(touched.len());
+        let mut skipped: Vec<usize> = Vec::new();
+        if let Some(policy) = &self.health_policy {
+            let now = self.clock.now();
+            let mut probes = 0usize;
+            {
+                let health = self.lock_health();
+                for &shard in &touched {
+                    match health[shard].quarantined_since {
+                        Some(since) if now.saturating_sub(since) < policy.quarantine_period => {
+                            skipped.push(shard);
+                        }
+                        Some(_) => {
+                            probes += 1;
+                            attempted.push(shard);
+                        }
+                        None => attempted.push(shard),
+                    }
+                }
+            }
+            if probes > 0 {
+                self.lock_stats().probes += probes;
+            }
+            if attempted.is_empty() {
+                // Every shard this batch needs is sitting out a quarantine:
+                // the fleet is down for this client right now, and a retry
+                // layer should react rather than trust all-empty verdicts.
+                return Err(ServiceError::Unavailable {
+                    reason: format!(
+                        "all {} shard(s) touched by this batch are quarantined",
+                        touched.len()
+                    ),
+                });
+            }
+        } else {
+            attempted.clone_from(&touched);
+        }
+
+        // Fan out: one worker per shard with work, each call timed for the
+        // latency-threshold policy.  A single attempted shard (single-shard
+        // fleet, or — the per-lookup common case — a batch whose requests
+        // all share one owner) resolves on the calling thread straight
+        // from `requests`, no sub-batch clones.
+        let timed_call = |shard: usize, batch: &[FullHashRequest]| {
+            let started = self.clock.now();
+            let result = self.shards[shard].full_hashes_batch(batch);
+            (result, self.clock.now().saturating_sub(started))
+        };
+        type TimedResult = (Result<Vec<FullHashResponse>, ServiceError>, Duration);
+        let mut results: Vec<Option<TimedResult>> = (0..self.shards.len()).map(|_| None).collect();
+        if let ([only], true) = (&attempted[..], touched.len() == 1) {
+            results[*only] = Some(timed_call(*only, requests));
         } else {
             let sub_batches: Vec<Vec<FullHashRequest>> = slots_of
                 .iter()
                 .map(|slots| slots.iter().map(|&slot| requests[slot].clone()).collect())
                 .collect();
             std::thread::scope(|scope| {
-                let handles: Vec<(usize, _)> = touched
+                let handles: Vec<(usize, _)> = attempted
                     .iter()
                     .map(|&shard| {
-                        let handle = &self.shards[shard];
                         let sub_batch = &sub_batches[shard];
-                        (
-                            shard,
-                            scope.spawn(move || handle.full_hashes_batch(sub_batch)),
-                        )
+                        (shard, scope.spawn(move || timed_call(shard, sub_batch)))
                     })
                     .collect();
                 for (shard, handle) in handles {
@@ -261,8 +475,14 @@ impl SafeBrowsingService for ShardedProvider {
         let mut first_retryable: Option<ServiceError> = None;
         let mut failed_shards = 0usize;
         let mut degraded = 0usize;
-        for &shard in &touched {
-            match results[shard].take().expect("touched shard has a result") {
+        let mut quarantine_skips = 0usize;
+        for &shard in &skipped {
+            // Fail open, like a degraded shard, but without the failed call.
+            quarantine_skips += slots_of[shard].len();
+        }
+        for &shard in &attempted {
+            let (result, elapsed) = results[shard].take().expect("attempted shard has a result");
+            match result {
                 Ok(sub_responses) => {
                     // Enforce the one-response-per-request contract per
                     // shard (the fleet analogue of
@@ -282,11 +502,23 @@ impl SafeBrowsingService for ShardedProvider {
                     for (&slot, response) in slots_of[shard].iter().zip(sub_responses) {
                         responses[slot] = response;
                     }
+                    let slow = self
+                        .health_policy
+                        .as_ref()
+                        .and_then(|policy| policy.latency_threshold)
+                        .is_some_and(|threshold| elapsed > threshold);
+                    if slow {
+                        self.lock_stats().slow_responses += 1;
+                    }
+                    // A successful-but-slow answer is still used, but it
+                    // counts against the shard's health.
+                    self.note_shard_outcome(shard, !slow);
                 }
                 Err(error) if error.is_retryable() => {
                     failed_shards += 1;
                     degraded += slots_of[shard].len();
                     self.lock_stats().shard_failures[shard] += 1;
+                    self.note_shard_outcome(shard, false);
                     if first_retryable.is_none() {
                         first_retryable = Some(error);
                     }
@@ -296,11 +528,16 @@ impl SafeBrowsingService for ShardedProvider {
                 Err(error) => return Err(error),
             }
         }
-        if failed_shards == touched.len() {
-            // The whole fleet (as seen by this batch) is down.
-            return Err(first_retryable.expect("all touched shards failed"));
+        if failed_shards == attempted.len() {
+            // Every shard actually asked failed retryably: the whole fleet
+            // (as seen by this batch) is down.
+            return Err(first_retryable.expect("all attempted shards failed"));
         }
-        self.lock_stats().degraded_requests += degraded;
+        {
+            let mut stats = self.lock_stats();
+            stats.degraded_requests += degraded;
+            stats.quarantined_skips += quarantine_skips;
+        }
         Ok(responses)
     }
 }
@@ -502,5 +739,260 @@ mod tests {
             .full_hashes_batch(&[FullHashRequest::new(vec![digest.prefix32()])])
             .unwrap();
         assert!(responses[0].contains_digest(&digest));
+    }
+
+    use sb_protocol::VirtualClock;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    /// A shard that fails retryably while `down` is set, counting every
+    /// call it actually receives.
+    #[derive(Debug)]
+    struct FlakyShard {
+        inner: Arc<SafeBrowsingServer>,
+        down: AtomicBool,
+        batch_calls: AtomicUsize,
+        update_calls: AtomicUsize,
+    }
+
+    impl FlakyShard {
+        fn over(inner: Arc<SafeBrowsingServer>, down: bool) -> Arc<Self> {
+            Arc::new(FlakyShard {
+                inner,
+                down: AtomicBool::new(down),
+                batch_calls: AtomicUsize::new(0),
+                update_calls: AtomicUsize::new(0),
+            })
+        }
+    }
+
+    impl SafeBrowsingService for FlakyShard {
+        fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+            self.update_calls.fetch_add(1, Ordering::SeqCst);
+            if self.down.load(Ordering::SeqCst) {
+                return Err(ServiceError::Unavailable {
+                    reason: "shard down".into(),
+                });
+            }
+            self.inner.update(request)
+        }
+
+        fn full_hashes_batch(
+            &self,
+            requests: &[FullHashRequest],
+        ) -> Result<Vec<FullHashResponse>, ServiceError> {
+            self.batch_calls.fetch_add(1, Ordering::SeqCst);
+            if self.down.load(Ordering::SeqCst) {
+                return Err(ServiceError::Unavailable {
+                    reason: "shard down".into(),
+                });
+            }
+            self.inner.full_hashes_batch(requests)
+        }
+    }
+
+    /// A request owned by shard 0 of a 2-shard fleet (lead byte 0x00).
+    fn low_request() -> FullHashRequest {
+        FullHashRequest::new(vec![Prefix::from_u32(u32::from_be_bytes([0x00, 1, 2, 3]))])
+    }
+
+    /// A request owned by shard 1 of a 2-shard fleet (lead byte 0xFF).
+    fn high_request() -> FullHashRequest {
+        FullHashRequest::new(vec![Prefix::from_u32(u32::from_be_bytes([0xFF, 1, 2, 3]))])
+    }
+
+    #[test]
+    fn consecutive_failures_quarantine_a_shard_and_a_probe_reinstates_it() {
+        let backend = backend();
+        let flaky = FlakyShard::over(backend.clone(), true);
+        let clock = Arc::new(VirtualClock::new());
+        let fleet = ShardedProvider::new(vec![flaky.clone() as ShardHandle, backend.clone()])
+            .with_health_policy(
+                HealthPolicy::default()
+                    .with_failure_threshold(2)
+                    .with_quarantine_period(Duration::from_secs(10)),
+            )
+            .with_clock(clock.clone());
+
+        // Two failing batches reach the threshold; shard 1 keeps answering,
+        // so these batches degrade instead of erroring.
+        for _ in 0..2 {
+            fleet
+                .full_hashes_batch(&[low_request(), high_request()])
+                .unwrap();
+        }
+        assert_eq!(fleet.quarantined_shards(), vec![0]);
+        assert_eq!(fleet.stats().quarantines, 1);
+        let calls_at_quarantine = flaky.batch_calls.load(Ordering::SeqCst);
+
+        // Inside the quarantine period the shard is skipped entirely: its
+        // requests fail open without the call being paid.
+        fleet
+            .full_hashes_batch(&[low_request(), high_request()])
+            .unwrap();
+        assert_eq!(
+            flaky.batch_calls.load(Ordering::SeqCst),
+            calls_at_quarantine
+        );
+        assert_eq!(fleet.stats().quarantined_skips, 1);
+
+        // After the period the next batch probes it; recovered, it is
+        // reinstated.
+        flaky.down.store(false, Ordering::SeqCst);
+        clock.sleep(Duration::from_secs(10));
+        fleet
+            .full_hashes_batch(&[low_request(), high_request()])
+            .unwrap();
+        assert!(fleet.quarantined_shards().is_empty());
+        let stats = fleet.stats();
+        assert_eq!(stats.probes, 1);
+        assert_eq!(stats.reinstatements, 1);
+        assert!(flaky.batch_calls.load(Ordering::SeqCst) > calls_at_quarantine);
+    }
+
+    #[test]
+    fn a_failed_probe_rearms_the_quarantine() {
+        let backend = backend();
+        let flaky = FlakyShard::over(backend.clone(), true);
+        let clock = Arc::new(VirtualClock::new());
+        let fleet = ShardedProvider::new(vec![flaky.clone() as ShardHandle, backend.clone()])
+            .with_health_policy(
+                HealthPolicy::default()
+                    .with_failure_threshold(1)
+                    .with_quarantine_period(Duration::from_secs(10)),
+            )
+            .with_clock(clock.clone());
+
+        fleet
+            .full_hashes_batch(&[low_request(), high_request()])
+            .unwrap();
+        assert_eq!(fleet.quarantined_shards(), vec![0]);
+
+        // Probe fails: still quarantined, and not a second quarantine
+        // transition (nor a reinstatement).
+        clock.sleep(Duration::from_secs(10));
+        fleet
+            .full_hashes_batch(&[low_request(), high_request()])
+            .unwrap();
+        assert_eq!(fleet.quarantined_shards(), vec![0]);
+        let stats = fleet.stats();
+        assert_eq!(stats.probes, 1);
+        assert_eq!(stats.quarantines, 1);
+        assert_eq!(stats.reinstatements, 0);
+    }
+
+    #[test]
+    fn a_batch_touching_only_quarantined_shards_is_a_fleet_outage() {
+        let backend = backend();
+        let flaky = FlakyShard::over(backend.clone(), true);
+        let fleet = ShardedProvider::new(vec![flaky.clone() as ShardHandle, backend.clone()])
+            .with_health_policy(HealthPolicy::default().with_failure_threshold(1))
+            .with_clock(VirtualClock::new());
+
+        fleet
+            .full_hashes_batch(&[low_request(), high_request()])
+            .unwrap();
+        assert_eq!(fleet.quarantined_shards(), vec![0]);
+        let calls = flaky.batch_calls.load(Ordering::SeqCst);
+
+        // Only the quarantined shard is touched: all-empty verdicts would
+        // be a lie, so the batch surfaces a retryable outage instead —
+        // without paying the call.
+        let err = fleet.full_hashes_batch(&[low_request()]).unwrap_err();
+        assert!(err.is_retryable());
+        assert_eq!(flaky.batch_calls.load(Ordering::SeqCst), calls);
+    }
+
+    #[test]
+    fn slow_responses_count_toward_quarantine() {
+        /// A shard that answers correctly but sleeps on the shared clock
+        /// first.
+        #[derive(Debug)]
+        struct SlowShard {
+            inner: Arc<SafeBrowsingServer>,
+            clock: Arc<VirtualClock>,
+            delay: Duration,
+        }
+        impl SafeBrowsingService for SlowShard {
+            fn update(&self, request: &UpdateRequest) -> Result<UpdateResponse, ServiceError> {
+                self.inner.update(request)
+            }
+            fn full_hashes_batch(
+                &self,
+                requests: &[FullHashRequest],
+            ) -> Result<Vec<FullHashResponse>, ServiceError> {
+                self.clock.sleep(self.delay);
+                self.inner.full_hashes_batch(requests)
+            }
+        }
+
+        let backend = backend();
+        let clock = Arc::new(VirtualClock::new());
+        let slow = Arc::new(SlowShard {
+            inner: backend.clone(),
+            clock: clock.clone(),
+            delay: Duration::from_millis(500),
+        });
+        let fleet = ShardedProvider::new(vec![slow as ShardHandle, backend.clone()])
+            .with_health_policy(
+                HealthPolicy::default()
+                    .with_failure_threshold(1)
+                    .with_latency_threshold(Duration::from_millis(100)),
+            )
+            .with_clock(clock.clone());
+
+        // The slow answer is still served (fail-safe for the client), but
+        // it costs the shard its health.
+        fleet
+            .full_hashes_batch(&[low_request(), high_request()])
+            .unwrap();
+        let stats = fleet.stats();
+        assert_eq!(stats.slow_responses, 1);
+        assert_eq!(stats.quarantines, 1);
+        assert_eq!(fleet.quarantined_shards(), vec![0]);
+    }
+
+    #[test]
+    fn update_failover_prefers_non_quarantined_shards() {
+        let backend = backend();
+        backend
+            .blacklist_url("goog-malware-shavar", "http://evil.example/")
+            .unwrap();
+        let flaky = FlakyShard::over(backend.clone(), true);
+        let fleet = ShardedProvider::new(vec![flaky.clone() as ShardHandle, backend.clone()])
+            .with_health_policy(HealthPolicy::default().with_failure_threshold(1))
+            .with_clock(VirtualClock::new());
+
+        // Quarantine shard 0 via the full-hash path.
+        fleet
+            .full_hashes_batch(&[low_request(), high_request()])
+            .unwrap();
+        assert_eq!(fleet.quarantined_shards(), vec![0]);
+        let update_calls = flaky.update_calls.load(Ordering::SeqCst);
+
+        // The update goes straight to the healthy shard: the quarantined
+        // one is not even asked.
+        fleet
+            .update(&UpdateRequest {
+                lists: vec![("goog-malware-shavar".into(), ClientListState::default())],
+            })
+            .unwrap();
+        assert_eq!(flaky.update_calls.load(Ordering::SeqCst), update_calls);
+    }
+
+    #[test]
+    fn without_a_policy_no_health_state_accumulates() {
+        let backend = backend();
+        let flaky = FlakyShard::over(backend.clone(), true);
+        let fleet = ShardedProvider::new(vec![flaky.clone() as ShardHandle, backend.clone()]);
+        for _ in 0..5 {
+            fleet
+                .full_hashes_batch(&[low_request(), high_request()])
+                .unwrap();
+        }
+        assert!(fleet.quarantined_shards().is_empty());
+        let stats = fleet.stats();
+        assert_eq!(stats.quarantines, 0);
+        assert_eq!(stats.quarantined_skips, 0);
+        assert_eq!(stats.shard_failures, vec![5, 0]);
     }
 }

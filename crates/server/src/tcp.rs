@@ -99,6 +99,10 @@ pub struct WireStats {
     pub bytes_sent: u64,
     /// Frames rejected by the codec (hostile or corrupted input).
     pub protocol_errors: u64,
+    /// Frames whose payload failed its CRC — corruption in transit, not a
+    /// hostile peer, so these are answered with a *retryable* error frame
+    /// (counted here in addition to `protocol_errors`).
+    pub checksum_failures: u64,
 }
 
 #[derive(Default)]
@@ -110,6 +114,7 @@ struct AtomicWireStats {
     bytes_received: AtomicU64,
     bytes_sent: AtomicU64,
     protocol_errors: AtomicU64,
+    checksum_failures: AtomicU64,
 }
 
 impl AtomicWireStats {
@@ -122,6 +127,7 @@ impl AtomicWireStats {
             bytes_received: self.bytes_received.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -144,19 +150,18 @@ struct TierShared {
 /// use sb_server::{SafeBrowsingServer, TcpServingTier, TierConfig};
 /// use sb_wire::{read_message, write_message, Message};
 ///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
 /// server.create_list("goog-malware-shavar", ThreatCategory::Malware);
-/// let digest = server
-///     .blacklist_url("goog-malware-shavar", "http://evil.example/")
-///     .unwrap();
+/// let digest = server.blacklist_url("goog-malware-shavar", "http://evil.example/")?;
 ///
-/// let tier = TcpServingTier::bind(server, TierConfig::default()).unwrap();
-/// let mut conn = std::net::TcpStream::connect(tier.local_addr()).unwrap();
+/// let tier = TcpServingTier::bind(server, TierConfig::default())?;
+/// let mut conn = std::net::TcpStream::connect(tier.local_addr())?;
 /// let request = Message::FullHashRequests(vec![
 ///     FullHashRequest::new(vec![digest.prefix32()]),
 /// ]);
-/// write_message(&mut conn, &request).unwrap();
-/// let (reply, _) = read_message(&mut conn).unwrap();
+/// write_message(&mut conn, &request)?;
+/// let (reply, _) = read_message(&mut conn)?;
 /// match reply {
 ///     Message::FullHashResponses(responses) => {
 ///         assert!(responses[0].contains_digest(&digest));
@@ -164,6 +169,8 @@ struct TierShared {
 ///     other => panic!("unexpected {other:?}"),
 /// }
 /// tier.shutdown();
+/// # Ok(())
+/// # }
 /// ```
 pub struct TcpServingTier {
     shared: Arc<TierShared>,
@@ -190,7 +197,8 @@ impl TcpServingTier {
     ///
     /// # Errors
     ///
-    /// Any I/O error from binding the listener.
+    /// Any I/O error from binding the listener or spawning the tier's
+    /// threads (a partial pool is joined and released first).
     pub fn bind<S>(service: Arc<S>, config: TierConfig) -> std::io::Result<Self>
     where
         S: SafeBrowsingService + Send + Sync + 'static,
@@ -203,7 +211,8 @@ impl TcpServingTier {
     ///
     /// # Errors
     ///
-    /// Any I/O error from binding the listener.
+    /// Any I/O error from binding the listener or spawning the tier's
+    /// threads (a partial pool is joined and released first).
     pub fn bind_addr<S>(
         addr: impl ToSocketAddrs,
         service: Arc<S>,
@@ -222,7 +231,8 @@ impl TcpServingTier {
     ///
     /// # Errors
     ///
-    /// Any I/O error from binding the listener.
+    /// Any I/O error from binding the listener or spawning the tier's
+    /// threads (a partial pool is joined and released first).
     pub fn bind_per_connection(
         factory: impl Fn() -> DynService + Send + Sync + 'static,
         config: TierConfig,
@@ -255,23 +265,50 @@ impl TcpServingTier {
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(workers * 16);
         let rx = Arc::new(Mutex::new(rx));
 
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
-            .map(|i| {
+        // Thread spawning can fail (resource exhaustion); a tier that
+        // silently aborts mid-construction would leak the threads it did
+        // spawn.  Propagate the error after unwinding the partial pool:
+        // signalling stop and dropping `tx`/`rx` unblocks any worker
+        // already running, so the joins below cannot hang.
+        let mut worker_handles: Vec<JoinHandle<()>> = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let spawned = {
                 let shared = Arc::clone(&shared);
                 let rx = Arc::clone(&rx);
                 std::thread::Builder::new()
                     .name(format!("sb-tier-worker-{i}"))
                     .spawn(move || worker_loop(&shared, &rx))
-                    .expect("spawn tier worker")
-            })
-            .collect();
+            };
+            match spawned {
+                Ok(handle) => worker_handles.push(handle),
+                Err(e) => {
+                    shared.stop.store(true, Ordering::SeqCst);
+                    drop(tx);
+                    drop(rx);
+                    for handle in worker_handles {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
 
-        let accept_handle = {
+        let accept_spawned = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("sb-tier-accept".to_string())
                 .spawn(move || accept_loop(&shared, listener, tx))
-                .expect("spawn tier accept loop")
+        };
+        let accept_handle = match accept_spawned {
+            Ok(handle) => handle,
+            Err(e) => {
+                shared.stop.store(true, Ordering::SeqCst);
+                drop(rx);
+                for handle in worker_handles {
+                    let _ = handle.join();
+                }
+                return Err(e);
+            }
         };
 
         Ok(TcpServingTier {
@@ -362,7 +399,11 @@ fn accept_loop(shared: &TierShared, listener: TcpListener, tx: SyncSender<TcpStr
 fn worker_loop(shared: &TierShared, rx: &Mutex<Receiver<TcpStream>>) {
     loop {
         let next = {
-            let rx = rx.lock().expect("tier queue lock poisoned");
+            // A panic in a sibling worker poisons this lock; the receiver
+            // itself is still sound (its state is independent of whatever
+            // the panicking thread was doing), so recover it rather than
+            // cascading the panic across the whole pool.
+            let rx = rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
             rx.recv_timeout(shared.config.poll_interval)
         };
         match next {
@@ -470,8 +511,16 @@ fn read_request(
         .bytes_received
         .fetch_add((HEADER_LEN + payload.len()) as u64, Ordering::Relaxed);
     if crc32(&payload) != parsed.checksum {
-        return Err(ConnectionEnd::Protocol(ServiceError::MalformedRequest {
-            reason: "frame payload fails its checksum".into(),
+        // Corruption in transit, not a hostile peer: the same request
+        // resent over a fresh connection would likely succeed, so the
+        // error frame is *retryable* — the client's retry policy rides it
+        // out instead of failing the lookup.
+        shared
+            .stats
+            .checksum_failures
+            .fetch_add(1, Ordering::Relaxed);
+        return Err(ConnectionEnd::Protocol(ServiceError::Unavailable {
+            reason: "frame payload failed its checksum (corrupted in transit)".into(),
         }));
     }
     match decode_payload(parsed.frame_type, &payload) {

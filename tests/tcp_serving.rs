@@ -326,3 +326,64 @@ fn drop_releases_listener_and_port_deterministically() {
         .expect("drop must release the port for an immediate rebind");
     tier.shutdown();
 }
+
+/// The reconnect contract under a double failure: a dead pooled connection
+/// buys exactly **one** transparent reconnect; when the fresh connection
+/// also dies, the failure surfaces as a retryable `Unavailable` — and the
+/// dead connection is not returned to the pool.
+#[test]
+fn a_second_consecutive_failure_surfaces_after_one_reconnect() {
+    use safe_browsing_privacy::protocol::FullHashResponse;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || {
+        // Connection 1: serve exactly one exchange, then close — the
+        // pooled connection dies while idle.
+        let (mut conn, _) = listener.accept().unwrap();
+        let (request, _) = read_message(&mut conn).unwrap();
+        let replies = match request {
+            Message::FullHashRequests(requests) => requests
+                .iter()
+                .map(|_| FullHashResponse::default())
+                .collect(),
+            other => panic!("unexpected {other:?}"),
+        };
+        write_message(&mut conn, &Message::FullHashResponses(replies)).unwrap();
+        drop(conn);
+        // Connection 2 (the transparent reconnect): close it immediately,
+        // before any reply.
+        let (conn, _) = listener.accept().unwrap();
+        drop(conn);
+    });
+
+    let transport = TcpTransport::new(addr).unwrap();
+    let request = [FullHashRequest::new(vec![
+        safe_browsing_privacy::hash::digest_url("evil.example/").prefix32(),
+    ])];
+
+    // Exchange 1 succeeds and pools its connection.
+    transport.full_hashes_batch(&request).unwrap();
+    assert_eq!(transport.pooled_connections(), 1);
+
+    // Exchange 2: the reused connection is dead (one reconnect), and the
+    // fresh one dies too (surface the failure).
+    let err = transport.full_hashes_batch(&request).unwrap_err();
+    match &err {
+        ServiceError::Unavailable { reason } => assert!(
+            reason.contains("failed twice"),
+            "the double failure must be visible in the error: {reason}"
+        ),
+        other => panic!("expected Unavailable, got {other:?}"),
+    }
+    assert!(err.is_retryable(), "a dead server is a retryable condition");
+
+    let stats = transport.stats();
+    assert_eq!(stats.reconnects, 1, "exactly one transparent reconnect");
+    assert_eq!(
+        transport.pooled_connections(),
+        0,
+        "a connection that died mid-exchange must not return to the pool"
+    );
+    server_thread.join().unwrap();
+}
