@@ -11,6 +11,9 @@
 //!   prefixes back to candidate URLs and domains.
 //! * [`tracking`] — Algorithm 1 and the end-to-end tracking system
 //!   (Section 6.3).
+//! * [`population`] — fleet-scale aggregation of tracking outcomes:
+//!   per-mitigation tracker hit-rates across a simulated client
+//!   population (fed by `sb-sim`).
 //! * [`temporal`] — temporal correlation of single-prefix queries.
 //! * [`inversion`] — blacklist inversion with candidate dictionaries
 //!   (Section 7.1, Tables 9–10).
@@ -46,6 +49,7 @@ pub mod internet;
 pub mod inversion;
 pub mod multiprefix;
 pub mod orphans;
+pub mod population;
 pub mod reident;
 pub mod temporal;
 pub mod tracking;
@@ -63,6 +67,7 @@ pub use multiprefix::{
     find_multi_prefix_urls, find_multi_prefix_urls_in_lists, MultiPrefixReport, MultiPrefixUrl,
 };
 pub use orphans::{audit_orphans, OrphanAuditReport};
+pub use population::{ClientTrackingOutcome, CohortTracking, PopulationTracking};
 pub use reident::{IndexedUrl, Reidentification, ReidentificationIndex};
 pub use temporal::{PatternMatch, TemporalCorrelator, TemporalPattern};
 pub use tracking::{

@@ -1,0 +1,214 @@
+//! Population-level aggregation of tracking outcomes — the fleet view.
+//!
+//! The per-client machinery ([`TrackingSystem`](crate::tracking), the
+//! disclosure ledger) answers "was *this* client's visit detected?".  The
+//! paper's question is population-level: across a fleet of clients split
+//! over the mitigation shapers, **what fraction of the clients that
+//! actually visited a tracked page did the provider re-identify**?  That
+//! per-shaper tracker hit-rate is the number that ranks the mitigations,
+//! and it only becomes meaningful at fleet scale — which is why the fleet
+//! simulation (`sb-sim`) feeds its per-client outcomes through this
+//! module.
+//!
+//! The aggregation is deliberately decoupled from how the outcomes were
+//! produced: callers push one [`ClientTrackingOutcome`] per simulated
+//! client (visited or not, exposures found in its ledger or in the
+//! provider log) and read back per-cohort rates.
+
+use std::collections::BTreeMap;
+
+use crate::tracking::LedgerExposure;
+
+/// One simulated client's tracking outcome, as fed to
+/// [`PopulationTracking`].
+#[derive(Debug, Clone)]
+pub struct ClientTrackingOutcome {
+    /// The mitigation cohort (shaper label) the client belongs to.
+    pub shaper: String,
+    /// Whether the client actually visited a tracked target during the
+    /// run (ground truth, known to the simulation).
+    pub visited_target: bool,
+    /// The exposures the tracking system found for this client.
+    pub exposures: Vec<LedgerExposure>,
+}
+
+/// Aggregate tracking statistics for one mitigation cohort.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CohortTracking {
+    /// Clients in the cohort.
+    pub clients: usize,
+    /// Clients that actually visited a tracked target (ground truth).
+    pub visitors: usize,
+    /// Visitors the tracking system detected (≥ 1 exposure).
+    pub detected_visitors: usize,
+    /// Non-visitors the tracking system flagged anyway (false positives —
+    /// possible under prefix collisions or dummy traffic).
+    pub false_positives: usize,
+    /// Total exposures across the cohort.
+    pub exposures: usize,
+}
+
+impl CohortTracking {
+    /// Fraction of true visitors the provider re-identified (0.0 when the
+    /// cohort had no visitors).
+    pub fn hit_rate(&self) -> f64 {
+        if self.visitors == 0 {
+            0.0
+        } else {
+            self.detected_visitors as f64 / self.visitors as f64
+        }
+    }
+
+    /// Fraction of non-visitors flagged anyway (0.0 when everyone
+    /// visited).
+    pub fn false_positive_rate(&self) -> f64 {
+        let non_visitors = self.clients - self.visitors;
+        if non_visitors == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / non_visitors as f64
+        }
+    }
+}
+
+/// Population-level tracker hit-rates, accumulated per mitigation cohort.
+///
+/// # Examples
+///
+/// ```
+/// use sb_analysis::population::{ClientTrackingOutcome, PopulationTracking};
+/// use sb_analysis::tracking::{LedgerExposure, TrackingPrecision};
+///
+/// let mut population = PopulationTracking::new();
+/// population.record(ClientTrackingOutcome {
+///     shaper: "exact".into(),
+///     visited_target: true,
+///     exposures: vec![LedgerExposure {
+///         target: "https://tracked.example/page".into(),
+///         matched_prefixes: 2,
+///         precision: TrackingPrecision::ExactUrl,
+///     }],
+/// });
+/// population.record(ClientTrackingOutcome {
+///     shaper: "exact".into(),
+///     visited_target: true,
+///     exposures: Vec::new(), // visited, but the shaper hid it
+/// });
+/// let cohort = &population.cohorts()["exact"];
+/// assert_eq!(cohort.visitors, 2);
+/// assert_eq!(cohort.detected_visitors, 1);
+/// assert!((cohort.hit_rate() - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PopulationTracking {
+    cohorts: BTreeMap<String, CohortTracking>,
+}
+
+impl PopulationTracking {
+    /// An empty aggregation.
+    pub fn new() -> Self {
+        PopulationTracking::default()
+    }
+
+    /// Folds one client's outcome into its cohort.
+    pub fn record(&mut self, outcome: ClientTrackingOutcome) {
+        let cohort = self.cohorts.entry(outcome.shaper).or_default();
+        cohort.clients += 1;
+        let detected = !outcome.exposures.is_empty();
+        if outcome.visited_target {
+            cohort.visitors += 1;
+            if detected {
+                cohort.detected_visitors += 1;
+            }
+        } else if detected {
+            cohort.false_positives += 1;
+        }
+        cohort.exposures += outcome.exposures.len();
+    }
+
+    /// The per-cohort aggregates, keyed by shaper label (deterministic
+    /// iteration order — the summaries land in reproducible JSON).
+    pub fn cohorts(&self) -> &BTreeMap<String, CohortTracking> {
+        &self.cohorts
+    }
+
+    /// Total clients recorded across all cohorts.
+    pub fn clients(&self) -> usize {
+        self.cohorts.values().map(|c| c.clients).sum()
+    }
+
+    /// Total ground-truth visitors across all cohorts.
+    pub fn visitors(&self) -> usize {
+        self.cohorts.values().map(|c| c.visitors).sum()
+    }
+
+    /// Total detected visitors across all cohorts.
+    pub fn detected_visitors(&self) -> usize {
+        self.cohorts.values().map(|c| c.detected_visitors).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracking::TrackingPrecision;
+
+    fn exposure() -> LedgerExposure {
+        LedgerExposure {
+            target: "https://tracked.example/".into(),
+            matched_prefixes: 2,
+            precision: TrackingPrecision::ExactUrl,
+        }
+    }
+
+    fn outcome(shaper: &str, visited: bool, exposed: bool) -> ClientTrackingOutcome {
+        ClientTrackingOutcome {
+            shaper: shaper.into(),
+            visited_target: visited,
+            exposures: if exposed {
+                vec![exposure()]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    #[test]
+    fn rates_per_cohort() {
+        let mut population = PopulationTracking::new();
+        // exact: 3 clients, 2 visitors, both detected.
+        population.record(outcome("exact", true, true));
+        population.record(outcome("exact", true, true));
+        population.record(outcome("exact", false, false));
+        // padded: 2 visitors, none detected, one false positive.
+        population.record(outcome("padded", true, false));
+        population.record(outcome("padded", true, false));
+        population.record(outcome("padded", false, true));
+
+        let exact = &population.cohorts()["exact"];
+        assert_eq!(exact.clients, 3);
+        assert_eq!(exact.hit_rate(), 1.0);
+        assert_eq!(exact.false_positive_rate(), 0.0);
+
+        let padded = &population.cohorts()["padded"];
+        assert_eq!(padded.hit_rate(), 0.0);
+        assert_eq!(padded.false_positive_rate(), 1.0);
+        assert_eq!(padded.exposures, 1);
+
+        assert_eq!(population.clients(), 6);
+        assert_eq!(population.visitors(), 4);
+        assert_eq!(population.detected_visitors(), 2);
+    }
+
+    #[test]
+    fn empty_cohort_rates_are_zero_not_nan() {
+        let mut population = PopulationTracking::new();
+        population.record(outcome("exact", false, false));
+        let cohort = &population.cohorts()["exact"];
+        assert_eq!(cohort.hit_rate(), 0.0);
+        // All clients visited → no non-visitors → fp rate 0.
+        let mut all_visit = PopulationTracking::new();
+        all_visit.record(outcome("x", true, true));
+        assert_eq!(all_visit.cohorts()["x"].false_positive_rate(), 0.0);
+    }
+}

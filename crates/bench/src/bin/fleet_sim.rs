@@ -1,0 +1,115 @@
+//! Fleet-simulation driver — the `fleet_sim` scenario block of
+//! `BENCH_throughput.json`.
+//!
+//! Runs the `sb-sim` discrete-event fleet (10⁵ clients full, 10⁴ under
+//! `--smoke`) **twice** with the same seed to enforce the determinism
+//! contract (identical report and byte-identical JSON, trace digest
+//! included — the process exits non-zero otherwise), then once more with
+//! provider hint jitter enabled for the thundering-herd comparison, and
+//! splices the results into `BENCH_throughput.json` as a top-level
+//! `fleet_sim` block:
+//!
+//! * `smoke` — run size flag;
+//! * `determinism` — `runs`, `identical` (must be `true`), `trace_digest`;
+//! * `primary` — the full no-jitter [`FleetReport`](sb_sim::FleetReport)
+//!   (client/corpus shape, event counts, `failed_lookups`, provider QPS,
+//!   per-shard routing, per-epoch journal stats, the herd histogram and
+//!   the per-shaper `trackers` hit-rates);
+//! * `jitter_seconds` + `herd_with_jitter` — the same fleet re-run with
+//!   jittered `next_update_seconds` hints, herd histogram only (the knob
+//!   flattens `peak_after_boot` without changing exchange counts).
+//!
+//! Run: `cargo run --release -p sb-bench --bin fleet_sim` (or `--smoke`).
+//! Scale knobs: `SB_FLEET_CLIENTS` (client count override) and
+//! `SB_FLEET_OUT` (output path, default `BENCH_throughput.json`; created
+//! standalone if the throughput harness has not written it yet).
+
+use std::time::Instant;
+
+use sb_sim::{run_fleet, FleetConfig};
+
+/// Jitter bound for the herd-comparison run: half the base hint.
+const HERD_JITTER_SECONDS: u64 = 900;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut config = if smoke {
+        FleetConfig::smoke()
+    } else {
+        FleetConfig::full()
+    };
+    if let Ok(clients) = std::env::var("SB_FLEET_CLIENTS") {
+        config = config.with_clients(clients.parse().expect("SB_FLEET_CLIENTS: not a number"));
+    }
+    let out_path =
+        std::env::var("SB_FLEET_OUT").unwrap_or_else(|_| "BENCH_throughput.json".to_string());
+
+    eprintln!(
+        "fleet_sim: {} clients, {} shards, {}s horizon{}",
+        config.clients,
+        config.shards,
+        config.horizon.as_secs(),
+        if smoke { " (smoke)" } else { "" },
+    );
+
+    let start = Instant::now();
+    let primary = run_fleet(&config);
+    eprintln!(
+        "fleet_sim: primary run done in {:.1}s — {} events, {} lookups, {} update exchanges",
+        start.elapsed().as_secs_f64(),
+        primary.events,
+        primary.lookups,
+        primary.update_exchanges,
+    );
+
+    // The determinism contract is enforced on every run, not just asserted
+    // by the test suite: same seed must reproduce the report bit for bit.
+    let replay = run_fleet(&config);
+    let identical = primary == replay && primary.to_json(4) == replay.to_json(4);
+    if !identical {
+        eprintln!("fleet_sim: DETERMINISM VIOLATION — same-seed replay diverged");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "fleet_sim: same-seed replay identical (trace digest {:016x})",
+        primary.trace_digest
+    );
+
+    let jittered = run_fleet(&config.clone().with_hint_jitter(HERD_JITTER_SECONDS));
+    eprintln!(
+        "fleet_sim: herd peak after boot {} (fixed hint) vs {} (±{}s jitter)",
+        primary.herd.peak_after_boot, jittered.herd.peak_after_boot, HERD_JITTER_SECONDS,
+    );
+
+    let block = format!(
+        "{{\n    \"smoke\": {smoke},\n    \"determinism\": {{\"runs\": 2, \"identical\": true, \
+         \"trace_digest\": \"{:016x}\"}},\n    \"primary\": {},\n    \"jitter_seconds\": \
+         {HERD_JITTER_SECONDS},\n    \"herd_with_jitter\": {}\n  }}",
+        primary.trace_digest,
+        primary.to_json(4),
+        jittered.herd.to_json(4),
+    );
+
+    let json = splice(std::fs::read_to_string(&out_path).ok().as_deref(), &block);
+    std::fs::write(&out_path, &json).expect("write BENCH_throughput.json");
+    eprintln!("wrote fleet_sim block to {out_path}");
+}
+
+/// Splices the `fleet_sim` block into an existing `BENCH_throughput.json`
+/// (replacing any previous block — it is always the last top-level key),
+/// or produces a standalone document when the harness has not run yet.
+fn splice(existing: Option<&str>, block: &str) -> String {
+    let Some(existing) = existing else {
+        return format!("{{\n  \"fleet_sim\": {block}\n}}\n");
+    };
+    let trimmed = existing.trim_end();
+    let prefix = if let Some(at) = trimmed.find(",\n  \"fleet_sim\":") {
+        &trimmed[..at]
+    } else {
+        trimmed
+            .strip_suffix('}')
+            .expect("BENCH_throughput.json: not a JSON object")
+            .trim_end()
+    };
+    format!("{prefix},\n  \"fleet_sim\": {block}\n}}\n")
+}

@@ -115,7 +115,7 @@ struct BreakerInner {
 }
 
 /// A closed/open/half-open circuit breaker around any [`Transport`]; see
-/// the [module docs](self) for the state machine and composition rules.
+/// the module-level docs for the state machine and composition rules.
 ///
 /// # Examples
 ///

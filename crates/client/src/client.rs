@@ -303,6 +303,54 @@ impl SafeBrowsingClient {
         Self::new(config, InProcessTransport::new(service))
     }
 
+    /// Simulation-friendly construction: a client whose local database
+    /// *shares* a prebuilt query snapshot instead of owning a master
+    /// prefix copy (see [`LocalDatabase::shared_from_snapshot`]).
+    ///
+    /// The full client pipeline is real — canonicalization, decomposition,
+    /// local pass, shaper plan, disclosure ledger, metrics, protocol
+    /// updates with genuine per-list chunk state — but the marginal memory
+    /// cost per client is a few hundred bytes, which is what lets the
+    /// fleet simulation (`sb-sim`) run 10⁵–10⁶ clients in one process.
+    /// [`Self::update`] performs the real wire exchange and records held
+    /// chunk numbers; the snapshot itself advances only through
+    /// [`Self::rebind_shared_snapshot`], driven by whoever owns the
+    /// reference database.
+    pub fn with_shared_database(
+        config: ClientConfig,
+        snapshot: Arc<sb_store::GenerationalStore>,
+        transport: impl Transport + 'static,
+    ) -> Self {
+        let mut database =
+            LocalDatabase::shared_from_snapshot(config.backend, config.prefix_len, snapshot);
+        for list in &config.lists {
+            database.subscribe(list.clone());
+        }
+        SafeBrowsingClient {
+            config,
+            database,
+            cache: FullHashCache::new(),
+            metrics: ClientMetrics::default(),
+            transport: Box::new(transport),
+            ledger: DisclosureLedger::new(),
+            scratch: LookupScratch::default(),
+        }
+    }
+
+    /// Repoints a shared-database client at a newer donor snapshot and
+    /// clears the full-hash cache (the new snapshot may invalidate cached
+    /// digests, exactly like an applied update).  See
+    /// [`Self::with_shared_database`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the client owns its database (constructed via
+    /// [`Self::new`] and friends).
+    pub fn rebind_shared_snapshot(&mut self, snapshot: Arc<sb_store::GenerationalStore>) {
+        self.database.rebind_snapshot(snapshot);
+        self.cache.clear();
+    }
+
     /// Convenience: a client whose transport is wrapped in a
     /// [`RetryingTransport`](crate::RetryingTransport) with the given
     /// policy — provider back-off delays are honoured (bounded by the

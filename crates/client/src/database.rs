@@ -42,8 +42,12 @@ struct SnapshotCell {
 
 impl SnapshotCell {
     fn new(store: GenerationalStore) -> Self {
+        Self::from_arc(Arc::new(store))
+    }
+
+    fn from_arc(store: Arc<GenerationalStore>) -> Self {
         SnapshotCell {
-            store: RwLock::new(Arc::new(store)),
+            store: RwLock::new(store),
         }
     }
 
@@ -177,6 +181,12 @@ pub struct LocalDatabase {
     /// with any [`DatabaseReader`] handles.
     snapshot: Arc<SnapshotCell>,
     policy: OverlayPolicy,
+    /// Shared-snapshot mode (see [`Self::shared_from_snapshot`]): the
+    /// query snapshot is borrowed from a donor database, so
+    /// [`Self::apply_chunks`] tracks chunk *state* without materializing
+    /// prefix data — the fleet-simulation construction that lets 10⁵+
+    /// clients share one store.
+    shared: bool,
 }
 
 impl std::fmt::Debug for LocalDatabase {
@@ -216,7 +226,54 @@ impl LocalDatabase {
                 policy,
             ))),
             policy,
+            shared: false,
         }
+    }
+
+    /// A database that *shares* a prebuilt query snapshot instead of
+    /// owning a master prefix copy — the simulation-friendly construction.
+    ///
+    /// Lookups resolve against `snapshot` (typically taken from a
+    /// reference database via [`Self::snapshot`], an `Arc` clone).
+    /// [`Self::apply_chunks`] still runs full response hygiene and records
+    /// chunk numbers into the per-list [`ClientListState`] — so update
+    /// requests carry the real held-chunk state and the provider computes
+    /// real deltas — but prefix data is **not** materialized per client;
+    /// the owner of the donor snapshot is responsible for keeping it
+    /// current (see [`Self::rebind_snapshot`]).  This keeps the marginal
+    /// cost of one more simulated client to a few hundred bytes.
+    pub fn shared_from_snapshot(
+        backend: StoreBackend,
+        prefix_len: PrefixLen,
+        snapshot: Arc<GenerationalStore>,
+    ) -> Self {
+        let mut db = Self::new(backend, prefix_len);
+        db.snapshot = Arc::new(SnapshotCell::from_arc(snapshot));
+        db.shared = true;
+        db
+    }
+
+    /// True when this database shares a donor snapshot (see
+    /// [`Self::shared_from_snapshot`]).
+    pub fn is_shared(&self) -> bool {
+        self.shared
+    }
+
+    /// Repoints a shared database at a newer donor snapshot (an `Arc`
+    /// clone — no data is copied).  Existing [`DatabaseReader`] handles
+    /// observe the change atomically, exactly like an owned update.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on an owning database: the owner's snapshot is
+    /// derived from its master copy, and rebinding it would desynchronize
+    /// the two.
+    pub fn rebind_snapshot(&mut self, snapshot: Arc<GenerationalStore>) {
+        assert!(
+            self.shared,
+            "rebind_snapshot is only valid on a shared database"
+        );
+        self.snapshot.publish(snapshot);
     }
 
     /// Subscribes to a list (idempotent).
@@ -305,6 +362,22 @@ impl LocalDatabase {
         subs.sort_by(|a, b| (&a.list, a.number).cmp(&(&b.list, b.number)));
         adds.sort_by(|a, b| (&a.list, a.number).cmp(&(&b.list, b.number)));
 
+        // A shared database tracks chunk *state* only: the donor snapshot
+        // carries the data (see `shared_from_snapshot`), so recording the
+        // numbers keeps update requests honest while phases 3–4 — the
+        // per-client data cost — are skipped entirely.
+        if self.shared {
+            let mut applied = 0usize;
+            for chunk in subs.iter().chain(adds.iter()) {
+                self.states
+                    .get_mut(&chunk.list)
+                    .expect("subscription checked in phase 2")
+                    .record(chunk.kind, chunk.number);
+                applied += 1;
+            }
+            return Ok(applied);
+        }
+
         // ---- phase 3: mutate the master copy, tracking the union delta -----
         // `union_before` memoizes each touched prefix's union membership
         // *before* this response, so the net delta handed to the store is
@@ -379,9 +452,14 @@ impl LocalDatabase {
         self.snapshot.load()
     }
 
-    /// Number of distinct prefixes across all lists.
+    /// Number of distinct prefixes across all lists (for a shared
+    /// database: the donor snapshot's prefix count).
     pub fn prefix_count(&self) -> usize {
-        self.all_prefixes().len()
+        if self.shared {
+            self.snapshot.load().len()
+        } else {
+            self.all_prefixes().len()
+        }
     }
 
     /// Approximate memory used by the materialized query structure.

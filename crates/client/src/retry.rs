@@ -650,6 +650,36 @@ mod tests {
     }
 
     #[test]
+    fn a_zero_budget_stops_before_the_first_retry() {
+        let (_server, transport) = flaky();
+        transport.fail_every(
+            1,
+            ServiceError::Unavailable {
+                reason: "hard down".into(),
+            },
+        );
+        let policy = RetryPolicy::default().with_max_attempts(10);
+        let (clock, retrying) = retrying(transport, policy);
+        // Nothing left before the exchange even starts: the first attempt
+        // still runs (the inner layer reports the real error), but no
+        // backoff is slept and no retry follows.
+        let budget = DeadlineBudget::new(Duration::ZERO);
+        let err = retrying
+            .full_hashes_batch_within(
+                &[FullHashRequest::new(vec![prefix32("a.example/")])],
+                &budget,
+            )
+            .unwrap_err();
+        assert!(err.is_retryable(), "the underlying error surfaces");
+        let stats = retrying.stats();
+        assert_eq!(stats.attempts, 1, "exactly the first attempt ran");
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.budget_stops, 1);
+        assert_eq!(stats.exhausted, 0);
+        assert!(clock.sleeps().is_empty(), "no backoff was slept");
+    }
+
+    #[test]
     fn a_generous_budget_changes_nothing() {
         let (_server, transport) = flaky();
         transport.push_full_hash_fault(ServiceError::Unavailable {

@@ -425,3 +425,69 @@ impl Transport for TcpTransport {
         self.full_hashes_round_trip(requests, Some(budget))
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_protocol::MIN_IO_TIMEOUT;
+
+    /// A transport that is never connected: `new` only resolves the
+    /// address, so the discard port is fine for deadline arithmetic.
+    fn idle_transport() -> TcpTransport {
+        TcpTransport::new("127.0.0.1:9").expect("loopback address resolves")
+    }
+
+    #[test]
+    fn without_a_budget_the_configured_defaults_apply() {
+        let transport = idle_transport();
+        let (connect, io) = transport.attempt_deadlines(None).unwrap();
+        assert_eq!(connect, Duration::from_secs(5));
+        assert_eq!(io, Duration::from_secs(30));
+
+        let tuned =
+            idle_transport().with_timeouts(Duration::from_millis(250), Duration::from_millis(750));
+        let (connect, io) = tuned.attempt_deadlines(None).unwrap();
+        assert_eq!(connect, Duration::from_millis(250));
+        assert_eq!(io, Duration::from_millis(750));
+    }
+
+    #[test]
+    fn a_nearly_spent_budget_clamps_both_deadlines_to_the_floor() {
+        let transport = idle_transport();
+        // 800 ms budget with all but one nanosecond charged: not yet
+        // exhausted, so the attempt proceeds — but both deadlines clamp up
+        // to the 1 ms floor rather than collapsing to a sub-millisecond
+        // value the OS would reject.
+        let budget = DeadlineBudget::new(Duration::from_millis(800));
+        budget.charge(Duration::from_millis(800) - Duration::from_nanos(1));
+        assert!(!budget.is_exhausted());
+        let (connect, io) = transport.attempt_deadlines(Some(&budget)).unwrap();
+        assert_eq!(connect, MIN_IO_TIMEOUT);
+        assert_eq!(io, MIN_IO_TIMEOUT);
+    }
+
+    #[test]
+    fn an_exhausted_budget_refuses_the_attempt_retryably() {
+        let transport = idle_transport();
+        let budget = DeadlineBudget::new(Duration::from_millis(100));
+        budget.charge(Duration::from_millis(100));
+        let err = transport.attempt_deadlines(Some(&budget)).unwrap_err();
+        assert!(
+            matches!(err, ServiceError::Unavailable { .. }),
+            "expected Unavailable, got {err:?}"
+        );
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn a_partially_spent_budget_caps_only_the_larger_default() {
+        let transport = idle_transport();
+        let budget = DeadlineBudget::new(Duration::from_secs(10));
+        budget.charge(Duration::from_secs(4));
+        let (connect, io) = transport.attempt_deadlines(Some(&budget)).unwrap();
+        // 6 s remain: the 5 s connect default fits, the 30 s I/O default
+        // is capped down to what is left.
+        assert_eq!(connect, Duration::from_secs(5));
+        assert_eq!(io, Duration::from_secs(6));
+    }
+}

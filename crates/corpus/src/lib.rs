@@ -24,10 +24,12 @@
 
 mod corpus;
 mod powerlaw;
+mod profile;
 mod stats;
 
 pub use corpus::{CorpusConfig, HostDecompositions, HostSite, WebCorpus};
 pub use powerlaw::{fit_power_law, PowerLaw, PowerLawFit};
+pub use profile::{BrowsingProfile, ProfileSampler};
 pub use stats::{CorpusStats, HostStats};
 
 #[cfg(test)]

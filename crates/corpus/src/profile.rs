@@ -1,0 +1,201 @@
+//! Deterministic per-client browsing profiles over a [`WebCorpus`].
+//!
+//! The fleet simulation (`sb-sim`) needs each of its 10⁵–10⁶ simulated
+//! clients to browse *differently* but *reproducibly*: the same corpus,
+//! fleet seed and client id must always produce the same sequence of
+//! lookup batches, or the simulation's determinism contract (same seed ⇒
+//! identical event trace) falls apart.  [`ProfileSampler`] derives one
+//! [`BrowsingProfile`] per client id as a pure function of `(seed, id)`,
+//! and a profile derives each browsing session's URL batch as a pure
+//! function of `(profile, session index)` — no shared RNG stream exists
+//! anywhere, so profiles can be sampled lazily, in any order, from any
+//! thread, without changing a single draw.
+//!
+//! The shape follows the paper's corpus model: a client frequents a small
+//! set of favourite sites (heavy-tailed — most clients live on a handful
+//! of hosts, a few roam widely), and a session visits a burst of pages on
+//! those sites, the way one page load fans out into subresources.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{PowerLaw, WebCorpus};
+
+/// Derives deterministic per-client [`BrowsingProfile`]s from a fleet
+/// seed.
+///
+/// # Examples
+///
+/// ```
+/// use sb_corpus::{CorpusConfig, ProfileSampler, WebCorpus};
+///
+/// let corpus = WebCorpus::generate(&CorpusConfig::alexa_like(500, 42));
+/// let sampler = ProfileSampler::new(&corpus, 7);
+/// let profile = sampler.profile_for(123);
+/// // Pure function of (corpus, seed, id): resampling changes nothing.
+/// assert_eq!(profile, sampler.profile_for(123));
+/// let urls = profile.session_urls(&corpus, 0);
+/// assert!(!urls.is_empty());
+/// assert_eq!(urls, profile.session_urls(&corpus, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProfileSampler {
+    seed: u64,
+    sites: usize,
+    /// Heavy-tailed favourite-count distribution (α ≈ the paper's host-size
+    /// exponent; the exact value matters less than the tail shape).
+    favourites_law: PowerLaw,
+}
+
+impl ProfileSampler {
+    /// A sampler over `corpus` with the given fleet seed.
+    pub fn new(corpus: &WebCorpus, seed: u64) -> Self {
+        ProfileSampler {
+            seed,
+            sites: corpus.sites().len(),
+            favourites_law: PowerLaw::new(2.0, 24.0),
+        }
+    }
+
+    /// The deterministic profile of client `id`.
+    pub fn profile_for(&self, id: u64) -> BrowsingProfile {
+        let mut rng = StdRng::seed_from_u64(mix(self.seed, id));
+        let favourite_count = (self.favourites_law.sample(&mut rng) as usize).clamp(1, 16);
+        let mut favourites = Vec::with_capacity(favourite_count);
+        for _ in 0..favourite_count {
+            let site = rng.gen_range(0..self.sites);
+            if !favourites.contains(&site) {
+                favourites.push(site);
+            }
+        }
+        BrowsingProfile {
+            // Salt the session stream so it is independent of the
+            // favourite-selection stream above.
+            seed: mix(self.seed ^ 0x5e55_1045_a17e_d001, id),
+            favourites,
+        }
+    }
+}
+
+/// One simulated client's browsing behaviour: favourite sites plus a
+/// deterministic per-session URL draw.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BrowsingProfile {
+    seed: u64,
+    /// Indices into the corpus' site table, first entry = home site.
+    favourites: Vec<usize>,
+}
+
+impl BrowsingProfile {
+    /// The profile's favourite sites (indices into
+    /// [`WebCorpus::sites`]).
+    pub fn favourite_sites(&self) -> &[usize] {
+        &self.favourites
+    }
+
+    /// True when `site` (a corpus site index) is one of the favourites.
+    pub fn frequents(&self, site: usize) -> bool {
+        self.favourites.contains(&site)
+    }
+
+    /// The URL batch of browsing session `session` — a pure function of
+    /// `(profile, session)`, so sessions can be generated lazily and out
+    /// of order without perturbing each other.
+    ///
+    /// A session picks one favourite site and walks 2–9 of its pages (with
+    /// wraparound when the site is smaller), modelling a page load plus
+    /// the handful of same-site navigations that follow it.
+    pub fn session_urls<'c>(&self, corpus: &'c WebCorpus, session: u64) -> Vec<&'c str> {
+        let mut rng = StdRng::seed_from_u64(mix(self.seed, session));
+        let site_idx = self.favourites[rng.gen_range(0..self.favourites.len())];
+        let site = &corpus.sites()[site_idx];
+        let urls = site.urls();
+        let pages = rng.gen_range(2..10).min(urls.len().max(1));
+        let start = rng.gen_range(0..urls.len().max(1));
+        (0..pages)
+            .map(|i| urls[(start + i) % urls.len()].as_str())
+            .collect()
+    }
+}
+
+/// splitmix64-style mix of a seed and a stream id into an independent
+/// per-stream seed: statistically decorrelated streams from sequential
+/// ids, and a pure function — the root of the sampler's determinism.
+fn mix(seed: u64, id: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(id)
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CorpusConfig;
+
+    fn corpus() -> WebCorpus {
+        WebCorpus::generate(&CorpusConfig::alexa_like(200, 11))
+    }
+
+    #[test]
+    fn profiles_are_pure_functions_of_seed_and_id() {
+        let corpus = corpus();
+        let a = ProfileSampler::new(&corpus, 99);
+        let b = ProfileSampler::new(&corpus, 99);
+        for id in [0u64, 1, 17, 100_000] {
+            assert_eq!(a.profile_for(id), b.profile_for(id), "client {id}");
+        }
+    }
+
+    #[test]
+    fn different_clients_get_different_profiles() {
+        let corpus = corpus();
+        let sampler = ProfileSampler::new(&corpus, 3);
+        let distinct = (0..50)
+            .map(|id| sampler.profile_for(id))
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        // Collisions are possible (small corpus) but must be rare.
+        assert!(distinct > 40, "only {distinct}/50 distinct profiles");
+    }
+
+    #[test]
+    fn sessions_are_pure_and_stay_on_favourite_sites() {
+        let corpus = corpus();
+        let sampler = ProfileSampler::new(&corpus, 5);
+        let profile = sampler.profile_for(42);
+        for session in 0..20 {
+            let urls = profile.session_urls(&corpus, session);
+            assert_eq!(urls, profile.session_urls(&corpus, session));
+            assert!(!urls.is_empty() && urls.len() < 10);
+            // Every URL belongs to one of the favourite sites.
+            for url in &urls {
+                assert!(
+                    profile
+                        .favourite_sites()
+                        .iter()
+                        .any(|&s| corpus.sites()[s].urls().iter().any(|u| u == url)),
+                    "{url} is not on a favourite site"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn favourite_counts_are_heavy_tailed_but_bounded() {
+        let corpus = corpus();
+        let sampler = ProfileSampler::new(&corpus, 1);
+        let counts: Vec<usize> = (0..2_000)
+            .map(|id| sampler.profile_for(id).favourite_sites().len())
+            .collect();
+        assert!(counts.iter().all(|&c| (1..=16).contains(&c)));
+        let singles = counts.iter().filter(|&&c| c == 1).count();
+        let wide = counts.iter().filter(|&&c| c >= 8).count();
+        // Most clients live on one or two sites; a minority roam widely.
+        assert!(singles > counts.len() / 3, "{singles} single-site clients");
+        assert!(wide > 0, "no wide-roaming clients at all");
+    }
+}

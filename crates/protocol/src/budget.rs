@@ -143,6 +143,22 @@ mod tests {
     }
 
     #[test]
+    fn a_saturated_budget_never_wraps() {
+        let budget = DeadlineBudget::new(Duration::from_secs(1));
+        // Drive the spent counter right up to the u64 nanosecond ceiling,
+        // then keep charging: the CAS loop must peg at the ceiling, not
+        // wrap back to "barely spent" and resurrect the budget.
+        budget.charge(Duration::from_nanos(u64::MAX - 1));
+        assert!(budget.is_exhausted());
+        budget.charge(Duration::from_nanos(2));
+        budget.charge(Duration::from_secs(5));
+        assert_eq!(budget.spent(), Duration::from_nanos(u64::MAX));
+        assert_eq!(budget.remaining(), Duration::ZERO);
+        assert!(budget.is_exhausted());
+        assert_eq!(budget.cap_timeout(Duration::from_secs(30)), MIN_IO_TIMEOUT);
+    }
+
+    #[test]
     fn cap_timeout_tracks_the_remaining_budget() {
         let budget = DeadlineBudget::new(Duration::from_millis(500));
         // Plenty left: the layer's own default wins.

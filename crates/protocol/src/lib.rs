@@ -41,7 +41,7 @@ pub use messages::{
     expect_single_response, ClientListState, FullHashEntry, FullHashRequest, FullHashResponse,
     SafeBrowsingService, ServiceError, UpdateRequest, UpdateResponse,
 };
-pub use ranges::ChunkRanges;
+pub use ranges::{ChunkRanges, ParseChunkRangesError};
 
 #[cfg(test)]
 mod tests {

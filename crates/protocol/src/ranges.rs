@@ -176,6 +176,74 @@ impl FromIterator<u32> for ChunkRanges {
     }
 }
 
+/// Why a chunk-range string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseChunkRangesError {
+    /// The string (or one of its comma-separated items) was empty.
+    Empty,
+    /// An endpoint was not a `u32`.
+    InvalidNumber(String),
+    /// The items parsed but were not in normal form (unsorted, inverted,
+    /// overlapping or adjacent ranges).
+    NotNormalized,
+}
+
+impl std::fmt::Display for ParseChunkRangesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseChunkRangesError::Empty => f.write_str("empty chunk-range item"),
+            ParseChunkRangesError::InvalidNumber(item) => {
+                write!(f, "invalid chunk number in {item:?}")
+            }
+            ParseChunkRangesError::NotNormalized => {
+                f.write_str("chunk ranges not sorted/disjoint/non-adjacent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseChunkRangesError {}
+
+impl std::str::FromStr for ChunkRanges {
+    type Err = ParseChunkRangesError;
+
+    /// Parses the wire-style rendering produced by
+    /// [`Display`](std::fmt::Display): `1-5,8,10-11`, with `-` for the
+    /// empty set.
+    ///
+    /// Only normal form is accepted — the same contract as
+    /// [`ChunkRanges::from_ranges`] — so `parse` ∘ `to_string` is the
+    /// identity and a hostile range list can never smuggle in an
+    /// unnormalized set.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "-" {
+            return Ok(ChunkRanges::new());
+        }
+        if s.is_empty() {
+            return Err(ParseChunkRangesError::Empty);
+        }
+        let number = |item: &str| {
+            item.parse::<u32>()
+                .map_err(|_| ParseChunkRangesError::InvalidNumber(item.to_string()))
+        };
+        let mut ranges = Vec::new();
+        for item in s.split(',') {
+            if item.is_empty() {
+                return Err(ParseChunkRangesError::Empty);
+            }
+            let range = match item.split_once('-') {
+                Some((lo, hi)) => (number(lo)?, number(hi)?),
+                None => {
+                    let n = number(item)?;
+                    (n, n)
+                }
+            };
+            ranges.push(range);
+        }
+        ChunkRanges::from_ranges(ranges).ok_or(ParseChunkRangesError::NotNormalized)
+    }
+}
+
 impl std::fmt::Display for ChunkRanges {
     /// Wire-style rendering: `1-5,8,10-11` (empty set renders as `-`).
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

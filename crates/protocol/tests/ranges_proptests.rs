@@ -1,0 +1,131 @@
+//! Property tests of [`ChunkRanges`]: whatever order chunk numbers are
+//! recorded in, the set holds exactly those numbers in normal form
+//! (sorted, disjoint, non-adjacent ranges), and the wire-style rendering
+//! parses back to the identical set.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use sb_protocol::ChunkRanges;
+
+/// Chunk numbers drawn small enough that duplicates, adjacency and merges
+/// all happen constantly, with a few boundary values mixed in.
+fn chunk_numbers() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..68, 0..80).prop_map(|draws| {
+        draws
+            .into_iter()
+            .map(|n| match n {
+                64 => u32::MAX,
+                65 => u32::MAX - 1,
+                66 => u32::MAX - 2,
+                n => n,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Record/holds round-trip: after inserting any sequence of numbers in
+    /// any order, membership, count, max and iteration all agree with a
+    /// reference `BTreeSet` — and `insert`'s return value matches the
+    /// reference's novelty answer.
+    #[test]
+    fn recorded_numbers_are_exactly_the_held_numbers(numbers in chunk_numbers()) {
+        let mut ranges = ChunkRanges::new();
+        let mut reference = BTreeSet::new();
+        for &n in &numbers {
+            prop_assert_eq!(ranges.insert(n), reference.insert(n), "insert({})", n);
+        }
+        prop_assert_eq!(ranges.count(), reference.len() as u64);
+        prop_assert_eq!(ranges.max(), reference.last().copied());
+        prop_assert_eq!(ranges.is_empty(), reference.is_empty());
+        let held: Vec<u32> = ranges.iter().collect();
+        let expected: Vec<u32> = reference.iter().copied().collect();
+        prop_assert_eq!(held, expected);
+        // Probe membership around every inserted number, not just at it.
+        for &n in &numbers {
+            for probe in [n.saturating_sub(1), n, n.saturating_add(1)] {
+                prop_assert_eq!(ranges.contains(probe), reference.contains(&probe),
+                    "contains({})", probe);
+            }
+        }
+    }
+
+    /// Normal form holds under arbitrary insertion order: ranges stay
+    /// sorted, disjoint and non-adjacent, which is exactly the form
+    /// `from_ranges` accepts back.
+    #[test]
+    fn ranges_stay_sorted_disjoint_non_adjacent(numbers in chunk_numbers()) {
+        let ranges: ChunkRanges = numbers.into_iter().collect();
+        for &(lo, hi) in ranges.ranges() {
+            prop_assert!(lo <= hi, "inverted range ({}, {})", lo, hi);
+        }
+        for pair in ranges.ranges().windows(2) {
+            let (prev_hi, next_lo) = (pair[0].1, pair[1].0);
+            prop_assert!(
+                prev_hi.checked_add(1).is_some_and(|bound| bound < next_lo),
+                "ranges {:?} and {:?} overlap or touch", pair[0], pair[1]
+            );
+        }
+        let rebuilt = ChunkRanges::from_ranges(ranges.ranges().to_vec());
+        prop_assert_eq!(rebuilt, Some(ranges));
+    }
+
+    /// The wire-style rendering is a faithful codec: `to_string` parses
+    /// back to an equal set, for any set (the empty set renders as `-`).
+    #[test]
+    fn wire_rendering_parses_back(numbers in chunk_numbers()) {
+        let ranges: ChunkRanges = numbers.into_iter().collect();
+        let wire = ranges.to_string();
+        let parsed: ChunkRanges = wire.parse()
+            .unwrap_or_else(|e| panic!("{wire:?} did not parse back: {e}"));
+        prop_assert_eq!(parsed, ranges);
+    }
+
+    /// Parsing only accepts normal form: swapping two ranges of a
+    /// multi-range rendering, or duplicating one, must be rejected — a
+    /// hostile advertisement cannot smuggle in an unnormalized set.
+    #[test]
+    fn parse_rejects_denormalized_renderings(numbers in chunk_numbers()) {
+        let ranges: ChunkRanges = numbers.into_iter().collect();
+        if ranges.range_count() < 2 {
+            return Ok(());
+        }
+        let items: Vec<String> = ranges
+            .to_string()
+            .split(',')
+            .map(str::to_string)
+            .collect();
+        let mut swapped = items.clone();
+        swapped.swap(0, 1);
+        prop_assert!(swapped.join(",").parse::<ChunkRanges>().is_err());
+        let duplicated = format!("{},{}", items[0], items.join(","));
+        prop_assert!(duplicated.parse::<ChunkRanges>().is_err());
+    }
+}
+
+#[test]
+fn parse_rejects_malformed_strings() {
+    for bad in [
+        "",
+        ",",
+        "1,",
+        ",2",
+        "a",
+        "1-",
+        "-1-2",
+        "3-1",
+        "1-2-3",
+        "1 - 2",
+        "4294967296",
+    ] {
+        assert!(
+            bad.parse::<ChunkRanges>().is_err(),
+            "{bad:?} should not parse"
+        );
+    }
+    assert_eq!("-".parse::<ChunkRanges>().unwrap(), ChunkRanges::new());
+    let set: ChunkRanges = "1-5,8,10-11".parse().unwrap();
+    assert_eq!(set.count(), 8);
+    assert_eq!(set.to_string(), "1-5,8,10-11");
+}

@@ -256,8 +256,8 @@ const POLL_INTERVAL: Duration = Duration::from_millis(20);
 /// scenario the proxy should mask.
 const FRAME_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// A deterministic fault-injecting TCP proxy; see the [module
-/// docs](self).
+/// A deterministic fault-injecting TCP proxy; see the module-level
+/// docs.
 ///
 /// # Examples
 ///

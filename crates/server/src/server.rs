@@ -75,6 +75,11 @@ pub struct SafeBrowsingServer {
     journal: Mutex<ChunkJournal>,
     log: Mutex<LogState>,
     next_update_seconds: u64,
+    /// Half-width of the deterministic per-response jitter applied to the
+    /// `next_update_seconds` hint (0 = every client gets the same hint).
+    next_update_jitter: u64,
+    /// Update responses served — the jitter sequence position.
+    update_serial: std::sync::atomic::AtomicU64,
 }
 
 impl SafeBrowsingServer {
@@ -89,6 +94,8 @@ impl SafeBrowsingServer {
                 clock: 0,
             }),
             next_update_seconds: DEFAULT_NEXT_UPDATE_SECONDS,
+            next_update_jitter: 0,
+            update_serial: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -99,6 +106,38 @@ impl SafeBrowsingServer {
     pub fn with_next_update_seconds(mut self, seconds: u64) -> Self {
         self.next_update_seconds = seconds;
         self
+    }
+
+    /// Spreads the `next_update_seconds` hint deterministically over
+    /// `[base, base + jitter)`, varying per update response served.
+    ///
+    /// With a fixed hint every client that updated in the same burst comes
+    /// back in the same burst — the thundering herd the fleet simulation
+    /// measures.  Per-response jitter (a splitmix64 walk over the response
+    /// serial, so the sequence is a pure function of server construction
+    /// and arrival order) breaks the herd up without any shared state
+    /// between clients.  A `jitter` of 0 disables the spread.
+    pub fn with_next_update_jitter(mut self, jitter: u64) -> Self {
+        self.next_update_jitter = jitter;
+        self
+    }
+
+    /// The `next_update_seconds` hint for the next update response:
+    /// the configured base plus this response's deterministic jitter.
+    fn next_update_hint(&self) -> u64 {
+        if self.next_update_jitter == 0 {
+            return self.next_update_seconds;
+        }
+        let serial = self
+            .update_serial
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // splitmix64: a well-mixed pure function of the serial.
+        let mut z = serial.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        self.next_update_seconds
+            .saturating_add(z % self.next_update_jitter)
     }
 
     /// Creates a server pre-populated with every (empty) list of the
@@ -338,7 +377,7 @@ impl SafeBrowsingService for SafeBrowsingServer {
         }
         Ok(UpdateResponse {
             chunks,
-            next_update_seconds: self.next_update_seconds,
+            next_update_seconds: self.next_update_hint(),
         })
     }
 

@@ -1,0 +1,101 @@
+//! Fleet-simulation configuration and its presets.
+
+use std::time::Duration;
+
+/// Configuration of one fleet-simulation run.
+///
+/// Everything that can influence the event trace lives here, so the
+/// determinism contract ("same config ⇒ identical
+/// [`FleetReport`](crate::FleetReport)") has a single root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Simulated clients.
+    pub clients: usize,
+    /// Root seed: every random draw in the run is a pure function of this
+    /// and a stream id.
+    pub seed: u64,
+    /// Shards in the provider fleet.
+    pub shards: usize,
+    /// Virtual-time horizon of the run.
+    pub horizon: Duration,
+    /// Hosts in the synthetic corpus the fleet browses.
+    pub corpus_hosts: usize,
+    /// Page cap per corpus host (bounds the power-law tail).
+    pub corpus_page_cap: u64,
+    /// The provider's base `next_update_seconds` hint.
+    pub hint_base_seconds: u64,
+    /// Upper bound on the provider's per-response hint jitter (0 = the
+    /// deployed fixed-hint behaviour; > 0 spreads the herd).
+    pub hint_jitter_seconds: u64,
+    /// Mean virtual time between a client's browsing sessions.
+    pub session_gap: Duration,
+    /// Virtual time between provider churn events.
+    pub churn_period: Duration,
+    /// Prefixes injected per churn event.
+    pub churn_adds: usize,
+    /// Prefixes removed per churn event.
+    pub churn_subs: usize,
+    /// Every Nth corpus URL is blacklisted (the fleet's hit-rate knob).
+    pub blacklist_every: usize,
+    /// Random prefixes bulk-injected up front (the churn removal pool).
+    pub bulk_prefixes: usize,
+    /// Corpus sites armed with a tracking set (Section 6.3 targets).
+    pub tracked_sites: usize,
+    /// `delta` handed to `tracking_prefixes` (minimum decompositions).
+    pub tracking_delta: usize,
+}
+
+impl FleetConfig {
+    /// The CI smoke preset: 10⁴ clients, a small corpus, two virtual
+    /// hours.  Runs in seconds.
+    pub fn smoke() -> Self {
+        FleetConfig {
+            clients: 10_000,
+            // The paper's publication date at DSN 2016.
+            seed: 0x2016_0628,
+            shards: 4,
+            horizon: Duration::from_secs(2 * 3600),
+            corpus_hosts: 300,
+            corpus_page_cap: 48,
+            hint_base_seconds: 1800,
+            hint_jitter_seconds: 0,
+            session_gap: Duration::from_secs(1800),
+            churn_period: Duration::from_secs(900),
+            churn_adds: 48,
+            churn_subs: 24,
+            blacklist_every: 16,
+            bulk_prefixes: 2048,
+            tracked_sites: 8,
+            tracking_delta: 3,
+        }
+    }
+
+    /// The full preset: 10⁵ clients over a larger corpus — the scale the
+    /// committed benchmark numbers are produced at.
+    pub fn full() -> Self {
+        FleetConfig {
+            clients: 100_000,
+            corpus_hosts: 800,
+            corpus_page_cap: 64,
+            ..FleetConfig::smoke()
+        }
+    }
+
+    /// Overrides the client count.
+    pub fn with_clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Overrides the root seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the provider's hint jitter (0 disables it).
+    pub fn with_hint_jitter(mut self, seconds: u64) -> Self {
+        self.hint_jitter_seconds = seconds;
+        self
+    }
+}

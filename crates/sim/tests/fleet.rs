@@ -1,0 +1,136 @@
+//! Fleet-simulation integration tests: the determinism contract, healthy
+//! fleet invariants, the paper's mitigation ranking at population scale,
+//! and the hint-jitter herd experiment.
+
+use sb_sim::{run_fleet, FleetConfig};
+
+/// A config small enough for debug-mode CI but large enough that every
+/// shaper cohort has ground-truth visitors.
+fn test_config() -> FleetConfig {
+    FleetConfig::smoke().with_clients(2_000)
+}
+
+#[test]
+fn same_seed_produces_identical_reports_and_json() {
+    let config = test_config();
+    let first = run_fleet(&config);
+    let second = run_fleet(&config);
+
+    // The determinism contract: identical report (trace digest included)
+    // and byte-identical JSON rendering.
+    assert_eq!(first, second);
+    assert_eq!(first.trace_digest, second.trace_digest);
+    assert_eq!(first.to_json(2), second.to_json(2));
+
+    // A different seed must actually change the trace (the digest is not a
+    // constant function).
+    let other = run_fleet(&config.clone().with_seed(7));
+    assert_ne!(first.trace_digest, other.trace_digest);
+}
+
+#[test]
+fn healthy_fleet_invariants_and_mitigation_ranking() {
+    let config = test_config();
+    let report = run_fleet(&config);
+
+    // Nothing may fail in a fault-free fleet.
+    assert_eq!(report.failed_lookups, 0);
+    assert_eq!(report.update_failures, 0);
+    assert_eq!(report.degraded_requests, 0);
+
+    // Every client boots (cold-boot herd) and keeps updating on the hint
+    // schedule: 2 virtual hours at a 30-minute hint is 4-5 exchanges each.
+    assert!(report.update_exchanges >= 4 * report.clients as u64);
+    assert_eq!(report.herd.first_wave, report.clients as u64);
+
+    // Browsing happened and the blacklist fired through the shared
+    // snapshots.
+    assert!(report.sessions > 0 && report.lookups > report.sessions);
+    assert!(report.local_hit_lookups > 0, "no local hits at all");
+    assert!(
+        report.urls_flagged > 0,
+        "no lookup ever confirmed malicious"
+    );
+
+    // All full-hash traffic was routed and accounted.
+    assert_eq!(
+        report.requests_routed.iter().sum::<usize>() as u64,
+        report.full_hash_requests
+    );
+
+    // One journal epoch per churn event, plus the initial seeding snapshot;
+    // churn kept the journal busy.
+    let churn_epochs = config.horizon.as_secs() / config.churn_period.as_secs();
+    assert_eq!(report.journal.len() as u64, churn_epochs + 1);
+    let last = report.journal.last().unwrap();
+    let first = &report.journal[0];
+    assert!(last.appends > first.appends, "churn appended no chunks");
+
+    // Population-level mitigation ranking (Section 8 at fleet scale):
+    // request-splitting shapers defeat multi-prefix re-identification,
+    // coalescing shapers do not.
+    let trackers = &report.trackers;
+    for label in [
+        "exact",
+        "dummy-queries(2)",
+        "one-prefix-at-a-time",
+        "padded-bucket(4)",
+    ] {
+        let cohort = trackers
+            .get(label)
+            .unwrap_or_else(|| panic!("missing cohort {label}"));
+        assert!(cohort.visitors > 0, "cohort {label} had no visitors");
+    }
+    assert!(
+        trackers["exact"].hit_rate >= 0.75,
+        "exact shaper should be trackable, hit rate {}",
+        trackers["exact"].hit_rate
+    );
+    assert!(
+        trackers["dummy-queries(2)"].hit_rate >= 0.75,
+        "dummy queries leave the real request intact, hit rate {}",
+        trackers["dummy-queries(2)"].hit_rate
+    );
+    assert_eq!(
+        trackers["one-prefix-at-a-time"].hit_rate, 0.0,
+        "request splitting must defeat multi-prefix matching"
+    );
+    assert_eq!(
+        trackers["padded-bucket(4)"].hit_rate, 0.0,
+        "padded buckets must defeat multi-prefix matching"
+    );
+
+    // The provider's query-log view agrees that someone was tracked.
+    assert!(report.provider_detected_visits > 0);
+    assert!(report.provider_detected_clients > 0);
+
+    // Every client lands in exactly one cohort.
+    let cohort_clients: usize = trackers.values().map(|c| c.clients).sum();
+    assert_eq!(cohort_clients, report.clients);
+}
+
+#[test]
+fn hint_jitter_spreads_the_update_herd() {
+    let base = FleetConfig::smoke().with_clients(600);
+    let fixed = run_fleet(&base);
+    let jittered = run_fleet(&base.clone().with_hint_jitter(900));
+
+    // Same fleet, same horizon, same number of exchanges either way —
+    // jitter only moves them in time.
+    assert_eq!(fixed.herd.first_wave, jittered.herd.first_wave);
+
+    // Without jitter the steady-state waves pile into a few buckets;
+    // jitter spreads them wider and flattens the peak.
+    assert!(
+        jittered.herd.peak_after_boot < fixed.herd.peak_after_boot,
+        "jitter did not flatten the herd: fixed {} vs jittered {}",
+        fixed.herd.peak_after_boot,
+        jittered.herd.peak_after_boot
+    );
+    assert!(
+        jittered.herd.occupied > fixed.herd.occupied,
+        "jitter did not spread arrivals: fixed {} vs jittered {}",
+        fixed.herd.occupied,
+        jittered.herd.occupied
+    );
+}

@@ -1,0 +1,144 @@
+//! Differential property test across the exact store backends: the raw
+//! table, the delta-coded table, the bucket-indexed table and a
+//! generational store whose membership lives entirely in its overlay must
+//! all answer membership identically to a reference `BTreeSet`, on the
+//! same inputs — including values hugging two-byte-lead bucket boundaries
+//! and probes into empty buckets.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use sb_hash::{Prefix, PrefixLen};
+use sb_store::{
+    DeltaCodedTable, GenerationalStore, IndexedPrefixTable, OverlayPolicy, PrefixStore,
+    RawPrefixTable, StoreBackend,
+};
+
+/// A value mix that exercises every structural edge at once: uniform draws
+/// (sparse buckets), boundary-clustered draws (`lead << 16` plus a tiny
+/// offset from either end, so buckets hold their first/last possible
+/// tails) and the global extremes.
+fn mixed_values() -> impl Strategy<Value = Vec<u32>> {
+    (
+        prop::collection::vec(any::<u32>(), 0..120),
+        prop::collection::vec((any::<u16>(), 0u32..3, any::<bool>()), 0..120),
+        prop::collection::vec(0usize..4, 0..4),
+    )
+        .prop_map(|(uniform, boundary, extremes)| {
+            let mut values = uniform;
+            values.extend(boundary.into_iter().map(|(lead, offset, from_top)| {
+                let base = (lead as u32) << 16;
+                if from_top {
+                    base | (0xffff - offset)
+                } else {
+                    base | offset
+                }
+            }));
+            values.extend(
+                extremes
+                    .into_iter()
+                    .map(|i| [0, 1, u32::MAX - 1, u32::MAX][i]),
+            );
+            values
+        })
+}
+
+/// All four exact backends built over the same membership.  The
+/// generational store starts from an empty base and absorbs the whole
+/// membership as one delta under a never-consolidate policy, so its
+/// answers come from the overlay path rather than a rebuilt base table.
+fn all_backends(values: &BTreeSet<u32>) -> Vec<(&'static str, Box<dyn PrefixStore>)> {
+    let prefixes = || values.iter().map(|v| Prefix::from_u32(*v));
+    let mut overlay = GenerationalStore::with_policy(
+        StoreBackend::DeltaCoded,
+        PrefixLen::L32,
+        std::iter::empty(),
+        OverlayPolicy {
+            min_overlay: usize::MAX,
+            max_overlay_fraction: 0.0,
+        },
+    );
+    overlay.apply_delta(&prefixes().collect::<Vec<_>>(), &[]);
+    assert!(
+        values.is_empty() || overlay.generation() == 0,
+        "overlay store must not have consolidated"
+    );
+    vec![
+        (
+            "raw",
+            Box::new(RawPrefixTable::from_prefixes(PrefixLen::L32, prefixes()))
+                as Box<dyn PrefixStore>,
+        ),
+        (
+            "delta",
+            Box::new(DeltaCodedTable::from_prefixes(PrefixLen::L32, prefixes())),
+        ),
+        (
+            "indexed",
+            Box::new(IndexedPrefixTable::from_prefixes(
+                PrefixLen::L32,
+                prefixes(),
+            )),
+        ),
+        ("generational-overlay", Box::new(overlay)),
+    ]
+}
+
+proptest! {
+    /// Every backend agrees with the reference set on every member, on
+    /// random probes, and on probes deliberately shifted across bucket
+    /// boundaries (into buckets that are often empty).
+    #[test]
+    fn backends_agree_with_the_reference_set(
+        values in mixed_values(),
+        probes in prop::collection::vec(any::<u32>(), 0..80),
+    ) {
+        let reference: BTreeSet<u32> = values.iter().copied().collect();
+        for (name, store) in all_backends(&reference) {
+            prop_assert_eq!(store.len(), reference.len(), "{}: cardinality", name);
+            let mut candidates: Vec<u32> = probes.clone();
+            for v in &reference {
+                candidates.extend([
+                    *v,
+                    v.wrapping_add(1),
+                    v.wrapping_sub(1),
+                    // Same tail, adjacent (frequently empty) buckets.
+                    v.wrapping_add(1 << 16),
+                    v.wrapping_sub(1 << 16),
+                    // Opposite end of the same bucket.
+                    v ^ 0xffff,
+                ]);
+            }
+            for candidate in candidates {
+                let p = Prefix::from_u32(candidate);
+                prop_assert_eq!(
+                    store.contains(&p),
+                    reference.contains(&candidate),
+                    "{}: probe {:#010x}",
+                    name,
+                    candidate
+                );
+            }
+        }
+    }
+
+    /// The empty store answers `false` everywhere on every backend — the
+    /// all-buckets-empty degenerate case of the index structures.
+    #[test]
+    fn empty_stores_contain_nothing(probes in prop::collection::vec(any::<u32>(), 1..60)) {
+        let reference = BTreeSet::new();
+        for (name, store) in all_backends(&reference) {
+            prop_assert_eq!(store.len(), 0, "{}", name);
+            for v in &probes {
+                for candidate in [*v, 0, u32::MAX] {
+                    prop_assert!(
+                        !store.contains(&Prefix::from_u32(candidate)),
+                        "{}: phantom member {:#010x}",
+                        name,
+                        candidate
+                    );
+                }
+            }
+        }
+    }
+}

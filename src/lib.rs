@@ -102,6 +102,7 @@ pub use sb_corpus as corpus;
 pub use sb_hash as hash;
 pub use sb_protocol as protocol;
 pub use sb_server as server;
+pub use sb_sim as sim;
 pub use sb_store as store;
 pub use sb_url as url;
 pub use sb_wire as wire;

@@ -8,6 +8,12 @@
 //! `127.0.0.1:0`, retry/backoff and breaker cool-downs run on a
 //! `VirtualClock` (zero wall-clock sleeps), and the only real delays are
 //! the ones the proxy itself injects (kept in the low milliseconds).
+//! Ephemeral-port discipline: tier and proxy both bind `:0` and hand the
+//! *listening socket* (never a bare port number) to their accept threads,
+//! and no test here rebinds a released port — so parallel `cargo test -q`
+//! runs cannot race these tests on port assignment.  Keep it that way:
+//! a fixed-port rebind belongs in `tcp_serving.rs`, guarded by its
+//! `PORT_REUSE` lock and `AddrInUse` retry helper.
 //! Chaos schedules are seeded or scripted, so every run injects the
 //! identical fault sequence — these tests are deterministic, not "usually
 //! passes".
