@@ -29,7 +29,10 @@ use std::sync::{Arc, RwLock};
 
 use sb_hash::{Prefix, PrefixLen};
 use sb_protocol::{Chunk, ChunkKind, ClientListState, ListName, MixedPrefixLengths};
-use sb_store::{GenerationalStats, GenerationalStore, OverlayPolicy, PrefixStore, StoreBackend};
+use sb_store::{
+    serialize_snapshot, GenerationalStats, GenerationalStore, IndexedPrefixTable, OverlayPolicy,
+    PrefixStore, SharedSnapshot, SnapshotError, StoreBackend,
+};
 
 /// The atomically-swapped snapshot slot shared by the database and its
 /// readers.  The write lock is held only for the pointer swap — the
@@ -257,6 +260,69 @@ impl LocalDatabase {
     /// [`Self::shared_from_snapshot`]).
     pub fn is_shared(&self) -> bool {
         self.shared
+    }
+
+    /// Serializes the current membership into the `sb-store` snapshot
+    /// format (always the indexed layout, whatever the query backend).
+    ///
+    /// When the current store base is already snapshot-backed and the
+    /// overlay is empty, this is **free** — the returned buffer is an
+    /// `Arc` clone of the very bytes the store queries.  Otherwise the
+    /// full membership is serialized from the master copy (overlay adds
+    /// and tombstones flushed in).
+    ///
+    /// Returns `None` only for a shared database whose donor snapshot
+    /// cannot be cheaply re-serialized (non-empty overlay or a
+    /// non-indexed donor base): a shared database holds no master copy to
+    /// flush from.
+    pub fn save_snapshot(&self) -> Option<Arc<[u8]>> {
+        let snap = self.snapshot.load();
+        if snap.overlay_len() == 0 {
+            if let Some(buf) = snap.base_snapshot() {
+                return Some(Arc::clone(buf));
+            }
+        }
+        if self.shared {
+            return None;
+        }
+        let table = IndexedPrefixTable::from_prefixes(self.prefix_len, self.all_prefixes());
+        Some(Arc::from(serialize_snapshot(&table).into_boxed_slice()))
+    }
+
+    /// Loads a database directly over a serialized snapshot buffer with
+    /// the default [`OverlayPolicy`] — the instant-start path: O(header +
+    /// index) validation, zero per-row work, no copy of the rows.
+    ///
+    /// The result is a **shared-mode** database (see
+    /// [`Self::shared_from_snapshot`]) whose donor store is built over
+    /// `bytes`: lookups resolve against the snapshot, and
+    /// [`Self::apply_chunks`] tracks chunk state without materializing
+    /// prefix data.  Callers that need an owning master copy repopulate
+    /// through the normal update protocol instead.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when `bytes` is not a valid snapshot — typed
+    /// rejection, never a panic, nothing partially loaded.
+    pub fn load_snapshot(bytes: Arc<[u8]>) -> Result<Self, SnapshotError> {
+        Self::load_snapshot_with_policy(bytes, OverlayPolicy::default())
+    }
+
+    /// [`Self::load_snapshot`] with an explicit overlay/rebuild policy.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when `bytes` is not a valid snapshot.
+    pub fn load_snapshot_with_policy(
+        bytes: Arc<[u8]>,
+        policy: OverlayPolicy,
+    ) -> Result<Self, SnapshotError> {
+        let shared = SharedSnapshot::new(bytes)?;
+        let prefix_len = shared.prefix_len();
+        let store = GenerationalStore::from_shared_snapshot(shared, policy);
+        let mut db = Self::shared_from_snapshot(StoreBackend::Indexed, prefix_len, Arc::new(store));
+        db.policy = policy;
+        Ok(db)
     }
 
     /// Repoints a shared database at a newer donor snapshot (an `Arc`
@@ -752,6 +818,116 @@ mod tests {
         assert_eq!(stats.overlay_len, 0, "consolidation empties the overlay");
         assert!(db.contains(&Prefix::from_u32(1005)));
         assert_eq!(db.prefix_count(), 110);
+    }
+
+    // ---- snapshot persistence --------------------------------------------
+
+    #[test]
+    fn save_and_load_snapshot_round_trip() {
+        let mut db = LocalDatabase::new(StoreBackend::Indexed, PrefixLen::L32);
+        db.subscribe("l");
+        let bulk: Vec<Prefix> = (0..5000).map(Prefix::from_u32).collect();
+        db.apply_chunks(&[Chunk::add("l", 1, bulk)]).unwrap();
+
+        let bytes = db.save_snapshot().expect("owning database always saves");
+        let loaded = LocalDatabase::load_snapshot(bytes).expect("valid snapshot");
+        assert!(loaded.is_shared());
+        assert_eq!(loaded.prefix_len(), PrefixLen::L32);
+        assert_eq!(loaded.prefix_count(), db.prefix_count());
+        for v in 0..6000u32 {
+            let p = Prefix::from_u32(v);
+            assert_eq!(loaded.contains(&p), db.contains(&p), "{v}");
+        }
+    }
+
+    #[test]
+    fn save_with_pending_overlay_flushes_it() {
+        let mut db = LocalDatabase::new(StoreBackend::Indexed, PrefixLen::L32);
+        db.subscribe("l");
+        db.apply_chunks(&[Chunk::add(
+            "l",
+            1,
+            (0..5000).map(Prefix::from_u32).collect(),
+        )])
+        .unwrap();
+        // A small delta sits on the overlay — the saved snapshot must
+        // include it anyway.
+        db.apply_chunks(&[
+            Chunk::add("l", 2, vec![Prefix::from_u32(99_999)]),
+            Chunk::sub("l", 1, vec![Prefix::from_u32(7)]),
+        ])
+        .unwrap();
+        assert!(db.store_stats().overlay_len > 0, "delta stayed on overlay");
+
+        let loaded = LocalDatabase::load_snapshot(db.save_snapshot().unwrap()).unwrap();
+        assert!(loaded.contains(&Prefix::from_u32(99_999)));
+        assert!(!loaded.contains(&Prefix::from_u32(7)));
+        assert_eq!(loaded.prefix_count(), 5000);
+    }
+
+    #[test]
+    fn save_of_consolidated_base_shares_the_queried_bytes() {
+        let mut db = LocalDatabase::new(StoreBackend::Indexed, PrefixLen::L32);
+        db.subscribe("l");
+        // 10k prefixes exceed the default overlay bound, forcing a
+        // consolidation that leaves the overlay empty.
+        db.apply_chunks(&[Chunk::add(
+            "l",
+            1,
+            (0..10_000).map(Prefix::from_u32).collect(),
+        )])
+        .unwrap();
+        assert_eq!(db.store_stats().overlay_len, 0);
+        let saved = db.save_snapshot().unwrap();
+        let base = db.snapshot();
+        let base_buf = base
+            .base_snapshot()
+            .expect("indexed base is snapshot-backed");
+        assert!(
+            Arc::ptr_eq(&saved, base_buf),
+            "empty-overlay save is an Arc clone of the queried bytes"
+        );
+    }
+
+    #[test]
+    fn non_indexed_backends_also_save_indexed_snapshots() {
+        let mut db = LocalDatabase::new(StoreBackend::DeltaCoded, PrefixLen::L32);
+        db.subscribe("l");
+        db.apply_chunks(&[Chunk::add("l", 1, (0..100).map(Prefix::from_u32).collect())])
+            .unwrap();
+        let loaded = LocalDatabase::load_snapshot(db.save_snapshot().unwrap()).unwrap();
+        assert_eq!(loaded.prefix_count(), 100);
+        assert!(loaded.contains(&Prefix::from_u32(50)));
+    }
+
+    #[test]
+    fn load_snapshot_rejects_garbage() {
+        let err = LocalDatabase::load_snapshot(Arc::from(vec![0u8; 40].into_boxed_slice()));
+        assert!(err.is_err());
+        let err = LocalDatabase::load_snapshot(Arc::from(Vec::new().into_boxed_slice()));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn loaded_database_tracks_chunk_state_without_data() {
+        let mut donor = LocalDatabase::new(StoreBackend::Indexed, PrefixLen::L32);
+        donor.subscribe("l");
+        donor
+            .apply_chunks(&[add_chunk("l", 1, &["evil.example/"])])
+            .unwrap();
+        let mut loaded = LocalDatabase::load_snapshot(donor.save_snapshot().unwrap()).unwrap();
+        loaded.subscribe("l");
+        // Chunk state is recorded (honest update requests)...
+        assert_eq!(
+            loaded
+                .apply_chunks(&[add_chunk("l", 5, &["new.example/"])])
+                .unwrap(),
+            1
+        );
+        assert!(loaded.update_request_lists()[0].1.holds(ChunkKind::Add, 5));
+        // ...but data stays donor-backed (shared mode: no materialization).
+        assert!(loaded.contains(&prefix32("evil.example/")));
+        assert!(!loaded.contains(&prefix32("new.example/")));
     }
 
     #[test]

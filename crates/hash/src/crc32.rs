@@ -1,0 +1,120 @@
+//! CRC-32 (IEEE polynomial), table-driven, built at compile time.
+//!
+//! Shared by the wire codec (per-frame payload checksums, `sb-wire`) and
+//! the on-disk snapshot format (header/index and row-region checksums,
+//! `sb-store`): one implementation, one reference vector, one behaviour on
+//! both sides of a checksum disagreement.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE polynomial) of `bytes`.
+///
+/// ```
+/// // The canonical IEEE CRC-32 check value.
+/// assert_eq!(sb_hash::crc32(b"123456789"), 0xCBF4_3926);
+/// assert_eq!(sb_hash::crc32(b""), 0);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut hasher = Crc32::new();
+    hasher.update(bytes);
+    hasher.finalize()
+}
+
+/// Streaming CRC-32 (IEEE) state, for checksumming a logical region that is
+/// not contiguous in memory (e.g. a snapshot header plus its bucket index)
+/// without concatenating it first.
+///
+/// ```
+/// let mut h = sb_hash::Crc32::new();
+/// h.update(b"12345");
+/// h.update(b"6789");
+/// assert_eq!(h.finalize(), sb_hash::crc32(b"123456789"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh state: equivalent to `crc32(b"")` when finalized immediately.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The CRC-32 of everything fed so far.
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_at_every_split() {
+        let data = b"some bytes worth checksumming across splits";
+        let reference = crc32(data);
+        for split in 0..=data.len() {
+            let mut h = Crc32::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), reference, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"the quick brown fox";
+        let reference = crc32(data);
+        let mut copy = *data;
+        for byte in 0..copy.len() {
+            for bit in 0..8 {
+                copy[byte] ^= 1 << bit;
+                assert_ne!(crc32(&copy), reference, "flip at {byte}:{bit} undetected");
+                copy[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

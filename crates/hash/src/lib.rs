@@ -23,10 +23,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod crc32;
 mod digest;
 mod prefix;
 mod sha256;
 
+pub use crc32::{crc32, Crc32};
 pub use digest::{decode_hex, encode_hex, Digest, ParseDigestError};
 pub use prefix::{Prefix, PrefixLen};
 pub use sha256::Sha256;

@@ -23,7 +23,9 @@ use std::sync::Arc;
 use sb_hash::{Prefix, PrefixLen};
 
 use crate::build_store;
+use crate::snapshot::SharedSnapshot;
 use crate::traits::{PrefixStore, StoreBackend};
+use crate::IndexedPrefixTable;
 
 /// When a [`GenerationalStore`] stops absorbing deltas and rebuilds its
 /// base.
@@ -108,6 +110,10 @@ pub struct GenerationalStore {
     prefix_len: PrefixLen,
     /// The immutable, shareable indexed base.
     base: Arc<dyn PrefixStore>,
+    /// The serialized snapshot buffer backing `base`, when the backend is
+    /// [`StoreBackend::Indexed`]: the same physical bytes the base queries,
+    /// available for saving or sharing without re-serialization.
+    base_snapshot: Option<Arc<[u8]>>,
     /// Exact number of prefixes in the base (cached; `base.len()`).
     base_len: usize,
     /// Prefixes present on top of the base.
@@ -155,12 +161,13 @@ impl GenerationalStore {
         prefixes: impl IntoIterator<Item = Prefix>,
         policy: OverlayPolicy,
     ) -> Self {
-        let base: Arc<dyn PrefixStore> = Arc::from(build_store(backend, prefix_len, prefixes));
+        let (base, base_snapshot) = build_base(backend, prefix_len, prefixes);
         let base_len = base.len();
         GenerationalStore {
             backend,
             prefix_len,
             base,
+            base_snapshot,
             base_len,
             overlay_adds: BTreeSet::new(),
             tombstones: BTreeSet::new(),
@@ -170,6 +177,42 @@ impl GenerationalStore {
             rebuilds: 0,
             last_delta_counted: false,
         }
+    }
+
+    /// Builds generation 0 directly over a validated snapshot buffer — no
+    /// row-by-row rebuild, no per-row work at all: the snapshot's bytes
+    /// *are* the base.  This is the instant-start path for a client that
+    /// persisted its database with
+    /// [`base_snapshot`](Self::base_snapshot) and reloads it on boot.
+    pub fn from_shared_snapshot(snapshot: SharedSnapshot, policy: OverlayPolicy) -> Self {
+        let prefix_len = snapshot.prefix_len();
+        let base_len = snapshot.len();
+        let base_snapshot = Some(Arc::clone(snapshot.bytes()));
+        GenerationalStore {
+            backend: StoreBackend::Indexed,
+            prefix_len,
+            base: Arc::new(snapshot),
+            base_snapshot,
+            base_len,
+            overlay_adds: BTreeSet::new(),
+            tombstones: BTreeSet::new(),
+            policy,
+            generation: 0,
+            deltas_absorbed: 0,
+            rebuilds: 0,
+            last_delta_counted: false,
+        }
+    }
+
+    /// The serialized snapshot buffer backing the current base, when the
+    /// backend is [`StoreBackend::Indexed`] — the exact bytes the base
+    /// queries, shareable (`Arc` clone) with any number of shards or
+    /// readers and loadable with [`Self::from_shared_snapshot`].
+    ///
+    /// The buffer covers the **base generation only**; overlay adds and
+    /// tombstones absorbed since the last rebuild are not reflected.
+    pub fn base_snapshot(&self) -> Option<&Arc<[u8]>> {
+        self.base_snapshot.as_ref()
     }
 
     /// Absorbs one delta into the overlay: `subs` are applied first, then
@@ -214,7 +257,9 @@ impl GenerationalStore {
     /// untouched; use [`Self::consolidate_from`] for the standard
     /// "absorb, then consolidate if over the bound" sequence.
     pub fn rebuild_from(&mut self, prefixes: impl IntoIterator<Item = Prefix>) {
-        self.base = Arc::from(build_store(self.backend, self.prefix_len, prefixes));
+        let (base, base_snapshot) = build_base(self.backend, self.prefix_len, prefixes);
+        self.base = base;
+        self.base_snapshot = base_snapshot;
         self.base_len = self.base.len();
         self.overlay_adds.clear();
         self.tombstones.clear();
@@ -262,6 +307,27 @@ impl GenerationalStore {
             rebuilds: self.rebuilds,
             overlay_len: self.overlay_len(),
         }
+    }
+}
+
+/// Builds a base store.  The Indexed backend consolidates **through the
+/// snapshot serializer**: the table's rows and bucket index are emitted as
+/// one flat buffer and the base becomes a [`SharedSnapshot`] over it, so
+/// the queried bytes and the persistable/shareable bytes are the same
+/// allocation.  Other backends build as before and carry no snapshot.
+fn build_base(
+    backend: StoreBackend,
+    prefix_len: PrefixLen,
+    prefixes: impl IntoIterator<Item = Prefix>,
+) -> (Arc<dyn PrefixStore>, Option<Arc<[u8]>>) {
+    match backend {
+        StoreBackend::Indexed => {
+            let table = IndexedPrefixTable::from_prefixes(prefix_len, prefixes);
+            let shared = SharedSnapshot::from_table(&table);
+            let buf = Arc::clone(shared.bytes());
+            (Arc::new(shared), Some(buf))
+        }
+        _ => (Arc::from(build_store(backend, prefix_len, prefixes)), None),
     }
 }
 
@@ -438,6 +504,52 @@ mod tests {
         assert!(store.len() <= 4);
         for g in &ghosts {
             assert!(!store.contains(g));
+        }
+    }
+
+    #[test]
+    fn indexed_base_carries_its_snapshot() {
+        let store =
+            GenerationalStore::build(StoreBackend::Indexed, PrefixLen::L32, prefixes(0..1000));
+        let buf = store.base_snapshot().expect("indexed base has a snapshot");
+
+        // Reloading the buffer is a zero-per-row instant start with
+        // identical verdicts, and the clone shares the physical bytes.
+        let shared = SharedSnapshot::new(Arc::clone(buf)).expect("buffer validates");
+        let reloaded = GenerationalStore::from_shared_snapshot(shared, OverlayPolicy::default());
+        assert!(Arc::ptr_eq(buf, reloaded.base_snapshot().unwrap()));
+        assert_eq!(reloaded.len(), store.len());
+        assert_eq!(reloaded.backend(), StoreBackend::Indexed);
+        for v in 0..1200u32 {
+            let p = Prefix::from_u32(v);
+            assert_eq!(reloaded.contains(&p), store.contains(&p), "{v}");
+        }
+    }
+
+    #[test]
+    fn rebuild_refreshes_the_snapshot() {
+        let mut store =
+            GenerationalStore::build(StoreBackend::Indexed, PrefixLen::L32, prefixes(0..100));
+        let before = Arc::clone(store.base_snapshot().unwrap());
+        store.rebuild_from(prefixes(0..200));
+        let after = store.base_snapshot().unwrap();
+        assert!(!Arc::ptr_eq(&before, after));
+        let reloaded = GenerationalStore::from_shared_snapshot(
+            SharedSnapshot::new(Arc::clone(after)).unwrap(),
+            OverlayPolicy::default(),
+        );
+        assert_eq!(reloaded.len(), 200);
+    }
+
+    #[test]
+    fn non_indexed_backends_carry_no_snapshot() {
+        for backend in [
+            StoreBackend::Raw,
+            StoreBackend::DeltaCoded,
+            StoreBackend::Bloom,
+        ] {
+            let store = GenerationalStore::build(backend, PrefixLen::L32, prefixes(0..50));
+            assert!(store.base_snapshot().is_none(), "{backend}");
         }
     }
 

@@ -17,15 +17,11 @@
 use sb_hash::{Prefix, PrefixLen};
 
 use crate::rows::sorted_rows;
+use crate::scan;
 use crate::traits::PrefixStore;
 
 /// Number of buckets in the two-byte lead index.
-const BUCKETS: usize = 1 << 16;
-
-/// Bucket sizes above this threshold switch from a linear scan to a binary
-/// search, so a maliciously skewed prefix distribution cannot degrade a
-/// lookup past O(log bucket).
-const LINEAR_SCAN_MAX: usize = 64;
+pub(crate) const BUCKETS: usize = 1 << 16;
 
 /// A sorted fixed-width prefix array accelerated by a 2-byte-lead bucket
 /// index.
@@ -96,10 +92,20 @@ impl IndexedPrefixTable {
             .max()
             .unwrap_or(0)
     }
+
+    /// The sorted, concatenated row bytes (snapshot serializer input).
+    pub(crate) fn row_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The `BUCKETS + 1` bucket offsets (snapshot serializer input).
+    pub(crate) fn bucket_offsets(&self) -> &[u32] {
+        &self.offsets
+    }
 }
 
 /// The bucket of a row: its leading two bytes, big-endian.
-fn lead16(row: &[u8]) -> usize {
+pub(crate) fn lead16(row: &[u8]) -> usize {
     u16::from_be_bytes([row[0], row[1]]) as usize
 }
 
@@ -128,57 +134,11 @@ impl PrefixStore for IndexedPrefixTable {
             return false;
         }
         let width = self.prefix_len.bytes();
-        let rows = &self.data[lo * width..hi * width];
-        if hi - lo <= LINEAR_SCAN_MAX {
-            // Tiny bucket: a straight branchless scan over contiguous rows
-            // beats a branchy binary search (one compare per row, no early
-            // exit to mispredict).  The deployed widths get a fixed-width
-            // loop the compiler unrolls and vectorizes; rows in the bucket
-            // share their first two bytes with the target, so only the
-            // tails need comparing.
-            match width {
-                2 => true, // the two lead bytes are the whole prefix
-                4 => {
-                    let want = u16::from_be_bytes([target[2], target[3]]);
-                    let mut found = false;
-                    for row in rows.chunks_exact(4) {
-                        found |= u16::from_be_bytes([row[2], row[3]]) == want;
-                    }
-                    found
-                }
-                8 => {
-                    let want = u64::from_be_bytes(target[..8].try_into().expect("8-byte row"));
-                    let mut found = false;
-                    for row in rows.chunks_exact(8) {
-                        found |= u64::from_be_bytes(row.try_into().expect("8-byte row")) == want;
-                    }
-                    found
-                }
-                _ => {
-                    let tail = &target[2..];
-                    let mut found = false;
-                    for row in rows.chunks_exact(width) {
-                        found |= &row[2..] == tail;
-                    }
-                    found
-                }
-            }
-        } else {
-            // Adversarially skewed bucket: binary search over the rows so a
-            // lookup stays O(log bucket).
-            let tail = &target[2..];
-            let row_tail = |i: usize| &rows[i * width + 2..(i + 1) * width];
-            let (mut a, mut b) = (0usize, hi - lo);
-            while a < b {
-                let mid = (a + b) / 2;
-                match row_tail(mid).cmp(tail) {
-                    std::cmp::Ordering::Equal => return true,
-                    std::cmp::Ordering::Less => a = mid + 1,
-                    std::cmp::Ordering::Greater => b = mid,
-                }
-            }
-            false
-        }
+        // Tiny buckets take a vectorized (SIMD where available) linear
+        // scan; adversarially skewed ones past `scan::LINEAR_SCAN_MAX`
+        // fall back to a binary search — see the `scan` module for the
+        // kernels and dispatch rules.
+        scan::scan_bucket(&self.data[lo * width..hi * width], width, target)
     }
 
     fn memory_bytes(&self) -> usize {
@@ -292,7 +252,7 @@ mod tests {
     fn skewed_bucket_falls_back_to_binary_search() {
         // All prefixes share one two-byte lead: a single bucket holding the
         // entire table must still answer correctly (binary-search path).
-        let prefixes: Vec<Prefix> = (0..(4 * LINEAR_SCAN_MAX as u32))
+        let prefixes: Vec<Prefix> = (0..(4 * scan::LINEAR_SCAN_MAX as u32))
             .map(|i| Prefix::from_u32(0xabcd_0000 | (i * 3)))
             .collect();
         let table = IndexedPrefixTable::from_prefixes(PrefixLen::L32, prefixes.clone());

@@ -1,0 +1,290 @@
+//! Property tests of the snapshot format, mirroring the sb-wire
+//! hostile-input suite: round-trip equality with `from_prefixes` on every
+//! prefix length, and typed rejection — never a panic — of truncated,
+//! corrupted and structurally inconsistent buffers.
+
+use proptest::prelude::*;
+use sb_hash::{Prefix, PrefixLen};
+use sb_store::{
+    serialize_snapshot, IndexedPrefixTable, PrefixStore, SharedSnapshot, SnapshotError,
+    SnapshotView, SNAPSHOT_INDEX_MIN_ROWS, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
+
+/// Random prefixes of an arbitrary deployed length.
+fn any_len_prefix_vec() -> impl Strategy<Value = (PrefixLen, Vec<Prefix>)> {
+    (
+        0usize..PrefixLen::ALL.len(),
+        prop::collection::vec(prop::array::uniform32(any::<u8>()), 0..200),
+    )
+        .prop_map(|(len_index, rows)| {
+            let len = PrefixLen::ALL[len_index];
+            let prefixes = rows
+                .into_iter()
+                .map(|row| Prefix::from_bytes(&row[..len.bytes()], len))
+                .collect();
+            (len, prefixes)
+        })
+}
+
+/// A valid serialized snapshot (sometimes big enough to carry the index).
+fn snapshot_bytes() -> impl Strategy<Value = Vec<u8>> {
+    any_len_prefix_vec().prop_map(|(len, prefixes)| {
+        serialize_snapshot(&IndexedPrefixTable::from_prefixes(len, prefixes))
+    })
+}
+
+proptest! {
+    /// Round trip: a parsed snapshot is verdict-identical to the table it
+    /// was serialized from, on members, non-members and every length.
+    #[test]
+    fn round_trip_is_verdict_identical(
+        len_and_prefixes in any_len_prefix_vec(),
+        probes in prop::collection::vec(prop::array::uniform32(any::<u8>()), 0..100),
+    ) {
+        let (len, prefixes) = len_and_prefixes;
+        let table = IndexedPrefixTable::from_prefixes(len, prefixes.clone());
+        let bytes = serialize_snapshot(&table);
+        let view = SnapshotView::parse(&bytes).expect("serializer output validates");
+        view.verify_payload().expect("payload CRC intact");
+
+        prop_assert_eq!(view.prefix_len(), len);
+        prop_assert_eq!(view.len(), table.len());
+        for p in &prefixes {
+            prop_assert!(view.contains(p));
+        }
+        for probe in probes {
+            let q = Prefix::from_bytes(&probe[..len.bytes()], len);
+            prop_assert_eq!(view.contains(&q), table.contains(&q));
+        }
+        let round: Vec<Prefix> = view.iter().collect();
+        let original: Vec<Prefix> = table.iter().collect();
+        prop_assert_eq!(round, original);
+    }
+
+    /// Shared ownership answers exactly like the borrowed view.
+    #[test]
+    fn shared_snapshot_matches_view(len_and_prefixes in any_len_prefix_vec()) {
+        let (len, prefixes) = len_and_prefixes;
+        let table = IndexedPrefixTable::from_prefixes(len, prefixes);
+        let shared = SharedSnapshot::from_table(&table);
+        prop_assert_eq!(shared.len(), table.len());
+        for p in table.iter() {
+            prop_assert!(shared.contains(&p));
+        }
+    }
+
+    /// Any truncation of a valid snapshot is a typed error, never a panic
+    /// and never a silently shorter table.
+    #[test]
+    fn truncations_are_rejected(bytes in snapshot_bytes(), cut_seed in any::<usize>()) {
+        let cut = cut_seed % bytes.len();
+        let result = SnapshotView::parse(&bytes[..cut]);
+        prop_assert!(result.is_err());
+    }
+
+    /// Trailing garbage is rejected: the buffer must be exactly the length
+    /// the header implies.
+    #[test]
+    fn trailing_bytes_are_rejected(bytes in snapshot_bytes(), extra in 1usize..64) {
+        let mut padded = bytes;
+        padded.extend(std::iter::repeat_n(0xAAu8, extra));
+        let wrong_length = matches!(
+            SnapshotView::parse(&padded),
+            Err(SnapshotError::WrongLength { .. })
+        );
+        prop_assert!(wrong_length);
+    }
+
+    /// Arbitrary byte soup never panics the parser; whatever it returns is
+    /// a typed result.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = SnapshotView::parse(&bytes);
+    }
+
+    /// Flipping any single byte of a valid snapshot either still parses
+    /// (row-region flips are deliberately invisible to `parse`) or yields
+    /// a typed error — and a row flip is always caught by the deep check.
+    #[test]
+    fn single_byte_corruption_is_detected(
+        bytes in snapshot_bytes(),
+        at_seed in any::<usize>(),
+        flip in any::<u8>(),
+    ) {
+        prop_assume!(flip != 0);
+        let mut corrupt = bytes.clone();
+        let at = at_seed % corrupt.len();
+        corrupt[at] ^= flip;
+        match SnapshotView::parse(&corrupt) {
+            Err(_) => {}
+            Ok(view) => {
+                // parse() only tolerates flips in the row region (its
+                // contract is zero-per-row work); those must then fail the
+                // payload CRC.
+                prop_assert!(at >= bytes.len() - view.len() * view.prefix_len().bytes());
+                let caught = matches!(
+                    view.verify_payload(),
+                    Err(SnapshotError::DataCrcMismatch { .. })
+                );
+                prop_assert!(caught);
+            }
+        }
+    }
+}
+
+// ---- targeted hostile headers (deterministic) ------------------------------
+
+fn valid_snapshot(n: usize) -> Vec<u8> {
+    let prefixes = (0..n as u32).map(|i| Prefix::from_u32(i.wrapping_mul(2654435761)));
+    serialize_snapshot(&IndexedPrefixTable::from_prefixes(PrefixLen::L32, prefixes))
+}
+
+/// Recomputes both CRCs after a deliberate structural edit, so the test
+/// reaches the *structural* validator instead of stopping at the CRC.
+fn refresh_crcs(bytes: &mut [u8]) {
+    let has_index = bytes[6] & 1 != 0;
+    let index_len = if has_index { 65537 * 4 } else { 0 };
+    let rows_start = 24 + index_len;
+    let data_crc = sb_hash::crc32(&bytes[rows_start..]).to_le_bytes();
+    bytes[16..20].copy_from_slice(&data_crc);
+    let mut meta = sb_hash::Crc32::new();
+    meta.update(&bytes[..20]);
+    meta.update(&bytes[24..rows_start]);
+    let meta_crc = meta.finalize().to_le_bytes();
+    bytes[20..24].copy_from_slice(&meta_crc);
+}
+
+#[test]
+fn wrong_magic_is_typed() {
+    let mut bytes = valid_snapshot(10);
+    bytes[..4].copy_from_slice(b"NOPE");
+    assert_eq!(
+        SnapshotView::parse(&bytes),
+        Err(SnapshotError::BadMagic(*b"NOPE"))
+    );
+    assert_ne!(SNAPSHOT_MAGIC, *b"NOPE");
+}
+
+#[test]
+fn future_version_is_typed() {
+    let mut bytes = valid_snapshot(10);
+    bytes[4..6].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+    assert_eq!(
+        SnapshotView::parse(&bytes),
+        Err(SnapshotError::UnsupportedVersion(SNAPSHOT_VERSION + 1))
+    );
+}
+
+#[test]
+fn unknown_flags_are_typed() {
+    let mut bytes = valid_snapshot(10);
+    bytes[6] |= 0x80;
+    refresh_crcs(&mut bytes);
+    assert_eq!(
+        SnapshotView::parse(&bytes),
+        Err(SnapshotError::UnknownFlags(0x80))
+    );
+}
+
+#[test]
+fn undeployed_prefix_len_is_typed() {
+    let mut bytes = valid_snapshot(10);
+    bytes[8..10].copy_from_slice(&48u16.to_le_bytes());
+    assert_eq!(
+        SnapshotView::parse(&bytes),
+        Err(SnapshotError::BadPrefixLen(48))
+    );
+}
+
+#[test]
+fn nonzero_reserved_is_typed() {
+    let mut bytes = valid_snapshot(10);
+    bytes[10] = 7;
+    assert_eq!(
+        SnapshotView::parse(&bytes),
+        Err(SnapshotError::NonZeroReserved(7))
+    );
+}
+
+#[test]
+fn corrupt_meta_crc_is_typed() {
+    let mut bytes = valid_snapshot(10);
+    bytes[20] ^= 0xFF;
+    assert!(matches!(
+        SnapshotView::parse(&bytes),
+        Err(SnapshotError::MetaCrcMismatch { .. })
+    ));
+}
+
+#[test]
+fn misaligned_row_count_is_typed() {
+    let mut bytes = valid_snapshot(10);
+    let claimed = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    bytes[12..16].copy_from_slice(&(claimed + 1).to_le_bytes());
+    refresh_crcs(&mut bytes);
+    assert!(matches!(
+        SnapshotView::parse(&bytes),
+        Err(SnapshotError::WrongLength { .. })
+    ));
+}
+
+#[test]
+fn non_monotonic_bucket_offsets_are_typed() {
+    let mut bytes = valid_snapshot(SNAPSHOT_INDEX_MIN_ROWS + 100);
+    assert!(bytes[6] & 1 != 0, "large snapshot carries the index");
+    // Find a bucket whose offset is non-zero and zero it: offsets become
+    // non-monotonic (or break the offsets[0] == 0 anchor).
+    let index = &mut bytes[24..24 + 65537 * 4];
+    let mut edited_bucket = None;
+    for bucket in (0..=65536).rev() {
+        let at = bucket * 4;
+        let v = u32::from_le_bytes(index[at..at + 4].try_into().unwrap());
+        if v != 0 {
+            index[at..at + 4].copy_from_slice(&0u32.to_le_bytes());
+            edited_bucket = Some(bucket);
+            break;
+        }
+    }
+    let edited = edited_bucket.expect("a populated snapshot has non-zero offsets");
+    refresh_crcs(&mut bytes);
+    match SnapshotView::parse(&bytes) {
+        Err(SnapshotError::NonMonotonicIndex { bucket }) => assert!(bucket >= edited),
+        Err(SnapshotError::IndexRowCountMismatch { .. }) if edited == 65536 => {}
+        other => panic!("expected a structural index rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn index_total_disagreeing_with_row_count_is_typed() {
+    let mut bytes = valid_snapshot(SNAPSHOT_INDEX_MIN_ROWS + 100);
+    assert!(bytes[6] & 1 != 0);
+    // Bump every offset from some bucket on by +1, keeping monotonicity but
+    // desynchronizing offsets[65536] from row_count.
+    for bucket in 1..=65536usize {
+        let at = 24 + bucket * 4;
+        let v = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        bytes[at..at + 4].copy_from_slice(&(v + 1).to_le_bytes());
+    }
+    refresh_crcs(&mut bytes);
+    assert!(matches!(
+        SnapshotView::parse(&bytes),
+        Err(SnapshotError::IndexRowCountMismatch { .. })
+    ));
+}
+
+#[test]
+fn small_lists_elide_the_index_and_large_lists_carry_it() {
+    let small = valid_snapshot(SNAPSHOT_INDEX_MIN_ROWS - 1);
+    let large = valid_snapshot(SNAPSHOT_INDEX_MIN_ROWS);
+    assert_eq!(small[6] & 1, 0, "small list: index elided");
+    assert_eq!(large[6] & 1, 1, "large list: index present");
+    // The elided index saves the fixed 256 KB.
+    let small_view = SnapshotView::parse(&small).unwrap();
+    let large_view = SnapshotView::parse(&large).unwrap();
+    assert!(!small_view.has_index());
+    assert!(large_view.has_index());
+    assert!(large_view.memory_bytes() - small_view.memory_bytes() > 65536 * 4);
+    // Both still answer correctly.
+    assert!(small_view.contains(&Prefix::from_u32(2654435761u32.wrapping_mul(1))));
+    assert!(large_view.contains(&Prefix::from_u32(2654435761u32.wrapping_mul(1))));
+}

@@ -190,40 +190,15 @@ impl From<std::io::Error> for WireError {
 }
 
 // ---------------------------------------------------------------------------
-// CRC-32 (IEEE), table-driven, built at compile time
+// CRC-32 (IEEE) — the shared implementation lives in sb-hash, next to the
+// other integrity primitives, so the wire codec and the sb-store snapshot
+// format checksum bytes identically.  Re-exported here to keep
+// `sb_wire::crc32` a public name.
 // ---------------------------------------------------------------------------
 
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0xEDB8_8320
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-}
-
-static CRC32_TABLE: [u32; 256] = crc32_table();
-
 /// CRC-32 (IEEE polynomial) of `bytes` — the payload checksum carried in
-/// every frame header.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
-    }
-    !crc
-}
+/// every frame header (re-export of [`sb_hash::crc32`]).
+pub use sb_hash::crc32;
 
 // ---------------------------------------------------------------------------
 // Header
