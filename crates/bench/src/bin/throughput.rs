@@ -9,9 +9,16 @@
 //! sharded provider fleet, and the full stack with one degraded shard.
 //!
 //! Run: `cargo run --release -p sb-bench --bin throughput` (full corpus) or
-//! `--smoke` for the CI-sized run.  Scale knobs: `SB_THROUGHPUT_PREFIXES`,
-//! `SB_THROUGHPUT_CLIENTS`, `SB_THROUGHPUT_URLS` (per client), and
-//! `SB_THROUGHPUT_OUT` (output path, default `BENCH_throughput.json`).
+//! `--smoke` for the CI-sized run.  `--scenario <name>` restricts the run
+//! to one named resilience scenario (`retrying_flaky`, `sharded_fleet`,
+//! `resilient_degraded_shard`, `tcp_serving`, `chaos_resilience` or
+//! `update_churn`) for quick iteration: only the indexed backend baseline
+//! and the named scenario execute, and the shaper sweep and perf-budget
+//! sections are skipped (so a filtered `BENCH_throughput.json` is a
+//! subset, not a recordable artifact).  Scale knobs:
+//! `SB_THROUGHPUT_PREFIXES`, `SB_THROUGHPUT_CLIENTS`, `SB_THROUGHPUT_URLS`
+//! (per client), and `SB_THROUGHPUT_OUT` (output path, default
+//! `BENCH_throughput.json`).
 //!
 //! # `BENCH_throughput.json` schema
 //!
@@ -68,6 +75,20 @@
 //!   chaos may slow lookups down but must never change a verdict).
 //!   `failed_lookups` must be 0: every palette fault is retryable.
 //!
+//!   `tcp_serving` and `chaos_resilience` additionally carry a
+//!   `telemetry` object: the `sb-telemetry` registry snapshot scraped
+//!   **over the wire** (the `TelemetryRequest` admin frame) while the tier
+//!   was still serving.  Every layer of those scenarios — the clients
+//!   (`client.*`), the retry layer (`retry.*`), the breaker (`breaker.*`,
+//!   chaos only), the pooled TCP transports (`tcp_client.*`) and the
+//!   serving tier (`wire.*`) — publishes into one shared `Telemetry`
+//!   plane, so the block holds `counters`, `gauges` and `histograms`
+//!   (log-bucketed, with `count`/`sum`/`p50`/`p90`/`p99`) spanning the
+//!   whole stack.  Invariants CI checks on it: the `client.lookup_ns`
+//!   histogram count equals the `client.lookups` counter, and the
+//!   `retry.round_trip_ns` count (round trips) is at least
+//!   `retry.retries`.
+//!
 //!   `update_churn` measures the generational update pipeline: a writer
 //!   thread keeps mutating the provider's list (add + remove batches)
 //!   while the clients look up **and** apply periodic updates mid-run.
@@ -115,17 +136,17 @@ use rand::{Rng, SeedableRng};
 use sb_client::{
     BreakerPolicy, CircuitBreakerTransport, ClientConfig, DeterministicDummiesShaper, ExactShaper,
     InProcessTransport, OnePrefixAtATimeShaper, PaddedBucketShaper, QueryShaper, RetryPolicy,
-    RetryingTransport, SafeBrowsingClient, SimulatedTransport, TcpTransport, TcpTransportStats,
-    TransportService, VirtualClock,
+    RetryingTransport, SafeBrowsingClient, SimulatedTransport, TcpTransport, TransportService,
 };
 use sb_hash::{Prefix, PrefixLen};
-use sb_protocol::{Provider, ServiceError, ThreatCategory};
+use sb_protocol::{Provider, ServiceError, ThreatCategory, VirtualClock};
 use sb_server::{
     ChaosProxy, ChaosSchedule, Fault, SafeBrowsingServer, ShardHandle, ShardedProvider,
     TcpServingTier, TierConfig,
 };
 use sb_store::scan::{active_backend, scan_linear, scan_linear_scalar, LINEAR_SCAN_MAX};
 use sb_store::{serialize_snapshot, IndexedPrefixTable, PrefixStore, SharedSnapshot, StoreBackend};
+use sb_telemetry::{RegistrySnapshot, Telemetry};
 use sb_url::CanonicalUrl;
 
 /// A global allocator that counts every allocation (`alloc` + `realloc`),
@@ -171,11 +192,22 @@ struct Config {
     clients: usize,
     urls_per_client: usize,
     out_path: String,
+    /// `--scenario <name>`: run only that resilience scenario.
+    scenario: Option<String>,
 }
 
 impl Config {
     fn from_env_and_args() -> Self {
         let smoke = std::env::args().any(|a| a == "--smoke");
+        let args: Vec<String> = std::env::args().collect();
+        let scenario = args.iter().position(|a| a == "--scenario").map(|at| {
+            args.get(at + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--scenario requires a scenario name");
+                    std::process::exit(2);
+                })
+                .clone()
+        });
         let env_usize = |key: &str, default: usize| {
             std::env::var(key)
                 .ok()
@@ -192,7 +224,13 @@ impl Config {
             urls_per_client: env_usize("SB_THROUGHPUT_URLS", if smoke { 2_000 } else { 20_000 }),
             out_path: std::env::var("SB_THROUGHPUT_OUT")
                 .unwrap_or_else(|_| "BENCH_throughput.json".to_string()),
+            scenario,
         }
+    }
+
+    /// Whether scenario `name` should run under the `--scenario` filter.
+    fn wants(&self, name: &str) -> bool {
+        self.scenario.as_deref().is_none_or(|only| only == name)
     }
 }
 
@@ -226,6 +264,9 @@ struct ScenarioReport {
     wire: Option<WireReport>,
     /// Present only for the `chaos_resilience` scenario.
     chaos: Option<ChaosReport>,
+    /// Present for the network scenarios: the shared registry snapshot
+    /// scraped over the TCP admin frame while the tier was serving.
+    telemetry: Option<RegistrySnapshot>,
 }
 
 /// Fault accounting of the `chaos_resilience` scenario: the proxy's
@@ -282,11 +323,32 @@ fn main() {
     let server = build_server(config.prefixes);
     let workload = build_workload(config.clients * config.urls_per_client);
 
-    let backends = [
-        StoreBackend::Raw,
-        StoreBackend::DeltaCoded,
-        StoreBackend::Indexed,
+    const SCENARIOS: [&str; 6] = [
+        "retrying_flaky",
+        "sharded_fleet",
+        "resilient_degraded_shard",
+        "tcp_serving",
+        "chaos_resilience",
+        "update_churn",
     ];
+    if let Some(only) = &config.scenario {
+        if !SCENARIOS.contains(&only.as_str()) {
+            eprintln!("unknown scenario {only:?}; valid names: {SCENARIOS:?}");
+            std::process::exit(2);
+        }
+    }
+
+    // Under a `--scenario` filter only the indexed backend runs: it is the
+    // baseline every scenario builds on (and the chaos parity reference).
+    let backends: Vec<StoreBackend> = if config.scenario.is_some() {
+        vec![StoreBackend::Indexed]
+    } else {
+        vec![
+            StoreBackend::Raw,
+            StoreBackend::DeltaCoded,
+            StoreBackend::Indexed,
+        ]
+    };
     let reports: Vec<BackendReport> = backends
         .iter()
         .map(|&backend| run_backend(backend, &server, &workload, &config))
@@ -298,25 +360,49 @@ fn main() {
         .find(|r| r.backend == StoreBackend::Indexed)
         .expect("indexed backend measured")
         .flagged;
-    let scenarios = [
-        run_retrying_flaky(&server, &workload, &config),
-        run_sharded_fleet(&server, &workload, &config),
-        run_resilient_degraded_shard(&server, &workload, &config),
-        run_tcp_serving(&server, &workload, &config),
-        run_chaos_resilience(&server, &workload, &config, indexed_flagged),
-        run_update_churn(&server, &workload, &config),
-    ];
+    let mut scenarios: Vec<ScenarioReport> = Vec::new();
+    if config.wants("retrying_flaky") {
+        scenarios.push(run_retrying_flaky(&server, &workload, &config));
+    }
+    if config.wants("sharded_fleet") {
+        scenarios.push(run_sharded_fleet(&server, &workload, &config));
+    }
+    if config.wants("resilient_degraded_shard") {
+        scenarios.push(run_resilient_degraded_shard(&server, &workload, &config));
+    }
+    if config.wants("tcp_serving") {
+        scenarios.push(run_tcp_serving(&server, &workload, &config));
+    }
+    if config.wants("chaos_resilience") {
+        scenarios.push(run_chaos_resilience(
+            &server,
+            &workload,
+            &config,
+            indexed_flagged,
+        ));
+    }
+    if config.wants("update_churn") {
+        scenarios.push(run_update_churn(&server, &workload, &config));
+    }
 
-    let shaped = run_mitigated_batch(&server, &workload, &config);
+    let shaped = if config.scenario.is_none() {
+        run_mitigated_batch(&server, &workload, &config)
+    } else {
+        Vec::new()
+    };
 
-    let indexed_allocs = reports
-        .iter()
-        .find(|r| r.backend == StoreBackend::Indexed)
-        .expect("indexed backend measured")
-        .allocs_per_cache_hit_lookup;
-    let perf = run_perf_budget(&config, indexed_allocs);
+    let perf = if config.scenario.is_none() {
+        let indexed_allocs = reports
+            .iter()
+            .find(|r| r.backend == StoreBackend::Indexed)
+            .expect("indexed backend measured")
+            .allocs_per_cache_hit_lookup;
+        Some(run_perf_budget(&config, indexed_allocs))
+    } else {
+        None
+    };
 
-    let json = render_json(&config, &reports, &scenarios, &shaped, &perf);
+    let json = render_json(&config, &reports, &scenarios, &shaped, perf.as_ref());
     std::fs::write(&config.out_path, &json).expect("write BENCH_throughput.json");
     eprintln!("wrote {}", config.out_path);
     println!("{json}");
@@ -598,6 +684,7 @@ fn scenario_report(
         churn: None,
         wire: None,
         chaos: None,
+        telemetry: None,
     };
     eprintln!(
         "[{name}] {:.0} lookups/s, p50 {} ns, p99 {} ns, {} flagged, {} failed, \
@@ -739,28 +826,42 @@ fn run_tcp_serving(
         "[tcp_serving] binding serving tier + {} client(s)...",
         config.clients
     );
-    let tier = TcpServingTier::bind(
+    let telemetry = Telemetry::new();
+    let tier = TcpServingTier::bind_with_telemetry(
         server.clone(),
         // Pooled client connections stay open for the whole run, and each
-        // occupies one worker: size the pool for every client plus slack.
+        // occupies one worker: size the pool for every client plus slack
+        // (the slack worker also serves the mid-run telemetry scrape).
         TierConfig::default().with_workers(config.clients + 1),
+        telemetry.clone(),
     )
     .expect("bind TCP serving tier");
 
     let clock = Arc::new(VirtualClock::new());
     let transports: Vec<Arc<TcpTransport>> = (0..config.clients)
-        .map(|_| Arc::new(TcpTransport::new(tier.local_addr()).expect("tier address resolves")))
+        .map(|_| {
+            Arc::new(
+                TcpTransport::new(tier.local_addr())
+                    .expect("tier address resolves")
+                    .with_telemetry(telemetry.clone()),
+            )
+        })
         .collect();
     let mut clients: Vec<SafeBrowsingClient> = transports
         .iter()
         .map(|transport| {
-            let retrying = Arc::new(RetryingTransport::with_clock(
-                transport.clone(),
-                RetryPolicy::default(),
-                clock.clone(),
-            ));
+            let retrying = Arc::new(
+                RetryingTransport::with_clock(
+                    transport.clone(),
+                    RetryPolicy::default(),
+                    clock.clone(),
+                )
+                .with_telemetry(telemetry.clone()),
+            );
             let mut client = SafeBrowsingClient::new(
-                ClientConfig::subscribed_to([LIST]).with_backend(StoreBackend::Indexed),
+                ClientConfig::subscribed_to([LIST])
+                    .with_backend(StoreBackend::Indexed)
+                    .with_telemetry(telemetry.clone()),
                 retrying,
             );
             client.update().expect("initial update over TCP");
@@ -770,46 +871,57 @@ fn run_tcp_serving(
 
     let timed = timed_phase(&mut clients, workload, config.urls_per_client);
 
-    let client_stats =
-        transports
-            .iter()
-            .map(|t| t.stats())
-            .fold(TcpTransportStats::default(), |acc, s| TcpTransportStats {
-                connections_opened: acc.connections_opened + s.connections_opened,
-                connections_reused: acc.connections_reused + s.connections_reused,
-                reconnects: acc.reconnects + s.reconnects,
-                round_trips: acc.round_trips + s.round_trips,
-                bytes_sent: acc.bytes_sent + s.bytes_sent,
-                bytes_received: acc.bytes_received + s.bytes_received,
-            });
+    // Scrape the shared registry over the wire while the tier is still
+    // serving: a dedicated admin connection (with its own private
+    // telemetry, so the scrape does not perturb the shared counters)
+    // sends a `TelemetryRequest` frame and carries the snapshot back.
+    let admin = TcpTransport::new(tier.local_addr()).expect("tier address resolves");
+    let snapshot = admin.scrape_telemetry().expect("telemetry scrape over TCP");
+    let admin_stats = admin.stats();
+    drop(admin);
+    // Every transport publishes into the one shared registry, so the wire
+    // accounting is a single snapshot read — summing per-transport
+    // `stats()` views would multiply-count the shared counters.
+    let counter = |name: &str| snapshot.counter(name).unwrap_or(0);
+
     // Close the pooled client connections, then drain the tier; shutdown
-    // joins every worker, so the counters it returns are final.
+    // joins every worker, so the counters it returns are final.  The
+    // admin scrape is not part of the client workload (its transport has
+    // private telemetry), so its one connection and exchange are
+    // subtracted from the tier's totals to keep the client/server byte
+    // parity exact.
     drop(clients);
     drop(transports);
-    let server_stats = tier.shutdown();
+    let mut server_stats = tier.shutdown();
+    server_stats.connections_accepted -= 1;
+    server_stats.frames_received -= 1;
+    server_stats.frames_sent -= 1;
+    server_stats.bytes_received -= admin_stats.bytes_sent;
+    server_stats.bytes_sent -= admin_stats.bytes_received;
 
     eprintln!(
         "[tcp_serving] {} conns opened / {} reuses, client {}B out / {}B in; \
          server {} frames in / {} frames out",
-        client_stats.connections_opened,
-        client_stats.connections_reused,
-        client_stats.bytes_sent,
-        client_stats.bytes_received,
+        counter("tcp_client.connections_opened"),
+        counter("tcp_client.connections_reused"),
+        counter("tcp_client.bytes_sent"),
+        counter("tcp_client.bytes_received"),
         server_stats.frames_received,
         server_stats.frames_sent,
     );
     let mut report = scenario_report("tcp_serving", &timed, 1, 0, 0, 0);
     report.wire = Some(WireReport {
-        connections_opened: client_stats.connections_opened,
-        connections_reused: client_stats.connections_reused,
-        client_bytes_sent: client_stats.bytes_sent,
-        client_bytes_received: client_stats.bytes_received,
+        connections_opened: counter("tcp_client.connections_opened"),
+        connections_reused: counter("tcp_client.connections_reused"),
+        client_bytes_sent: counter("tcp_client.bytes_sent"),
+        client_bytes_received: counter("tcp_client.bytes_received"),
         server_connections: server_stats.connections_accepted,
         server_frames_received: server_stats.frames_received,
         server_frames_sent: server_stats.frames_sent,
         server_bytes_received: server_stats.bytes_received,
         server_bytes_sent: server_stats.bytes_sent,
     });
+    report.telemetry = Some(snapshot);
     report
 }
 
@@ -863,9 +975,11 @@ fn run_chaos_resilience(
         "[chaos_resilience] binding tier + chaos proxy + {} client(s)...",
         config.clients
     );
-    let tier = TcpServingTier::bind(
+    let telemetry = Telemetry::new();
+    let tier = TcpServingTier::bind_with_telemetry(
         server.clone(),
         TierConfig::default().with_workers(config.clients + 1),
+        telemetry.clone(),
     )
     .expect("bind TCP serving tier");
     let proxy = ChaosProxy::start(
@@ -878,23 +992,31 @@ fn run_chaos_resilience(
     type ChaosStack = RetryingTransport<CircuitBreakerTransport<TcpTransport>>;
     let retrying: Vec<Arc<ChaosStack>> = (0..config.clients)
         .map(|_| {
-            Arc::new(RetryingTransport::with_clock(
-                CircuitBreakerTransport::new(
-                    TcpTransport::new(proxy.local_addr()).expect("proxy address resolves"),
-                    BreakerPolicy::default().with_failure_threshold(1_000),
-                ),
-                RetryPolicy::default()
-                    .with_max_attempts(16)
-                    .with_base_delay(Duration::from_millis(10)),
-                clock.clone(),
-            ))
+            Arc::new(
+                RetryingTransport::with_clock(
+                    CircuitBreakerTransport::new(
+                        TcpTransport::new(proxy.local_addr())
+                            .expect("proxy address resolves")
+                            .with_telemetry(telemetry.clone()),
+                        BreakerPolicy::default().with_failure_threshold(1_000),
+                    )
+                    .with_telemetry(telemetry.clone()),
+                    RetryPolicy::default()
+                        .with_max_attempts(16)
+                        .with_base_delay(Duration::from_millis(10)),
+                    clock.clone(),
+                )
+                .with_telemetry(telemetry.clone()),
+            )
         })
         .collect();
     let mut clients: Vec<SafeBrowsingClient> = retrying
         .iter()
         .map(|rt| {
             let mut client = SafeBrowsingClient::new(
-                ClientConfig::subscribed_to([LIST]).with_backend(StoreBackend::Indexed),
+                ClientConfig::subscribed_to([LIST])
+                    .with_backend(StoreBackend::Indexed)
+                    .with_telemetry(telemetry.clone()),
                 rt.clone(),
             );
             client.update().expect("initial update through chaos");
@@ -903,7 +1025,15 @@ fn run_chaos_resilience(
         .collect();
 
     let timed = timed_phase(&mut clients, workload, config.urls_per_client);
-    let retries: usize = retrying.iter().map(|rt| rt.stats().retries).sum();
+
+    // Scrape straight off the tier — not through the proxy, so the admin
+    // frame cannot draw a fault — while the chaos workload's connections
+    // are still pooled.  One snapshot read replaces summing per-client
+    // `stats()` views, which would multiply-count the shared counters.
+    let admin = TcpTransport::new(tier.local_addr()).expect("tier address resolves");
+    let snapshot = admin.scrape_telemetry().expect("telemetry scrape over TCP");
+    drop(admin);
+    let retries = snapshot.counter("retry.retries").unwrap_or(0) as usize;
 
     // Close the pooled client connections, then drain the proxy and the
     // tier: shutdown joins every connection thread, so the fault counters
@@ -945,6 +1075,7 @@ fn run_chaos_resilience(
         slow_drips: stats.slow_drips,
         verdict_parity: timed.flagged == expected_flagged,
     });
+    report.telemetry = Some(snapshot);
     report
 }
 
@@ -1469,7 +1600,7 @@ fn render_json(
     reports: &[BackendReport],
     scenarios: &[ScenarioReport],
     shaped: &[ShaperReport],
-    perf: &PerfBudgetReport,
+    perf: Option<&PerfBudgetReport>,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -1533,7 +1664,7 @@ fn render_json(
         out.push_str(&format!(
             "      \"degraded_requests\": {}{}\n",
             s.degraded_requests,
-            if s.churn.is_some() || s.wire.is_some() || s.chaos.is_some() {
+            if s.churn.is_some() || s.wire.is_some() || s.chaos.is_some() || s.telemetry.is_some() {
                 ","
             } else {
                 ""
@@ -1573,8 +1704,9 @@ fn render_json(
                 wire.server_bytes_received
             ));
             out.push_str(&format!(
-                "      \"server_bytes_sent\": {}\n",
-                wire.server_bytes_sent
+                "      \"server_bytes_sent\": {}{}\n",
+                wire.server_bytes_sent,
+                if s.telemetry.is_some() { "," } else { "" }
             ));
         }
         if let Some(chaos) = &s.chaos {
@@ -1596,8 +1728,9 @@ fn render_json(
             out.push_str(&format!("      \"blackholes\": {},\n", chaos.blackholes));
             out.push_str(&format!("      \"slow_drips\": {},\n", chaos.slow_drips));
             out.push_str(&format!(
-                "      \"verdict_parity\": {}\n",
-                chaos.verdict_parity
+                "      \"verdict_parity\": {}{}\n",
+                chaos.verdict_parity,
+                if s.telemetry.is_some() { "," } else { "" }
             ));
         }
         if let Some(churn) = &s.churn {
@@ -1614,6 +1747,12 @@ fn render_json(
                 churn.deltas_absorbed
             ));
             out.push_str(&format!("      \"rebuilds\": {}\n", churn.rebuilds));
+        }
+        if let Some(telemetry) = &s.telemetry {
+            out.push_str(&format!(
+                "      \"telemetry\": {}\n",
+                telemetry.to_json_indented(6)
+            ));
         }
         out.push_str(if i + 1 == scenarios.len() {
             "    }\n"
@@ -1653,6 +1792,13 @@ fn render_json(
             "    },\n"
         });
     }
+    let Some(perf) = perf else {
+        // A `--scenario`-filtered run skips the perf-budget sweep; the
+        // mitigated-batch map above was its last section.
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        return out;
+    };
     out.push_str("  },\n");
     out.push_str("  \"perf_budget\": {\n");
     out.push_str(&format!(

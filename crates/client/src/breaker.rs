@@ -36,6 +36,7 @@ use sb_protocol::{
     Clock, DeadlineBudget, FullHashRequest, FullHashResponse, ServiceError, SystemClock,
     UpdateRequest, UpdateResponse,
 };
+use sb_telemetry::{Counter, Telemetry, TraceKind};
 
 use crate::transport::Transport;
 
@@ -108,10 +109,51 @@ enum State {
     HalfOpen,
 }
 
-#[derive(Debug)]
-struct BreakerInner {
-    state: State,
-    stats: BreakerStats,
+/// The `value` a [`TraceKind::BreakerTransition`] event carries for each
+/// state entered.
+fn state_code(state: &State) -> u64 {
+    match state {
+        State::Closed { .. } => 0,
+        State::Open { .. } => 1,
+        State::HalfOpen => 2,
+    }
+}
+
+/// Registry handles backing [`BreakerStats`]; registered once at
+/// construction, bumped with relaxed atomic adds.
+#[derive(Debug, Clone)]
+struct BreakerHandles {
+    calls: Counter,
+    inner_calls: Counter,
+    fast_failures: Counter,
+    opens: Counter,
+    closes: Counter,
+    half_open_probes: Counter,
+}
+
+impl BreakerHandles {
+    fn register(telemetry: &Telemetry) -> Self {
+        let metrics = telemetry.metrics();
+        BreakerHandles {
+            calls: metrics.counter("breaker.calls"),
+            inner_calls: metrics.counter("breaker.inner_calls"),
+            fast_failures: metrics.counter("breaker.fast_failures"),
+            opens: metrics.counter("breaker.opens"),
+            closes: metrics.counter("breaker.closes"),
+            half_open_probes: metrics.counter("breaker.half_open_probes"),
+        }
+    }
+
+    fn view(&self) -> BreakerStats {
+        BreakerStats {
+            calls: self.calls.get() as usize,
+            inner_calls: self.inner_calls.get() as usize,
+            fast_failures: self.fast_failures.get() as usize,
+            opens: self.opens.get() as usize,
+            closes: self.closes.get() as usize,
+            half_open_probes: self.half_open_probes.get() as usize,
+        }
+    }
 }
 
 /// A closed/open/half-open circuit breaker around any [`Transport`]; see
@@ -125,10 +167,10 @@ struct BreakerInner {
 /// use std::sync::Arc;
 /// use std::time::Duration;
 /// use sb_client::{
-///     BreakerPolicy, BreakerState, CircuitBreakerTransport, Clock, InProcessTransport,
-///     SimulatedTransport, Transport, VirtualClock,
+///     BreakerPolicy, BreakerState, CircuitBreakerTransport, InProcessTransport,
+///     SimulatedTransport, Transport,
 /// };
-/// use sb_protocol::{Provider, ServiceError, UpdateRequest};
+/// use sb_protocol::{Clock, Provider, ServiceError, UpdateRequest, VirtualClock};
 /// use sb_server::SafeBrowsingServer;
 ///
 /// let server = Arc::new(SafeBrowsingServer::with_standard_lists(Provider::Google));
@@ -163,7 +205,9 @@ pub struct CircuitBreakerTransport<T> {
     inner: T,
     policy: BreakerPolicy,
     clock: Box<dyn Clock>,
-    state: Mutex<BreakerInner>,
+    telemetry: Telemetry,
+    handles: BreakerHandles,
+    state: Mutex<State>,
 }
 
 impl<T: Transport> CircuitBreakerTransport<T> {
@@ -175,17 +219,32 @@ impl<T: Transport> CircuitBreakerTransport<T> {
     /// Decorates `inner` with `policy` and an injected [`Clock`] — the
     /// deterministic-test constructor.
     pub fn with_clock(inner: T, policy: BreakerPolicy, clock: impl Clock + 'static) -> Self {
+        let telemetry = Telemetry::new();
+        let handles = BreakerHandles::register(&telemetry);
         CircuitBreakerTransport {
             inner,
             policy,
             clock: Box::new(clock),
-            state: Mutex::new(BreakerInner {
-                state: State::Closed {
-                    consecutive_failures: 0,
-                },
-                stats: BreakerStats::default(),
+            telemetry,
+            handles,
+            state: Mutex::new(State::Closed {
+                consecutive_failures: 0,
             }),
         }
+    }
+
+    /// Publishes this breaker's `breaker.*` counters and
+    /// [`TraceKind::BreakerTransition`] events into `telemetry` instead of
+    /// the private default plane.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.handles = BreakerHandles::register(&telemetry);
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry plane this breaker publishes into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The wrapped transport.
@@ -198,30 +257,38 @@ impl<T: Transport> CircuitBreakerTransport<T> {
         &self.policy
     }
 
-    /// The counters accumulated so far.
+    /// The counters accumulated so far — a view over the `breaker.*`
+    /// metrics in the telemetry registry.
     pub fn stats(&self) -> BreakerStats {
-        self.lock().stats
+        self.handles.view()
     }
 
     /// The breaker's current state.
     pub fn state(&self) -> BreakerState {
-        match self.lock().state {
+        match *self.lock() {
             State::Closed { .. } => BreakerState::Closed,
             State::Open { .. } => BreakerState::Open,
             State::HalfOpen => BreakerState::HalfOpen,
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, BreakerInner> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
         self.state.lock().expect("circuit breaker lock poisoned")
+    }
+
+    /// Moves to `next` and records the transition event.
+    fn transition(&self, state: &mut State, next: State) {
+        self.telemetry
+            .event(TraceKind::BreakerTransition, state_code(&next));
+        *state = next;
     }
 
     /// Gate for one exchange.  `Ok(is_probe)` admits the call; `Err` is
     /// the fail-fast rejection.
     fn admit(&self) -> Result<bool, ServiceError> {
-        let mut inner = self.lock();
-        inner.stats.calls += 1;
-        let admitted = match inner.state {
+        let mut state = self.lock();
+        self.handles.calls.inc();
+        let admitted = match *state {
             State::Closed { .. } => Ok(false),
             State::HalfOpen => {
                 // A probe is already in flight; its outcome decides.
@@ -230,8 +297,8 @@ impl<T: Transport> CircuitBreakerTransport<T> {
             State::Open { since } => {
                 let waited = self.clock.now().saturating_sub(since);
                 if waited >= self.policy.cool_down {
-                    inner.state = State::HalfOpen;
-                    inner.stats.half_open_probes += 1;
+                    self.transition(&mut state, State::HalfOpen);
+                    self.handles.half_open_probes.inc();
                     Ok(true)
                 } else {
                     Err(self.policy.cool_down - waited)
@@ -240,11 +307,11 @@ impl<T: Transport> CircuitBreakerTransport<T> {
         };
         match admitted {
             Ok(is_probe) => {
-                inner.stats.inner_calls += 1;
+                self.handles.inner_calls.inc();
                 Ok(is_probe)
             }
             Err(remaining) => {
-                inner.stats.fast_failures += 1;
+                self.handles.fast_failures.inc();
                 Err(ServiceError::Unavailable {
                     reason: format!("circuit breaker open (fail-fast; probe in {remaining:?})"),
                 })
@@ -254,35 +321,44 @@ impl<T: Transport> CircuitBreakerTransport<T> {
 
     /// Records the outcome of an admitted exchange.
     fn settle(&self, was_probe: bool, retryable_failure: bool) {
-        let mut inner = self.lock();
+        let mut state = self.lock();
         if retryable_failure {
             if was_probe {
                 // The probe failed: back to open for another cool-down.
-                inner.state = State::Open {
-                    since: self.clock.now(),
-                };
-                inner.stats.opens += 1;
+                self.transition(
+                    &mut state,
+                    State::Open {
+                        since: self.clock.now(),
+                    },
+                );
+                self.handles.opens.inc();
             } else if let State::Closed {
                 consecutive_failures,
-            } = &mut inner.state
+            } = &mut *state
             {
                 *consecutive_failures += 1;
                 if *consecutive_failures >= self.policy.failure_threshold {
-                    inner.state = State::Open {
-                        since: self.clock.now(),
-                    };
-                    inner.stats.opens += 1;
+                    self.transition(
+                        &mut state,
+                        State::Open {
+                            since: self.clock.now(),
+                        },
+                    );
+                    self.handles.opens.inc();
                 }
             }
             // A concurrent transition already moved the state: leave it.
         } else if was_probe {
-            inner.state = State::Closed {
-                consecutive_failures: 0,
-            };
-            inner.stats.closes += 1;
+            self.transition(
+                &mut state,
+                State::Closed {
+                    consecutive_failures: 0,
+                },
+            );
+            self.handles.closes.inc();
         } else if let State::Closed {
             consecutive_failures,
-        } = &mut inner.state
+        } = &mut *state
         {
             *consecutive_failures = 0;
         }

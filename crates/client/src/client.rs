@@ -10,6 +10,7 @@ use sb_protocol::{
     UpdateRequest,
 };
 use sb_store::{PrefixStore, StoreBackend};
+use sb_telemetry::{Counter, Gauge, Histogram, Telemetry, TraceKind};
 use sb_url::{visit_decompositions, CanonicalUrl, DecomposeScratch, ParseUrlError};
 
 use crate::cache::FullHashCache;
@@ -42,6 +43,13 @@ pub struct ClientConfig {
     /// draws down this one budget.  `None` (the default) leaves each
     /// transport layer on its own fixed timeouts.
     pub lookup_budget: Option<Duration>,
+    /// The telemetry plane the client publishes `client.*` metrics and
+    /// lookup/update trace events into.  `None` (the default) gives the
+    /// client a private plane, preserving per-instance
+    /// [`SafeBrowsingClient::metrics`] semantics; pass a shared
+    /// [`Telemetry`] to aggregate a whole stack (or fleet) into one
+    /// scrapeable registry.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Default for ClientConfig {
@@ -53,6 +61,7 @@ impl Default for ClientConfig {
             shaper: Arc::new(ExactShaper),
             lists: Vec::new(),
             lookup_budget: None,
+            telemetry: None,
         }
     }
 }
@@ -122,6 +131,14 @@ impl ClientConfig {
     /// spent.
     pub fn with_lookup_budget(mut self, budget: Duration) -> Self {
         self.lookup_budget = Some(budget);
+        self
+    }
+
+    /// Publishes the client's `client.*` metrics and lookup/update trace
+    /// events into a shared [`Telemetry`] plane; see
+    /// [`ClientConfig::telemetry`].
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 }
@@ -248,8 +265,12 @@ pub struct SafeBrowsingClient {
     config: ClientConfig,
     database: LocalDatabase,
     cache: FullHashCache,
-    metrics: ClientMetrics,
     transport: Box<dyn Transport>,
+    /// The telemetry plane (shared when configured, private otherwise) and
+    /// the registered `client.*` metric handles backing
+    /// [`Self::metrics`].
+    telemetry: Telemetry,
+    counters: ClientCounters,
     /// Everything this client has revealed to the provider, request group
     /// by request group (see [`DisclosureLedger`]).
     ledger: DisclosureLedger,
@@ -257,6 +278,75 @@ pub struct SafeBrowsingClient {
     /// lookup (no database hit) performs zero heap allocations once these
     /// have warmed up.
     scratch: LookupScratch,
+}
+
+/// Registry handles backing [`ClientMetrics`].  Registered once at
+/// construction; the lookup hot path only ever touches them with relaxed
+/// atomic adds, keeping the cache-hit path at zero heap allocations.
+#[derive(Debug, Clone)]
+struct ClientCounters {
+    lookups: Counter,
+    local_hits: Counter,
+    requests_sent: Counter,
+    full_hash_round_trips: Counter,
+    prefixes_sent: Counter,
+    dummy_prefixes_sent: Counter,
+    urls_flagged: Counter,
+    updates: Counter,
+    batched_lookups: Counter,
+    service_errors: Counter,
+    chunks_applied: Counter,
+    /// `next_update_seconds + 1` of the most recent update; 0 while no
+    /// update has succeeded (the `Option` sentinel).
+    next_update_hint: Gauge,
+    deltas_absorbed: Gauge,
+    store_rebuilds: Gauge,
+    lookup_ns: Histogram,
+}
+
+impl ClientCounters {
+    fn register(telemetry: &Telemetry) -> Self {
+        let metrics = telemetry.metrics();
+        ClientCounters {
+            lookups: metrics.counter("client.lookups"),
+            local_hits: metrics.counter("client.local_hits"),
+            requests_sent: metrics.counter("client.requests_sent"),
+            full_hash_round_trips: metrics.counter("client.full_hash_round_trips"),
+            prefixes_sent: metrics.counter("client.prefixes_sent"),
+            dummy_prefixes_sent: metrics.counter("client.dummy_prefixes_sent"),
+            urls_flagged: metrics.counter("client.urls_flagged"),
+            updates: metrics.counter("client.updates"),
+            batched_lookups: metrics.counter("client.batched_lookups"),
+            service_errors: metrics.counter("client.service_errors"),
+            chunks_applied: metrics.counter("client.chunks_applied"),
+            next_update_hint: metrics.gauge("client.next_update_hint"),
+            deltas_absorbed: metrics.gauge("client.deltas_absorbed"),
+            store_rebuilds: metrics.gauge("client.store_rebuilds"),
+            lookup_ns: metrics.histogram("client.lookup_ns"),
+        }
+    }
+
+    fn view(&self) -> ClientMetrics {
+        ClientMetrics {
+            lookups: self.lookups.get() as usize,
+            local_hits: self.local_hits.get() as usize,
+            requests_sent: self.requests_sent.get() as usize,
+            full_hash_round_trips: self.full_hash_round_trips.get() as usize,
+            prefixes_sent: self.prefixes_sent.get() as usize,
+            dummy_prefixes_sent: self.dummy_prefixes_sent.get() as usize,
+            urls_flagged: self.urls_flagged.get() as usize,
+            updates: self.updates.get() as usize,
+            batched_lookups: self.batched_lookups.get() as usize,
+            service_errors: self.service_errors.get() as usize,
+            chunks_applied: self.chunks_applied.get() as usize,
+            next_update_hint: match self.next_update_hint.get() {
+                hint if hint > 0 => Some(hint as u64 - 1),
+                _ => None,
+            },
+            deltas_absorbed: self.deltas_absorbed.get() as usize,
+            store_rebuilds: self.store_rebuilds.get() as usize,
+        }
+    }
 }
 
 /// Reusable lookup state (see [`SafeBrowsingClient::check_canonical`]).
@@ -282,12 +372,15 @@ impl SafeBrowsingClient {
         for list in &config.lists {
             database.subscribe(list.clone());
         }
+        let telemetry = config.telemetry.clone().unwrap_or_default();
+        let counters = ClientCounters::register(&telemetry);
         SafeBrowsingClient {
             config,
             database,
             cache: FullHashCache::new(),
-            metrics: ClientMetrics::default(),
             transport: Box::new(transport),
+            telemetry,
+            counters,
             ledger: DisclosureLedger::new(),
             scratch: LookupScratch::default(),
         }
@@ -326,12 +419,15 @@ impl SafeBrowsingClient {
         for list in &config.lists {
             database.subscribe(list.clone());
         }
+        let telemetry = config.telemetry.clone().unwrap_or_default();
+        let counters = ClientCounters::register(&telemetry);
         SafeBrowsingClient {
             config,
             database,
             cache: FullHashCache::new(),
-            metrics: ClientMetrics::default(),
             transport: Box::new(transport),
+            telemetry,
+            counters,
             ledger: DisclosureLedger::new(),
             scratch: LookupScratch::default(),
         }
@@ -413,14 +509,14 @@ impl SafeBrowsingClient {
         let response = match self.transport.update(&request) {
             Ok(response) => response,
             Err(error) => {
-                self.metrics.service_errors += 1;
+                self.counters.service_errors.inc();
                 return Err(error);
             }
         };
         let applied = match self.database.apply_chunks(&response.chunks) {
             Ok(applied) => applied,
             Err(rejected) => {
-                self.metrics.service_errors += 1;
+                self.counters.service_errors.inc();
                 return Err(ServiceError::MalformedResponse {
                     reason: rejected.to_string(),
                 });
@@ -429,12 +525,20 @@ impl SafeBrowsingClient {
         if applied > 0 {
             self.cache.clear();
         }
-        self.metrics.updates += 1;
-        self.metrics.chunks_applied += applied;
-        self.metrics.next_update_hint = Some(response.next_update_seconds);
+        self.counters.updates.inc();
+        self.counters.chunks_applied.add(applied as u64);
+        // Stored shifted by one so 0 can mean "no update has succeeded".
+        let hint = response
+            .next_update_seconds
+            .saturating_add(1)
+            .min(i64::MAX as u64) as i64;
+        self.counters.next_update_hint.set(hint);
         let store = self.database.store_stats();
-        self.metrics.deltas_absorbed = store.deltas_absorbed as usize;
-        self.metrics.store_rebuilds = store.rebuilds as usize;
+        self.counters
+            .deltas_absorbed
+            .set(store.deltas_absorbed as i64);
+        self.counters.store_rebuilds.set(store.rebuilds as i64);
+        self.telemetry.event(TraceKind::Update, applied as u64);
         Ok(applied)
     }
 
@@ -464,7 +568,8 @@ impl SafeBrowsingClient {
     ///
     /// Any [`ServiceError`] from the full-hash exchange.
     pub fn check_canonical(&mut self, url: &CanonicalUrl) -> Result<LookupOutcome, ServiceError> {
-        self.metrics.lookups += 1;
+        let started = self.telemetry.now();
+        self.counters.lookups.inc();
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.hits.clear();
         Self::collect_local_hits(
@@ -477,9 +582,12 @@ impl SafeBrowsingClient {
 
         if scratch.hits.is_empty() {
             self.scratch = scratch;
+            // Still on the zero-allocation path: one histogram record and
+            // one pre-allocated ring slot.
+            self.note_lookup(started, false);
             return Ok(LookupOutcome::Safe);
         }
-        self.metrics.local_hits += 1;
+        self.counters.local_hits.inc();
 
         // Resolve the hits through the configured shaper's query plan and
         // the full-hash cache.
@@ -490,12 +598,22 @@ impl SafeBrowsingClient {
                 Ok(self.verdict(&scratch.hits, confirmed))
             }
             Err(error) => {
-                self.metrics.service_errors += 1;
+                self.counters.service_errors.inc();
                 Err(error)
             }
         };
         self.scratch = scratch;
+        self.note_lookup(started, matches!(&outcome, Ok(o) if o.is_malicious()));
         outcome
+    }
+
+    /// Closes the books on one lookup: a `client.lookup_ns` histogram
+    /// sample (so its count always equals the `client.lookups` counter)
+    /// and a [`TraceKind::Lookup`] event whose value is the verdict.
+    fn note_lookup(&self, started: Duration, malicious: bool) {
+        let elapsed = self.telemetry.now().saturating_sub(started);
+        self.counters.lookup_ns.record(elapsed.as_nanos() as u64);
+        self.telemetry.event(TraceKind::Lookup, malicious as u64);
     }
 
     /// Runs the local-database pass for one URL: every decomposition is
@@ -568,7 +686,8 @@ impl SafeBrowsingClient {
         &mut self,
         urls: &[CanonicalUrl],
     ) -> Result<Vec<LookupOutcome>, ServiceError> {
-        self.metrics.batched_lookups += 1;
+        let started = self.telemetry.now();
+        self.counters.batched_lookups.inc();
 
         // Local pass over the whole batch.  Each hit's digest is computed
         // once and carried with its hit record; hits live in one flat
@@ -578,7 +697,7 @@ impl SafeBrowsingClient {
         scratch.hits.clear();
         let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(urls.len());
         for url in urls {
-            self.metrics.lookups += 1;
+            self.counters.lookups.inc();
             let start = scratch.hits.len();
             Self::collect_local_hits(
                 &self.database,
@@ -589,7 +708,7 @@ impl SafeBrowsingClient {
             );
             let end = scratch.hits.len();
             if end > start {
-                self.metrics.local_hits += 1;
+                self.counters.local_hits.inc();
             }
             ranges.push((start, end));
         }
@@ -598,8 +717,11 @@ impl SafeBrowsingClient {
         // independent planned requests share round trips.
         if !scratch.hits.is_empty() {
             if let Err(error) = self.resolve_shaped(&scratch.hits, &ranges) {
-                self.metrics.service_errors += 1;
+                self.counters.service_errors.inc();
                 self.scratch = scratch;
+                // The lookups above were counted, so they get their
+                // (amortized) histogram samples and trace events too.
+                self.note_batch(started, urls.len(), |_| false);
                 return Err(error);
             }
         }
@@ -615,12 +737,35 @@ impl SafeBrowsingClient {
             outcomes.push(self.verdict(hits, confirmed));
         }
         self.scratch = scratch;
+        self.note_batch(started, outcomes.len(), |i| outcomes[i].is_malicious());
         Ok(outcomes)
     }
 
-    /// Client metrics (requests sent, prefixes revealed, ...).
-    pub fn metrics(&self) -> &ClientMetrics {
-        &self.metrics
+    /// Batched counterpart of [`Self::note_lookup`]: the batch's elapsed
+    /// time is amortized over its URLs, one sample and one event per URL.
+    fn note_batch(&self, started: Duration, urls: usize, malicious: impl Fn(usize) -> bool) {
+        if urls == 0 {
+            return;
+        }
+        let elapsed = self.telemetry.now().saturating_sub(started);
+        let per_url = (elapsed / urls as u32).as_nanos() as u64;
+        for i in 0..urls {
+            self.counters.lookup_ns.record(per_url);
+            self.telemetry.event(TraceKind::Lookup, malicious(i) as u64);
+        }
+    }
+
+    /// Client metrics (requests sent, prefixes revealed, ...) — a
+    /// point-in-time view over the `client.*` metrics in the telemetry
+    /// registry.
+    pub fn metrics(&self) -> ClientMetrics {
+        self.counters.view()
+    }
+
+    /// The telemetry plane this client publishes into (shared when the
+    /// config carried one, private otherwise).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Number of prefixes in the local database.
@@ -703,7 +848,7 @@ impl SafeBrowsingClient {
                 matched_decompositions: hits.iter().map(|h| h.expression.clone()).collect(),
             }
         } else {
-            self.metrics.urls_flagged += 1;
+            self.counters.urls_flagged.inc();
             LookupOutcome::Malicious { matches: confirmed }
         }
     }
@@ -868,12 +1013,16 @@ impl SafeBrowsingClient {
                 domain_root_revealed: request.real.iter().any(|p| domain_roots.contains(p)),
             });
         }
-        self.metrics.full_hash_round_trips += 1;
+        self.counters.full_hash_round_trips.inc();
         if fire_and_forget {
             for request in requests {
-                self.metrics.requests_sent += 1;
-                self.metrics.prefixes_sent += request.prefixes.len();
-                self.metrics.dummy_prefixes_sent += request.dummy_count();
+                self.counters.requests_sent.inc();
+                self.counters
+                    .prefixes_sent
+                    .add(request.prefixes.len() as u64);
+                self.counters
+                    .dummy_prefixes_sent
+                    .add(request.dummy_count() as u64);
             }
             let _ = match budget {
                 Some(budget) => self.transport.full_hashes_batch_within(&wire, budget),
@@ -899,9 +1048,13 @@ impl SafeBrowsingClient {
         }
         for (request, response) in requests.iter().zip(&responses) {
             self.cache.store_response(&request.real, response);
-            self.metrics.requests_sent += 1;
-            self.metrics.prefixes_sent += request.prefixes.len();
-            self.metrics.dummy_prefixes_sent += request.dummy_count();
+            self.counters.requests_sent.inc();
+            self.counters
+                .prefixes_sent
+                .add(request.prefixes.len() as u64);
+            self.counters
+                .dummy_prefixes_sent
+                .add(request.dummy_count() as u64);
         }
         Ok(())
     }
@@ -931,8 +1084,9 @@ mod tests {
 
     #[test]
     fn a_lookup_budget_stops_a_retrying_transport_early() {
-        use crate::retry::{RetryPolicy, RetryingTransport, VirtualClock};
+        use crate::retry::{RetryPolicy, RetryingTransport};
         use crate::transport::InProcessTransport;
+        use sb_protocol::VirtualClock;
 
         let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
         server.create_list("goog-malware-shavar", ThreatCategory::Malware);

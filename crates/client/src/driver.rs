@@ -13,15 +13,15 @@
 //!
 //! Time is injected exactly as in [`RetryingTransport`](crate::RetryingTransport):
 //! production drivers sleep on the [`SystemClock`], tests pass a
-//! [`VirtualClock`] and assert the exact schedule with zero wall-clock
-//! sleeps.
+//! [`VirtualClock`](sb_protocol::VirtualClock) and assert the exact
+//! schedule with zero wall-clock sleeps.
 
 use std::time::Duration;
 
 use sb_protocol::ServiceError;
 
 use crate::client::SafeBrowsingClient;
-use crate::retry::{Clock, SystemClock};
+use sb_protocol::{Clock, SystemClock};
 
 /// Scheduling policy of an [`UpdateDriver`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,8 +86,8 @@ pub struct DriverStats {
 /// ```
 /// use std::sync::Arc;
 /// use std::time::Duration;
-/// use sb_client::{ClientConfig, SafeBrowsingClient, UpdateDriver, VirtualClock};
-/// use sb_protocol::{Provider, ThreatCategory};
+/// use sb_client::{ClientConfig, SafeBrowsingClient, UpdateDriver};
+/// use sb_protocol::{Provider, ThreatCategory, VirtualClock};
 /// use sb_server::SafeBrowsingServer;
 ///
 /// let server = Arc::new(
@@ -224,8 +224,8 @@ impl UpdateDriver {
 mod tests {
     use super::*;
     use crate::client::ClientConfig;
-    use crate::retry::VirtualClock;
     use crate::transport::{InProcessTransport, SimulatedTransport};
+    use sb_protocol::VirtualClock;
     use std::sync::Arc;
 
     use sb_protocol::{Provider, ThreatCategory};

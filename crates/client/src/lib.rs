@@ -68,7 +68,16 @@ pub use metrics::ClientMetrics;
 #[allow(deprecated)]
 pub use mitigation::MitigationPolicy;
 pub use preview::{LookupPreview, PreviewedDecomposition};
-pub use retry::{Clock, RetryPolicy, RetryStats, RetryingTransport, SystemClock, VirtualClock};
+pub use retry::{RetryPolicy, RetryStats, RetryingTransport};
+// The injectable clock's canonical home is `sb-protocol` (the server's
+// shard-health tracking and the telemetry plane use it too).  These
+// aliases survive for source compatibility only.
+#[deprecated(note = "import `Clock` from `sb_protocol` instead")]
+pub use sb_protocol::Clock;
+#[deprecated(note = "import `SystemClock` from `sb_protocol` instead")]
+pub use sb_protocol::SystemClock;
+#[deprecated(note = "import `VirtualClock` from `sb_protocol` instead")]
+pub use sb_protocol::VirtualClock;
 // The end-to-end deadline budget lives in `sb-protocol` (every layer of
 // the stack shares it); re-exported here because transports are where
 // callers meet it.

@@ -168,11 +168,11 @@ mod tests {
     #[test]
     fn preview_does_not_change_metrics() {
         let (_server, client) = tracked_client();
-        let before = *client.metrics();
+        let before = client.metrics();
         client
             .preview_url("https://petsymposium.org/2016/cfp.php")
             .unwrap();
-        assert_eq!(*client.metrics(), before);
+        assert_eq!(client.metrics(), before);
     }
 
     #[test]

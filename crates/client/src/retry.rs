@@ -14,20 +14,18 @@
 //! provider/client interactions and assert on what the provider observed,
 //! so the backoff state machine takes its jitter from a seeded
 //! pseudo-random stream and its notion of time from an injectable
-//! [`Clock`].  A test drives scripted faults through a [`VirtualClock`] and
-//! asserts the exact sleep sequence without ever blocking.
+//! [`Clock`].  A test drives scripted faults through a
+//! [`VirtualClock`](sb_protocol::VirtualClock) and asserts the exact sleep
+//! sequence without ever blocking.
 
 use std::sync::Mutex;
 use std::time::Duration;
 
 use sb_protocol::{
-    DeadlineBudget, FullHashRequest, FullHashResponse, ServiceError, UpdateRequest, UpdateResponse,
+    Clock, DeadlineBudget, FullHashRequest, FullHashResponse, ServiceError, SystemClock,
+    UpdateRequest, UpdateResponse,
 };
-
-// The injectable clock moved to `sb-protocol` (the server's shard-health
-// tracking needs it too); re-exported here so `sb_client::{Clock,
-// SystemClock, VirtualClock}` keep working.
-pub use sb_protocol::{Clock, SystemClock, VirtualClock};
+use sb_telemetry::{Counter, Gauge, Histogram, Telemetry, TraceKind};
 
 use crate::transport::Transport;
 
@@ -156,11 +154,64 @@ pub struct RetryStats {
     pub last_next_update_seconds: Option<u64>,
 }
 
-#[derive(Debug)]
-struct RetryState {
-    stats: RetryStats,
-    /// xorshift64* state of the deterministic jitter stream.
-    rng: u64,
+/// Registry handles backing [`RetryStats`].  Registered once at
+/// construction; every stat bump afterwards is a relaxed atomic add, so
+/// the retry loop never locks or allocates for accounting.
+#[derive(Debug, Clone)]
+struct RetryHandles {
+    update_calls: Counter,
+    full_hash_calls: Counter,
+    attempts: Counter,
+    retries: Counter,
+    backoff_retries: Counter,
+    unavailable_retries: Counter,
+    exhausted: Counter,
+    budget_stops: Counter,
+    non_retryable_failures: Counter,
+    total_delay_ns: Counter,
+    /// `next_update_seconds + 1` of the most recent successful update;
+    /// 0 while no update has succeeded (the `Option` sentinel).
+    next_update_hint: Gauge,
+    round_trip_ns: Histogram,
+}
+
+impl RetryHandles {
+    fn register(telemetry: &Telemetry) -> Self {
+        let metrics = telemetry.metrics();
+        RetryHandles {
+            update_calls: metrics.counter("retry.update_calls"),
+            full_hash_calls: metrics.counter("retry.full_hash_calls"),
+            attempts: metrics.counter("retry.attempts"),
+            retries: metrics.counter("retry.retries"),
+            backoff_retries: metrics.counter("retry.backoff_retries"),
+            unavailable_retries: metrics.counter("retry.unavailable_retries"),
+            exhausted: metrics.counter("retry.exhausted"),
+            budget_stops: metrics.counter("retry.budget_stops"),
+            non_retryable_failures: metrics.counter("retry.non_retryable_failures"),
+            total_delay_ns: metrics.counter("retry.total_delay_ns"),
+            next_update_hint: metrics.gauge("retry.next_update_hint"),
+            round_trip_ns: metrics.histogram("retry.round_trip_ns"),
+        }
+    }
+
+    fn view(&self) -> RetryStats {
+        RetryStats {
+            update_calls: self.update_calls.get() as usize,
+            full_hash_calls: self.full_hash_calls.get() as usize,
+            attempts: self.attempts.get() as usize,
+            retries: self.retries.get() as usize,
+            backoff_retries: self.backoff_retries.get() as usize,
+            unavailable_retries: self.unavailable_retries.get() as usize,
+            exhausted: self.exhausted.get() as usize,
+            budget_stops: self.budget_stops.get() as usize,
+            non_retryable_failures: self.non_retryable_failures.get() as usize,
+            total_delay: Duration::from_nanos(self.total_delay_ns.get()),
+            last_next_update_seconds: match self.next_update_hint.get() {
+                hint if hint > 0 => Some(hint as u64 - 1),
+                _ => None,
+            },
+        }
+    }
 }
 
 /// A retry/backoff decorator around another [`Transport`] — the resilience
@@ -182,9 +233,8 @@ struct RetryState {
 /// use std::time::Duration;
 /// use sb_client::{
 ///     InProcessTransport, RetryPolicy, RetryingTransport, SimulatedTransport, Transport,
-///     VirtualClock,
 /// };
-/// use sb_protocol::{Provider, ServiceError, UpdateRequest};
+/// use sb_protocol::{Provider, ServiceError, UpdateRequest, VirtualClock};
 /// use sb_server::SafeBrowsingServer;
 ///
 /// let server = Arc::new(SafeBrowsingServer::with_standard_lists(Provider::Google));
@@ -204,7 +254,10 @@ pub struct RetryingTransport<T> {
     inner: T,
     policy: RetryPolicy,
     clock: Box<dyn Clock>,
-    state: Mutex<RetryState>,
+    telemetry: Telemetry,
+    handles: RetryHandles,
+    /// xorshift64* state of the deterministic jitter stream.
+    rng: Mutex<u64>,
 }
 
 impl<T: Transport> RetryingTransport<T> {
@@ -223,15 +276,31 @@ impl<T: Transport> RetryingTransport<T> {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         let rng = (z ^ (z >> 31)).max(1);
+        let telemetry = Telemetry::new();
+        let handles = RetryHandles::register(&telemetry);
         RetryingTransport {
             inner,
             policy,
             clock: Box::new(clock),
-            state: Mutex::new(RetryState {
-                stats: RetryStats::default(),
-                rng,
-            }),
+            telemetry,
+            handles,
+            rng: Mutex::new(rng),
         }
+    }
+
+    /// Publishes this transport's counters and trace events into
+    /// `telemetry` instead of the private default plane, so one registry
+    /// snapshot spans every layer sharing it.  Several transports on one
+    /// `Telemetry` aggregate into the same `retry.*` slots.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.handles = RetryHandles::register(&telemetry);
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry plane this transport publishes into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The wrapped transport.
@@ -244,34 +313,30 @@ impl<T: Transport> RetryingTransport<T> {
         &self.policy
     }
 
-    /// The counters accumulated so far.
+    /// The counters accumulated so far — a view over the `retry.*` metrics
+    /// in the telemetry registry.
     pub fn stats(&self) -> RetryStats {
-        self.state().stats
+        self.handles.view()
     }
 
     /// The provider's most recent `next_update_seconds` hint (minimum delay
     /// before the next update exchange), if any update has succeeded.
     pub fn next_update_hint(&self) -> Option<u64> {
-        self.state().stats.last_next_update_seconds
-    }
-
-    fn state(&self) -> std::sync::MutexGuard<'_, RetryState> {
-        self.state.lock().expect("retrying transport lock poisoned")
+        self.handles.view().last_next_update_seconds
     }
 
     /// The delay before retry number `retry` (1-based) of one exchange,
     /// for the given error.  Updates stats and the jitter stream.
     fn delay_for(&self, error: &ServiceError, retry: u32) -> Duration {
-        let mut state = self.state();
         match error {
             ServiceError::Backoff {
                 retry_after_seconds,
             } => {
-                state.stats.backoff_retries += 1;
+                self.handles.backoff_retries.inc();
                 Duration::from_secs(*retry_after_seconds).min(self.policy.backoff_cap)
             }
             ServiceError::Unavailable { .. } => {
-                state.stats.unavailable_retries += 1;
+                self.handles.unavailable_retries.inc();
                 // Capped exponential: base × 2^(retry-1), saturating.
                 let exp = self
                     .policy
@@ -280,10 +345,11 @@ impl<T: Transport> RetryingTransport<T> {
                     .min(self.policy.max_delay);
                 // Equal jitter: half fixed, half drawn from the
                 // deterministic stream (xorshift64*).
-                state.rng ^= state.rng >> 12;
-                state.rng ^= state.rng << 25;
-                state.rng ^= state.rng >> 27;
-                let draw = state.rng.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                let mut rng = self.rng.lock().expect("jitter stream lock poisoned");
+                *rng ^= *rng >> 12;
+                *rng ^= *rng << 25;
+                *rng ^= *rng >> 27;
+                let draw = rng.wrapping_mul(0x2545_F491_4F6C_DD1D);
                 let half = exp / 2;
                 let jitter = half.mul_f64((draw >> 11) as f64 / (1u64 << 53) as f64);
                 half + jitter
@@ -306,33 +372,38 @@ impl<T: Transport> RetryingTransport<T> {
     ) -> Result<R, ServiceError> {
         let mut attempt = 1u32;
         loop {
-            self.state().stats.attempts += 1;
-            let error = match attempt_exchange() {
+            self.handles.attempts.inc();
+            let started = self.telemetry.now();
+            let outcome = attempt_exchange();
+            let elapsed = self.telemetry.now().saturating_sub(started);
+            self.handles.round_trip_ns.record(elapsed.as_nanos() as u64);
+            self.telemetry
+                .event(TraceKind::RoundTrip, elapsed.as_nanos() as u64);
+            let error = match outcome {
                 Ok(value) => return Ok(value),
                 Err(error) => error,
             };
             if !error.is_retryable() {
-                self.state().stats.non_retryable_failures += 1;
+                self.handles.non_retryable_failures.inc();
                 return Err(error);
             }
             if attempt >= self.policy.max_attempts {
                 // Exhausted: surface the last underlying error unchanged.
-                self.state().stats.exhausted += 1;
+                self.handles.exhausted.inc();
                 return Err(error);
             }
             let delay = self.delay_for(&error, attempt);
             if let Some(budget) = budget {
                 if budget.is_exhausted() || delay > budget.remaining() {
-                    self.state().stats.budget_stops += 1;
+                    self.handles.budget_stops.inc();
                     return Err(error);
                 }
                 budget.charge(delay);
             }
-            {
-                let mut state = self.state();
-                state.stats.retries += 1;
-                state.stats.total_delay += delay;
-            }
+            self.handles.retries.inc();
+            self.handles.total_delay_ns.add(delay.as_nanos() as u64);
+            self.telemetry
+                .event(TraceKind::Retry, delay.as_nanos() as u64);
             self.clock.sleep(delay);
             attempt += 1;
         }
@@ -343,12 +414,17 @@ impl<T: Transport> RetryingTransport<T> {
         request: &UpdateRequest,
         budget: Option<&DeadlineBudget>,
     ) -> Result<UpdateResponse, ServiceError> {
-        self.state().stats.update_calls += 1;
+        self.handles.update_calls.inc();
         let response = self.run(budget, || match budget {
             Some(budget) => self.inner.update_within(request, budget),
             None => self.inner.update(request),
         })?;
-        self.state().stats.last_next_update_seconds = Some(response.next_update_seconds);
+        // Stored shifted by one so 0 can mean "no update has succeeded".
+        let stored = response
+            .next_update_seconds
+            .saturating_add(1)
+            .min(i64::MAX as u64) as i64;
+        self.handles.next_update_hint.set(stored);
         Ok(response)
     }
 
@@ -357,7 +433,7 @@ impl<T: Transport> RetryingTransport<T> {
         requests: &[FullHashRequest],
         budget: Option<&DeadlineBudget>,
     ) -> Result<Vec<FullHashResponse>, ServiceError> {
-        self.state().stats.full_hash_calls += 1;
+        self.handles.full_hash_calls.inc();
         self.run(budget, || match budget {
             Some(budget) => self.inner.full_hashes_batch_within(requests, budget),
             None => self.inner.full_hashes_batch(requests),
@@ -399,7 +475,7 @@ mod tests {
     use super::*;
     use crate::transport::{InProcessTransport, SimulatedTransport};
     use sb_hash::prefix32;
-    use sb_protocol::{Provider, ThreatCategory};
+    use sb_protocol::{Provider, ThreatCategory, VirtualClock};
     use sb_server::SafeBrowsingServer;
     use std::sync::Arc;
 

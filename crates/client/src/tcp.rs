@@ -39,13 +39,13 @@
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use sb_protocol::{
     DeadlineBudget, FullHashRequest, FullHashResponse, ServiceError, UpdateRequest, UpdateResponse,
 };
+use sb_telemetry::{Counter, RegistrySnapshot, Telemetry};
 use sb_wire::{encode_frame, read_message, FrameType, Message, WireError};
 
 use crate::transport::Transport;
@@ -68,14 +68,41 @@ pub struct TcpTransportStats {
     pub bytes_received: u64,
 }
 
-#[derive(Debug, Default)]
-struct AtomicStats {
-    connections_opened: AtomicU64,
-    connections_reused: AtomicU64,
-    reconnects: AtomicU64,
-    round_trips: AtomicU64,
-    bytes_sent: AtomicU64,
-    bytes_received: AtomicU64,
+/// Registry handles backing [`TcpTransportStats`]; registered once at
+/// construction, bumped with relaxed atomic adds.
+#[derive(Debug, Clone)]
+struct TcpHandles {
+    connections_opened: Counter,
+    connections_reused: Counter,
+    reconnects: Counter,
+    round_trips: Counter,
+    bytes_sent: Counter,
+    bytes_received: Counter,
+}
+
+impl TcpHandles {
+    fn register(telemetry: &Telemetry) -> Self {
+        let metrics = telemetry.metrics();
+        TcpHandles {
+            connections_opened: metrics.counter("tcp_client.connections_opened"),
+            connections_reused: metrics.counter("tcp_client.connections_reused"),
+            reconnects: metrics.counter("tcp_client.reconnects"),
+            round_trips: metrics.counter("tcp_client.round_trips"),
+            bytes_sent: metrics.counter("tcp_client.bytes_sent"),
+            bytes_received: metrics.counter("tcp_client.bytes_received"),
+        }
+    }
+
+    fn view(&self) -> TcpTransportStats {
+        TcpTransportStats {
+            connections_opened: self.connections_opened.get(),
+            connections_reused: self.connections_reused.get(),
+            reconnects: self.reconnects.get(),
+            round_trips: self.round_trips.get(),
+            bytes_sent: self.bytes_sent.get(),
+            bytes_received: self.bytes_received.get(),
+        }
+    }
 }
 
 /// A pooled TCP connection to a `TcpServingTier` (or anything speaking the
@@ -93,7 +120,8 @@ pub struct TcpTransport {
     max_idle: usize,
     connect_timeout: Duration,
     io_timeout: Duration,
-    stats: AtomicStats,
+    telemetry: Telemetry,
+    handles: TcpHandles,
 }
 
 impl TcpTransport {
@@ -110,14 +138,30 @@ impl TcpTransport {
                 "address resolved to nothing",
             )
         })?;
+        let telemetry = Telemetry::new();
+        let handles = TcpHandles::register(&telemetry);
         Ok(TcpTransport {
             addr,
             pool: Mutex::new(Vec::new()),
             max_idle: 4,
             connect_timeout: Duration::from_secs(5),
             io_timeout: Duration::from_secs(30),
-            stats: AtomicStats::default(),
+            telemetry,
+            handles,
         })
+    }
+
+    /// Publishes this transport's `tcp_client.*` counters into `telemetry`
+    /// instead of the private default plane.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.handles = TcpHandles::register(&telemetry);
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry plane this transport publishes into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Caps how many idle connections the pool keeps (default 4).
@@ -153,15 +197,26 @@ impl TcpTransport {
         self.addr
     }
 
-    /// A snapshot of the transport's wire-level counters.
+    /// A snapshot of the transport's wire-level counters — a view over the
+    /// `tcp_client.*` metrics in the telemetry registry.
     pub fn stats(&self) -> TcpTransportStats {
-        TcpTransportStats {
-            connections_opened: self.stats.connections_opened.load(Ordering::Relaxed),
-            connections_reused: self.stats.connections_reused.load(Ordering::Relaxed),
-            reconnects: self.stats.reconnects.load(Ordering::Relaxed),
-            round_trips: self.stats.round_trips.load(Ordering::Relaxed),
-            bytes_sent: self.stats.bytes_sent.load(Ordering::Relaxed),
-            bytes_received: self.stats.bytes_received.load(Ordering::Relaxed),
+        self.handles.view()
+    }
+
+    /// Scrapes the *server's* telemetry registry over the wire: one
+    /// `TelemetryRequest` frame out, one `Telemetry` frame back, carrying
+    /// a point-in-time [`RegistrySnapshot`] of everything the serving tier
+    /// publishes.
+    ///
+    /// # Errors
+    ///
+    /// The same error mapping as any other round trip; a peer that does
+    /// not implement the admin pair answers with a [`ServiceError`] frame,
+    /// surfaced verbatim.
+    pub fn scrape_telemetry(&self) -> Result<RegistrySnapshot, ServiceError> {
+        match self.round_trip(&Message::TelemetryRequest, FrameType::Telemetry, None)? {
+            Message::Telemetry(snapshot) => Ok(snapshot),
+            _ => unreachable!("round_trip returned a non-matching frame type"),
         }
     }
 
@@ -176,9 +231,7 @@ impl TcpTransport {
     /// transparent retry.
     fn checkout(&self, connect_timeout: Duration) -> Result<(TcpStream, bool), ServiceError> {
         if let Some(stream) = self.pool.lock().expect("tcp pool lock poisoned").pop() {
-            self.stats
-                .connections_reused
-                .fetch_add(1, Ordering::Relaxed);
+            self.handles.connections_reused.inc();
             return Ok((stream, true));
         }
         let stream = TcpStream::connect_timeout(&self.addr, connect_timeout).map_err(|e| {
@@ -187,9 +240,7 @@ impl TcpTransport {
             }
         })?;
         let _ = stream.set_nodelay(true); // a failed hint costs latency, not correctness
-        self.stats
-            .connections_opened
-            .fetch_add(1, Ordering::Relaxed);
+        self.handles.connections_opened.inc();
         Ok((stream, false))
     }
 
@@ -281,19 +332,15 @@ impl TcpTransport {
             }
             match attempt {
                 Ok((reply, bytes_in)) => {
-                    self.stats
-                        .bytes_sent
-                        .fetch_add(frame.len() as u64, Ordering::Relaxed);
-                    self.stats
-                        .bytes_received
-                        .fetch_add(bytes_in, Ordering::Relaxed);
-                    self.stats.round_trips.fetch_add(1, Ordering::Relaxed);
+                    self.handles.bytes_sent.add(frame.len() as u64);
+                    self.handles.bytes_received.add(bytes_in);
+                    self.handles.round_trips.inc();
                     return self.classify(stream, reply, expect);
                 }
                 Err(error) if error.transport_level() && reused && first_failure.is_none() => {
                     // The pooled connection died under us (most likely the
                     // server dropped it while idle): one fresh attempt.
-                    self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                    self.handles.reconnects.inc();
                     first_failure = Some(error);
                 }
                 Err(error) if error.transport_level() => {

@@ -1,0 +1,182 @@
+//! End-to-end telemetry trace: a lookup driven through the full
+//! resilience stack — retry layer over circuit breaker over pooled TCP —
+//! against a real serving tier behind a scripted `ChaosProxy`, with every
+//! layer publishing into one shared `Telemetry` plane stamped by a shared
+//! `VirtualClock`.
+//!
+//! The scripted fault schedule makes the whole span sequence
+//! deterministic: the same seed replays the same trace, which is what
+//! makes recorded traces diffable across runs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sb_client::{
+    BreakerPolicy, CircuitBreakerTransport, ClientConfig, RetryPolicy, RetryingTransport,
+    SafeBrowsingClient, TcpTransport,
+};
+use sb_protocol::{Provider, ThreatCategory, VirtualClock};
+use sb_server::{ChaosProxy, ChaosSchedule, Fault, SafeBrowsingServer, TcpServingTier, TierConfig};
+use sb_telemetry::{Telemetry, TraceKind};
+
+const LIST: &str = "goog-malware-shavar";
+const EVIL: &str = "http://evil.example/";
+
+fn provider() -> Arc<SafeBrowsingServer> {
+    let server = Arc::new(SafeBrowsingServer::new(Provider::Google));
+    server.create_list(LIST, ThreatCategory::Malware);
+    server.blacklist_url(LIST, EVIL).unwrap();
+    server
+}
+
+/// Runs one update + one malicious lookup through retry → breaker → TCP
+/// behind a chaos proxy that resets exchange 1 (the lookup's first
+/// full-hash attempt) mid-frame, and returns the recorded span kinds.
+fn run_traced_lookup() -> Vec<TraceKind> {
+    let server = provider();
+    let tier = TcpServingTier::bind(server, TierConfig::default()).expect("bind serving tier");
+    // Exchange 0 (the update) runs clean; exchanges 1 and 2 are reset
+    // mid-frame so the lookup's first full-hash attempt fails even after
+    // the TCP pool's transparent reconnect (which retries a dead reused
+    // connection once, absorbing a single reset below the retry layer);
+    // everything after runs clean.
+    let proxy = ChaosProxy::start(
+        tier.local_addr(),
+        ChaosSchedule::scripted(vec![
+            None,
+            Some(Fault::ResetMidFrame),
+            Some(Fault::ResetMidFrame),
+        ]),
+    )
+    .expect("start chaos proxy");
+
+    let clock = Arc::new(VirtualClock::new());
+    let telemetry = Telemetry::with_clock(clock.clone());
+    let stack = Arc::new(
+        RetryingTransport::with_clock(
+            CircuitBreakerTransport::with_clock(
+                TcpTransport::new(proxy.local_addr())
+                    .expect("proxy address resolves")
+                    .with_telemetry(telemetry.clone()),
+                // Threshold 1: the faulted attempt opens the breaker; the
+                // retry delay outlasts the cool-down, so the next attempt
+                // is a half-open probe that closes it again.
+                BreakerPolicy::default()
+                    .with_failure_threshold(1)
+                    .with_cool_down(Duration::from_millis(5)),
+                clock.clone(),
+            )
+            .with_telemetry(telemetry.clone()),
+            RetryPolicy::default()
+                .with_base_delay(Duration::from_millis(10))
+                .with_jitter_seed(7),
+            clock.clone(),
+        )
+        .with_telemetry(telemetry.clone()),
+    );
+    let mut client = SafeBrowsingClient::new(
+        ClientConfig::subscribed_to([LIST]).with_telemetry(telemetry.clone()),
+        stack,
+    );
+
+    client.update().expect("initial update through the proxy");
+    let outcome = client.check_url(EVIL).expect("lookup rides out the reset");
+    assert!(outcome.is_malicious());
+
+    drop(client);
+    proxy.shutdown();
+    tier.shutdown();
+    telemetry.trace().snapshot().kinds()
+}
+
+#[test]
+fn lookup_trace_spans_every_layer_in_order() {
+    let kinds = run_traced_lookup();
+
+    // The update exchange: one round trip, then the client-side apply.
+    assert_eq!(
+        &kinds[..2],
+        &[TraceKind::RoundTrip, TraceKind::Update],
+        "update span; full trace: {kinds:?}"
+    );
+    // The lookup: the faulted attempt trips the breaker open, the retry
+    // layer schedules a delay, the second attempt probes half-open,
+    // succeeds, closes the breaker, and the lookup completes.
+    assert_eq!(
+        &kinds[2..],
+        &[
+            TraceKind::BreakerTransition, // closed → open on the reset
+            TraceKind::RoundTrip,         // the failed attempt
+            TraceKind::Retry,             // backoff scheduled
+            TraceKind::BreakerTransition, // open → half-open probe
+            TraceKind::BreakerTransition, // half-open → closed on success
+            TraceKind::RoundTrip,         // the successful attempt
+            TraceKind::Lookup,            // verdict delivered
+        ],
+        "lookup span; full trace: {kinds:?}"
+    );
+}
+
+#[test]
+fn same_seed_replays_the_same_trace() {
+    assert_eq!(run_traced_lookup(), run_traced_lookup());
+}
+
+/// The tentpole acceptance path: every layer — client, transports, serving
+/// tier — publishes into one shared `Telemetry`, and a single snapshot
+/// scraped over the TCP admin frame mid-run reports coherent counters
+/// across all of them.
+#[test]
+fn one_scrape_spans_client_transport_and_server_layers() {
+    let server = provider();
+    let telemetry = Telemetry::new();
+    let tier =
+        TcpServingTier::bind_with_telemetry(server, TierConfig::default(), telemetry.clone())
+            .expect("bind serving tier");
+
+    let transport = Arc::new(
+        RetryingTransport::new(
+            TcpTransport::new(tier.local_addr())
+                .expect("tier address resolves")
+                .with_telemetry(telemetry.clone()),
+            RetryPolicy::default(),
+        )
+        .with_telemetry(telemetry.clone()),
+    );
+    let mut client = SafeBrowsingClient::new(
+        ClientConfig::subscribed_to([LIST]).with_telemetry(telemetry.clone()),
+        transport,
+    );
+    client.update().expect("initial update over TCP");
+    assert!(client.check_url(EVIL).unwrap().is_malicious());
+    assert!(!client
+        .check_url("http://safe.example/")
+        .unwrap()
+        .is_malicious());
+
+    // Scrape mid-run, over the wire, through a second connection.
+    let admin = TcpTransport::new(tier.local_addr()).expect("tier address resolves");
+    let snapshot = admin.scrape_telemetry().expect("telemetry scrape");
+
+    // Client layer: two lookups, every one timed.
+    assert_eq!(snapshot.counter("client.lookups"), Some(2));
+    assert_eq!(snapshot.counter("client.urls_flagged"), Some(1));
+    let lookup_ns = snapshot.histogram("client.lookup_ns").expect("histogram");
+    assert_eq!(lookup_ns.count, 2);
+    // Transport layers: the update plus one full-hash exchange, each one
+    // retry-layer round trip carried over the pooled TCP connection.
+    assert_eq!(snapshot.counter("retry.attempts"), Some(2));
+    assert_eq!(snapshot.counter("retry.retries"), Some(0));
+    assert_eq!(snapshot.counter("tcp_client.round_trips"), Some(2));
+    // Server layer: the tier saw exactly those frames (the scrape itself
+    // was snapshotted before its own frame counters moved).
+    assert_eq!(snapshot.counter("wire.frames_received"), Some(3));
+    assert_eq!(snapshot.counter("wire.frames_sent"), Some(2));
+
+    // The scrape left a span in the shared trace ring.
+    let scrapes = telemetry.trace().snapshot().of_kind(TraceKind::Scrape);
+    assert_eq!(scrapes.len(), 1);
+
+    drop(client);
+    tier.shutdown();
+}

@@ -22,6 +22,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 
 use sb_hash::Prefix;
 use sb_protocol::{Chunk, ChunkKind, ClientListState, ListName};
+use sb_telemetry::{Counter, Telemetry, TraceKind};
 
 /// Journal of one list: chronological chunks plus the number allocators.
 #[derive(Debug, Default, Clone)]
@@ -76,6 +77,28 @@ pub struct JournalStats {
     pub compactions: usize,
 }
 
+/// The journal's registered metric handles, mirroring its lifetime
+/// counters into a [`Telemetry`] registry (under `journal.*`).
+#[derive(Debug)]
+struct JournalHandles {
+    appends: Counter,
+    netted_prefixes: Counter,
+    dropped_chunks: Counter,
+    compactions: Counter,
+}
+
+impl JournalHandles {
+    fn register(telemetry: &Telemetry) -> Self {
+        let metrics = telemetry.metrics();
+        JournalHandles {
+            appends: metrics.counter("journal.appends"),
+            netted_prefixes: metrics.counter("journal.netted_prefixes"),
+            dropped_chunks: metrics.counter("journal.dropped_chunks"),
+            compactions: metrics.counter("journal.compactions"),
+        }
+    }
+}
+
 /// The server's chunk journal: one per-list journal with append, delta
 /// computation and compaction.
 #[derive(Debug)]
@@ -88,6 +111,8 @@ pub struct ChunkJournal {
     netted_prefixes: usize,
     dropped_chunks: usize,
     compactions: usize,
+    telemetry: Telemetry,
+    handles: JournalHandles,
 }
 
 /// Default per-list chunk count above which an append triggers compaction.
@@ -102,6 +127,8 @@ impl Default for ChunkJournal {
 impl ChunkJournal {
     /// Creates an empty journal with the given auto-compaction bound.
     pub fn new(auto_compact_above: usize) -> Self {
+        let telemetry = Telemetry::default();
+        let handles = JournalHandles::register(&telemetry);
         ChunkJournal {
             lists: BTreeMap::new(),
             auto_compact_above,
@@ -109,7 +136,23 @@ impl ChunkJournal {
             netted_prefixes: 0,
             dropped_chunks: 0,
             compactions: 0,
+            telemetry,
+            handles,
         }
+    }
+
+    /// Publishes the journal's counters (and chunk-apply / compaction
+    /// trace events) into a shared [`Telemetry`] plane instead of the
+    /// private default one.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.handles = JournalHandles::register(&telemetry);
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry plane the journal publishes into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Appends a chunk to `list`, allocating its number.  Returns the
@@ -125,10 +168,14 @@ impl ChunkJournal {
             kind,
             prefixes,
         });
+        let prefix_count = journal.chunks.last().map_or(0, |c| c.prefixes.len());
         let len = journal.chunks.len();
         let due =
             len > self.auto_compact_above && len >= journal.compacted_at + journal.compacted_at / 2;
         self.appends += 1;
+        self.handles.appends.inc();
+        self.telemetry
+            .event(TraceKind::ChunkApply, prefix_count as u64);
         if due {
             self.compact_list_inner(&list);
         }
@@ -226,7 +273,10 @@ impl ChunkJournal {
         let netted = net_strip_map(&journal.chunks);
         if netted.is_empty() {
             journal.compacted_at = journal.chunks.len();
+            let live = journal.chunks.len();
             self.compactions += 1;
+            self.handles.compactions.inc();
+            self.telemetry.event(TraceKind::Compaction, live as u64);
             return;
         }
         let netted_count: usize = netted.values().map(HashSet::len).sum();
@@ -244,9 +294,14 @@ impl ChunkJournal {
         }
         journal.compacted_at = kept.len();
         journal.chunks = kept;
+        let live = journal.compacted_at;
         self.netted_prefixes += netted_count;
         self.dropped_chunks += dropped;
         self.compactions += 1;
+        self.handles.netted_prefixes.add(netted_count as u64);
+        self.handles.dropped_chunks.add(dropped as u64);
+        self.handles.compactions.inc();
+        self.telemetry.event(TraceKind::Compaction, live as u64);
     }
 }
 

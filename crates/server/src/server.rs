@@ -108,6 +108,18 @@ impl SafeBrowsingServer {
         self
     }
 
+    /// Publishes the server's chunk-journal counters and trace events
+    /// into a shared [`sb_telemetry::Telemetry`] plane — one scrape then
+    /// spans the backend alongside every other layer sharing the handle.
+    pub fn with_telemetry(self, telemetry: sb_telemetry::Telemetry) -> Self {
+        {
+            let mut journal = self.lock_journal();
+            let current = std::mem::take(&mut *journal);
+            *journal = current.with_telemetry(telemetry);
+        }
+        self
+    }
+
     /// Spreads the `next_update_seconds` hint deterministically over
     /// `[base, base + jitter)`, varying per update response served.
     ///

@@ -35,6 +35,7 @@ use sb_protocol::{
     Clock, FullHashRequest, FullHashResponse, SafeBrowsingService, ServiceError, SystemClock,
     UpdateRequest, UpdateResponse,
 };
+use sb_telemetry::{Counter, Telemetry, TraceKind};
 
 /// The bound a [`ShardedProvider`] shard must satisfy: a thread-safe,
 /// printable [`SafeBrowsingService`].  Blanket-implemented — any qualifying
@@ -122,6 +123,42 @@ impl HealthPolicy {
     }
 }
 
+/// The fleet's registered metric handles, mirroring the aggregate fields
+/// of [`FleetStats`] into a [`Telemetry`] registry (under `fleet.*`).  The
+/// per-shard vectors stay in [`FleetStats`] only — the registry carries
+/// fleet-wide totals.
+#[derive(Debug)]
+struct FleetHandles {
+    batches: Counter,
+    requests_routed: Counter,
+    shard_failures: Counter,
+    degraded_requests: Counter,
+    update_failovers: Counter,
+    quarantines: Counter,
+    reinstatements: Counter,
+    probes: Counter,
+    quarantined_skips: Counter,
+    slow_responses: Counter,
+}
+
+impl FleetHandles {
+    fn register(telemetry: &Telemetry) -> Self {
+        let metrics = telemetry.metrics();
+        FleetHandles {
+            batches: metrics.counter("fleet.batches"),
+            requests_routed: metrics.counter("fleet.requests_routed"),
+            shard_failures: metrics.counter("fleet.shard_failures"),
+            degraded_requests: metrics.counter("fleet.degraded_requests"),
+            update_failovers: metrics.counter("fleet.update_failovers"),
+            quarantines: metrics.counter("fleet.quarantines"),
+            reinstatements: metrics.counter("fleet.reinstatements"),
+            probes: metrics.counter("fleet.probes"),
+            quarantined_skips: metrics.counter("fleet.quarantined_skips"),
+            slow_responses: metrics.counter("fleet.slow_responses"),
+        }
+    }
+}
+
 /// Per-shard health memory (only consulted when a policy is installed).
 #[derive(Debug, Clone, Default)]
 struct ShardHealth {
@@ -170,6 +207,8 @@ pub struct ShardedProvider {
     health_policy: Option<HealthPolicy>,
     health: Mutex<Vec<ShardHealth>>,
     clock: Box<dyn Clock>,
+    telemetry: Telemetry,
+    handles: FleetHandles,
 }
 
 impl ShardedProvider {
@@ -190,12 +229,16 @@ impl ShardedProvider {
             ..FleetStats::default()
         };
         let health = vec![ShardHealth::default(); shards.len()];
+        let telemetry = Telemetry::default();
+        let handles = FleetHandles::register(&telemetry);
         ShardedProvider {
             shards,
             stats: Mutex::new(stats),
             health_policy: None,
             health: Mutex::new(health),
             clock: Box::new(SystemClock),
+            telemetry,
+            handles,
         }
     }
 
@@ -213,6 +256,20 @@ impl ShardedProvider {
     pub fn with_clock(mut self, clock: impl Clock + 'static) -> Self {
         self.clock = Box::new(clock);
         self
+    }
+
+    /// Publishes the fleet's aggregate counters (and quarantine trace
+    /// events) into a shared [`Telemetry`] plane instead of the private
+    /// default one.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.handles = FleetHandles::register(&telemetry);
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry plane the fleet publishes into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The installed health policy, if any.
@@ -301,9 +358,15 @@ impl ShardedProvider {
         };
         if quarantined {
             self.lock_stats().quarantines += 1;
+            self.handles.quarantines.inc();
+            self.telemetry
+                .event(TraceKind::ShardQuarantine, shard as u64);
         }
         if reinstated {
             self.lock_stats().reinstatements += 1;
+            self.handles.reinstatements.inc();
+            self.telemetry
+                .event(TraceKind::ShardReinstate, shard as u64);
         }
     }
 }
@@ -331,11 +394,13 @@ impl SafeBrowsingService for ShardedProvider {
                 Ok(response) => {
                     if position > 0 {
                         self.lock_stats().update_failovers += 1;
+                        self.handles.update_failovers.inc();
                     }
                     return Ok(response);
                 }
                 Err(error) if error.is_retryable() => {
                     self.lock_stats().shard_failures[index] += 1;
+                    self.handles.shard_failures.inc();
                     last_error = Some(error);
                 }
                 Err(error) => return Err(error),
@@ -388,6 +453,8 @@ impl SafeBrowsingService for ShardedProvider {
                 stats.requests_routed[shard] += slots.len();
             }
         }
+        self.handles.batches.inc();
+        self.handles.requests_routed.add(requests.len() as u64);
 
         let touched: Vec<usize> = (0..self.shards.len())
             .filter(|&s| !slots_of[s].is_empty())
@@ -418,6 +485,7 @@ impl SafeBrowsingService for ShardedProvider {
             }
             if probes > 0 {
                 self.lock_stats().probes += probes;
+                self.handles.probes.add(probes as u64);
             }
             if attempted.is_empty() {
                 // Every shard this batch needs is sitting out a quarantine:
@@ -509,6 +577,7 @@ impl SafeBrowsingService for ShardedProvider {
                         .is_some_and(|threshold| elapsed > threshold);
                     if slow {
                         self.lock_stats().slow_responses += 1;
+                        self.handles.slow_responses.inc();
                     }
                     // A successful-but-slow answer is still used, but it
                     // counts against the shard's health.
@@ -518,6 +587,7 @@ impl SafeBrowsingService for ShardedProvider {
                     failed_shards += 1;
                     degraded += slots_of[shard].len();
                     self.lock_stats().shard_failures[shard] += 1;
+                    self.handles.shard_failures.inc();
                     self.note_shard_outcome(shard, false);
                     if first_retryable.is_none() {
                         first_retryable = Some(error);
@@ -538,6 +608,8 @@ impl SafeBrowsingService for ShardedProvider {
             stats.degraded_requests += degraded;
             stats.quarantined_skips += quarantine_skips;
         }
+        self.handles.degraded_requests.add(degraded as u64);
+        self.handles.quarantined_skips.add(quarantine_skips as u64);
         Ok(responses)
     }
 }

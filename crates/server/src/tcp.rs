@@ -29,13 +29,14 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use sb_protocol::{SafeBrowsingService, ServiceError};
+use sb_telemetry::{Counter, Telemetry, TraceKind};
 use sb_wire::{crc32, decode_payload, encode_frame, FrameHeader, Message, HEADER_LEN};
 
 /// The service handle a serving tier fronts.
@@ -105,36 +106,53 @@ pub struct WireStats {
     pub checksum_failures: u64,
 }
 
-#[derive(Default)]
-struct AtomicWireStats {
-    connections_accepted: AtomicU64,
-    connections_closed: AtomicU64,
-    frames_received: AtomicU64,
-    frames_sent: AtomicU64,
-    bytes_received: AtomicU64,
-    bytes_sent: AtomicU64,
-    protocol_errors: AtomicU64,
-    checksum_failures: AtomicU64,
+/// The tier's registered metric handles; [`WireStats`] is the snapshot
+/// view over them.
+#[derive(Debug)]
+struct WireHandles {
+    connections_accepted: Counter,
+    connections_closed: Counter,
+    frames_received: Counter,
+    frames_sent: Counter,
+    bytes_received: Counter,
+    bytes_sent: Counter,
+    protocol_errors: Counter,
+    checksum_failures: Counter,
 }
 
-impl AtomicWireStats {
-    fn snapshot(&self) -> WireStats {
+impl WireHandles {
+    fn register(telemetry: &Telemetry) -> Self {
+        let metrics = telemetry.metrics();
+        WireHandles {
+            connections_accepted: metrics.counter("wire.connections_accepted"),
+            connections_closed: metrics.counter("wire.connections_closed"),
+            frames_received: metrics.counter("wire.frames_received"),
+            frames_sent: metrics.counter("wire.frames_sent"),
+            bytes_received: metrics.counter("wire.bytes_received"),
+            bytes_sent: metrics.counter("wire.bytes_sent"),
+            protocol_errors: metrics.counter("wire.protocol_errors"),
+            checksum_failures: metrics.counter("wire.checksum_failures"),
+        }
+    }
+
+    fn view(&self) -> WireStats {
         WireStats {
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
-            connections_closed: self.connections_closed.load(Ordering::Relaxed),
-            frames_received: self.frames_received.load(Ordering::Relaxed),
-            frames_sent: self.frames_sent.load(Ordering::Relaxed),
-            bytes_received: self.bytes_received.load(Ordering::Relaxed),
-            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.get(),
+            connections_closed: self.connections_closed.get(),
+            frames_received: self.frames_received.get(),
+            frames_sent: self.frames_sent.get(),
+            bytes_received: self.bytes_received.get(),
+            bytes_sent: self.bytes_sent.get(),
+            protocol_errors: self.protocol_errors.get(),
+            checksum_failures: self.checksum_failures.get(),
         }
     }
 }
 
 struct TierShared {
     source: ServiceSource,
-    stats: AtomicWireStats,
+    telemetry: Telemetry,
+    stats: WireHandles,
     stop: AtomicBool,
     config: TierConfig,
 }
@@ -206,6 +224,30 @@ impl TcpServingTier {
         Self::bind_addr("127.0.0.1:0", service, config)
     }
 
+    /// [`Self::bind`] with a caller-supplied [`Telemetry`]: the tier's
+    /// wire counters register in the shared registry (under `wire.*`), so
+    /// one scrape spans the tier and whatever else shares the handle.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from binding the listener or spawning the tier's
+    /// threads (a partial pool is joined and released first).
+    pub fn bind_with_telemetry<S>(
+        service: Arc<S>,
+        config: TierConfig,
+        telemetry: Telemetry,
+    ) -> std::io::Result<Self>
+    where
+        S: SafeBrowsingService + Send + Sync + 'static,
+    {
+        Self::start_with_telemetry(
+            "127.0.0.1:0",
+            ServiceSource::Shared(service),
+            config,
+            telemetry,
+        )
+    }
+
     /// Binds a listener on an explicit address in front of a shared
     /// service.
     ///
@@ -249,12 +291,25 @@ impl TcpServingTier {
         source: ServiceSource,
         config: TierConfig,
     ) -> std::io::Result<Self> {
+        // Without a caller-supplied handle the tier keeps a private plane,
+        // preserving the per-tier semantics of `stats()`.
+        Self::start_with_telemetry(addr, source, config, Telemetry::default())
+    }
+
+    fn start_with_telemetry(
+        addr: impl ToSocketAddrs,
+        source: ServiceSource,
+        config: TierConfig,
+        telemetry: Telemetry,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let workers = config.workers.max(1);
+        let stats = WireHandles::register(&telemetry);
         let shared = Arc::new(TierShared {
             source,
-            stats: AtomicWireStats::default(),
+            telemetry,
+            stats,
             stop: AtomicBool::new(false),
             config,
         });
@@ -326,7 +381,14 @@ impl TcpServingTier {
 
     /// A snapshot of the tier's wire-level counters.
     pub fn stats(&self) -> WireStats {
-        self.shared.stats.snapshot()
+        self.shared.stats.view()
+    }
+
+    /// The telemetry plane the tier publishes into — the shared handle
+    /// when bound via [`Self::bind_with_telemetry`], a private one
+    /// otherwise.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
     }
 
     /// Graceful shutdown: stop accepting, drain in-flight requests, join
@@ -336,7 +398,7 @@ impl TcpServingTier {
     /// reply by one frame.  Dropping the tier shuts down the same way.
     pub fn shutdown(mut self) -> WireStats {
         self.shutdown_inner();
-        self.shared.stats.snapshot()
+        self.shared.stats.view()
     }
 
     fn shutdown_inner(&mut self) {
@@ -374,10 +436,7 @@ fn accept_loop(shared: &TierShared, listener: TcpListener, tx: SyncSender<TcpStr
         if shared.stop.load(Ordering::SeqCst) {
             break; // the shutdown wake-up connection, or a late client
         }
-        shared
-            .stats
-            .connections_accepted
-            .fetch_add(1, Ordering::Relaxed);
+        shared.stats.connections_accepted.inc();
         match tx.try_send(stream) {
             Ok(()) => {}
             Err(TrySendError::Full(stream)) => {
@@ -385,10 +444,7 @@ fn accept_loop(shared: &TierShared, listener: TcpListener, tx: SyncSender<TcpStr
                 // of buffering unboundedly.  Dropping the stream sends RST;
                 // the client's transport surfaces it as retryable.
                 drop(stream);
-                shared
-                    .stats
-                    .connections_closed
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.stats.connections_closed.inc();
             }
             Err(TrySendError::Disconnected(_)) => break,
         }
@@ -438,7 +494,7 @@ fn serve_connection(shared: &TierShared, mut stream: TcpStream) {
     loop {
         match read_request(shared, &mut stream) {
             Ok(Some(message)) => {
-                let reply = dispatch(&service, message);
+                let reply = dispatch(shared, &service, message);
                 if !write_reply(shared, &mut stream, &reply) {
                     break;
                 }
@@ -446,16 +502,13 @@ fn serve_connection(shared: &TierShared, mut stream: TcpStream) {
             Ok(None) => break,
             Err(ConnectionEnd::Done) => break,
             Err(ConnectionEnd::Protocol(error)) => {
-                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared.stats.protocol_errors.inc();
                 write_reply(shared, &mut stream, &Message::Error(error));
                 break;
             }
         }
     }
-    shared
-        .stats
-        .connections_closed
-        .fetch_add(1, Ordering::Relaxed);
+    shared.stats.connections_closed.inc();
 }
 
 /// Reads one request frame.  `Ok(None)` means the connection is over
@@ -505,20 +558,17 @@ fn read_request(
     if stream.read_exact(&mut payload).is_err() {
         return Err(ConnectionEnd::Done);
     }
-    shared.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+    shared.stats.frames_received.inc();
     shared
         .stats
         .bytes_received
-        .fetch_add((HEADER_LEN + payload.len()) as u64, Ordering::Relaxed);
+        .add((HEADER_LEN + payload.len()) as u64);
     if crc32(&payload) != parsed.checksum {
         // Corruption in transit, not a hostile peer: the same request
         // resent over a fresh connection would likely succeed, so the
         // error frame is *retryable* — the client's retry policy rides it
         // out instead of failing the lookup.
-        shared
-            .stats
-            .checksum_failures
-            .fetch_add(1, Ordering::Relaxed);
+        shared.stats.checksum_failures.inc();
         return Err(ConnectionEnd::Protocol(ServiceError::Unavailable {
             reason: "frame payload failed its checksum (corrupted in transit)".into(),
         }));
@@ -532,8 +582,11 @@ fn read_request(
 }
 
 /// Routes a decoded request to the service; any [`ServiceError`] becomes a
-/// typed error frame.
-fn dispatch(service: &DynService, message: Message) -> Message {
+/// typed error frame.  Telemetry scrapes are answered by the tier itself
+/// (the service never sees them): the reply is a snapshot of the tier's
+/// registry, which — when the tier was bound with a shared [`Telemetry`] —
+/// spans every layer publishing into it.
+fn dispatch(shared: &TierShared, service: &DynService, message: Message) -> Message {
     match message {
         Message::UpdateRequest(request) => match service.update(&request) {
             Ok(response) => Message::UpdateResponse(response),
@@ -543,6 +596,13 @@ fn dispatch(service: &DynService, message: Message) -> Message {
             Ok(responses) => Message::FullHashResponses(responses),
             Err(error) => Message::Error(error),
         },
+        Message::TelemetryRequest => {
+            let snapshot = shared.telemetry.snapshot();
+            shared
+                .telemetry
+                .event(TraceKind::Scrape, snapshot.counters.len() as u64);
+            Message::Telemetry(snapshot)
+        }
         other => Message::Error(ServiceError::MalformedRequest {
             reason: format!(
                 "unexpected {:?} frame on the request side of a connection",
@@ -571,10 +631,7 @@ fn write_reply(shared: &TierShared, stream: &mut TcpStream, reply: &Message) -> 
     if stream.write_all(&frame).is_err() || stream.flush().is_err() {
         return false;
     }
-    shared.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
-    shared
-        .stats
-        .bytes_sent
-        .fetch_add(frame.len() as u64, Ordering::Relaxed);
+    shared.stats.frames_sent.inc();
+    shared.stats.bytes_sent.add(frame.len() as u64);
     true
 }

@@ -24,6 +24,7 @@ use sb_hash::{Prefix, PrefixLen};
 use sb_protocol::{ClientCookie, Provider, SafeBrowsingService, UpdateRequest, VirtualClock};
 use sb_server::{ObservationLog, ObservingService, SafeBrowsingServer, ShardedProvider};
 use sb_store::{GenerationalStore, StoreBackend};
+use sb_telemetry::Telemetry;
 
 use crate::config::FleetConfig;
 use crate::report::{CohortReport, EpochJournal, FleetReport, HerdReport};
@@ -180,11 +181,19 @@ impl<'a> Simulation<'a> {
 
         let journal = vec![EpochJournal::new(0, server.journal_stats())];
 
+        // All drivers share one virtual clock: nothing reads absolute
+        // virtual time, the event heap is the clock that matters.
+        let clock = Arc::new(VirtualClock::new());
+
         // The provider fleet: `shards` replicas over the shared backend,
-        // observed per client connection.
-        let fleet = Arc::new(ShardedProvider::new(
-            (0..config.shards).map(|_| server.clone() as _).collect(),
-        ));
+        // observed per client connection.  It publishes into a telemetry
+        // plane stamped by the shared virtual clock, so its registry (and
+        // any trace it records) is deterministic by seed like everything
+        // else in the run.
+        let fleet = Arc::new(
+            ShardedProvider::new((0..config.shards).map(|_| server.clone() as _).collect())
+                .with_telemetry(Telemetry::with_clock(clock.clone())),
+        );
         let log = Arc::new(ObservationLog::new());
 
         let shapers: Vec<Arc<dyn QueryShaper>> = vec![
@@ -195,9 +204,6 @@ impl<'a> Simulation<'a> {
         ];
         let cohort_labels: Vec<String> = shapers.iter().map(|s| s.name()).collect();
 
-        // All drivers share one virtual clock: nothing reads absolute
-        // virtual time, the event heap is the clock that matters.
-        let clock = Arc::new(VirtualClock::new());
         let sampler = ProfileSampler::new(&corpus, mix2(config.seed, 3));
         let boot_snapshot = Arc::new(GenerationalStore::build(
             StoreBackend::Indexed,
@@ -479,6 +485,23 @@ impl<'a> Simulation<'a> {
         let provider_detected_clients = tracking.visits_per_client(&query_log, 2).len();
 
         let fleet_stats = fleet.stats();
+        // The fleet's telemetry plane must agree exactly with its
+        // lock-guarded stats — checked on every run (including the
+        // determinism replays), so a registry/stats divergence can never
+        // ship silently.
+        let fleet_registry = fleet.telemetry().snapshot();
+        assert_eq!(
+            fleet_registry.counter("fleet.requests_routed").unwrap_or(0),
+            fleet_stats.requests_routed.iter().sum::<usize>() as u64,
+            "fleet telemetry diverged from fleet stats (requests_routed)"
+        );
+        assert_eq!(
+            fleet_registry
+                .counter("fleet.degraded_requests")
+                .unwrap_or(0),
+            fleet_stats.degraded_requests as u64,
+            "fleet telemetry diverged from fleet stats (degraded_requests)"
+        );
         let update_exchanges = log.update_exchanges() as u64;
         let full_hash_requests = log.len() as u64;
         let horizon_seconds = config.horizon.as_secs();

@@ -40,7 +40,10 @@
 //! Everything randomized is a pure function of `(seed, client id, event
 //! index)`; the only OS entropy in the whole run is thread scheduling
 //! inside per-shard full-hash fan-out, which affects observation-log
-//! *order* only — every reported metric is order-insensitive.
+//! *order* only — every reported metric is order-insensitive.  The
+//! provider fleet publishes into an [`sb_telemetry::Telemetry`] plane
+//! stamped by the shared virtual clock, and every run asserts the
+//! registry agrees exactly with the fleet's lock-guarded stats.
 //!
 //! ## Scale
 //!

@@ -1,0 +1,245 @@
+//! Log-bucketed latency histograms.
+//!
+//! Fixed-size (65 power-of-two buckets covering the whole `u64` range),
+//! allocation-free on the record path, mergeable bucket-wise, with
+//! quantile extraction accurate to one bucket width.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of buckets: bucket 0 holds the value 0, bucket `i ≥ 1` holds
+/// values in `[2^(i-1), 2^i - 1]` (bucket 64 tops out at `u64::MAX`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramCell {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A shared log-bucketed histogram handle (see [`HISTOGRAM_BUCKETS`] for
+/// the bucket layout).  Cloning shares the underlying cell.
+///
+/// [`Histogram::record`] is three relaxed atomic adds — no locks, no
+/// allocation, no floating point — so it is safe on the zero-alloc lookup
+/// hot path.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    cell: Arc<HistogramCell>,
+}
+
+impl Histogram {
+    /// An empty histogram (normally obtained via
+    /// `MetricsRegistry::histogram`, which registers it under a name).
+    pub fn new() -> Self {
+        Histogram {
+            cell: Arc::new(HistogramCell {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation (typically nanoseconds).
+    pub fn record(&self, value: u64) {
+        let bucket = HistogramSnapshot::bucket_index(value);
+        self.cell.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.cell.count.fetch_add(1, Ordering::Relaxed);
+        self.cell.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the buckets.
+    ///
+    /// Buckets are read bucket-by-bucket without a global lock, so a
+    /// snapshot taken while writers are active may be mid-update by one
+    /// observation; totals across one quiesced histogram are exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.cell.count.load(Ordering::Relaxed),
+            sum: self.cell.sum.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.cell.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s state: mergeable, queryable for
+/// quantiles, serializable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping on overflow, so merges stay
+    /// associative).
+    pub sum: u64,
+    /// Per-bucket observation counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The bucket index holding `value`.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Smallest value landing in bucket `index`.
+    pub fn bucket_lower(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            i => 1u64 << (i - 1),
+        }
+    }
+
+    /// Largest value landing in bucket `index`.
+    pub fn bucket_upper(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            64 => u64::MAX,
+            i => (1u64 << i) - 1,
+        }
+    }
+
+    /// Width of bucket `index` — the maximum error of a quantile estimate
+    /// whose exact value falls in that bucket.
+    pub fn bucket_width(index: usize) -> u64 {
+        Self::bucket_upper(index) - Self::bucket_lower(index)
+    }
+
+    /// The quantile estimate for `q ∈ [0, 1]`: the upper bound of the
+    /// bucket containing the rank-`q` observation (0 when empty).  The
+    /// estimate is never below the exact quantile and exceeds it by at
+    /// most [`Self::bucket_width`] of the exact value's bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((self.count - 1) as f64 * q).round() as u64;
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen > rank {
+                return Self::bucket_upper(index);
+            }
+        }
+        Self::bucket_upper(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of the observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket-wise merge — commutative and associative, so per-shard or
+    /// per-epoch snapshots combine in any order.
+    pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.wrapping_add(other.count),
+            sum: self.sum.wrapping_add(other.sum),
+            buckets: std::array::from_fn(|i| self.buckets[i].wrapping_add(other.buckets[i])),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_covers_u64() {
+        assert_eq!(HistogramSnapshot::bucket_index(0), 0);
+        assert_eq!(HistogramSnapshot::bucket_index(1), 1);
+        assert_eq!(HistogramSnapshot::bucket_index(2), 2);
+        assert_eq!(HistogramSnapshot::bucket_index(3), 2);
+        assert_eq!(HistogramSnapshot::bucket_index(4), 3);
+        assert_eq!(HistogramSnapshot::bucket_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            let lower = HistogramSnapshot::bucket_lower(i);
+            let upper = HistogramSnapshot::bucket_upper(i);
+            assert!(lower <= upper);
+            assert_eq!(HistogramSnapshot::bucket_index(lower), i);
+            assert_eq!(HistogramSnapshot::bucket_index(upper), i);
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let histogram = Histogram::new();
+        for v in 1..=100u64 {
+            histogram.record(v);
+        }
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.count, 100);
+        assert_eq!(snapshot.sum, 5050);
+        // Exact p50 is 50 (bucket [32, 63]); the estimate is that bucket's
+        // upper bound.
+        assert_eq!(snapshot.p50(), 63);
+        assert_eq!(snapshot.p99(), 127);
+        assert_eq!(snapshot.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let snapshot = Histogram::new().snapshot();
+        assert_eq!(snapshot.p50(), 0);
+        assert_eq!(snapshot.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_bucket_wise() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        let merged = a.snapshot().merged(&b.snapshot());
+        assert_eq!(merged.count, 2);
+        assert_eq!(merged.sum, 505);
+        assert_eq!(merged.buckets[HistogramSnapshot::bucket_index(5)], 1);
+        assert_eq!(merged.buckets[HistogramSnapshot::bucket_index(500)], 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Histogram properties and registry concurrency.
+//!
+//! * merge is associative (and commutative) bucket-wise;
+//! * bucket boundaries are monotone and tile the `u64` range exactly;
+//! * a quantile estimate is within one bucket width of an exact oracle;
+//! * one registry hammered from 8 threads loses no update — totals are
+//!   exact, not approximate.
+
+use proptest::prelude::*;
+use sb_telemetry::{Histogram, HistogramSnapshot, MetricsRegistry, HISTOGRAM_BUCKETS};
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let histogram = Histogram::new();
+    for &v in values {
+        histogram.record(v);
+    }
+    histogram.snapshot()
+}
+
+/// Exact quantile oracle: the rank-`q` element of the sorted values,
+/// matching `HistogramSnapshot::quantile`'s rank rule.
+fn exact_quantile(values: &mut [u64], q: f64) -> u64 {
+    values.sort_unstable();
+    let rank = ((values.len() - 1) as f64 * q).round() as usize;
+    values[rank]
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..64),
+        b in prop::collection::vec(any::<u64>(), 0..64),
+        c in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(sa.merged(&sb.merged(&sc)), sa.merged(&sb).merged(&sc));
+        prop_assert_eq!(sa.merged(&sb), sb.merged(&sa));
+        // Merging is equivalent to recording the concatenation.
+        let mut all = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(sa.merged(&sb).merged(&sc), snapshot_of(&all));
+    }
+
+    #[test]
+    fn bucket_boundaries_are_monotone_and_tile_u64(value in any::<u64>()) {
+        // Monotone, gap-free boundaries: each bucket starts right after
+        // the previous one ends.
+        for i in 1..HISTOGRAM_BUCKETS {
+            prop_assert_eq!(
+                HistogramSnapshot::bucket_lower(i),
+                HistogramSnapshot::bucket_upper(i - 1).wrapping_add(1)
+            );
+            prop_assert!(
+                HistogramSnapshot::bucket_upper(i) > HistogramSnapshot::bucket_upper(i - 1)
+            );
+        }
+        // Every value lands in exactly the bucket whose bounds contain it.
+        let bucket = HistogramSnapshot::bucket_index(value);
+        prop_assert!(HistogramSnapshot::bucket_lower(bucket) <= value);
+        prop_assert!(value <= HistogramSnapshot::bucket_upper(bucket));
+        // bucket_index is monotone in the value.
+        if value > 0 {
+            prop_assert!(HistogramSnapshot::bucket_index(value - 1) <= bucket);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_within_one_bucket_width_of_the_oracle(
+        values in prop::collection::vec(0u64..1_000_000_000, 1..256),
+        q_millis in 0u64..1001,
+    ) {
+        let q = q_millis as f64 / 1000.0;
+        let snapshot = snapshot_of(&values);
+        let estimate = snapshot.quantile(q);
+        let exact = exact_quantile(&mut values.clone(), q);
+        let width = HistogramSnapshot::bucket_width(HistogramSnapshot::bucket_index(exact));
+        prop_assert!(
+            estimate >= exact,
+            "estimate {estimate} below exact {exact}"
+        );
+        prop_assert!(
+            estimate - exact <= width,
+            "estimate {estimate} is more than one bucket width ({width}) above exact {exact}"
+        );
+    }
+
+    #[test]
+    fn count_and_sum_match_the_values(values in prop::collection::vec(0u64..1_000_000, 0..128)) {
+        let snapshot = snapshot_of(&values);
+        prop_assert_eq!(snapshot.count, values.len() as u64);
+        prop_assert_eq!(snapshot.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snapshot.buckets.iter().sum::<u64>(), snapshot.count);
+    }
+}
+
+/// 8 threads hammer one shared registry; every add must land — the
+/// striped counters, the gauge deltas and the histogram totals are
+/// asserted exactly, not approximately.
+#[test]
+fn registry_totals_are_exact_under_8_threads() {
+    const THREADS: usize = 8;
+    const ROUNDS: u64 = 10_000;
+
+    let registry = MetricsRegistry::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = registry.clone();
+            scope.spawn(move || {
+                let counter = registry.counter("stress.count");
+                let gauge = registry.gauge("stress.gauge");
+                let histogram = registry.histogram("stress.lat");
+                for i in 0..ROUNDS {
+                    counter.inc();
+                    counter.add(2);
+                    gauge.add(1);
+                    histogram.record((t as u64) * ROUNDS + i);
+                }
+            });
+        }
+    });
+
+    let total = (THREADS as u64) * ROUNDS;
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.counter("stress.count"), Some(3 * total));
+    assert_eq!(snapshot.gauge("stress.gauge"), Some(total as i64));
+    let histogram = snapshot.histogram("stress.lat").expect("registered");
+    assert_eq!(histogram.count, total);
+    // Sum of 0..THREADS*ROUNDS, since the per-thread ranges tile it.
+    assert_eq!(histogram.sum, total * (total - 1) / 2);
+    assert_eq!(histogram.buckets.iter().sum::<u64>(), total);
+}

@@ -13,6 +13,7 @@ use sb_protocol::{
     Chunk, ChunkKind, ChunkRanges, ClientCookie, ClientListState, FullHashEntry, FullHashRequest,
     FullHashResponse, ListName, ServiceError, UpdateRequest, UpdateResponse,
 };
+use sb_telemetry::{HistogramSnapshot, RegistrySnapshot, HISTOGRAM_BUCKETS};
 
 use crate::WireError;
 
@@ -23,6 +24,9 @@ pub const MAX_LIST_NAME_BYTES: usize = 1024;
 
 /// Longest error-reason string the codec accepts.
 pub const MAX_REASON_BYTES: usize = 4096;
+
+/// Longest metric name the telemetry codec accepts.
+pub const MAX_METRIC_NAME_BYTES: usize = 256;
 
 // ---------------------------------------------------------------------------
 // Cursor
@@ -437,6 +441,118 @@ pub(crate) fn decode_full_hash_responses(
         responses.push(decode_full_hash_response(r)?);
     }
     Ok(responses)
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry snapshots
+// ---------------------------------------------------------------------------
+//
+// Layout: three length-prefixed sections (counters, gauges, histograms),
+// each entry led by a bounded name.  Histogram buckets go on the wire
+// sparsely — only non-empty buckets, as (u8 index, u64 count) pairs in
+// strictly increasing index order — so an idle registry costs a few bytes
+// per metric.  The decoder enforces the sparse form (no zero counts, no
+// duplicate or out-of-range indices), which keeps decode(encode(s)) == s
+// and makes every accepted frame re-encode to exactly its own bytes.
+
+pub(crate) fn encode_registry_snapshot(
+    out: &mut Vec<u8>,
+    snapshot: &RegistrySnapshot,
+) -> Result<(), WireError> {
+    let counters = u32::try_from(snapshot.counters.len())
+        .map_err(|_| WireError::Malformed("more than u32::MAX counters".into()))?;
+    put_u32(out, counters);
+    for (name, value) in &snapshot.counters {
+        encode_str(out, name, MAX_METRIC_NAME_BYTES)?;
+        put_u64(out, *value);
+    }
+    let gauges = u32::try_from(snapshot.gauges.len())
+        .map_err(|_| WireError::Malformed("more than u32::MAX gauges".into()))?;
+    put_u32(out, gauges);
+    for (name, value) in &snapshot.gauges {
+        encode_str(out, name, MAX_METRIC_NAME_BYTES)?;
+        put_u64(out, *value as u64);
+    }
+    let histograms = u32::try_from(snapshot.histograms.len())
+        .map_err(|_| WireError::Malformed("more than u32::MAX histograms".into()))?;
+    put_u32(out, histograms);
+    for (name, histogram) in &snapshot.histograms {
+        encode_str(out, name, MAX_METRIC_NAME_BYTES)?;
+        put_u64(out, histogram.count);
+        put_u64(out, histogram.sum);
+        let occupied = histogram.buckets.iter().filter(|&&n| n > 0).count();
+        put_u8(out, occupied as u8);
+        for (index, &n) in histogram.buckets.iter().enumerate() {
+            if n > 0 {
+                put_u8(out, index as u8);
+                put_u64(out, n);
+            }
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn decode_registry_snapshot(r: &mut Reader<'_>) -> Result<RegistrySnapshot, WireError> {
+    // Minimum per counter/gauge: 2-byte empty name + 8-byte value.
+    let counter_count = r.count(10)?;
+    let mut counters = Vec::with_capacity(counter_count);
+    for _ in 0..counter_count {
+        let name = decode_str(r, MAX_METRIC_NAME_BYTES)?;
+        counters.push((name, r.u64()?));
+    }
+    let gauge_count = r.count(10)?;
+    let mut gauges = Vec::with_capacity(gauge_count);
+    for _ in 0..gauge_count {
+        let name = decode_str(r, MAX_METRIC_NAME_BYTES)?;
+        gauges.push((name, r.u64()? as i64));
+    }
+    // Minimum per histogram: 2-byte name + count + sum + bucket count.
+    let histogram_count = r.count(19)?;
+    let mut histograms = Vec::with_capacity(histogram_count);
+    for _ in 0..histogram_count {
+        let name = decode_str(r, MAX_METRIC_NAME_BYTES)?;
+        let count = r.u64()?;
+        let sum = r.u64()?;
+        let occupied = r.u8()? as usize;
+        if occupied > HISTOGRAM_BUCKETS {
+            return Err(WireError::Malformed(format!(
+                "{occupied} occupied buckets exceeds {HISTOGRAM_BUCKETS}"
+            )));
+        }
+        let mut snapshot = HistogramSnapshot {
+            count,
+            sum,
+            ..HistogramSnapshot::default()
+        };
+        let mut last_index: Option<usize> = None;
+        for _ in 0..occupied {
+            let index = r.u8()? as usize;
+            if index >= HISTOGRAM_BUCKETS {
+                return Err(WireError::Malformed(format!(
+                    "bucket index {index} out of range"
+                )));
+            }
+            if last_index.is_some_and(|last| index <= last) {
+                return Err(WireError::Malformed(
+                    "bucket indices not strictly increasing".into(),
+                ));
+            }
+            last_index = Some(index);
+            let n = r.u64()?;
+            if n == 0 {
+                return Err(WireError::Malformed(
+                    "empty bucket carried explicitly".into(),
+                ));
+            }
+            snapshot.buckets[index] = n;
+        }
+        histograms.push((name, snapshot));
+    }
+    Ok(RegistrySnapshot {
+        counters,
+        gauges,
+        histograms,
+    })
 }
 
 // ---------------------------------------------------------------------------

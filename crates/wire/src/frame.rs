@@ -20,6 +20,7 @@
 use std::io::{Read, Write};
 
 use sb_protocol::{FullHashRequest, FullHashResponse, ServiceError, UpdateRequest, UpdateResponse};
+use sb_telemetry::RegistrySnapshot;
 
 use crate::codec::{self, Reader};
 
@@ -52,6 +53,10 @@ pub enum FrameType {
     FullHashResponses = 4,
     /// A typed [`ServiceError`].
     Error = 5,
+    /// An admin request for the serving tier's telemetry snapshot.
+    TelemetryRequest = 6,
+    /// A point-in-time [`RegistrySnapshot`] of the serving process.
+    Telemetry = 7,
 }
 
 impl FrameType {
@@ -62,6 +67,8 @@ impl FrameType {
             3 => Ok(FrameType::FullHashRequests),
             4 => Ok(FrameType::FullHashResponses),
             5 => Ok(FrameType::Error),
+            6 => Ok(FrameType::TelemetryRequest),
+            7 => Ok(FrameType::Telemetry),
             other => Err(WireError::UnknownFrameType(other)),
         }
     }
@@ -80,6 +87,10 @@ pub enum Message {
     FullHashResponses(Vec<FullHashResponse>),
     /// A typed error frame carrying the provider's [`ServiceError`].
     Error(ServiceError),
+    /// An admin request for the peer's telemetry snapshot (empty payload).
+    TelemetryRequest,
+    /// A point-in-time metrics snapshot scraped out of the serving process.
+    Telemetry(RegistrySnapshot),
 }
 
 impl Message {
@@ -91,6 +102,8 @@ impl Message {
             Message::FullHashRequests(_) => FrameType::FullHashRequests,
             Message::FullHashResponses(_) => FrameType::FullHashResponses,
             Message::Error(_) => FrameType::Error,
+            Message::TelemetryRequest => FrameType::TelemetryRequest,
+            Message::Telemetry(_) => FrameType::Telemetry,
         }
     }
 }
@@ -275,6 +288,8 @@ pub fn encode_frame(message: &Message) -> Result<Vec<u8>, WireError> {
         Message::FullHashRequests(m) => codec::encode_full_hash_requests(&mut payload, m)?,
         Message::FullHashResponses(m) => codec::encode_full_hash_responses(&mut payload, m)?,
         Message::Error(m) => codec::encode_service_error(&mut payload, m)?,
+        Message::TelemetryRequest => {}
+        Message::Telemetry(m) => codec::encode_registry_snapshot(&mut payload, m)?,
     }
     if payload.len() > MAX_PAYLOAD {
         return Err(WireError::Oversized {
@@ -314,6 +329,8 @@ pub fn decode_payload(frame_type: FrameType, payload: &[u8]) -> Result<Message, 
             Message::FullHashResponses(codec::decode_full_hash_responses(&mut reader)?)
         }
         FrameType::Error => Message::Error(codec::decode_service_error(&mut reader)?),
+        FrameType::TelemetryRequest => Message::TelemetryRequest,
+        FrameType::Telemetry => Message::Telemetry(codec::decode_registry_snapshot(&mut reader)?),
     };
     reader.finish()?;
     Ok(message)
@@ -520,6 +537,28 @@ mod tests {
             let frame = encode_frame(&Message::Error(error.clone())).unwrap();
             assert_eq!(decode_frame(&frame).unwrap(), Message::Error(error));
         }
+    }
+
+    #[test]
+    fn telemetry_frames_round_trip() {
+        use sb_telemetry::MetricsRegistry;
+
+        let request = encode_frame(&Message::TelemetryRequest).unwrap();
+        assert_eq!(
+            request.len(),
+            HEADER_LEN,
+            "telemetry request is header-only"
+        );
+        assert_eq!(decode_frame(&request).unwrap(), Message::TelemetryRequest);
+
+        let registry = MetricsRegistry::new();
+        registry.counter("client.lookups").add(12);
+        registry.gauge("client.next_update_hint").set(-1);
+        registry.histogram("client.lookup_ns").record(1_500);
+        registry.histogram("client.lookup_ns").record(40);
+        let message = Message::Telemetry(registry.snapshot());
+        let frame = encode_frame(&message).unwrap();
+        assert_eq!(decode_frame(&frame).unwrap(), message);
     }
 
     #[test]

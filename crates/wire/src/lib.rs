@@ -3,8 +3,12 @@
 //! The compact, hand-rolled binary wire protocol spoken between
 //! `sb_client::TcpTransport` and `sb_server::TcpServingTier`: a versioned,
 //! CRC-checked, length-prefixed frame ([`FrameHeader`]) around one protocol
-//! [`Message`] — an update exchange, a full-hash batch, or a typed error
-//! frame carrying a [`ServiceError`](sb_protocol::ServiceError).
+//! [`Message`] — an update exchange, a full-hash batch, a typed error
+//! frame carrying a [`ServiceError`](sb_protocol::ServiceError), or the
+//! telemetry admin pair ([`Message::TelemetryRequest`] /
+//! [`Message::Telemetry`]) scraping a
+//! [`RegistrySnapshot`](sb_telemetry::RegistrySnapshot) out of a running
+//! serving tier.
 //!
 //! Design rules:
 //!
@@ -38,7 +42,7 @@
 mod codec;
 mod frame;
 
-pub use codec::{MAX_LIST_NAME_BYTES, MAX_REASON_BYTES};
+pub use codec::{MAX_LIST_NAME_BYTES, MAX_METRIC_NAME_BYTES, MAX_REASON_BYTES};
 pub use frame::{
     crc32, decode_frame, decode_payload, encode_frame, read_message, write_message, FrameHeader,
     FrameType, Message, WireError, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION,

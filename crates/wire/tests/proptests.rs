@@ -20,6 +20,7 @@ use sb_protocol::{
     Chunk, ChunkKind, ChunkRanges, ClientCookie, ClientListState, FullHashEntry, FullHashRequest,
     FullHashResponse, ListName, ServiceError, UpdateRequest, UpdateResponse,
 };
+use sb_telemetry::{HistogramSnapshot, RegistrySnapshot};
 use sb_wire::{decode_frame, encode_frame, read_message, write_message, Message, HEADER_LEN};
 
 // ---------------------------------------------------------------------------
@@ -124,23 +125,57 @@ fn arb_service_error() -> impl Strategy<Value = ServiceError> {
     )
 }
 
+fn arb_metric_name() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}[.][a-z]{1,10}".prop_map(|s| s)
+}
+
+fn arb_histogram_snapshot() -> impl Strategy<Value = HistogramSnapshot> {
+    prop::collection::vec(any::<u64>(), 0..32).prop_map(|values| {
+        let mut snapshot = HistogramSnapshot::default();
+        for value in values {
+            snapshot.buckets[HistogramSnapshot::bucket_index(value)] += 1;
+            snapshot.count += 1;
+            snapshot.sum = snapshot.sum.wrapping_add(value);
+        }
+        snapshot
+    })
+}
+
+fn arb_registry_snapshot() -> impl Strategy<Value = RegistrySnapshot> {
+    (
+        prop::collection::vec((arb_metric_name(), any::<u64>()), 0..5),
+        prop::collection::vec((arb_metric_name(), any::<i64>()), 0..5),
+        prop::collection::vec((arb_metric_name(), arb_histogram_snapshot()), 0..4),
+    )
+        .prop_map(|(counters, gauges, histograms)| RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+}
+
 /// Every frame type, dispatched by index (the shim has no `prop_oneof`).
 fn arb_message() -> impl Strategy<Value = Message> {
     (
-        (0usize..5, arb_update_request(), arb_update_response()),
+        (0usize..7, arb_update_request(), arb_update_response()),
         (
             prop::collection::vec(arb_full_hash_request(), 0..4),
             prop::collection::vec(arb_full_hash_response(), 0..4),
             arb_service_error(),
+            arb_registry_snapshot(),
         ),
     )
         .prop_map(
-            |((variant, update_req, update_resp), (fh_reqs, fh_resps, error))| match variant {
-                0 => Message::UpdateRequest(update_req),
-                1 => Message::UpdateResponse(update_resp),
-                2 => Message::FullHashRequests(fh_reqs),
-                3 => Message::FullHashResponses(fh_resps),
-                _ => Message::Error(error),
+            |((variant, update_req, update_resp), (fh_reqs, fh_resps, error, telemetry))| {
+                match variant {
+                    0 => Message::UpdateRequest(update_req),
+                    1 => Message::UpdateResponse(update_resp),
+                    2 => Message::FullHashRequests(fh_reqs),
+                    3 => Message::FullHashResponses(fh_resps),
+                    4 => Message::Error(error),
+                    5 => Message::TelemetryRequest,
+                    _ => Message::Telemetry(telemetry),
+                }
             },
         )
 }
@@ -180,6 +215,12 @@ proptest! {
 
     fn every_service_error_round_trips(error in arb_service_error()) {
         let message = Message::Error(error);
+        let frame = encode_frame(&message).expect("encode");
+        prop_assert_eq!(decode_frame(&frame).expect("decode"), message);
+    }
+
+    fn telemetry_snapshots_round_trip(snapshot in arb_registry_snapshot()) {
+        let message = Message::Telemetry(snapshot);
         let frame = encode_frame(&message).expect("encode");
         prop_assert_eq!(decode_frame(&frame).expect("decode"), message);
     }

@@ -21,7 +21,9 @@
 //! | [`server`] | the simulated GSB/YSB provider (lead-byte-sharded, concurrent full-hash serving), the `ShardedProvider` fleet, per-connection `ObservingService` taps and the `TcpServingTier` network front |
 //! | [`client`] | the Safe Browsing client, its `Transport` stack (in-process, simulated-fault, pooled TCP, retrying) and the `QueryShaper` privacy pipeline with its `DisclosureLedger` |
 //! | [`wire`] | the length-prefixed, CRC-checked binary frame codec spoken between `TcpTransport` and `TcpServingTier` |
+//! | [`telemetry`] | the telemetry plane: name-addressed atomic counters/gauges, log-bucketed latency histograms, the typed `TraceRing`, and `RegistrySnapshot` with stable JSON — shared by every tier, scrapeable over the TCP admin frame |
 //! | [`analysis`] | the privacy analysis itself |
+//! | [`sim`] | the discrete-event fleet simulation on virtual time |
 //!
 //! ## Architecture: clients own a transport
 //!
@@ -104,5 +106,6 @@ pub use sb_protocol as protocol;
 pub use sb_server as server;
 pub use sb_sim as sim;
 pub use sb_store as store;
+pub use sb_telemetry as telemetry;
 pub use sb_url as url;
 pub use sb_wire as wire;
